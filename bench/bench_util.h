@@ -1,0 +1,64 @@
+// Shared helpers for the paper-reproduction benches: iteration-to-hours
+// mapping, multi-seed medians with 95% confidence intervals (the Klees et
+// al. methodology the paper follows), and table formatting.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/support/stats.h"
+
+namespace neco {
+
+// The paper's campaigns run for wall-clock hours; the simulator executes a
+// fuzzing iteration in microseconds. Benches map a fixed iteration budget
+// onto the paper's time axis: kItersPerHour iterations ~ "1 hour".
+constexpr uint64_t kItersPerHour = 500;
+
+inline uint64_t HoursToIters(double hours) {
+  return static_cast<uint64_t>(hours * kItersPerHour);
+}
+
+struct MultiRunStats {
+  double median = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  std::vector<double> values;
+};
+
+// Run `runs` seeded repetitions of `f(seed)` and summarize.
+inline MultiRunStats MedianOverRuns(int runs,
+                                    const std::function<double(uint64_t)>& f) {
+  MultiRunStats out;
+  RunningStats stats;
+  for (int i = 0; i < runs; ++i) {
+    const double v = f(static_cast<uint64_t>(i) + 1);
+    out.values.push_back(v);
+    stats.Add(v);
+  }
+  out.median = Median(out.values);
+  const double hw = ConfidenceHalfWidth95(stats);
+  out.ci_low = stats.mean() - hw;
+  out.ci_high = stats.mean() + hw;
+  return out;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace neco
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,91 @@
+// Reproduces Figure 3: coverage progression over the 48-hour-equivalent
+// budget for NecoFuzz vs Syzkaller (IRIS shown as its saturation level,
+// since it terminates within minutes). Prints one series per tool per
+// vendor, plus an ASCII sparkline.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baseline.h"
+#include "src/core/necofuzz.h"
+
+namespace neco {
+namespace {
+
+constexpr int kSamples = 16;
+const uint64_t kBudget = HoursToIters(48);
+
+void PrintSeries(const char* name, const std::vector<CoverageSample>& series,
+                 uint64_t budget) {
+  std::printf("  %-10s", name);
+  for (const CoverageSample& sample : series) {
+    std::printf(" %5.1f", sample.percent);
+  }
+  std::printf("\n");
+}
+
+void Sparkline(const char* name,
+               const std::vector<CoverageSample>& series) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::printf("  %-10s|", name);
+  for (const CoverageSample& sample : series) {
+    const int level =
+        static_cast<int>(sample.percent / 100.0 * 7.999);
+    std::printf("%s", kLevels[level < 0 ? 0 : (level > 7 ? 7 : level)]);
+  }
+  std::printf("|\n");
+}
+
+void RunArch(Arch arch) {
+  std::printf("\n(%s) time axis: %d samples over the 48h-equivalent "
+              "budget (%llu iterations)\n",
+              std::string(ArchName(arch)).c_str(), kSamples,
+              static_cast<unsigned long long>(kBudget));
+  std::printf("  %-10s", "hours:");
+  for (int i = 1; i <= kSamples; ++i) {
+    std::printf(" %5.1f", 48.0 * i / kSamples);
+  }
+  std::printf("\n");
+
+  SimKvm kvm;
+  CampaignOptions options;
+  options.arch = arch;
+  options.iterations = kBudget;
+  options.samples = kSamples;
+  options.seed = 1;
+  const CampaignResult neco = RunCampaign(kvm, options);
+  PrintSeries("NecoFuzz", neco.series, kBudget);
+
+  SyzkallerSim syzkaller(1);
+  const BaselineResult syz = syzkaller.Run(kvm, arch, kBudget, kSamples);
+  PrintSeries("Syzkaller", syz.series, kBudget);
+
+  if (arch == Arch::kIntel) {
+    IrisSim iris(1);
+    const BaselineResult iris_result = iris.Run(kvm, arch, kBudget, 4);
+    std::printf("  %-10s %5.1f (saturates immediately; terminated after "
+                "%llu of %llu iterations)\n",
+                "IRIS", iris_result.final_percent,
+                static_cast<unsigned long long>(
+                    iris_result.series.empty()
+                        ? 0
+                        : iris_result.series.back().iteration),
+                static_cast<unsigned long long>(kBudget));
+  }
+
+  std::printf("\n");
+  Sparkline("NecoFuzz", neco.series);
+  Sparkline("Syzkaller", syz.series);
+}
+
+}  // namespace
+}  // namespace neco
+
+int main() {
+  neco::PrintHeader(
+      "Figure 3 — coverage transition over 48 hours (nested-virt code)\n"
+      "(paper shape: NecoFuzz ramps ~70->84.7% on Intel, ~65->74.2% on "
+      "AMD;\n Syzkaller converges slowly; IRIS saturates within minutes)");
+  neco::RunArch(neco::Arch::kIntel);
+  neco::RunArch(neco::Arch::kAmd);
+  return 0;
+}

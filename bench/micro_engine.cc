@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks for the engine hot paths: validator
+// rounding, boundary mutation, the hardware entry checks, AFL havoc, the
+// coverage bitmap, and one full agent execution. These are sanity numbers
+// for the simulated-time mapping documented in DESIGN.md, not a paper
+// table.
+#include <benchmark/benchmark.h>
+
+#include "src/core/necofuzz.h"
+
+namespace neco {
+namespace {
+
+Vmcs RandomVmcs(Rng& rng) {
+  Vmcs v;
+  for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+    v.Write(info.field, rng.Next());
+  }
+  return v;
+}
+
+void BM_ValidatorRoundToValid(benchmark::State& state) {
+  VmcsValidator validator(HostVmxCapabilities());
+  Rng rng(1);
+  Vmcs raw = RandomVmcs(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.RoundToValid(raw));
+  }
+}
+BENCHMARK(BM_ValidatorRoundToValid);
+
+void BM_ValidatorBoundaryMutate(benchmark::State& state) {
+  VmcsValidator validator(HostVmxCapabilities());
+  Rng rng(2);
+  Vmcs base = validator.RoundToValid(RandomVmcs(rng));
+  FuzzInput directives = MakeRandomInput(rng);
+  for (auto _ : state) {
+    Vmcs copy = base;
+    ByteReader reader(directives);
+    validator.BoundaryMutate(copy, reader);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_ValidatorBoundaryMutate);
+
+void BM_HardwareEntryChecks(benchmark::State& state) {
+  const Vmcs golden = MakeDefaultVmcs();
+  const VmxCapabilities caps = HostVmxCapabilities();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckVmxEntry(golden, caps, VmxCheckProfile::Hardware()));
+  }
+}
+BENCHMARK(BM_HardwareEntryChecks);
+
+void BM_SvmVmrunChecks(benchmark::State& state) {
+  const Vmcb golden = MakeDefaultVmcb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckVmrun(golden, SvmCaps{}, SvmCheckProfile::Hardware()));
+  }
+}
+BENCHMARK(BM_SvmVmrunChecks);
+
+void BM_HavocMutation(benchmark::State& state) {
+  Mutator mutator(3);
+  FuzzInput input = MakeRandomInput(mutator.rng());
+  for (auto _ : state) {
+    mutator.Havoc(input);
+    benchmark::DoNotOptimize(input.data());
+  }
+}
+BENCHMARK(BM_HavocMutation);
+
+void BM_BitmapClassifyAndMerge(benchmark::State& state) {
+  CoverageBitmap virgin;
+  Rng rng(4);
+  for (auto _ : state) {
+    CoverageBitmap trace;
+    for (int i = 0; i < 200; ++i) {
+      trace.Add(static_cast<uint32_t>(rng.Next()));
+    }
+    trace.ClassifyCounts();
+    benchmark::DoNotOptimize(trace.MergeInto(virgin));
+  }
+}
+BENCHMARK(BM_BitmapClassifyAndMerge);
+
+void BM_AgentExecuteOneIntel(benchmark::State& state) {
+  SimKvm kvm;
+  AgentOptions options;
+  options.arch = Arch::kIntel;
+  Agent agent(kvm, options);
+  Rng rng(5);
+  FuzzInput input = MakeRandomInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.ExecuteOne(input));
+  }
+}
+BENCHMARK(BM_AgentExecuteOneIntel);
+
+void BM_AgentExecuteOneAmd(benchmark::State& state) {
+  SimKvm kvm;
+  AgentOptions options;
+  options.arch = Arch::kAmd;
+  Agent agent(kvm, options);
+  Rng rng(6);
+  FuzzInput input = MakeRandomInput(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.ExecuteOne(input));
+  }
+}
+BENCHMARK(BM_AgentExecuteOneAmd);
+
+void BM_VmcsBitImageRoundTrip(benchmark::State& state) {
+  Rng rng(7);
+  const Vmcs v = RandomVmcs(rng);
+  for (auto _ : state) {
+    Vmcs back;
+    back.FromBitImage(v.ToBitImage());
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_VmcsBitImageRoundTrip);
+
+}  // namespace
+}  // namespace neco
+
+BENCHMARK_MAIN();

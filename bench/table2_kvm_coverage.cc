@@ -1,0 +1,185 @@
+// Reproduces Table 2: KVM code coverage for nested virtualization-specific
+// code (Intel and AMD), comparing NecoFuzz against Syzkaller, IRIS,
+// Selftests and KVM-unit-tests, including the set-difference rows and the
+// Mann-Whitney / Cohen's d statistics of Section 5.1's methodology.
+//
+// Paper reference (medians after 48 h):
+//   Intel: NecoFuzz 84.7%, Syzkaller 61.4%, IRIS 52.3%,
+//          Selftests 57.8%, KVM-unit-tests 72.0%
+//   AMD:   NecoFuzz 74.2%, Syzkaller  7.0%, Selftests 73.4%,
+//          KVM-unit-tests 69.8%
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/baseline.h"
+#include "src/core/necofuzz.h"
+
+namespace neco {
+namespace {
+
+constexpr int kRuns = 5;
+const uint64_t kBudget = HoursToIters(48);
+
+struct ToolRow {
+  std::string name;
+  double median_pct = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  size_t lines = 0;
+  std::vector<size_t> covered_set;  // From the seed-1 run.
+  std::vector<double> samples;
+  bool available = true;
+};
+
+void PrintRow(const ToolRow& row, size_t total) {
+  if (!row.available) {
+    std::printf("  %-22s %8s %8s\n", row.name.c_str(), "-", "-");
+    return;
+  }
+  std::printf("  %-22s %7.1f%% %8zu   (95%% CI %.1f-%.1f)\n",
+              row.name.c_str(), row.median_pct, row.lines, row.ci_low,
+              row.ci_high);
+}
+
+void PrintSetRow(const char* label, const std::vector<size_t>& set,
+                 size_t total) {
+  std::printf("  %-22s %7.1f%% %8zu\n", label,
+              100.0 * static_cast<double>(set.size()) /
+                  static_cast<double>(total),
+              set.size());
+}
+
+void RunArch(Arch arch) {
+  SimKvm kvm;
+  const size_t total = kvm.nested_coverage(arch).total_points();
+  std::printf("\n[%s] instrumented lines in %s: %zu\n",
+              std::string(ArchName(arch)).c_str(),
+              std::string(kvm.nested_coverage(arch).name()).c_str(), total);
+
+  ToolRow neco;
+  neco.name = "NecoFuzz";
+  {
+    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+      CampaignOptions options;
+      options.arch = arch;
+      options.iterations = kBudget;
+      options.samples = 4;
+      options.seed = seed;
+      const CampaignResult result = RunCampaign(kvm, options);
+      if (seed == 1) {
+        neco.covered_set = result.covered_set;
+        neco.lines = result.covered_points;
+      }
+      return result.final_percent;
+    });
+    neco.median_pct = stats.median;
+    neco.ci_low = stats.ci_low;
+    neco.ci_high = stats.ci_high;
+    neco.samples = stats.values;
+  }
+
+  ToolRow syz;
+  syz.name = "Syzkaller";
+  {
+    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+      SyzkallerSim tool(seed);
+      const BaselineResult result = tool.Run(kvm, arch, kBudget, 4);
+      if (seed == 1) {
+        syz.covered_set = result.covered_set;
+        syz.lines = result.covered_points;
+      }
+      return result.final_percent;
+    });
+    syz.median_pct = stats.median;
+    syz.ci_low = stats.ci_low;
+    syz.ci_high = stats.ci_high;
+    syz.samples = stats.values;
+  }
+
+  ToolRow iris;
+  iris.name = "IRIS";
+  if (arch == Arch::kIntel) {
+    IrisSim tool(3);
+    const BaselineResult result = tool.Run(kvm, arch, kBudget, 4);
+    iris.median_pct = iris.ci_low = iris.ci_high = result.final_percent;
+    iris.lines = result.covered_points;
+    iris.covered_set = result.covered_set;
+    if (result.terminated_early) {
+      iris.name += " (crashed early)";
+    }
+  } else {
+    iris.available = false;  // Intel-only tool.
+  }
+
+  ToolRow selftests;
+  selftests.name = "Selftests";
+  {
+    SelftestsSim tool;
+    const BaselineResult result = tool.Run(kvm, arch, 1, 1);
+    selftests.median_pct = selftests.ci_low = selftests.ci_high =
+        result.final_percent;
+    selftests.lines = result.covered_points;
+    selftests.covered_set = result.covered_set;
+  }
+
+  ToolRow kut;
+  kut.name = "KVM-unit-tests";
+  {
+    KvmUnitTestsSim tool;
+    const BaselineResult result = tool.Run(kvm, arch, 1, 1);
+    kut.median_pct = kut.ci_low = kut.ci_high = result.final_percent;
+    kut.lines = result.covered_points;
+    kut.covered_set = result.covered_set;
+  }
+
+  std::printf("  %-22s %8s %8s\n", "tool", "cov%", "#line");
+  PrintRow(neco, total);
+  PrintRow(syz, total);
+  PrintSetRow("Syzkaller-NecoFuzz",
+              CoverageSubtract(syz.covered_set, neco.covered_set), total);
+  PrintSetRow("NecoFuzz-Syzkaller",
+              CoverageSubtract(neco.covered_set, syz.covered_set), total);
+  PrintSetRow("NecoFuzz∩Syzkaller",
+              CoverageIntersect(neco.covered_set, syz.covered_set), total);
+  PrintRow(iris, total);
+  PrintRow(selftests, total);
+  PrintSetRow("Selftests-NecoFuzz",
+              CoverageSubtract(selftests.covered_set, neco.covered_set),
+              total);
+  PrintSetRow("NecoFuzz-Selftests",
+              CoverageSubtract(neco.covered_set, selftests.covered_set),
+              total);
+  PrintSetRow("NecoFuzz∩Selftests",
+              CoverageIntersect(neco.covered_set, selftests.covered_set),
+              total);
+  PrintRow(kut, total);
+
+  std::printf("  improvement over Syzkaller: %.1fx",
+              syz.median_pct > 0 ? neco.median_pct / syz.median_pct : 0.0);
+  if (iris.available) {
+    std::printf(", over IRIS: %.1fx", neco.median_pct / iris.median_pct);
+  }
+  std::printf("\n  NecoFuzz vs Syzkaller: p=%.4f (Mann-Whitney U), "
+              "Cohen's d=%.2f\n",
+              MannWhitneyUP(neco.samples, syz.samples),
+              [&] {
+                RunningStats a, b;
+                for (double v : neco.samples) a.Add(v);
+                for (double v : syz.samples) b.Add(v);
+                return CohensD(a, b);
+              }());
+}
+
+}  // namespace
+}  // namespace neco
+
+int main() {
+  neco::PrintHeader(
+      "Table 2 — KVM coverage of nested-virtualization-specific code\n"
+      "(median of 5 runs at the 48h-equivalent budget; paper: NecoFuzz "
+      "84.7%/74.2%,\n Syzkaller 61.4%/7.0%, IRIS 52.3%/-, Selftests "
+      "57.8%/73.4%, KVM-unit-tests 72.0%/69.8%)");
+  neco::RunArch(neco::Arch::kIntel);
+  neco::RunArch(neco::Arch::kAmd);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Hypervisor independence (paper RQ3): the identical NecoFuzz stack —
+// fuzzer, VM generator, agent — retargeted at three different L0
+// hypervisors by swapping only the target object and its config adapter.
+// Prints a per-target summary of coverage and findings.
+//
+//   $ ./build/examples/cross_hypervisor
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/necofuzz.h"
+
+using namespace neco;
+
+namespace {
+
+void FuzzTarget(Hypervisor& target, Arch arch, uint64_t iterations) {
+  CampaignOptions options;
+  options.arch = arch;
+  options.iterations = iterations;
+  options.samples = 4;
+  options.seed = 7;
+  const CampaignResult result = RunCampaign(target, options);
+  std::printf("  %-12s %-6s  cov %5.1f%% (%3zu/%3zu lines)  restarts %-4llu",
+              std::string(target.name()).c_str(),
+              std::string(ArchName(arch)).c_str(), result.final_percent,
+              result.covered_points, result.total_points,
+              static_cast<unsigned long long>(result.watchdog_restarts));
+  if (result.findings.empty()) {
+    std::printf("  no findings\n");
+    return;
+  }
+  std::printf("\n");
+  for (const AnomalyReport& report : result.findings) {
+    std::printf("      -> [%s] %s\n",
+                std::string(AnomalyKindName(report.kind)).c_str(),
+                report.bug_id.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kIterations = 15000;
+  std::printf("== One fuzzing stack, three hypervisors ==\n");
+  std::printf("(the adapter translates the vCPU configuration into each "
+              "hypervisor's own interface)\n\n");
+
+  // Show the adapter translations for the same configuration.
+  const VcpuConfig config = VcpuConfig::Default(Arch::kIntel);
+  for (const char* name : {"kvm", "xen", "virtualbox"}) {
+    const auto adapter = MakeAdapterFor(name);
+    std::printf("%s:\n  params: ", name);
+    for (const std::string& p : adapter->ModuleParams(config)) {
+      std::printf("%s ", p.c_str());
+    }
+    std::printf("\n  vm:     ");
+    for (const std::string& a : adapter->VmCommandLine(config)) {
+      std::printf("%s ", a.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\ncampaigns (%llu iterations each):\n",
+              static_cast<unsigned long long>(kIterations));
+
+  SimKvm kvm;
+  FuzzTarget(kvm, Arch::kIntel, kIterations);
+  FuzzTarget(kvm, Arch::kAmd, kIterations);
+
+  SimXen xen;
+  FuzzTarget(xen, Arch::kIntel, kIterations);
+  FuzzTarget(xen, Arch::kAmd, kIterations);
+
+  SimVbox vbox;
+  FuzzTarget(vbox, Arch::kIntel, kIterations);
+
+  std::printf("\nthe same boundary-state generator reached "
+              "nested-virtualization code in every target; only the thin "
+              "adapter differs per hypervisor.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: fuzz the simulated KVM's nested-virtualization code for a
+// few thousand iterations on both vendor architectures and print what the
+// campaign found.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/necofuzz.h"
+
+int main() {
+  neco::SimKvm kvm;
+
+  for (const neco::Arch arch : {neco::Arch::kIntel, neco::Arch::kAmd}) {
+    neco::CampaignOptions options;
+    options.arch = arch;
+    options.iterations = 8000;
+    options.samples = 8;
+    options.seed = 42;
+
+    std::printf("=== NecoFuzz vs sim-KVM (%s) ===\n",
+                std::string(neco::ArchName(arch)).c_str());
+    const neco::CampaignResult result = neco::RunCampaign(kvm, options);
+
+    std::printf("coverage of %s: %.1f%% (%zu / %zu lines)\n",
+                std::string(kvm.nested_coverage(arch).name()).c_str(),
+                result.final_percent, result.covered_points,
+                result.total_points);
+    std::printf("corpus: %llu entries, %llu bitmap edges, %llu restarts\n",
+                static_cast<unsigned long long>(result.fuzzer_stats.queue_size),
+                static_cast<unsigned long long>(
+                    result.fuzzer_stats.bitmap_edges),
+                static_cast<unsigned long long>(result.watchdog_restarts));
+    std::printf("coverage over time:");
+    for (const auto& sample : result.series) {
+      std::printf(" %.0f%%", sample.percent);
+    }
+    std::printf("\n");
+    if (result.findings.empty()) {
+      std::printf("no anomalies detected\n");
+    }
+    for (const auto& finding : result.findings) {
+      std::printf("FINDING [%s] %s\n    %s\n",
+                  std::string(neco::AnomalyKindName(finding.kind)).c_str(),
+                  finding.bug_id.c_str(), finding.message.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// A tour of the VM state validator: raw bytes -> specification rounding ->
+// boundary mutation, and the hardware-as-oracle loop that corrects the
+// validator's own model at runtime (paper Sections 3.4 and 4.3).
+//
+//   $ ./build/examples/validator_tour
+#include <cstdio>
+
+#include "src/core/necofuzz.h"
+
+using namespace neco;
+
+namespace {
+
+void Show(const char* label, const Vmcs& v) {
+  std::printf("%-22s cr0=%012llx cr4=%08llx efer=%06llx rflags=%08llx "
+              "activity=%llu cs.ar=%05llx\n",
+              label,
+              static_cast<unsigned long long>(v.Read(VmcsField::kGuestCr0)),
+              static_cast<unsigned long long>(v.Read(VmcsField::kGuestCr4)),
+              static_cast<unsigned long long>(
+                  v.Read(VmcsField::kGuestIa32Efer)),
+              static_cast<unsigned long long>(
+                  v.Read(VmcsField::kGuestRflags)),
+              static_cast<unsigned long long>(
+                  v.Read(VmcsField::kGuestActivityState)),
+              static_cast<unsigned long long>(
+                  v.Read(VmcsField::kGuestCsArBytes)));
+}
+
+}  // namespace
+
+int main() {
+  VmcsValidator validator(HostVmxCapabilities());
+  VmxCpu cpu;
+  Rng rng(0x70e2);
+
+  std::printf("== 1. Rounding: raw bytes to a specification-valid VMCS ==\n");
+  Vmcs raw;
+  {
+    std::vector<uint8_t> image(Vmcs::BitImageSize());
+    for (auto& b : image) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    raw.FromBitImage(image);
+  }
+  Show("raw (random)", raw);
+  std::printf("  spec violations: %zu\n", validator.Validate(raw).size());
+
+  const Vmcs rounded = validator.RoundToValid(raw);
+  Show("rounded", rounded);
+  std::printf("  spec violations: %zu\n", validator.Validate(rounded).size());
+  {
+    Vmcs probe = rounded;
+    probe.set_launch_state(Vmcs::LaunchState::kClear);
+    std::printf("  hardware entry:  %s\n",
+                cpu.TryEntry(probe, true).entered() ? "SUCCEEDS" : "fails");
+  }
+
+  std::printf("\n== 2. Boundary mutation: step back across the edge ==\n");
+  Vmcs mutated = rounded;
+  FuzzInput directive_bytes = MakeRandomInput(rng);
+  ByteReader directives(directive_bytes);
+  validator.BoundaryMutate(mutated, directives);
+  Show("boundary-mutated", mutated);
+  const ViolationList violations = validator.Validate(mutated);
+  if (violations.empty()) {
+    std::printf("  still valid (the flipped bits were don't-care) — also a "
+                "useful probe\n");
+  } else {
+    std::printf("  now violates: %s — exactly one subtle step past valid\n",
+                std::string(CheckIdName(violations.front())).c_str());
+  }
+
+  std::printf("\n== 3. Hardware as oracle: the validator corrects itself ==\n");
+  VmxHardwareOracle oracle(cpu, validator);
+  // Feed the oracle the documented-but-unenforced corner directly...
+  {
+    Vmcs corner = MakeDefaultVmcs();
+    corner.Write(VmcsField::kGuestCr4, Cr4::kVmxe);  // PAE off, IA-32e on.
+    const uint32_t entry =
+        static_cast<uint32_t>(corner.Read(VmcsField::kVmEntryControls));
+    corner.Write(VmcsField::kVmEntryControls, entry & ~EntryCtl::kLoadEfer);
+    std::printf("  CVE-shaped corner: prediction %s hardware on first "
+                "contact\n",
+                oracle.VerifyOnce(corner) ? "matches" : "MISMATCHES");
+    std::printf("  ... and %s after learning\n",
+                oracle.VerifyOnce(corner) ? "matches" : "MISMATCHES");
+  }
+  // ...then calibrate over random boundary states until quiet.
+  Rng calib_rng(1);
+  const uint64_t first_pass = oracle.Calibrate(calib_rng, 300);
+  const uint64_t second_pass = oracle.Calibrate(calib_rng, 300);
+  std::printf("  calibration mismatches: first pass %llu, second pass %llu\n",
+              static_cast<unsigned long long>(first_pass),
+              static_cast<unsigned long long>(second_pass));
+  std::printf("  learned quirks: %zu suppressed checks, %zu silent fixups\n",
+              validator.quirks().suppressed_checks.size(),
+              validator.quirks().learned_fixups.size());
+  for (CheckId id : validator.quirks().suppressed_checks) {
+    std::printf("    - silicon does not enforce: %s\n",
+                std::string(CheckIdName(id)).c_str());
+  }
+  std::printf("\nthe guest_cr4_pae_for_ia32e quirk learned above is "
+              "precisely the gap behind CVE-2023-30456.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "src/arch/cpu_features.h"
+
+namespace neco {
+namespace {
+
+struct FeatureDesc {
+  CpuFeature f;
+  std::string_view name;
+  bool intel;
+  bool amd;
+};
+
+constexpr FeatureDesc kFeatures[] = {
+    {CpuFeature::kEpt, "ept", true, false},
+    {CpuFeature::kUnrestrictedGuest, "unrestricted_guest", true, false},
+    {CpuFeature::kVpid, "vpid", true, false},
+    {CpuFeature::kVmcsShadowing, "vmcs_shadowing", true, false},
+    {CpuFeature::kApicRegisterVirt, "apic_register_virt", true, false},
+    {CpuFeature::kVirtIntrDelivery, "virt_intr_delivery", true, false},
+    {CpuFeature::kPostedInterrupts, "posted_interrupts", true, false},
+    {CpuFeature::kPreemptionTimer, "preemption_timer", true, false},
+    {CpuFeature::kEptAccessedDirty, "ept_ad", true, false},
+    {CpuFeature::kPml, "pml", true, false},
+    {CpuFeature::kTscScaling, "tsc_scaling", true, true},
+    {CpuFeature::kXsaves, "xsaves", true, true},
+    {CpuFeature::kInvpcid, "invpcid", true, false},
+    {CpuFeature::kVmfunc, "vmfunc", true, false},
+    {CpuFeature::kEnclsExiting, "encls_exiting", true, false},
+    {CpuFeature::kModeBasedEptExec, "mode_based_ept_exec", true, false},
+    {CpuFeature::kNpt, "npt", false, true},
+    {CpuFeature::kNrips, "nrips", false, true},
+    {CpuFeature::kVgif, "vgif", false, true},
+    {CpuFeature::kAvic, "avic", false, true},
+    {CpuFeature::kVls, "vls", false, true},
+    {CpuFeature::kLbrv, "lbrv", false, true},
+    {CpuFeature::kPauseFilter, "pause_filter", false, true},
+    {CpuFeature::kDecodeAssists, "decode_assists", false, true},
+    {CpuFeature::kTscRateMsr, "tsc_rate_msr", false, true},
+    {CpuFeature::kFlushByAsid, "flush_by_asid", false, true},
+    {CpuFeature::kNestedVirt, "nested", true, true},
+    {CpuFeature::kEnlightenedVmcs, "enlightened_vmcs", true, false},
+};
+
+static_assert(sizeof(kFeatures) / sizeof(kFeatures[0]) == kNumCpuFeatures,
+              "feature descriptor table out of sync with CpuFeature enum");
+
+const FeatureDesc& Desc(CpuFeature f) {
+  return kFeatures[static_cast<size_t>(f)];
+}
+
+}  // namespace
+
+std::string_view ArchName(Arch arch) {
+  return arch == Arch::kIntel ? "intel" : "amd";
+}
+
+std::string_view CpuFeatureName(CpuFeature f) {
+  if (static_cast<size_t>(f) >= kNumCpuFeatures) {
+    return "<invalid>";
+  }
+  return Desc(f).name;
+}
+
+bool FeatureAppliesTo(CpuFeature f, Arch arch) {
+  if (static_cast<size_t>(f) >= kNumCpuFeatures) {
+    return false;
+  }
+  return arch == Arch::kIntel ? Desc(f).intel : Desc(f).amd;
+}
+
+CpuFeatureSet CpuFeatureSet::RestrictedTo(Arch arch) const {
+  CpuFeatureSet out;
+  for (size_t i = 0; i < kNumCpuFeatures; ++i) {
+    const auto f = static_cast<CpuFeature>(i);
+    if (Has(f) && FeatureAppliesTo(f, arch)) {
+      out.Set(f);
+    }
+  }
+  return out;
+}
+
+std::string CpuFeatureSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < kNumCpuFeatures; ++i) {
+    const auto f = static_cast<CpuFeature>(i);
+    if (Has(f)) {
+      if (!out.empty()) {
+        out += ",";
+      }
+      out += CpuFeatureName(f);
+    }
+  }
+  return out.empty() ? "none" : out;
+}
+
+CpuFeatureSet FullFeatureSet(Arch arch) {
+  CpuFeatureSet s;
+  for (size_t i = 0; i < kNumCpuFeatures; ++i) {
+    const auto f = static_cast<CpuFeature>(i);
+    if (FeatureAppliesTo(f, arch)) {
+      s.Set(f);
+    }
+  }
+  return s;
+}
+
+CpuFeatureSet DefaultFeatureSet(Arch arch) {
+  // Hypervisor defaults: everything on except the optional Hyper-V
+  // enlightenments, mirroring kvm-intel/kvm-amd module defaults.
+  CpuFeatureSet s = FullFeatureSet(arch);
+  s.Set(CpuFeature::kEnlightenedVmcs, false);
+  return s;
+}
+
+}  // namespace neco

@@ -1,0 +1,111 @@
+// vCPU feature model.
+//
+// The paper's vCPU configurator mutates "a bit array, where each bit
+// indicates whether a specific CPU feature is enabled or disabled"
+// (Section 4.4). This header enumerates the hardware-assisted
+// virtualization features that configuration space covers, for both Intel
+// VT-x and AMD-V.
+#ifndef SRC_ARCH_CPU_FEATURES_H_
+#define SRC_ARCH_CPU_FEATURES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace neco {
+
+enum class Arch : uint8_t {
+  kIntel,
+  kAmd,
+};
+
+std::string_view ArchName(Arch arch);
+
+// Configurable hardware-assisted virtualization features. The first block
+// applies to Intel VT-x, the second to AMD-V; a few are cross-vendor.
+enum class CpuFeature : uint8_t {
+  // Intel VT-x.
+  kEpt = 0,               // Extended page tables.
+  kUnrestrictedGuest,     // Real-mode guests without emulation.
+  kVpid,                  // Virtual processor IDs.
+  kVmcsShadowing,         // vmread/vmwrite bitmaps.
+  kApicRegisterVirt,      // APIC register virtualization.
+  kVirtIntrDelivery,      // Virtual interrupt delivery.
+  kPostedInterrupts,      // Posted-interrupt processing.
+  kPreemptionTimer,       // VMX preemption timer.
+  kEptAccessedDirty,      // EPT A/D bits.
+  kPml,                   // Page-modification logging.
+  kTscScaling,            // TSC multiplier.
+  kXsaves,                // XSAVES/XRSTORS in non-root.
+  kInvpcid,               // INVPCID in non-root.
+  kVmfunc,                // VM functions (EPTP switching).
+  kEnclsExiting,          // SGX ENCLS exiting.
+  kModeBasedEptExec,      // MBEC.
+  // AMD-V.
+  kNpt,                   // Nested page tables.
+  kNrips,                 // Next-RIP save.
+  kVgif,                  // Virtual global interrupt flag.
+  kAvic,                  // Advanced virtual interrupt controller.
+  kVls,                   // Virtual VMLOAD/VMSAVE.
+  kLbrv,                  // LBR virtualization.
+  kPauseFilter,           // PAUSE intercept filter.
+  kDecodeAssists,         // Decode assists.
+  kTscRateMsr,            // TSC ratio.
+  kFlushByAsid,           // TLB flush by ASID.
+  // Cross-vendor knobs exposed by hypervisor command lines.
+  kNestedVirt,            // Expose VMX/SVM to the L1 guest at all.
+  kEnlightenedVmcs,       // Hyper-V enlightened VMCS (Intel only in KVM).
+  kCount,                 // Sentinel.
+};
+
+constexpr size_t kNumCpuFeatures = static_cast<size_t>(CpuFeature::kCount);
+
+std::string_view CpuFeatureName(CpuFeature f);
+
+// True if the feature is meaningful on the given architecture.
+bool FeatureAppliesTo(CpuFeature f, Arch arch);
+
+// Dense bit-set over CpuFeature.
+class CpuFeatureSet {
+ public:
+  CpuFeatureSet() = default;
+
+  bool Has(CpuFeature f) const {
+    return (bits_ & (1ULL << static_cast<unsigned>(f))) != 0;
+  }
+
+  CpuFeatureSet& Set(CpuFeature f, bool on = true) {
+    const uint64_t bit = 1ULL << static_cast<unsigned>(f);
+    bits_ = on ? (bits_ | bit) : (bits_ & ~bit);
+    return *this;
+  }
+
+  uint64_t raw() const { return bits_; }
+  void set_raw(uint64_t raw) {
+    bits_ = raw & ((1ULL << kNumCpuFeatures) - 1);
+  }
+
+  // Drop features that do not apply to `arch`.
+  CpuFeatureSet RestrictedTo(Arch arch) const;
+
+  // Human-readable comma-separated list of enabled features.
+  std::string ToString() const;
+
+  bool operator==(const CpuFeatureSet&) const = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+// Everything a modern part of the given vendor supports.
+CpuFeatureSet FullFeatureSet(Arch arch);
+
+// The configuration hypervisors ship by default (nested enabled, all
+// acceleration features on). Used when the vCPU configurator is disabled in
+// the Table 3 ablation.
+CpuFeatureSet DefaultFeatureSet(Arch arch);
+
+}  // namespace neco
+
+#endif  // SRC_ARCH_CPU_FEATURES_H_

@@ -1,0 +1,347 @@
+// Architectural bit definitions used by the VM-entry checks: control
+// registers, EFER, RFLAGS, VMX execution/entry/exit controls, segment
+// access-rights bytes, activity and interruptibility state, and exit
+// reasons. Names follow the Intel SDM.
+#ifndef SRC_ARCH_VMX_BITS_H_
+#define SRC_ARCH_VMX_BITS_H_
+
+#include <cstdint>
+
+#include "src/support/bits.h"
+
+namespace neco {
+
+// ---- CR0 ----
+struct Cr0 {
+  static constexpr uint64_t kPe = Bit(0);   // Protection enable.
+  static constexpr uint64_t kMp = Bit(1);
+  static constexpr uint64_t kEm = Bit(2);
+  static constexpr uint64_t kTs = Bit(3);
+  static constexpr uint64_t kEt = Bit(4);
+  static constexpr uint64_t kNe = Bit(5);   // Numeric error.
+  static constexpr uint64_t kWp = Bit(16);
+  static constexpr uint64_t kAm = Bit(18);
+  static constexpr uint64_t kNw = Bit(29);  // Not write-through.
+  static constexpr uint64_t kCd = Bit(30);  // Cache disable.
+  static constexpr uint64_t kPg = Bit(31);  // Paging.
+  // Bits that are architecturally reserved and must be zero (above bit 31,
+  // plus 28:19 excluding AM, 17, 15:6 excluding NE/ET... kept simple: the
+  // set the VM-entry checks actually enforce).
+  static constexpr uint64_t kReservedMask = ~MaskLow(32);
+};
+
+// ---- CR4 ----
+struct Cr4 {
+  static constexpr uint64_t kVme = Bit(0);
+  static constexpr uint64_t kPvi = Bit(1);
+  static constexpr uint64_t kTsd = Bit(2);
+  static constexpr uint64_t kDe = Bit(3);
+  static constexpr uint64_t kPse = Bit(4);
+  static constexpr uint64_t kPae = Bit(5);
+  static constexpr uint64_t kMce = Bit(6);
+  static constexpr uint64_t kPge = Bit(7);
+  static constexpr uint64_t kPce = Bit(8);
+  static constexpr uint64_t kOsfxsr = Bit(9);
+  static constexpr uint64_t kOsxmmexcpt = Bit(10);
+  static constexpr uint64_t kUmip = Bit(11);
+  static constexpr uint64_t kLa57 = Bit(12);
+  static constexpr uint64_t kVmxe = Bit(13);
+  static constexpr uint64_t kSmxe = Bit(14);
+  static constexpr uint64_t kFsgsbase = Bit(16);
+  static constexpr uint64_t kPcide = Bit(17);
+  static constexpr uint64_t kOsxsave = Bit(18);
+  static constexpr uint64_t kSmep = Bit(20);
+  static constexpr uint64_t kSmap = Bit(21);
+  static constexpr uint64_t kPke = Bit(22);
+  static constexpr uint64_t kCet = Bit(23);
+  static constexpr uint64_t kPks = Bit(24);
+  static constexpr uint64_t kReservedMask =
+      ~(kVme | kPvi | kTsd | kDe | kPse | kPae | kMce | kPge | kPce |
+        kOsfxsr | kOsxmmexcpt | kUmip | kLa57 | kVmxe | kSmxe | kFsgsbase |
+        kPcide | kOsxsave | kSmep | kSmap | kPke | kCet | kPks);
+};
+
+// ---- IA32_EFER ----
+struct Efer {
+  static constexpr uint64_t kSce = Bit(0);
+  static constexpr uint64_t kLme = Bit(8);
+  static constexpr uint64_t kLma = Bit(10);
+  static constexpr uint64_t kNxe = Bit(11);
+  static constexpr uint64_t kSvme = Bit(12);  // AMD only.
+  static constexpr uint64_t kReservedMask =
+      ~(kSce | kLme | kLma | kNxe | kSvme);
+};
+
+// ---- RFLAGS ----
+struct Rflags {
+  static constexpr uint64_t kCf = Bit(0);
+  static constexpr uint64_t kFixed1 = Bit(1);  // Always 1.
+  static constexpr uint64_t kPf = Bit(2);
+  static constexpr uint64_t kAf = Bit(4);
+  static constexpr uint64_t kZf = Bit(6);
+  static constexpr uint64_t kSf = Bit(7);
+  static constexpr uint64_t kTf = Bit(8);
+  static constexpr uint64_t kIf = Bit(9);
+  static constexpr uint64_t kDf = Bit(10);
+  static constexpr uint64_t kOf = Bit(11);
+  static constexpr uint64_t kNt = Bit(14);
+  static constexpr uint64_t kRf = Bit(16);
+  static constexpr uint64_t kVm = Bit(17);  // Virtual-8086 mode.
+  static constexpr uint64_t kAc = Bit(18);
+  static constexpr uint64_t kVif = Bit(19);
+  static constexpr uint64_t kVip = Bit(20);
+  static constexpr uint64_t kId = Bit(21);
+  static constexpr uint64_t kReservedMask =
+      ~(MaskLow(22) & ~(Bit(3) | Bit(5) | Bit(15)));
+};
+
+// ---- Pin-based VM-execution controls ----
+struct PinCtl {
+  static constexpr uint32_t kExtIntExiting = 1u << 0;
+  static constexpr uint32_t kNmiExiting = 1u << 3;
+  static constexpr uint32_t kVirtualNmis = 1u << 5;
+  static constexpr uint32_t kPreemptionTimer = 1u << 6;
+  static constexpr uint32_t kPostedInterrupts = 1u << 7;
+};
+
+// ---- Primary processor-based VM-execution controls ----
+struct ProcCtl {
+  static constexpr uint32_t kIntrWindowExiting = 1u << 2;
+  static constexpr uint32_t kUseTscOffsetting = 1u << 3;
+  static constexpr uint32_t kHltExiting = 1u << 7;
+  static constexpr uint32_t kInvlpgExiting = 1u << 9;
+  static constexpr uint32_t kMwaitExiting = 1u << 10;
+  static constexpr uint32_t kRdpmcExiting = 1u << 11;
+  static constexpr uint32_t kRdtscExiting = 1u << 12;
+  static constexpr uint32_t kCr3LoadExiting = 1u << 15;
+  static constexpr uint32_t kCr3StoreExiting = 1u << 16;
+  static constexpr uint32_t kCr8LoadExiting = 1u << 19;
+  static constexpr uint32_t kCr8StoreExiting = 1u << 20;
+  static constexpr uint32_t kUseTprShadow = 1u << 21;
+  static constexpr uint32_t kNmiWindowExiting = 1u << 22;
+  static constexpr uint32_t kMovDrExiting = 1u << 23;
+  static constexpr uint32_t kUncondIoExiting = 1u << 24;
+  static constexpr uint32_t kUseIoBitmaps = 1u << 25;
+  static constexpr uint32_t kMonitorTrapFlag = 1u << 27;
+  static constexpr uint32_t kUseMsrBitmaps = 1u << 28;
+  static constexpr uint32_t kMonitorExiting = 1u << 29;
+  static constexpr uint32_t kPauseExiting = 1u << 30;
+  static constexpr uint32_t kActivateSecondary = 1u << 31;
+};
+
+// ---- Secondary processor-based VM-execution controls ----
+struct Proc2Ctl {
+  static constexpr uint32_t kVirtApicAccesses = 1u << 0;
+  static constexpr uint32_t kEnableEpt = 1u << 1;
+  static constexpr uint32_t kDescTableExiting = 1u << 2;
+  static constexpr uint32_t kEnableRdtscp = 1u << 3;
+  static constexpr uint32_t kVirtX2apicMode = 1u << 4;
+  static constexpr uint32_t kEnableVpid = 1u << 5;
+  static constexpr uint32_t kWbinvdExiting = 1u << 6;
+  static constexpr uint32_t kUnrestrictedGuest = 1u << 7;
+  static constexpr uint32_t kApicRegisterVirt = 1u << 8;
+  static constexpr uint32_t kVirtIntrDelivery = 1u << 9;
+  static constexpr uint32_t kPauseLoopExiting = 1u << 10;
+  static constexpr uint32_t kRdrandExiting = 1u << 11;
+  static constexpr uint32_t kEnableInvpcid = 1u << 12;
+  static constexpr uint32_t kEnableVmfunc = 1u << 13;
+  static constexpr uint32_t kVmcsShadowing = 1u << 14;
+  static constexpr uint32_t kEnclsExiting = 1u << 15;
+  static constexpr uint32_t kRdseedExiting = 1u << 16;
+  static constexpr uint32_t kEnablePml = 1u << 17;
+  static constexpr uint32_t kEptViolationVe = 1u << 18;
+  static constexpr uint32_t kPtConcealVmx = 1u << 19;
+  static constexpr uint32_t kEnableXsaves = 1u << 20;
+  static constexpr uint32_t kModeBasedEptExec = 1u << 22;
+  static constexpr uint32_t kSppEpt = 1u << 23;
+  static constexpr uint32_t kPtUsesGpa = 1u << 24;
+  static constexpr uint32_t kUseTscScaling = 1u << 25;
+  static constexpr uint32_t kUserWaitPause = 1u << 26;
+  static constexpr uint32_t kEnableEnclv = 1u << 28;
+};
+
+// ---- VM-exit controls ----
+struct ExitCtl {
+  static constexpr uint32_t kSaveDebugControls = 1u << 2;
+  static constexpr uint32_t kHostAddrSpaceSize = 1u << 9;   // 64-bit host.
+  static constexpr uint32_t kLoadPerfGlobalCtrl = 1u << 12;
+  static constexpr uint32_t kAckIntrOnExit = 1u << 15;
+  static constexpr uint32_t kSavePat = 1u << 18;
+  static constexpr uint32_t kLoadPat = 1u << 19;
+  static constexpr uint32_t kSaveEfer = 1u << 20;
+  static constexpr uint32_t kLoadEfer = 1u << 21;
+  static constexpr uint32_t kSavePreemptionTimer = 1u << 22;
+  static constexpr uint32_t kClearBndcfgs = 1u << 23;
+  static constexpr uint32_t kPtConcealPip = 1u << 24;
+  static constexpr uint32_t kClearRtitCtl = 1u << 25;
+  static constexpr uint32_t kLoadCetState = 1u << 28;
+  // Default1 class bits (reserved, read as 1 from IA32_VMX_EXIT_CTLS).
+  static constexpr uint32_t kDefault1 = 0x00036dffu;
+};
+
+// ---- VM-entry controls ----
+struct EntryCtl {
+  static constexpr uint32_t kLoadDebugControls = 1u << 2;
+  static constexpr uint32_t kIa32eModeGuest = 1u << 9;
+  static constexpr uint32_t kEntryToSmm = 1u << 10;
+  static constexpr uint32_t kDeactivateDualMonitor = 1u << 11;
+  static constexpr uint32_t kLoadPerfGlobalCtrl = 1u << 13;
+  static constexpr uint32_t kLoadPat = 1u << 14;
+  static constexpr uint32_t kLoadEfer = 1u << 15;
+  static constexpr uint32_t kLoadBndcfgs = 1u << 16;
+  static constexpr uint32_t kPtConcealEntryPip = 1u << 17;
+  static constexpr uint32_t kLoadRtitCtl = 1u << 18;
+  static constexpr uint32_t kLoadCetState = 1u << 20;
+  static constexpr uint32_t kDefault1 = 0x000011ffu;
+};
+
+// ---- Segment access-rights byte (as stored in the VMCS) ----
+struct SegAr {
+  static constexpr uint32_t kTypeMask = 0xfu;        // Bits 3:0.
+  static constexpr uint32_t kS = 1u << 4;            // Descriptor type.
+  static constexpr uint32_t kDplShift = 5;           // Bits 6:5.
+  static constexpr uint32_t kDplMask = 3u << 5;
+  static constexpr uint32_t kP = 1u << 7;            // Present.
+  static constexpr uint32_t kAvl = 1u << 12;
+  static constexpr uint32_t kL = 1u << 13;           // 64-bit code segment.
+  static constexpr uint32_t kDb = 1u << 14;
+  static constexpr uint32_t kG = 1u << 15;           // Granularity.
+  static constexpr uint32_t kUnusable = 1u << 16;
+  // Bits 11:8 and 31:17 are reserved and must be zero when usable.
+  static constexpr uint32_t kReservedMask = 0xfffe0f00u;
+
+  static constexpr uint32_t Type(uint32_t ar) { return ar & kTypeMask; }
+  static constexpr uint32_t Dpl(uint32_t ar) { return (ar & kDplMask) >> kDplShift; }
+  static constexpr bool Present(uint32_t ar) { return (ar & kP) != 0; }
+  static constexpr bool Usable(uint32_t ar) { return (ar & kUnusable) == 0; }
+};
+
+// ---- Guest activity states (SDM 25.4.2) ----
+enum class ActivityState : uint32_t {
+  kActive = 0,
+  kHlt = 1,
+  kShutdown = 2,
+  kWaitForSipi = 3,
+};
+constexpr uint32_t kMaxActivityState = 3;
+
+// ---- Guest interruptibility-state bits ----
+struct Interruptibility {
+  static constexpr uint32_t kStiBlocking = 1u << 0;
+  static constexpr uint32_t kMovSsBlocking = 1u << 1;
+  static constexpr uint32_t kSmiBlocking = 1u << 2;
+  static constexpr uint32_t kNmiBlocking = 1u << 3;
+  static constexpr uint32_t kEnclaveIntr = 1u << 4;
+  static constexpr uint32_t kReservedMask = static_cast<uint32_t>(~MaskLow(5));
+};
+
+// ---- Pending debug exceptions ----
+struct PendingDbg {
+  static constexpr uint64_t kB0 = Bit(0);
+  static constexpr uint64_t kB1 = Bit(1);
+  static constexpr uint64_t kB2 = Bit(2);
+  static constexpr uint64_t kB3 = Bit(3);
+  static constexpr uint64_t kEnabledBp = Bit(12);
+  static constexpr uint64_t kBs = Bit(14);
+  static constexpr uint64_t kRtm = Bit(16);
+  static constexpr uint64_t kReservedMask =
+      ~(MaskLow(4) | kEnabledBp | kBs | kRtm);
+};
+
+// ---- Basic VM-exit reasons (SDM Appendix C) ----
+enum class ExitReason : uint32_t {
+  kExceptionNmi = 0,
+  kExternalInterrupt = 1,
+  kTripleFault = 2,
+  kInitSignal = 3,
+  kSipi = 4,
+  kInterruptWindow = 7,
+  kNmiWindow = 8,
+  kTaskSwitch = 9,
+  kCpuid = 10,
+  kGetsec = 11,
+  kHlt = 12,
+  kInvd = 13,
+  kInvlpg = 14,
+  kRdpmc = 15,
+  kRdtsc = 16,
+  kRsm = 17,
+  kVmcall = 18,
+  kVmclear = 19,
+  kVmlaunch = 20,
+  kVmptrld = 21,
+  kVmptrst = 22,
+  kVmread = 23,
+  kVmresume = 24,
+  kVmwrite = 25,
+  kVmxoff = 26,
+  kVmxon = 27,
+  kCrAccess = 28,
+  kDrAccess = 29,
+  kIoInstruction = 30,
+  kMsrRead = 31,
+  kMsrWrite = 32,
+  kInvalidGuestState = 33,  // VM-entry failure.
+  kMsrLoadFail = 34,        // VM-entry failure.
+  kMwait = 36,
+  kMonitorTrapFlag = 37,
+  kMonitor = 39,
+  kPause = 40,
+  kMachineCheck = 41,
+  kTprBelowThreshold = 43,
+  kApicAccess = 44,
+  kVirtualizedEoi = 45,
+  kGdtrIdtrAccess = 46,
+  kLdtrTrAccess = 47,
+  kEptViolation = 48,
+  kEptMisconfig = 49,
+  kInvept = 50,
+  kRdtscp = 51,
+  kPreemptionTimer = 52,
+  kInvvpid = 53,
+  kWbinvd = 54,
+  kXsetbv = 55,
+  kApicWrite = 56,
+  kRdrand = 57,
+  kInvpcid = 58,
+  kVmfunc = 59,
+  kEncls = 60,
+  kRdseed = 61,
+  kPmlFull = 62,
+  kXsaves = 63,
+  kXrstors = 64,
+};
+
+// Bit 31 of the exit-reason field flags a VM-entry failure.
+constexpr uint32_t kExitReasonFailedEntryBit = 1u << 31;
+
+// VMX instruction error numbers (SDM 31.4), reported in
+// kVmInstructionError after a VMfailValid.
+enum class VmxError : uint32_t {
+  kNone = 0,
+  kVmcallInRoot = 1,
+  kVmclearInvalidAddress = 2,
+  kVmclearVmxonPointer = 3,
+  kVmlaunchNonClear = 4,
+  kVmresumeNonLaunched = 5,
+  kVmresumeAfterVmxoff = 6,
+  kEntryInvalidControls = 7,
+  kEntryInvalidHostState = 8,
+  kVmptrldInvalidAddress = 9,
+  kVmptrldVmxonPointer = 10,
+  kVmptrldWrongRevision = 11,
+  kVmreadVmwriteInvalidField = 12,
+  kVmwriteReadOnlyField = 13,
+  kVmxonInRoot = 15,
+  kEntryInvalidExecutivePointer = 16,
+  kEntryNonLaunchedExecutive = 17,
+  kEntryExecutiveNotVmxon = 18,
+  kVmentryWithNonClearSmm = 19,
+  kVmentryWithNonValidSmm = 20,
+  kVmentryOutsideSmx = 21,
+  kInvalidOperandInveptInvvpid = 28,
+};
+
+}  // namespace neco
+
+#endif  // SRC_ARCH_VMX_BITS_H_

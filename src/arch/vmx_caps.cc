@@ -1,0 +1,132 @@
+#include "src/arch/vmx_caps.h"
+
+#include "src/arch/vmcs.h"
+#include "src/arch/vmx_bits.h"
+
+namespace neco {
+
+VmxCapabilities MakeVmxCapabilities(const CpuFeatureSet& features) {
+  VmxCapabilities caps;
+  caps.revision_id = Vmcs::kRevisionId;
+
+  // Pin-based controls: default1 class bits 1, 2 and 4 are reserved-1.
+  caps.pinbased.fixed1 = 0x16;
+  caps.pinbased.allowed1 = 0x16 | PinCtl::kExtIntExiting | PinCtl::kNmiExiting |
+                           PinCtl::kVirtualNmis;
+  if (features.Has(CpuFeature::kPreemptionTimer)) {
+    caps.pinbased.allowed1 |= PinCtl::kPreemptionTimer;
+  }
+  if (features.Has(CpuFeature::kPostedInterrupts)) {
+    caps.pinbased.allowed1 |= PinCtl::kPostedInterrupts;
+  }
+
+  // Primary processor-based controls. 0x0401e172 is the architectural
+  // default1 set.
+  caps.procbased.fixed1 = 0x0401e172;
+  caps.procbased.allowed1 =
+      caps.procbased.fixed1 | ProcCtl::kIntrWindowExiting |
+      ProcCtl::kUseTscOffsetting | ProcCtl::kHltExiting |
+      ProcCtl::kInvlpgExiting | ProcCtl::kMwaitExiting |
+      ProcCtl::kRdpmcExiting | ProcCtl::kRdtscExiting |
+      ProcCtl::kCr3LoadExiting | ProcCtl::kCr3StoreExiting |
+      ProcCtl::kCr8LoadExiting | ProcCtl::kCr8StoreExiting |
+      ProcCtl::kUseTprShadow | ProcCtl::kNmiWindowExiting |
+      ProcCtl::kMovDrExiting | ProcCtl::kUncondIoExiting |
+      ProcCtl::kUseIoBitmaps | ProcCtl::kMonitorTrapFlag |
+      ProcCtl::kUseMsrBitmaps | ProcCtl::kMonitorExiting |
+      ProcCtl::kPauseExiting | ProcCtl::kActivateSecondary;
+
+  // Secondary controls: no default1 bits; allowed1 depends on features.
+  caps.procbased2.fixed1 = 0;
+  uint32_t sec = Proc2Ctl::kVirtApicAccesses | Proc2Ctl::kEnableRdtscp |
+                 Proc2Ctl::kVirtX2apicMode | Proc2Ctl::kWbinvdExiting |
+                 Proc2Ctl::kRdrandExiting | Proc2Ctl::kRdseedExiting |
+                 Proc2Ctl::kPauseLoopExiting | Proc2Ctl::kDescTableExiting;
+  if (features.Has(CpuFeature::kEpt)) {
+    sec |= Proc2Ctl::kEnableEpt;
+  }
+  if (features.Has(CpuFeature::kUnrestrictedGuest) &&
+      features.Has(CpuFeature::kEpt)) {
+    // Unrestricted guest architecturally requires EPT.
+    sec |= Proc2Ctl::kUnrestrictedGuest;
+  }
+  if (features.Has(CpuFeature::kVpid)) {
+    sec |= Proc2Ctl::kEnableVpid;
+  }
+  if (features.Has(CpuFeature::kVmcsShadowing)) {
+    sec |= Proc2Ctl::kVmcsShadowing;
+  }
+  if (features.Has(CpuFeature::kApicRegisterVirt)) {
+    sec |= Proc2Ctl::kApicRegisterVirt;
+  }
+  if (features.Has(CpuFeature::kVirtIntrDelivery)) {
+    sec |= Proc2Ctl::kVirtIntrDelivery;
+  }
+  if (features.Has(CpuFeature::kPml)) {
+    sec |= Proc2Ctl::kEnablePml;
+  }
+  if (features.Has(CpuFeature::kTscScaling)) {
+    sec |= Proc2Ctl::kUseTscScaling;
+  }
+  if (features.Has(CpuFeature::kXsaves)) {
+    sec |= Proc2Ctl::kEnableXsaves;
+  }
+  if (features.Has(CpuFeature::kInvpcid)) {
+    sec |= Proc2Ctl::kEnableInvpcid;
+  }
+  if (features.Has(CpuFeature::kVmfunc)) {
+    sec |= Proc2Ctl::kEnableVmfunc;
+  }
+  if (features.Has(CpuFeature::kEnclsExiting)) {
+    sec |= Proc2Ctl::kEnclsExiting;
+  }
+  if (features.Has(CpuFeature::kModeBasedEptExec) &&
+      features.Has(CpuFeature::kEpt)) {
+    sec |= Proc2Ctl::kModeBasedEptExec;
+  }
+  caps.procbased2.allowed1 = sec;
+
+  // Exit controls.
+  caps.exit.fixed1 = ExitCtl::kDefault1;
+  caps.exit.allowed1 = ExitCtl::kDefault1 | ExitCtl::kSaveDebugControls |
+                       ExitCtl::kHostAddrSpaceSize |
+                       ExitCtl::kLoadPerfGlobalCtrl | ExitCtl::kAckIntrOnExit |
+                       ExitCtl::kSavePat | ExitCtl::kLoadPat |
+                       ExitCtl::kSaveEfer | ExitCtl::kLoadEfer |
+                       ExitCtl::kClearBndcfgs;
+  if (features.Has(CpuFeature::kPreemptionTimer)) {
+    caps.exit.allowed1 |= ExitCtl::kSavePreemptionTimer;
+  }
+
+  // Entry controls.
+  caps.entry.fixed1 = EntryCtl::kDefault1;
+  caps.entry.allowed1 = EntryCtl::kDefault1 | EntryCtl::kLoadDebugControls |
+                        EntryCtl::kIa32eModeGuest | EntryCtl::kEntryToSmm |
+                        EntryCtl::kDeactivateDualMonitor |
+                        EntryCtl::kLoadPerfGlobalCtrl | EntryCtl::kLoadPat |
+                        EntryCtl::kLoadEfer | EntryCtl::kLoadBndcfgs;
+
+  // CR0: PE, NE, PG must be 1 in VMX operation (PE/PG relaxed per-guest by
+  // unrestricted guest at check time, not here); all architectural bits may
+  // be 1.
+  caps.cr0_fixed0 = Cr0::kPe | Cr0::kNe | Cr0::kPg;
+  caps.cr0_fixed1 = 0xffffffffULL;  // Low 32 bits may be 1.
+  // CR4: VMXE must be 1; known bits may be 1.
+  caps.cr4_fixed0 = Cr4::kVmxe;
+  caps.cr4_fixed1 = ~Cr4::kReservedMask;
+
+  caps.ept_4level = features.Has(CpuFeature::kEpt);
+  caps.ept_5level = false;
+  caps.ept_wb_memtype = features.Has(CpuFeature::kEpt);
+  caps.ept_uc_memtype = features.Has(CpuFeature::kEpt);
+  caps.ept_ad_bits = features.Has(CpuFeature::kEptAccessedDirty) &&
+                     features.Has(CpuFeature::kEpt);
+
+  return caps;
+}
+
+VmxCapabilities HostVmxCapabilities() {
+  return MakeVmxCapabilities(FullFeatureSet(Arch::kIntel));
+}
+
+}  // namespace neco

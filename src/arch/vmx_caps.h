@@ -1,0 +1,78 @@
+// VMX capability MSR model (IA32_VMX_* family).
+//
+// The physical CPU advertises, per control field, which bits may be 0
+// ("allowed-0": bits set in the low dword must be 1) and which may be 1
+// ("allowed-1": bits clear in the high dword must be 0). Both the hardware
+// VM-entry checks and the validator's rounding consult these capabilities,
+// and the vCPU configurator narrows them when features are disabled.
+#ifndef SRC_ARCH_VMX_CAPS_H_
+#define SRC_ARCH_VMX_CAPS_H_
+
+#include <cstdint>
+
+#include "src/arch/cpu_features.h"
+
+namespace neco {
+
+// One IA32_VMX_*_CTLS pair: `fixed1` bits must be set, bits outside
+// `allowed1` must be clear.
+struct CtlCaps {
+  uint32_t fixed1 = 0;    // "allowed-0" — must-be-one bits.
+  uint32_t allowed1 = 0;  // May-be-one bits (superset of fixed1).
+
+  constexpr bool Permits(uint32_t value) const {
+    return (value & fixed1) == fixed1 && (value & ~allowed1) == 0;
+  }
+
+  constexpr uint32_t Round(uint32_t value) const {
+    return (value | fixed1) & allowed1;
+  }
+};
+
+struct VmxCapabilities {
+  CtlCaps pinbased;
+  CtlCaps procbased;
+  CtlCaps procbased2;
+  CtlCaps exit;
+  CtlCaps entry;
+
+  // IA32_VMX_CR0_FIXED0/1: CR0 bits that must be 1 / may be 1 in VMX
+  // operation. Guest CR0 checks relax PE/PG under unrestricted guest.
+  uint64_t cr0_fixed0 = 0;
+  uint64_t cr0_fixed1 = 0;
+  uint64_t cr4_fixed0 = 0;
+  uint64_t cr4_fixed1 = 0;
+
+  // IA32_VMX_EPT_VPID_CAP essentials.
+  bool ept_4level = false;
+  bool ept_5level = false;
+  bool ept_wb_memtype = false;
+  bool ept_uc_memtype = false;
+  bool ept_ad_bits = false;
+
+  // IA32_VMX_MISC essentials.
+  uint32_t max_msr_list_count = 512;  // (misc[27:25]+1)*512 on real parts.
+  uint32_t supported_activity_states = 0x7;  // HLT, shutdown, wait-for-SIPI.
+
+  uint32_t revision_id = 0;
+
+  // Physical-address width for address-validity checks.
+  unsigned physical_address_bits = 46;
+
+  constexpr uint64_t MaxPhysicalAddress() const {
+    return (1ULL << physical_address_bits) - 1;
+  }
+};
+
+// Build capabilities as advertised by a CPU/vCPU with the given feature set.
+// This is how the vCPU configurator's choices reach the hardware model: a
+// vCPU with EPT disabled advertises no kEnableEpt in procbased2.allowed1,
+// and so on.
+VmxCapabilities MakeVmxCapabilities(const CpuFeatureSet& features);
+
+// Convenience: capabilities of the full-featured physical host CPU.
+VmxCapabilities HostVmxCapabilities();
+
+}  // namespace neco
+
+#endif  // SRC_ARCH_VMX_CAPS_H_

@@ -1,0 +1,590 @@
+// Fixed deterministic test suites: KVM selftests, KVM-unit-tests, and the
+// Xen Test Framework. Unlike the fuzzers these run a constant scenario
+// list, so a single pass yields their full coverage (paper: "Selftests run
+// only 60 test cases in about 80 seconds, and KVM-unit-tests run only 84").
+#include "src/baselines/baseline.h"
+
+#include "src/arch/vmx_bits.h"
+#include "src/hv/sim_kvm/kvm.h"
+#include "src/support/bits.h"
+
+namespace neco {
+namespace {
+
+void WriteRevisions(Hypervisor& target) {
+  target.guest_memory().Write32(0x1000, Vmcs::kRevisionId);
+  target.guest_memory().Write32(0x2000, Vmcs::kRevisionId);
+}
+
+VmxInsn Vmx(VmxOp op, uint64_t operand = 0) {
+  VmxInsn insn;
+  insn.op = op;
+  insn.operand = operand;
+  return insn;
+}
+
+VmxInsn VmxWrite(VmcsField field, uint64_t value) {
+  VmxInsn insn;
+  insn.op = VmxOp::kVmwrite;
+  insn.field = field;
+  insn.value = value;
+  return insn;
+}
+
+GuestInsn Insn(GuestInsnKind kind, uint64_t a0 = 0, uint64_t a1 = 0) {
+  GuestInsn insn;
+  insn.kind = kind;
+  insn.arg0 = a0;
+  insn.arg1 = a1;
+  return insn;
+}
+
+// Launches the golden VMCS after applying `tweaks`, from a clean VM.
+void VmxScenario(Hypervisor& target,
+                 const std::vector<std::pair<VmcsField, uint64_t>>& tweaks,
+                 const std::vector<GuestInsn>& l2_insns = {}) {
+  target.StartVm(VcpuConfig::Default(Arch::kIntel));
+  WriteRevisions(target);
+  Vmcs vmcs12 = MakeDefaultVmcs();
+  for (const auto& [field, value] : tweaks) {
+    vmcs12.Write(field, value);
+  }
+  target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));
+  target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x2000));
+  target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x2000));
+  for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+    if (info.group != VmcsFieldGroup::kReadOnlyData) {
+      target.HandleVmxInstruction(VmxWrite(info.field,
+                                           vmcs12.Read(info.field)));
+    }
+  }
+  target.HandleVmxInstruction(Vmx(VmxOp::kVmlaunch));
+  for (const GuestInsn& insn : l2_insns) {
+    if (!target.in_l2()) {
+      break;
+    }
+    const HandledBy hb = target.HandleGuestInstruction(insn, GuestLevel::kL2);
+    if (hb == HandledBy::kL1) {
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmresume));
+    }
+  }
+}
+
+SvmInsn Svm(SvmOp op, uint64_t operand = 0) {
+  SvmInsn insn;
+  insn.op = op;
+  insn.operand = operand;
+  return insn;
+}
+
+void SvmScenario(Hypervisor& target,
+                 const std::vector<std::pair<VmcbField, uint64_t>>& tweaks,
+                 const std::vector<GuestInsn>& l2_insns = {},
+                 bool set_svme = true) {
+  target.StartVm(VcpuConfig::Default(Arch::kAmd));
+  if (set_svme) {
+    target.HandleGuestInstruction(
+        Insn(GuestInsnKind::kWrmsr, Msr::kIa32Efer,
+             Efer::kSvme | Efer::kLme | Efer::kLma),
+        GuestLevel::kL1);
+  }
+  Vmcb vmcb12 = MakeDefaultVmcb();
+  for (const auto& [field, value] : tweaks) {
+    vmcb12.Write(field, value);
+  }
+  for (const VmcbFieldInfo& info : VmcbFieldTable()) {
+    SvmInsn wr;
+    wr.op = SvmOp::kVmcbWrite;
+    wr.operand = 0x3000;
+    wr.field = info.field;
+    wr.value = vmcb12.Read(info.field);
+    target.HandleSvmInstruction(wr);
+  }
+  target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));
+  for (const GuestInsn& insn : l2_insns) {
+    if (!target.in_l2()) {
+      break;
+    }
+    const HandledBy hb = target.HandleGuestInstruction(insn, GuestLevel::kL2);
+    if (hb == HandledBy::kL1) {
+      target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KVM selftests
+// ---------------------------------------------------------------------------
+
+size_t SelftestsSim::TestCount(Arch arch) {
+  return arch == Arch::kIntel ? 34 : 26;
+}
+
+BaselineResult SelftestsSim::Run(Hypervisor& target, Arch arch,
+                                 uint64_t budget, int samples) {
+  CoverageUnit& cov = target.nested_coverage(arch);
+  cov.ResetCoverage();
+  target.sanitizers().Clear();
+  auto* kvm = dynamic_cast<SimKvm*>(&target);
+
+  if (arch == Arch::kIntel) {
+    // vmx_* selftests: positive launches, per-error negative tests, and
+    // the state save/restore ioctls.
+    VmxScenario(target, {}, {Insn(GuestInsnKind::kCpuid),
+                             Insn(GuestInsnKind::kVmcall),
+                             Insn(GuestInsnKind::kHlt)});
+    VmxScenario(target, {}, {Insn(GuestInsnKind::kRdmsr, Msr::kIa32Efer),
+                             Insn(GuestInsnKind::kWrmsr, Msr::kStar, 1),
+                             Insn(GuestInsnKind::kIoOut, 0x80, 1)});
+    // vmx_vmxon errors.
+    target.StartVm(VcpuConfig::Default(arch));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1001));  // Misaligned.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0));       // Null.
+    WriteRevisions(target);
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));  // Double.
+    // vmclear/vmptrld errors.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x1000));  // VMXON ptr.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x2001));  // Misaligned.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x1000));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x4000));  // Bad rev.
+    // vmwrite/vmread errors.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x2000));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x2000));
+    {
+      VmxInsn bad = VmxWrite(static_cast<VmcsField>(0xffff), 1);
+      target.HandleVmxInstruction(bad);
+      bad.op = VmxOp::kVmread;
+      target.HandleVmxInstruction(bad);
+      target.HandleVmxInstruction(
+          VmxWrite(VmcsField::kVmExitReason, 0));  // Read-only field.
+    }
+    // Launch-state machine.
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmresume));  // Before launch.
+    // Negative entries exercised by dedicated selftests.
+    VmxScenario(target, {{VmcsField::kGuestActivityState, 5}});
+    VmxScenario(target, {{VmcsField::kVmcsLinkPointer, 0x123}});
+    VmxScenario(target, {{VmcsField::kGuestCr3,
+                          (1ULL << 60)}});  // CR3 beyond MAXPHYADDR.
+    VmxScenario(target, {{VmcsField::kHostCr0, 0}});
+    VmxScenario(target, {{VmcsField::kCr3TargetCount, 9}});
+    VmxScenario(target,
+                {{VmcsField::kPinBasedVmExecControl, 0}});  // Reserved-0.
+    VmxScenario(target, {{VmcsField::kVmEntryIntrInfoField,
+                          (1u << 31) | (1u << 8)}});  // Reserved type.
+    // MSR-load canonical test (vmx_msr selftest).
+    {
+      target.StartVm(VcpuConfig::Default(arch));
+      WriteRevisions(target);
+      Vmcs vmcs12 = MakeDefaultVmcs();
+      vmcs12.Write(VmcsField::kVmEntryMsrLoadCount, 1);
+      vmcs12.Write(VmcsField::kVmEntryMsrLoadAddr, 0x10000);
+      WriteMsrAreaEntry(target.guest_memory(), 0x10000, 0,
+                        {Msr::kKernelGsBase, 0x8000000000000000ULL});
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x2000));
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x2000));
+      for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+        if (info.group != VmcsFieldGroup::kReadOnlyData) {
+          target.HandleVmxInstruction(
+              VmxWrite(info.field, vmcs12.Read(info.field)));
+        }
+      }
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmlaunch));
+    }
+    // invept / invvpid.
+    VmxScenario(target, {});
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvept, 1));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvept, 7));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvvpid, 0));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvvpid, 9));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrst));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxoff));
+    // State save/restore ioctls — host-side-only lines.
+    if (kvm != nullptr) {
+      VmxScenario(target, {}, {Insn(GuestInsnKind::kCpuid)});
+      kvm->IoctlGetNestedState();
+      kvm->IoctlSetNestedState(0x7);
+      kvm->IoctlSetNestedState(0x4);  // Rejected combination.
+      kvm->IoctlSetNestedState(0);
+      kvm->IoctlLeaveNested();
+    }
+  } else {
+    // svm_* selftests.
+    SvmScenario(target, {}, {Insn(GuestInsnKind::kCpuid),
+                             Insn(GuestInsnKind::kVmcall),
+                             Insn(GuestInsnKind::kHlt)});
+    SvmScenario(target, {}, {Insn(GuestInsnKind::kRdmsr, Msr::kIa32Efer),
+                             Insn(GuestInsnKind::kIoOut, 0x80, 1),
+                             Insn(GuestInsnKind::kMovToCr0, 0x80000031ULL)});
+    SvmScenario(target, {}, {}, /*set_svme=*/false);  // #UD path.
+    SvmScenario(target, {{VmcbField::kGuestAsid, 0}});
+    SvmScenario(target, {{VmcbField::kInterceptVec4, 0}});  // No VMRUN icpt.
+    SvmScenario(target, {{VmcbField::kCr0, Cr0::kNw | Cr0::kPe}});
+    SvmScenario(target, {{VmcbField::kEfer, 0}});            // SVME clear.
+    SvmScenario(target, {{VmcbField::kCr4, ~0ULL}});
+    SvmScenario(target, {{VmcbField::kDr7, ~0ULL}});
+    SvmScenario(target,
+                {{VmcbField::kEfer,
+                  Efer::kSvme | Efer::kLme | Efer::kLma},
+                 {VmcbField::kCr4, 0}});  // Long mode without PAE.
+    SvmScenario(target, {{VmcbField::kEventInj, (1ULL << 31) | (1ULL << 8)}});
+    SvmScenario(target, {{VmcbField::kNestedCtl, 0}});  // NP off for L2.
+    SvmScenario(target, {{VmcbField::kPauseFilterCount, 100}},
+                {Insn(GuestInsnKind::kPause)});
+    // Valid event injection (NMI), exception intercepts, selective CR0.
+    SvmScenario(target, {{VmcbField::kEventInj, (1ULL << 31) | (2ULL << 8) | 2}},
+                {Insn(GuestInsnKind::kCpuid)});
+    SvmScenario(target, {{VmcbField::kInterceptExceptions, 1u << 13}},
+                {Insn(GuestInsnKind::kRaiseException, 13, 0),
+                 Insn(GuestInsnKind::kRaiseException, 6, 0)});
+    SvmScenario(target,
+                {{VmcbField::kInterceptVec3,
+                  SvmIntercept3::kCpuid | SvmIntercept3::kCr0SelWrite |
+                      SvmIntercept3::kInvlpg | SvmIntercept3::kRdtsc}},
+                {Insn(GuestInsnKind::kMovToCr0Selective, 0x80000011ULL),
+                 Insn(GuestInsnKind::kInvlpg, 0x2000),
+                 Insn(GuestInsnKind::kRdtsc),
+                 Insn(GuestInsnKind::kRdtscp),
+                 Insn(GuestInsnKind::kMonitor),
+                 Insn(GuestInsnKind::kMwait),
+                 Insn(GuestInsnKind::kXsetbv)});
+    {
+      // NPT disabled at module level.
+      VcpuConfig config = VcpuConfig::Default(Arch::kAmd);
+      config.features.Set(CpuFeature::kNpt, false);
+      target.StartVm(config);
+      target.HandleGuestInstruction(
+          Insn(GuestInsnKind::kWrmsr, Msr::kIa32Efer,
+               Efer::kSvme | Efer::kLme | Efer::kLma),
+          GuestLevel::kL1);
+      Vmcb vmcb12 = MakeDefaultVmcb();
+      for (const VmcbFieldInfo& info : VmcbFieldTable()) {
+        SvmInsn wr;
+        wr.op = SvmOp::kVmcbWrite;
+        wr.operand = 0x3000;
+        wr.field = info.field;
+        wr.value = vmcb12.Read(info.field);
+        target.HandleSvmInstruction(wr);
+      }
+      target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));
+    }
+    // vmload/vmsave/stgi/clgi.
+    target.StartVm(VcpuConfig::Default(arch));
+    target.HandleGuestInstruction(
+        Insn(GuestInsnKind::kWrmsr, Msr::kIa32Efer, Efer::kSvme),
+        GuestLevel::kL1);
+    target.HandleSvmInstruction(Svm(SvmOp::kVmload, 0x3000));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmsave, 0x3000));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmload, 0x3001));  // Misaligned.
+    target.HandleSvmInstruction(Svm(SvmOp::kClgi));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));  // GIF clear.
+    target.HandleSvmInstruction(Svm(SvmOp::kStgi));
+    target.HandleSvmInstruction(Svm(SvmOp::kInvlpga, 0x1000));
+    target.HandleSvmInstruction(Svm(SvmOp::kSkinit));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmmcall));
+    // MSR intercept bitmap exercise.
+    {
+      Vmcb vmcb12 = MakeDefaultVmcb();
+      target.guest_memory().SetBit(vmcb12.Read(VmcbField::kMsrpmBasePa),
+                                   Msr::kIa32SysenterCs * 2, true);
+      SvmScenario(target, {},
+                  {Insn(GuestInsnKind::kRdmsr, Msr::kIa32SysenterCs),
+                   Insn(GuestInsnKind::kWrmsr, Msr::kIa32SysenterCs, 5)});
+    }
+    // State ioctls.
+    if (kvm != nullptr) {
+      SvmScenario(target, {}, {Insn(GuestInsnKind::kCpuid)});
+      kvm->IoctlGetNestedState();
+      kvm->IoctlSetNestedState(0x3);
+      kvm->IoctlSetNestedState(0x2);  // Rejected: in L2 without SVME.
+      kvm->IoctlSetNestedState(0);
+    }
+  }
+
+  std::vector<CoverageSample> series{{TestCount(arch), cov.percent()}};
+  return FinishBaseline(target, arch, std::move(series), false);
+}
+
+// ---------------------------------------------------------------------------
+// KVM-unit-tests
+// ---------------------------------------------------------------------------
+
+size_t KvmUnitTestsSim::TestCount(Arch arch) {
+  return arch == Arch::kIntel ? 52 : 32;
+}
+
+BaselineResult KvmUnitTestsSim::Run(Hypervisor& target, Arch arch,
+                                    uint64_t budget, int samples) {
+  CoverageUnit& cov = target.nested_coverage(arch);
+  cov.ResetCoverage();
+  target.sanitizers().Clear();
+
+  if (arch == Arch::kIntel) {
+    // vmx_tests.c style: one targeted invalid value per consistency check,
+    // each launched from a fresh golden state.
+    const std::vector<std::pair<VmcsField, uint64_t>> corruptions = {
+        {VmcsField::kPinBasedVmExecControl, 0},
+        {VmcsField::kPinBasedVmExecControl, ~0ULL},
+        {VmcsField::kCpuBasedVmExecControl, 0},
+        {VmcsField::kCpuBasedVmExecControl, ~0ULL},
+        {VmcsField::kSecondaryVmExecControl, ~0ULL},
+        {VmcsField::kVmExitControls, 0},
+        {VmcsField::kVmEntryControls, 0},
+        {VmcsField::kCr3TargetCount, 5},
+        {VmcsField::kIoBitmapA, 0x123},
+        {VmcsField::kMsrBitmap, 0x7},
+        {VmcsField::kEptPointer, 0x2},        // Bad memtype.
+        {VmcsField::kEptPointer, 0x1e | (1ULL << 50)},
+        {VmcsField::kVirtualProcessorId, 0},
+        {VmcsField::kPostedIntrDescAddr, 0x1},
+        {VmcsField::kVmEntryMsrLoadCount, 5000},
+        {VmcsField::kVmEntryIntrInfoField, (1u << 31) | (1u << 8)},
+        {VmcsField::kVmEntryIntrInfoField, (1u << 31) | (2u << 8) | 9},
+        {VmcsField::kVmEntryIntrInfoField,
+         (1u << 31) | (3u << 8) | (1u << 11) | 1},
+        {VmcsField::kHostCr0, 0},
+        {VmcsField::kHostCr4, 0},
+        {VmcsField::kHostCr3, 1ULL << 60},
+        {VmcsField::kHostFsBase, 0x0000900000000000ULL},
+        {VmcsField::kHostCsSelector, 0},
+        {VmcsField::kHostTrSelector, 0},
+        {VmcsField::kHostCsSelector, 0x0b},  // RPL set.
+        {VmcsField::kHostIa32Efer, 0xd00},
+        {VmcsField::kHostRip, 0x0000900000000000ULL},
+        {VmcsField::kGuestCr0, 0},
+        {VmcsField::kGuestCr0, 0x80000030ULL},  // PG && !PE.
+        {VmcsField::kGuestCr4, 0},
+        {VmcsField::kGuestCr3, 1ULL << 60},
+        {VmcsField::kGuestIa32Efer, 0xd00},
+        {VmcsField::kGuestIa32Efer, 0},        // LMA vs IA-32e mismatch.
+        {VmcsField::kGuestRflags, 0},
+        {VmcsField::kGuestRflags, Rflags::kFixed1 | Rflags::kVm},
+        {VmcsField::kGuestCsArBytes, SegAr::kUnusable},
+        {VmcsField::kGuestCsArBytes, 0xa09bu | (1u << 14)},  // L && D/B.
+        {VmcsField::kGuestTrArBytes, SegAr::kUnusable},
+        {VmcsField::kGuestTrSelector, 0x1c},   // TI set.
+        {VmcsField::kGuestActivityState, 1},
+        {VmcsField::kGuestActivityState, 2},
+        {VmcsField::kGuestActivityState, 3},
+        {VmcsField::kGuestActivityState, 9},
+        {VmcsField::kGuestInterruptibilityInfo, 0x3},
+        {VmcsField::kGuestInterruptibilityInfo, 0xffff0000u},
+        {VmcsField::kGuestPendingDbgExceptions, ~0ULL},
+        {VmcsField::kVmcsLinkPointer, 0},
+    };
+    for (const auto& corruption : corruptions) {
+      VmxScenario(target, {corruption});
+    }
+    // Positive tests with runtime exits: vmx_tests.c toggles every
+    // configurable intercept in both directions.
+    struct InterceptToggle {
+      GuestInsnKind kind;
+      uint32_t proc_bit;
+    };
+    constexpr InterceptToggle kToggles[] = {
+        {GuestInsnKind::kHlt, ProcCtl::kHltExiting},
+        {GuestInsnKind::kRdtsc, ProcCtl::kRdtscExiting},
+        {GuestInsnKind::kRdtscp, ProcCtl::kRdtscExiting},
+        {GuestInsnKind::kRdpmc, ProcCtl::kRdpmcExiting},
+        {GuestInsnKind::kPause, ProcCtl::kPauseExiting},
+        {GuestInsnKind::kInvlpg, ProcCtl::kInvlpgExiting},
+        {GuestInsnKind::kMwait, ProcCtl::kMwaitExiting},
+        {GuestInsnKind::kMonitor, ProcCtl::kMonitorExiting},
+        {GuestInsnKind::kMovToDr, ProcCtl::kMovDrExiting},
+        {GuestInsnKind::kMovToCr8, ProcCtl::kCr8LoadExiting},
+        {GuestInsnKind::kMovFromCr3, ProcCtl::kCr3StoreExiting},
+    };
+    const Vmcs golden = MakeDefaultVmcs();
+    const uint32_t base_proc =
+        static_cast<uint32_t>(golden.Read(VmcsField::kCpuBasedVmExecControl));
+    for (const InterceptToggle& toggle : kToggles) {
+      VmxScenario(target,
+                  {{VmcsField::kCpuBasedVmExecControl,
+                    base_proc | toggle.proc_bit}},
+                  {Insn(toggle.kind, 0x400, 7)});
+      VmxScenario(target,
+                  {{VmcsField::kCpuBasedVmExecControl,
+                    base_proc & ~toggle.proc_bit}},
+                  {Insn(toggle.kind, 0x400, 7)});
+    }
+    // Secondary-control intercepts.
+    const uint32_t base_sec = static_cast<uint32_t>(
+        golden.Read(VmcsField::kSecondaryVmExecControl));
+    for (const uint32_t bit :
+         {Proc2Ctl::kRdrandExiting, Proc2Ctl::kRdseedExiting,
+          Proc2Ctl::kWbinvdExiting, Proc2Ctl::kPauseLoopExiting,
+          Proc2Ctl::kEnableRdtscp, Proc2Ctl::kEnableInvpcid}) {
+      VmxScenario(target,
+                  {{VmcsField::kSecondaryVmExecControl, base_sec | bit}},
+                  {Insn(GuestInsnKind::kRdrand), Insn(GuestInsnKind::kRdseed),
+                   Insn(GuestInsnKind::kWbinvd), Insn(GuestInsnKind::kPause),
+                   Insn(GuestInsnKind::kRdtscp),
+                   Insn(GuestInsnKind::kInvpcid)});
+    }
+    // MSR-bitmap polarity tests.
+    {
+      target.StartVm(VcpuConfig::Default(Arch::kIntel));
+      WriteRevisions(target);
+      Vmcs vmcs12 = MakeDefaultVmcs();
+      target.guest_memory().SetBit(vmcs12.Read(VmcsField::kMsrBitmap),
+                                   Msr::kIa32SysenterCs, true);
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmclear, 0x2000));
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmptrld, 0x2000));
+      for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+        if (info.group != VmcsFieldGroup::kReadOnlyData) {
+          target.HandleVmxInstruction(
+              VmxWrite(info.field, vmcs12.Read(info.field)));
+        }
+      }
+      target.HandleVmxInstruction(Vmx(VmxOp::kVmlaunch));
+      for (const GuestInsn& insn :
+           {Insn(GuestInsnKind::kRdmsr, Msr::kIa32SysenterCs),
+            Insn(GuestInsnKind::kRdmsr, Msr::kStar),
+            Insn(GuestInsnKind::kWrmsr, Msr::kIa32SysenterCs, 1),
+            Insn(GuestInsnKind::kRdmsr, 0xdeadbeef),
+            Insn(GuestInsnKind::kRdmsr, Msr::kIa32VmxBasic)}) {
+        if (!target.in_l2()) {
+          break;
+        }
+        if (target.HandleGuestInstruction(insn, GuestLevel::kL2) ==
+            HandledBy::kL1) {
+          target.HandleVmxInstruction(Vmx(VmxOp::kVmresume));
+        }
+      }
+    }
+    // Unconditional-I/O vs bitmap-I/O tests.
+    VmxScenario(target,
+                {{VmcsField::kCpuBasedVmExecControl,
+                  (base_proc | ProcCtl::kUncondIoExiting) &
+                      ~ProcCtl::kUseIoBitmaps}},
+                {Insn(GuestInsnKind::kIoIn, 0x60),
+                 Insn(GuestInsnKind::kIoOut, 0x80, 1)});
+    // CR3-target list suppression.
+    VmxScenario(target,
+                {{VmcsField::kCr3TargetCount, 2},
+                 {VmcsField::kCr3TargetValue0, 0x2000},
+                 {VmcsField::kCr3TargetValue1, 0x6000}},
+                {Insn(GuestInsnKind::kMovToCr3, 0x6000),
+                 Insn(GuestInsnKind::kMovToCr3, 0x7000)});
+    // TPR threshold interaction.
+    VmxScenario(target,
+                {{VmcsField::kCpuBasedVmExecControl,
+                  base_proc | ProcCtl::kUseTprShadow},
+                 {VmcsField::kTprThreshold, 0}},
+                {Insn(GuestInsnKind::kMovToCr8, 5)});
+    // invept/invvpid operand tests and the pointer instructions.
+    VmxScenario(target, {});
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvept, 1));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvept, 2));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvept, 0));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvvpid, 1));
+    target.HandleVmxInstruction(Vmx(VmxOp::kInvvpid, 5));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrst));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxoff));
+    // Exception-bitmap polarity sweep.
+    VmxScenario(target, {{VmcsField::kExceptionBitmap, (1u << 6) | (1u << 13)}},
+                {Insn(GuestInsnKind::kRaiseException, 6),
+                 Insn(GuestInsnKind::kRaiseException, 13),
+                 Insn(GuestInsnKind::kRaiseException, 3)});
+    VmxScenario(target, {},
+                {Insn(GuestInsnKind::kMovToCr0, 0x80000031ULL | Cr0::kCd),
+                 Insn(GuestInsnKind::kMovToCr3, 0x5000),
+                 Insn(GuestInsnKind::kMovToCr4, Cr4::kPae | Cr4::kVmxe),
+                 Insn(GuestInsnKind::kMovToCr8, 3),
+                 Insn(GuestInsnKind::kMovToDr, 0x400, 7)});
+    VmxScenario(target, {},
+                {Insn(GuestInsnKind::kRaiseException, 6),
+                 Insn(GuestInsnKind::kRaiseException, 14, 0x2),
+                 Insn(GuestInsnKind::kXsetbv, 0),
+                 Insn(GuestInsnKind::kMonitor), Insn(GuestInsnKind::kMwait),
+                 Insn(GuestInsnKind::kInvlpg, 0x1000)});
+  } else {
+    const std::vector<std::pair<VmcbField, uint64_t>> corruptions = {
+        {VmcbField::kGuestAsid, 0},
+        {VmcbField::kInterceptVec4, SvmIntercept4::kVmmcall},  // No VMRUN.
+        {VmcbField::kEfer, 0},
+        {VmcbField::kEfer, Efer::kSvme | 0x4},  // Reserved bit.
+        {VmcbField::kCr0, Cr0::kNw | Cr0::kPe},
+        {VmcbField::kCr0, 0x1ffffffffULL},      // High bits.
+        {VmcbField::kCr3, 1ULL << 60},
+        {VmcbField::kCr4, Cr4::kVmxe},
+        {VmcbField::kCr4, ~0ULL},
+        {VmcbField::kDr6, ~0ULL},
+        {VmcbField::kDr7, ~0ULL},
+        {VmcbField::kEventInj, (1ULL << 31) | (1ULL << 8)},
+        {VmcbField::kEventInj, (1ULL << 31) | (2ULL << 8) | 5},
+        {VmcbField::kNestedCr3, (1ULL << 60) | 1},
+    };
+    for (const auto& corruption : corruptions) {
+      SvmScenario(target, {corruption});
+    }
+    SvmScenario(target, {}, {Insn(GuestInsnKind::kCpuid),
+                             Insn(GuestInsnKind::kHlt),
+                             Insn(GuestInsnKind::kRdtsc),
+                             Insn(GuestInsnKind::kRdtscp),
+                             Insn(GuestInsnKind::kPause),
+                             Insn(GuestInsnKind::kWbinvd)});
+    SvmScenario(target, {},
+                {Insn(GuestInsnKind::kMovToCr0, 0x80000031ULL),
+                 Insn(GuestInsnKind::kMovToCr0Selective, 0x80000011ULL),
+                 Insn(GuestInsnKind::kMovToCr3, 0x5000),
+                 Insn(GuestInsnKind::kMovToCr4, Cr4::kPae),
+                 Insn(GuestInsnKind::kMovToDr, 0x400, 7),
+                 Insn(GuestInsnKind::kRaiseException, 13, 0)});
+    SvmScenario(target, {},
+                {Insn(GuestInsnKind::kIoIn, 0x70), Insn(GuestInsnKind::kIoOut, 0x80, 1),
+                 Insn(GuestInsnKind::kRdmsr, Msr::kIa32Efer),
+                 Insn(GuestInsnKind::kWrmsr, Msr::kStar, 0x10),
+                 Insn(GuestInsnKind::kVmcall),
+                 Insn(GuestInsnKind::kMonitor), Insn(GuestInsnKind::kMwait)});
+  }
+
+  std::vector<CoverageSample> series{{TestCount(arch), cov.percent()}};
+  return FinishBaseline(target, arch, std::move(series), false);
+}
+
+// ---------------------------------------------------------------------------
+// Xen Test Framework
+// ---------------------------------------------------------------------------
+
+BaselineResult XtfSim::Run(Hypervisor& target, Arch arch, uint64_t budget,
+                           int samples) {
+  CoverageUnit& cov = target.nested_coverage(arch);
+  cov.ResetCoverage();
+  target.sanitizers().Clear();
+
+  // XTF's nested tests are a small functional smoke set: bring up VMX/SVM,
+  // run one guest, probe a couple of MSRs. No systematic negative testing.
+  if (arch == Arch::kIntel) {
+    VmxScenario(target, {}, {Insn(GuestInsnKind::kCpuid)});
+    target.StartVm(VcpuConfig::Default(arch));
+    WriteRevisions(target);
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxon, 0x1000));
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmptrst));
+    target.HandleGuestInstruction(
+        Insn(GuestInsnKind::kRdmsr, Msr::kIa32VmxBasic), GuestLevel::kL1);
+    target.HandleVmxInstruction(Vmx(VmxOp::kVmxoff));
+  } else {
+    // XTF's SVM side is thinner still: probe instructions without ever
+    // reaching a nested guest (paper Table 4: 10.8%).
+    target.StartVm(VcpuConfig::Default(arch));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));  // No SVME.
+    target.HandleGuestInstruction(
+        Insn(GuestInsnKind::kWrmsr, Msr::kIa32Efer, Efer::kSvme),
+        GuestLevel::kL1);
+    target.HandleSvmInstruction(Svm(SvmOp::kStgi));
+    target.HandleSvmInstruction(Svm(SvmOp::kVmload, 0x3001));  // Misaligned.
+    target.HandleSvmInstruction(Svm(SvmOp::kVmrun, 0x3000));   // Zero VMCB.
+    target.HandleGuestInstruction(
+        Insn(GuestInsnKind::kRdmsr, Msr::kVmCr), GuestLevel::kL1);
+  }
+
+  std::vector<CoverageSample> series{{1, cov.percent()}};
+  return FinishBaseline(target, arch, std::move(series), false);
+}
+
+}  // namespace neco

@@ -1,0 +1,46 @@
+#include "src/core/campaign.h"
+
+namespace neco {
+
+CampaignResult RunCampaign(Hypervisor& target,
+                           const CampaignOptions& options) {
+  CampaignResult result;
+  CoverageUnit& cov = target.nested_coverage(options.arch);
+  cov.ResetCoverage();
+  target.sanitizers().Clear();
+
+  AgentOptions agent_options = options.agent;
+  agent_options.arch = options.arch;
+  Agent agent(target, agent_options);
+
+  FuzzerOptions fuzzer_options = options.fuzzer;
+  fuzzer_options.seed = options.seed;
+  Fuzzer fuzzer(fuzzer_options, agent.MakeExecutor());
+
+  const int samples = options.samples > 0 ? options.samples : 1;
+  const uint64_t chunk =
+      options.iterations / static_cast<uint64_t>(samples) > 0
+          ? options.iterations / static_cast<uint64_t>(samples)
+          : 1;
+  uint64_t done = 0;
+  while (done < options.iterations) {
+    const uint64_t step =
+        chunk < options.iterations - done ? chunk : options.iterations - done;
+    fuzzer.Run(step);
+    done += step;
+    result.series.push_back({done, cov.percent()});
+  }
+
+  result.final_percent = cov.percent();
+  result.covered_points = cov.covered_points();
+  result.total_points = cov.total_points();
+  result.covered_set = cov.CoveredSet();
+  for (const auto& [id, report] : agent.findings()) {
+    result.findings.push_back(report);
+  }
+  result.fuzzer_stats = fuzzer.stats();
+  result.watchdog_restarts = agent.watchdog_restarts();
+  return result;
+}
+
+}  // namespace neco

@@ -1,0 +1,54 @@
+// A fuzzing campaign: the full NecoFuzz stack (fuzzer + agent + VM
+// generator) run against one target hypervisor for a fixed iteration
+// budget, with periodic coverage sampling for the time-series figures.
+#ifndef SRC_CORE_CAMPAIGN_H_
+#define SRC_CORE_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/agent.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/hv/hypervisor.h"
+
+namespace neco {
+
+struct CampaignOptions {
+  Arch arch = Arch::kIntel;
+  uint64_t iterations = 20000;
+  // Number of evenly spaced coverage samples (Figure 3 / Figure 4 series).
+  int samples = 24;
+  uint64_t seed = 1;
+  AgentOptions agent;
+  // NecoFuzz's default mode is the breadth-first boundary explorer: the
+  // paper found coverage guidance counter-productive here, because the
+  // validator's rounding collapses guided micro-variations into equivalent
+  // post-rounding states (Section 5.6 / Table 5). Benches flip this on to
+  // reproduce the "with coverage guidance" row.
+  FuzzerOptions fuzzer{.seed = 1, .coverage_guidance = false};
+};
+
+struct CoverageSample {
+  uint64_t iteration;
+  double percent;
+};
+
+struct CampaignResult {
+  std::vector<CoverageSample> series;
+  double final_percent = 0.0;
+  size_t covered_points = 0;
+  size_t total_points = 0;
+  std::vector<size_t> covered_set;
+  std::vector<AnomalyReport> findings;
+  FuzzerStats fuzzer_stats;
+  uint64_t watchdog_restarts = 0;
+};
+
+// Runs NecoFuzz against `target`. The target's coverage for the campaign
+// architecture is reset at the start so repeated campaigns are independent.
+CampaignResult RunCampaign(Hypervisor& target,
+                           const CampaignOptions& options);
+
+}  // namespace neco
+
+#endif  // SRC_CORE_CAMPAIGN_H_

@@ -1,0 +1,199 @@
+#include "src/core/config/configurator.h"
+
+namespace neco {
+
+VcpuConfig VcpuConfigurator::Generate(ByteReader& reader, Arch arch) const {
+  VcpuConfig config;
+  config.arch = arch;
+  CpuFeatureSet features;
+  features.set_raw(reader.U64());
+  // Most configurations keep nested virtualization on; a small share
+  // exercises the nested=0 rejection paths.
+  if (!reader.Chance(1, 16)) {
+    features.Set(CpuFeature::kNestedVirt);
+  }
+  config.features = features.RestrictedTo(arch);
+  config.vcpus = 1;  // Single-vCPU harness (paper Section 6.4).
+  config.memory_mb = static_cast<uint16_t>(64 + (reader.U8() % 4) * 64);
+  return config;
+}
+
+namespace {
+
+struct ParamName {
+  CpuFeature feature;
+  std::string_view kvm_param;  // kvm-intel.ko / kvm-amd.ko parameter.
+};
+
+constexpr ParamName kKvmIntelParams[] = {
+    {CpuFeature::kEpt, "ept"},
+    {CpuFeature::kUnrestrictedGuest, "unrestricted_guest"},
+    {CpuFeature::kVpid, "vpid"},
+    {CpuFeature::kVmcsShadowing, "enable_shadow_vmcs"},
+    {CpuFeature::kApicRegisterVirt, "enable_apicv"},
+    {CpuFeature::kPreemptionTimer, "preemption_timer"},
+    {CpuFeature::kPml, "pml"},
+    {CpuFeature::kEnlightenedVmcs, "enlightened_vmcs"},
+    {CpuFeature::kNestedVirt, "nested"},
+};
+
+constexpr ParamName kKvmAmdParams[] = {
+    {CpuFeature::kNpt, "npt"},
+    {CpuFeature::kNrips, "nrips"},
+    {CpuFeature::kVgif, "vgif"},
+    {CpuFeature::kAvic, "avic"},
+    {CpuFeature::kVls, "vls"},
+    {CpuFeature::kLbrv, "lbrv"},
+    {CpuFeature::kPauseFilter, "pause_filter_count"},
+    {CpuFeature::kNestedVirt, "nested"},
+};
+
+std::span<const ParamName> KvmParamsFor(Arch arch) {
+  return arch == Arch::kIntel ? std::span<const ParamName>(kKvmIntelParams)
+                              : std::span<const ParamName>(kKvmAmdParams);
+}
+
+}  // namespace
+
+// --- KVM ---
+
+std::vector<std::string> KvmAdapter::ModuleParams(
+    const VcpuConfig& config) const {
+  std::vector<std::string> out;
+  for (const auto& p : KvmParamsFor(config.arch)) {
+    out.push_back(std::string(p.kvm_param) + "=" +
+                  (config.features.Has(p.feature) ? "1" : "0"));
+  }
+  return out;
+}
+
+std::vector<std::string> KvmAdapter::VmCommandLine(
+    const VcpuConfig& config) const {
+  std::vector<std::string> argv = {"qemu-system-x86_64", "-enable-kvm"};
+  std::string cpu = "-cpu host";
+  if (config.nested()) {
+    cpu += config.arch == Arch::kIntel ? ",+vmx" : ",+svm";
+  } else {
+    cpu += config.arch == Arch::kIntel ? ",-vmx" : ",-svm";
+  }
+  argv.push_back(cpu);
+  argv.push_back("-smp " + std::to_string(config.vcpus));
+  argv.push_back("-m " + std::to_string(config.memory_mb));
+  argv.push_back("-bios fuzz-harness.efi");
+  return argv;
+}
+
+VcpuConfig KvmAdapter::ParseModuleParams(
+    const std::vector<std::string>& params, Arch arch) const {
+  VcpuConfig config;
+  config.arch = arch;
+  CpuFeatureSet features;
+  for (const std::string& p : params) {
+    const size_t eq = p.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    const std::string_view key = std::string_view(p).substr(0, eq);
+    const bool on = p.substr(eq + 1) != "0";
+    for (const auto& known : KvmParamsFor(arch)) {
+      if (known.kvm_param == key) {
+        features.Set(known.feature, on);
+      }
+    }
+  }
+  config.features = features.RestrictedTo(arch);
+  return config;
+}
+
+// --- Xen ---
+
+std::vector<std::string> XenAdapter::ModuleParams(
+    const VcpuConfig& config) const {
+  // Xen boot-time options.
+  std::vector<std::string> out;
+  out.push_back(std::string("hap=") +
+                (config.features.Has(config.arch == Arch::kIntel
+                                         ? CpuFeature::kEpt
+                                         : CpuFeature::kNpt)
+                     ? "1"
+                     : "0"));
+  out.push_back(std::string("apicv=") +
+                (config.features.Has(CpuFeature::kApicRegisterVirt) ? "1"
+                                                                    : "0"));
+  return out;
+}
+
+std::vector<std::string> XenAdapter::VmCommandLine(
+    const VcpuConfig& config) const {
+  // xl.cfg lines for an HVM guest.
+  std::vector<std::string> cfg;
+  cfg.push_back("type = \"hvm\"");
+  cfg.push_back(std::string("nestedhvm = ") +
+                (config.nested() ? "1" : "0"));
+  cfg.push_back("vcpus = " + std::to_string(config.vcpus));
+  cfg.push_back("memory = " + std::to_string(config.memory_mb));
+  cfg.push_back("firmware = \"fuzz-harness.efi\"");
+  return cfg;
+}
+
+VcpuConfig XenAdapter::ParseModuleParams(
+    const std::vector<std::string>& params, Arch arch) const {
+  VcpuConfig config = VcpuConfig::Default(arch);
+  for (const std::string& p : params) {
+    if (p == "hap=0") {
+      config.features.Set(
+          arch == Arch::kIntel ? CpuFeature::kEpt : CpuFeature::kNpt, false);
+    }
+    if (p == "apicv=0") {
+      config.features.Set(CpuFeature::kApicRegisterVirt, false);
+    }
+  }
+  config.features = config.features.RestrictedTo(arch);
+  return config;
+}
+
+// --- VirtualBox ---
+
+std::vector<std::string> VboxAdapter::ModuleParams(
+    const VcpuConfig& config) const {
+  return {std::string("--nested-hw-virt ") +
+          (config.nested() ? "on" : "off")};
+}
+
+std::vector<std::string> VboxAdapter::VmCommandLine(
+    const VcpuConfig& config) const {
+  std::vector<std::string> argv = {"VBoxManage", "modifyvm", "fuzz-harness"};
+  argv.push_back(std::string("--nested-hw-virt=") +
+                 (config.nested() ? "on" : "off"));
+  argv.push_back(std::string("--nested-paging=") +
+                 (config.features.Has(CpuFeature::kEpt) ? "on" : "off"));
+  argv.push_back("--cpus=" + std::to_string(config.vcpus));
+  argv.push_back("--memory=" + std::to_string(config.memory_mb));
+  return argv;
+}
+
+VcpuConfig VboxAdapter::ParseModuleParams(
+    const std::vector<std::string>& params, Arch arch) const {
+  VcpuConfig config = VcpuConfig::Default(arch);
+  for (const std::string& p : params) {
+    if (p.find("--nested-hw-virt off") != std::string::npos) {
+      config.features.Set(CpuFeature::kNestedVirt, false);
+    }
+  }
+  return config;
+}
+
+std::unique_ptr<HypervisorAdapter> MakeAdapterFor(std::string_view name) {
+  if (name == "kvm") {
+    return std::make_unique<KvmAdapter>();
+  }
+  if (name == "xen") {
+    return std::make_unique<XenAdapter>();
+  }
+  if (name == "virtualbox") {
+    return std::make_unique<VboxAdapter>();
+  }
+  return nullptr;
+}
+
+}  // namespace neco

@@ -1,0 +1,416 @@
+#include "src/core/harness/harness.h"
+
+#include "src/arch/vmx_bits.h"
+
+namespace neco {
+namespace {
+
+// Interesting operand pools, mirroring the "minimal setup logic" the
+// paper wraps around each exit-triggering template.
+constexpr uint64_t kCr0Pool[] = {
+    0x80000031ULL,                    // PE|ET|NE|PG: normal long mode.
+    0x80000031ULL | Cr0::kCd,         // Cache disabled.
+    0x00000031ULL,                    // Paging off.
+    0x80000030ULL,                    // PG without PE (invalid).
+    0x80000031ULL | Cr0::kNw,         // NW without CD (invalid).
+    0x60000010ULL,                    // CD|NW|ET.
+    ~0ULL,                            // Everything.
+};
+
+constexpr uint64_t kCr4Pool[] = {
+    Cr4::kPae | Cr4::kVmxe,
+    Cr4::kPae,
+    0,
+    Cr4::kPae | Cr4::kVmxe | Cr4::kPcide,
+    Cr4::kVmxe | Cr4::kSmep | Cr4::kSmap,
+    ~0ULL,
+};
+
+constexpr uint32_t kMsrPool[] = {
+    Msr::kIa32Efer,    Msr::kIa32SysenterCs, Msr::kIa32SysenterEsp,
+    Msr::kIa32SysenterEip, Msr::kStar,       Msr::kLstar,
+    Msr::kFsBase,      Msr::kGsBase,         Msr::kKernelGsBase,
+    Msr::kIa32FeatureControl, Msr::kIa32VmxBasic, Msr::kIa32VmxBasic + 2,
+    Msr::kIa32VmxBasic + 0x0b, Msr::kIa32Pat, Msr::kIa32Debugctl,
+    Msr::kVmCr,        0xdeadbeefu,
+};
+
+constexpr uint64_t kValuePool[] = {
+    0,
+    1,
+    0x8000000000000000ULL,  // Non-canonical.
+    0xffff800000000000ULL,  // Canonical, kernel-half.
+    0x00007fffffffffffULL,  // Canonical boundary.
+    0x0000800000000000ULL,  // Just past canonical.
+    ~0ULL,
+    Efer::kLme | Efer::kLma,
+    Efer::kSvme,
+    0x500,
+};
+
+// L2 instruction-template library (Table 1 classes).
+constexpr GuestInsnKind kL2Templates[] = {
+    GuestInsnKind::kCpuid,    GuestInsnKind::kHlt,
+    GuestInsnKind::kRdtsc,    GuestInsnKind::kRdtscp,
+    GuestInsnKind::kRdpmc,    GuestInsnKind::kPause,
+    GuestInsnKind::kRdrand,   GuestInsnKind::kRdseed,
+    GuestInsnKind::kInvd,     GuestInsnKind::kWbinvd,
+    GuestInsnKind::kMovToCr0, GuestInsnKind::kMovToCr3,
+    GuestInsnKind::kMovFromCr3, GuestInsnKind::kMovToCr4,
+    GuestInsnKind::kMovToCr8, GuestInsnKind::kMovToDr,
+    GuestInsnKind::kIoIn,     GuestInsnKind::kIoOut,
+    GuestInsnKind::kRdmsr,    GuestInsnKind::kWrmsr,
+    GuestInsnKind::kInvlpg,   GuestInsnKind::kInvpcid,
+    GuestInsnKind::kMwait,    GuestInsnKind::kMonitor,
+    GuestInsnKind::kVmcall,   GuestInsnKind::kXsetbv,
+    GuestInsnKind::kRaiseException,
+    GuestInsnKind::kMovToCr0Selective,
+};
+
+constexpr GuestInsnKind kL1Templates[] = {
+    GuestInsnKind::kRdmsr,  GuestInsnKind::kWrmsr,
+    GuestInsnKind::kCpuid,  GuestInsnKind::kVmcall,
+    GuestInsnKind::kHlt,
+};
+
+uint64_t PickValue(ByteReader& bytes) {
+  if (bytes.Chance(2, 3)) {
+    return kValuePool[bytes.Below(sizeof(kValuePool) / sizeof(uint64_t))];
+  }
+  return bytes.U64();
+}
+
+// A handful of VMCS fields L1 plausibly rewrites between exits.
+constexpr VmcsField kRuntimeWriteFields[] = {
+    VmcsField::kGuestRip,
+    VmcsField::kGuestRflags,
+    VmcsField::kGuestCr0,
+    VmcsField::kGuestCr4,
+    VmcsField::kGuestActivityState,
+    VmcsField::kGuestInterruptibilityInfo,
+    VmcsField::kCpuBasedVmExecControl,
+    VmcsField::kSecondaryVmExecControl,
+    VmcsField::kExceptionBitmap,
+    VmcsField::kVmEntryIntrInfoField,
+    VmcsField::kVmEntryMsrLoadCount,
+    VmcsField::kEptPointer,
+    VmcsField::kCr0GuestHostMask,
+    VmcsField::kCr0ReadShadow,
+};
+
+constexpr VmcbField kRuntimeVmcbWriteFields[] = {
+    VmcbField::kRip,        VmcbField::kRflags,     VmcbField::kCr0,
+    VmcbField::kCr4,        VmcbField::kEfer,       VmcbField::kVIntr,
+    VmcbField::kInterceptVec3, VmcbField::kInterceptVec4,
+    VmcbField::kGuestAsid,  VmcbField::kNestedCtl,  VmcbField::kNestedCr3,
+    VmcbField::kEventInj,   VmcbField::kCsAttrib,
+};
+
+}  // namespace
+
+GuestInsn ExecutionHarness::PickL2Insn(ByteReader& bytes, Arch arch) const {
+  GuestInsn insn;
+  insn.kind =
+      kL2Templates[bytes.Below(sizeof(kL2Templates) / sizeof(GuestInsnKind))];
+  switch (insn.kind) {
+    case GuestInsnKind::kMovToCr0:
+    case GuestInsnKind::kMovToCr0Selective:
+      insn.arg0 = bytes.Chance(3, 4)
+                      ? kCr0Pool[bytes.Below(sizeof(kCr0Pool) / 8)]
+                      : bytes.U64();
+      break;
+    case GuestInsnKind::kMovToCr4:
+      insn.arg0 = bytes.Chance(3, 4)
+                      ? kCr4Pool[bytes.Below(sizeof(kCr4Pool) / 8)]
+                      : bytes.U64();
+      break;
+    case GuestInsnKind::kMovToCr3:
+    case GuestInsnKind::kInvlpg:
+      insn.arg0 = PickValue(bytes);
+      break;
+    case GuestInsnKind::kMovToCr8:
+      insn.arg0 = bytes.U8() & 0xf;
+      break;
+    case GuestInsnKind::kMovToDr:
+      insn.arg0 = PickValue(bytes);
+      insn.arg1 = bytes.U8() % 8;  // DR number.
+      break;
+    case GuestInsnKind::kIoIn:
+    case GuestInsnKind::kIoOut:
+      insn.arg0 = bytes.U16();
+      insn.arg1 = bytes.U32();
+      break;
+    case GuestInsnKind::kRdmsr:
+    case GuestInsnKind::kWrmsr:
+      insn.arg0 = kMsrPool[bytes.Below(sizeof(kMsrPool) / 4)];
+      insn.arg1 = PickValue(bytes);
+      break;
+    case GuestInsnKind::kCpuid:
+      insn.arg0 = bytes.U8() & 0x1f;  // Leaf.
+      break;
+    case GuestInsnKind::kRaiseException:
+      insn.arg0 = bytes.U8() & 0x1f;   // Vector.
+      insn.arg1 = bytes.U16() & 0x1f;  // #PF-style error code.
+      break;
+    default:
+      insn.arg0 = bytes.U16();
+      break;
+  }
+  return insn;
+}
+
+GuestInsn ExecutionHarness::PickL1Insn(ByteReader& bytes, Arch arch) const {
+  GuestInsn insn;
+  insn.kind =
+      kL1Templates[bytes.Below(sizeof(kL1Templates) / sizeof(GuestInsnKind))];
+  if (insn.kind == GuestInsnKind::kRdmsr ||
+      insn.kind == GuestInsnKind::kWrmsr) {
+    insn.arg0 = kMsrPool[bytes.Below(sizeof(kMsrPool) / 4)];
+    insn.arg1 = PickValue(bytes);
+    if (arch == Arch::kAmd && insn.kind == GuestInsnKind::kWrmsr &&
+        bytes.Chance(1, 2)) {
+      // Keep SVME live most of the time on AMD or nothing runs.
+      insn.arg0 = Msr::kIa32Efer;
+      insn.arg1 |= Efer::kSvme;
+    }
+  }
+  return insn;
+}
+
+void ExecutionHarness::MutateVmxInit(HarnessProgram& prog,
+                                     ByteReader& bytes) const {
+  auto& ops = prog.vmx_init;
+  // Corrupt the region revision occasionally (revision-check path).
+  if (bytes.Chance(1, 12)) {
+    prog.region_revision = bytes.U32();
+  }
+  // Argument perturbations.
+  if (bytes.Chance(1, 8)) {
+    // Misaligned or null vmxon region.
+    ops.front().operand = bytes.Chance(1, 2) ? 0 : 0x1001;
+  }
+  if (bytes.Chance(1, 8)) {
+    // vmptrld of the VMXON pointer (dedicated VMfail).
+    for (auto& op : ops) {
+      if (op.op == VmxOp::kVmptrld) {
+        op.operand = prog.vmxon_pa;
+        break;
+      }
+    }
+  }
+  if (bytes.Chance(1, 8)) {
+    // vmclear of a different (never-loaded) region.
+    VmxInsn extra;
+    extra.op = VmxOp::kVmclear;
+    extra.operand = 0x5000 + (bytes.U8() & 0x7) * 0x1000;
+    ops.insert(ops.begin() + 1 + bytes.Below(2), extra);
+  }
+  // Order perturbation: swap two adjacent setup steps.
+  if (bytes.Chance(1, 6) && ops.size() > 3) {
+    const size_t i = 1 + bytes.Below(2);
+    std::swap(ops[i], ops[i + 1]);
+  }
+  // Step duplication and deletion.
+  if (bytes.Chance(1, 8)) {
+    const size_t i = bytes.Below(ops.size());
+    ops.insert(ops.begin() + i, ops[i]);
+  }
+  if (bytes.Chance(1, 10) && ops.size() > 2) {
+    ops.erase(ops.begin() + bytes.Below(ops.size() - 1));
+  }
+  // Corrupt one vmwrite's field encoding (unsupported-component VMfail).
+  if (bytes.Chance(1, 6)) {
+    for (auto& op : ops) {
+      if (op.op == VmxOp::kVmwrite && bytes.Chance(1, 4)) {
+        op.field = static_cast<VmcsField>(bytes.U16());
+        break;
+      }
+    }
+  }
+  // vmresume before any launch (wrong-launch-state VMfail).
+  if (bytes.Chance(1, 8)) {
+    VmxInsn resume;
+    resume.op = VmxOp::kVmresume;
+    ops.insert(ops.end() - 1, resume);
+  }
+  // Repeated vmlaunch.
+  if (bytes.Chance(1, 8)) {
+    VmxInsn launch;
+    launch.op = VmxOp::kVmlaunch;
+    const unsigned reps = 1 + static_cast<unsigned>(bytes.Below(2));
+    for (unsigned i = 0; i < reps; ++i) {
+      ops.push_back(launch);
+    }
+  }
+  // Stray invept/invvpid.
+  if (bytes.Chance(1, 8)) {
+    VmxInsn inv;
+    inv.op = bytes.Chance(1, 2) ? VmxOp::kInvept : VmxOp::kInvvpid;
+    inv.operand = bytes.U8() & 0x7;
+    ops.insert(ops.begin() + bytes.Below(ops.size()), inv);
+  }
+}
+
+HarnessProgram ExecutionHarness::BuildIntel(ByteReader& bytes,
+                                            const Vmcs& vmcs12) const {
+  HarnessProgram prog;
+
+  // --- Initialization-phase template: the canonical VMX setup sequence.
+  VmxInsn op;
+  op.op = VmxOp::kVmxon;
+  op.operand = prog.vmxon_pa;
+  prog.vmx_init.push_back(op);
+  op.op = VmxOp::kVmclear;
+  op.operand = prog.vmcs12_pa;
+  prog.vmx_init.push_back(op);
+  op.op = VmxOp::kVmptrld;
+  op.operand = prog.vmcs12_pa;
+  prog.vmx_init.push_back(op);
+  // vmwrite every writable field of the generated VMCS12.
+  for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+    if (info.group == VmcsFieldGroup::kReadOnlyData) {
+      continue;
+    }
+    VmxInsn wr;
+    wr.op = VmxOp::kVmwrite;
+    wr.field = info.field;
+    wr.value = vmcs12.Read(info.field);
+    prog.vmx_init.push_back(wr);
+  }
+  op = VmxInsn{};
+  op.op = VmxOp::kVmlaunch;
+  prog.vmx_init.push_back(op);
+
+  if (options_.enabled) {
+    MutateVmxInit(prog, bytes);
+  }
+
+  // --- Runtime phase ---
+  const size_t steps =
+      options_.enabled ? 4 + bytes.Below(12) : 4;
+  for (size_t i = 0; i < steps; ++i) {
+    RuntimeStep step;
+    if (options_.enabled) {
+      step.l2 = PickL2Insn(bytes, Arch::kIntel);
+      const size_t l1n = bytes.Below(3);
+      for (size_t j = 0; j < l1n; ++j) {
+        step.l1_insns.push_back(PickL1Insn(bytes, Arch::kIntel));
+      }
+      const size_t wrn = bytes.Below(3);
+      for (size_t j = 0; j < wrn; ++j) {
+        VmxInsn wr;
+        wr.op = VmxOp::kVmwrite;
+        wr.field = kRuntimeWriteFields[bytes.Below(
+            sizeof(kRuntimeWriteFields) / sizeof(VmcsField))];
+        wr.value = PickValue(bytes);
+        step.l1_vmx_writes.push_back(wr);
+      }
+      step.resume_with_launch = bytes.Chance(1, 10);
+    } else {
+      // Fixed minimal loop for the ablation: cpuid only.
+      step.l2.kind = GuestInsnKind::kCpuid;
+    }
+    prog.runtime.push_back(std::move(step));
+  }
+  return prog;
+}
+
+void ExecutionHarness::MutateSvmInit(HarnessProgram& prog,
+                                     ByteReader& bytes) const {
+  // Skip the EFER.SVME write occasionally (#UD path).
+  if (bytes.Chance(1, 10)) {
+    prog.l1_pre_init.clear();
+  }
+  auto& ops = prog.svm_init;
+  if (bytes.Chance(1, 8)) {
+    // Misaligned VMCB.
+    ops.back().operand = prog.vmcb12_pa | (1 + bytes.Below(0xfff));
+  }
+  if (bytes.Chance(1, 8)) {
+    // Corrupt one VMCB field write.
+    for (auto& o : ops) {
+      if (o.op == SvmOp::kVmcbWrite && bytes.Chance(1, 4)) {
+        o.field = static_cast<VmcbField>(bytes.U8() % kNumVmcbFields);
+        o.value = bytes.U64();
+        break;
+      }
+    }
+  }
+  if (bytes.Chance(1, 8)) {
+    // CLGI/STGI around the run.
+    SvmInsn gi;
+    gi.op = bytes.Chance(1, 2) ? SvmOp::kClgi : SvmOp::kStgi;
+    ops.insert(ops.begin() + bytes.Below(ops.size()), gi);
+  }
+  if (bytes.Chance(1, 8)) {
+    SvmInsn vl;
+    vl.op = bytes.Chance(1, 2) ? SvmOp::kVmload : SvmOp::kVmsave;
+    vl.operand = prog.vmcb12_pa;
+    ops.insert(ops.begin() + bytes.Below(ops.size()), vl);
+  }
+  if (bytes.Chance(1, 10)) {
+    // Double vmrun.
+    SvmInsn run;
+    run.op = SvmOp::kVmrun;
+    run.operand = prog.vmcb12_pa;
+    ops.push_back(run);
+  }
+}
+
+HarnessProgram ExecutionHarness::BuildAmd(ByteReader& bytes,
+                                          const Vmcb& vmcb12) const {
+  HarnessProgram prog;
+
+  // L1 must first enable EFER.SVME.
+  GuestInsn svme;
+  svme.kind = GuestInsnKind::kWrmsr;
+  svme.arg0 = Msr::kIa32Efer;
+  svme.arg1 = Efer::kSvme | Efer::kLme | Efer::kLma;
+  prog.l1_pre_init.push_back(svme);
+
+  // Write the generated VMCB12 into guest memory field by field, then run.
+  for (const VmcbFieldInfo& info : VmcbFieldTable()) {
+    SvmInsn wr;
+    wr.op = SvmOp::kVmcbWrite;
+    wr.operand = prog.vmcb12_pa;
+    wr.field = info.field;
+    wr.value = vmcb12.Read(info.field);
+    prog.svm_init.push_back(wr);
+  }
+  SvmInsn run;
+  run.op = SvmOp::kVmrun;
+  run.operand = prog.vmcb12_pa;
+  prog.svm_init.push_back(run);
+
+  if (options_.enabled) {
+    MutateSvmInit(prog, bytes);
+  }
+
+  const size_t steps = options_.enabled ? 4 + bytes.Below(12) : 4;
+  for (size_t i = 0; i < steps; ++i) {
+    RuntimeStep step;
+    if (options_.enabled) {
+      step.l2 = PickL2Insn(bytes, Arch::kAmd);
+      const size_t l1n = bytes.Below(3);
+      for (size_t j = 0; j < l1n; ++j) {
+        step.l1_insns.push_back(PickL1Insn(bytes, Arch::kAmd));
+      }
+      const size_t wrn = bytes.Below(3);
+      for (size_t j = 0; j < wrn; ++j) {
+        SvmInsn wr;
+        wr.op = SvmOp::kVmcbWrite;
+        wr.operand = prog.vmcb12_pa;
+        wr.field = kRuntimeVmcbWriteFields[bytes.Below(
+            sizeof(kRuntimeVmcbWriteFields) / sizeof(VmcbField))];
+        wr.value = PickValue(bytes);
+        step.l1_svm_writes.push_back(wr);
+      }
+    } else {
+      step.l2.kind = GuestInsnKind::kCpuid;
+    }
+    prog.runtime.push_back(std::move(step));
+  }
+  return prog;
+}
+
+}  // namespace neco

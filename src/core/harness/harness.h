@@ -1,0 +1,89 @@
+// The VM execution harness (paper Sections 3.3 and 4.2).
+//
+// The harness is the program of the fuzz-harness VM: it acts as both the
+// L1 hypervisor (issuing hardware-assisted virtualization instructions
+// that L0 must emulate) and the L2 guest (issuing exit-triggering
+// instructions from the Table 1 template library).
+//
+// Two phases:
+//  * Initialization: a domain-specific template of the standard VMX/SVM
+//    setup sequence (vmxon, vmclear, vmptrld, vmwrite*, vmlaunch — or
+//    EFER.SVME, VMCB writes, vmrun). Fuzzing input mutates instruction
+//    ordering, argument values and repetition counts while preserving the
+//    overall structure, so the sequence-emulation error paths in L0 get
+//    exercised without aborting every run at the first step.
+//  * Runtime: a loop of templated L2 exit-triggering instructions,
+//    followed on each reflected exit by a few L1-context instructions and
+//    VMCS12/VMCB12 re-writes, then a vmresume/vmrun.
+#ifndef SRC_CORE_HARNESS_HARNESS_H_
+#define SRC_CORE_HARNESS_HARNESS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/arch/cpu_features.h"
+#include "src/arch/vmcb.h"
+#include "src/arch/vmcs.h"
+#include "src/hv/guest_insn.h"
+#include "src/support/byte_reader.h"
+
+namespace neco {
+
+// One runtime-phase step: the L2 instruction, and what L1 does if the
+// resulting exit is reflected to it.
+struct RuntimeStep {
+  GuestInsn l2;
+  std::vector<GuestInsn> l1_insns;
+  // L1 may rewrite VM state between exit and re-entry.
+  std::vector<VmxInsn> l1_vmx_writes;
+  std::vector<SvmInsn> l1_svm_writes;
+  // Resume with vmresume (normal) or a structure-violating vmlaunch.
+  bool resume_with_launch = false;
+};
+
+struct HarnessProgram {
+  uint64_t vmxon_pa = 0x1000;
+  uint64_t vmcs12_pa = 0x2000;
+  uint64_t vmcb12_pa = 0x3000;
+  // Guest-memory revision word the harness writes before vmptrld (a
+  // mutation may corrupt it to probe the revision-check path).
+  uint32_t region_revision = Vmcs::kRevisionId;
+
+  std::vector<VmxInsn> vmx_init;
+  std::vector<SvmInsn> svm_init;
+  // AMD init needs the L1 wrmsr that sets EFER.SVME.
+  std::vector<GuestInsn> l1_pre_init;
+
+  std::vector<RuntimeStep> runtime;
+};
+
+struct HarnessOptions {
+  // Table 3 ablation: with the harness component disabled, the fixed
+  // golden template is used verbatim and the runtime loop shrinks to a
+  // fixed minimal instruction set.
+  bool enabled = true;
+};
+
+class ExecutionHarness {
+ public:
+  explicit ExecutionHarness(HarnessOptions options = {})
+      : options_(options) {}
+
+  // Build the Intel program around a generated VMCS12.
+  HarnessProgram BuildIntel(ByteReader& bytes, const Vmcs& vmcs12) const;
+
+  // Build the AMD program around a generated VMCB12.
+  HarnessProgram BuildAmd(ByteReader& bytes, const Vmcb& vmcb12) const;
+
+ private:
+  GuestInsn PickL2Insn(ByteReader& bytes, Arch arch) const;
+  GuestInsn PickL1Insn(ByteReader& bytes, Arch arch) const;
+  void MutateVmxInit(HarnessProgram& prog, ByteReader& bytes) const;
+  void MutateSvmInit(HarnessProgram& prog, ByteReader& bytes) const;
+
+  HarnessOptions options_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_HARNESS_HARNESS_H_

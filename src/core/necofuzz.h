@@ -1,0 +1,29 @@
+// NecoFuzz umbrella header — the public API surface.
+//
+//   #include "src/core/necofuzz.h"
+//
+//   neco::SimKvm kvm;
+//   neco::CampaignOptions options;
+//   options.arch = neco::Arch::kIntel;
+//   options.iterations = 20000;
+//   auto result = neco::RunCampaign(kvm, kvm.vmx_cpu(), kvm.svm_cpu(),
+//                                   options);
+//   // result.final_percent, result.findings, ...
+//
+// See README.md for the architecture overview and examples/ for runnable
+// programs.
+#ifndef SRC_CORE_NECOFUZZ_H_
+#define SRC_CORE_NECOFUZZ_H_
+
+#include "src/core/agent.h"                      // IWYU pragma: export
+#include "src/core/campaign.h"                   // IWYU pragma: export
+#include "src/core/config/configurator.h"        // IWYU pragma: export
+#include "src/core/harness/harness.h"            // IWYU pragma: export
+#include "src/core/validator/oracle.h"           // IWYU pragma: export
+#include "src/core/validator/vmcb_validator.h"   // IWYU pragma: export
+#include "src/core/validator/vmcs_validator.h"   // IWYU pragma: export
+#include "src/hv/sim_kvm/kvm.h"                  // IWYU pragma: export
+#include "src/hv/sim_vbox/vbox.h"                // IWYU pragma: export
+#include "src/hv/sim_xen/xen.h"                  // IWYU pragma: export
+
+#endif  // SRC_CORE_NECOFUZZ_H_

@@ -1,0 +1,60 @@
+// Layout of the 2 KiB fuzzing input.
+//
+// AFL++ hands the agent an opaque 2 KiB buffer; the agent partitions it and
+// dispatches each slice to one VM-generator component (paper Section 3.2):
+// the vCPU configurator, the VM execution harness, the VM state validator
+// (raw VMCS image + boundary-mutation directives), and the MSR-load-area
+// content the harness places in guest memory.
+#ifndef SRC_CORE_PARTITION_H_
+#define SRC_CORE_PARTITION_H_
+
+#include <cstddef>
+
+#include "src/fuzz/mutator.h"
+#include "src/support/byte_reader.h"
+
+namespace neco {
+
+struct InputPartition {
+  static constexpr size_t kConfigOffset = 0;
+  static constexpr size_t kConfigSize = 128;
+  static constexpr size_t kHarnessOffset = 128;
+  static constexpr size_t kHarnessSize = 384;
+  static constexpr size_t kVmcsImageOffset = 512;
+  static constexpr size_t kVmcsImageSize = 1024;  // >= 8000-bit state image.
+  static constexpr size_t kMutationOffset = 1536;
+  static constexpr size_t kMutationSize = 256;
+  static constexpr size_t kMsrAreaOffset = 1792;
+  static constexpr size_t kMsrAreaSize = 256;
+
+  static_assert(kMsrAreaOffset + kMsrAreaSize == kFuzzInputSize,
+                "partition must cover the whole input");
+
+  ByteReader config;
+  ByteReader harness;
+  ByteReader vmcs_image;
+  ByteReader mutation;
+  ByteReader msr_area;
+
+  explicit InputPartition(const FuzzInput& input)
+      : config(Slice(input, kConfigOffset, kConfigSize)),
+        harness(Slice(input, kHarnessOffset, kHarnessSize)),
+        vmcs_image(Slice(input, kVmcsImageOffset, kVmcsImageSize)),
+        mutation(Slice(input, kMutationOffset, kMutationSize)),
+        msr_area(Slice(input, kMsrAreaOffset, kMsrAreaSize)) {}
+
+ private:
+  static ByteReader Slice(const FuzzInput& input, size_t off, size_t len) {
+    if (off >= input.size()) {
+      return ByteReader();
+    }
+    const size_t avail = input.size() - off;
+    return ByteReader(
+        std::span<const uint8_t>(input.data() + off,
+                                 len < avail ? len : avail));
+  }
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_PARTITION_H_

@@ -1,0 +1,91 @@
+#include "src/core/repro/crash_store.h"
+
+#include <fstream>
+
+namespace neco {
+namespace {
+
+std::string SanitizeId(const std::string& id) {
+  std::string out;
+  for (char c : id) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_')
+               ? c
+               : '_';
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+}  // namespace
+
+CrashStore::CrashStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  if (!directory_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+  }
+}
+
+bool CrashStore::Known(const std::string& bug_id) const {
+  for (const CrashRecord& record : records_) {
+    if (record.report.bug_id == bug_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::filesystem::path CrashStore::InputPath(size_t seq,
+                                            const std::string& id) const {
+  return directory_ /
+         (std::to_string(seq) + "-" + SanitizeId(id) + ".input");
+}
+
+std::filesystem::path CrashStore::ReportPath(size_t seq,
+                                             const std::string& id) const {
+  return directory_ /
+         (std::to_string(seq) + "-" + SanitizeId(id) + ".report");
+}
+
+bool CrashStore::Save(const CrashRecord& record) {
+  if (Known(record.report.bug_id)) {
+    return false;
+  }
+  const size_t seq = records_.size();
+  records_.push_back(record);
+  if (directory_.empty()) {
+    return true;
+  }
+  {
+    std::ofstream input(InputPath(seq, record.report.bug_id),
+                        std::ios::binary);
+    input.write(reinterpret_cast<const char*>(record.input.data()),
+                static_cast<std::streamsize>(record.input.size()));
+  }
+  {
+    std::ofstream report(ReportPath(seq, record.report.bug_id));
+    report << "bug_id:     " << record.report.bug_id << "\n"
+           << "detection:  " << AnomalyKindName(record.report.kind) << "\n"
+           << "hypervisor: " << record.hypervisor << "\n"
+           << "arch:       " << record.arch << "\n"
+           << "iteration:  " << record.iteration << "\n"
+           << "message:    " << record.report.message << "\n";
+  }
+  return true;
+}
+
+std::optional<FuzzInput> CrashStore::LoadInput(size_t seq) const {
+  if (seq >= records_.size() || directory_.empty()) {
+    return std::nullopt;
+  }
+  std::ifstream input(InputPath(seq, records_[seq].report.bug_id),
+                      std::ios::binary);
+  if (!input) {
+    return std::nullopt;
+  }
+  FuzzInput data((std::istreambuf_iterator<char>(input)),
+                 std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace neco

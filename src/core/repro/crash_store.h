@@ -1,0 +1,58 @@
+// Crash-report persistence (paper Section 4.5): "the agent saves the
+// current fuzzing input to a timestamped file within a designated
+// directory specified in its configuration", so findings survive the
+// campaign for reproduction.
+//
+// Each saved report is a pair of files under the store directory:
+//   <seq>-<bug_id>.input   — the raw 2 KiB fuzzing input
+//   <seq>-<bug_id>.report  — human-readable metadata (kind, message,
+//                            hypervisor, architecture, iteration)
+#ifndef SRC_CORE_REPRO_CRASH_STORE_H_
+#define SRC_CORE_REPRO_CRASH_STORE_H_
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/mutator.h"
+#include "src/hv/sanitizer.h"
+
+namespace neco {
+
+struct CrashRecord {
+  AnomalyReport report;
+  FuzzInput input;
+  std::string hypervisor;
+  std::string arch;
+  uint64_t iteration = 0;
+};
+
+class CrashStore {
+ public:
+  // In-memory only when `directory` is empty.
+  explicit CrashStore(std::filesystem::path directory = {});
+
+  // Records a finding; returns false if the bug id is already known
+  // (deduplication), true if this is a new finding.
+  bool Save(const CrashRecord& record);
+
+  const std::vector<CrashRecord>& records() const { return records_; }
+  bool Known(const std::string& bug_id) const;
+
+  // Reload a persisted input by sequence number (round-trip support).
+  std::optional<FuzzInput> LoadInput(size_t seq) const;
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+ private:
+  std::filesystem::path InputPath(size_t seq, const std::string& id) const;
+  std::filesystem::path ReportPath(size_t seq, const std::string& id) const;
+
+  std::filesystem::path directory_;
+  std::vector<CrashRecord> records_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_REPRO_CRASH_STORE_H_

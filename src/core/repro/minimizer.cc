@@ -1,0 +1,102 @@
+#include "src/core/repro/minimizer.h"
+
+#include <algorithm>
+
+#include "src/core/partition.h"
+
+namespace neco {
+
+size_t CountNonZero(const FuzzInput& input) {
+  size_t n = 0;
+  for (uint8_t b : input) {
+    n += b != 0;
+  }
+  return n;
+}
+
+bool InputMinimizer::StillTriggers(const FuzzInput& input,
+                                   const std::string& bug_id,
+                                   uint64_t max_probes) {
+  if (probes_ >= max_probes) {
+    return false;  // Budget exhausted: treat as "don't apply".
+  }
+  ++probes_;
+  return probe_(input) == bug_id;
+}
+
+MinimizeResult InputMinimizer::Minimize(const FuzzInput& crashing,
+                                        const std::string& bug_id,
+                                        uint64_t max_probes) {
+  MinimizeResult result;
+  result.nonzero_bytes_before = CountNonZero(crashing);
+  probes_ = 0;
+  FuzzInput current = crashing;
+
+  // Stage 1: blank whole component partitions.
+  struct Slice {
+    size_t offset;
+    size_t size;
+  };
+  constexpr Slice kSlices[] = {
+      {InputPartition::kHarnessOffset, InputPartition::kHarnessSize},
+      {InputPartition::kMsrAreaOffset, InputPartition::kMsrAreaSize},
+      {InputPartition::kMutationOffset, InputPartition::kMutationSize},
+      {InputPartition::kConfigOffset, InputPartition::kConfigSize},
+      {InputPartition::kVmcsImageOffset, InputPartition::kVmcsImageSize},
+  };
+  for (const Slice& slice : kSlices) {
+    FuzzInput candidate = current;
+    const size_t end = std::min(candidate.size(), slice.offset + slice.size);
+    for (size_t i = slice.offset; i < end; ++i) {
+      candidate[i] = 0;
+    }
+    if (StillTriggers(candidate, bug_id, max_probes)) {
+      current = std::move(candidate);
+    }
+  }
+
+  // Stage 2: ddmin-style block zeroing, halving block size.
+  for (size_t block = current.size() / 2; block >= 8; block /= 2) {
+    bool progress = true;
+    while (progress && probes_ < max_probes) {
+      progress = false;
+      for (size_t start = 0; start + block <= current.size();
+           start += block) {
+        // Skip already-zero blocks.
+        bool all_zero = true;
+        for (size_t i = start; i < start + block; ++i) {
+          all_zero &= current[i] == 0;
+        }
+        if (all_zero) {
+          continue;
+        }
+        FuzzInput candidate = current;
+        std::fill(candidate.begin() + static_cast<long>(start),
+                  candidate.begin() + static_cast<long>(start + block), 0);
+        if (StillTriggers(candidate, bug_id, max_probes)) {
+          current = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  // Stage 3: single-byte sweep.
+  for (size_t i = 0; i < current.size() && probes_ < max_probes; ++i) {
+    if (current[i] == 0) {
+      continue;
+    }
+    FuzzInput candidate = current;
+    candidate[i] = 0;
+    if (StillTriggers(candidate, bug_id, max_probes)) {
+      current = std::move(candidate);
+    }
+  }
+
+  result.input = std::move(current);
+  result.nonzero_bytes_after = CountNonZero(result.input);
+  result.probes = probes_;
+  return result;
+}
+
+}  // namespace neco

@@ -1,0 +1,57 @@
+// Crash-input minimization for manual analysis (paper Section 4.5: saved
+// inputs exist so that "any crashes or unique behaviours can be reliably
+// reproduced for subsequent manual analysis and debugging" — this module
+// automates the first analysis step).
+//
+// The minimizer shrinks a 2 KiB crashing input towards a canonical form
+// while preserving the triggered bug id:
+//   1. partition zeroing — blank whole component slices that are not
+//      needed (often the harness slice is irrelevant to a state bug),
+//   2. block zeroing — ddmin-style halving over the remaining bytes,
+//   3. byte sweep — zero single bytes left to right.
+// The result is an input where every nonzero byte is load-bearing, which
+// maps directly onto the triggering VM-state fields.
+#ifndef SRC_CORE_REPRO_MINIMIZER_H_
+#define SRC_CORE_REPRO_MINIMIZER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/fuzz/mutator.h"
+
+namespace neco {
+
+// Re-executes an input and reports which bug id (if any) it triggers.
+// Must be deterministic for minimization to converge.
+using BugProbe = std::function<std::string(const FuzzInput&)>;
+
+struct MinimizeResult {
+  FuzzInput input;
+  size_t nonzero_bytes_before = 0;
+  size_t nonzero_bytes_after = 0;
+  uint64_t probes = 0;
+};
+
+class InputMinimizer {
+ public:
+  explicit InputMinimizer(BugProbe probe) : probe_(std::move(probe)) {}
+
+  // Minimize `crashing` while preserving `bug_id`. `max_probes` bounds the
+  // work (each probe is one full VM execution).
+  MinimizeResult Minimize(const FuzzInput& crashing,
+                          const std::string& bug_id,
+                          uint64_t max_probes = 4096);
+
+ private:
+  bool StillTriggers(const FuzzInput& input, const std::string& bug_id,
+                     uint64_t max_probes);
+
+  BugProbe probe_;
+  uint64_t probes_ = 0;
+};
+
+size_t CountNonZero(const FuzzInput& input);
+
+}  // namespace neco
+
+#endif  // SRC_CORE_REPRO_MINIMIZER_H_

@@ -1,0 +1,121 @@
+#include "src/core/validator/oracle.h"
+
+#include "src/fuzz/mutator.h"
+#include "src/support/byte_reader.h"
+
+namespace neco {
+
+bool VmxHardwareOracle::VerifyOnce(const Vmcs& candidate) {
+  ++stats_.comparisons;
+  const ViolationList predicted = validator_.Validate(candidate);
+
+  Vmcs hw_state = candidate;
+  hw_state.set_launch_state(Vmcs::LaunchState::kClear);
+  const EntryOutcome hw = cpu_.TryEntry(hw_state, /*launch=*/true);
+
+  bool agreed = true;
+  if (hw.entered() && !predicted.empty()) {
+    // The model rejected a state silicon accepts: the model over-enforces a
+    // documented-but-unimplemented constraint. Suppress it.
+    agreed = false;
+    ++stats_.verdict_mismatches;
+    validator_.quirks().suppressed_checks.insert(predicted.front());
+    ++stats_.checks_suppressed;
+  } else if (!hw.entered() && predicted.empty()) {
+    // The model missed a constraint silicon enforces. There is no generic
+    // automatic repair; record the gap (in this repository's model the
+    // hardware check set is a subset of the spec model, so this indicates
+    // a genuine validator bug — tests inject such bugs deliberately).
+    agreed = false;
+    ++stats_.verdict_mismatches;
+  }
+
+  if (hw.entered()) {
+    // Compare post-entry state against the prediction and learn silent
+    // fixups one at a time.
+    Vmcs predicted_state = validator_.PredictPostEntryState(candidate);
+    predicted_state.set_launch_state(hw_state.launch_state());
+    if (!(predicted_state == hw_state)) {
+      agreed = false;
+      ++stats_.state_mismatches;
+      for (size_t i = 0; i < static_cast<size_t>(VmxFixupId::kCount); ++i) {
+        const auto fixup = static_cast<VmxFixupId>(i);
+        if (validator_.quirks().learned_fixups.count(fixup) != 0) {
+          continue;
+        }
+        Vmcs trial = predicted_state;
+        ApplyVmxFixup(fixup, trial);
+        if (trial == hw_state) {
+          validator_.quirks().learned_fixups.insert(fixup);
+          ++stats_.fixups_learned;
+          break;
+        }
+        // A single fixup may not close the gap alone; try accumulating.
+        ApplyVmxFixup(fixup, predicted_state);
+        if (predicted_state == hw_state) {
+          validator_.quirks().learned_fixups.insert(fixup);
+          ++stats_.fixups_learned;
+          break;
+        }
+      }
+    }
+  }
+  return agreed;
+}
+
+uint64_t VmxHardwareOracle::Calibrate(Rng& rng, size_t n) {
+  uint64_t mismatches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    FuzzInput image = MakeRandomInput(rng);
+    FuzzInput directive = MakeRandomInput(rng);
+    ByteReader image_reader(image);
+    ByteReader directive_reader(directive);
+    const Vmcs candidate =
+        validator_.GenerateBoundaryState(image_reader, directive_reader);
+    if (!VerifyOnce(candidate)) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+bool SvmHardwareOracle::VerifyOnce(const Vmcb& candidate) {
+  ++stats_.comparisons;
+  const ViolationList predicted = validator_.Validate(candidate);
+
+  Vmcb hw_state = candidate;
+  const bool saved_svme = cpu_.svme();
+  cpu_.set_svme(true);
+  const VmrunOutcome hw = cpu_.Vmrun(hw_state);
+  cpu_.set_svme(saved_svme);
+
+  bool agreed = true;
+  if (hw.entered() && !predicted.empty()) {
+    agreed = false;
+    ++stats_.verdict_mismatches;
+    validator_.quirks().suppressed_checks.insert(predicted.front());
+    ++stats_.checks_suppressed;
+  } else if (!hw.entered() && predicted.empty()) {
+    agreed = false;
+    ++stats_.verdict_mismatches;
+  }
+  return agreed;
+}
+
+uint64_t SvmHardwareOracle::Calibrate(Rng& rng, size_t n) {
+  uint64_t mismatches = 0;
+  for (size_t i = 0; i < n; ++i) {
+    FuzzInput image = MakeRandomInput(rng);
+    FuzzInput directive = MakeRandomInput(rng);
+    ByteReader image_reader(image);
+    ByteReader directive_reader(directive);
+    const Vmcb candidate =
+        validator_.GenerateBoundaryState(image_reader, directive_reader);
+    if (!VerifyOnce(candidate)) {
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace neco

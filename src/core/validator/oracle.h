@@ -1,0 +1,69 @@
+// Hardware-as-oracle self-correction (paper Section 3.4).
+//
+// The validator's specification model is necessarily approximate: the
+// manual documents constraints real CPUs do not enforce, CPUs silently
+// round some fields, and some behaviour is undocumented outright. The
+// oracle sets candidate states on the (simulated) physical CPU, attempts a
+// VM entry, and compares both the verdict and the post-entry state with
+// the validator's prediction. Mismatches are folded back into the
+// validator's quirk table, so the model converges onto real hardware
+// behaviour at runtime — "verifying a component of the fuzzer itself".
+#ifndef SRC_CORE_VALIDATOR_ORACLE_H_
+#define SRC_CORE_VALIDATOR_ORACLE_H_
+
+#include "src/core/validator/vmcb_validator.h"
+#include "src/core/validator/vmcs_validator.h"
+#include "src/cpu/svm_cpu.h"
+#include "src/cpu/vmx_cpu.h"
+#include "src/support/rng.h"
+
+namespace neco {
+
+struct OracleStats {
+  uint64_t comparisons = 0;
+  uint64_t verdict_mismatches = 0;  // Valid/invalid disagreement.
+  uint64_t state_mismatches = 0;    // Post-entry field disagreement.
+  uint64_t checks_suppressed = 0;   // Quirks learned: over-strict checks.
+  uint64_t fixups_learned = 0;      // Quirks learned: silent roundings.
+};
+
+class VmxHardwareOracle {
+ public:
+  VmxHardwareOracle(VmxCpu& cpu, VmcsValidator& validator)
+      : cpu_(cpu), validator_(validator) {}
+
+  // Compare prediction vs. hardware for one candidate state, learning
+  // quirks on mismatch. Returns true if prediction and hardware agreed.
+  bool VerifyOnce(const Vmcs& candidate);
+
+  // Calibration pass: run `n` boundary states derived from `rng` through
+  // VerifyOnce. Returns the number of mismatches encountered (expected to
+  // fall to zero as the quirk table fills).
+  uint64_t Calibrate(Rng& rng, size_t n);
+
+  const OracleStats& stats() const { return stats_; }
+
+ private:
+  VmxCpu& cpu_;
+  VmcsValidator& validator_;
+  OracleStats stats_;
+};
+
+class SvmHardwareOracle {
+ public:
+  SvmHardwareOracle(SvmCpu& cpu, VmcbValidator& validator)
+      : cpu_(cpu), validator_(validator) {}
+
+  bool VerifyOnce(const Vmcb& candidate);
+  uint64_t Calibrate(Rng& rng, size_t n);
+  const OracleStats& stats() const { return stats_; }
+
+ private:
+  SvmCpu& cpu_;
+  VmcbValidator& validator_;
+  OracleStats stats_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_VALIDATOR_ORACLE_H_

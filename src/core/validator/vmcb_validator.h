@@ -1,0 +1,43 @@
+// The VM state validator — AMD side.
+//
+// Same recipe as the Intel validator, over the VMCB and the APM's VMRUN
+// consistency rules: judge (Validate), round to a VMRUN-able state
+// (RoundToValid), and perturb back across the boundary (BoundaryMutate).
+#ifndef SRC_CORE_VALIDATOR_VMCB_VALIDATOR_H_
+#define SRC_CORE_VALIDATOR_VMCB_VALIDATOR_H_
+
+#include <set>
+
+#include "src/arch/vmcb.h"
+#include "src/cpu/svm_checks.h"
+#include "src/support/byte_reader.h"
+
+namespace neco {
+
+struct SvmQuirkTable {
+  std::set<CheckId> suppressed_checks;
+};
+
+class VmcbValidator {
+ public:
+  explicit VmcbValidator(SvmCaps caps = SvmCaps{});
+
+  const SvmCaps& caps() const { return caps_; }
+  void set_caps(SvmCaps caps) { caps_ = caps; }
+
+  ViolationList Validate(const Vmcb& vmcb) const;
+  Vmcb RoundToValid(const Vmcb& raw) const;
+  void BoundaryMutate(Vmcb& vmcb, ByteReader& directives) const;
+  Vmcb GenerateBoundaryState(ByteReader& image, ByteReader& directives) const;
+
+  SvmQuirkTable& quirks() { return quirks_; }
+  const SvmQuirkTable& quirks() const { return quirks_; }
+
+ private:
+  SvmCaps caps_;
+  SvmQuirkTable quirks_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_VALIDATOR_VMCB_VALIDATOR_H_

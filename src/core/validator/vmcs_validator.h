@@ -1,0 +1,83 @@
+// The VM state validator (paper Sections 3.4 and 4.3) — Intel side.
+//
+// The validator embodies an approximate model of the VT-x specification
+// (the role Bochs's VMenterLoadCheck* routines play in the original): it
+// can judge a VMCS (Validate), round an arbitrary VMCS to a specification-
+// compliant one (RoundToValid), and then perturb the rounded state back
+// across the validity boundary with targeted bit flips (BoundaryMutate).
+//
+// Rounding is sequential over the three field groups — control fields,
+// host-state fields, guest-state fields — with intra-group corrections
+// first and inter-group constraints resolved against already-processed
+// groups, exactly as Section 4.3 describes; dependencies form a DAG, so a
+// single pass converges.
+//
+// The quirk table records deviations between this model and real hardware
+// learned by the oracle (Section 3.4): checks silicon does not enforce and
+// silent post-entry fixups silicon applies.
+#ifndef SRC_CORE_VALIDATOR_VMCS_VALIDATOR_H_
+#define SRC_CORE_VALIDATOR_VMCS_VALIDATOR_H_
+
+#include <set>
+
+#include "src/arch/vmcs.h"
+#include "src/arch/vmx_caps.h"
+#include "src/cpu/vmx_checks.h"
+#include "src/support/byte_reader.h"
+
+namespace neco {
+
+struct VmxQuirkTable {
+  std::set<CheckId> suppressed_checks;
+  std::set<VmxFixupId> learned_fixups;
+};
+
+class VmcsValidator {
+ public:
+  explicit VmcsValidator(VmxCapabilities caps);
+
+  const VmxCapabilities& caps() const { return caps_; }
+
+  // Retarget the capability model (e.g. after a vCPU reconfiguration)
+  // while preserving the learned quirk table.
+  void set_caps(VmxCapabilities caps) { caps_ = std::move(caps); }
+
+  // Full specification-model validity check, with quirk-table suppression
+  // applied. Empty result means "the model predicts VM entry succeeds".
+  ViolationList Validate(const Vmcs& vmcs) const;
+
+  // Predict the post-entry VMCS state (silent hardware fixups from the
+  // quirk table applied), for oracle comparison.
+  Vmcs PredictPostEntryState(const Vmcs& vmcs) const;
+
+  // Round an arbitrary VMCS to a specification-compliant state.
+  Vmcs RoundToValid(const Vmcs& raw) const;
+
+  // Flip 1..3 fields x 1..8 bits, bounded by each field's width, biased
+  // toward security-critical fields (controls, access rights, activity /
+  // interruptibility state). Read-only fields are never touched.
+  void BoundaryMutate(Vmcs& vmcs, ByteReader& directives) const;
+
+  // raw-bytes -> rounded -> boundary-mutated, the full generation recipe.
+  Vmcs GenerateBoundaryState(ByteReader& image, ByteReader& directives) const;
+
+  VmxQuirkTable& quirks() { return quirks_; }
+  const VmxQuirkTable& quirks() const { return quirks_; }
+
+  // Rounding stages, exposed for tests (sequential group order).
+  void RoundControls(Vmcs& v) const;
+  void RoundHostState(Vmcs& v) const;
+  void RoundGuestState(Vmcs& v) const;
+
+ private:
+  VmxCapabilities caps_;
+  VmxQuirkTable quirks_;
+};
+
+// Sign-extend bit 47 so the address becomes canonical while preserving the
+// low 48 bits (the validator's canonical-rounding primitive).
+uint64_t Canonicalize(uint64_t addr);
+
+}  // namespace neco
+
+#endif  // SRC_CORE_VALIDATOR_VMCS_VALIDATOR_H_

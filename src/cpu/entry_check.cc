@@ -1,0 +1,164 @@
+#include "src/cpu/entry_check.h"
+
+namespace neco {
+
+std::string_view CheckIdName(CheckId id) {
+  switch (id) {
+    case CheckId::kNone: return "none";
+    case CheckId::kPinBasedReserved: return "pin_based_reserved";
+    case CheckId::kProcBasedReserved: return "proc_based_reserved";
+    case CheckId::kProc2Reserved: return "proc2_reserved";
+    case CheckId::kCr3TargetCountRange: return "cr3_target_count_range";
+    case CheckId::kIoBitmapAlignment: return "io_bitmap_alignment";
+    case CheckId::kMsrBitmapAlignment: return "msr_bitmap_alignment";
+    case CheckId::kTprShadowVirtApicPage: return "tpr_shadow_virt_apic_page";
+    case CheckId::kTprThresholdReserved: return "tpr_threshold_reserved";
+    case CheckId::kTprThresholdVsVtpr: return "tpr_threshold_vs_vtpr";
+    case CheckId::kNmiCtlConsistency: return "nmi_ctl_consistency";
+    case CheckId::kVirtualNmiWindowConsistency:
+      return "virtual_nmi_window_consistency";
+    case CheckId::kVirtX2apicExclusive: return "virt_x2apic_exclusive";
+    case CheckId::kVirtIntrDeliveryNeedsExtInt:
+      return "virt_intr_delivery_needs_ext_int";
+    case CheckId::kPostedIntrRequirements: return "posted_intr_requirements";
+    case CheckId::kPostedIntrDescAlignment:
+      return "posted_intr_desc_alignment";
+    case CheckId::kVpidNonZero: return "vpid_non_zero";
+    case CheckId::kEptpMemType: return "eptp_mem_type";
+    case CheckId::kEptpWalkLength: return "eptp_walk_length";
+    case CheckId::kEptpReservedBits: return "eptp_reserved_bits";
+    case CheckId::kEptpAccessDirty: return "eptp_access_dirty";
+    case CheckId::kEptpAddressRange: return "eptp_address_range";
+    case CheckId::kUnrestrictedGuestNeedsEpt:
+      return "unrestricted_guest_needs_ept";
+    case CheckId::kPmlRequirements: return "pml_requirements";
+    case CheckId::kVmfuncRequirements: return "vmfunc_requirements";
+    case CheckId::kVmcsShadowBitmapAlignment:
+      return "vmcs_shadow_bitmap_alignment";
+    case CheckId::kExitCtlReserved: return "exit_ctl_reserved";
+    case CheckId::kEntryCtlReserved: return "entry_ctl_reserved";
+    case CheckId::kExitMsrStoreArea: return "exit_msr_store_area";
+    case CheckId::kExitMsrLoadArea: return "exit_msr_load_area";
+    case CheckId::kEntryMsrLoadArea: return "entry_msr_load_area";
+    case CheckId::kEntryMsrLoadCountRange: return "entry_msr_load_count_range";
+    case CheckId::kEntryIntrInfoType: return "entry_intr_info_type";
+    case CheckId::kEntryIntrInfoVector: return "entry_intr_info_vector";
+    case CheckId::kEntryIntrInfoErrorCode: return "entry_intr_info_error_code";
+    case CheckId::kEntryInstructionLength: return "entry_instruction_length";
+    case CheckId::kPreemptionTimerSaveNeedsEnable:
+      return "preemption_timer_save_needs_enable";
+    case CheckId::kHostCr0Fixed: return "host_cr0_fixed";
+    case CheckId::kHostCr4Fixed: return "host_cr4_fixed";
+    case CheckId::kHostCr3Range: return "host_cr3_range";
+    case CheckId::kHostCanonicalBase: return "host_canonical_base";
+    case CheckId::kHostSysenterCanonical: return "host_sysenter_canonical";
+    case CheckId::kHostSelectorRplTi: return "host_selector_rpl_ti";
+    case CheckId::kHostCsNotNull: return "host_cs_not_null";
+    case CheckId::kHostTrNotNull: return "host_tr_not_null";
+    case CheckId::kHostSsNotNull: return "host_ss_not_null";
+    case CheckId::kHostAddrSpaceConsistency:
+      return "host_addr_space_consistency";
+    case CheckId::kHostEferReserved: return "host_efer_reserved";
+    case CheckId::kHostEferLmaLme: return "host_efer_lma_lme";
+    case CheckId::kHostPatValidity: return "host_pat_validity";
+    case CheckId::kHostRipCanonical: return "host_rip_canonical";
+    case CheckId::kGuestCr0Fixed: return "guest_cr0_fixed";
+    case CheckId::kGuestCr0PgWithoutPe: return "guest_cr0_pg_without_pe";
+    case CheckId::kGuestCr0NwWithoutCd: return "guest_cr0_nw_without_cd";
+    case CheckId::kGuestCr0Reserved: return "guest_cr0_reserved";
+    case CheckId::kGuestCr4Fixed: return "guest_cr4_fixed";
+    case CheckId::kGuestCr4Reserved: return "guest_cr4_reserved";
+    case CheckId::kGuestCr3Range: return "guest_cr3_range";
+    case CheckId::kGuestCr4PaeForIa32e: return "guest_cr4_pae_for_ia32e";
+    case CheckId::kGuestPcideWithoutIa32e: return "guest_pcide_without_ia32e";
+    case CheckId::kGuestDebugctlReserved: return "guest_debugctl_reserved";
+    case CheckId::kGuestDr7High32: return "guest_dr7_high32";
+    case CheckId::kGuestEferReserved: return "guest_efer_reserved";
+    case CheckId::kGuestEferLmaVsEntryCtl:
+      return "guest_efer_lma_vs_entry_ctl";
+    case CheckId::kGuestEferLmaVsLme: return "guest_efer_lma_vs_lme";
+    case CheckId::kGuestPatValidity: return "guest_pat_validity";
+    case CheckId::kGuestRflagsReserved: return "guest_rflags_reserved";
+    case CheckId::kGuestRflagsVmInIa32e: return "guest_rflags_vm_in_ia32e";
+    case CheckId::kGuestRflagsIfForExtInt:
+      return "guest_rflags_if_for_ext_int";
+    case CheckId::kGuestV86SegmentInvariants:
+      return "guest_v86_segment_invariants";
+    case CheckId::kGuestTrUsable: return "guest_tr_usable";
+    case CheckId::kGuestTrType: return "guest_tr_type";
+    case CheckId::kGuestTrTiFlag: return "guest_tr_ti_flag";
+    case CheckId::kGuestLdtrType: return "guest_ldtr_type";
+    case CheckId::kGuestCsType: return "guest_cs_type";
+    case CheckId::kGuestCsDplVsSs: return "guest_cs_dpl_vs_ss";
+    case CheckId::kGuestCsLAndDb: return "guest_cs_l_and_db";
+    case CheckId::kGuestSsType: return "guest_ss_type";
+    case CheckId::kGuestSsRplVsCs: return "guest_ss_rpl_vs_cs";
+    case CheckId::kGuestSsDpl: return "guest_ss_dpl";
+    case CheckId::kGuestDataSegType: return "guest_data_seg_type";
+    case CheckId::kGuestDataSegDpl: return "guest_data_seg_dpl";
+    case CheckId::kGuestSegNullUsable: return "guest_seg_null_usable";
+    case CheckId::kGuestSegBaseCanonical: return "guest_seg_base_canonical";
+    case CheckId::kGuestSegBaseHigh32: return "guest_seg_base_high32";
+    case CheckId::kGuestSegLimitGranularity:
+      return "guest_seg_limit_granularity";
+    case CheckId::kGuestSegArReserved: return "guest_seg_ar_reserved";
+    case CheckId::kGuestGdtrIdtrCanonical: return "guest_gdtr_idtr_canonical";
+    case CheckId::kGuestGdtrIdtrLimit: return "guest_gdtr_idtr_limit";
+    case CheckId::kGuestRipHigh32: return "guest_rip_high32";
+    case CheckId::kGuestRipCanonical: return "guest_rip_canonical";
+    case CheckId::kGuestActivityStateRange:
+      return "guest_activity_state_range";
+    case CheckId::kGuestActivityStateSupported:
+      return "guest_activity_state_supported";
+    case CheckId::kGuestActivityVsInterruptibility:
+      return "guest_activity_vs_interruptibility";
+    case CheckId::kGuestActivityVsEventInjection:
+      return "guest_activity_vs_event_injection";
+    case CheckId::kGuestInterruptibilityReserved:
+      return "guest_interruptibility_reserved";
+    case CheckId::kGuestStiMovssExclusive:
+      return "guest_sti_movss_exclusive";
+    case CheckId::kGuestStiWithIfClear: return "guest_sti_with_if_clear";
+    case CheckId::kGuestPendingDbgReserved:
+      return "guest_pending_dbg_reserved";
+    case CheckId::kGuestPendingDbgBsVsTf: return "guest_pending_dbg_bs_vs_tf";
+    case CheckId::kGuestVmcsLinkPointer: return "guest_vmcs_link_pointer";
+    case CheckId::kGuestPdpteReserved: return "guest_pdpte_reserved";
+    case CheckId::kSvmEferSvme: return "svm_efer_svme";
+    case CheckId::kSvmCr0CdNw: return "svm_cr0_cd_nw";
+    case CheckId::kSvmCr0High32: return "svm_cr0_high32";
+    case CheckId::kSvmCr3Mbz: return "svm_cr3_mbz";
+    case CheckId::kSvmCr4Mbz: return "svm_cr4_mbz";
+    case CheckId::kSvmEferMbz: return "svm_efer_mbz";
+    case CheckId::kSvmLongModeNeedsPae: return "svm_long_mode_needs_pae";
+    case CheckId::kSvmLongModeNeedsPe: return "svm_long_mode_needs_pe";
+    case CheckId::kSvmLongModeCsLandD: return "svm_long_mode_cs_l_and_d";
+    case CheckId::kSvmDr6High32: return "svm_dr6_high32";
+    case CheckId::kSvmDr7High32: return "svm_dr7_high32";
+    case CheckId::kSvmAsidZero: return "svm_asid_zero";
+    case CheckId::kSvmVmrunInterceptClear: return "svm_vmrun_intercept_clear";
+    case CheckId::kSvmIopmAddressRange: return "svm_iopm_address_range";
+    case CheckId::kSvmMsrpmAddressRange: return "svm_msrpm_address_range";
+    case CheckId::kSvmEventInjValidity: return "svm_event_inj_validity";
+    case CheckId::kSvmNestedCr3Mbz: return "svm_nested_cr3_mbz";
+    case CheckId::kSvmLmeWithoutPg: return "svm_lme_without_pg";
+    case CheckId::kCount: return "<count>";
+  }
+  return "<unknown>";
+}
+
+CheckClass ClassOfCheck(CheckId id) {
+  const auto raw = static_cast<uint16_t>(id);
+  if (raw >= static_cast<uint16_t>(CheckId::kSvmEferSvme)) {
+    return CheckClass::kSvm;
+  }
+  if (raw >= static_cast<uint16_t>(CheckId::kGuestCr0Fixed)) {
+    return CheckClass::kGuestState;
+  }
+  if (raw >= static_cast<uint16_t>(CheckId::kHostCr0Fixed)) {
+    return CheckClass::kHostState;
+  }
+  return CheckClass::kControl;
+}
+
+}  // namespace neco

@@ -1,0 +1,175 @@
+// VM-entry / VMRUN consistency-check identities.
+//
+// Every architectural check the simulated physical CPU (and the validator's
+// specification model) can perform has a stable identity. The hardware
+// oracle compares *which* check fired against the validator's prediction;
+// mismatches are the "undocumented behaviour" surface the paper's
+// hardware-as-oracle loop exists to discover (Section 3.4).
+#ifndef SRC_CPU_ENTRY_CHECK_H_
+#define SRC_CPU_ENTRY_CHECK_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace neco {
+
+enum class CheckId : uint16_t {
+  kNone = 0,
+  // --- VM-execution control checks (SDM 27.2.1) ---
+  kPinBasedReserved,
+  kProcBasedReserved,
+  kProc2Reserved,
+  kCr3TargetCountRange,
+  kIoBitmapAlignment,
+  kMsrBitmapAlignment,
+  kTprShadowVirtApicPage,
+  kTprThresholdReserved,
+  kTprThresholdVsVtpr,
+  kNmiCtlConsistency,
+  kVirtualNmiWindowConsistency,
+  kVirtX2apicExclusive,
+  kVirtIntrDeliveryNeedsExtInt,
+  kPostedIntrRequirements,
+  kPostedIntrDescAlignment,
+  kVpidNonZero,
+  kEptpMemType,
+  kEptpWalkLength,
+  kEptpReservedBits,
+  kEptpAccessDirty,
+  kEptpAddressRange,
+  kUnrestrictedGuestNeedsEpt,
+  kPmlRequirements,
+  kVmfuncRequirements,
+  kVmcsShadowBitmapAlignment,
+  kExitCtlReserved,
+  kEntryCtlReserved,
+  kExitMsrStoreArea,
+  kExitMsrLoadArea,
+  kEntryMsrLoadArea,
+  kEntryMsrLoadCountRange,
+  kEntryIntrInfoType,
+  kEntryIntrInfoVector,
+  kEntryIntrInfoErrorCode,
+  kEntryInstructionLength,
+  kPreemptionTimerSaveNeedsEnable,
+  // --- Host-state checks (SDM 27.2.2) ---
+  kHostCr0Fixed,
+  kHostCr4Fixed,
+  kHostCr3Range,
+  kHostCanonicalBase,
+  kHostSysenterCanonical,
+  kHostSelectorRplTi,
+  kHostCsNotNull,
+  kHostTrNotNull,
+  kHostSsNotNull,
+  kHostAddrSpaceConsistency,
+  kHostEferReserved,
+  kHostEferLmaLme,
+  kHostPatValidity,
+  kHostRipCanonical,
+  // --- Guest-state checks (SDM 27.3.1) ---
+  kGuestCr0Fixed,
+  kGuestCr0PgWithoutPe,
+  kGuestCr0NwWithoutCd,
+  kGuestCr0Reserved,
+  kGuestCr4Fixed,
+  kGuestCr4Reserved,
+  kGuestCr3Range,
+  kGuestCr4PaeForIa32e,     // Documented; real CPUs do not enforce (quirk).
+  kGuestPcideWithoutIa32e,
+  kGuestDebugctlReserved,
+  kGuestDr7High32,
+  kGuestEferReserved,
+  kGuestEferLmaVsEntryCtl,
+  kGuestEferLmaVsLme,
+  kGuestPatValidity,
+  kGuestRflagsReserved,
+  kGuestRflagsVmInIa32e,
+  kGuestRflagsIfForExtInt,
+  kGuestV86SegmentInvariants,
+  kGuestTrUsable,
+  kGuestTrType,
+  kGuestTrTiFlag,
+  kGuestLdtrType,
+  kGuestCsType,
+  kGuestCsDplVsSs,
+  kGuestCsLAndDb,
+  kGuestSsType,
+  kGuestSsRplVsCs,
+  kGuestSsDpl,
+  kGuestDataSegType,
+  kGuestDataSegDpl,
+  kGuestSegNullUsable,
+  kGuestSegBaseCanonical,
+  kGuestSegBaseHigh32,
+  kGuestSegLimitGranularity,
+  kGuestSegArReserved,
+  kGuestGdtrIdtrCanonical,
+  kGuestGdtrIdtrLimit,
+  kGuestRipHigh32,
+  kGuestRipCanonical,
+  kGuestActivityStateRange,
+  kGuestActivityStateSupported,
+  kGuestActivityVsInterruptibility,
+  kGuestActivityVsEventInjection,
+  kGuestInterruptibilityReserved,
+  kGuestStiMovssExclusive,
+  kGuestStiWithIfClear,
+  kGuestPendingDbgReserved,
+  kGuestPendingDbgBsVsTf,
+  kGuestVmcsLinkPointer,
+  kGuestPdpteReserved,
+  // --- AMD VMRUN consistency checks (APM 15.5.1) ---
+  kSvmEferSvme,
+  kSvmCr0CdNw,
+  kSvmCr0High32,
+  kSvmCr3Mbz,
+  kSvmCr4Mbz,
+  kSvmEferMbz,
+  kSvmLongModeNeedsPae,     // EFER.LME && CR0.PG && !CR4.PAE.
+  kSvmLongModeNeedsPe,      // EFER.LME && CR0.PG && !CR0.PE.
+  kSvmLongModeCsLandD,      // Long mode CS.L && CS.D both set.
+  kSvmDr6High32,
+  kSvmDr7High32,
+  kSvmAsidZero,
+  kSvmVmrunInterceptClear,
+  kSvmIopmAddressRange,
+  kSvmMsrpmAddressRange,
+  kSvmEventInjValidity,
+  kSvmNestedCr3Mbz,
+  kSvmLmeWithoutPg,         // Ambiguous per APM; real CPUs accept (quirk).
+  kCount,
+};
+
+std::string_view CheckIdName(CheckId id);
+
+// Whether failing this check produces an early VMfail (bad control/host
+// state) or a VM-entry failure exit (bad guest state). Mirrors the SDM's
+// distinction between control/host checks (VMfailValid) and guest checks
+// (VM-exit 33).
+enum class CheckClass : uint8_t {
+  kControl,
+  kHostState,
+  kGuestState,
+  kSvm,
+};
+
+CheckClass ClassOfCheck(CheckId id);
+
+// Outcome of a hardware entry attempt or a validator prediction.
+struct EntryCheckResult {
+  bool ok = true;
+  CheckId failed_check = CheckId::kNone;
+
+  static EntryCheckResult Ok() { return {}; }
+  static EntryCheckResult Fail(CheckId id) { return {false, id}; }
+};
+
+// Ordered list of violations (the validator reports all, hardware reports
+// the first in check order).
+using ViolationList = std::vector<CheckId>;
+
+}  // namespace neco
+
+#endif  // SRC_CPU_ENTRY_CHECK_H_

@@ -1,0 +1,112 @@
+#include "src/cpu/svm_checks.h"
+
+#include "src/arch/vmx_bits.h"
+#include "src/support/bits.h"
+
+namespace neco {
+namespace {
+
+bool Report(ViolationList& out, const SvmCheckProfile& profile, CheckId id) {
+  out.push_back(id);
+  return !profile.stop_at_first;
+}
+
+}  // namespace
+
+ViolationList CheckVmrun(const Vmcb& v, const SvmCaps& caps,
+                         const SvmCheckProfile& profile) {
+  ViolationList out;
+  const uint64_t efer = v.Read(VmcbField::kEfer);
+  const uint64_t cr0 = v.Read(VmcbField::kCr0);
+  const uint64_t cr3 = v.Read(VmcbField::kCr3);
+  const uint64_t cr4 = v.Read(VmcbField::kCr4);
+
+  if ((efer & Efer::kSvme) == 0) {
+    if (!Report(out, profile, CheckId::kSvmEferSvme)) return out;
+  }
+  if ((efer & Efer::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kSvmEferMbz)) return out;
+  }
+  if ((cr0 & Cr0::kCd) == 0 && (cr0 & Cr0::kNw) != 0) {
+    if (!Report(out, profile, CheckId::kSvmCr0CdNw)) return out;
+  }
+  if ((cr0 >> 32) != 0) {
+    if (!Report(out, profile, CheckId::kSvmCr0High32)) return out;
+  }
+  if (cr3 > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kSvmCr3Mbz)) return out;
+  }
+  if ((cr4 & Cr4::kReservedMask) != 0 || (cr4 & Cr4::kVmxe) != 0) {
+    // CR4.VMXE is Intel-only; it is MBZ on AMD parts.
+    if (!Report(out, profile, CheckId::kSvmCr4Mbz)) return out;
+  }
+
+  const bool lme = (efer & Efer::kLme) != 0;
+  const bool pg = (cr0 & Cr0::kPg) != 0;
+  const bool pe = (cr0 & Cr0::kPe) != 0;
+  const bool pae = (cr4 & Cr4::kPae) != 0;
+  if (lme && pg && !pae) {
+    if (!Report(out, profile, CheckId::kSvmLongModeNeedsPae)) return out;
+  }
+  if (lme && pg && !pe) {
+    if (!Report(out, profile, CheckId::kSvmLongModeNeedsPe)) return out;
+  }
+  if (lme && pg && pae) {
+    const uint16_t cs_attrib =
+        static_cast<uint16_t>(v.Read(VmcbField::kCsAttrib));
+    // VMCB attrib layout: bit 9 = L, bit 10 = D (compressed AR format).
+    const bool cs_l = TestBit(cs_attrib, 9);
+    const bool cs_d = TestBit(cs_attrib, 10);
+    if (cs_l && cs_d) {
+      if (!Report(out, profile, CheckId::kSvmLongModeCsLandD)) return out;
+    }
+  }
+  // The ambiguous corner: LME set while paging is off. The APM permits the
+  // state without defining VMRUN semantics; a strict reading rejects it.
+  if (profile.reject_lme_without_pg && lme && !pg) {
+    if (!Report(out, profile, CheckId::kSvmLmeWithoutPg)) return out;
+  }
+
+  if ((v.Read(VmcbField::kDr6) >> 32) != 0) {
+    if (!Report(out, profile, CheckId::kSvmDr6High32)) return out;
+  }
+  if ((v.Read(VmcbField::kDr7) >> 32) != 0) {
+    if (!Report(out, profile, CheckId::kSvmDr7High32)) return out;
+  }
+  if (v.Read(VmcbField::kGuestAsid) == 0) {
+    if (!Report(out, profile, CheckId::kSvmAsidZero)) return out;
+  }
+  if ((v.Read(VmcbField::kInterceptVec4) & SvmIntercept4::kVmrun) == 0) {
+    if (!Report(out, profile, CheckId::kSvmVmrunInterceptClear)) return out;
+  }
+  // IOPM spans 12 KiB, MSRPM 8 KiB; both must lie inside the physical
+  // address space.
+  if (v.Read(VmcbField::kIopmBasePa) + 0x3000 > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kSvmIopmAddressRange)) return out;
+  }
+  if (v.Read(VmcbField::kMsrpmBasePa) + 0x2000 > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kSvmMsrpmAddressRange)) return out;
+  }
+  if ((v.Read(VmcbField::kNestedCtl) & 1) != 0 &&
+      v.Read(VmcbField::kNestedCr3) > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kSvmNestedCr3Mbz)) return out;
+  }
+
+  const uint64_t event_inj = v.Read(VmcbField::kEventInj);
+  if (TestBit(event_inj, 31)) {  // V (valid) bit.
+    const uint64_t type = ExtractBits(event_inj, 8, 3);
+    const uint64_t vector = event_inj & 0xff;
+    if (type == 1 || type > 4) {  // Reserved event types.
+      if (!Report(out, profile, CheckId::kSvmEventInjValidity)) return out;
+    }
+    if (type == 2 && vector != 2) {  // NMI must use vector 2.
+      if (!Report(out, profile, CheckId::kSvmEventInjValidity)) return out;
+    }
+    if (type == 3 && vector > 31) {  // Hardware exception vectors.
+      if (!Report(out, profile, CheckId::kSvmEventInjValidity)) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace neco

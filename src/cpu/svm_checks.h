@@ -1,0 +1,43 @@
+// AMD-V VMRUN consistency checks (APM Vol. 2, 15.5.1 "Canonicalization and
+// Consistency Checks"). As on the Intel side, the SPEC profile enforces the
+// documented rule set while the HARDWARE profile reflects silicon behaviour
+// including the EFER.LME/CR0.PG ambiguity the paper's Xen bug #5 hinges on.
+#ifndef SRC_CPU_SVM_CHECKS_H_
+#define SRC_CPU_SVM_CHECKS_H_
+
+#include "src/arch/vmcb.h"
+#include "src/cpu/entry_check.h"
+
+namespace neco {
+
+struct SvmCheckProfile {
+  // The APM "permits" a VMCB with EFER.LME=1 and CR0.PG=0 but leaves VMRUN
+  // behaviour unspecified. Real CPUs accept it; a conservative spec model
+  // flags it.
+  bool reject_lme_without_pg = true;
+  bool stop_at_first = false;
+
+  static SvmCheckProfile Spec() { return SvmCheckProfile{}; }
+
+  static SvmCheckProfile Hardware() {
+    SvmCheckProfile p;
+    p.reject_lme_without_pg = false;  // Silicon tolerates it.
+    p.stop_at_first = true;
+    return p;
+  }
+};
+
+struct SvmCaps {
+  unsigned physical_address_bits = 48;
+  constexpr uint64_t MaxPhysicalAddress() const {
+    return (1ULL << physical_address_bits) - 1;
+  }
+};
+
+// Run the VMRUN consistency checks over a VMCB.
+ViolationList CheckVmrun(const Vmcb& v, const SvmCaps& caps,
+                         const SvmCheckProfile& profile);
+
+}  // namespace neco
+
+#endif  // SRC_CPU_SVM_CHECKS_H_

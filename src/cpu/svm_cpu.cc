@@ -1,0 +1,24 @@
+#include "src/cpu/svm_cpu.h"
+
+namespace neco {
+
+VmrunOutcome SvmCpu::Vmrun(Vmcb& vmcb) {
+  VmrunOutcome outcome;
+  if (!svme_) {
+    outcome.status = VmrunStatus::kSvmeDisabled;
+    return outcome;
+  }
+  const ViolationList violations =
+      CheckVmrun(vmcb, caps_, SvmCheckProfile::Hardware());
+  if (!violations.empty()) {
+    outcome.status = VmrunStatus::kInvalidVmcb;
+    outcome.failed_check = violations.front();
+    vmcb.Write(VmcbField::kExitCode,
+               static_cast<uint64_t>(SvmExitCode::kInvalid));
+    return outcome;
+  }
+  outcome.status = VmrunStatus::kEntered;
+  return outcome;
+}
+
+}  // namespace neco

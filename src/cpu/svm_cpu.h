@@ -1,0 +1,57 @@
+// Simulated physical CPU with AMD-V (SVM).
+//
+// Models VMRUN semantics: EFER.SVME gating, the hardware consistency checks
+// over the VMCB (HARDWARE profile, including the EFER.LME/CR0.PG ambiguity),
+// and the GIF (global interrupt flag) state toggled by STGI/CLGI.
+#ifndef SRC_CPU_SVM_CPU_H_
+#define SRC_CPU_SVM_CPU_H_
+
+#include <cstdint>
+
+#include "src/arch/vmcb.h"
+#include "src/cpu/entry_check.h"
+#include "src/cpu/svm_checks.h"
+
+namespace neco {
+
+enum class VmrunStatus : uint8_t {
+  kEntered,        // Guest running; a later #VMEXIT ends it.
+  kInvalidVmcb,    // Consistency check failed: immediate VMEXIT_INVALID.
+  kSvmeDisabled,   // EFER.SVME clear: #UD.
+};
+
+struct VmrunOutcome {
+  VmrunStatus status = VmrunStatus::kSvmeDisabled;
+  CheckId failed_check = CheckId::kNone;
+
+  bool entered() const { return status == VmrunStatus::kEntered; }
+};
+
+class SvmCpu {
+ public:
+  explicit SvmCpu(SvmCaps caps = SvmCaps{}) : caps_(caps) {}
+
+  const SvmCaps& caps() const { return caps_; }
+
+  // Host EFER.SVME control (set by the hypervisor during init).
+  void set_svme(bool on) { svme_ = on; }
+  bool svme() const { return svme_; }
+
+  // GIF manipulation (STGI / CLGI).
+  void Stgi() { gif_ = true; }
+  void Clgi() { gif_ = false; }
+  bool gif() const { return gif_; }
+
+  // Attempt VMRUN with the given VMCB. On consistency failure the VMCB's
+  // exit code is set to VMEXIT_INVALID, as real hardware does.
+  VmrunOutcome Vmrun(Vmcb& vmcb);
+
+ private:
+  SvmCaps caps_;
+  bool svme_ = false;
+  bool gif_ = true;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CPU_SVM_CPU_H_

@@ -1,0 +1,792 @@
+#include "src/cpu/vmx_checks.h"
+
+#include "src/arch/vmx_bits.h"
+#include "src/support/bits.h"
+
+namespace neco {
+namespace {
+
+// Appends `id` and reports whether checking should continue.
+bool Report(ViolationList& out, const VmxCheckProfile& profile, CheckId id) {
+  out.push_back(id);
+  return !profile.stop_at_first;
+}
+
+bool PatIsValid(uint64_t pat) {
+  for (int i = 0; i < 8; ++i) {
+    const uint8_t type = static_cast<uint8_t>(pat >> (i * 8));
+    if (type != 0 && type != 1 && type != 4 && type != 5 && type != 6 &&
+        type != 7) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct GuestSeg {
+  VmcsField selector;
+  VmcsField base;
+  VmcsField limit;
+  VmcsField ar;
+  bool is_cs;
+  bool is_ss;
+  bool base_must_fit_32;  // CS/SS/DS/ES: base bits 63:32 must be zero.
+};
+
+constexpr GuestSeg kGuestSegs[] = {
+    {VmcsField::kGuestCsSelector, VmcsField::kGuestCsBase,
+     VmcsField::kGuestCsLimit, VmcsField::kGuestCsArBytes, true, false, true},
+    {VmcsField::kGuestSsSelector, VmcsField::kGuestSsBase,
+     VmcsField::kGuestSsLimit, VmcsField::kGuestSsArBytes, false, true, true},
+    {VmcsField::kGuestDsSelector, VmcsField::kGuestDsBase,
+     VmcsField::kGuestDsLimit, VmcsField::kGuestDsArBytes, false, false, true},
+    {VmcsField::kGuestEsSelector, VmcsField::kGuestEsBase,
+     VmcsField::kGuestEsLimit, VmcsField::kGuestEsArBytes, false, false, true},
+    {VmcsField::kGuestFsSelector, VmcsField::kGuestFsBase,
+     VmcsField::kGuestFsLimit, VmcsField::kGuestFsArBytes, false, false,
+     false},
+    {VmcsField::kGuestGsSelector, VmcsField::kGuestGsBase,
+     VmcsField::kGuestGsLimit, VmcsField::kGuestGsArBytes, false, false,
+     false},
+};
+
+// Limit/granularity coupling: if any of limit[11:0] is 0 G must be 0; if
+// limit[31:20] is nonzero G must be 1.
+bool LimitGranularityOk(uint32_t limit, uint32_t ar) {
+  const bool g = (ar & SegAr::kG) != 0;
+  if ((limit & 0xfffu) != 0xfffu && g) {
+    return false;
+  }
+  if ((limit & 0xfff00000u) != 0 && !g) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckVmControls(const Vmcs& v, const VmxCapabilities& caps,
+                     const VmxCheckProfile& profile, ViolationList& out) {
+  const uint32_t pin = static_cast<uint32_t>(
+      v.Read(VmcsField::kPinBasedVmExecControl));
+  const uint32_t proc = static_cast<uint32_t>(
+      v.Read(VmcsField::kCpuBasedVmExecControl));
+  const bool has_secondary = (proc & ProcCtl::kActivateSecondary) != 0;
+  // A deactivated secondary-controls field is ignored by hardware.
+  const uint32_t proc2 =
+      has_secondary
+          ? static_cast<uint32_t>(v.Read(VmcsField::kSecondaryVmExecControl))
+          : 0;
+  const uint32_t exit_ctl =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmExitControls));
+  const uint32_t entry_ctl =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+
+  if (!caps.pinbased.Permits(pin)) {
+    if (!Report(out, profile, CheckId::kPinBasedReserved)) return;
+  }
+  if (!caps.procbased.Permits(proc)) {
+    if (!Report(out, profile, CheckId::kProcBasedReserved)) return;
+  }
+  if (has_secondary && !caps.procbased2.Permits(proc2)) {
+    if (!Report(out, profile, CheckId::kProc2Reserved)) return;
+  }
+  if (v.Read(VmcsField::kCr3TargetCount) > 4) {
+    if (!Report(out, profile, CheckId::kCr3TargetCountRange)) return;
+  }
+
+  if ((proc & ProcCtl::kUseIoBitmaps) != 0) {
+    const uint64_t a = v.Read(VmcsField::kIoBitmapA);
+    const uint64_t b = v.Read(VmcsField::kIoBitmapB);
+    if (!IsAligned(a, 12) || !IsAligned(b, 12) ||
+        a > caps.MaxPhysicalAddress() || b > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kIoBitmapAlignment)) return;
+    }
+  }
+  if ((proc & ProcCtl::kUseMsrBitmaps) != 0) {
+    const uint64_t m = v.Read(VmcsField::kMsrBitmap);
+    if (!IsAligned(m, 12) || m > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kMsrBitmapAlignment)) return;
+    }
+  }
+
+  if ((proc & ProcCtl::kUseTprShadow) != 0) {
+    const uint64_t vapic = v.Read(VmcsField::kVirtualApicPageAddr);
+    if (!IsAligned(vapic, 12) || vapic > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kTprShadowVirtApicPage)) return;
+    }
+    const uint64_t threshold = v.Read(VmcsField::kTprThreshold);
+    const bool vid = (proc2 & Proc2Ctl::kVirtIntrDelivery) != 0;
+    if (!vid) {
+      if ((threshold & ~0xfULL) != 0) {
+        if (!Report(out, profile, CheckId::kTprThresholdReserved)) return;
+      }
+      // Threshold must not exceed the VTPR in the virtual-APIC page; the
+      // model keeps VTPR at 0 so any nonzero threshold is suspect. This is
+      // one of the subtle couplings validators frequently mis-model.
+      if (profile.enforce_tpr_threshold_vs_vtpr &&
+          (proc2 & Proc2Ctl::kVirtApicAccesses) == 0 && threshold != 0) {
+        if (!Report(out, profile, CheckId::kTprThresholdVsVtpr)) return;
+      }
+    }
+  }
+
+  const bool nmi_exiting = (pin & PinCtl::kNmiExiting) != 0;
+  const bool virtual_nmis = (pin & PinCtl::kVirtualNmis) != 0;
+  if (!nmi_exiting && virtual_nmis) {
+    if (!Report(out, profile, CheckId::kNmiCtlConsistency)) return;
+  }
+  if (!virtual_nmis && (proc & ProcCtl::kNmiWindowExiting) != 0) {
+    if (!Report(out, profile, CheckId::kVirtualNmiWindowConsistency)) return;
+  }
+
+  if ((proc2 & Proc2Ctl::kVirtX2apicMode) != 0 &&
+      (proc2 & Proc2Ctl::kVirtApicAccesses) != 0) {
+    if (!Report(out, profile, CheckId::kVirtX2apicExclusive)) return;
+  }
+  if ((proc2 & Proc2Ctl::kVirtIntrDelivery) != 0 &&
+      (pin & PinCtl::kExtIntExiting) == 0) {
+    if (!Report(out, profile, CheckId::kVirtIntrDeliveryNeedsExtInt)) return;
+  }
+
+  if ((pin & PinCtl::kPostedInterrupts) != 0) {
+    if ((proc2 & Proc2Ctl::kVirtIntrDelivery) == 0 ||
+        (exit_ctl & ExitCtl::kAckIntrOnExit) == 0) {
+      if (!Report(out, profile, CheckId::kPostedIntrRequirements)) return;
+    }
+    const uint64_t desc = v.Read(VmcsField::kPostedIntrDescAddr);
+    if (!IsAligned(desc, 6) || desc > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kPostedIntrDescAlignment)) return;
+    }
+  }
+
+  if ((proc2 & Proc2Ctl::kEnableVpid) != 0 &&
+      v.Read(VmcsField::kVirtualProcessorId) == 0) {
+    if (!Report(out, profile, CheckId::kVpidNonZero)) return;
+  }
+
+  if ((proc2 & Proc2Ctl::kEnableEpt) != 0) {
+    const uint64_t eptp = v.Read(VmcsField::kEptPointer);
+    const uint64_t memtype = eptp & 0x7;
+    const bool memtype_ok = (memtype == 0 && caps.ept_uc_memtype) ||
+                            (memtype == 6 && caps.ept_wb_memtype);
+    if (!memtype_ok) {
+      if (!Report(out, profile, CheckId::kEptpMemType)) return;
+    }
+    const uint64_t walk = ExtractBits(eptp, 3, 3);
+    if (!(walk == 3 && caps.ept_4level) && !(walk == 4 && caps.ept_5level)) {
+      if (!Report(out, profile, CheckId::kEptpWalkLength)) return;
+    }
+    if (ExtractBits(eptp, 7, 5) != 0) {
+      if (!Report(out, profile, CheckId::kEptpReservedBits)) return;
+    }
+    if (TestBit(eptp, 6) && !caps.ept_ad_bits) {
+      if (!Report(out, profile, CheckId::kEptpAccessDirty)) return;
+    }
+    if (AlignDown(eptp, 12) > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kEptpAddressRange)) return;
+    }
+  }
+  if ((proc2 & Proc2Ctl::kUnrestrictedGuest) != 0 &&
+      (proc2 & Proc2Ctl::kEnableEpt) == 0) {
+    if (!Report(out, profile, CheckId::kUnrestrictedGuestNeedsEpt)) return;
+  }
+  if ((proc2 & Proc2Ctl::kEnablePml) != 0) {
+    const uint64_t pml = v.Read(VmcsField::kPmlAddress);
+    if ((proc2 & Proc2Ctl::kEnableEpt) == 0 || !IsAligned(pml, 12) ||
+        pml > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kPmlRequirements)) return;
+    }
+  }
+  if ((proc2 & Proc2Ctl::kEnableVmfunc) != 0) {
+    const uint64_t list = v.Read(VmcsField::kEptpListAddress);
+    if ((proc2 & Proc2Ctl::kEnableEpt) == 0 || !IsAligned(list, 12) ||
+        list > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kVmfuncRequirements)) return;
+    }
+  }
+  if ((proc2 & Proc2Ctl::kVmcsShadowing) != 0) {
+    const uint64_t rd = v.Read(VmcsField::kVmreadBitmap);
+    const uint64_t wr = v.Read(VmcsField::kVmwriteBitmap);
+    if (!IsAligned(rd, 12) || !IsAligned(wr, 12) ||
+        rd > caps.MaxPhysicalAddress() || wr > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kVmcsShadowBitmapAlignment)) return;
+    }
+  }
+
+  if (!caps.exit.Permits(exit_ctl)) {
+    if (!Report(out, profile, CheckId::kExitCtlReserved)) return;
+  }
+  if (!caps.entry.Permits(entry_ctl)) {
+    if (!Report(out, profile, CheckId::kEntryCtlReserved)) return;
+  }
+  if ((exit_ctl & ExitCtl::kSavePreemptionTimer) != 0 &&
+      (pin & PinCtl::kPreemptionTimer) == 0) {
+    if (!Report(out, profile, CheckId::kPreemptionTimerSaveNeedsEnable)) {
+      return;
+    }
+  }
+
+  // MSR-load/store areas: 16-byte aligned, within the physical address
+  // space, count below the architectural maximum.
+  struct MsrArea {
+    VmcsField count_field;
+    VmcsField addr_field;
+    CheckId check;
+  };
+  const MsrArea areas[] = {
+      {VmcsField::kVmExitMsrStoreCount, VmcsField::kVmExitMsrStoreAddr,
+       CheckId::kExitMsrStoreArea},
+      {VmcsField::kVmExitMsrLoadCount, VmcsField::kVmExitMsrLoadAddr,
+       CheckId::kExitMsrLoadArea},
+      {VmcsField::kVmEntryMsrLoadCount, VmcsField::kVmEntryMsrLoadAddr,
+       CheckId::kEntryMsrLoadArea},
+  };
+  for (const auto& area : areas) {
+    const uint64_t count = v.Read(area.count_field);
+    if (count == 0) {
+      continue;
+    }
+    if (count > caps.max_msr_list_count) {
+      if (area.check == CheckId::kEntryMsrLoadArea) {
+        if (!Report(out, profile, CheckId::kEntryMsrLoadCountRange)) return;
+      } else {
+        if (!Report(out, profile, area.check)) return;
+      }
+      continue;
+    }
+    const uint64_t addr = v.Read(area.addr_field);
+    const uint64_t last = addr + count * 16 - 1;
+    if (!IsAligned(addr, 4) || last > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, area.check)) return;
+    }
+  }
+
+  // VM-entry interruption information.
+  const uint32_t intr_info =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmEntryIntrInfoField));
+  if (TestBit(intr_info, 31)) {
+    const uint32_t vector = intr_info & 0xff;
+    const uint32_t type = ExtractBits(intr_info, 8, 3);
+    const bool deliver_error = TestBit(intr_info, 11);
+    if (type == 1) {  // Reserved interruption type.
+      if (!Report(out, profile, CheckId::kEntryIntrInfoType)) return;
+    }
+    if ((type == 2 || type == 3 || type == 6) && vector > 31) {
+      // NMI must be vector 2; hardware exceptions are vectors 0..31.
+      if (!Report(out, profile, CheckId::kEntryIntrInfoVector)) return;
+    }
+    if (type == 2 && vector != 2) {
+      if (!Report(out, profile, CheckId::kEntryIntrInfoVector)) return;
+    }
+    if (deliver_error) {
+      // Error codes are only delivered for contributory hardware
+      // exceptions.
+      const bool contributory = type == 3 && (vector == 8 || vector == 10 ||
+                                              vector == 11 || vector == 12 ||
+                                              vector == 13 || vector == 14 ||
+                                              vector == 17);
+      if (!contributory) {
+        if (!Report(out, profile, CheckId::kEntryIntrInfoErrorCode)) return;
+      }
+      if ((v.Read(VmcsField::kVmEntryExceptionErrorCode) & ~0x7fffULL) != 0) {
+        if (!Report(out, profile, CheckId::kEntryIntrInfoErrorCode)) return;
+      }
+    }
+    if (type == 4 || type == 5 || type == 6) {  // Software-delivered events.
+      const uint64_t len = v.Read(VmcsField::kVmEntryInstructionLen);
+      if (len == 0 || len > 15) {
+        if (!Report(out, profile, CheckId::kEntryInstructionLength)) return;
+      }
+    }
+  }
+}
+
+void CheckHostState(const Vmcs& v, const VmxCapabilities& caps,
+                    const VmxCheckProfile& profile, ViolationList& out) {
+  const uint64_t cr0 = v.Read(VmcsField::kHostCr0);
+  const uint64_t cr4 = v.Read(VmcsField::kHostCr4);
+  const uint32_t exit_ctl =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmExitControls));
+  const bool host64 = (exit_ctl & ExitCtl::kHostAddrSpaceSize) != 0;
+
+  if ((cr0 & caps.cr0_fixed0) != caps.cr0_fixed0 ||
+      (cr0 & ~caps.cr0_fixed1 & MaskLow(32)) != 0 ||
+      (cr0 & Cr0::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kHostCr0Fixed)) return;
+  }
+  if ((cr4 & caps.cr4_fixed0) != caps.cr4_fixed0 ||
+      (cr4 & Cr4::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kHostCr4Fixed)) return;
+  }
+  if (v.Read(VmcsField::kHostCr3) > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kHostCr3Range)) return;
+  }
+
+  for (VmcsField f : {VmcsField::kHostFsBase, VmcsField::kHostGsBase,
+                      VmcsField::kHostTrBase, VmcsField::kHostGdtrBase,
+                      VmcsField::kHostIdtrBase}) {
+    if (!IsCanonical(v.Read(f))) {
+      if (!Report(out, profile, CheckId::kHostCanonicalBase)) return;
+      break;
+    }
+  }
+  if (!IsCanonical(v.Read(VmcsField::kHostIa32SysenterEsp)) ||
+      !IsCanonical(v.Read(VmcsField::kHostIa32SysenterEip))) {
+    if (!Report(out, profile, CheckId::kHostSysenterCanonical)) return;
+  }
+
+  for (VmcsField f :
+       {VmcsField::kHostCsSelector, VmcsField::kHostSsSelector,
+        VmcsField::kHostDsSelector, VmcsField::kHostEsSelector,
+        VmcsField::kHostFsSelector, VmcsField::kHostGsSelector,
+        VmcsField::kHostTrSelector}) {
+    if ((v.Read(f) & 0x7) != 0) {  // RPL and TI must be zero.
+      if (!Report(out, profile, CheckId::kHostSelectorRplTi)) return;
+      break;
+    }
+  }
+  if (v.Read(VmcsField::kHostCsSelector) == 0) {
+    if (!Report(out, profile, CheckId::kHostCsNotNull)) return;
+  }
+  if (v.Read(VmcsField::kHostTrSelector) == 0) {
+    if (!Report(out, profile, CheckId::kHostTrNotNull)) return;
+  }
+  if (!host64 && v.Read(VmcsField::kHostSsSelector) == 0) {
+    if (!Report(out, profile, CheckId::kHostSsNotNull)) return;
+  }
+
+  if (host64) {
+    if ((cr4 & Cr4::kPae) == 0) {
+      if (!Report(out, profile, CheckId::kHostAddrSpaceConsistency)) return;
+    }
+    if (!IsCanonical(v.Read(VmcsField::kHostRip))) {
+      if (!Report(out, profile, CheckId::kHostRipCanonical)) return;
+    }
+  } else {
+    if ((cr4 & Cr4::kPcide) != 0) {
+      if (!Report(out, profile, CheckId::kHostAddrSpaceConsistency)) return;
+    }
+    if ((v.Read(VmcsField::kHostRip) >> 32) != 0) {
+      if (!Report(out, profile, CheckId::kHostRipCanonical)) return;
+    }
+  }
+
+  if ((exit_ctl & ExitCtl::kLoadEfer) != 0) {
+    const uint64_t efer = v.Read(VmcsField::kHostIa32Efer);
+    if ((efer & Efer::kReservedMask) != 0) {
+      if (!Report(out, profile, CheckId::kHostEferReserved)) return;
+    }
+    const bool lma = (efer & Efer::kLma) != 0;
+    const bool lme = (efer & Efer::kLme) != 0;
+    if (lma != host64 || lme != host64) {
+      if (!Report(out, profile, CheckId::kHostEferLmaLme)) return;
+    }
+  }
+  if ((exit_ctl & ExitCtl::kLoadPat) != 0 &&
+      !PatIsValid(v.Read(VmcsField::kHostIa32Pat))) {
+    if (!Report(out, profile, CheckId::kHostPatValidity)) return;
+  }
+}
+
+void CheckGuestState(const Vmcs& v, const VmxCapabilities& caps,
+                     const VmxCheckProfile& profile, ViolationList& out) {
+  const uint64_t cr0 = v.Read(VmcsField::kGuestCr0);
+  const uint64_t cr4 = v.Read(VmcsField::kGuestCr4);
+  const uint64_t rflags = v.Read(VmcsField::kGuestRflags);
+  const uint32_t entry_ctl =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  const uint32_t proc = static_cast<uint32_t>(
+      v.Read(VmcsField::kCpuBasedVmExecControl));
+  const uint32_t proc2 =
+      (proc & ProcCtl::kActivateSecondary) != 0
+          ? static_cast<uint32_t>(v.Read(VmcsField::kSecondaryVmExecControl))
+          : 0;
+  const bool unrestricted = (proc2 & Proc2Ctl::kUnrestrictedGuest) != 0;
+  const bool ept = (proc2 & Proc2Ctl::kEnableEpt) != 0;
+  const bool ia32e = (entry_ctl & EntryCtl::kIa32eModeGuest) != 0;
+  const bool v86 = (rflags & Rflags::kVm) != 0;
+
+  // --- Control registers ---
+  uint64_t cr0_fixed0 = caps.cr0_fixed0;
+  if (unrestricted) {
+    cr0_fixed0 &= ~(Cr0::kPe | Cr0::kPg);
+  }
+  if ((cr0 & cr0_fixed0) != cr0_fixed0 ||
+      (cr0 & ~caps.cr0_fixed1 & MaskLow(32)) != 0) {
+    if (!Report(out, profile, CheckId::kGuestCr0Fixed)) return;
+  }
+  if ((cr0 & Cr0::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kGuestCr0Reserved)) return;
+  }
+  if ((cr0 & Cr0::kPg) != 0 && (cr0 & Cr0::kPe) == 0) {
+    if (!Report(out, profile, CheckId::kGuestCr0PgWithoutPe)) return;
+  }
+  if ((cr0 & Cr0::kNw) != 0 && (cr0 & Cr0::kCd) == 0) {
+    if (!Report(out, profile, CheckId::kGuestCr0NwWithoutCd)) return;
+  }
+  if ((cr4 & caps.cr4_fixed0) != caps.cr4_fixed0) {
+    if (!Report(out, profile, CheckId::kGuestCr4Fixed)) return;
+  }
+  if ((cr4 & Cr4::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kGuestCr4Reserved)) return;
+  }
+  if (v.Read(VmcsField::kGuestCr3) > caps.MaxPhysicalAddress()) {
+    if (!Report(out, profile, CheckId::kGuestCr3Range)) return;
+  }
+  // The SDM documents that IA-32e mode guests must have CR4.PAE = 1, but
+  // real processors do not enforce it at entry (they behave as if it were
+  // set). Hypervisor code that trusts the manual here mishandles paging —
+  // the root cause of CVE-2023-30456.
+  if (profile.enforce_cr4_pae_for_ia32e && ia32e && (cr4 & Cr4::kPae) == 0) {
+    if (!Report(out, profile, CheckId::kGuestCr4PaeForIa32e)) return;
+  }
+  if (!ia32e && (cr4 & Cr4::kPcide) != 0) {
+    if (!Report(out, profile, CheckId::kGuestPcideWithoutIa32e)) return;
+  }
+
+  if ((entry_ctl & EntryCtl::kLoadDebugControls) != 0) {
+    const uint64_t dbgctl = v.Read(VmcsField::kGuestIa32Debugctl);
+    if ((dbgctl & ~0xdfc3ULL) != 0) {
+      if (!Report(out, profile, CheckId::kGuestDebugctlReserved)) return;
+    }
+    if ((v.Read(VmcsField::kGuestDr7) >> 32) != 0) {
+      if (!Report(out, profile, CheckId::kGuestDr7High32)) return;
+    }
+  }
+
+  if ((entry_ctl & EntryCtl::kLoadEfer) != 0) {
+    const uint64_t efer = v.Read(VmcsField::kGuestIa32Efer);
+    if ((efer & Efer::kReservedMask) != 0) {
+      if (!Report(out, profile, CheckId::kGuestEferReserved)) return;
+    }
+    const bool lma = (efer & Efer::kLma) != 0;
+    if (lma != ia32e) {
+      if (!Report(out, profile, CheckId::kGuestEferLmaVsEntryCtl)) return;
+    }
+    if ((cr0 & Cr0::kPg) != 0 &&
+        lma != ((efer & Efer::kLme) != 0)) {
+      if (!Report(out, profile, CheckId::kGuestEferLmaVsLme)) return;
+    }
+  }
+  if ((entry_ctl & EntryCtl::kLoadPat) != 0 &&
+      !PatIsValid(v.Read(VmcsField::kGuestIa32Pat))) {
+    if (!Report(out, profile, CheckId::kGuestPatValidity)) return;
+  }
+
+  // --- RFLAGS ---
+  if ((rflags & Rflags::kFixed1) == 0 || (rflags & Rflags::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kGuestRflagsReserved)) return;
+  }
+  if (v86 && (ia32e || (cr0 & Cr0::kPe) == 0)) {
+    if (!Report(out, profile, CheckId::kGuestRflagsVmInIa32e)) return;
+  }
+  const uint32_t intr_info =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmEntryIntrInfoField));
+  if (TestBit(intr_info, 31) && ExtractBits(intr_info, 8, 3) == 0 &&
+      (rflags & Rflags::kIf) == 0) {
+    if (!Report(out, profile, CheckId::kGuestRflagsIfForExtInt)) return;
+  }
+
+  // --- Segment registers ---
+  if (v86) {
+    // Virtual-8086 invariants: base == selector<<4, limit == 0xffff,
+    // AR == 0xf3 for all data/code segments.
+    for (const auto& seg : kGuestSegs) {
+      const uint64_t sel = v.Read(seg.selector);
+      if (v.Read(seg.base) != (sel << 4) || v.Read(seg.limit) != 0xffff ||
+          v.Read(seg.ar) != 0xf3) {
+        if (!Report(out, profile, CheckId::kGuestV86SegmentInvariants)) return;
+        break;
+      }
+    }
+  } else {
+    for (const auto& seg : kGuestSegs) {
+      const uint32_t ar = static_cast<uint32_t>(v.Read(seg.ar));
+      const uint32_t limit = static_cast<uint32_t>(v.Read(seg.limit));
+      const uint64_t base = v.Read(seg.base);
+      const uint16_t sel = static_cast<uint16_t>(v.Read(seg.selector));
+      const bool usable = SegAr::Usable(ar);
+
+      if (seg.is_cs && !usable) {
+        if (!Report(out, profile, CheckId::kGuestCsType)) return;
+        continue;
+      }
+      if (!usable) {
+        continue;
+      }
+      // Reserved AR bits must be zero for usable segments.
+      if ((ar & SegAr::kReservedMask & ~SegAr::kUnusable) != 0) {
+        if (!Report(out, profile, CheckId::kGuestSegArReserved)) return;
+      }
+      if (!SegAr::Present(ar)) {
+        if (!Report(out, profile, CheckId::kGuestSegNullUsable)) return;
+      }
+      if ((ar & SegAr::kS) == 0) {
+        // Code/data segments must have S=1.
+        if (!Report(out, profile,
+                    seg.is_cs ? CheckId::kGuestCsType
+                              : CheckId::kGuestDataSegType)) {
+          return;
+        }
+      }
+      const uint32_t type = SegAr::Type(ar);
+      if (seg.is_cs) {
+        const bool code_ok =
+            type == 9 || type == 11 || type == 13 || type == 15 ||
+            (unrestricted && type == 3);
+        if (!code_ok) {
+          if (!Report(out, profile, CheckId::kGuestCsType)) return;
+        }
+        if (type == 3 && SegAr::Dpl(ar) != 0) {
+          if (!Report(out, profile, CheckId::kGuestCsType)) return;
+        }
+        if (ia32e && (ar & SegAr::kL) != 0 && (ar & SegAr::kDb) != 0) {
+          if (!Report(out, profile, CheckId::kGuestCsLAndDb)) return;
+        }
+        // Non-conforming CS: DPL must equal SS DPL.
+        const uint32_t ss_ar =
+            static_cast<uint32_t>(v.Read(VmcsField::kGuestSsArBytes));
+        if (!unrestricted && (type == 9 || type == 11) &&
+            SegAr::Usable(ss_ar) && SegAr::Dpl(ar) != SegAr::Dpl(ss_ar)) {
+          if (!Report(out, profile, CheckId::kGuestCsDplVsSs)) return;
+        }
+      } else if (seg.is_ss) {
+        if (type != 3 && type != 7) {
+          if (!Report(out, profile, CheckId::kGuestSsType)) return;
+        }
+        if (!unrestricted) {
+          const uint16_t cs_sel =
+              static_cast<uint16_t>(v.Read(VmcsField::kGuestCsSelector));
+          if ((sel & 0x3) != (cs_sel & 0x3)) {
+            if (!Report(out, profile, CheckId::kGuestSsRplVsCs)) return;
+          }
+          if (SegAr::Dpl(ar) != (sel & 0x3)) {
+            if (!Report(out, profile, CheckId::kGuestSsDpl)) return;
+          }
+        }
+      } else {
+        // DS/ES/FS/GS: must be accessed data or readable code.
+        const bool data_ok = (type & 0x1) != 0 &&     // Accessed.
+                             ((type & 0x8) == 0 ||    // Data segment, or
+                              (type & 0x2) != 0);     // readable code.
+        if (!data_ok) {
+          if (!Report(out, profile, CheckId::kGuestDataSegType)) return;
+        }
+        if (!unrestricted && (type & 0x8) == 0 && (type & 0x4) == 0 &&
+            SegAr::Dpl(ar) < (sel & 0x3)) {
+          // Non-conforming data segment: DPL >= RPL.
+          if (!Report(out, profile, CheckId::kGuestDataSegDpl)) return;
+        }
+      }
+      if (seg.base_must_fit_32) {
+        if ((base >> 32) != 0) {
+          if (!Report(out, profile, CheckId::kGuestSegBaseHigh32)) return;
+        }
+      } else if (!IsCanonical(base)) {
+        if (!Report(out, profile, CheckId::kGuestSegBaseCanonical)) return;
+      }
+      if (!LimitGranularityOk(limit, ar)) {
+        if (!Report(out, profile, CheckId::kGuestSegLimitGranularity)) return;
+      }
+    }
+
+    // TR: must be usable, TI clear, correct type.
+    const uint32_t tr_ar =
+        static_cast<uint32_t>(v.Read(VmcsField::kGuestTrArBytes));
+    const uint16_t tr_sel =
+        static_cast<uint16_t>(v.Read(VmcsField::kGuestTrSelector));
+    if (!SegAr::Usable(tr_ar)) {
+      if (!Report(out, profile, CheckId::kGuestTrUsable)) return;
+    } else {
+      const uint32_t type = SegAr::Type(tr_ar);
+      const bool type_ok = ia32e ? (type == 11) : (type == 3 || type == 11);
+      if (!type_ok || (tr_ar & SegAr::kS) != 0 || !SegAr::Present(tr_ar)) {
+        if (!Report(out, profile, CheckId::kGuestTrType)) return;
+      }
+      if (!LimitGranularityOk(
+              static_cast<uint32_t>(v.Read(VmcsField::kGuestTrLimit)), tr_ar)) {
+        if (!Report(out, profile, CheckId::kGuestSegLimitGranularity)) return;
+      }
+    }
+    if ((tr_sel & 0x4) != 0) {
+      if (!Report(out, profile, CheckId::kGuestTrTiFlag)) return;
+    }
+    if (!IsCanonical(v.Read(VmcsField::kGuestTrBase))) {
+      if (!Report(out, profile, CheckId::kGuestSegBaseCanonical)) return;
+    }
+
+    // LDTR, if usable: type 2, S=0, present, TI clear.
+    const uint32_t ldtr_ar =
+        static_cast<uint32_t>(v.Read(VmcsField::kGuestLdtrArBytes));
+    if (SegAr::Usable(ldtr_ar)) {
+      const uint16_t ldtr_sel =
+          static_cast<uint16_t>(v.Read(VmcsField::kGuestLdtrSelector));
+      if (SegAr::Type(ldtr_ar) != 2 || (ldtr_ar & SegAr::kS) != 0 ||
+          !SegAr::Present(ldtr_ar) || (ldtr_sel & 0x4) != 0) {
+        if (!Report(out, profile, CheckId::kGuestLdtrType)) return;
+      }
+      if (!IsCanonical(v.Read(VmcsField::kGuestLdtrBase))) {
+        if (!Report(out, profile, CheckId::kGuestSegBaseCanonical)) return;
+      }
+    }
+  }
+
+  // --- GDTR/IDTR ---
+  if (!IsCanonical(v.Read(VmcsField::kGuestGdtrBase)) ||
+      !IsCanonical(v.Read(VmcsField::kGuestIdtrBase))) {
+    if (!Report(out, profile, CheckId::kGuestGdtrIdtrCanonical)) return;
+  }
+  if ((v.Read(VmcsField::kGuestGdtrLimit) >> 16) != 0 ||
+      (v.Read(VmcsField::kGuestIdtrLimit) >> 16) != 0) {
+    if (!Report(out, profile, CheckId::kGuestGdtrIdtrLimit)) return;
+  }
+
+  // --- RIP ---
+  const uint64_t rip = v.Read(VmcsField::kGuestRip);
+  const uint32_t cs_ar =
+      static_cast<uint32_t>(v.Read(VmcsField::kGuestCsArBytes));
+  if (!ia32e || (cs_ar & SegAr::kL) == 0) {
+    if ((rip >> 32) != 0) {
+      if (!Report(out, profile, CheckId::kGuestRipHigh32)) return;
+    }
+  } else if (!IsCanonical(rip)) {
+    if (!Report(out, profile, CheckId::kGuestRipCanonical)) return;
+  }
+
+  // --- Activity and interruptibility state ---
+  const uint64_t activity = v.Read(VmcsField::kGuestActivityState);
+  const uint32_t interruptibility =
+      static_cast<uint32_t>(v.Read(VmcsField::kGuestInterruptibilityInfo));
+  if (activity > kMaxActivityState) {
+    if (!Report(out, profile, CheckId::kGuestActivityStateRange)) return;
+  } else if (activity != 0 &&
+             (caps.supported_activity_states & (1u << (activity - 1))) == 0) {
+    if (!Report(out, profile, CheckId::kGuestActivityStateSupported)) return;
+  }
+  if (activity != 0 &&
+      (interruptibility &
+       (Interruptibility::kStiBlocking | Interruptibility::kMovSsBlocking)) !=
+          0) {
+    if (!Report(out, profile, CheckId::kGuestActivityVsInterruptibility)) {
+      return;
+    }
+  }
+  if (TestBit(intr_info, 31) &&
+      (activity == static_cast<uint64_t>(ActivityState::kShutdown) ||
+       activity == static_cast<uint64_t>(ActivityState::kWaitForSipi))) {
+    if (!Report(out, profile, CheckId::kGuestActivityVsEventInjection)) return;
+  }
+  if ((interruptibility & Interruptibility::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kGuestInterruptibilityReserved)) return;
+  }
+  if ((interruptibility & Interruptibility::kStiBlocking) != 0 &&
+      (interruptibility & Interruptibility::kMovSsBlocking) != 0) {
+    if (!Report(out, profile, CheckId::kGuestStiMovssExclusive)) return;
+  }
+  if ((rflags & Rflags::kIf) == 0 &&
+      (interruptibility & Interruptibility::kStiBlocking) != 0) {
+    if (!Report(out, profile, CheckId::kGuestStiWithIfClear)) return;
+  }
+
+  // --- Pending debug exceptions ---
+  const uint64_t pending_dbg = v.Read(VmcsField::kGuestPendingDbgExceptions);
+  if ((pending_dbg & PendingDbg::kReservedMask) != 0) {
+    if (!Report(out, profile, CheckId::kGuestPendingDbgReserved)) return;
+  }
+  if (profile.enforce_pending_dbg_bs_vs_tf) {
+    const bool blocking =
+        (interruptibility & (Interruptibility::kStiBlocking |
+                             Interruptibility::kMovSsBlocking)) != 0 ||
+        activity == static_cast<uint64_t>(ActivityState::kHlt);
+    const bool tf = (rflags & Rflags::kTf) != 0;
+    const bool btf = TestBit(v.Read(VmcsField::kGuestIa32Debugctl), 1);
+    if (blocking && tf && !btf && (pending_dbg & PendingDbg::kBs) == 0) {
+      if (!Report(out, profile, CheckId::kGuestPendingDbgBsVsTf)) return;
+    }
+    if (blocking && (!tf || btf) && (pending_dbg & PendingDbg::kBs) != 0) {
+      if (!Report(out, profile, CheckId::kGuestPendingDbgBsVsTf)) return;
+    }
+  }
+
+  // --- VMCS link pointer ---
+  const uint64_t link = v.Read(VmcsField::kVmcsLinkPointer);
+  if (link != ~0ULL) {
+    if (!IsAligned(link, 12) || link > caps.MaxPhysicalAddress()) {
+      if (!Report(out, profile, CheckId::kGuestVmcsLinkPointer)) return;
+    }
+  }
+
+  // --- PDPTEs (PAE paging without EPT) ---
+  if ((cr0 & Cr0::kPg) != 0 && (cr4 & Cr4::kPae) != 0 && !ia32e && !ept) {
+    for (VmcsField f : {VmcsField::kGuestPdptr0, VmcsField::kGuestPdptr1,
+                        VmcsField::kGuestPdptr2, VmcsField::kGuestPdptr3}) {
+      const uint64_t pdpte = v.Read(f);
+      // Present PDPTEs must have reserved bits (2:1, 8:5, beyond maxphys)
+      // clear.
+      if (TestBit(pdpte, 0) &&
+          ((pdpte & 0x1e6ULL) != 0 ||
+           AlignDown(pdpte, 12) > caps.MaxPhysicalAddress())) {
+        if (!Report(out, profile, CheckId::kGuestPdpteReserved)) return;
+        break;
+      }
+    }
+  }
+}
+
+ViolationList CheckVmxEntry(const Vmcs& v, const VmxCapabilities& caps,
+                            const VmxCheckProfile& profile) {
+  ViolationList out;
+  CheckVmControls(v, caps, profile, out);
+  if (profile.stop_at_first && !out.empty()) {
+    return out;
+  }
+  CheckHostState(v, caps, profile, out);
+  if (profile.stop_at_first && !out.empty()) {
+    return out;
+  }
+  CheckGuestState(v, caps, profile, out);
+  return out;
+}
+
+void ApplyVmxFixup(VmxFixupId id, Vmcs& v) {
+  switch (id) {
+    case VmxFixupId::kUnusableSegArClear: {
+      for (VmcsField f :
+           {VmcsField::kGuestEsArBytes, VmcsField::kGuestSsArBytes,
+            VmcsField::kGuestDsArBytes, VmcsField::kGuestFsArBytes,
+            VmcsField::kGuestGsArBytes, VmcsField::kGuestLdtrArBytes}) {
+        const uint32_t ar = static_cast<uint32_t>(v.Read(f));
+        if (!SegAr::Usable(ar)) {
+          v.Write(f, SegAr::kUnusable);
+        }
+      }
+      break;
+    }
+    case VmxFixupId::kCsAccessedBitSet: {
+      const uint32_t ar =
+          static_cast<uint32_t>(v.Read(VmcsField::kGuestCsArBytes));
+      if (SegAr::Usable(ar) && (ar & SegAr::kS) != 0) {
+        v.Write(VmcsField::kGuestCsArBytes, ar | 1u);
+      }
+      break;
+    }
+    case VmxFixupId::kPendingDbgReservedClear: {
+      const uint64_t pending =
+          v.Read(VmcsField::kGuestPendingDbgExceptions);
+      v.Write(VmcsField::kGuestPendingDbgExceptions,
+              pending & ~PendingDbg::kReservedMask);
+      break;
+    }
+    case VmxFixupId::kCount:
+      break;
+  }
+}
+
+void ApplyHardwareVmxFixups(Vmcs& v) {
+  ApplyVmxFixup(VmxFixupId::kUnusableSegArClear, v);
+  ApplyVmxFixup(VmxFixupId::kCsAccessedBitSet, v);
+  ApplyVmxFixup(VmxFixupId::kPendingDbgReservedClear, v);
+}
+
+}  // namespace neco

@@ -1,0 +1,79 @@
+// The architectural VM-entry check algorithm (Intel SDM chapter 27).
+//
+// Both the simulated physical CPU and the validator's specification model
+// run this algorithm, but under different *profiles*:
+//
+//  * The SPEC profile enforces everything the manual documents. This is
+//    what a Bochs-derived validator implements.
+//  * The HARDWARE profile reflects what real silicon does, including the
+//    documented-but-unenforced constraints the paper exploits (e.g. real
+//    CPUs silently tolerate CR4.PAE=0 with IA-32e mode — the root cause of
+//    CVE-2023-30456) and silent state fixups applied on successful entry.
+//
+// The delta between the profiles is the "undocumented behaviour" surface
+// that NecoFuzz's hardware-as-oracle loop (Section 3.4) detects and learns.
+#ifndef SRC_CPU_VMX_CHECKS_H_
+#define SRC_CPU_VMX_CHECKS_H_
+
+#include "src/arch/vmcs.h"
+#include "src/arch/vmx_caps.h"
+#include "src/cpu/entry_check.h"
+
+namespace neco {
+
+struct VmxCheckProfile {
+  // Enforce the documented "CR4.PAE must be 1 when IA-32e mode guest"
+  // consistency check. Real CPUs skip it; the spec requires it.
+  bool enforce_cr4_pae_for_ia32e = true;
+  // Enforce strict pending-debug-exception BS-vs-TF coupling.
+  bool enforce_pending_dbg_bs_vs_tf = true;
+  // Enforce TPR-threshold-vs-VTPR ordering (subtle, often mis-modelled).
+  bool enforce_tpr_threshold_vs_vtpr = true;
+  // Stop at the first violation (hardware) or collect all (validator).
+  bool stop_at_first = false;
+
+  static VmxCheckProfile Spec() { return VmxCheckProfile{}; }
+
+  static VmxCheckProfile Hardware() {
+    VmxCheckProfile p;
+    p.enforce_cr4_pae_for_ia32e = false;   // Silicon tolerates it.
+    p.enforce_pending_dbg_bs_vs_tf = true;
+    p.enforce_tpr_threshold_vs_vtpr = true;
+    p.stop_at_first = true;
+    return p;
+  }
+};
+
+// Individual check groups, mirroring the three Bochs routines the paper
+// adapts: VMenterLoadCheckVmControls, VMenterLoadCheckHostState, and
+// VMenterLoadCheckGuestState (Section 4.3).
+void CheckVmControls(const Vmcs& v, const VmxCapabilities& caps,
+                     const VmxCheckProfile& profile, ViolationList& out);
+void CheckHostState(const Vmcs& v, const VmxCapabilities& caps,
+                    const VmxCheckProfile& profile, ViolationList& out);
+void CheckGuestState(const Vmcs& v, const VmxCapabilities& caps,
+                     const VmxCheckProfile& profile, ViolationList& out);
+
+// Full entry check in architectural order (controls, host, guest).
+ViolationList CheckVmxEntry(const Vmcs& v, const VmxCapabilities& caps,
+                            const VmxCheckProfile& profile);
+
+// Silent fixups hardware applies to guest state on a *successful* entry
+// (visible on subsequent vmread). Identities are enumerated so the
+// validator's quirk table can learn them one by one.
+enum class VmxFixupId : uint8_t {
+  kUnusableSegArClear,       // Unusable segments read back AR == UNUSABLE.
+  kCsAccessedBitSet,         // CS type accessed bit is forced set.
+  kPendingDbgReservedClear,  // Reserved pending-debug bits read back as 0.
+  kCount,
+};
+
+// Apply one fixup in place.
+void ApplyVmxFixup(VmxFixupId id, Vmcs& v);
+
+// Apply the full hardware fixup set (what real silicon does).
+void ApplyHardwareVmxFixups(Vmcs& v);
+
+}  // namespace neco
+
+#endif  // SRC_CPU_VMX_CHECKS_H_

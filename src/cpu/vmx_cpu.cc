@@ -1,0 +1,192 @@
+#include "src/cpu/vmx_cpu.h"
+
+#include "src/support/bits.h"
+
+namespace neco {
+
+VmxCpu::VmxCpu(VmxCapabilities caps) : caps_(std::move(caps)) {}
+
+void VmxCpu::Reset() {
+  vmxon_ptr_.reset();
+  current_ptr_.reset();
+  regions_.clear();
+}
+
+VmxInsnResult VmxCpu::Vmxon(uint64_t pa) {
+  if (vmxon_ptr_.has_value()) {
+    return VmxInsnResult::Valid(VmxError::kVmxonInRoot);
+  }
+  if (!IsAligned(pa, 12) || pa == 0 || pa > caps_.MaxPhysicalAddress()) {
+    return VmxInsnResult::Invalid();
+  }
+  vmxon_ptr_ = pa;
+  current_ptr_.reset();
+  return VmxInsnResult::Ok();
+}
+
+VmxInsnResult VmxCpu::Vmxoff() {
+  if (!vmxon_ptr_.has_value()) {
+    return VmxInsnResult::Invalid();
+  }
+  vmxon_ptr_.reset();
+  current_ptr_.reset();
+  return VmxInsnResult::Ok();
+}
+
+VmxInsnResult VmxCpu::Vmclear(uint64_t pa) {
+  if (!vmxon_ptr_.has_value()) {
+    return VmxInsnResult::Invalid();
+  }
+  if (!IsAligned(pa, 12) || pa == 0 || pa > caps_.MaxPhysicalAddress()) {
+    return VmxInsnResult::Valid(VmxError::kVmclearInvalidAddress);
+  }
+  if (pa == *vmxon_ptr_) {
+    return VmxInsnResult::Valid(VmxError::kVmclearVmxonPointer);
+  }
+  Region& region = regions_[pa];  // Creates the region on first use.
+  region.vmcs.set_launch_state(Vmcs::LaunchState::kClear);
+  if (current_ptr_ == pa) {
+    current_ptr_.reset();
+  }
+  return VmxInsnResult::Ok();
+}
+
+VmxInsnResult VmxCpu::Vmptrld(uint64_t pa) {
+  if (!vmxon_ptr_.has_value()) {
+    return VmxInsnResult::Invalid();
+  }
+  if (!IsAligned(pa, 12) || pa == 0 || pa > caps_.MaxPhysicalAddress()) {
+    return VmxInsnResult::Valid(VmxError::kVmptrldInvalidAddress);
+  }
+  if (pa == *vmxon_ptr_) {
+    return VmxInsnResult::Valid(VmxError::kVmptrldVmxonPointer);
+  }
+  auto it = regions_.find(pa);
+  if (it == regions_.end()) {
+    // A region never vmcleared reads as an uninitialized header.
+    regions_[pa];  // Materialize with default revision.
+    it = regions_.find(pa);
+  }
+  if (it->second.revision != caps_.revision_id) {
+    return VmxInsnResult::Valid(VmxError::kVmptrldWrongRevision);
+  }
+  current_ptr_ = pa;
+  return VmxInsnResult::Ok();
+}
+
+Vmcs* VmxCpu::current_vmcs() {
+  if (!current_ptr_.has_value()) {
+    return nullptr;
+  }
+  auto it = regions_.find(*current_ptr_);
+  return it != regions_.end() ? &it->second.vmcs : nullptr;
+}
+
+VmxInsnResult VmxCpu::Vmwrite(VmcsField field, uint64_t value) {
+  Vmcs* vmcs = current_vmcs();
+  if (vmcs == nullptr) {
+    return VmxInsnResult::Invalid();
+  }
+  if (FindVmcsField(field) == nullptr) {
+    return VmxInsnResult::Valid(VmxError::kVmreadVmwriteInvalidField);
+  }
+  if (IsReadOnlyField(field)) {
+    return VmxInsnResult::Valid(VmxError::kVmwriteReadOnlyField);
+  }
+  vmcs->Write(field, value);
+  return VmxInsnResult::Ok();
+}
+
+VmxInsnResult VmxCpu::Vmread(VmcsField field, uint64_t* value_out) {
+  Vmcs* vmcs = current_vmcs();
+  if (vmcs == nullptr) {
+    return VmxInsnResult::Invalid();
+  }
+  if (FindVmcsField(field) == nullptr) {
+    return VmxInsnResult::Valid(VmxError::kVmreadVmwriteInvalidField);
+  }
+  if (value_out != nullptr) {
+    *value_out = vmcs->Read(field);
+  }
+  return VmxInsnResult::Ok();
+}
+
+EntryOutcome VmxCpu::TryEntry(Vmcs& vmcs, bool launch) {
+  EntryOutcome outcome;
+  if (launch && vmcs.launch_state() != Vmcs::LaunchState::kClear) {
+    outcome.status = EntryStatus::kWrongLaunchState;
+    outcome.error = VmxError::kVmlaunchNonClear;
+    return outcome;
+  }
+  if (!launch && vmcs.launch_state() != Vmcs::LaunchState::kLaunched) {
+    outcome.status = EntryStatus::kWrongLaunchState;
+    outcome.error = VmxError::kVmresumeNonLaunched;
+    return outcome;
+  }
+
+  const VmxCheckProfile hw = VmxCheckProfile::Hardware();
+  ViolationList violations;
+  CheckVmControls(vmcs, caps_, hw, violations);
+  if (!violations.empty()) {
+    outcome.status = EntryStatus::kVmFailValid;
+    outcome.failed_check = violations.front();
+    outcome.error = VmxError::kEntryInvalidControls;
+    return outcome;
+  }
+  CheckHostState(vmcs, caps_, hw, violations);
+  if (!violations.empty()) {
+    outcome.status = EntryStatus::kVmFailValid;
+    outcome.failed_check = violations.front();
+    outcome.error = VmxError::kEntryInvalidHostState;
+    return outcome;
+  }
+  CheckGuestState(vmcs, caps_, hw, violations);
+  if (!violations.empty()) {
+    // Entry began, then failed: VM-exit 33 with the guest state untouched.
+    outcome.status = EntryStatus::kEntryFailGuest;
+    outcome.failed_check = violations.front();
+    vmcs.Write(VmcsField::kVmExitReason,
+               static_cast<uint32_t>(ExitReason::kInvalidGuestState) |
+                   kExitReasonFailedEntryBit);
+    return outcome;
+  }
+
+  // Success: hardware silently normalizes some guest fields.
+  ApplyHardwareVmxFixups(vmcs);
+  if (launch) {
+    vmcs.set_launch_state(Vmcs::LaunchState::kLaunched);
+  }
+  outcome.status = EntryStatus::kEntered;
+  return outcome;
+}
+
+EntryOutcome VmxCpu::Vmlaunch() {
+  EntryOutcome outcome;
+  Vmcs* vmcs = current_vmcs();
+  if (!vmxon_ptr_.has_value() || vmcs == nullptr) {
+    outcome.status = EntryStatus::kNotReady;
+    return outcome;
+  }
+  return TryEntry(*vmcs, /*launch=*/true);
+}
+
+EntryOutcome VmxCpu::Vmresume() {
+  EntryOutcome outcome;
+  Vmcs* vmcs = current_vmcs();
+  if (!vmxon_ptr_.has_value() || vmcs == nullptr) {
+    outcome.status = EntryStatus::kNotReady;
+    return outcome;
+  }
+  return TryEntry(*vmcs, /*launch=*/false);
+}
+
+void VmxCpu::SetRegionRevision(uint64_t pa, uint32_t revision) {
+  regions_[pa].revision = revision;
+}
+
+Vmcs* VmxCpu::RegionAt(uint64_t pa) {
+  auto it = regions_.find(pa);
+  return it != regions_.end() ? &it->second.vmcs : nullptr;
+}
+
+}  // namespace neco

@@ -1,0 +1,114 @@
+// Simulated physical CPU with Intel VT-x.
+//
+// Models the architectural state machine of VMX operation: the VMXON
+// region, memory-resident VMCS regions addressed by guest-physical address,
+// the current-VMCS pointer, launch state, and the vmxon/vmclear/vmptrld/
+// vmread/vmwrite/vmlaunch/vmresume/vmxoff instruction semantics, including
+// VMfailInvalid/VMfailValid error reporting.
+//
+// Two consumers use this model:
+//  * The L0 hypervisor simulators "run on" this CPU: after preparing a
+//    VMCS02 they call TryEntry(), which performs the HARDWARE-profile
+//    VM-entry checks and the silent post-entry fixups.
+//  * The validator's hardware-as-oracle loop (paper Section 3.4) uses the
+//    instruction interface to compare its spec-model predictions against
+//    what "silicon" actually does.
+#ifndef SRC_CPU_VMX_CPU_H_
+#define SRC_CPU_VMX_CPU_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/arch/vmcs.h"
+#include "src/arch/vmx_bits.h"
+#include "src/arch/vmx_caps.h"
+#include "src/cpu/entry_check.h"
+#include "src/cpu/vmx_checks.h"
+
+namespace neco {
+
+// Flag-register outcome of a VMX instruction (SDM 31.2).
+enum class VmxFlag : uint8_t {
+  kSucceed,      // CF=0, ZF=0.
+  kFailInvalid,  // CF=1: no current VMCS or bad pointer.
+  kFailValid,    // ZF=1: error number stored in VM-instruction-error.
+};
+
+struct VmxInsnResult {
+  VmxFlag flag = VmxFlag::kSucceed;
+  VmxError error = VmxError::kNone;
+
+  bool ok() const { return flag == VmxFlag::kSucceed; }
+
+  static VmxInsnResult Ok() { return {}; }
+  static VmxInsnResult Invalid() { return {VmxFlag::kFailInvalid, VmxError::kNone}; }
+  static VmxInsnResult Valid(VmxError e) { return {VmxFlag::kFailValid, e}; }
+};
+
+// Outcome of a VM-entry attempt.
+enum class EntryStatus : uint8_t {
+  kEntered,            // Guest is running.
+  kVmFailValid,        // Control/host-state check failed (VMfailValid).
+  kEntryFailGuest,     // Guest-state check failed (VM-exit 33, no entry).
+  kNotReady,           // No current VMCS / not in VMX operation.
+  kWrongLaunchState,   // vmlaunch on launched VMCS or vmresume on clear.
+};
+
+struct EntryOutcome {
+  EntryStatus status = EntryStatus::kNotReady;
+  CheckId failed_check = CheckId::kNone;
+  VmxError error = VmxError::kNone;
+
+  bool entered() const { return status == EntryStatus::kEntered; }
+};
+
+class VmxCpu {
+ public:
+  explicit VmxCpu(VmxCapabilities caps = HostVmxCapabilities());
+
+  const VmxCapabilities& caps() const { return caps_; }
+  void set_caps(VmxCapabilities caps) { caps_ = std::move(caps); }
+
+  // --- Instruction semantics (guest-physical addressed) ---
+  VmxInsnResult Vmxon(uint64_t pa);
+  VmxInsnResult Vmxoff();
+  VmxInsnResult Vmclear(uint64_t pa);
+  VmxInsnResult Vmptrld(uint64_t pa);
+  VmxInsnResult Vmwrite(VmcsField field, uint64_t value);
+  VmxInsnResult Vmread(VmcsField field, uint64_t* value_out);
+  EntryOutcome Vmlaunch();
+  EntryOutcome Vmresume();
+
+  // --- Direct (hypervisor-internal) entry: what KVM's asm stub does with
+  // a loaded hardware VMCS. Checks + fixups applied to `vmcs` in place. ---
+  EntryOutcome TryEntry(Vmcs& vmcs, bool launch);
+
+  bool in_vmx_operation() const { return vmxon_ptr_.has_value(); }
+  uint64_t current_vmcs_ptr() const { return current_ptr_.value_or(~0ULL); }
+  Vmcs* current_vmcs();
+
+  // Region revision override, letting harnesses model a guest writing a
+  // wrong revision identifier into the VMCS region header.
+  void SetRegionRevision(uint64_t pa, uint32_t revision);
+
+  // Test/inspection hook: direct access to a memory-resident VMCS region.
+  Vmcs* RegionAt(uint64_t pa);
+
+  void Reset();
+
+ private:
+  struct Region {
+    uint32_t revision = Vmcs::kRevisionId;
+    Vmcs vmcs;
+  };
+
+  VmxCapabilities caps_;
+  std::optional<uint64_t> vmxon_ptr_;
+  std::optional<uint64_t> current_ptr_;
+  std::map<uint64_t, Region> regions_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CPU_VMX_CPU_H_

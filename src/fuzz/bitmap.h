@@ -1,0 +1,91 @@
+// AFL-style edge-coverage bitmap.
+//
+// The agent maps hypervisor coverage points into this 64 KiB shared bitmap
+// (the same size AFL++ uses); hit counts are bucketed into the classic
+// power-of-two classes before novelty comparison against the virgin map.
+#ifndef SRC_FUZZ_BITMAP_H_
+#define SRC_FUZZ_BITMAP_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace neco {
+
+class CoverageBitmap {
+ public:
+  static constexpr size_t kSize = 1 << 16;
+
+  CoverageBitmap() { Clear(); }
+
+  void Clear() { map_.fill(0); }
+
+  void Add(uint32_t edge_id) {
+    uint8_t& cell = map_[edge_id % kSize];
+    if (cell < 255) {
+      ++cell;
+    }
+  }
+
+  // Classic AFL hit-count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127,
+  // 128+ collapse into distinct bits.
+  void ClassifyCounts() {
+    for (auto& cell : map_) {
+      cell = Bucket(cell);
+    }
+  }
+
+  // Merges this (classified) map into `virgin`, reporting whether any new
+  // bits appeared. Returns 2 for new edges, 1 for new hit-count buckets
+  // only, 0 for nothing new (AFL semantics).
+  int MergeInto(CoverageBitmap& virgin) const {
+    int ret = 0;
+    for (size_t i = 0; i < kSize; ++i) {
+      const uint8_t cur = map_[i];
+      if (cur == 0) {
+        continue;
+      }
+      uint8_t& v = virgin.map_[i];
+      if ((cur & ~v) != 0) {
+        ret = v == 0 ? 2 : (ret < 1 ? 1 : ret);
+        if (v == 0) {
+          ret = 2;
+        } else if (ret < 1) {
+          ret = 1;
+        }
+        v |= cur;
+      }
+    }
+    return ret;
+  }
+
+  size_t CountNonZero() const {
+    size_t n = 0;
+    for (uint8_t cell : map_) {
+      n += cell != 0;
+    }
+    return n;
+  }
+
+  const uint8_t* data() const { return map_.data(); }
+  uint8_t at(size_t i) const { return map_[i % kSize]; }
+
+ private:
+  static uint8_t Bucket(uint8_t count) {
+    if (count == 0) return 0;
+    if (count == 1) return 1 << 0;
+    if (count == 2) return 1 << 1;
+    if (count == 3) return 1 << 2;
+    if (count <= 7) return 1 << 3;
+    if (count <= 15) return 1 << 4;
+    if (count <= 31) return 1 << 5;
+    if (count <= 127) return 1 << 6;
+    return 1 << 7;
+  }
+
+  std::array<uint8_t, kSize> map_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_FUZZ_BITMAP_H_

@@ -1,0 +1,68 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+
+namespace neco {
+
+Fuzzer::Fuzzer(FuzzerOptions options, Executor executor)
+    : options_(options),
+      executor_(std::move(executor)),
+      mutator_(options.seed),
+      corpus_(options.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+FuzzInput Fuzzer::NextInput() {
+  if (!options_.coverage_guidance || corpus_.empty()) {
+    // Breadth-first mode: fresh random bytes every time. The VM state
+    // validator downstream rounds them to the valid/invalid boundary, so
+    // raw entropy is productive here (paper Section 5.6).
+    return MakeRandomInput(mutator_.rng());
+  }
+  QueueEntry& entry = corpus_.Pick();
+  ++entry.times_fuzzed;
+  FuzzInput input = entry.input;
+  if (mutator_.rng().Chance(options_.splice_percent, 100) &&
+      corpus_.size() > 1) {
+    mutator_.Splice(input, corpus_.RandomDonor());
+  }
+  mutator_.Havoc(input, options_.havoc_stack);
+  return input;
+}
+
+void Fuzzer::Run(uint64_t iterations) {
+  for (uint64_t i = 0; i < iterations; ++i) {
+    FuzzInput input = NextInput();
+    const ExecFeedback feedback = executor_(input);
+    ++iterations_;
+
+    CoverageBitmap trace;
+    for (uint32_t edge : feedback.edges) {
+      trace.Add(edge);
+    }
+    trace.ClassifyCounts();
+    const int novelty = trace.MergeInto(virgin_);
+
+    if (options_.coverage_guidance && novelty == 2) {
+      corpus_.Add(input, iterations_, feedback.edges.size());
+    }
+    if (feedback.anomaly) {
+      const bool seen =
+          std::find(seen_bug_ids_.begin(), seen_bug_ids_.end(),
+                    feedback.anomaly_id) != seen_bug_ids_.end();
+      if (!seen) {
+        seen_bug_ids_.push_back(feedback.anomaly_id);
+        crashes_.emplace_back(feedback.anomaly_id, input);
+      }
+    }
+  }
+}
+
+FuzzerStats Fuzzer::stats() const {
+  FuzzerStats s;
+  s.iterations = iterations_;
+  s.queue_size = corpus_.size();
+  s.unique_anomalies = crashes_.size();
+  s.bitmap_edges = virgin_.CountNonZero();
+  return s;
+}
+
+}  // namespace neco

@@ -1,0 +1,82 @@
+// The coverage-guided fuzzing loop (the AFL++ role in the paper).
+//
+// The fuzzer owns the corpus, the virgin bitmap, and the mutation
+// schedule; the embedder supplies an executor callback that runs one
+// 2 KiB input end to end (agent -> fuzz-harness VM -> target hypervisor)
+// and reports the edges it touched plus any detected anomalies.
+//
+// Coverage guidance is optional (paper Table 5 / Section 5.6): with
+// guidance off the loop becomes the breadth-first boundary explorer the
+// paper found nearly as effective, drawing fresh random inputs instead of
+// mutating interesting queue entries.
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/bitmap.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/mutator.h"
+
+namespace neco {
+
+// What one execution of the harness reported back to the fuzzer.
+struct ExecFeedback {
+  std::vector<uint32_t> edges;   // Edge ids hit during the run.
+  bool anomaly = false;          // A sanitizer/log anomaly fired.
+  std::string anomaly_id;        // Stable bug id, for crash dedup.
+};
+
+using Executor = std::function<ExecFeedback(const FuzzInput&)>;
+
+struct FuzzerOptions {
+  uint64_t seed = 1;
+  bool coverage_guidance = true;
+  // Havoc intensity.
+  unsigned havoc_stack = 16;
+  // Probability (percent) of splicing instead of plain havoc.
+  unsigned splice_percent = 15;
+};
+
+struct FuzzerStats {
+  uint64_t iterations = 0;
+  uint64_t queue_size = 0;
+  uint64_t unique_anomalies = 0;
+  uint64_t bitmap_edges = 0;
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(FuzzerOptions options, Executor executor);
+
+  // Runs `iterations` executions; may be called repeatedly to continue.
+  void Run(uint64_t iterations);
+
+  // Saved inputs that triggered anomalies, deduplicated by bug id.
+  const std::vector<std::pair<std::string, FuzzInput>>& crashes() const {
+    return crashes_;
+  }
+
+  FuzzerStats stats() const;
+  const Corpus& corpus() const { return corpus_; }
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  FuzzInput NextInput();
+
+  FuzzerOptions options_;
+  Executor executor_;
+  Mutator mutator_;
+  Corpus corpus_;
+  CoverageBitmap virgin_;
+  std::vector<std::pair<std::string, FuzzInput>> crashes_;
+  std::vector<std::string> seen_bug_ids_;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace neco
+
+#endif  // SRC_FUZZ_FUZZER_H_

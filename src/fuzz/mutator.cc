@@ -1,0 +1,149 @@
+#include "src/fuzz/mutator.h"
+
+#include <cstring>
+
+namespace neco {
+namespace {
+
+constexpr int8_t kInteresting8[] = {-128, -1, 0, 1, 16, 32, 64, 100, 127};
+constexpr int16_t kInteresting16[] = {-32768, -129, 128, 255, 256, 512, 1000,
+                                      1024, 4096, 32767};
+constexpr int32_t kInteresting32[] = {-2147483647 - 1, -100663046, -32769,
+                                      32768, 65535, 65536, 100663045,
+                                      2147483647};
+
+}  // namespace
+
+FuzzInput MakeZeroInput() { return FuzzInput(kFuzzInputSize, 0); }
+
+FuzzInput MakeRandomInput(Rng& rng) {
+  FuzzInput input(kFuzzInputSize);
+  for (auto& b : input) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return input;
+}
+
+void Mutator::FlipBit(FuzzInput& input, size_t bit) {
+  if (input.empty()) {
+    return;
+  }
+  const size_t idx = (bit / 8) % input.size();
+  input[idx] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void Mutator::SetByte(FuzzInput& input, size_t pos, uint8_t value) {
+  if (input.empty()) {
+    return;
+  }
+  input[pos % input.size()] = value;
+}
+
+void Mutator::OneHavocStep(FuzzInput& input) {
+  if (input.empty()) {
+    return;
+  }
+  const size_t n = input.size();
+  switch (rng_.Below(12)) {
+    case 0:  // Flip a single bit.
+      FlipBit(input, rng_.Below(n * 8));
+      break;
+    case 1: {  // Interesting 8-bit value.
+      input[rng_.Below(n)] = static_cast<uint8_t>(
+          kInteresting8[rng_.Below(sizeof(kInteresting8))]);
+      break;
+    }
+    case 2: {  // Interesting 16-bit value.
+      if (n < 2) break;
+      const size_t pos = rng_.Below(n - 1);
+      const int16_t v = kInteresting16[rng_.Below(
+          sizeof(kInteresting16) / sizeof(int16_t))];
+      std::memcpy(&input[pos], &v, 2);
+      break;
+    }
+    case 3: {  // Interesting 32-bit value.
+      if (n < 4) break;
+      const size_t pos = rng_.Below(n - 3);
+      const int32_t v = kInteresting32[rng_.Below(
+          sizeof(kInteresting32) / sizeof(int32_t))];
+      std::memcpy(&input[pos], &v, 4);
+      break;
+    }
+    case 4: {  // 8-bit arithmetic.
+      const size_t pos = rng_.Below(n);
+      const uint8_t delta = static_cast<uint8_t>(1 + rng_.Below(35));
+      input[pos] = rng_.CoinFlip() ? input[pos] + delta : input[pos] - delta;
+      break;
+    }
+    case 5: {  // 16-bit arithmetic.
+      if (n < 2) break;
+      const size_t pos = rng_.Below(n - 1);
+      uint16_t v;
+      std::memcpy(&v, &input[pos], 2);
+      const uint16_t delta = static_cast<uint16_t>(1 + rng_.Below(35));
+      v = rng_.CoinFlip() ? v + delta : v - delta;
+      std::memcpy(&input[pos], &v, 2);
+      break;
+    }
+    case 6: {  // 32-bit arithmetic.
+      if (n < 4) break;
+      const size_t pos = rng_.Below(n - 3);
+      uint32_t v;
+      std::memcpy(&v, &input[pos], 4);
+      const uint32_t delta = static_cast<uint32_t>(1 + rng_.Below(35));
+      v = rng_.CoinFlip() ? v + delta : v - delta;
+      std::memcpy(&input[pos], &v, 4);
+      break;
+    }
+    case 7:  // Random byte.
+      input[rng_.Below(n)] = static_cast<uint8_t>(rng_.Next());
+      break;
+    case 8: {  // Block overwrite with a constant.
+      const size_t len = 1 + rng_.Below(n / 16 + 1);
+      const size_t pos = rng_.Below(n - len + 1);
+      std::memset(&input[pos], static_cast<int>(rng_.Next() & 0xff), len);
+      break;
+    }
+    case 9: {  // Block copy within the input.
+      const size_t len = 1 + rng_.Below(n / 16 + 1);
+      const size_t src = rng_.Below(n - len + 1);
+      const size_t dst = rng_.Below(n - len + 1);
+      std::memmove(&input[dst], &input[src], len);
+      break;
+    }
+    case 10: {  // Random 64-bit word.
+      if (n < 8) break;
+      const size_t pos = rng_.Below(n - 7);
+      const uint64_t v = rng_.Next();
+      std::memcpy(&input[pos], &v, 8);
+      break;
+    }
+    case 11: {  // Byte swap (order perturbation for the harness slices).
+      const size_t a = rng_.Below(n);
+      const size_t b = rng_.Below(n);
+      std::swap(input[a], input[b]);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Mutator::Havoc(FuzzInput& input, unsigned max_stack) {
+  const unsigned steps = 1 + static_cast<unsigned>(rng_.Below(max_stack));
+  for (unsigned i = 0; i < steps; ++i) {
+    OneHavocStep(input);
+  }
+}
+
+void Mutator::Splice(FuzzInput& input, const FuzzInput& donor) {
+  if (input.empty() || donor.empty()) {
+    return;
+  }
+  const size_t n = std::min(input.size(), donor.size());
+  const size_t start = rng_.Below(n);
+  const size_t len = 1 + rng_.Below(n - start);
+  std::memcpy(&input[start], &donor[start], len);
+}
+
+}  // namespace neco

@@ -1,0 +1,50 @@
+// AFL++-style havoc mutation over fixed-size binary inputs.
+//
+// NecoFuzz feeds each component of the VM generator from a 2 KiB input
+// (paper Section 4.1); the mutator is the stock AFL++ havoc stage: bit
+// flips, interesting-value substitution, bounded arithmetic, block copy
+// and overwrite, plus splicing between corpus entries.
+#ifndef SRC_FUZZ_MUTATOR_H_
+#define SRC_FUZZ_MUTATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace neco {
+
+// Fixed fuzzing-input size: "2KiB of binary data" per the paper.
+constexpr size_t kFuzzInputSize = 2048;
+
+using FuzzInput = std::vector<uint8_t>;
+
+FuzzInput MakeZeroInput();
+FuzzInput MakeRandomInput(Rng& rng);
+
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed) : rng_(seed) {}
+
+  // In-place havoc: applies 1..`max_stack` stacked random mutations.
+  void Havoc(FuzzInput& input, unsigned max_stack = 16);
+
+  // Splice: overwrite a random extent of `input` with bytes from `donor`.
+  void Splice(FuzzInput& input, const FuzzInput& donor);
+
+  // Single deterministic-stage style mutations (exposed for tests and for
+  // the deterministic sweep at queue-entry birth).
+  void FlipBit(FuzzInput& input, size_t bit);
+  void SetByte(FuzzInput& input, size_t pos, uint8_t value);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  void OneHavocStep(FuzzInput& input);
+
+  Rng rng_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_FUZZ_MUTATOR_H_

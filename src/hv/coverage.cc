@@ -1,0 +1,33 @@
+#include "src/hv/coverage.h"
+
+#include <algorithm>
+
+namespace neco {
+
+std::vector<size_t> CoverageUnit::CoveredSet() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < hits_.size(); ++i) {
+    if (hits_[i] != 0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> CoverageIntersect(const std::vector<size_t>& a,
+                                      const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<size_t> CoverageSubtract(const std::vector<size_t>& a,
+                                     const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace neco

@@ -1,0 +1,99 @@
+// Line-coverage instrumentation for the simulated hypervisors.
+//
+// The paper measures line coverage of the nested-virtualization source
+// files (KVM's vmx/nested.c and svm/nested.c, Xen's vvmx.c/nestedsvm.c)
+// via kcov/gcov. Here every instrumentable basic block in a simulator
+// translation unit is marked with the NVCOV() macro, which uses
+// __COUNTER__ to assign dense per-unit point ids at compile time; the
+// sentinel taken at the end of the TU yields the unit's total point count.
+// A CoverageUnit therefore knows both "which lines ran" and "how many
+// lines exist", giving the same cov%/#line metric as the paper's tables.
+#ifndef SRC_HV_COVERAGE_H_
+#define SRC_HV_COVERAGE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neco {
+
+class CoverageUnit {
+ public:
+  CoverageUnit(std::string name, size_t total_points)
+      : name_(std::move(name)), hits_(total_points, 0) {}
+
+  void Hit(size_t point) {
+    if (point < hits_.size()) {
+      hits_[point] = 1;
+      ++hit_events_;
+      trace_.push_back(static_cast<uint32_t>(point));
+    }
+  }
+
+  // Per-execution trace: every Hit() since the last drain, in order. The
+  // fuzzing agent drains this after each run to feed the AFL bitmap.
+  std::vector<uint32_t> DrainTrace() {
+    std::vector<uint32_t> out = std::move(trace_);
+    trace_.clear();
+    return out;
+  }
+
+  std::string_view name() const { return name_; }
+  size_t total_points() const { return hits_.size(); }
+
+  size_t covered_points() const {
+    size_t n = 0;
+    for (uint8_t h : hits_) {
+      n += h;
+    }
+    return n;
+  }
+
+  double percent() const {
+    if (hits_.empty()) {
+      return 0.0;
+    }
+    return 100.0 * static_cast<double>(covered_points()) /
+           static_cast<double>(hits_.size());
+  }
+
+  bool IsCovered(size_t point) const {
+    return point < hits_.size() && hits_[point] != 0;
+  }
+
+  // Set of covered point ids (for the A∩B / A−B rows of Tables 2 and 4).
+  std::vector<size_t> CoveredSet() const;
+
+  // Raw hit vector for bitmap mapping by the fuzzing agent.
+  const std::vector<uint8_t>& hits() const { return hits_; }
+
+  // Total Hit() calls (edge-ish signal used for guidance).
+  uint64_t hit_events() const { return hit_events_; }
+
+  void ResetCoverage() {
+    std::fill(hits_.begin(), hits_.end(), 0);
+    trace_.clear();
+    hit_events_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<uint8_t> hits_;
+  std::vector<uint32_t> trace_;
+  uint64_t hit_events_ = 0;
+};
+
+// Marks one basic block in a simulator TU. `unit` is a CoverageUnit&.
+#define NVCOV(unit) (unit).Hit(__COUNTER__)
+
+// Set algebra over covered-point sets, reported in Tables 2/4 as A−B, A∩B.
+std::vector<size_t> CoverageIntersect(const std::vector<size_t>& a,
+                                      const std::vector<size_t>& b);
+std::vector<size_t> CoverageSubtract(const std::vector<size_t>& a,
+                                     const std::vector<size_t>& b);
+
+}  // namespace neco
+
+#endif  // SRC_HV_COVERAGE_H_

@@ -1,0 +1,146 @@
+// Instruction vocabulary of the fuzz-harness VM.
+//
+// The VM execution harness drives two instruction families at the L0
+// hypervisor (paper Section 4.2 and Table 1):
+//  * hardware-assisted virtualization instructions executed by L1 (VMX on
+//    Intel, SVM on AMD), which L0 must emulate, and
+//  * ordinary exit-triggering instructions executed in L1 or L2 context
+//    (privileged register access, I/O, MSR access, miscellaneous).
+#ifndef SRC_HV_GUEST_INSN_H_
+#define SRC_HV_GUEST_INSN_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/arch/vmx_fields.h"
+#include "src/arch/vmcb.h"
+
+namespace neco {
+
+// --- Intel VMX instructions issued by the L1 hypervisor ---
+enum class VmxOp : uint8_t {
+  kVmxon,
+  kVmxoff,
+  kVmclear,
+  kVmptrld,
+  kVmptrst,
+  kVmwrite,
+  kVmread,
+  kVmlaunch,
+  kVmresume,
+  kInvept,
+  kInvvpid,
+  kCount,
+};
+
+std::string_view VmxOpName(VmxOp op);
+
+struct VmxInsn {
+  VmxOp op = VmxOp::kVmxon;
+  uint64_t operand = 0;    // Physical address for pointer-typed ops;
+                           // INVEPT/INVVPID type for invalidation ops.
+  VmcsField field = VmcsField::kGuestRip;  // For vmread/vmwrite.
+  uint64_t value = 0;      // For vmwrite.
+};
+
+// --- AMD SVM instructions issued by the L1 hypervisor ---
+enum class SvmOp : uint8_t {
+  kVmrun,
+  kVmload,
+  kVmsave,
+  kStgi,
+  kClgi,
+  kVmmcall,
+  kInvlpga,
+  kSkinit,
+  kVmcbWrite,  // L1 writes a VMCB12 field in its guest memory.
+  kCount,
+};
+
+std::string_view SvmOpName(SvmOp op);
+
+struct SvmInsn {
+  SvmOp op = SvmOp::kVmrun;
+  uint64_t operand = 0;            // VMCB physical address / ASID.
+  VmcbField field = VmcbField::kRip;  // For kVmcbWrite.
+  uint64_t value = 0;
+};
+
+// --- Ordinary exit-triggering instructions (Table 1) ---
+enum class GuestInsnKind : uint8_t {
+  kCpuid,
+  kHlt,
+  kRdtsc,
+  kRdtscp,
+  kRdpmc,
+  kPause,
+  kRdrand,
+  kRdseed,
+  kInvd,
+  kWbinvd,
+  kMovToCr0,
+  kMovToCr3,
+  kMovFromCr3,
+  kMovToCr4,
+  kMovToCr8,
+  kMovToDr,
+  kIoIn,
+  kIoOut,
+  kRdmsr,
+  kWrmsr,
+  kInvlpg,
+  kInvpcid,
+  kMwait,
+  kMonitor,
+  kVmcall,     // Hypercall from L2 -> L1 (or L1 -> L0).
+  kXsetbv,
+  kRaiseException,  // Executes an instruction that faults with vector arg0.
+  kMovToCr0Selective,  // AMD: CR0 write intercepted selectively.
+  kCount,
+};
+
+std::string_view GuestInsnKindName(GuestInsnKind kind);
+
+struct GuestInsn {
+  GuestInsnKind kind = GuestInsnKind::kCpuid;
+  uint64_t arg0 = 0;  // CR/DR value, MSR index, port, vector, leaf...
+  uint64_t arg1 = 0;  // MSR value, I/O data...
+};
+
+// Which context the fuzz-harness VM executes the instruction in.
+enum class GuestLevel : uint8_t {
+  kL1,
+  kL2,
+};
+
+// Who ended up handling an instruction executed in the guest.
+enum class HandledBy : uint8_t {
+  kNoExit,      // Executed directly; no VM exit.
+  kL0,          // Exit consumed by the host hypervisor.
+  kL1,          // Nested exit reflected to the L1 hypervisor.
+  kHostCrash,   // The instruction took the host down (bug).
+};
+
+// Well-known MSR indices the harness and hypervisors reference.
+struct Msr {
+  static constexpr uint32_t kIa32SysenterCs = 0x174;
+  static constexpr uint32_t kIa32SysenterEsp = 0x175;
+  static constexpr uint32_t kIa32SysenterEip = 0x176;
+  static constexpr uint32_t kIa32Efer = 0xC0000080;
+  static constexpr uint32_t kStar = 0xC0000081;
+  static constexpr uint32_t kLstar = 0xC0000082;
+  static constexpr uint32_t kCstar = 0xC0000083;
+  static constexpr uint32_t kSfmask = 0xC0000084;
+  static constexpr uint32_t kFsBase = 0xC0000100;
+  static constexpr uint32_t kGsBase = 0xC0000101;
+  static constexpr uint32_t kKernelGsBase = 0xC0000102;
+  static constexpr uint32_t kIa32FeatureControl = 0x3A;
+  static constexpr uint32_t kIa32VmxBasic = 0x480;
+  static constexpr uint32_t kIa32Pat = 0x277;
+  static constexpr uint32_t kIa32Debugctl = 0x1D9;
+  static constexpr uint32_t kVmCr = 0xC0010114;  // AMD SVM control.
+};
+
+}  // namespace neco
+
+#endif  // SRC_HV_GUEST_INSN_H_

@@ -1,0 +1,86 @@
+// Sparse model of L1 guest-physical memory.
+//
+// The fuzz-harness VM places structures the L0 hypervisor must read from
+// guest memory — MSR-load/store areas, I/O and MSR bitmaps — at addresses
+// it chooses. This sparse map stands in for the guest address space: reads
+// of unwritten locations return zero, as freshly allocated guest pages do.
+#ifndef SRC_HV_GUEST_MEMORY_H_
+#define SRC_HV_GUEST_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+
+namespace neco {
+
+class GuestMemory {
+ public:
+  uint64_t Read64(uint64_t addr) const {
+    auto it = words_.find(addr & ~7ULL);
+    return it != words_.end() ? it->second : 0;
+  }
+
+  void Write64(uint64_t addr, uint64_t value) {
+    words_[addr & ~7ULL] = value;
+  }
+
+  uint32_t Read32(uint64_t addr) const {
+    const uint64_t w = Read64(addr);
+    return (addr & 4) != 0 ? static_cast<uint32_t>(w >> 32)
+                           : static_cast<uint32_t>(w);
+  }
+
+  void Write32(uint64_t addr, uint32_t value) {
+    uint64_t w = Read64(addr);
+    if ((addr & 4) != 0) {
+      w = (w & 0x00000000ffffffffULL) | (static_cast<uint64_t>(value) << 32);
+    } else {
+      w = (w & 0xffffffff00000000ULL) | value;
+    }
+    Write64(addr, w);
+  }
+
+  // Bit test within a byte-addressed bitmap (I/O bitmap, MSR bitmap
+  // semantics: bit N of the page starting at `base`).
+  bool TestBit(uint64_t base, uint64_t bit) const {
+    const uint64_t addr = base + (bit / 64) * 8;
+    return (Read64(addr) >> (bit % 64)) & 1;
+  }
+
+  void SetBit(uint64_t base, uint64_t bit, bool on) {
+    const uint64_t addr = base + (bit / 64) * 8;
+    uint64_t w = Read64(addr);
+    const uint64_t mask = 1ULL << (bit % 64);
+    Write64(addr, on ? (w | mask) : (w & ~mask));
+  }
+
+  void Clear() { words_.clear(); }
+  size_t touched_words() const { return words_.size(); }
+
+ private:
+  std::map<uint64_t, uint64_t> words_;
+};
+
+// Layout of one VM-entry/exit MSR area entry in guest memory (16 bytes:
+// MSR index, reserved, value).
+struct MsrAreaEntry {
+  uint32_t index = 0;
+  uint64_t value = 0;
+};
+
+inline MsrAreaEntry ReadMsrAreaEntry(const GuestMemory& mem, uint64_t base,
+                                     uint64_t i) {
+  MsrAreaEntry e;
+  e.index = static_cast<uint32_t>(mem.Read64(base + i * 16));
+  e.value = mem.Read64(base + i * 16 + 8);
+  return e;
+}
+
+inline void WriteMsrAreaEntry(GuestMemory& mem, uint64_t base, uint64_t i,
+                              const MsrAreaEntry& e) {
+  mem.Write64(base + i * 16, e.index);
+  mem.Write64(base + i * 16 + 8, e.value);
+}
+
+}  // namespace neco
+
+#endif  // SRC_HV_GUEST_MEMORY_H_

@@ -1,0 +1,88 @@
+#include "src/hv/guest_insn.h"
+#include "src/hv/sanitizer.h"
+
+namespace neco {
+
+std::string_view VmxOpName(VmxOp op) {
+  switch (op) {
+    case VmxOp::kVmxon: return "vmxon";
+    case VmxOp::kVmxoff: return "vmxoff";
+    case VmxOp::kVmclear: return "vmclear";
+    case VmxOp::kVmptrld: return "vmptrld";
+    case VmxOp::kVmptrst: return "vmptrst";
+    case VmxOp::kVmwrite: return "vmwrite";
+    case VmxOp::kVmread: return "vmread";
+    case VmxOp::kVmlaunch: return "vmlaunch";
+    case VmxOp::kVmresume: return "vmresume";
+    case VmxOp::kInvept: return "invept";
+    case VmxOp::kInvvpid: return "invvpid";
+    case VmxOp::kCount: break;
+  }
+  return "<invalid>";
+}
+
+std::string_view SvmOpName(SvmOp op) {
+  switch (op) {
+    case SvmOp::kVmrun: return "vmrun";
+    case SvmOp::kVmload: return "vmload";
+    case SvmOp::kVmsave: return "vmsave";
+    case SvmOp::kStgi: return "stgi";
+    case SvmOp::kClgi: return "clgi";
+    case SvmOp::kVmmcall: return "vmmcall";
+    case SvmOp::kInvlpga: return "invlpga";
+    case SvmOp::kSkinit: return "skinit";
+    case SvmOp::kVmcbWrite: return "vmcb_write";
+    case SvmOp::kCount: break;
+  }
+  return "<invalid>";
+}
+
+std::string_view GuestInsnKindName(GuestInsnKind kind) {
+  switch (kind) {
+    case GuestInsnKind::kCpuid: return "cpuid";
+    case GuestInsnKind::kHlt: return "hlt";
+    case GuestInsnKind::kRdtsc: return "rdtsc";
+    case GuestInsnKind::kRdtscp: return "rdtscp";
+    case GuestInsnKind::kRdpmc: return "rdpmc";
+    case GuestInsnKind::kPause: return "pause";
+    case GuestInsnKind::kRdrand: return "rdrand";
+    case GuestInsnKind::kRdseed: return "rdseed";
+    case GuestInsnKind::kInvd: return "invd";
+    case GuestInsnKind::kWbinvd: return "wbinvd";
+    case GuestInsnKind::kMovToCr0: return "mov_to_cr0";
+    case GuestInsnKind::kMovToCr3: return "mov_to_cr3";
+    case GuestInsnKind::kMovFromCr3: return "mov_from_cr3";
+    case GuestInsnKind::kMovToCr4: return "mov_to_cr4";
+    case GuestInsnKind::kMovToCr8: return "mov_to_cr8";
+    case GuestInsnKind::kMovToDr: return "mov_to_dr";
+    case GuestInsnKind::kIoIn: return "in";
+    case GuestInsnKind::kIoOut: return "out";
+    case GuestInsnKind::kRdmsr: return "rdmsr";
+    case GuestInsnKind::kWrmsr: return "wrmsr";
+    case GuestInsnKind::kInvlpg: return "invlpg";
+    case GuestInsnKind::kInvpcid: return "invpcid";
+    case GuestInsnKind::kMwait: return "mwait";
+    case GuestInsnKind::kMonitor: return "monitor";
+    case GuestInsnKind::kVmcall: return "vmcall";
+    case GuestInsnKind::kXsetbv: return "xsetbv";
+    case GuestInsnKind::kRaiseException: return "raise_exception";
+    case GuestInsnKind::kMovToCr0Selective: return "mov_to_cr0_selective";
+    case GuestInsnKind::kCount: break;
+  }
+  return "<invalid>";
+}
+
+std::string_view AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kUbsan: return "UBSAN";
+    case AnomalyKind::kKasan: return "KASAN";
+    case AnomalyKind::kAssertion: return "Assertion";
+    case AnomalyKind::kHostCrash: return "Host Crash";
+    case AnomalyKind::kVmCrash: return "VM Crash";
+    case AnomalyKind::kGpFault: return "GP Fault";
+    case AnomalyKind::kLogWarning: return "Log Warning";
+  }
+  return "<invalid>";
+}
+
+}  // namespace neco

@@ -1,0 +1,685 @@
+#include "src/hv/sim_kvm/nested_svm.h"
+
+#include "src/arch/vmx_bits.h"
+#include "src/support/bits.h"
+
+namespace neco {
+
+KvmNestedSvm::KvmNestedSvm(CoverageUnit& cov, SanitizerSink& san,
+                           GuestMemory& mem, SvmCpu& cpu)
+    : cov_(cov), san_(san), mem_(mem), cpu_(cpu) {
+  Reset(VcpuConfig::Default(Arch::kAmd));
+}
+
+void KvmNestedSvm::Reset(const VcpuConfig& config) {
+  config_ = config;
+  l1_svme_ = false;
+  l1_gif_ = true;
+  vmcb12_cache_.clear();
+  current_vmcb12_ = kNoPtr;
+  vmcb02_ = Vmcb();
+  in_l2_ = false;
+  l2_ever_ran_ = false;
+  cpu_.set_svme(true);  // L0 itself runs with SVME enabled.
+}
+
+const Vmcb* KvmNestedSvm::vmcb12(uint64_t pa) const {
+  auto it = vmcb12_cache_.find(pa);
+  return it != vmcb12_cache_.end() ? &it->second : nullptr;
+}
+
+bool KvmNestedSvm::NestedSvmCheckPermission() {
+  if (!config_.nested()) {
+    NVCOV(cov_);  // SVM not exposed: #UD.
+    return false;
+  }
+  if (!l1_svme_) {
+    NVCOV(cov_);  // EFER.SVME clear in L1: #UD.
+    return false;
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+SvmEmuResult KvmNestedSvm::HandleInstruction(const SvmInsn& insn) {
+  SvmEmuResult r;
+  switch (insn.op) {
+    case SvmOp::kVmrun:
+      return HandleVmrun(insn.operand);
+    case SvmOp::kVmload:
+      if (!NestedSvmCheckPermission()) {
+        return r;
+      }
+      if (!IsAligned(insn.operand, 12)) {
+        NVCOV(cov_);  // #GP on unaligned VMCB address.
+        return r;
+      }
+      NVCOV(cov_);  // Load FS/GS/TR/LDTR and MSR state from the VMCB.
+      r.ok = true;
+      return r;
+    case SvmOp::kVmsave:
+      if (!NestedSvmCheckPermission()) {
+        return r;
+      }
+      if (!IsAligned(insn.operand, 12)) {
+        NVCOV(cov_);
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kStgi:
+      if (!NestedSvmCheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      l1_gif_ = true;
+      r.ok = true;
+      return r;
+    case SvmOp::kClgi:
+      if (!NestedSvmCheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      l1_gif_ = false;
+      r.ok = true;
+      return r;
+    case SvmOp::kVmmcall:
+      NVCOV(cov_);  // Hypercall to L0 (allowed regardless of SVME).
+      r.ok = true;
+      return r;
+    case SvmOp::kInvlpga:
+      if (!NestedSvmCheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kSkinit:
+      NVCOV(cov_);  // SKINIT is never exposed to guests.
+      return r;
+    case SvmOp::kVmcbWrite: {
+      // L1 writes a VMCB12 field in its guest memory; L0 observes the
+      // memory content at the next VMRUN.
+      NVCOV(cov_);
+      Vmcb& v = vmcb12_cache_[insn.operand];
+      v.Write(insn.field, insn.value);
+      r.ok = true;
+      return r;
+    }
+    case SvmOp::kCount:
+      break;
+  }
+  return r;
+}
+
+bool KvmNestedSvm::CheckControls(const Vmcb& v12) {
+  if (v12.Read(VmcbField::kGuestAsid) == 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((v12.Read(VmcbField::kInterceptVec4) & SvmIntercept4::kVmrun) == 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((v12.Read(VmcbField::kNestedCtl) & 1) != 0 &&
+      !config_.features.Has(CpuFeature::kNpt)) {
+    NVCOV(cov_);  // L1 asks for nested paging L0 did not expose.
+    return false;
+  }
+  // NOTE (bug K2, AMD flavour): no range check on kNestedCr3 here.
+  const uint64_t event_inj = v12.Read(VmcbField::kEventInj);
+  if (TestBit(event_inj, 31)) {
+    NVCOV(cov_);
+    const uint64_t type = ExtractBits(event_inj, 8, 3);
+    if (type == 1 || type > 4) {
+      NVCOV(cov_);
+      return false;
+    }
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+bool KvmNestedSvm::CheckSaveArea(const Vmcb& v12) {
+  const uint64_t efer = v12.Read(VmcbField::kEfer);
+  const uint64_t cr0 = v12.Read(VmcbField::kCr0);
+  const uint64_t cr4 = v12.Read(VmcbField::kCr4);
+
+  if ((efer & Efer::kSvme) == 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((efer & Efer::kReservedMask) != 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((cr0 >> 32) != 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((cr0 & Cr0::kCd) == 0 && (cr0 & Cr0::kNw) != 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((cr4 & Cr4::kReservedMask) != 0 || (cr4 & Cr4::kVmxe) != 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  const bool lme = (efer & Efer::kLme) != 0;
+  const bool pg = (cr0 & Cr0::kPg) != 0;
+  if (lme && pg) {
+    NVCOV(cov_);
+    if ((cr4 & Cr4::kPae) == 0 || (cr0 & Cr0::kPe) == 0) {
+      NVCOV(cov_);
+      return false;
+    }
+    const uint16_t cs_attrib =
+        static_cast<uint16_t>(v12.Read(VmcbField::kCsAttrib));
+    if (TestBit(cs_attrib, 9) && TestBit(cs_attrib, 10)) {
+      NVCOV(cov_);  // CS.L and CS.D both set in long mode.
+      return false;
+    }
+  }
+  if ((v12.Read(VmcbField::kDr6) >> 32) != 0 ||
+      (v12.Read(VmcbField::kDr7) >> 32) != 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+bool KvmNestedSvm::MmuCheckRoot(uint64_t root_gpa) {
+  if (root_gpa > cpu_.caps().MaxPhysicalAddress()) {
+    NVCOV(cov_);
+    return false;
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+void KvmNestedSvm::PrepareVmcb02(const Vmcb& v12) {
+  NVCOV(cov_);
+  vmcb02_ = MakeDefaultVmcb();
+  // Intercepts: union of L1's and L0's.
+  vmcb02_.Write(VmcbField::kInterceptVec3,
+                v12.Read(VmcbField::kInterceptVec3) |
+                    SvmIntercept3::kIntr | SvmIntercept3::kNmi |
+                    SvmIntercept3::kShutdown);
+  vmcb02_.Write(VmcbField::kInterceptVec4,
+                v12.Read(VmcbField::kInterceptVec4) | SvmIntercept4::kVmrun);
+  vmcb02_.Write(VmcbField::kGuestAsid, 2);  // L0-owned ASID for L2.
+  if (config_.features.Has(CpuFeature::kNpt)) {
+    NVCOV(cov_);
+    vmcb02_.Write(VmcbField::kNestedCtl, 1);
+    vmcb02_.Write(VmcbField::kNestedCr3, 0x9000);  // L0's NPT root.
+  } else {
+    NVCOV(cov_);
+    vmcb02_.Write(VmcbField::kNestedCtl, 0);
+  }
+  // V_INTR: KVM sanitizes — masks out AVIC enable and copies only the
+  // virtual-interrupt request bits (contrast the Xen bug that leaks AVIC).
+  const uint64_t vintr12 = v12.Read(VmcbField::kVIntr);
+  vmcb02_.Write(VmcbField::kVIntr,
+                vintr12 & (SvmVintr::kVTprMask | SvmVintr::kVIrq |
+                           SvmVintr::kVIntrMasking));
+  if (config_.features.Has(CpuFeature::kVgif)) {
+    NVCOV(cov_);
+    vmcb02_.Write(VmcbField::kVIntr,
+                  vmcb02_.Read(VmcbField::kVIntr) | SvmVintr::kVGifEnable |
+                      (l1_gif_ ? SvmVintr::kVGif : 0));
+  }
+  // Save area copied from VMCB12.
+  static constexpr VmcbField kSaveCopy[] = {
+      VmcbField::kEfer, VmcbField::kCr0, VmcbField::kCr3, VmcbField::kCr4,
+      VmcbField::kDr6, VmcbField::kDr7, VmcbField::kRflags, VmcbField::kRip,
+      VmcbField::kRsp, VmcbField::kRax, VmcbField::kCpl,
+      VmcbField::kCsSelector, VmcbField::kCsAttrib, VmcbField::kCsLimit,
+      VmcbField::kCsBase, VmcbField::kSsSelector, VmcbField::kSsAttrib,
+      VmcbField::kSsLimit, VmcbField::kSsBase, VmcbField::kDsSelector,
+      VmcbField::kDsAttrib, VmcbField::kEsSelector, VmcbField::kEsAttrib,
+      VmcbField::kGdtrBase, VmcbField::kGdtrLimit, VmcbField::kIdtrBase,
+      VmcbField::kIdtrLimit, VmcbField::kGPat,
+  };
+  for (VmcbField f : kSaveCopy) {
+    vmcb02_.Write(f, v12.Read(f));
+  }
+}
+
+SvmEmuResult KvmNestedSvm::HandleVmrun(uint64_t pa) {
+  SvmEmuResult r;
+  if (!NestedSvmCheckPermission()) {
+    return r;
+  }
+  if (!l1_gif_) {
+    NVCOV(cov_);  // VMRUN with GIF clear stalls; modelled as a no-op.
+    return r;
+  }
+  if (!IsAligned(pa, 12) || pa == 0) {
+    NVCOV(cov_);  // #GP.
+    return r;
+  }
+  auto it = vmcb12_cache_.find(pa);
+  if (it == vmcb12_cache_.end()) {
+    NVCOV(cov_);  // Unmapped VMCB page: all-zero VMCB fails control checks.
+    vmcb12_cache_[pa];
+    it = vmcb12_cache_.find(pa);
+  }
+  Vmcb& v12 = it->second;
+  current_vmcb12_ = pa;
+
+  if (!CheckControls(v12)) {
+    NVCOV(cov_);  // VMEXIT_INVALID reflected to L1.
+    v12.Write(VmcbField::kExitCode,
+              static_cast<uint64_t>(SvmExitCode::kInvalid));
+    r.ok = true;
+    return r;
+  }
+  if (!CheckSaveArea(v12)) {
+    NVCOV(cov_);
+    v12.Write(VmcbField::kExitCode,
+              static_cast<uint64_t>(SvmExitCode::kInvalid));
+    r.ok = true;
+    return r;
+  }
+
+  // Nested paging root from L1, if L1 enabled NP for L2.
+  if ((v12.Read(VmcbField::kNestedCtl) & 1) != 0) {
+    NVCOV(cov_);
+    if (!MmuCheckRoot(AlignDown(v12.Read(VmcbField::kNestedCr3), 12))) {
+      // Bug K2 (AMD flavour): synthesize a shutdown exit to L1 instead of
+      // failing the VMRUN; L2 never ran.
+      NVCOV(cov_);
+      san_.Report(AnomalyKind::kAssertion, "kvm-nsvm-dummy-root",
+                  "WARN_ON_ONCE: shutdown exit synthesized before L2 entry "
+                  "(mmu_check_root failed for nested CR3)");
+      NestedSvmVmexit(SvmExitCode::kShutdown, 0);
+      r.ok = true;
+      return r;
+    }
+    NVCOV(cov_);
+  }
+
+  PrepareVmcb02(v12);
+  const VmrunOutcome hw = cpu_.Vmrun(vmcb02_);
+  switch (hw.status) {
+    case VmrunStatus::kEntered:
+      NVCOV(cov_);
+      in_l2_ = true;
+      l2_ever_ran_ = true;
+      r.ok = true;
+      r.entered_l2 = true;
+      return r;
+    case VmrunStatus::kInvalidVmcb:
+      NVCOV(cov_);  // Hardware rejected what KVM's checks admitted.
+      v12.Write(VmcbField::kExitCode,
+                static_cast<uint64_t>(SvmExitCode::kInvalid));
+      r.ok = true;
+      return r;
+    case VmrunStatus::kSvmeDisabled:
+      NVCOV(cov_);
+      return r;
+  }
+  return r;
+}
+
+void KvmNestedSvm::NestedSvmVmexit(SvmExitCode code, uint64_t info1) {
+  NVCOV(cov_);
+  auto it = vmcb12_cache_.find(current_vmcb12_);
+  if (it != vmcb12_cache_.end()) {
+    NVCOV(cov_);
+    Vmcb& v12 = it->second;
+    // Sync L2 state back into VMCB12's save area.
+    static constexpr VmcbField kSync[] = {
+        VmcbField::kEfer, VmcbField::kCr0, VmcbField::kCr3, VmcbField::kCr4,
+        VmcbField::kRflags, VmcbField::kRip, VmcbField::kRsp,
+        VmcbField::kRax, VmcbField::kCpl,
+    };
+    for (VmcbField f : kSync) {
+      v12.Write(f, vmcb02_.Read(f));
+    }
+    v12.Write(VmcbField::kExitCode, static_cast<uint64_t>(code));
+    v12.Write(VmcbField::kExitInfo1, info1);
+  }
+  in_l2_ = false;
+}
+
+bool KvmNestedSvm::ShouldReflectToL1(const GuestInsn& insn,
+                                     SvmExitCode* code) {
+  auto it = vmcb12_cache_.find(current_vmcb12_);
+  if (it == vmcb12_cache_.end()) {
+    NVCOV(cov_);
+    *code = SvmExitCode::kCpuid;
+    return false;
+  }
+  const Vmcb& v12 = it->second;
+  const uint32_t vec3 =
+      static_cast<uint32_t>(v12.Read(VmcbField::kInterceptVec3));
+  const uint32_t vec4 =
+      static_cast<uint32_t>(v12.Read(VmcbField::kInterceptVec4));
+
+  switch (insn.kind) {
+    case GuestInsnKind::kCpuid:
+      *code = SvmExitCode::kCpuid;
+      if ((vec3 & SvmIntercept3::kCpuid) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kHlt:
+      *code = SvmExitCode::kHlt;
+      if ((vec3 & SvmIntercept3::kHlt) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kRdtsc:
+      *code = SvmExitCode::kCpuid;
+      if ((vec3 & SvmIntercept3::kRdtsc) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kRdtscp:
+      *code = SvmExitCode::kRdtscp;
+      if ((vec4 & SvmIntercept4::kRdtscp) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kRdpmc:
+      *code = SvmExitCode::kCpuid;
+      if ((vec3 & SvmIntercept3::kRdpmc) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kPause:
+      *code = SvmExitCode::kPause;
+      if ((vec3 & SvmIntercept3::kPause) != 0) {
+        NVCOV(cov_);
+        if (config_.features.Has(CpuFeature::kPauseFilter) &&
+            v12.Read(VmcbField::kPauseFilterCount) > 0) {
+          NVCOV(cov_);  // Pause filter absorbs short spins.
+          return false;
+        }
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kInvd:
+      *code = SvmExitCode::kCpuid;
+      if ((vec3 & SvmIntercept3::kInvd) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kWbinvd:
+      *code = SvmExitCode::kWbinvd;
+      if ((vec4 & SvmIntercept4::kWbinvd) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMovToCr0:
+      *code = SvmExitCode::kCr0Write;
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptCrWrite)) &
+           (1u << 0)) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMovToCr0Selective:
+      *code = SvmExitCode::kCr0Write;
+      if ((vec3 & SvmIntercept3::kCr0SelWrite) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMovToCr3:
+      *code = SvmExitCode::kCr3Write;
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptCrWrite)) &
+           (1u << 3)) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMovToCr4:
+      *code = SvmExitCode::kCr4Write;
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptCrWrite)) &
+           (1u << 4)) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMovToDr:
+      *code = SvmExitCode::kCpuid;
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptDrWrite)) &
+           (1u << (insn.arg1 & 0xf))) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kIoIn:
+    case GuestInsnKind::kIoOut:
+      *code = SvmExitCode::kIoio;
+      if ((vec3 & SvmIntercept3::kIoioProt) != 0) {
+        NVCOV(cov_);
+        // IOPM bit per port.
+        if (mem_.TestBit(v12.Read(VmcbField::kIopmBasePa),
+                         insn.arg0 & 0xffff)) {
+          NVCOV(cov_);
+          return true;
+        }
+        NVCOV(cov_);
+        return false;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kRdmsr:
+    case GuestInsnKind::kWrmsr: {
+      *code = SvmExitCode::kMsr;
+      if ((vec3 & SvmIntercept3::kMsrProt) == 0) {
+        NVCOV(cov_);
+        return false;
+      }
+      const uint32_t msr = static_cast<uint32_t>(insn.arg0);
+      uint64_t bit;
+      if (msr < 0x2000) {
+        bit = msr * 2;
+      } else if (msr >= 0xc0000000 && msr < 0xc0002000) {
+        bit = 0x4000 + (msr - 0xc0000000) * 2;
+      } else {
+        NVCOV(cov_);  // Out-of-map MSRs always intercept.
+        return true;
+      }
+      if (insn.kind == GuestInsnKind::kWrmsr) {
+        bit += 1;
+      }
+      if (mem_.TestBit(v12.Read(VmcbField::kMsrpmBasePa), bit)) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    }
+    case GuestInsnKind::kInvlpg:
+      *code = SvmExitCode::kInvlpg;
+      if ((vec3 & SvmIntercept3::kInvlpg) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMwait:
+      *code = SvmExitCode::kMwait;
+      if ((vec4 & SvmIntercept4::kMwait) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kMonitor:
+      *code = SvmExitCode::kMonitor;
+      if ((vec4 & SvmIntercept4::kMonitor) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kVmcall:
+      *code = SvmExitCode::kVmmcall;
+      if ((vec4 & SvmIntercept4::kVmmcall) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kXsetbv:
+      *code = SvmExitCode::kXsetbv;
+      if ((vec4 & SvmIntercept4::kXsetbv) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    case GuestInsnKind::kRaiseException: {
+      *code = static_cast<SvmExitCode>(
+          static_cast<uint64_t>(SvmExitCode::kExcpBase) + (insn.arg0 & 31));
+      const uint32_t bitmap = static_cast<uint32_t>(
+          v12.Read(VmcbField::kInterceptExceptions));
+      if ((bitmap & (1u << (insn.arg0 & 31))) != 0) {
+        NVCOV(cov_);
+        return true;
+      }
+      NVCOV(cov_);
+      return false;
+    }
+    default:
+      NVCOV(cov_);
+      *code = SvmExitCode::kCpuid;
+      return false;
+  }
+}
+
+HandledBy KvmNestedSvm::HandleL2Instruction(const GuestInsn& insn) {
+  if (!in_l2_) {
+    NVCOV(cov_);
+    return HandledBy::kNoExit;
+  }
+  SvmExitCode code = SvmExitCode::kCpuid;
+  if (ShouldReflectToL1(insn, &code)) {
+    NVCOV(cov_);
+    NestedSvmVmexit(code, insn.arg0);
+    return HandledBy::kL1;
+  }
+  // Handled by L0: emulate and resume L2.
+  switch (insn.kind) {
+    case GuestInsnKind::kHlt:
+    case GuestInsnKind::kPause:
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    case GuestInsnKind::kRdmsr:
+    case GuestInsnKind::kWrmsr:
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    case GuestInsnKind::kMovToCr0:
+    case GuestInsnKind::kMovToCr3:
+    case GuestInsnKind::kMovToCr4:
+      NVCOV(cov_);
+      vmcb02_.Write(insn.kind == GuestInsnKind::kMovToCr0
+                        ? VmcbField::kCr0
+                        : insn.kind == GuestInsnKind::kMovToCr3
+                              ? VmcbField::kCr3
+                              : VmcbField::kCr4,
+                    insn.arg0);
+      return HandledBy::kNoExit;
+    default:
+      NVCOV(cov_);
+      return HandledBy::kNoExit;
+  }
+}
+
+HandledBy KvmNestedSvm::HandleL1Instruction(const GuestInsn& insn) {
+  switch (insn.kind) {
+    case GuestInsnKind::kWrmsr:
+      if (static_cast<uint32_t>(insn.arg0) == Msr::kIa32Efer) {
+        NVCOV(cov_);  // EFER.SVME toggles nested availability.
+        if (!config_.nested() && (insn.arg1 & Efer::kSvme) != 0) {
+          NVCOV(cov_);  // SVME set while SVM hidden: #GP.
+          return HandledBy::kL0;
+        }
+        l1_svme_ = (insn.arg1 & Efer::kSvme) != 0;
+        return HandledBy::kL0;
+      }
+      if (static_cast<uint32_t>(insn.arg0) == Msr::kVmCr) {
+        NVCOV(cov_);  // VM_CR.SVMDIS probing.
+        return HandledBy::kL0;
+      }
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    case GuestInsnKind::kRdmsr:
+      if (static_cast<uint32_t>(insn.arg0) == Msr::kVmCr) {
+        NVCOV(cov_);
+        return HandledBy::kL0;
+      }
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    case GuestInsnKind::kVmcall:
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    default:
+      NVCOV(cov_);
+      return HandledBy::kNoExit;
+  }
+}
+
+uint64_t KvmNestedSvm::IoctlGetNestedState() {
+  NVCOV(cov_);
+  uint64_t blob = l1_svme_ ? 1 : 0;
+  if (in_l2_) {
+    NVCOV(cov_);
+    blob |= 2;
+  }
+  if (current_vmcb12_ != kNoPtr) {
+    NVCOV(cov_);
+    blob |= current_vmcb12_ << 12;
+  }
+  return blob;
+}
+
+bool KvmNestedSvm::IoctlSetNestedState(uint64_t blob) {
+  NVCOV(cov_);
+  l1_svme_ = (blob & 1) != 0;
+  if ((blob & 2) != 0) {
+    NVCOV(cov_);
+    if (!l1_svme_) {
+      NVCOV(cov_);  // Rejected: cannot be in L2 without SVME.
+      return false;
+    }
+    current_vmcb12_ = blob >> 12 != 0 ? (blob >> 12) << 12 : 0x3000;
+    vmcb12_cache_[current_vmcb12_];
+    in_l2_ = true;
+  } else {
+    NVCOV(cov_);
+    in_l2_ = false;
+  }
+  return true;
+}
+
+const size_t kKvmNestedSvmCoveragePoints = __COUNTER__;
+
+}  // namespace neco

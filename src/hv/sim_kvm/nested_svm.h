@@ -1,0 +1,75 @@
+// KVM-shaped nested SVM emulation — the analog of Linux
+// arch/x86/kvm/svm/nested.c, the file the paper measures AMD-side KVM
+// coverage over.
+//
+// Carries the AMD flavour of bug K2 (dummy-root): a VMCB12 nested CR3
+// beyond the physical address width passes nested_vmcb_check_controls
+// (range check missing) but fails mmu_check_root, after which the
+// vulnerable code synthesizes a shutdown exit to L1 although L2 never ran.
+#ifndef SRC_HV_SIM_KVM_NESTED_SVM_H_
+#define SRC_HV_SIM_KVM_NESTED_SVM_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/arch/vmcb.h"
+#include "src/cpu/svm_cpu.h"
+#include "src/hv/coverage.h"
+#include "src/hv/guest_insn.h"
+#include "src/hv/guest_memory.h"
+#include "src/hv/hypervisor.h"
+#include "src/hv/sanitizer.h"
+#include "src/hv/vcpu_config.h"
+
+namespace neco {
+
+extern const size_t kKvmNestedSvmCoveragePoints;
+
+class KvmNestedSvm {
+ public:
+  KvmNestedSvm(CoverageUnit& cov, SanitizerSink& san, GuestMemory& mem,
+               SvmCpu& cpu);
+
+  void Reset(const VcpuConfig& config);
+
+  SvmEmuResult HandleInstruction(const SvmInsn& insn);
+  HandledBy HandleL2Instruction(const GuestInsn& insn);
+  HandledBy HandleL1Instruction(const GuestInsn& insn);
+  bool in_l2() const { return in_l2_; }
+
+  // Host-side ioctl surface (out of the guest-reachable threat model).
+  uint64_t IoctlGetNestedState();
+  bool IoctlSetNestedState(uint64_t blob);
+
+  const Vmcb* vmcb12(uint64_t pa) const;
+
+ private:
+  static constexpr uint64_t kNoPtr = ~0ULL;
+
+  bool NestedSvmCheckPermission();
+  bool CheckControls(const Vmcb& v12);
+  bool CheckSaveArea(const Vmcb& v12);
+  bool MmuCheckRoot(uint64_t root_gpa);
+  void PrepareVmcb02(const Vmcb& v12);
+  SvmEmuResult HandleVmrun(uint64_t pa);
+  void NestedSvmVmexit(SvmExitCode code, uint64_t info1);
+  bool ShouldReflectToL1(const GuestInsn& insn, SvmExitCode* code);
+
+  CoverageUnit& cov_;
+  SanitizerSink& san_;
+  GuestMemory& mem_;
+  SvmCpu& cpu_;
+
+  VcpuConfig config_;
+  bool l1_svme_ = false;   // L1's EFER.SVME (wrmsr-controlled).
+  bool l1_gif_ = true;     // L1's virtualized GIF.
+  std::map<uint64_t, Vmcb> vmcb12_cache_;
+  uint64_t current_vmcb12_ = kNoPtr;
+  Vmcb vmcb02_;
+  bool in_l2_ = false;
+  bool l2_ever_ran_ = false;
+};
+
+}  // namespace neco
+
+#endif  // SRC_HV_SIM_KVM_NESTED_SVM_H_

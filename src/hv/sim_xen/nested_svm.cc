@@ -1,0 +1,396 @@
+// Xen nested SVM engine (nestedsvm.c analog). Bugs X2 (LME/!PG -> AVIC
+// corruption) and X3 (VGIF assertion in the exit-injection path) live here.
+#include "src/hv/sim_xen/xen.h"
+
+#include "src/arch/vmx_bits.h"
+#include "src/support/bits.h"
+
+namespace neco {
+
+XenNestedSvm::XenNestedSvm(CoverageUnit& cov, SanitizerSink& san,
+                           GuestMemory& mem, SvmCpu& cpu, bool* host_crashed)
+    : cov_(cov), san_(san), mem_(mem), cpu_(cpu),
+      host_crashed_(host_crashed) {
+  Reset(VcpuConfig::Default(Arch::kAmd));
+}
+
+void XenNestedSvm::Reset(const VcpuConfig& config) {
+  config_ = config;
+  l1_svme_ = false;
+  vmcb12_cache_.clear();
+  current_vmcb12_ = kNoPtr;
+  vmcb02_ = Vmcb();
+  in_l2_ = false;
+  l2_was_long_mode_ = false;
+  cpu_.set_svme(true);
+}
+
+bool XenNestedSvm::CheckPermission() {
+  if (!config_.nested()) {
+    NVCOV(cov_);
+    return false;
+  }
+  if (!l1_svme_) {
+    NVCOV(cov_);
+    return false;
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+SvmEmuResult XenNestedSvm::HandleInstruction(const SvmInsn& insn) {
+  SvmEmuResult r;
+  switch (insn.op) {
+    case SvmOp::kVmrun:
+      return HandleVmrun(insn.operand);
+    case SvmOp::kVmload:
+    case SvmOp::kVmsave:
+      if (!CheckPermission()) {
+        return r;
+      }
+      if (!IsAligned(insn.operand, 12)) {
+        NVCOV(cov_);
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kStgi:
+      if (!CheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kClgi:
+      if (!CheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kVmmcall:
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kInvlpga:
+      if (!CheckPermission()) {
+        return r;
+      }
+      NVCOV(cov_);
+      r.ok = true;
+      return r;
+    case SvmOp::kSkinit:
+      NVCOV(cov_);
+      return r;
+    case SvmOp::kVmcbWrite: {
+      NVCOV(cov_);
+      vmcb12_cache_[insn.operand].Write(insn.field, insn.value);
+      r.ok = true;
+      return r;
+    }
+    case SvmOp::kCount:
+      break;
+  }
+  return r;
+}
+
+bool XenNestedSvm::NsvmCheckControls(const Vmcb& v12) {
+  // Xen's nsvm checks are minimal: ASID and the VMRUN intercept.
+  if (v12.Read(VmcbField::kGuestAsid) == 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  if ((v12.Read(VmcbField::kInterceptVec4) & SvmIntercept4::kVmrun) == 0) {
+    NVCOV(cov_);
+    return false;
+  }
+  NVCOV(cov_);
+  return true;
+}
+
+void XenNestedSvm::PrepareVmcb02(const Vmcb& v12) {
+  NVCOV(cov_);
+  vmcb02_ = MakeDefaultVmcb();
+  vmcb02_.Write(VmcbField::kInterceptVec3,
+                v12.Read(VmcbField::kInterceptVec3) | SvmIntercept3::kIntr |
+                    SvmIntercept3::kShutdown);
+  vmcb02_.Write(VmcbField::kInterceptVec4,
+                v12.Read(VmcbField::kInterceptVec4) | SvmIntercept4::kVmrun);
+  vmcb02_.Write(VmcbField::kGuestAsid, 2);
+  if (config_.features.Has(CpuFeature::kNpt)) {
+    NVCOV(cov_);
+    vmcb02_.Write(VmcbField::kNestedCtl, 1);
+    vmcb02_.Write(VmcbField::kNestedCr3, 0x9000);
+  } else {
+    NVCOV(cov_);
+  }
+  // V_INTR handling: Xen copies the guest-interrupt fields through. The
+  // AVIC-enable bit is masked... under normal conditions (see bug X2 in
+  // HandleVmrun for the corrupting path).
+  vmcb02_.Write(VmcbField::kVIntr,
+                v12.Read(VmcbField::kVIntr) &
+                    (SvmVintr::kVTprMask | SvmVintr::kVIrq |
+                     SvmVintr::kVIntrMasking | SvmVintr::kVGif |
+                     SvmVintr::kVGifEnable));
+  static constexpr VmcbField kSaveCopy[] = {
+      VmcbField::kEfer, VmcbField::kCr0, VmcbField::kCr3, VmcbField::kCr4,
+      VmcbField::kDr6, VmcbField::kDr7, VmcbField::kRflags, VmcbField::kRip,
+      VmcbField::kRsp, VmcbField::kRax, VmcbField::kCpl,
+      VmcbField::kCsSelector, VmcbField::kCsAttrib, VmcbField::kCsLimit,
+      VmcbField::kCsBase, VmcbField::kSsSelector, VmcbField::kSsAttrib,
+      VmcbField::kDsSelector, VmcbField::kEsSelector,
+      VmcbField::kGdtrBase, VmcbField::kGdtrLimit,
+      VmcbField::kIdtrBase, VmcbField::kIdtrLimit, VmcbField::kGPat,
+  };
+  for (VmcbField f : kSaveCopy) {
+    vmcb02_.Write(f, v12.Read(f));
+  }
+}
+
+// nsvm_vcpu_vmexit_inject(): reflect a #VMEXIT into L1. Bug X3: when VGIF
+// is enabled the code ASSERTs that the virtual GIF value bit is set —
+// untrue when L1 handed us a VMCB with V_GIF_ENABLE=1 and V_GIF=0.
+void XenNestedSvm::NsvmVcpuVmexitInject(SvmExitCode code) {
+  NVCOV(cov_);
+  auto it = vmcb12_cache_.find(current_vmcb12_);
+  if (it == vmcb12_cache_.end()) {
+    NVCOV(cov_);
+    return;
+  }
+  Vmcb& v12 = it->second;
+  if (config_.features.Has(CpuFeature::kVgif)) {
+    NVCOV(cov_);
+    const uint64_t vintr = v12.Read(VmcbField::kVIntr);
+    if ((vintr & SvmVintr::kVGifEnable) != 0 &&
+        (vintr & SvmVintr::kVGif) == 0) {
+      NVCOV(cov_);
+      san_.Report(AnomalyKind::kAssertion, "xen-nsvm-vgif-assert",
+                  "Assertion 'vmcb->_vintr.fields.vgif' failed in "
+                  "nsvm_vcpu_vmexit_inject (V_GIF_ENABLE=1, V_GIF=0)");
+      // The assertion does not crash the host; execution continues.
+    }
+  }
+  v12.Write(VmcbField::kExitCode, static_cast<uint64_t>(code));
+  in_l2_ = false;
+}
+
+SvmEmuResult XenNestedSvm::HandleVmrun(uint64_t pa) {
+  SvmEmuResult r;
+  if (!CheckPermission()) {
+    return r;
+  }
+  if (!IsAligned(pa, 12) || pa == 0) {
+    NVCOV(cov_);
+    return r;
+  }
+  auto it = vmcb12_cache_.find(pa);
+  if (it == vmcb12_cache_.end()) {
+    NVCOV(cov_);
+    vmcb12_cache_[pa];
+    it = vmcb12_cache_.find(pa);
+  }
+  Vmcb& v12 = it->second;
+  current_vmcb12_ = pa;
+
+  if (!NsvmCheckControls(v12)) {
+    NVCOV(cov_);
+    v12.Write(VmcbField::kExitCode,
+              static_cast<uint64_t>(SvmExitCode::kInvalid));
+    r.ok = true;
+    return r;
+  }
+
+  PrepareVmcb02(v12);
+
+  // Bug X2: after a 64-bit L2 has run, an L1 that flips CR0.PG off while
+  // leaving EFER.LME set creates the LMA && !PG contradiction. Hardware
+  // accepts the state (the APM leaves it undefined); Xen's mode-tracking
+  // scribbles past the paging-state union and the AVIC-enable bit in
+  // VMCB02 is what the stray write lands on.
+  const uint64_t efer = v12.Read(VmcbField::kEfer);
+  const uint64_t cr0 = v12.Read(VmcbField::kCr0);
+  if (l2_was_long_mode_ && (efer & Efer::kLme) != 0 &&
+      (cr0 & Cr0::kPg) == 0) {
+    NVCOV(cov_);
+    vmcb02_.Write(VmcbField::kVIntr,
+                  vmcb02_.Read(VmcbField::kVIntr) | SvmVintr::kAvicEnable);
+  }
+
+  const VmrunOutcome hw = cpu_.Vmrun(vmcb02_);
+  if (hw.status == VmrunStatus::kEntered) {
+    NVCOV(cov_);
+    in_l2_ = true;
+    if ((efer & Efer::kLma) != 0 && (cr0 & Cr0::kPg) != 0) {
+      NVCOV(cov_);
+      l2_was_long_mode_ = true;
+    }
+    // If the stray AVIC enable went through, the very next L2 execution
+    // takes an AVIC_NOACCEL exit Xen has no handler for — Xen does not
+    // support AVIC at all, on any configuration: BUG().
+    if ((vmcb02_.Read(VmcbField::kVIntr) & SvmVintr::kAvicEnable) != 0) {
+      NVCOV(cov_);
+      san_.Report(AnomalyKind::kAssertion, "xen-nsvm-lma-pg",
+                  "BUG: unexpected VMEXIT_AVIC_NOACCEL (AVIC erroneously "
+                  "enabled in VMCB02 after LME && !PG state)");
+      in_l2_ = false;
+    }
+    r.ok = true;
+    r.entered_l2 = in_l2_;
+    return r;
+  }
+  if (hw.status == VmrunStatus::kInvalidVmcb) {
+    NVCOV(cov_);  // Hardware rejected VMCB02; reflect through the
+                  // vulnerable injection path (bug X3 site).
+    NsvmVcpuVmexitInject(SvmExitCode::kInvalid);
+    r.ok = true;
+    return r;
+  }
+  NVCOV(cov_);
+  return r;
+}
+
+HandledBy XenNestedSvm::HandleL2Instruction(const GuestInsn& insn) {
+  if (!in_l2_) {
+    NVCOV(cov_);
+    return HandledBy::kNoExit;
+  }
+  auto it = vmcb12_cache_.find(current_vmcb12_);
+  if (it == vmcb12_cache_.end()) {
+    NVCOV(cov_);
+    return HandledBy::kNoExit;
+  }
+  const Vmcb& v12 = it->second;
+  const uint32_t vec3 =
+      static_cast<uint32_t>(v12.Read(VmcbField::kInterceptVec3));
+  const uint32_t vec4 =
+      static_cast<uint32_t>(v12.Read(VmcbField::kInterceptVec4));
+
+  bool reflect = false;
+  SvmExitCode code = SvmExitCode::kCpuid;
+  switch (insn.kind) {
+    case GuestInsnKind::kCpuid:
+      code = SvmExitCode::kCpuid;
+      if ((vec3 & SvmIntercept3::kCpuid) != 0) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    case GuestInsnKind::kHlt:
+      code = SvmExitCode::kHlt;
+      if ((vec3 & SvmIntercept3::kHlt) != 0) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    case GuestInsnKind::kIoIn:
+    case GuestInsnKind::kIoOut:
+      code = SvmExitCode::kIoio;
+      if ((vec3 & SvmIntercept3::kIoioProt) != 0 &&
+          mem_.TestBit(v12.Read(VmcbField::kIopmBasePa),
+                       insn.arg0 & 0xffff)) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    case GuestInsnKind::kRdmsr:
+    case GuestInsnKind::kWrmsr: {
+      code = SvmExitCode::kMsr;
+      if ((vec3 & SvmIntercept3::kMsrProt) != 0) {
+        NVCOV(cov_);
+        const uint32_t msr = static_cast<uint32_t>(insn.arg0);
+        uint64_t bit = msr < 0x2000
+                           ? msr * 2
+                           : (msr >= 0xc0000000 && msr < 0xc0002000
+                                  ? 0x4000 + (msr - 0xc0000000) * 2
+                                  : ~0ULL);
+        if (bit == ~0ULL) {
+          NVCOV(cov_);
+          reflect = true;
+        } else {
+          if (insn.kind == GuestInsnKind::kWrmsr) {
+            bit += 1;
+          }
+          reflect = mem_.TestBit(v12.Read(VmcbField::kMsrpmBasePa), bit);
+        }
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    }
+    case GuestInsnKind::kVmcall:
+      code = SvmExitCode::kVmmcall;
+      if ((vec4 & SvmIntercept4::kVmmcall) != 0) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    case GuestInsnKind::kMovToCr0:
+      code = SvmExitCode::kCr0Write;
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptCrWrite)) &
+           1u) != 0) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    case GuestInsnKind::kRaiseException:
+      code = static_cast<SvmExitCode>(
+          static_cast<uint64_t>(SvmExitCode::kExcpBase) + (insn.arg0 & 31));
+      if ((static_cast<uint32_t>(v12.Read(VmcbField::kInterceptExceptions)) &
+           (1u << (insn.arg0 & 31))) != 0) {
+        NVCOV(cov_);
+        reflect = true;
+      } else {
+        NVCOV(cov_);
+      }
+      break;
+    default:
+      NVCOV(cov_);
+      break;
+  }
+
+  if (reflect) {
+    NVCOV(cov_);
+    NsvmVcpuVmexitInject(code);
+    return HandledBy::kL1;
+  }
+  NVCOV(cov_);
+  return HandledBy::kL0;
+}
+
+HandledBy XenNestedSvm::HandleL1Instruction(const GuestInsn& insn) {
+  switch (insn.kind) {
+    case GuestInsnKind::kWrmsr:
+      if (static_cast<uint32_t>(insn.arg0) == Msr::kIa32Efer) {
+        NVCOV(cov_);
+        if (!config_.nested() && (insn.arg1 & Efer::kSvme) != 0) {
+          NVCOV(cov_);
+          return HandledBy::kL0;
+        }
+        l1_svme_ = (insn.arg1 & Efer::kSvme) != 0;
+        return HandledBy::kL0;
+      }
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    case GuestInsnKind::kVmcall:
+      NVCOV(cov_);
+      return HandledBy::kL0;
+    default:
+      NVCOV(cov_);
+      return HandledBy::kNoExit;
+  }
+}
+
+const size_t kXenNestedSvmCoveragePoints = __COUNTER__;
+
+}  // namespace neco

@@ -1,0 +1,34 @@
+// vCPU configuration applied to an L0 hypervisor at VM startup.
+//
+// The hypervisor-independent core of the paper's vCPU configurator
+// (Section 3.5) produces these; per-hypervisor adapters translate them into
+// module parameters / command-line options and apply them.
+#ifndef SRC_HV_VCPU_CONFIG_H_
+#define SRC_HV_VCPU_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/arch/cpu_features.h"
+
+namespace neco {
+
+struct VcpuConfig {
+  Arch arch = Arch::kIntel;
+  CpuFeatureSet features = DefaultFeatureSet(Arch::kIntel);
+  // General VM shape knobs exposed on hypervisor command lines.
+  uint8_t vcpus = 1;
+  uint16_t memory_mb = 256;
+
+  bool nested() const { return features.Has(CpuFeature::kNestedVirt); }
+
+  static VcpuConfig Default(Arch arch) {
+    VcpuConfig c;
+    c.arch = arch;
+    c.features = DefaultFeatureSet(arch);
+    return c;
+  }
+};
+
+}  // namespace neco
+
+#endif  // SRC_HV_VCPU_CONFIG_H_

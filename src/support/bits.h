@@ -1,0 +1,94 @@
+// Bit-manipulation helpers shared across the architecture model, the
+// validator, and the fuzzing engine.
+#ifndef SRC_SUPPORT_BITS_H_
+#define SRC_SUPPORT_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace neco {
+
+// Mask with the low `width` bits set. width in [0, 64].
+constexpr uint64_t MaskLow(unsigned width) {
+  if (width >= 64) {
+    return ~0ULL;
+  }
+  return (1ULL << width) - 1;
+}
+
+constexpr uint64_t Bit(unsigned pos) { return 1ULL << pos; }
+
+constexpr bool TestBit(uint64_t value, unsigned pos) {
+  return (value & Bit(pos)) != 0;
+}
+
+constexpr uint64_t SetBit(uint64_t value, unsigned pos) {
+  return value | Bit(pos);
+}
+
+constexpr uint64_t ClearBit(uint64_t value, unsigned pos) {
+  return value & ~Bit(pos);
+}
+
+constexpr uint64_t AssignBit(uint64_t value, unsigned pos, bool on) {
+  return on ? SetBit(value, pos) : ClearBit(value, pos);
+}
+
+constexpr uint64_t FlipBit(uint64_t value, unsigned pos) {
+  return value ^ Bit(pos);
+}
+
+// Extract bits [lo, lo+width) as an unshifted value.
+constexpr uint64_t ExtractBits(uint64_t value, unsigned lo, unsigned width) {
+  return (value >> lo) & MaskLow(width);
+}
+
+// Replace bits [lo, lo+width) of `value` with `field`.
+constexpr uint64_t DepositBits(uint64_t value, unsigned lo, unsigned width,
+                               uint64_t field) {
+  const uint64_t mask = MaskLow(width) << lo;
+  return (value & ~mask) | ((field << lo) & mask);
+}
+
+// x86-64 canonical-address check for a 48-bit virtual address space:
+// bits 63:47 must all equal bit 47.
+constexpr bool IsCanonical(uint64_t addr) {
+  const int64_t s = static_cast<int64_t>(addr);
+  return (s >> 47) == 0 || (s >> 47) == -1;
+}
+
+// Round a value down so that its low `align_bits` bits are zero (e.g. page
+// alignment for bitmap addresses stored in the VMCS).
+constexpr uint64_t AlignDown(uint64_t value, unsigned align_bits) {
+  return value & ~MaskLow(align_bits);
+}
+
+constexpr bool IsAligned(uint64_t value, unsigned align_bits) {
+  return (value & MaskLow(align_bits)) == 0;
+}
+
+inline int Popcount64(uint64_t v) { return std::popcount(v); }
+
+// Hamming distance between two equally-long byte spans. If lengths differ,
+// the tail of the longer span counts every set bit as a difference.
+inline size_t HammingDistance(std::span<const uint8_t> a,
+                              std::span<const uint8_t> b) {
+  size_t dist = 0;
+  const size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < common; ++i) {
+    dist += static_cast<size_t>(std::popcount(
+        static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  const auto& longer = a.size() > b.size() ? a : b;
+  for (size_t i = common; i < longer.size(); ++i) {
+    dist += static_cast<size_t>(std::popcount(
+        static_cast<unsigned>(longer[i])));
+  }
+  return dist;
+}
+
+}  // namespace neco
+
+#endif  // SRC_SUPPORT_BITS_H_

@@ -1,0 +1,131 @@
+// Small online-statistics helpers used by the benches (Figure 5 reports
+// means and standard deviations of Hamming-distance distributions; the
+// coverage benches report medians and 95% confidence intervals per the
+// Klees et al. fuzzing-evaluation guidelines followed in the paper).
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace neco {
+
+// Welford's online mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+inline double Median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const size_t mid = v.size() / 2;
+  if (v.size() % 2 == 1) {
+    return v[mid];
+  }
+  return 0.5 * (v[mid - 1] + v[mid]);
+}
+
+// Normal-approximation 95% confidence half-width around the mean.
+inline double ConfidenceHalfWidth95(const RunningStats& s) {
+  if (s.count() < 2) {
+    return 0.0;
+  }
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+// Cohen's d effect size between two samples.
+inline double CohensD(const RunningStats& a, const RunningStats& b) {
+  if (a.count() < 2 || b.count() < 2) {
+    return 0.0;
+  }
+  const double na = static_cast<double>(a.count());
+  const double nb = static_cast<double>(b.count());
+  const double pooled =
+      ((na - 1) * a.variance() + (nb - 1) * b.variance()) / (na + nb - 2);
+  if (pooled <= 0.0) {
+    return 0.0;
+  }
+  return (a.mean() - b.mean()) / std::sqrt(pooled);
+}
+
+// Two-sided Mann-Whitney U test p-value (normal approximation), as used for
+// the coverage comparisons in the paper's Section 5.1 methodology.
+inline double MannWhitneyUP(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return 1.0;
+  }
+  struct Tagged {
+    double v;
+    int group;
+  };
+  std::vector<Tagged> all;
+  all.reserve(a.size() + b.size());
+  for (double x : a) {
+    all.push_back({x, 0});
+  }
+  for (double x : b) {
+    all.push_back({x, 1});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& r) { return l.v < r.v; });
+  // Assign mid-ranks for ties.
+  std::vector<double> ranks(all.size());
+  size_t i = 0;
+  while (i < all.size()) {
+    size_t j = i;
+    while (j + 1 < all.size() && all[j + 1].v == all[i].v) {
+      ++j;
+    }
+    const double rank = 0.5 * (static_cast<double>(i + 1) +
+                               static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) {
+      ranks[k] = rank;
+    }
+    i = j + 1;
+  }
+  double ra = 0.0;
+  for (size_t k = 0; k < all.size(); ++k) {
+    if (all[k].group == 0) {
+      ra += ranks[k];
+    }
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double u = ra - na * (na + 1) / 2.0;
+  const double mu = na * nb / 2.0;
+  const double sigma = std::sqrt(na * nb * (na + nb + 1) / 12.0);
+  if (sigma == 0.0) {
+    return 1.0;
+  }
+  const double z = std::abs((u - mu) / sigma);
+  // Two-sided p from the normal tail via erfc.
+  return std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace neco
+
+#endif  // SRC_SUPPORT_STATS_H_

@@ -1,0 +1,137 @@
+// Tests for the baseline-tool stand-ins: each must reproduce the
+// qualitative behaviour the paper reports for the original tool.
+#include <gtest/gtest.h>
+
+#include "src/baselines/baseline.h"
+#include "src/hv/sim_kvm/kvm.h"
+#include "src/hv/sim_xen/xen.h"
+
+namespace neco {
+namespace {
+
+TEST(SyzkallerSimTest, IntelHarnessReachesModerateCoverage) {
+  SimKvm kvm;
+  SyzkallerSim syzkaller;
+  const BaselineResult result = syzkaller.Run(kvm, Arch::kIntel, 3000, 4);
+  EXPECT_GT(result.final_percent, 30.0);
+  EXPECT_LT(result.final_percent, 80.0);
+  EXPECT_FALSE(result.terminated_early);
+}
+
+TEST(SyzkallerSimTest, NoAmdHarnessMeansTinyCoverage) {
+  // Paper Table 2: Syzkaller reaches only 7.0% of KVM's nested SVM code
+  // because it lacks an AMD-specific harness.
+  SimKvm kvm;
+  SyzkallerSim syzkaller;
+  const BaselineResult result = syzkaller.Run(kvm, Arch::kAmd, 3000, 4);
+  EXPECT_LT(result.final_percent, 20.0);
+  EXPECT_GT(result.covered_points, 0u);
+}
+
+TEST(SyzkallerSimTest, ReachesIoctlOnlyLines) {
+  // As a syscall fuzzer, syzkaller covers host-side lines guest-driven
+  // tools cannot: its covered set must not be a subset of a pure
+  // guest-driven run's reachable set. Proxy: ioctl handlers are hit.
+  SimKvm kvm;
+  SyzkallerSim syzkaller;
+  syzkaller.Run(kvm, Arch::kIntel, 500, 1);
+  // Re-run the ioctl directly and verify those points were already covered.
+  const auto before = kvm.nested_coverage(Arch::kIntel).CoveredSet();
+  kvm.IoctlGetNestedState();
+  const auto after = kvm.nested_coverage(Arch::kIntel).CoveredSet();
+  EXPECT_EQ(CoverageSubtract(after, before).size(), 0u)
+      << "ioctl entry points should have been covered by syzkaller already";
+}
+
+TEST(IrisSimTest, TerminatesEarlyAndIntelOnly) {
+  SimKvm kvm;
+  IrisSim iris;
+  const BaselineResult intel = iris.Run(kvm, Arch::kIntel, 100000, 4);
+  EXPECT_TRUE(intel.terminated_early);  // "Crashed after a few minutes."
+  EXPECT_GT(intel.final_percent, 20.0);
+
+  const BaselineResult amd = iris.Run(kvm, Arch::kAmd, 1000, 4);
+  EXPECT_EQ(amd.covered_points, 0u);  // Intel-only tool.
+  EXPECT_TRUE(amd.terminated_early);
+}
+
+TEST(IrisSimTest, SaturatesQuickly) {
+  // Replay of well-behaved traces: most coverage arrives immediately and
+  // barely grows afterwards (paper: "saturated quickly even within a few
+  // minutes").
+  SimKvm kvm;
+  IrisSim iris;
+  const BaselineResult result = iris.Run(kvm, Arch::kIntel, 100000, 10);
+  ASSERT_GE(result.series.size(), 2u);
+  const double early = result.series.front().percent;
+  const double late = result.series.back().percent;
+  EXPECT_GT(early, late * 0.9);
+}
+
+TEST(SelftestsSimTest, DeterministicSuite) {
+  SimKvm kvm;
+  SelftestsSim selftests;
+  const BaselineResult a = selftests.Run(kvm, Arch::kIntel, 1, 1);
+  const BaselineResult b = selftests.Run(kvm, Arch::kIntel, 1, 1);
+  EXPECT_EQ(a.covered_set, b.covered_set);
+  EXPECT_GT(a.final_percent, 30.0);
+}
+
+TEST(SelftestsSimTest, AmdSuiteIsRelativelyThorough) {
+  // Paper Table 2: AMD selftests reach 73.4% of the (small) nested-SVM
+  // file — proportionally more than the Intel suite's 57.8%.
+  SimKvm kvm;
+  SelftestsSim selftests;
+  const BaselineResult amd = selftests.Run(kvm, Arch::kAmd, 1, 1);
+  const BaselineResult intel = selftests.Run(kvm, Arch::kIntel, 1, 1);
+  EXPECT_GT(amd.final_percent, 50.0);
+  EXPECT_GT(amd.final_percent, intel.final_percent);
+}
+
+TEST(KvmUnitTestsSimTest, SystematicNegativeTestsBeatSelftestsOnIntel) {
+  SimKvm kvm;
+  KvmUnitTestsSim kut;
+  SelftestsSim selftests;
+  const double kut_pct = kut.Run(kvm, Arch::kIntel, 1, 1).final_percent;
+  const double st_pct = selftests.Run(kvm, Arch::kIntel, 1, 1).final_percent;
+  EXPECT_GT(kut_pct, st_pct);  // Paper: 72.0% vs 57.8%.
+}
+
+TEST(KvmUnitTestsSimTest, SuiteSizesMatchPaperScale) {
+  EXPECT_EQ(SelftestsSim::TestCount(Arch::kIntel) +
+                SelftestsSim::TestCount(Arch::kAmd),
+            60u);  // "Selftests run only 60 test cases."
+  EXPECT_EQ(KvmUnitTestsSim::TestCount(Arch::kIntel) +
+                KvmUnitTestsSim::TestCount(Arch::kAmd),
+            84u);  // "KVM-unit-tests run only 84 test cases."
+}
+
+TEST(XtfSimTest, SmallFunctionalSuiteHasLowCoverage) {
+  SimXen xen;
+  XtfSim xtf;
+  const BaselineResult intel = xtf.Run(xen, Arch::kIntel, 1, 1);
+  const BaselineResult amd = xtf.Run(xen, Arch::kAmd, 1, 1);
+  EXPECT_GT(intel.final_percent, 3.0);
+  EXPECT_LT(intel.final_percent, 45.0);
+  EXPECT_LT(amd.final_percent, 40.0);
+  // Consistent with Table 4's ordering: Intel XTF > AMD XTF.
+  EXPECT_GT(intel.final_percent, amd.final_percent);
+}
+
+TEST(BaselineTest, NoBaselineFindsTheSeededBugs) {
+  // The seeded vulnerabilities require boundary states none of the
+  // baseline strategies generate (that is the paper's point).
+  SimKvm kvm;
+  SyzkallerSim syzkaller;
+  const BaselineResult syz = syzkaller.Run(kvm, Arch::kIntel, 2000, 1);
+  EXPECT_TRUE(syz.findings.empty());
+  SelftestsSim selftests;
+  const BaselineResult st = selftests.Run(kvm, Arch::kIntel, 1, 1);
+  EXPECT_TRUE(st.findings.empty());
+  IrisSim iris;
+  const BaselineResult ir = iris.Run(kvm, Arch::kIntel, 2000, 1);
+  EXPECT_TRUE(ir.findings.empty());
+}
+
+}  // namespace
+}  // namespace neco

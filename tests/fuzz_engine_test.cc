@@ -1,0 +1,190 @@
+// Tests for the AFL++-style engine: bitmap bucketing and novelty, havoc
+// mutation invariants, corpus scheduling, and the fuzz loop's queue and
+// crash-deduplication behaviour.
+#include <gtest/gtest.h>
+
+#include "src/fuzz/bitmap.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/mutator.h"
+
+namespace neco {
+namespace {
+
+TEST(BitmapTest, AddAndCount) {
+  CoverageBitmap bm;
+  EXPECT_EQ(bm.CountNonZero(), 0u);
+  bm.Add(5);
+  bm.Add(5);
+  bm.Add(70000);  // Wraps modulo 64 KiB.
+  EXPECT_EQ(bm.CountNonZero(), 2u);
+  EXPECT_EQ(bm.at(5), 2);
+  EXPECT_EQ(bm.at(70000 % CoverageBitmap::kSize), 1);
+}
+
+TEST(BitmapTest, BucketingCollapsesCounts) {
+  CoverageBitmap a;
+  CoverageBitmap b;
+  for (int i = 0; i < 4; ++i) {
+    a.Add(1);
+  }
+  for (int i = 0; i < 7; ++i) {
+    b.Add(1);
+  }
+  a.ClassifyCounts();
+  b.ClassifyCounts();
+  EXPECT_EQ(a.at(1), b.at(1));  // 4..7 share a bucket.
+}
+
+TEST(BitmapTest, MergeNoveltySemantics) {
+  CoverageBitmap virgin;
+  CoverageBitmap t1;
+  t1.Add(10);
+  t1.ClassifyCounts();
+  EXPECT_EQ(t1.MergeInto(virgin), 2);  // New edge.
+  EXPECT_EQ(t1.MergeInto(virgin), 0);  // Nothing new on repeat.
+
+  CoverageBitmap t2;
+  for (int i = 0; i < 5; ++i) {
+    t2.Add(10);  // Same edge, new hit-count bucket.
+  }
+  t2.ClassifyCounts();
+  EXPECT_EQ(t2.MergeInto(virgin), 1);
+}
+
+TEST(MutatorTest, HavocPreservesSizeAndChangesContent) {
+  Mutator mutator(1);
+  FuzzInput input = MakeZeroInput();
+  const FuzzInput before = input;
+  mutator.Havoc(input);
+  EXPECT_EQ(input.size(), kFuzzInputSize);
+  EXPECT_NE(input, before);
+}
+
+TEST(MutatorTest, DeterministicAcrossInstances) {
+  Mutator a(77);
+  Mutator b(77);
+  FuzzInput ia = MakeZeroInput();
+  FuzzInput ib = MakeZeroInput();
+  for (int i = 0; i < 20; ++i) {
+    a.Havoc(ia);
+    b.Havoc(ib);
+  }
+  EXPECT_EQ(ia, ib);
+}
+
+TEST(MutatorTest, FlipBitIsInvolution) {
+  Mutator mutator(5);
+  FuzzInput input = MakeRandomInput(mutator.rng());
+  const FuzzInput before = input;
+  mutator.FlipBit(input, 1234);
+  EXPECT_NE(input, before);
+  mutator.FlipBit(input, 1234);
+  EXPECT_EQ(input, before);
+}
+
+TEST(MutatorTest, SpliceTakesDonorBytes) {
+  Mutator mutator(9);
+  FuzzInput input(64, 0x00);
+  const FuzzInput donor(64, 0xff);
+  mutator.Splice(input, donor);
+  size_t ff = 0;
+  for (uint8_t b : input) {
+    ff += b == 0xff;
+  }
+  EXPECT_GT(ff, 0u);
+  EXPECT_EQ(input.size(), 64u);
+}
+
+TEST(CorpusTest, PickPrefersFavoredAndLessFuzzed) {
+  Corpus corpus(3);
+  corpus.Add(FuzzInput(8, 1), 0, /*new_edges=*/1);   // Not favored.
+  corpus.Add(FuzzInput(8, 2), 1, /*new_edges=*/100);  // Favored.
+  int favored_picks = 0;
+  for (int i = 0; i < 400; ++i) {
+    QueueEntry& e = corpus.Pick();
+    favored_picks += e.favored;
+  }
+  EXPECT_GT(favored_picks, 200);
+}
+
+TEST(FuzzerTest, QueueGrowsOnNovelEdges) {
+  uint32_t next_edge = 0;
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  Fuzzer fuzzer(options, [&](const FuzzInput&) {
+    ExecFeedback fb;
+    fb.edges = {next_edge++ % 50};  // 50 distinct edges then repeats.
+    return fb;
+  });
+  fuzzer.Run(200);
+  const FuzzerStats stats = fuzzer.stats();
+  EXPECT_EQ(stats.iterations, 200u);
+  EXPECT_GE(stats.queue_size, 40u);
+  EXPECT_LE(stats.queue_size, 55u);
+  EXPECT_EQ(stats.bitmap_edges, 50u);
+}
+
+TEST(FuzzerTest, GuidanceOffSkipsQueue) {
+  FuzzerOptions options;
+  options.coverage_guidance = false;
+  Fuzzer fuzzer(options, [&](const FuzzInput&) {
+    ExecFeedback fb;
+    fb.edges = {1, 2, 3};
+    return fb;
+  });
+  fuzzer.Run(100);
+  EXPECT_EQ(fuzzer.stats().queue_size, 0u);
+  EXPECT_EQ(fuzzer.stats().bitmap_edges, 3u);
+}
+
+TEST(FuzzerTest, CrashDeduplicationByBugId) {
+  int calls = 0;
+  FuzzerOptions options;
+  Fuzzer fuzzer(options, [&](const FuzzInput&) {
+    ExecFeedback fb;
+    fb.edges = {static_cast<uint32_t>(calls % 7)};
+    fb.anomaly = true;
+    fb.anomaly_id = (calls++ % 2) == 0 ? "bug-a" : "bug-b";
+    return fb;
+  });
+  fuzzer.Run(50);
+  EXPECT_EQ(fuzzer.crashes().size(), 2u);
+  EXPECT_EQ(fuzzer.stats().unique_anomalies, 2u);
+}
+
+TEST(FuzzerTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    FuzzerOptions options;
+    options.seed = seed;
+    uint64_t digest = 0;
+    Fuzzer fuzzer(options, [&](const FuzzInput& input) {
+      ExecFeedback fb;
+      uint64_t h = 1469598103934665603ULL;
+      for (uint8_t b : input) {
+        h = (h ^ b) * 1099511628211ULL;
+      }
+      digest ^= h;
+      fb.edges = {static_cast<uint32_t>(h % 97)};
+      return fb;
+    });
+    fuzzer.Run(60);
+    return digest;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(InputTest, MakeRandomInputHasFullSizeAndEntropy) {
+  Rng rng(1);
+  const FuzzInput input = MakeRandomInput(rng);
+  EXPECT_EQ(input.size(), kFuzzInputSize);
+  size_t zeros = 0;
+  for (uint8_t b : input) {
+    zeros += b == 0;
+  }
+  EXPECT_LT(zeros, kFuzzInputSize / 8);
+}
+
+}  // namespace
+}  // namespace neco

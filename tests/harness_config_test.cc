@@ -1,0 +1,210 @@
+// Tests for the VM execution harness (template structure, mutation
+// behaviour, ablation mode) and the vCPU configurator with its
+// per-hypervisor adapters.
+#include <gtest/gtest.h>
+
+#include "src/core/config/configurator.h"
+#include "src/core/harness/harness.h"
+#include "src/fuzz/mutator.h"
+
+namespace neco {
+namespace {
+
+// 0xFF bytes make every ByteReader::Chance(1, N) in the harness evaluate
+// false, disabling all structural mutations — the pristine template.
+ByteReader QuietBytes(FuzzInput& storage) {
+  storage.assign(kFuzzInputSize, 0xff);
+  return ByteReader(storage);
+}
+
+TEST(HarnessTest, PristineIntelTemplateIsCanonical) {
+  ExecutionHarness harness;
+  FuzzInput storage;
+  ByteReader bytes = QuietBytes(storage);
+  const HarnessProgram prog = harness.BuildIntel(bytes, MakeDefaultVmcs());
+
+  ASSERT_GE(prog.vmx_init.size(), 5u);
+  EXPECT_EQ(prog.vmx_init[0].op, VmxOp::kVmxon);
+  EXPECT_EQ(prog.vmx_init[0].operand, prog.vmxon_pa);
+  EXPECT_EQ(prog.vmx_init[1].op, VmxOp::kVmclear);
+  EXPECT_EQ(prog.vmx_init[1].operand, prog.vmcs12_pa);
+  EXPECT_EQ(prog.vmx_init[2].op, VmxOp::kVmptrld);
+  EXPECT_EQ(prog.vmx_init.back().op, VmxOp::kVmlaunch);
+  EXPECT_EQ(prog.region_revision, Vmcs::kRevisionId);
+
+  // One vmwrite per writable field, carrying the VMCS12 values.
+  size_t vmwrites = 0;
+  for (const VmxInsn& op : prog.vmx_init) {
+    vmwrites += op.op == VmxOp::kVmwrite;
+  }
+  size_t writable = 0;
+  for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+    writable += info.group != VmcsFieldGroup::kReadOnlyData;
+  }
+  EXPECT_EQ(vmwrites, writable);
+}
+
+TEST(HarnessTest, MutationChangesStructureForSomeInputs) {
+  ExecutionHarness harness;
+  Rng rng(42);
+  int structurally_mutated = 0;
+  for (int i = 0; i < 50; ++i) {
+    FuzzInput storage = MakeRandomInput(rng);
+    ByteReader bytes(storage);
+    const HarnessProgram prog = harness.BuildIntel(bytes, MakeDefaultVmcs());
+    // Detect deviation from the canonical prefix.
+    const bool canonical_prefix =
+        prog.vmx_init.size() >= 3 &&
+        prog.vmx_init[0].op == VmxOp::kVmxon &&
+        prog.vmx_init[0].operand == prog.vmxon_pa &&
+        prog.vmx_init[1].op == VmxOp::kVmclear &&
+        prog.vmx_init[2].op == VmxOp::kVmptrld &&
+        prog.vmx_init[2].operand == prog.vmcs12_pa &&
+        prog.region_revision == Vmcs::kRevisionId;
+    structurally_mutated += !canonical_prefix;
+  }
+  // Mutations are probabilistic but must fire regularly — and not always.
+  EXPECT_GT(structurally_mutated, 5);
+  EXPECT_LT(structurally_mutated, 50);
+}
+
+TEST(HarnessTest, AblationModeUsesFixedTemplate) {
+  ExecutionHarness fixed(HarnessOptions{.enabled = false});
+  Rng rng(7);
+  FuzzInput storage = MakeRandomInput(rng);
+  ByteReader bytes(storage);
+  const HarnessProgram prog = fixed.BuildIntel(bytes, MakeDefaultVmcs());
+  // No structural deviation regardless of input bytes.
+  EXPECT_EQ(prog.vmx_init[0].op, VmxOp::kVmxon);
+  EXPECT_EQ(prog.vmx_init.back().op, VmxOp::kVmlaunch);
+  EXPECT_EQ(prog.region_revision, Vmcs::kRevisionId);
+  ASSERT_EQ(prog.runtime.size(), 4u);
+  for (const RuntimeStep& step : prog.runtime) {
+    EXPECT_EQ(step.l2.kind, GuestInsnKind::kCpuid);
+    EXPECT_TRUE(step.l1_insns.empty());
+    EXPECT_TRUE(step.l1_vmx_writes.empty());
+  }
+}
+
+TEST(HarnessTest, AmdProgramEnablesSvmeFirst) {
+  ExecutionHarness harness;
+  FuzzInput storage;
+  ByteReader bytes = QuietBytes(storage);
+  const HarnessProgram prog = harness.BuildAmd(bytes, MakeDefaultVmcb());
+  ASSERT_EQ(prog.l1_pre_init.size(), 1u);
+  EXPECT_EQ(prog.l1_pre_init[0].kind, GuestInsnKind::kWrmsr);
+  EXPECT_EQ(prog.l1_pre_init[0].arg0, Msr::kIa32Efer);
+  EXPECT_NE(prog.l1_pre_init[0].arg1 & 0x1000u, 0u);  // EFER.SVME.
+  EXPECT_EQ(prog.svm_init.back().op, SvmOp::kVmrun);
+  EXPECT_EQ(prog.svm_init.back().operand, prog.vmcb12_pa);
+}
+
+TEST(HarnessTest, RuntimeStepsAreBoundedAndPopulated) {
+  ExecutionHarness harness;
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    FuzzInput storage = MakeRandomInput(rng);
+    ByteReader bytes(storage);
+    const HarnessProgram prog = harness.BuildIntel(bytes, MakeDefaultVmcs());
+    EXPECT_GE(prog.runtime.size(), 4u);
+    EXPECT_LE(prog.runtime.size(), 16u);
+    for (const RuntimeStep& step : prog.runtime) {
+      EXPECT_LT(static_cast<int>(step.l2.kind),
+                static_cast<int>(GuestInsnKind::kCount));
+      EXPECT_LE(step.l1_insns.size(), 2u);
+      EXPECT_LE(step.l1_vmx_writes.size(), 2u);
+    }
+  }
+}
+
+TEST(ConfiguratorTest, GeneratesArchRestrictedConfigs) {
+  VcpuConfigurator configurator;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    FuzzInput storage = MakeRandomInput(rng);
+    ByteReader bytes(storage);
+    const VcpuConfig config = configurator.Generate(bytes, Arch::kIntel);
+    EXPECT_EQ(config.arch, Arch::kIntel);
+    EXPECT_FALSE(config.features.Has(CpuFeature::kNpt));
+    EXPECT_FALSE(config.features.Has(CpuFeature::kVgif));
+    EXPECT_EQ(config.vcpus, 1);  // Single-vCPU harness.
+  }
+}
+
+TEST(ConfiguratorTest, NestedMostlyEnabled) {
+  VcpuConfigurator configurator;
+  Rng rng(6);
+  int nested_on = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    FuzzInput storage = MakeRandomInput(rng);
+    ByteReader bytes(storage);
+    nested_on += configurator.Generate(bytes, Arch::kAmd).nested();
+  }
+  EXPECT_GT(nested_on, n * 3 / 4);  // Mostly on...
+  EXPECT_LT(nested_on, n);          // ...but not always.
+}
+
+TEST(ConfiguratorTest, ConfigurationsAreDiverse) {
+  VcpuConfigurator configurator;
+  Rng rng(8);
+  std::set<uint64_t> distinct;
+  for (int i = 0; i < 100; ++i) {
+    FuzzInput storage = MakeRandomInput(rng);
+    ByteReader bytes(storage);
+    distinct.insert(configurator.Generate(bytes, Arch::kIntel).features.raw());
+  }
+  EXPECT_GT(distinct.size(), 50u);
+}
+
+TEST(AdapterTest, KvmModuleParamsRoundTrip) {
+  KvmAdapter adapter;
+  VcpuConfig config = VcpuConfig::Default(Arch::kIntel);
+  config.features.Set(CpuFeature::kEpt, false);
+  config.features.Set(CpuFeature::kVpid, false);
+  const std::vector<std::string> params = adapter.ModuleParams(config);
+  const VcpuConfig parsed = adapter.ParseModuleParams(params, Arch::kIntel);
+  EXPECT_FALSE(parsed.features.Has(CpuFeature::kEpt));
+  EXPECT_FALSE(parsed.features.Has(CpuFeature::kVpid));
+  EXPECT_TRUE(parsed.features.Has(CpuFeature::kNestedVirt));
+}
+
+TEST(AdapterTest, KvmCommandLineReflectsNesting) {
+  KvmAdapter adapter;
+  VcpuConfig on = VcpuConfig::Default(Arch::kIntel);
+  VcpuConfig off = on;
+  off.features.Set(CpuFeature::kNestedVirt, false);
+  auto find_cpu = [](const std::vector<std::string>& argv) {
+    for (const std::string& a : argv) {
+      if (a.rfind("-cpu", 0) == 0) {
+        return a;
+      }
+    }
+    return std::string();
+  };
+  EXPECT_NE(find_cpu(adapter.VmCommandLine(on)).find("+vmx"),
+            std::string::npos);
+  EXPECT_NE(find_cpu(adapter.VmCommandLine(off)).find("-vmx"),
+            std::string::npos);
+}
+
+TEST(AdapterTest, XenConfigUsesNestedHvm) {
+  XenAdapter adapter;
+  const VcpuConfig config = VcpuConfig::Default(Arch::kIntel);
+  bool found = false;
+  for (const std::string& line : adapter.VmCommandLine(config)) {
+    found |= line == "nestedhvm = 1";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AdapterTest, FactoryResolvesKnownHypervisors) {
+  EXPECT_NE(MakeAdapterFor("kvm"), nullptr);
+  EXPECT_NE(MakeAdapterFor("xen"), nullptr);
+  EXPECT_NE(MakeAdapterFor("virtualbox"), nullptr);
+  EXPECT_EQ(MakeAdapterFor("hyper-v"), nullptr);
+  EXPECT_EQ(MakeAdapterFor("kvm")->hypervisor_name(), "kvm");
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,0 +1,225 @@
+// End-to-end integration tests asserting the paper's headline results hold
+// in this reproduction (with reduced budgets):
+//
+//  * RQ1: NecoFuzz out-covers Syzkaller on both vendors, drastically on
+//    AMD, and subsumes almost all of Syzkaller's guest-reachable lines.
+//  * RQ2: every VM-generator component contributes coverage.
+//  * RQ3: the same stack ports to Xen and beats XTF.
+//  * RQ4: all six seeded vulnerabilities are rediscovered with the
+//    detection classes of Table 6.
+//  * Section 5.3.2: validated states are near-valid yet diverse (Hamming).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/baseline.h"
+#include "src/core/necofuzz.h"
+#include "src/support/stats.h"
+
+namespace neco {
+namespace {
+
+constexpr uint64_t kBudget = 6000;
+
+TEST(IntegrationRq1, NecoFuzzBeatsSyzkallerOnIntel) {
+  SimKvm kvm;
+  CampaignOptions options;
+  options.arch = Arch::kIntel;
+  options.iterations = kBudget;
+  options.samples = 4;
+  const CampaignResult neco = RunCampaign(kvm, options);
+
+  SyzkallerSim syzkaller;
+  const BaselineResult syz = syzkaller.Run(kvm, Arch::kIntel, kBudget, 4);
+
+  EXPECT_GT(neco.final_percent, syz.final_percent);
+  // NecoFuzz subsumes nearly all guest-reachable Syzkaller coverage: the
+  // Syzkaller-only set is small (paper: 7.3%, mostly ioctl-only lines).
+  const auto syz_only = CoverageSubtract(syz.covered_set, neco.covered_set);
+  EXPECT_LT(static_cast<double>(syz_only.size()),
+            0.2 * static_cast<double>(syz.covered_set.size()));
+}
+
+TEST(IntegrationRq1, NecoFuzzCrushesSyzkallerOnAmd) {
+  SimKvm kvm;
+  CampaignOptions options;
+  options.arch = Arch::kAmd;
+  options.iterations = kBudget;
+  options.samples = 4;
+  const CampaignResult neco = RunCampaign(kvm, options);
+
+  SyzkallerSim syzkaller;
+  const BaselineResult syz = syzkaller.Run(kvm, Arch::kAmd, kBudget, 4);
+
+  // Paper: 11.0x improvement (74.2% vs 7.0%). Require at least 3x here.
+  EXPECT_GT(neco.final_percent, 3.0 * syz.final_percent);
+}
+
+TEST(IntegrationRq1, CoverageRampIsFrontLoaded) {
+  // Figure 3 shape: NecoFuzz starts with moderate coverage from its
+  // harness and climbs quickly.
+  SimKvm kvm;
+  CampaignOptions options;
+  options.arch = Arch::kIntel;
+  options.iterations = kBudget;
+  options.samples = 10;
+  const CampaignResult result = RunCampaign(kvm, options);
+  ASSERT_EQ(result.series.size(), 10u);
+  EXPECT_GT(result.series.front().percent, 0.5 * result.final_percent);
+  EXPECT_GT(result.final_percent, 60.0);
+}
+
+TEST(IntegrationRq2, EveryComponentContributes) {
+  SimKvm kvm;
+  std::map<std::string, double> coverage;
+  for (const char* mode : {"all", "no_harness", "no_validator",
+                           "no_configurator", "none"}) {
+    CampaignOptions options;
+    options.arch = Arch::kIntel;
+    options.iterations = kBudget;
+    options.samples = 2;
+    options.seed = 77;
+    const std::string m = mode;
+    options.agent.use_harness = m != "no_harness" && m != "none";
+    options.agent.use_validator = m != "no_validator" && m != "none";
+    options.agent.use_configurator = m != "no_configurator" && m != "none";
+    coverage[m] = RunCampaign(kvm, options).final_percent;
+  }
+  EXPECT_GT(coverage["all"], coverage["no_harness"]);
+  EXPECT_GT(coverage["all"], coverage["no_validator"]);
+  EXPECT_GT(coverage["all"], coverage["no_configurator"]);
+  EXPECT_GT(coverage["all"], coverage["none"]);
+  EXPECT_GT(coverage["no_validator"], coverage["none"] - 3.0);
+}
+
+TEST(IntegrationRq3, XenCampaignBeatsXtf) {
+  SimXen xen;
+  for (const Arch arch : {Arch::kIntel, Arch::kAmd}) {
+    CampaignOptions options;
+    options.arch = arch;
+    options.iterations = kBudget;
+    options.samples = 2;
+    const CampaignResult neco = RunCampaign(xen, options);
+    XtfSim xtf;
+    const BaselineResult xtf_result = xtf.Run(xen, arch, 1, 1);
+    EXPECT_GT(neco.final_percent, xtf_result.final_percent + 30.0)
+        << ArchName(arch);
+  }
+}
+
+TEST(IntegrationRq4, AllSixVulnerabilitiesRediscovered) {
+  std::map<std::string, AnomalyKind> found;
+  auto collect = [&found](const CampaignResult& result) {
+    for (const AnomalyReport& report : result.findings) {
+      found.emplace(report.bug_id, report.kind);
+    }
+  };
+
+  SimKvm kvm;
+  for (const Arch arch : {Arch::kIntel, Arch::kAmd}) {
+    CampaignOptions options;
+    options.arch = arch;
+    options.iterations = 3 * kBudget;
+    options.samples = 2;
+    collect(RunCampaign(kvm, options));
+  }
+  SimXen xen;
+  for (const Arch arch : {Arch::kIntel, Arch::kAmd}) {
+    CampaignOptions options;
+    options.arch = arch;
+    options.iterations = 3 * kBudget;
+    options.samples = 2;
+    collect(RunCampaign(xen, options));
+  }
+  SimVbox vbox;
+  {
+    CampaignOptions options;
+    options.arch = Arch::kIntel;
+    options.iterations = 3 * kBudget;
+    options.samples = 2;
+    collect(RunCampaign(vbox, options));
+  }
+
+  // Table 6, with this repository's bug identities (bug 3 appears in both
+  // its Intel and AMD flavours; either counts).
+  EXPECT_TRUE(found.count("kvm-nvmx-cr4pae-oob"));  // #1 CVE-2023-30456.
+  EXPECT_TRUE(found.count("vbox-msr-noncanonical"));  // #2 CVE-2024-21106.
+  EXPECT_TRUE(found.count("kvm-nvmx-dummy-root") ||
+              found.count("kvm-nsvm-dummy-root"));  // #3.
+  EXPECT_TRUE(found.count("xen-nvmx-activity-state"));  // #4.
+  EXPECT_TRUE(found.count("xen-nsvm-lma-pg"));          // #5.
+  EXPECT_TRUE(found.count("xen-nsvm-vgif-assert"));     // #6.
+
+  // Detection methods match Table 6.
+  EXPECT_EQ(found["kvm-nvmx-cr4pae-oob"], AnomalyKind::kUbsan);
+  EXPECT_EQ(found["vbox-msr-noncanonical"], AnomalyKind::kVmCrash);
+  EXPECT_EQ(found["xen-nvmx-activity-state"], AnomalyKind::kHostCrash);
+  EXPECT_EQ(found["xen-nsvm-lma-pg"], AnomalyKind::kAssertion);
+  EXPECT_EQ(found["xen-nsvm-vgif-assert"], AnomalyKind::kAssertion);
+}
+
+TEST(IntegrationHamming, ValidatedStatesNearValidYetDiverse) {
+  // Figure 5's qualitative claims:
+  //  (a) rounding a random state moves many bits (a random state matches a
+  //      valid one with probability ~2^-distance);
+  //  (b) inputs derived from defaults need far fewer corrections than
+  //      random inputs (they are already near-valid);
+  //  (c) validated states are internally diverse — far more so than
+  //      "simple default mutations" could produce.
+  VmcsValidator validator(HostVmxCapabilities());
+  Rng rng(99);
+  Mutator mutator(99);
+  RunningStats random_vs_validated;   // Rounding displacement, random in.
+  RunningStats default_vs_validated;  // Rounding displacement, default in.
+  RunningStats inter;                 // Pairwise validated diversity.
+  const auto default_image = MakeDefaultVmcs().ToBitImage();
+  std::vector<uint8_t> previous;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> raw_image(Vmcs::BitImageSize());
+    for (auto& b : raw_image) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    Vmcs raw;
+    raw.FromBitImage(raw_image);
+    const auto validated_image = validator.RoundToValid(raw).ToBitImage();
+    random_vs_validated.Add(static_cast<double>(
+        HammingDistance(raw_image, validated_image)));
+    if (!previous.empty()) {
+      inter.Add(static_cast<double>(
+          HammingDistance(previous, validated_image)));
+    }
+    previous = validated_image;
+
+    // Default-derived input: golden image with light havoc drift.
+    FuzzInput drifted = default_image;
+    mutator.Havoc(drifted, 8);
+    Vmcs near_default;
+    near_default.FromBitImage(drifted);
+    const auto validated_default =
+        validator.RoundToValid(near_default).ToBitImage();
+    default_vs_validated.Add(static_cast<double>(
+        HammingDistance(drifted, validated_default)));
+  }
+  EXPECT_GT(random_vs_validated.mean(), 300.0);   // (a)
+  EXPECT_GT(random_vs_validated.mean(),
+            4.0 * default_vs_validated.mean());   // (b)
+  EXPECT_GT(inter.mean(), random_vs_validated.mean());  // (c) diversity.
+}
+
+TEST(IntegrationGuidance, BreadthFirstAtLeastAsGoodAsGuided) {
+  // Table 5: disabling coverage guidance does not hurt (and usually
+  // helps) because rounding collapses guided micro-variations.
+  SimKvm kvm;
+  CampaignOptions options;
+  options.arch = Arch::kIntel;
+  options.iterations = kBudget;
+  options.samples = 2;
+  options.fuzzer.coverage_guidance = false;
+  const double breadth = RunCampaign(kvm, options).final_percent;
+  options.fuzzer.coverage_guidance = true;
+  const double guided = RunCampaign(kvm, options).final_percent;
+  EXPECT_GE(breadth, guided - 3.0);
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,0 +1,114 @@
+// Tests for the hardware-as-oracle self-correction loop (Section 3.4):
+// the validator's spec model initially disagrees with silicon on the
+// documented-but-unenforced checks; calibration must learn those quirks
+// and drive the mismatch rate to zero.
+#include <gtest/gtest.h>
+
+#include "src/arch/vmx_bits.h"
+#include "src/core/validator/oracle.h"
+
+namespace neco {
+namespace {
+
+TEST(VmxOracleTest, LearnsCr4PaeQuirk) {
+  VmxCpu cpu;
+  VmcsValidator validator(HostVmxCapabilities());
+  VmxHardwareOracle oracle(cpu, validator);
+
+  // Hand the oracle the exact CVE-shaped state: model says invalid,
+  // silicon enters.
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestCr4, Cr4::kVmxe);
+  uint32_t entry = static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  v.Write(VmcsField::kVmEntryControls, entry & ~EntryCtl::kLoadEfer);
+
+  EXPECT_FALSE(validator.Validate(v).empty());
+  EXPECT_FALSE(oracle.VerifyOnce(v));  // Mismatch on first contact.
+  EXPECT_TRUE(validator.quirks().suppressed_checks.count(
+                  CheckId::kGuestCr4PaeForIa32e) != 0);
+  // Second contact agrees: the quirk is learned.
+  EXPECT_TRUE(oracle.VerifyOnce(v));
+  EXPECT_TRUE(validator.Validate(v).empty());
+}
+
+TEST(VmxOracleTest, LearnsSilentFixups) {
+  VmxCpu cpu;
+  VmcsValidator validator(HostVmxCapabilities());
+  VmxHardwareOracle oracle(cpu, validator);
+
+  // A fully valid state whose unusable LDTR carries stale AR bits: the
+  // model predicts the state unchanged, silicon clears the AR byte.
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestLdtrArBytes, SegAr::kUnusable | 0x82);
+  EXPECT_FALSE(oracle.VerifyOnce(v));
+  EXPECT_GE(validator.quirks().learned_fixups.size(), 1u);
+  EXPECT_TRUE(oracle.VerifyOnce(v));
+}
+
+TEST(VmxOracleTest, CalibrationConverges) {
+  VmxCpu cpu;
+  VmcsValidator validator(HostVmxCapabilities());
+  VmxHardwareOracle oracle(cpu, validator);
+
+  Rng rng(31337);
+  oracle.Calibrate(rng, 400);
+  // After calibration the model must agree with silicon on fresh states.
+  const uint64_t late_mismatches = oracle.Calibrate(rng, 200);
+  EXPECT_EQ(late_mismatches, 0u)
+      << "suppressed=" << oracle.stats().checks_suppressed
+      << " fixups=" << oracle.stats().fixups_learned;
+  EXPECT_GT(oracle.stats().comparisons, 0u);
+}
+
+TEST(VmxOracleTest, DetectsInjectedValidatorBug) {
+  // Deliberately break the validator by suppressing a check hardware DOES
+  // enforce: the oracle reports the disagreement (model-too-lax is flagged,
+  // not silently accepted).
+  VmxCpu cpu;
+  VmcsValidator validator(HostVmxCapabilities());
+  validator.quirks().suppressed_checks.insert(CheckId::kGuestRflagsReserved);
+  VmxHardwareOracle oracle(cpu, validator);
+
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestRflags, 0);  // Fixed-1 bit cleared.
+  EXPECT_TRUE(validator.Validate(v).empty());  // Broken model says valid.
+  EXPECT_FALSE(oracle.VerifyOnce(v));          // Oracle catches it.
+  EXPECT_GE(oracle.stats().verdict_mismatches, 1u);
+}
+
+TEST(SvmOracleTest, LearnsLmeWithoutPgQuirk) {
+  SvmCpu cpu;
+  VmcbValidator validator;
+  SvmHardwareOracle oracle(cpu, validator);
+
+  Vmcb v = MakeDefaultVmcb();
+  v.Write(VmcbField::kCr0, Cr0::kPe | Cr0::kNe | Cr0::kEt);  // PG off.
+  v.Write(VmcbField::kEfer, Efer::kSvme | Efer::kLme);
+
+  EXPECT_FALSE(validator.Validate(v).empty());
+  EXPECT_FALSE(oracle.VerifyOnce(v));
+  EXPECT_TRUE(validator.quirks().suppressed_checks.count(
+                  CheckId::kSvmLmeWithoutPg) != 0);
+  EXPECT_TRUE(oracle.VerifyOnce(v));
+}
+
+TEST(SvmOracleTest, CalibrationConverges) {
+  SvmCpu cpu;
+  VmcbValidator validator;
+  SvmHardwareOracle oracle(cpu, validator);
+  Rng rng(2718);
+  oracle.Calibrate(rng, 300);
+  EXPECT_EQ(oracle.Calibrate(rng, 150), 0u);
+}
+
+TEST(SvmOracleTest, PreservesCpuSvmeState) {
+  SvmCpu cpu;
+  cpu.set_svme(false);
+  VmcbValidator validator;
+  SvmHardwareOracle oracle(cpu, validator);
+  oracle.VerifyOnce(MakeDefaultVmcb());
+  EXPECT_FALSE(cpu.svme());  // Restored after the probe.
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,0 +1,139 @@
+// Tests for the AMD VMRUN consistency checks and the SvmCpu model,
+// including the APM-ambiguity quirk (EFER.LME && !CR0.PG) that separates
+// the spec profile from silicon behaviour.
+#include <gtest/gtest.h>
+
+#include "src/arch/vmcb.h"
+#include "src/arch/vmx_bits.h"
+#include "src/cpu/svm_checks.h"
+#include "src/cpu/svm_cpu.h"
+
+namespace neco {
+namespace {
+
+struct SvmCheckCase {
+  const char* name;
+  VmcbField field;
+  uint64_t value;
+  CheckId expected;
+};
+
+const SvmCheckCase kSvmCases[] = {
+    {"efer_svme_clear", VmcbField::kEfer, Efer::kLme | Efer::kLma,
+     CheckId::kSvmEferSvme},
+    {"efer_reserved", VmcbField::kEfer, Efer::kSvme | (1ULL << 4),
+     CheckId::kSvmEferMbz},
+    {"cr0_nw_without_cd", VmcbField::kCr0,
+     Cr0::kPe | Cr0::kPg | Cr0::kNw | Cr0::kNe, CheckId::kSvmCr0CdNw},
+    {"cr0_high_bits", VmcbField::kCr0, (1ULL << 40) | Cr0::kPe,
+     CheckId::kSvmCr0High32},
+    {"cr3_mbz", VmcbField::kCr3, 1ULL << 60, CheckId::kSvmCr3Mbz},
+    {"cr4_reserved", VmcbField::kCr4, Cr4::kPae | (1ULL << 40),
+     CheckId::kSvmCr4Mbz},
+    {"cr4_vmxe_on_amd", VmcbField::kCr4, Cr4::kPae | Cr4::kVmxe,
+     CheckId::kSvmCr4Mbz},
+    {"long_mode_without_pae", VmcbField::kCr4, 0,
+     CheckId::kSvmLongModeNeedsPae},
+    {"dr6_high", VmcbField::kDr6, 1ULL << 35, CheckId::kSvmDr6High32},
+    {"dr7_high", VmcbField::kDr7, 1ULL << 35, CheckId::kSvmDr7High32},
+    {"asid_zero", VmcbField::kGuestAsid, 0, CheckId::kSvmAsidZero},
+    {"vmrun_intercept_clear", VmcbField::kInterceptVec4,
+     SvmIntercept4::kVmmcall, CheckId::kSvmVmrunInterceptClear},
+    {"event_inj_reserved_type", VmcbField::kEventInj,
+     (1ULL << 31) | (1ULL << 8), CheckId::kSvmEventInjValidity},
+    {"event_inj_nmi_vector", VmcbField::kEventInj,
+     (1ULL << 31) | (2ULL << 8) | 7, CheckId::kSvmEventInjValidity},
+    {"nested_cr3_mbz", VmcbField::kNestedCr3, (1ULL << 60),
+     CheckId::kSvmNestedCr3Mbz},
+};
+
+class SvmCheckCaseTest : public ::testing::TestWithParam<SvmCheckCase> {};
+
+TEST_P(SvmCheckCaseTest, SingleCorruptionYieldsExpectedViolation) {
+  const SvmCheckCase& c = GetParam();
+  Vmcb v = MakeDefaultVmcb();
+  v.Write(c.field, c.value);
+  const ViolationList violations =
+      CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Spec());
+  ASSERT_FALSE(violations.empty()) << c.name;
+  EXPECT_EQ(violations.front(), c.expected)
+      << c.name << ": got " << CheckIdName(violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChecks, SvmCheckCaseTest, ::testing::ValuesIn(kSvmCases),
+    [](const ::testing::TestParamInfo<SvmCheckCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(SvmChecksTest, GoldenVmcbPassesBothProfiles) {
+  const Vmcb v = MakeDefaultVmcb();
+  EXPECT_TRUE(CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Spec()).empty());
+  EXPECT_TRUE(CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Hardware()).empty());
+}
+
+// The APM-ambiguity quirk behind Xen bug X2: EFER.LME=1 with CR0.PG=0 is
+// flagged by a strict spec reading but accepted by silicon.
+TEST(SvmChecksTest, LmeWithoutPgSeparatesProfiles) {
+  Vmcb v = MakeDefaultVmcb();
+  v.Write(VmcbField::kCr0, Cr0::kPe | Cr0::kNe | Cr0::kEt);  // PG off.
+  v.Write(VmcbField::kEfer, Efer::kSvme | Efer::kLme);
+
+  const ViolationList spec = CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Spec());
+  ASSERT_FALSE(spec.empty());
+  EXPECT_EQ(spec.front(), CheckId::kSvmLmeWithoutPg);
+
+  EXPECT_TRUE(CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Hardware()).empty());
+}
+
+TEST(SvmChecksTest, LongModeCsLandDRejected) {
+  Vmcb v = MakeDefaultVmcb();
+  // CS.L (bit 9) and CS.D (bit 10) both set in long mode.
+  v.Write(VmcbField::kCsAttrib, 0x029b | (1u << 10));
+  const ViolationList violations =
+      CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Spec());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front(), CheckId::kSvmLongModeCsLandD);
+}
+
+TEST(SvmCpuTest, VmrunRequiresSvme) {
+  SvmCpu cpu;
+  Vmcb v = MakeDefaultVmcb();
+  cpu.set_svme(false);
+  EXPECT_EQ(cpu.Vmrun(v).status, VmrunStatus::kSvmeDisabled);
+  cpu.set_svme(true);
+  EXPECT_EQ(cpu.Vmrun(v).status, VmrunStatus::kEntered);
+}
+
+TEST(SvmCpuTest, InvalidVmcbSetsExitCode) {
+  SvmCpu cpu;
+  cpu.set_svme(true);
+  Vmcb v = MakeDefaultVmcb();
+  v.Write(VmcbField::kGuestAsid, 0);
+  const VmrunOutcome outcome = cpu.Vmrun(v);
+  EXPECT_EQ(outcome.status, VmrunStatus::kInvalidVmcb);
+  EXPECT_EQ(outcome.failed_check, CheckId::kSvmAsidZero);
+  EXPECT_EQ(v.Read(VmcbField::kExitCode),
+            static_cast<uint64_t>(SvmExitCode::kInvalid));
+}
+
+TEST(SvmCpuTest, GifToggling) {
+  SvmCpu cpu;
+  EXPECT_TRUE(cpu.gif());
+  cpu.Clgi();
+  EXPECT_FALSE(cpu.gif());
+  cpu.Stgi();
+  EXPECT_TRUE(cpu.gif());
+}
+
+TEST(SvmChecksTest, IopmRangeChecked) {
+  Vmcb v = MakeDefaultVmcb();
+  v.Write(VmcbField::kIopmBasePa, (1ULL << 48) - 0x1000);
+  const ViolationList violations =
+      CheckVmrun(v, SvmCaps{}, SvmCheckProfile::Spec());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front(), CheckId::kSvmIopmAddressRange);
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,0 +1,295 @@
+// Tests for the architectural VM-entry check algorithm: one parameterized
+// case per consistency check (corrupt the golden VMCS in exactly one way,
+// expect exactly that CheckId), plus the spec-vs-hardware profile deltas
+// and the silent post-entry fixups.
+#include <gtest/gtest.h>
+
+#include "src/arch/vmcs.h"
+#include "src/arch/vmx_bits.h"
+#include "src/arch/vmx_caps.h"
+#include "src/cpu/vmx_checks.h"
+
+namespace neco {
+namespace {
+
+struct CheckCase {
+  const char* name;
+  VmcsField field;
+  uint64_t value;
+  CheckId expected;
+};
+
+// Every case perturbs MakeDefaultVmcs() — which passes all checks — in a
+// single field, and names the first violation the spec profile must report.
+const CheckCase kCheckCases[] = {
+    {"pin_reserved0_cleared", VmcsField::kPinBasedVmExecControl, 0,
+     CheckId::kPinBasedReserved},
+    {"pin_unknown_bit", VmcsField::kPinBasedVmExecControl,
+     0x16 | (1u << 13), CheckId::kPinBasedReserved},
+    {"proc_reserved0_cleared", VmcsField::kCpuBasedVmExecControl, 0,
+     CheckId::kProcBasedReserved},
+    {"sec_unknown_bit", VmcsField::kSecondaryVmExecControl,
+     Proc2Ctl::kEnableEpt | Proc2Ctl::kEnableVpid | (1u << 27),
+     CheckId::kProc2Reserved},
+    {"cr3_target_count", VmcsField::kCr3TargetCount, 5,
+     CheckId::kCr3TargetCountRange},
+    {"io_bitmap_misaligned", VmcsField::kIoBitmapA, 0x6001,
+     CheckId::kIoBitmapAlignment},
+    {"msr_bitmap_misaligned", VmcsField::kMsrBitmap, 0x8abc,
+     CheckId::kMsrBitmapAlignment},
+    {"exit_ctl_reserved", VmcsField::kVmExitControls, 0,
+     CheckId::kExitCtlReserved},
+    {"entry_ctl_reserved", VmcsField::kVmEntryControls, 0,
+     CheckId::kEntryCtlReserved},
+    {"entry_msr_count_huge", VmcsField::kVmEntryMsrLoadCount, 4096,
+     CheckId::kEntryMsrLoadCountRange},
+    {"entry_intr_reserved_type", VmcsField::kVmEntryIntrInfoField,
+     (1u << 31) | (1u << 8), CheckId::kEntryIntrInfoType},
+    {"entry_intr_nmi_bad_vector", VmcsField::kVmEntryIntrInfoField,
+     (1u << 31) | (2u << 8) | 9, CheckId::kEntryIntrInfoVector},
+    {"entry_intr_errcode_for_ext", VmcsField::kVmEntryIntrInfoField,
+     (1u << 31) | (0u << 8) | (1u << 11) | 32,
+     CheckId::kEntryIntrInfoErrorCode},
+    {"host_cr0_missing_pe", VmcsField::kHostCr0,
+     Cr0::kPg | Cr0::kNe | Cr0::kEt, CheckId::kHostCr0Fixed},
+    {"host_cr4_missing_vmxe", VmcsField::kHostCr4, Cr4::kPae,
+     CheckId::kHostCr4Fixed},
+    {"host_cr3_beyond_maxphys", VmcsField::kHostCr3, 1ULL << 60,
+     CheckId::kHostCr3Range},
+    {"host_fs_base_noncanonical", VmcsField::kHostFsBase,
+     0x0000900000000000ULL, CheckId::kHostCanonicalBase},
+    {"host_sysenter_noncanonical", VmcsField::kHostIa32SysenterEip,
+     0x0000900000000000ULL, CheckId::kHostSysenterCanonical},
+    {"host_selector_rpl", VmcsField::kHostDsSelector, 0x13,
+     CheckId::kHostSelectorRplTi},
+    {"host_cs_null", VmcsField::kHostCsSelector, 0, CheckId::kHostCsNotNull},
+    {"host_tr_null", VmcsField::kHostTrSelector, 0, CheckId::kHostTrNotNull},
+    {"host_efer_reserved", VmcsField::kHostIa32Efer, 0x500 | (1ULL << 3),
+     CheckId::kHostEferReserved},
+    {"host_efer_lma_mismatch", VmcsField::kHostIa32Efer, 0,
+     CheckId::kHostEferLmaLme},
+    {"host_rip_noncanonical", VmcsField::kHostRip, 0x0000900000000000ULL,
+     CheckId::kHostRipCanonical},
+    {"guest_cr0_missing_ne", VmcsField::kGuestCr0,
+     Cr0::kPe | Cr0::kPg | Cr0::kEt | Cr0::kMp, CheckId::kGuestCr0Fixed},
+    {"guest_cr4_missing_vmxe", VmcsField::kGuestCr4, Cr4::kPae,
+     CheckId::kGuestCr4Fixed},
+    {"guest_cr3_beyond_maxphys", VmcsField::kGuestCr3, 1ULL << 60,
+     CheckId::kGuestCr3Range},
+    {"guest_efer_reserved", VmcsField::kGuestIa32Efer, 0x500 | (1ULL << 2),
+     CheckId::kGuestEferReserved},
+    {"guest_efer_lma_vs_entry", VmcsField::kGuestIa32Efer, 0,
+     CheckId::kGuestEferLmaVsEntryCtl},
+    {"guest_rflags_fixed1_clear", VmcsField::kGuestRflags, 0,
+     CheckId::kGuestRflagsReserved},
+    {"guest_rflags_high_bits", VmcsField::kGuestRflags,
+     Rflags::kFixed1 | (1ULL << 33), CheckId::kGuestRflagsReserved},
+    {"guest_cs_unusable", VmcsField::kGuestCsArBytes, SegAr::kUnusable,
+     CheckId::kGuestCsType},
+    {"guest_cs_bad_type", VmcsField::kGuestCsArBytes,
+     0x1 | SegAr::kS | SegAr::kP | SegAr::kL | SegAr::kG,
+     CheckId::kGuestCsType},
+    {"guest_cs_l_and_db", VmcsField::kGuestCsArBytes,
+     0xb | SegAr::kS | SegAr::kP | SegAr::kL | SegAr::kDb | SegAr::kG,
+     CheckId::kGuestCsLAndDb},
+    {"guest_ss_bad_type", VmcsField::kGuestSsArBytes,
+     0xb | SegAr::kS | SegAr::kP | SegAr::kG | SegAr::kDb,
+     CheckId::kGuestSsType},
+    {"guest_ds_not_accessed", VmcsField::kGuestDsArBytes,
+     0x2 | SegAr::kS | SegAr::kP | SegAr::kG | SegAr::kDb,
+     CheckId::kGuestDataSegType},
+    {"guest_seg_ar_reserved", VmcsField::kGuestDsArBytes,
+     0x3 | SegAr::kS | SegAr::kP | SegAr::kG | SegAr::kDb | (1u << 9),
+     CheckId::kGuestSegArReserved},
+    {"guest_seg_not_present", VmcsField::kGuestEsArBytes,
+     0x3 | SegAr::kS | SegAr::kG | SegAr::kDb, CheckId::kGuestSegNullUsable},
+    {"guest_fs_base_noncanonical", VmcsField::kGuestFsBase,
+     0x0000900000000000ULL, CheckId::kGuestSegBaseCanonical},
+    {"guest_cs_base_high32", VmcsField::kGuestCsBase, 1ULL << 40,
+     CheckId::kGuestSegBaseHigh32},
+    {"guest_limit_granularity", VmcsField::kGuestCsLimit, 0x12345678,
+     CheckId::kGuestSegLimitGranularity},
+    {"guest_tr_unusable", VmcsField::kGuestTrArBytes, SegAr::kUnusable,
+     CheckId::kGuestTrUsable},
+    {"guest_tr_bad_type", VmcsField::kGuestTrArBytes, 0x3 | SegAr::kP,
+     CheckId::kGuestTrType},
+    {"guest_tr_ti_set", VmcsField::kGuestTrSelector, 0x1c,
+     CheckId::kGuestTrTiFlag},
+    {"guest_ldtr_bad_type", VmcsField::kGuestLdtrArBytes, 0xb | SegAr::kP,
+     CheckId::kGuestLdtrType},
+    {"guest_gdtr_noncanonical", VmcsField::kGuestGdtrBase,
+     0x0000900000000000ULL, CheckId::kGuestGdtrIdtrCanonical},
+    {"guest_gdtr_limit_high", VmcsField::kGuestGdtrLimit, 0x10000,
+     CheckId::kGuestGdtrIdtrLimit},
+    {"guest_rip_noncanonical", VmcsField::kGuestRip, 0x0000900000000000ULL,
+     CheckId::kGuestRipCanonical},
+    {"guest_activity_out_of_range", VmcsField::kGuestActivityState, 4,
+     CheckId::kGuestActivityStateRange},
+    {"guest_interruptibility_reserved",
+     VmcsField::kGuestInterruptibilityInfo, 1u << 7,
+     CheckId::kGuestInterruptibilityReserved},
+    {"guest_sti_movss_both", VmcsField::kGuestInterruptibilityInfo, 0x3,
+     CheckId::kGuestStiMovssExclusive},
+    {"guest_sti_with_if_clear", VmcsField::kGuestInterruptibilityInfo, 0x1,
+     CheckId::kGuestStiWithIfClear},
+    {"guest_pending_dbg_reserved", VmcsField::kGuestPendingDbgExceptions,
+     1ULL << 20, CheckId::kGuestPendingDbgReserved},
+    {"guest_link_pointer_unaligned", VmcsField::kVmcsLinkPointer, 0x123,
+     CheckId::kGuestVmcsLinkPointer},
+};
+
+class VmxCheckCaseTest : public ::testing::TestWithParam<CheckCase> {};
+
+TEST_P(VmxCheckCaseTest, SingleCorruptionYieldsExpectedViolation) {
+  const CheckCase& c = GetParam();
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(c.field, c.value);
+  const ViolationList violations =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Spec());
+  ASSERT_FALSE(violations.empty()) << c.name << ": expected a violation";
+  EXPECT_EQ(violations.front(), c.expected)
+      << c.name << ": got " << CheckIdName(violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChecks, VmxCheckCaseTest, ::testing::ValuesIn(kCheckCases),
+    [](const ::testing::TestParamInfo<CheckCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(VmxChecksTest, GoldenStatePassesAllProfiles) {
+  const Vmcs v = MakeDefaultVmcs();
+  EXPECT_TRUE(CheckVmxEntry(v, HostVmxCapabilities(),
+                            VmxCheckProfile::Spec())
+                  .empty());
+  EXPECT_TRUE(CheckVmxEntry(v, HostVmxCapabilities(),
+                            VmxCheckProfile::Hardware())
+                  .empty());
+}
+
+// The CVE-2023-30456 quirk: the spec profile enforces CR4.PAE under
+// IA-32e mode, real hardware does not.
+TEST(VmxChecksTest, Cr4PaeQuirkSeparatesProfiles) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestCr4, Cr4::kVmxe);  // PAE cleared.
+  // Keep EFER consistent so only the PAE check distinguishes profiles: drop
+  // the EFER-load control so EFER checks do not apply.
+  uint32_t entry = static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  v.Write(VmcsField::kVmEntryControls, entry & ~EntryCtl::kLoadEfer);
+
+  const ViolationList spec =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Spec());
+  ASSERT_FALSE(spec.empty());
+  EXPECT_EQ(spec.front(), CheckId::kGuestCr4PaeForIa32e);
+
+  const ViolationList hw =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Hardware());
+  EXPECT_TRUE(hw.empty()) << "hardware silently tolerates CR4.PAE=0, got "
+                          << CheckIdName(hw.front());
+}
+
+TEST(VmxChecksTest, StopAtFirstReportsOnlyOne) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kPinBasedVmExecControl, 0);
+  v.Write(VmcsField::kHostCr0, 0);
+  v.Write(VmcsField::kGuestRflags, 0);
+  VmxCheckProfile profile = VmxCheckProfile::Spec();
+  EXPECT_GE(CheckVmxEntry(v, HostVmxCapabilities(), profile).size(), 3u);
+  profile.stop_at_first = true;
+  EXPECT_EQ(CheckVmxEntry(v, HostVmxCapabilities(), profile).size(), 1u);
+}
+
+TEST(VmxChecksTest, SecondaryControlsIgnoredWhenDeactivated) {
+  Vmcs v = MakeDefaultVmcs();
+  // Clear the activate-secondary bit but leave garbage in the secondary
+  // field: hardware ignores it.
+  uint32_t proc =
+      static_cast<uint32_t>(v.Read(VmcsField::kCpuBasedVmExecControl));
+  v.Write(VmcsField::kCpuBasedVmExecControl,
+          proc & ~ProcCtl::kActivateSecondary);
+  v.Write(VmcsField::kSecondaryVmExecControl, ~0ULL);
+  const ViolationList violations =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Spec());
+  for (CheckId id : violations) {
+    EXPECT_NE(id, CheckId::kProc2Reserved);
+  }
+}
+
+TEST(VmxChecksTest, UnrestrictedGuestRelaxesCr0) {
+  Vmcs v = MakeDefaultVmcs();
+  // Real-mode guest: PE=PG=0 — only legal with unrestricted guest.
+  v.Write(VmcsField::kGuestCr0, Cr0::kNe | Cr0::kEt);
+  v.Write(VmcsField::kGuestCr4, Cr4::kVmxe | Cr4::kPae);
+  uint32_t entry = static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  v.Write(VmcsField::kVmEntryControls,
+          entry & ~(EntryCtl::kIa32eModeGuest | EntryCtl::kLoadEfer));
+  v.Write(VmcsField::kGuestIa32Efer, 0);
+  // 32-bit code segment (L cleared).
+  v.Write(VmcsField::kGuestCsArBytes,
+          0xb | SegAr::kS | SegAr::kP | SegAr::kG | SegAr::kDb);
+  v.Write(VmcsField::kGuestRip, 0x1000);
+  v.Write(VmcsField::kGuestTrArBytes, 0x3 | SegAr::kP);  // 16-bit TSS ok.
+
+  ViolationList without_ug =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Spec());
+  ASSERT_FALSE(without_ug.empty());
+  EXPECT_EQ(without_ug.front(), CheckId::kGuestCr0Fixed);
+
+  uint32_t sec =
+      static_cast<uint32_t>(v.Read(VmcsField::kSecondaryVmExecControl));
+  v.Write(VmcsField::kSecondaryVmExecControl,
+          sec | Proc2Ctl::kUnrestrictedGuest);
+  EXPECT_TRUE(CheckVmxEntry(v, HostVmxCapabilities(),
+                            VmxCheckProfile::Spec())
+                  .empty());
+}
+
+TEST(VmxChecksTest, V86SegmentInvariants) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestRflags, Rflags::kFixed1 | Rflags::kVm);
+  uint32_t entry = static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  v.Write(VmcsField::kVmEntryControls,
+          entry & ~(EntryCtl::kIa32eModeGuest | EntryCtl::kLoadEfer));
+  // Segments do not satisfy the v86 shape -> violation.
+  const ViolationList violations =
+      CheckVmxEntry(v, HostVmxCapabilities(), VmxCheckProfile::Spec());
+  bool found = false;
+  for (CheckId id : violations) {
+    found |= id == CheckId::kGuestV86SegmentInvariants;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VmxFixupsTest, UnusableSegmentArCleared) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestLdtrArBytes, SegAr::kUnusable | 0x9b);
+  ApplyVmxFixup(VmxFixupId::kUnusableSegArClear, v);
+  EXPECT_EQ(v.Read(VmcsField::kGuestLdtrArBytes), SegAr::kUnusable);
+  // Usable segments untouched.
+  const uint64_t ds = v.Read(VmcsField::kGuestDsArBytes);
+  ApplyVmxFixup(VmxFixupId::kUnusableSegArClear, v);
+  EXPECT_EQ(v.Read(VmcsField::kGuestDsArBytes), ds);
+}
+
+TEST(VmxFixupsTest, CsAccessedBitForced) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestCsArBytes,
+          0xa | SegAr::kS | SegAr::kP | SegAr::kL | SegAr::kG);  // Type 10.
+  ApplyVmxFixup(VmxFixupId::kCsAccessedBitSet, v);
+  EXPECT_EQ(SegAr::Type(static_cast<uint32_t>(
+                v.Read(VmcsField::kGuestCsArBytes))),
+            0xbu);  // Accessed bit set.
+}
+
+TEST(VmxFixupsTest, HardwareFixupSetIsIdempotent) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestPendingDbgExceptions, PendingDbg::kBs | Bit(20));
+  ApplyHardwareVmxFixups(v);
+  const Vmcs once = v;
+  ApplyHardwareVmxFixups(v);
+  EXPECT_TRUE(v == once);
+  EXPECT_EQ(v.Read(VmcsField::kGuestPendingDbgExceptions) & Bit(20), 0u);
+}
+
+}  // namespace
+}  // namespace neco

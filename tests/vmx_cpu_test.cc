@@ -1,0 +1,159 @@
+// Tests for the simulated physical CPU's VMX instruction state machine:
+// VMXON region handling, the current-VMCS pointer, launch-state rules,
+// vmread/vmwrite error numbers, and entry outcomes with silent fixups.
+#include <gtest/gtest.h>
+
+#include "src/arch/vmx_bits.h"
+#include "src/cpu/vmx_cpu.h"
+
+namespace neco {
+namespace {
+
+class VmxCpuTest : public ::testing::Test {
+ protected:
+  VmxCpu cpu_;
+};
+
+TEST_F(VmxCpuTest, VmxonRules) {
+  EXPECT_EQ(cpu_.Vmxon(0x1001).flag, VmxFlag::kFailInvalid);  // Misaligned.
+  EXPECT_EQ(cpu_.Vmxon(0).flag, VmxFlag::kFailInvalid);       // Null.
+  EXPECT_TRUE(cpu_.Vmxon(0x1000).ok());
+  EXPECT_TRUE(cpu_.in_vmx_operation());
+  const VmxInsnResult again = cpu_.Vmxon(0x2000);
+  EXPECT_EQ(again.flag, VmxFlag::kFailValid);
+  EXPECT_EQ(again.error, VmxError::kVmxonInRoot);
+}
+
+TEST_F(VmxCpuTest, VmxoffLeavesOperation) {
+  EXPECT_EQ(cpu_.Vmxoff().flag, VmxFlag::kFailInvalid);  // Not in VMX op.
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  EXPECT_TRUE(cpu_.Vmxoff().ok());
+  EXPECT_FALSE(cpu_.in_vmx_operation());
+}
+
+TEST_F(VmxCpuTest, VmclearRules) {
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  EXPECT_EQ(cpu_.Vmclear(0x1000).error, VmxError::kVmclearVmxonPointer);
+  EXPECT_EQ(cpu_.Vmclear(0x2001).error, VmxError::kVmclearInvalidAddress);
+  EXPECT_TRUE(cpu_.Vmclear(0x2000).ok());
+}
+
+TEST_F(VmxCpuTest, VmptrldRevisionCheck) {
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  ASSERT_TRUE(cpu_.Vmclear(0x2000).ok());
+  EXPECT_TRUE(cpu_.Vmptrld(0x2000).ok());
+  EXPECT_EQ(cpu_.current_vmcs_ptr(), 0x2000u);
+  cpu_.SetRegionRevision(0x3000, 0xbad);
+  EXPECT_EQ(cpu_.Vmptrld(0x3000).error, VmxError::kVmptrldWrongRevision);
+  EXPECT_EQ(cpu_.Vmptrld(0x1000).error, VmxError::kVmptrldVmxonPointer);
+}
+
+TEST_F(VmxCpuTest, VmclearCurrentReleasesPointer) {
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  ASSERT_TRUE(cpu_.Vmclear(0x2000).ok());
+  ASSERT_TRUE(cpu_.Vmptrld(0x2000).ok());
+  ASSERT_TRUE(cpu_.Vmclear(0x2000).ok());
+  EXPECT_EQ(cpu_.current_vmcs(), nullptr);
+  EXPECT_EQ(cpu_.Vmwrite(VmcsField::kGuestRip, 1).flag,
+            VmxFlag::kFailInvalid);
+}
+
+TEST_F(VmxCpuTest, VmwriteVmreadErrors) {
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  ASSERT_TRUE(cpu_.Vmclear(0x2000).ok());
+  ASSERT_TRUE(cpu_.Vmptrld(0x2000).ok());
+  EXPECT_EQ(cpu_.Vmwrite(static_cast<VmcsField>(0x9999), 1).error,
+            VmxError::kVmreadVmwriteInvalidField);
+  EXPECT_EQ(cpu_.Vmwrite(VmcsField::kVmExitReason, 1).error,
+            VmxError::kVmwriteReadOnlyField);
+  EXPECT_TRUE(cpu_.Vmwrite(VmcsField::kGuestRip, 0x1234).ok());
+  uint64_t value = 0;
+  EXPECT_TRUE(cpu_.Vmread(VmcsField::kGuestRip, &value).ok());
+  EXPECT_EQ(value, 0x1234u);
+}
+
+TEST_F(VmxCpuTest, LaunchStateMachine) {
+  Vmcs v = MakeDefaultVmcs();
+  // vmresume before launch.
+  v.set_launch_state(Vmcs::LaunchState::kClear);
+  EXPECT_EQ(cpu_.TryEntry(v, /*launch=*/false).status,
+            EntryStatus::kWrongLaunchState);
+  // vmlaunch succeeds and marks launched.
+  EXPECT_EQ(cpu_.TryEntry(v, /*launch=*/true).status, EntryStatus::kEntered);
+  EXPECT_EQ(v.launch_state(), Vmcs::LaunchState::kLaunched);
+  // Second vmlaunch fails, vmresume succeeds.
+  EXPECT_EQ(cpu_.TryEntry(v, /*launch=*/true).status,
+            EntryStatus::kWrongLaunchState);
+  EXPECT_EQ(cpu_.TryEntry(v, /*launch=*/false).status, EntryStatus::kEntered);
+}
+
+TEST_F(VmxCpuTest, ControlViolationIsVmFailValid) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kPinBasedVmExecControl, 0);
+  const EntryOutcome outcome = cpu_.TryEntry(v, /*launch=*/true);
+  EXPECT_EQ(outcome.status, EntryStatus::kVmFailValid);
+  EXPECT_EQ(outcome.failed_check, CheckId::kPinBasedReserved);
+  EXPECT_EQ(outcome.error, VmxError::kEntryInvalidControls);
+}
+
+TEST_F(VmxCpuTest, HostViolationIsVmFailValid) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kHostCr3, 1ULL << 60);
+  const EntryOutcome outcome = cpu_.TryEntry(v, /*launch=*/true);
+  EXPECT_EQ(outcome.status, EntryStatus::kVmFailValid);
+  EXPECT_EQ(outcome.error, VmxError::kEntryInvalidHostState);
+}
+
+TEST_F(VmxCpuTest, GuestViolationIsFailedEntryExit) {
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestActivityState, 7);
+  const EntryOutcome outcome = cpu_.TryEntry(v, /*launch=*/true);
+  EXPECT_EQ(outcome.status, EntryStatus::kEntryFailGuest);
+  EXPECT_EQ(outcome.failed_check, CheckId::kGuestActivityStateRange);
+  const uint32_t reason =
+      static_cast<uint32_t>(v.Read(VmcsField::kVmExitReason));
+  EXPECT_EQ(reason & 0xffffu,
+            static_cast<uint32_t>(ExitReason::kInvalidGuestState));
+  EXPECT_NE(reason & kExitReasonFailedEntryBit, 0u);
+  // Launch state must NOT advance on a failed entry.
+  EXPECT_EQ(v.launch_state(), Vmcs::LaunchState::kClear);
+}
+
+TEST_F(VmxCpuTest, SuccessfulEntryAppliesSilentFixups) {
+  Vmcs v = MakeDefaultVmcs();
+  // Unusable LDTR with stale bits: hardware reads back a clean AR.
+  v.Write(VmcsField::kGuestLdtrArBytes, SegAr::kUnusable | 0x82);
+  ASSERT_EQ(cpu_.TryEntry(v, /*launch=*/true).status, EntryStatus::kEntered);
+  EXPECT_EQ(v.Read(VmcsField::kGuestLdtrArBytes), SegAr::kUnusable);
+}
+
+TEST_F(VmxCpuTest, Cr4PaeQuirkAcceptedBySilicon) {
+  // The CVE-2023-30456 state: IA-32e mode with CR4.PAE clear enters fine.
+  Vmcs v = MakeDefaultVmcs();
+  v.Write(VmcsField::kGuestCr4, Cr4::kVmxe);
+  uint32_t entry = static_cast<uint32_t>(v.Read(VmcsField::kVmEntryControls));
+  v.Write(VmcsField::kVmEntryControls, entry & ~EntryCtl::kLoadEfer);
+  EXPECT_EQ(cpu_.TryEntry(v, /*launch=*/true).status, EntryStatus::kEntered);
+}
+
+TEST_F(VmxCpuTest, FullInstructionSequenceViaPointers) {
+  ASSERT_TRUE(cpu_.Vmxon(0x1000).ok());
+  ASSERT_TRUE(cpu_.Vmclear(0x2000).ok());
+  ASSERT_TRUE(cpu_.Vmptrld(0x2000).ok());
+  const Vmcs golden = MakeDefaultVmcs();
+  for (const VmcsFieldInfo& info : VmcsFieldTable()) {
+    if (info.group == VmcsFieldGroup::kReadOnlyData) {
+      continue;
+    }
+    ASSERT_TRUE(cpu_.Vmwrite(info.field, golden.Read(info.field)).ok());
+  }
+  EXPECT_EQ(cpu_.Vmlaunch().status, EntryStatus::kEntered);
+  EXPECT_EQ(cpu_.Vmresume().status, EntryStatus::kEntered);
+  // Reset clears everything.
+  cpu_.Reset();
+  EXPECT_FALSE(cpu_.in_vmx_operation());
+  EXPECT_EQ(cpu_.Vmlaunch().status, EntryStatus::kNotReady);
+}
+
+}  // namespace
+}  // namespace neco
