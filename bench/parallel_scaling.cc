@@ -1,0 +1,63 @@
+// Parallel campaign scaling: iterations/sec and merged coverage for the
+// sharded engine at 1/2/4/8 workers against SimKvm, at a fixed total
+// iteration budget (pFSCK-style worker scaling of the checking loop).
+//
+// Two sections: NecoFuzz's default breadth-first mode (no corpus, so no
+// cross-shard syncing happens), and guided mode where shards exchange
+// queue entries at every sample boundary (the "imports" column).
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/parallel_campaign.h"
+#include "src/hv/factory.h"
+
+namespace neco {
+namespace {
+
+constexpr uint64_t kBudget = 20000;
+
+void RunAt(int workers, bool coverage_guidance) {
+  CampaignOptions options;
+  options.arch = Arch::kIntel;
+  options.iterations = kBudget;
+  options.samples = 8;
+  options.seed = 1;
+  options.workers = workers;
+  options.fuzzer.coverage_guidance = coverage_guidance;
+
+  const auto start = std::chrono::steady_clock::now();
+  const ParallelCampaignResult result =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf(
+      "  %7d %12.0f %9.2f%% %9zu %10llu %8llu\n", workers,
+      secs > 0 ? static_cast<double>(kBudget) / secs : 0.0,
+      result.merged.final_percent, result.merged.covered_points,
+      static_cast<unsigned long long>(result.merged.findings.size()),
+      static_cast<unsigned long long>(result.corpus_imports));
+}
+
+void RunSection(const char* title, bool coverage_guidance) {
+  std::printf("\n%s\n", title);
+  std::printf("  %7s %12s %10s %9s %10s %8s\n", "workers", "iters/sec",
+              "coverage", "#lines", "findings", "imports");
+  for (int workers : {1, 2, 4, 8}) {
+    RunAt(workers, coverage_guidance);
+  }
+}
+
+}  // namespace
+}  // namespace neco
+
+int main() {
+  neco::PrintHeader(
+      "Parallel campaign scaling — SimKvm, Intel, fixed 20k-iteration "
+      "budget\nsplit across worker shards (seed + worker_id each)");
+  neco::RunSection("[breadth-first, the paper's default mode]", false);
+  neco::RunSection("[coverage-guided, cross-shard corpus sync active]", true);
+  return 0;
+}

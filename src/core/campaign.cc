@@ -17,15 +17,8 @@ CampaignResult RunCampaign(Hypervisor& target,
   fuzzer_options.seed = options.seed;
   Fuzzer fuzzer(fuzzer_options, agent.MakeExecutor());
 
-  const int samples = options.samples > 0 ? options.samples : 1;
-  const uint64_t chunk =
-      options.iterations / static_cast<uint64_t>(samples) > 0
-          ? options.iterations / static_cast<uint64_t>(samples)
-          : 1;
   uint64_t done = 0;
-  while (done < options.iterations) {
-    const uint64_t step =
-        chunk < options.iterations - done ? chunk : options.iterations - done;
+  for (uint64_t step : ChunkSchedule(options.iterations, options.samples)) {
     fuzzer.Run(step);
     done += step;
     result.series.push_back({done, cov.percent()});
@@ -41,6 +34,19 @@ CampaignResult RunCampaign(Hypervisor& target,
   result.fuzzer_stats = fuzzer.stats();
   result.watchdog_restarts = agent.watchdog_restarts();
   return result;
+}
+
+std::vector<uint64_t> ChunkSchedule(uint64_t budget, int samples) {
+  const uint64_t parts = samples > 0 ? static_cast<uint64_t>(samples) : 1;
+  const uint64_t chunk = budget / parts > 0 ? budget / parts : 1;
+  std::vector<uint64_t> steps;
+  uint64_t done = 0;
+  while (done < budget) {
+    const uint64_t step = chunk < budget - done ? chunk : budget - done;
+    steps.push_back(step);
+    done += step;
+  }
+  return steps;
 }
 
 }  // namespace neco

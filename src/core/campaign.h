@@ -19,6 +19,13 @@ struct CampaignOptions {
   // Number of evenly spaced coverage samples (Figure 3 / Figure 4 series).
   int samples = 24;
   uint64_t seed = 1;
+  // Worker shards for RunParallelCampaign (RunCampaign ignores this and
+  // always runs one shard inline). Each worker derives its fuzzer seed as
+  // seed + worker_id, so worker 0 reproduces the serial campaign exactly.
+  int workers = 1;
+  // Cross-shard corpus syncing: at every sample boundary each worker
+  // publishes its new queue entries and adopts the other shards'.
+  bool corpus_sync = true;
   AgentOptions agent;
   // NecoFuzz's default mode is the breadth-first boundary explorer: the
   // paper found coverage guidance counter-productive here, because the
@@ -48,6 +55,13 @@ struct CampaignResult {
 // architecture is reset at the start so repeated campaigns are independent.
 CampaignResult RunCampaign(Hypervisor& target,
                            const CampaignOptions& options);
+
+// The campaign's sampling cadence: `budget` iterations split into
+// chunk-sized steps (one coverage sample after each), chunk =
+// budget/samples with a minimum of 1 plus a remainder step. Shared by
+// RunCampaign and RunParallelCampaign so a one-worker parallel campaign
+// replays the serial schedule exactly.
+std::vector<uint64_t> ChunkSchedule(uint64_t budget, int samples);
 
 }  // namespace neco
 

@@ -19,6 +19,7 @@
 #include "src/core/campaign.h"                   // IWYU pragma: export
 #include "src/core/config/configurator.h"        // IWYU pragma: export
 #include "src/core/harness/harness.h"            // IWYU pragma: export
+#include "src/core/parallel_campaign.h"          // IWYU pragma: export
 #include "src/core/validator/oracle.h"           // IWYU pragma: export
 #include "src/core/validator/vmcb_validator.h"   // IWYU pragma: export
 #include "src/core/validator/vmcs_validator.h"   // IWYU pragma: export

@@ -1,0 +1,47 @@
+// Sharded multi-worker fuzzing campaign (pFSCK-style parallelization of
+// the formerly serial RunCampaign loop).
+//
+// RunParallelCampaign spawns options.workers threads. Each worker owns a
+// private Hypervisor built from the factory (CoverageUnit is not
+// thread-safe, so simulators stay per-worker), a private Agent, and a
+// Fuzzer shard seeded deterministically with options.seed + worker_id.
+// The total iteration budget is split across shards.
+//
+// Workers run in lock-step epochs (one per coverage sample). At every
+// epoch boundary a barrier fires and exactly one thread merges the shard
+// states into the global campaign view:
+//   * per-worker virgin bitmaps OR into a global seen-edges map,
+//   * per-worker covered-point sets union into the global covered set
+//     (the series sample for that epoch),
+//   * anomaly findings dedup by bug id into the global findings map,
+//   * new corpus entries publish to a shared pool, which the other
+//     shards import at the start of their next epoch (corpus syncing).
+// Because merge order is worker-id order and the barrier serializes
+// epochs, a run is deterministic for a fixed (seed, workers) pair.
+#ifndef SRC_CORE_PARALLEL_CAMPAIGN_H_
+#define SRC_CORE_PARALLEL_CAMPAIGN_H_
+
+#include <vector>
+
+#include "src/core/campaign.h"
+#include "src/hv/factory.h"
+
+namespace neco {
+
+struct ParallelCampaignResult {
+  // The global merged view, shaped exactly like a serial CampaignResult.
+  // With workers == 1 it reproduces RunCampaign bit for bit.
+  CampaignResult merged;
+  // Each shard's own final state (per-worker coverage is a subset of the
+  // merged coverage).
+  std::vector<CampaignResult> per_worker;
+  // Queue entries adopted across shards over the whole campaign.
+  uint64_t corpus_imports = 0;
+};
+
+ParallelCampaignResult RunParallelCampaign(const HypervisorFactory& factory,
+                                           const CampaignOptions& options);
+
+}  // namespace neco
+
+#endif  // SRC_CORE_PARALLEL_CAMPAIGN_H_

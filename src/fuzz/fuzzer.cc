@@ -1,6 +1,6 @@
 #include "src/fuzz/fuzzer.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace neco {
 
@@ -44,16 +44,23 @@ void Fuzzer::Run(uint64_t iterations) {
     if (options_.coverage_guidance && novelty == 2) {
       corpus_.Add(input, iterations_, feedback.edges.size());
     }
-    if (feedback.anomaly) {
-      const bool seen =
-          std::find(seen_bug_ids_.begin(), seen_bug_ids_.end(),
-                    feedback.anomaly_id) != seen_bug_ids_.end();
-      if (!seen) {
-        seen_bug_ids_.push_back(feedback.anomaly_id);
-        crashes_.emplace_back(feedback.anomaly_id, input);
-      }
+    if (feedback.anomaly &&
+        seen_bug_ids_.insert(feedback.anomaly_id).second) {
+      crashes_.emplace_back(feedback.anomaly_id, input);
     }
   }
+}
+
+std::vector<FuzzInput> Fuzzer::ExportCorpus(size_t from) const {
+  std::vector<FuzzInput> out;
+  for (size_t i = from; i < corpus_.size(); ++i) {
+    out.push_back(corpus_.at(i).input);
+  }
+  return out;
+}
+
+void Fuzzer::ImportCorpusEntry(const FuzzInput& input) {
+  corpus_.Add(input, iterations_, 0);
 }
 
 FuzzerStats Fuzzer::stats() const {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/fuzz/bitmap.h"
@@ -64,6 +65,26 @@ class Fuzzer {
   const Corpus& corpus() const { return corpus_; }
   uint64_t iterations() const { return iterations_; }
 
+  // --- Cross-shard campaign hooks (src/core/parallel_campaign) ---
+
+  // The accumulated seen-edges map (AFL "virgin" map, with seen bits set).
+  const CoverageBitmap& virgin_map() const { return virgin_; }
+
+  // Marks edges another shard already saw as non-novel here, so syncing
+  // shards stop re-queueing each other's discoveries.
+  void MergeVirginFrom(const CoverageBitmap& other) {
+    other.MergeInto(virgin_);
+  }
+
+  // Queue entries discovered at index >= `from`, for publishing to other
+  // shards. Pair with corpus().size() as the next cursor.
+  std::vector<FuzzInput> ExportCorpus(size_t from) const;
+
+  // Adopts an input another shard found interesting. It joins the queue
+  // directly (unexecuted, never favored) so imports consume no iteration
+  // budget.
+  void ImportCorpusEntry(const FuzzInput& input);
+
  private:
   FuzzInput NextInput();
 
@@ -73,7 +94,7 @@ class Fuzzer {
   Corpus corpus_;
   CoverageBitmap virgin_;
   std::vector<std::pair<std::string, FuzzInput>> crashes_;
-  std::vector<std::string> seen_bug_ids_;
+  std::unordered_set<std::string> seen_bug_ids_;
   uint64_t iterations_ = 0;
 };
 

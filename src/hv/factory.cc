@@ -1,0 +1,22 @@
+#include "src/hv/factory.h"
+
+#include "src/hv/sim_kvm/kvm.h"
+#include "src/hv/sim_vbox/vbox.h"
+#include "src/hv/sim_xen/xen.h"
+
+namespace neco {
+
+HypervisorFactory MakeHypervisorFactory(std::string_view name) {
+  if (name == "kvm") {
+    return [] { return std::make_unique<SimKvm>(); };
+  }
+  if (name == "xen") {
+    return [] { return std::make_unique<SimXen>(); };
+  }
+  if (name == "virtualbox" || name == "vbox") {
+    return [] { return std::make_unique<SimVbox>(); };
+  }
+  return {};
+}
+
+}  // namespace neco

@@ -1,0 +1,27 @@
+// Factories for the simulated L0 hypervisors.
+//
+// The parallel campaign engine gives every worker thread a private
+// Hypervisor instance: CoverageUnit (and the nested state machines behind
+// it) are not thread-safe, so simulators must never be shared across
+// threads. A HypervisorFactory packages "how to build one isolated target"
+// so campaign code can stay target-agnostic.
+#ifndef SRC_HV_FACTORY_H_
+#define SRC_HV_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "src/hv/hypervisor.h"
+
+namespace neco {
+
+using HypervisorFactory = std::function<std::unique_ptr<Hypervisor>()>;
+
+// Factory for one of the built-in simulators: "kvm", "xen" or
+// "virtualbox". Returns an empty function for unknown names.
+HypervisorFactory MakeHypervisorFactory(std::string_view name);
+
+}  // namespace neco
+
+#endif  // SRC_HV_FACTORY_H_

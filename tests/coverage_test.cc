@@ -1,0 +1,106 @@
+// Tests for the NVCOV coverage primitives: the set algebra behind the
+// Table 2/4 A−B / A∩B rows and the CoverageUnit trace/reset semantics the
+// fuzzing agent depends on.
+#include <gtest/gtest.h>
+
+#include "src/hv/coverage.h"
+
+namespace neco {
+namespace {
+
+TEST(CoverageSetAlgebraTest, EmptySets) {
+  const std::vector<size_t> empty;
+  const std::vector<size_t> some{1, 2, 3};
+  EXPECT_TRUE(CoverageIntersect(empty, empty).empty());
+  EXPECT_TRUE(CoverageIntersect(empty, some).empty());
+  EXPECT_TRUE(CoverageIntersect(some, empty).empty());
+  EXPECT_TRUE(CoverageSubtract(empty, empty).empty());
+  EXPECT_TRUE(CoverageSubtract(empty, some).empty());
+  EXPECT_EQ(CoverageSubtract(some, empty), some);
+}
+
+TEST(CoverageSetAlgebraTest, DisjointSets) {
+  const std::vector<size_t> a{0, 2, 4};
+  const std::vector<size_t> b{1, 3, 5};
+  EXPECT_TRUE(CoverageIntersect(a, b).empty());
+  EXPECT_EQ(CoverageSubtract(a, b), a);
+  EXPECT_EQ(CoverageSubtract(b, a), b);
+}
+
+TEST(CoverageSetAlgebraTest, IdenticalSets) {
+  const std::vector<size_t> a{7, 8, 100};
+  EXPECT_EQ(CoverageIntersect(a, a), a);
+  EXPECT_TRUE(CoverageSubtract(a, a).empty());
+}
+
+TEST(CoverageSetAlgebraTest, PartialOverlap) {
+  const std::vector<size_t> a{1, 2, 3, 4};
+  const std::vector<size_t> b{3, 4, 5, 6};
+  EXPECT_EQ(CoverageIntersect(a, b), (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(CoverageSubtract(a, b), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(CoverageSubtract(b, a), (std::vector<size_t>{5, 6}));
+}
+
+TEST(CoverageUnitTest, HitTracksCoverageAndTrace) {
+  CoverageUnit unit("unit", 8);
+  EXPECT_EQ(unit.total_points(), 8u);
+  EXPECT_EQ(unit.covered_points(), 0u);
+
+  unit.Hit(3);
+  unit.Hit(1);
+  unit.Hit(3);
+  EXPECT_EQ(unit.covered_points(), 2u);
+  EXPECT_EQ(unit.hit_events(), 3u);
+  EXPECT_TRUE(unit.IsCovered(3));
+  EXPECT_FALSE(unit.IsCovered(0));
+  EXPECT_EQ(unit.CoveredSet(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(CoverageUnitTest, OutOfRangeHitIsIgnored) {
+  CoverageUnit unit("unit", 4);
+  unit.Hit(4);
+  unit.Hit(1000);
+  EXPECT_EQ(unit.covered_points(), 0u);
+  EXPECT_EQ(unit.hit_events(), 0u);
+  EXPECT_TRUE(unit.DrainTrace().empty());
+}
+
+TEST(CoverageUnitTest, DrainTracePreservesOrderAndResets) {
+  CoverageUnit unit("unit", 16);
+  unit.Hit(5);
+  unit.Hit(2);
+  unit.Hit(5);
+  const std::vector<uint32_t> first = unit.DrainTrace();
+  EXPECT_EQ(first, (std::vector<uint32_t>{5, 2, 5}));
+
+  // The drain resets the per-execution trace but not accumulated coverage.
+  EXPECT_TRUE(unit.DrainTrace().empty());
+  EXPECT_EQ(unit.covered_points(), 2u);
+
+  unit.Hit(9);
+  EXPECT_EQ(unit.DrainTrace(), (std::vector<uint32_t>{9}));
+}
+
+TEST(CoverageUnitTest, ResetCoverageClearsEverything) {
+  CoverageUnit unit("unit", 16);
+  unit.Hit(1);
+  unit.Hit(2);
+  unit.ResetCoverage();
+  EXPECT_EQ(unit.covered_points(), 0u);
+  EXPECT_EQ(unit.hit_events(), 0u);
+  EXPECT_TRUE(unit.DrainTrace().empty());
+  EXPECT_TRUE(unit.CoveredSet().empty());
+  // The unit stays usable after a reset.
+  unit.Hit(2);
+  EXPECT_EQ(unit.covered_points(), 1u);
+}
+
+TEST(CoverageUnitTest, ZeroPointUnitReportsZeroPercent) {
+  CoverageUnit unit("empty", 0);
+  EXPECT_DOUBLE_EQ(unit.percent(), 0.0);
+  unit.Hit(0);
+  EXPECT_EQ(unit.covered_points(), 0u);
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,0 +1,163 @@
+// Tests for the sharded multi-worker campaign engine: serial equivalence
+// at workers=1, same-seed determinism at a fixed worker count, merged
+// coverage as a superset of every shard's coverage, and cross-shard
+// anomaly dedup.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/campaign.h"
+#include "src/core/parallel_campaign.h"
+#include "src/hv/factory.h"
+#include "src/hv/sim_kvm/kvm.h"
+
+namespace neco {
+namespace {
+
+CampaignOptions SmallOptions(Arch arch, uint64_t iterations, int workers) {
+  CampaignOptions options;
+  options.arch = arch;
+  options.iterations = iterations;
+  options.samples = 4;
+  options.seed = 7;
+  options.workers = workers;
+  return options;
+}
+
+TEST(HypervisorFactoryTest, KnownNamesBuildIsolatedInstances) {
+  for (const char* name : {"kvm", "xen", "virtualbox"}) {
+    const HypervisorFactory factory = MakeHypervisorFactory(name);
+    ASSERT_TRUE(factory) << name;
+    auto a = factory();
+    auto b = factory();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+    a->nested_coverage(Arch::kIntel).Hit(0);
+    EXPECT_EQ(b->nested_coverage(Arch::kIntel).covered_points(), 0u);
+  }
+  EXPECT_FALSE(MakeHypervisorFactory("hyper-v"));
+}
+
+TEST(ParallelCampaignTest, SingleWorkerReproducesSerialCampaign) {
+  const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 1);
+
+  SimKvm kvm;
+  const CampaignResult serial = RunCampaign(kvm, options);
+  const ParallelCampaignResult parallel =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+
+  EXPECT_EQ(parallel.merged.final_percent, serial.final_percent);
+  EXPECT_EQ(parallel.merged.covered_points, serial.covered_points);
+  EXPECT_EQ(parallel.merged.total_points, serial.total_points);
+  EXPECT_EQ(parallel.merged.covered_set, serial.covered_set);
+  EXPECT_EQ(parallel.merged.findings.size(), serial.findings.size());
+  EXPECT_EQ(parallel.merged.fuzzer_stats.iterations,
+            serial.fuzzer_stats.iterations);
+  EXPECT_EQ(parallel.merged.fuzzer_stats.bitmap_edges,
+            serial.fuzzer_stats.bitmap_edges);
+  EXPECT_EQ(parallel.merged.fuzzer_stats.unique_anomalies,
+            serial.fuzzer_stats.unique_anomalies);
+  ASSERT_EQ(parallel.merged.series.size(), serial.series.size());
+  for (size_t i = 0; i < serial.series.size(); ++i) {
+    EXPECT_EQ(parallel.merged.series[i].iteration, serial.series[i].iteration);
+    EXPECT_DOUBLE_EQ(parallel.merged.series[i].percent,
+                     serial.series[i].percent);
+  }
+  EXPECT_EQ(parallel.per_worker.size(), 1u);
+  EXPECT_EQ(parallel.corpus_imports, 0u);
+}
+
+TEST(ParallelCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
+  const CampaignOptions options = SmallOptions(Arch::kIntel, 600, 3);
+  const HypervisorFactory factory = MakeHypervisorFactory("kvm");
+
+  const ParallelCampaignResult a = RunParallelCampaign(factory, options);
+  const ParallelCampaignResult b = RunParallelCampaign(factory, options);
+
+  EXPECT_EQ(a.merged.covered_set, b.merged.covered_set);
+  EXPECT_EQ(a.merged.final_percent, b.merged.final_percent);
+  EXPECT_EQ(a.merged.findings.size(), b.merged.findings.size());
+  EXPECT_EQ(a.corpus_imports, b.corpus_imports);
+  ASSERT_EQ(a.per_worker.size(), b.per_worker.size());
+  for (size_t w = 0; w < a.per_worker.size(); ++w) {
+    EXPECT_EQ(a.per_worker[w].covered_set, b.per_worker[w].covered_set);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.iterations,
+              b.per_worker[w].fuzzer_stats.iterations);
+  }
+  ASSERT_EQ(a.merged.series.size(), b.merged.series.size());
+  for (size_t i = 0; i < a.merged.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.merged.series[i].percent, b.merged.series[i].percent);
+  }
+}
+
+TEST(ParallelCampaignTest, MergedCoverageIsSupersetOfEveryWorker) {
+  const CampaignOptions options = SmallOptions(Arch::kAmd, 800, 4);
+  const ParallelCampaignResult result =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+
+  ASSERT_EQ(result.per_worker.size(), 4u);
+  uint64_t total_iterations = 0;
+  for (const CampaignResult& worker : result.per_worker) {
+    // merged ⊇ worker  <=>  worker − merged = ∅.
+    EXPECT_TRUE(
+        CoverageSubtract(worker.covered_set, result.merged.covered_set)
+            .empty());
+    EXPECT_LE(worker.covered_points, result.merged.covered_points);
+    total_iterations += worker.fuzzer_stats.iterations;
+  }
+  EXPECT_EQ(total_iterations, options.iterations);
+  EXPECT_EQ(result.merged.fuzzer_stats.iterations, options.iterations);
+}
+
+TEST(ParallelCampaignTest, NoDuplicateAnomalyIdsAfterMerge) {
+  // AMD KVM surfaces anomalies quickly; run enough iterations that
+  // several shards rediscover the same bugs.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 4000, 4);
+  const ParallelCampaignResult result =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+
+  std::set<std::string> ids;
+  for (const AnomalyReport& report : result.merged.findings) {
+    EXPECT_TRUE(ids.insert(report.bug_id).second)
+        << "duplicate bug id " << report.bug_id;
+  }
+  ASSERT_FALSE(result.merged.findings.empty());
+  // Every shard's findings made it into the merge.
+  for (const CampaignResult& worker : result.per_worker) {
+    for (const AnomalyReport& report : worker.findings) {
+      EXPECT_EQ(ids.count(report.bug_id), 1u);
+    }
+  }
+}
+
+TEST(ParallelCampaignTest, FourWorkersMatchSerialCoverageAtEqualBudget) {
+  // Acceptance criterion: at an equal total iteration budget, the merged
+  // 4-worker coverage on SimKvm is at least the serial final coverage.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 2000, 1);
+  SimKvm kvm;
+  const CampaignResult serial = RunCampaign(kvm, options);
+
+  options.workers = 4;
+  const ParallelCampaignResult parallel =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+
+  EXPECT_GE(parallel.merged.final_percent, serial.final_percent);
+}
+
+TEST(ParallelCampaignTest, CorpusSyncSharesEntriesInGuidedMode) {
+  CampaignOptions options = SmallOptions(Arch::kIntel, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+  const ParallelCampaignResult with_sync =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  EXPECT_GT(with_sync.corpus_imports, 0u);
+
+  options.corpus_sync = false;
+  const ParallelCampaignResult without_sync =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  EXPECT_EQ(without_sync.corpus_imports, 0u);
+}
+
+}  // namespace
+}  // namespace neco
