@@ -52,7 +52,7 @@ void RunArch(Arch arch) {
   options.iterations = kBudget;
   options.samples = kSamples;
   options.seed = 1;
-  const CampaignResult neco = RunCampaign(kvm, options);
+  const CampaignResult neco = CampaignEngine(kvm, options).Run().merged;
   PrintSeries("NecoFuzz", neco.series, kBudget);
 
   SyzkallerSim syzkaller(1);

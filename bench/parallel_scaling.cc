@@ -9,8 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/parallel_campaign.h"
-#include "src/hv/factory.h"
+#include "src/core/engine.h"
 
 namespace neco {
 namespace {
@@ -27,8 +26,7 @@ void RunAt(int workers, bool coverage_guidance) {
   options.fuzzer.coverage_guidance = coverage_guidance;
 
   const auto start = std::chrono::steady_clock::now();
-  const ParallelCampaignResult result =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult result = CampaignEngine("kvm", options).Run();
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -65,7 +65,8 @@ void RunArch(Arch arch) {
       options.iterations = kBudget;
       options.samples = 4;
       options.seed = seed;
-      const CampaignResult result = RunCampaign(kvm, options);
+      const CampaignResult result =
+          CampaignEngine(kvm, options).Run().merged;
       if (seed == 1) {
         neco.covered_set = result.covered_set;
         neco.lines = result.covered_points;

@@ -52,7 +52,8 @@ void RunArch(Arch arch) {
       options.agent.use_harness = mode.harness;
       options.agent.use_validator = mode.validator;
       options.agent.use_configurator = mode.configurator;
-      const CampaignResult result = RunCampaign(kvm, options);
+      const CampaignResult result =
+          CampaignEngine(kvm, options).Run().merged;
       if (seed == 1) {
         series = result.series;
       }

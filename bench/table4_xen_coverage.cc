@@ -31,7 +31,7 @@ void RunArch(Arch arch) {
     options.iterations = kBudget;
     options.samples = 4;
     options.seed = seed;
-    const CampaignResult result = RunCampaign(xen, options);
+    const CampaignResult result = CampaignEngine(xen, options).Run().merged;
     if (seed == 1) {
       neco_set = result.covered_set;
       neco_lines = result.covered_points;

@@ -30,7 +30,7 @@ void RunArch(Arch arch) {
       options.samples = 2;
       options.seed = seed;
       options.fuzzer.coverage_guidance = guidance;
-      return RunCampaign(kvm, options).final_percent;
+      return CampaignEngine(kvm, options).Run().merged.final_percent;
     });
     std::printf("  %-26s %7.1f%%   (95%% CI %.1f-%.1f)\n",
                 guidance ? "with coverage guidance" : "w/o coverage guidance",

@@ -49,7 +49,7 @@ void Collect(Hypervisor& target, Arch arch,
   options.iterations = kBudget;
   options.samples = 2;
   options.seed = 1;
-  const CampaignResult result = RunCampaign(target, options);
+  const CampaignResult result = CampaignEngine(target, options).Run().merged;
   executions += options.iterations;
   for (const AnomalyReport& report : result.findings) {
     found.emplace(report.bug_id, report);

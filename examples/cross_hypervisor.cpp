@@ -1,12 +1,12 @@
 // Hypervisor independence (paper RQ3): the identical NecoFuzz stack —
 // fuzzer, VM generator, agent — retargeted at three different L0
-// hypervisors by swapping only the target object and its config adapter.
-// Prints a per-target summary of coverage and findings.
+// hypervisors by swapping only the registry name handed to CampaignEngine
+// (the target's config adapter differs underneath). Prints the registered
+// target list and a per-target summary of coverage and findings.
 //
 //   $ ./build/examples/cross_hypervisor
 #include <cstdio>
-#include <memory>
-#include <vector>
+#include <string>
 
 #include "src/core/necofuzz.h"
 
@@ -14,17 +14,18 @@ using namespace neco;
 
 namespace {
 
-void FuzzTarget(Hypervisor& target, Arch arch, uint64_t iterations) {
+void FuzzTarget(const char* name, Arch arch, uint64_t iterations) {
   CampaignOptions options;
   options.arch = arch;
   options.iterations = iterations;
   options.samples = 4;
   options.seed = 7;
-  const CampaignResult result = RunCampaign(target, options);
+  CampaignEngine engine(name, options);
+  const CampaignResult result = engine.Run().merged;
   std::printf("  %-12s %-6s  cov %5.1f%% (%3zu/%3zu lines)  restarts %-4llu",
-              std::string(target.name()).c_str(),
-              std::string(ArchName(arch)).c_str(), result.final_percent,
-              result.covered_points, result.total_points,
+              name, std::string(ArchName(arch)).c_str(),
+              result.final_percent, result.covered_points,
+              result.total_points,
               static_cast<unsigned long long>(result.watchdog_restarts));
   if (result.findings.empty()) {
     std::printf("  no findings\n");
@@ -46,6 +47,14 @@ int main() {
   std::printf("(the adapter translates the vCPU configuration into each "
               "hypervisor's own interface)\n\n");
 
+  // The engine resolves targets through the hypervisor registry;
+  // out-of-tree simulators join via RegisterHypervisor(name, factory).
+  std::printf("registered targets:");
+  for (const std::string& name : ListHypervisors()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
   // Show the adapter translations for the same configuration.
   const VcpuConfig config = VcpuConfig::Default(Arch::kIntel);
   for (const char* name : {"kvm", "xen", "virtualbox"}) {
@@ -63,16 +72,11 @@ int main() {
   std::printf("\ncampaigns (%llu iterations each):\n",
               static_cast<unsigned long long>(kIterations));
 
-  SimKvm kvm;
-  FuzzTarget(kvm, Arch::kIntel, kIterations);
-  FuzzTarget(kvm, Arch::kAmd, kIterations);
-
-  SimXen xen;
-  FuzzTarget(xen, Arch::kIntel, kIterations);
-  FuzzTarget(xen, Arch::kAmd, kIterations);
-
-  SimVbox vbox;
-  FuzzTarget(vbox, Arch::kIntel, kIterations);
+  FuzzTarget("kvm", Arch::kIntel, kIterations);
+  FuzzTarget("kvm", Arch::kAmd, kIterations);
+  FuzzTarget("xen", Arch::kIntel, kIterations);
+  FuzzTarget("xen", Arch::kAmd, kIterations);
+  FuzzTarget("virtualbox", Arch::kIntel, kIterations);
 
   std::printf("\nthe same boundary-state generator reached "
               "nested-virtualization code in every target; only the thin "

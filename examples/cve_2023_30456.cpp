@@ -46,8 +46,8 @@ int main() {
   }
 
   // Step 2: fuzz sim-KVM; the configurator must find ept=0 and the
-  // validator must produce the one-bit-across-the-boundary state.
-  SimKvm kvm;
+  // validator must produce the one-bit-across-the-boundary state. The
+  // engine builds the target from its registry name.
   CampaignOptions options;
   options.arch = Arch::kIntel;
   options.iterations = 30000;
@@ -55,7 +55,7 @@ int main() {
   options.seed = 2023;
   std::printf("fuzzing sim-KVM (Intel, %llu iterations)...\n",
               static_cast<unsigned long long>(options.iterations));
-  const CampaignResult result = RunCampaign(kvm, options);
+  const CampaignResult result = CampaignEngine("kvm", options).Run().merged;
   std::printf("coverage: %.1f%%, %zu unique findings\n\n",
               result.final_percent, result.findings.size());
 

@@ -1,11 +1,34 @@
-// Quickstart: fuzz the simulated KVM's nested-virtualization code for a
-// few thousand iterations on both vendor architectures and print what the
-// campaign found.
+// Quickstart: drive a CampaignEngine session against the simulated KVM's
+// nested-virtualization code for a few thousand iterations on both vendor
+// architectures, streaming progress through a CampaignObserver and
+// printing what the campaign found.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
 
 #include "src/core/necofuzz.h"
+
+namespace {
+
+// Streams the campaign while it runs: one line per merged coverage sample,
+// one per new deduplicated finding. Delivery is deterministic and
+// merge-ordered, so this output is identical across identical runs.
+class ProgressPrinter : public neco::CampaignObserver {
+ public:
+  void OnSample(const neco::SampleEvent& event) override {
+    std::printf("  sample %2zu  %6llu iters  %5.1f%% (%zu lines)\n",
+                event.epoch,
+                static_cast<unsigned long long>(event.iteration),
+                event.percent, event.covered_points);
+  }
+  void OnFinding(const neco::FindingEvent& event) override {
+    std::printf("  FINDING [%s] %s\n      %s\n",
+                std::string(neco::AnomalyKindName(event.report.kind)).c_str(),
+                event.report.bug_id.c_str(), event.report.message.c_str());
+  }
+};
+
+}  // namespace
 
 int main() {
   neco::SimKvm kvm;
@@ -19,29 +42,28 @@ int main() {
 
     std::printf("=== NecoFuzz vs sim-KVM (%s) ===\n",
                 std::string(neco::ArchName(arch)).c_str());
-    const neco::CampaignResult result = neco::RunCampaign(kvm, options);
+
+    // A borrowed-target session: the engine runs one inline shard against
+    // `kvm`. Pass a registry name ("kvm") instead to let the engine build
+    // private instances and shard across options.workers threads.
+    neco::CampaignEngine engine(kvm, options);
+    ProgressPrinter progress;
+    engine.AddObserver(&progress);
+    const neco::EngineResult result = engine.Run();
 
     std::printf("coverage of %s: %.1f%% (%zu / %zu lines)\n",
                 std::string(kvm.nested_coverage(arch).name()).c_str(),
-                result.final_percent, result.covered_points,
-                result.total_points);
+                result.merged.final_percent, result.merged.covered_points,
+                result.merged.total_points);
     std::printf("corpus: %llu entries, %llu bitmap edges, %llu restarts\n",
-                static_cast<unsigned long long>(result.fuzzer_stats.queue_size),
                 static_cast<unsigned long long>(
-                    result.fuzzer_stats.bitmap_edges),
-                static_cast<unsigned long long>(result.watchdog_restarts));
-    std::printf("coverage over time:");
-    for (const auto& sample : result.series) {
-      std::printf(" %.0f%%", sample.percent);
-    }
-    std::printf("\n");
-    if (result.findings.empty()) {
+                    result.merged.fuzzer_stats.queue_size),
+                static_cast<unsigned long long>(
+                    result.merged.fuzzer_stats.bitmap_edges),
+                static_cast<unsigned long long>(
+                    result.merged.watchdog_restarts));
+    if (result.merged.findings.empty()) {
       std::printf("no anomalies detected\n");
-    }
-    for (const auto& finding : result.findings) {
-      std::printf("FINDING [%s] %s\n    %s\n",
-                  std::string(neco::AnomalyKindName(finding.kind)).c_str(),
-                  finding.bug_id.c_str(), finding.message.c_str());
     }
     std::printf("\n");
   }

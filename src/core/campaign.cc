@@ -1,39 +1,13 @@
 #include "src/core/campaign.h"
 
+#include "src/core/engine.h"
+
 namespace neco {
 
 CampaignResult RunCampaign(Hypervisor& target,
                            const CampaignOptions& options) {
-  CampaignResult result;
-  CoverageUnit& cov = target.nested_coverage(options.arch);
-  cov.ResetCoverage();
-  target.sanitizers().Clear();
-
-  AgentOptions agent_options = options.agent;
-  agent_options.arch = options.arch;
-  Agent agent(target, agent_options);
-
-  FuzzerOptions fuzzer_options = options.fuzzer;
-  fuzzer_options.seed = options.seed;
-  Fuzzer fuzzer(fuzzer_options, agent.MakeExecutor());
-
-  uint64_t done = 0;
-  for (uint64_t step : ChunkSchedule(options.iterations, options.samples)) {
-    fuzzer.Run(step);
-    done += step;
-    result.series.push_back({done, cov.percent()});
-  }
-
-  result.final_percent = cov.percent();
-  result.covered_points = cov.covered_points();
-  result.total_points = cov.total_points();
-  result.covered_set = cov.CoveredSet();
-  for (const auto& [id, report] : agent.findings()) {
-    result.findings.push_back(report);
-  }
-  result.fuzzer_stats = fuzzer.stats();
-  result.watchdog_restarts = agent.watchdog_restarts();
-  return result;
+  CampaignEngine engine(target, options);
+  return engine.Run().merged;
 }
 
 std::vector<uint64_t> ChunkSchedule(uint64_t budget, int samples) {

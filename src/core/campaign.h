@@ -51,16 +51,21 @@ struct CampaignResult {
   uint64_t watchdog_restarts = 0;
 };
 
-// Runs NecoFuzz against `target`. The target's coverage for the campaign
-// architecture is reset at the start so repeated campaigns are independent.
+// Deprecated: construct a CampaignEngine (src/core/engine.h) and Run() it.
+// Thin wrapper over a borrowed-target engine session: runs NecoFuzz
+// against `target` on one inline shard (options.workers is ignored, the
+// historical contract). The target's coverage for the campaign
+// architecture is reset at the start so repeated campaigns are
+// independent.
+[[deprecated("use CampaignEngine(target, options).Run().merged")]]
 CampaignResult RunCampaign(Hypervisor& target,
                            const CampaignOptions& options);
 
 // The campaign's sampling cadence: `budget` iterations split into
 // chunk-sized steps (one coverage sample after each), chunk =
-// budget/samples with a minimum of 1 plus a remainder step. Shared by
-// RunCampaign and RunParallelCampaign so a one-worker parallel campaign
-// replays the serial schedule exactly.
+// budget/samples with a minimum of 1 plus a remainder step. CampaignEngine
+// applies it per shard, so a one-worker campaign replays the historical
+// serial schedule exactly.
 std::vector<uint64_t> ChunkSchedule(uint64_t budget, int samples);
 
 }  // namespace neco

@@ -2,22 +2,26 @@
 //
 //   #include "src/core/necofuzz.h"
 //
-//   neco::SimKvm kvm;
 //   neco::CampaignOptions options;
 //   options.arch = neco::Arch::kIntel;
 //   options.iterations = 20000;
-//   auto result = neco::RunCampaign(kvm, kvm.vmx_cpu(), kvm.svm_cpu(),
-//                                   options);
-//   // result.final_percent, result.findings, ...
+//   options.workers = 4;  // 1 = serial; N shards merge deterministically.
+//   neco::CampaignEngine engine("kvm", options);  // registry name,
+//                                                 // factory, or instance
+//   engine.AddObserver(&my_observer);  // optional CampaignObserver stream
+//   const neco::EngineResult result = engine.Run();
+//   // result.merged.final_percent, result.merged.findings, ...
 //
-// See README.md for the architecture overview and examples/ for runnable
-// programs.
+// RunCampaign / RunParallelCampaign remain as deprecated wrappers over
+// CampaignEngine. See README.md for the architecture overview and
+// examples/ for runnable programs.
 #ifndef SRC_CORE_NECOFUZZ_H_
 #define SRC_CORE_NECOFUZZ_H_
 
 #include "src/core/agent.h"                      // IWYU pragma: export
 #include "src/core/campaign.h"                   // IWYU pragma: export
 #include "src/core/config/configurator.h"        // IWYU pragma: export
+#include "src/core/engine.h"                     // IWYU pragma: export
 #include "src/core/harness/harness.h"            // IWYU pragma: export
 #include "src/core/parallel_campaign.h"          // IWYU pragma: export
 #include "src/core/validator/oracle.h"           // IWYU pragma: export

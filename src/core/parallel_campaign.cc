@@ -1,236 +1,11 @@
 #include "src/core/parallel_campaign.h"
 
-#include <algorithm>
-#include <condition_variable>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <unordered_set>
-#include <utility>
-
-#include "src/core/agent.h"
-#include "src/fuzz/fuzzer.h"
-
 namespace neco {
-namespace {
-
-// Cyclic barrier whose last arriver runs a completion step before
-// releasing the waiters. The completion step is the single-threaded,
-// deterministic point where shard states merge; everyone else is parked
-// on the condition variable, so their fuzzer/hypervisor state is safe to
-// read (the barrier mutex orders those writes before the merge reads).
-class EpochBarrier {
- public:
-  EpochBarrier(int parties, std::function<void()> on_complete)
-      : parties_(parties), on_complete_(std::move(on_complete)) {}
-
-  void ArriveAndWait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    const uint64_t phase = phase_;
-    if (++waiting_ == parties_) {
-      on_complete_();
-      waiting_ = 0;
-      ++phase_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return phase_ != phase; });
-    }
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  const int parties_;
-  int waiting_ = 0;
-  uint64_t phase_ = 0;
-  std::function<void()> on_complete_;
-};
-
-// An input one shard found interesting, published for the others.
-struct PoolEntry {
-  int origin = 0;
-  FuzzInput input;
-};
-
-struct WorkerState {
-  std::unique_ptr<Hypervisor> hv;
-  std::unique_ptr<Agent> agent;
-  std::unique_ptr<Fuzzer> fuzzer;
-  // Per-epoch iteration steps; mirrors the serial campaign's chunking so
-  // worker 0 of a one-worker campaign replays RunCampaign exactly.
-  std::vector<uint64_t> steps;
-  size_t export_cursor = 0;  // Own queue entries already published.
-  size_t import_cursor = 0;  // Pool entries already considered.
-  uint64_t imports = 0;
-};
-
-}  // namespace
 
 ParallelCampaignResult RunParallelCampaign(const HypervisorFactory& factory,
                                            const CampaignOptions& options) {
-  const int workers = options.workers > 0 ? options.workers : 1;
-  const int samples = options.samples > 0 ? options.samples : 1;
-
-  std::vector<WorkerState> states(static_cast<size_t>(workers));
-  size_t epochs = 0;
-  for (int w = 0; w < workers; ++w) {
-    WorkerState& state = states[static_cast<size_t>(w)];
-    state.hv = factory();
-    CoverageUnit& cov = state.hv->nested_coverage(options.arch);
-    cov.ResetCoverage();
-    state.hv->sanitizers().Clear();
-
-    AgentOptions agent_options = options.agent;
-    agent_options.arch = options.arch;
-    state.agent = std::make_unique<Agent>(*state.hv, agent_options);
-
-    FuzzerOptions fuzzer_options = options.fuzzer;
-    fuzzer_options.seed = options.seed + static_cast<uint64_t>(w);
-    state.fuzzer = std::make_unique<Fuzzer>(fuzzer_options,
-                                            state.agent->MakeExecutor());
-
-    const uint64_t base = options.iterations / static_cast<uint64_t>(workers);
-    const uint64_t rem = options.iterations % static_cast<uint64_t>(workers);
-    const uint64_t budget = base + (static_cast<uint64_t>(w) < rem ? 1 : 0);
-    state.steps = ChunkSchedule(budget, samples);
-    epochs = std::max(epochs, state.steps.size());
-  }
-
-  const size_t total_points =
-      states[0].hv->nested_coverage(options.arch).total_points();
-
-  // Global merged state; touched only inside the barrier completion step.
-  CoverageBitmap global_virgin;
-  std::vector<uint8_t> global_covered(total_points, 0);
-  std::map<std::string, AnomalyReport> global_findings;
-  std::vector<PoolEntry> pool;
-  std::vector<CoverageSample> series;
-  uint64_t total_done = 0;
-  size_t current_epoch = 0;
-
-  EpochBarrier barrier(workers, [&] {
-    for (auto& state : states) {
-      if (current_epoch < state.steps.size()) {
-        total_done += state.steps[current_epoch];
-      }
-    }
-    for (int w = 0; w < workers; ++w) {
-      WorkerState& state = states[static_cast<size_t>(w)];
-      if (options.corpus_sync && workers > 1) {
-        for (const FuzzInput& input :
-             state.fuzzer->ExportCorpus(state.export_cursor)) {
-          pool.push_back({w, input});
-        }
-        state.export_cursor = state.fuzzer->corpus().size();
-      }
-      state.fuzzer->virgin_map().MergeInto(global_virgin);
-      const auto& hits = state.hv->nested_coverage(options.arch).hits();
-      for (size_t i = 0; i < hits.size() && i < global_covered.size(); ++i) {
-        global_covered[i] |= hits[i];
-      }
-      for (const auto& [id, report] : state.agent->findings()) {
-        global_findings.emplace(id, report);
-      }
-    }
-    size_t covered = 0;
-    for (uint8_t h : global_covered) {
-      covered += h != 0;
-    }
-    series.push_back(
-        {total_done, total_points == 0
-                         ? 0.0
-                         : 100.0 * static_cast<double>(covered) /
-                               static_cast<double>(total_points)});
-    ++current_epoch;
-  });
-
-  auto worker_main = [&](int w) {
-    WorkerState& state = states[static_cast<size_t>(w)];
-    for (size_t epoch = 0; epoch < epochs; ++epoch) {
-      if (options.corpus_sync && workers > 1) {
-        // The pool and the global virgin map only change inside the
-        // barrier completion step, so reading them here is race-free.
-        const size_t pool_size = pool.size();
-        for (size_t i = state.import_cursor; i < pool_size; ++i) {
-          if (pool[i].origin != w) {
-            state.fuzzer->ImportCorpusEntry(pool[i].input);
-            ++state.imports;
-          }
-        }
-        state.import_cursor = pool_size;
-        // Skip the just-imported entries at the next export: re-publishing
-        // them would bounce inputs between shards, duplicating without
-        // bound. Own discoveries made during Run land after this cursor.
-        state.export_cursor = state.fuzzer->corpus().size();
-        state.fuzzer->MergeVirginFrom(global_virgin);
-      }
-      if (epoch < state.steps.size()) {
-        state.fuzzer->Run(state.steps[epoch]);
-      }
-      barrier.ArriveAndWait();
-    }
-  };
-
-  if (workers == 1) {
-    worker_main(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back(worker_main, w);
-    }
-    for (auto& thread : threads) {
-      thread.join();
-    }
-  }
-
-  ParallelCampaignResult out;
-  out.merged.series = std::move(series);
-  out.merged.total_points = total_points;
-  size_t covered = 0;
-  for (size_t i = 0; i < global_covered.size(); ++i) {
-    if (global_covered[i] != 0) {
-      ++covered;
-      out.merged.covered_set.push_back(i);
-    }
-  }
-  out.merged.covered_points = covered;
-  out.merged.final_percent =
-      total_points == 0 ? 0.0
-                        : 100.0 * static_cast<double>(covered) /
-                              static_cast<double>(total_points);
-  for (const auto& [id, report] : global_findings) {
-    out.merged.findings.push_back(report);
-  }
-  out.merged.fuzzer_stats.bitmap_edges = global_virgin.CountNonZero();
-
-  std::unordered_set<std::string> crash_ids;
-  for (auto& state : states) {
-    CampaignResult wr;
-    CoverageUnit& cov = state.hv->nested_coverage(options.arch);
-    wr.final_percent = cov.percent();
-    wr.covered_points = cov.covered_points();
-    wr.total_points = cov.total_points();
-    wr.covered_set = cov.CoveredSet();
-    for (const auto& [id, report] : state.agent->findings()) {
-      wr.findings.push_back(report);
-    }
-    wr.fuzzer_stats = state.fuzzer->stats();
-    wr.watchdog_restarts = state.agent->watchdog_restarts();
-
-    out.merged.fuzzer_stats.iterations += wr.fuzzer_stats.iterations;
-    out.merged.fuzzer_stats.queue_size += wr.fuzzer_stats.queue_size;
-    for (const auto& [id, input] : state.fuzzer->crashes()) {
-      crash_ids.insert(id);
-    }
-    out.merged.watchdog_restarts += wr.watchdog_restarts;
-    out.corpus_imports += state.imports;
-    out.per_worker.push_back(std::move(wr));
-  }
-  out.merged.fuzzer_stats.unique_anomalies = crash_ids.size();
-  return out;
+  CampaignEngine engine(factory, options);
+  return engine.Run();
 }
 
 }  // namespace neco

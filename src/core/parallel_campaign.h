@@ -1,44 +1,23 @@
-// Sharded multi-worker fuzzing campaign (pFSCK-style parallelization of
-// the formerly serial RunCampaign loop).
+// Deprecated shim over the unified campaign engine (src/core/engine.h).
 //
-// RunParallelCampaign spawns options.workers threads. Each worker owns a
-// private Hypervisor built from the factory (CoverageUnit is not
-// thread-safe, so simulators stay per-worker), a private Agent, and a
-// Fuzzer shard seeded deterministically with options.seed + worker_id.
-// The total iteration budget is split across shards.
-//
-// Workers run in lock-step epochs (one per coverage sample). At every
-// epoch boundary a barrier fires and exactly one thread merges the shard
-// states into the global campaign view:
-//   * per-worker virgin bitmaps OR into a global seen-edges map,
-//   * per-worker covered-point sets union into the global covered set
-//     (the series sample for that epoch),
-//   * anomaly findings dedup by bug id into the global findings map,
-//   * new corpus entries publish to a shared pool, which the other
-//     shards import at the start of their next epoch (corpus syncing).
-// Because merge order is worker-id order and the barrier serializes
-// epochs, a run is deterministic for a fixed (seed, workers) pair.
+// PR 1's sharded RunParallelCampaign survives as a thin wrapper: the
+// lock-step-epoch worker loop, deterministic barrier merge, and
+// cross-shard corpus sync now live in CampaignEngine, which runs the same
+// schedule for serial and sharded campaigns and streams progress to
+// CampaignObservers. New code should construct an engine session directly.
 #ifndef SRC_CORE_PARALLEL_CAMPAIGN_H_
 #define SRC_CORE_PARALLEL_CAMPAIGN_H_
 
-#include <vector>
-
-#include "src/core/campaign.h"
-#include "src/hv/factory.h"
+#include "src/core/engine.h"
 
 namespace neco {
 
-struct ParallelCampaignResult {
-  // The global merged view, shaped exactly like a serial CampaignResult.
-  // With workers == 1 it reproduces RunCampaign bit for bit.
-  CampaignResult merged;
-  // Each shard's own final state (per-worker coverage is a subset of the
-  // merged coverage).
-  std::vector<CampaignResult> per_worker;
-  // Queue entries adopted across shards over the whole campaign.
-  uint64_t corpus_imports = 0;
-};
+// Historical name for the engine's result shape.
+using ParallelCampaignResult = EngineResult;
 
+// Deprecated: construct a CampaignEngine and Run() it. Equivalent to
+// CampaignEngine(factory, options).Run().
+[[deprecated("use CampaignEngine(factory, options).Run()")]]
 ParallelCampaignResult RunParallelCampaign(const HypervisorFactory& factory,
                                            const CampaignOptions& options);
 

@@ -3,6 +3,19 @@
 #include <utility>
 
 namespace neco {
+namespace {
+
+// FNV-1a over the input bytes; 64 bits make accidental collisions across
+// a campaign's queue sizes (thousands of entries) negligible.
+uint64_t HashInput(const FuzzInput& input) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint8_t b : input) {
+    h = (h ^ b) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 Fuzzer::Fuzzer(FuzzerOptions options, Executor executor)
     : options_(options),
@@ -42,6 +55,7 @@ void Fuzzer::Run(uint64_t iterations) {
     const int novelty = trace.MergeInto(virgin_);
 
     if (options_.coverage_guidance && novelty == 2) {
+      queue_hashes_.insert(HashInput(input));
       corpus_.Add(input, iterations_, feedback.edges.size());
     }
     if (feedback.anomaly &&
@@ -59,8 +73,12 @@ std::vector<FuzzInput> Fuzzer::ExportCorpus(size_t from) const {
   return out;
 }
 
-void Fuzzer::ImportCorpusEntry(const FuzzInput& input) {
+bool Fuzzer::ImportCorpusEntry(const FuzzInput& input) {
+  if (!queue_hashes_.insert(HashInput(input)).second) {
+    return false;
+  }
   corpus_.Add(input, iterations_, 0);
+  return true;
 }
 
 FuzzerStats Fuzzer::stats() const {

@@ -80,10 +80,13 @@ class Fuzzer {
   // shards. Pair with corpus().size() as the next cursor.
   std::vector<FuzzInput> ExportCorpus(size_t from) const;
 
-  // Adopts an input another shard found interesting. It joins the queue
+  // Adopts an input another shard found interesting, unless an identical
+  // input is already queued here (every shard re-publishes to every other,
+  // so without this hash guard the same entry would bloat each queue once
+  // per publisher in guided mode). An adopted entry joins the queue
   // directly (unexecuted, never favored) so imports consume no iteration
-  // budget.
-  void ImportCorpusEntry(const FuzzInput& input);
+  // budget. Returns whether the entry actually joined the queue.
+  bool ImportCorpusEntry(const FuzzInput& input);
 
  private:
   FuzzInput NextInput();
@@ -92,6 +95,9 @@ class Fuzzer {
   Executor executor_;
   Mutator mutator_;
   Corpus corpus_;
+  // Content hashes of every queued input (own discoveries and imports),
+  // the dedup guard for cross-shard imports.
+  std::unordered_set<uint64_t> queue_hashes_;
   CoverageBitmap virgin_;
   std::vector<std::pair<std::string, FuzzInput>> crashes_;
   std::unordered_set<std::string> seen_bug_ids_;

@@ -1,22 +1,85 @@
 #include "src/hv/factory.h"
 
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
 #include "src/hv/sim_kvm/kvm.h"
 #include "src/hv/sim_vbox/vbox.h"
 #include "src/hv/sim_xen/xen.h"
 
 namespace neco {
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  // Ordered so ListHypervisors is sorted without an extra pass.
+  std::map<std::string, HypervisorFactory, std::less<>> targets;
+};
+
+RegistryState& Registry() {
+  // Leaked intentionally: out-of-tree targets may register from static
+  // initializers, so the registry must survive static destruction order.
+  // The built-ins are seeded here, on first use, so they are visible even
+  // to registry calls made from another TU's static initializer (whose
+  // order relative to this TU is unspecified).
+  static RegistryState* state = [] {
+    auto* s = new RegistryState;
+    s->targets.emplace("kvm", [] { return std::make_unique<SimKvm>(); });
+    s->targets.emplace("xen", [] { return std::make_unique<SimXen>(); });
+    s->targets.emplace("virtualbox",
+                       [] { return std::make_unique<SimVbox>(); });
+    return s;
+  }();
+  return *state;
+}
+
+}  // namespace
+
+bool RegisterHypervisor(std::string name, HypervisorFactory factory) {
+  if (name.empty() || !factory) {
+    return false;
+  }
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.targets.emplace(std::move(name), std::move(factory)).second;
+}
+
+std::vector<std::string> ListHypervisors() {
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.targets.size());
+  for (const auto& [name, factory] : registry.targets) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+HypervisorFactory FindHypervisorFactory(std::string_view name) {
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.targets.find(name);
+  return it == registry.targets.end() ? HypervisorFactory{} : it->second;
+}
+
+HypervisorFactory ResolveHypervisorFactory(std::string_view name) {
+  if (HypervisorFactory factory = FindHypervisorFactory(name)) {
+    return factory;
+  }
+  std::string message = "unknown hypervisor target '";
+  message += name;
+  message += "'; registered targets:";
+  for (const std::string& target : ListHypervisors()) {
+    message += ' ';
+    message += target;
+  }
+  throw std::invalid_argument(message);
+}
 
 HypervisorFactory MakeHypervisorFactory(std::string_view name) {
-  if (name == "kvm") {
-    return [] { return std::make_unique<SimKvm>(); };
-  }
-  if (name == "xen") {
-    return [] { return std::make_unique<SimXen>(); };
-  }
-  if (name == "virtualbox" || name == "vbox") {
-    return [] { return std::make_unique<SimVbox>(); };
-  }
-  return {};
+  return FindHypervisorFactory(name == "vbox" ? "virtualbox" : name);
 }
 
 }  // namespace neco

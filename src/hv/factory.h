@@ -1,16 +1,27 @@
-// Factories for the simulated L0 hypervisors.
+// Factories and the target registry for the simulated L0 hypervisors.
 //
-// The parallel campaign engine gives every worker thread a private
-// Hypervisor instance: CoverageUnit (and the nested state machines behind
-// it) are not thread-safe, so simulators must never be shared across
-// threads. A HypervisorFactory packages "how to build one isolated target"
-// so campaign code can stay target-agnostic.
+// The campaign engine gives every worker shard a private Hypervisor
+// instance: CoverageUnit (and the nested state machines behind it) are not
+// thread-safe, so simulators must never be shared across threads. A
+// HypervisorFactory packages "how to build one isolated target" so
+// campaign code can stay target-agnostic.
+//
+// Targets are looked up by name through a process-wide registry. The
+// built-in simulators ("kvm", "xen", "virtualbox") are seeded into the
+// registry on first use (so they are visible even from other TUs' static
+// initializers); an out-of-tree simulator plugs a new target into
+// CampaignEngine("my-hv", ...) with one RegisterHypervisor call and no
+// edits under src/hv. Registration and lookup are thread-safe;
+// ListHypervisors returns names in sorted order so registry-driven output
+// is deterministic.
 #ifndef SRC_HV_FACTORY_H_
 #define SRC_HV_FACTORY_H_
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/hv/hypervisor.h"
 
@@ -18,8 +29,31 @@ namespace neco {
 
 using HypervisorFactory = std::function<std::unique_ptr<Hypervisor>()>;
 
-// Factory for one of the built-in simulators: "kvm", "xen" or
-// "virtualbox". Returns an empty function for unknown names.
+// Registers `factory` under `name`. Returns true on success; returns false
+// (keeping the existing entry) when the name is already taken, empty, or
+// the factory is empty. Safe to call from static initializers.
+bool RegisterHypervisor(std::string name, HypervisorFactory factory);
+
+// All registered target names, sorted.
+std::vector<std::string> ListHypervisors();
+
+// The factory registered under `name`, or an empty function when the name
+// is unknown.
+HypervisorFactory FindHypervisorFactory(std::string_view name);
+
+// Like FindHypervisorFactory, but an unknown name throws
+// std::invalid_argument naming the target and listing the registered
+// alternatives. CampaignEngine's construct-by-name path resolves through
+// this, so a typo'd target fails loudly instead of yielding an empty
+// std::function that explodes later.
+HypervisorFactory ResolveHypervisorFactory(std::string_view name);
+
+// Deprecated: resolve through the registry instead
+// (ResolveHypervisorFactory, or FindHypervisorFactory when an empty result
+// is acceptable). Kept for pre-engine call sites; still accepts the
+// historical "vbox" alias and still returns an empty function for unknown
+// names.
+[[deprecated("use ResolveHypervisorFactory / FindHypervisorFactory")]]
 HypervisorFactory MakeHypervisorFactory(std::string_view name);
 
 }  // namespace neco

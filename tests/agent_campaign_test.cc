@@ -1,10 +1,10 @@
 // Tests for the agent (end-to-end test-case execution, component
-// toggles, watchdog) and the campaign driver (series sampling, coverage
-// reset, determinism).
+// toggles, watchdog) and the campaign engine's borrowed-target sessions
+// (series sampling, coverage reset, determinism).
 #include <gtest/gtest.h>
 
 #include "src/core/agent.h"
-#include "src/core/campaign.h"
+#include "src/core/engine.h"
 #include "src/hv/sim_kvm/kvm.h"
 #include "src/hv/sim_xen/xen.h"
 
@@ -132,7 +132,7 @@ TEST(CampaignTest, SeriesIsMonotoneAndSampled) {
   options.arch = Arch::kIntel;
   options.iterations = 1200;
   options.samples = 6;
-  const CampaignResult result = RunCampaign(kvm, options);
+  const CampaignResult result = CampaignEngine(kvm, options).Run().merged;
   ASSERT_EQ(result.series.size(), 6u);
   for (size_t i = 1; i < result.series.size(); ++i) {
     EXPECT_GE(result.series[i].percent, result.series[i - 1].percent);
@@ -149,8 +149,8 @@ TEST(CampaignTest, CoverageResetBetweenCampaigns) {
   options.arch = Arch::kIntel;
   options.iterations = 400;
   options.samples = 2;
-  const CampaignResult first = RunCampaign(kvm, options);
-  const CampaignResult second = RunCampaign(kvm, options);
+  const CampaignResult first = CampaignEngine(kvm, options).Run().merged;
+  const CampaignResult second = CampaignEngine(kvm, options).Run().merged;
   // Same seed, fresh coverage: identical outcome.
   EXPECT_EQ(first.covered_points, second.covered_points);
   EXPECT_EQ(first.series.front().percent, second.series.front().percent);
@@ -163,11 +163,11 @@ TEST(CampaignTest, DeterministicForSeedDistinctAcrossSeeds) {
   options.iterations = 600;
   options.samples = 3;
   options.seed = 10;
-  const CampaignResult a = RunCampaign(kvm, options);
-  const CampaignResult b = RunCampaign(kvm, options);
+  const CampaignResult a = CampaignEngine(kvm, options).Run().merged;
+  const CampaignResult b = CampaignEngine(kvm, options).Run().merged;
   EXPECT_EQ(a.covered_set, b.covered_set);
   options.seed = 11;
-  const CampaignResult c = RunCampaign(kvm, options);
+  const CampaignResult c = CampaignEngine(kvm, options).Run().merged;
   // Different seed explores a (slightly) different set; equality would
   // suggest the seed is ignored.
   EXPECT_TRUE(a.covered_set != c.covered_set ||
@@ -180,17 +180,17 @@ TEST(CampaignTest, AblationTogglesReduceCoverage) {
   base.arch = Arch::kIntel;
   base.iterations = 2500;
   base.samples = 2;
-  const double with_all = RunCampaign(kvm, base).final_percent;
+  const double with_all = CampaignEngine(kvm, base).Run().merged.final_percent;
 
   CampaignOptions no_validator = base;
   no_validator.agent.use_validator = false;
-  const double wo_validator = RunCampaign(kvm, no_validator).final_percent;
+  const double wo_validator = CampaignEngine(kvm, no_validator).Run().merged.final_percent;
 
   CampaignOptions nothing = base;
   nothing.agent.use_validator = false;
   nothing.agent.use_harness = false;
   nothing.agent.use_configurator = false;
-  const double wo_all = RunCampaign(kvm, nothing).final_percent;
+  const double wo_all = CampaignEngine(kvm, nothing).Run().merged.final_percent;
 
   EXPECT_GT(with_all, wo_validator);
   EXPECT_GT(with_all, wo_all);

@@ -1,0 +1,254 @@
+// Tests for the CampaignEngine session API: registry round-trip
+// (register/list/construct), loud failure on unknown targets, observer
+// event-stream determinism, and engine-vs-legacy-wrapper equivalence at
+// workers=1 and workers=4.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/parallel_campaign.h"
+#include "src/hv/factory.h"
+#include "src/hv/sim_kvm/kvm.h"
+
+// The equivalence tests intentionally call the deprecated wrappers.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace neco {
+namespace {
+
+CampaignOptions SmallOptions(Arch arch, uint64_t iterations, int workers) {
+  CampaignOptions options;
+  options.arch = arch;
+  options.iterations = iterations;
+  options.samples = 4;
+  options.seed = 7;
+  options.workers = workers;
+  return options;
+}
+
+// Serializes every event into a text log; two identical runs must produce
+// identical logs.
+class RecordingObserver : public CampaignObserver {
+ public:
+  void OnSample(const SampleEvent& event) override {
+    std::ostringstream line;
+    line << "sample epoch=" << event.epoch << " iter=" << event.iteration
+         << " pct=" << event.percent << " covered=" << event.covered_points;
+    log.push_back(line.str());
+  }
+  void OnFinding(const FindingEvent& event) override {
+    std::ostringstream line;
+    line << "finding epoch=" << event.epoch << " worker=" << event.worker
+         << " id=" << event.report.bug_id;
+    log.push_back(line.str());
+  }
+  void OnCorpusSync(const CorpusSyncEvent& event) override {
+    std::ostringstream line;
+    line << "sync epoch=" << event.epoch << " worker=" << event.worker
+         << " published=" << event.published
+         << " imported=" << event.imported;
+    log.push_back(line.str());
+  }
+  void OnShardDone(const ShardDoneEvent& event) override {
+    std::ostringstream line;
+    line << "shard worker=" << event.worker << " iters=" << event.iterations
+         << " covered=" << event.covered_points
+         << " queue=" << event.queue_size << " findings=" << event.findings
+         << " imports=" << event.corpus_imports;
+    log.push_back(line.str());
+  }
+  void OnFinish(const FinishEvent& event) override {
+    std::ostringstream line;
+    line << "finish workers=" << event.workers << " epochs=" << event.epochs
+         << " iters=" << event.iterations << " pct=" << event.final_percent
+         << " covered=" << event.covered_points << "/" << event.total_points
+         << " findings=" << event.findings
+         << " imports=" << event.corpus_imports;
+    log.push_back(line.str());
+  }
+
+  std::vector<std::string> log;
+};
+
+size_t CountPrefix(const std::vector<std::string>& log,
+                   const std::string& prefix) {
+  size_t n = 0;
+  for (const std::string& line : log) {
+    n += line.rfind(prefix, 0) == 0;
+  }
+  return n;
+}
+
+TEST(HypervisorRegistryTest, BuiltinsAreListed) {
+  const std::vector<std::string> names = ListHypervisors();
+  auto has = [&](const char* name) {
+    for (const std::string& n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("kvm"));
+  EXPECT_TRUE(has("xen"));
+  EXPECT_TRUE(has("virtualbox"));
+  // Sorted, hence deterministic output for registry-driven tooling.
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+}
+
+TEST(HypervisorRegistryTest, RegisterListConstructRoundTrip) {
+  // An out-of-tree target plugs in with one call; the engine can then
+  // build sessions from the name alone.
+  EXPECT_TRUE(RegisterHypervisor("engine-test-kvm",
+                                 [] { return std::make_unique<SimKvm>(); }));
+  // Names are first-come-first-served.
+  EXPECT_FALSE(RegisterHypervisor("engine-test-kvm",
+                                  [] { return std::make_unique<SimKvm>(); }));
+  EXPECT_FALSE(RegisterHypervisor("", [] { return std::make_unique<SimKvm>(); }));
+  EXPECT_FALSE(RegisterHypervisor("engine-test-null", HypervisorFactory{}));
+
+  const std::vector<std::string> names = ListHypervisors();
+  EXPECT_NE(std::find(names.begin(), names.end(), "engine-test-kvm"),
+            names.end());
+
+  const HypervisorFactory factory = FindHypervisorFactory("engine-test-kvm");
+  ASSERT_TRUE(factory);
+  ASSERT_NE(factory(), nullptr);
+
+  const EngineResult result =
+      CampaignEngine("engine-test-kvm", SmallOptions(Arch::kIntel, 200, 1))
+          .Run();
+  EXPECT_GT(result.merged.final_percent, 0.0);
+}
+
+TEST(HypervisorRegistryTest, UnknownTargetFailsLoudly) {
+  EXPECT_FALSE(FindHypervisorFactory("hyper-v"));
+  try {
+    CampaignEngine engine("hyper-v");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("hyper-v"), std::string::npos) << message;
+    EXPECT_NE(message.find("kvm"), std::string::npos) << message;
+    EXPECT_NE(message.find("xen"), std::string::npos) << message;
+  }
+}
+
+TEST(CampaignEngineTest, MatchesLegacySerialWrapper) {
+  const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 1);
+
+  SimKvm kvm;
+  const CampaignResult legacy = RunCampaign(kvm, options);
+  const EngineResult engine = CampaignEngine("kvm", options).Run();
+
+  EXPECT_EQ(engine.merged.final_percent, legacy.final_percent);
+  EXPECT_EQ(engine.merged.covered_set, legacy.covered_set);
+  EXPECT_EQ(engine.merged.findings.size(), legacy.findings.size());
+  EXPECT_EQ(engine.merged.fuzzer_stats.iterations,
+            legacy.fuzzer_stats.iterations);
+  EXPECT_EQ(engine.merged.fuzzer_stats.queue_size,
+            legacy.fuzzer_stats.queue_size);
+  ASSERT_EQ(engine.merged.series.size(), legacy.series.size());
+  for (size_t i = 0; i < legacy.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(engine.merged.series[i].percent,
+                     legacy.series[i].percent);
+  }
+}
+
+TEST(CampaignEngineTest, MatchesLegacyParallelWrapper) {
+  const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 4);
+
+  const ParallelCampaignResult legacy =
+      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult engine = CampaignEngine("kvm", options).Run();
+
+  EXPECT_EQ(engine.merged.covered_set, legacy.merged.covered_set);
+  EXPECT_EQ(engine.merged.final_percent, legacy.merged.final_percent);
+  EXPECT_EQ(engine.merged.findings.size(), legacy.merged.findings.size());
+  EXPECT_EQ(engine.corpus_imports, legacy.corpus_imports);
+  ASSERT_EQ(engine.per_worker.size(), legacy.per_worker.size());
+  for (size_t w = 0; w < engine.per_worker.size(); ++w) {
+    EXPECT_EQ(engine.per_worker[w].covered_set,
+              legacy.per_worker[w].covered_set);
+  }
+}
+
+TEST(CampaignEngineTest, BorrowedTargetAlwaysRunsOneInlineShard) {
+  // A borrowed instance cannot shard; options.workers is ignored (the
+  // historical RunCampaign contract).
+  CampaignOptions options = SmallOptions(Arch::kIntel, 400, 4);
+  SimKvm kvm;
+  const EngineResult borrowed = CampaignEngine(kvm, options).Run();
+  EXPECT_EQ(borrowed.per_worker.size(), 1u);
+
+  options.workers = 1;
+  const EngineResult serial = CampaignEngine("kvm", options).Run();
+  EXPECT_EQ(borrowed.merged.covered_set, serial.merged.covered_set);
+  EXPECT_EQ(borrowed.merged.final_percent, serial.merged.final_percent);
+}
+
+TEST(CampaignObserverTest, EventStreamIsDeterministicAcrossRuns) {
+  // Guided mode with several shards exercises every event type: samples,
+  // findings (AMD anomalies appear quickly), corpus syncs, shard
+  // completions, finish.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+
+  RecordingObserver a;
+  CampaignEngine("kvm", options).AddObserver(&a).Run();
+  RecordingObserver b;
+  CampaignEngine("kvm", options).AddObserver(&b).Run();
+
+  ASSERT_FALSE(a.log.empty());
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_GT(CountPrefix(a.log, "sample"), 0u);
+  EXPECT_GT(CountPrefix(a.log, "finding"), 0u);
+  EXPECT_GT(CountPrefix(a.log, "sync"), 0u);
+  EXPECT_EQ(CountPrefix(a.log, "shard"), 3u);
+  EXPECT_EQ(CountPrefix(a.log, "finish"), 1u);
+  EXPECT_EQ(a.log.back().rfind("finish", 0), 0u);
+}
+
+TEST(CampaignObserverTest, SampleEventsMirrorTheMergedSeries) {
+  const CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+
+  class SeriesObserver : public CampaignObserver {
+   public:
+    void OnSample(const SampleEvent& event) override {
+      samples.push_back(event);
+    }
+    void OnFinish(const FinishEvent& event) override { finish = event; }
+    std::vector<SampleEvent> samples;
+    FinishEvent finish;
+  } observer;
+
+  CampaignEngine engine("kvm", options);
+  engine.AddObserver(&observer);
+  const EngineResult result = engine.Run();
+
+  ASSERT_EQ(observer.samples.size(), result.merged.series.size());
+  for (size_t i = 0; i < observer.samples.size(); ++i) {
+    EXPECT_EQ(observer.samples[i].epoch, i);
+    EXPECT_EQ(observer.samples[i].iteration,
+              result.merged.series[i].iteration);
+    EXPECT_DOUBLE_EQ(observer.samples[i].percent,
+                     result.merged.series[i].percent);
+  }
+  EXPECT_EQ(observer.finish.workers, 2);
+  EXPECT_EQ(observer.finish.iterations,
+            result.merged.fuzzer_stats.iterations);
+  EXPECT_DOUBLE_EQ(observer.finish.final_percent,
+                   result.merged.final_percent);
+  EXPECT_EQ(observer.finish.covered_points, result.merged.covered_points);
+  EXPECT_EQ(observer.finish.total_points, result.merged.total_points);
+  EXPECT_EQ(observer.finish.findings, result.merged.findings.size());
+}
+
+}  // namespace
+}  // namespace neco

@@ -153,6 +153,42 @@ TEST(FuzzerTest, CrashDeduplicationByBugId) {
   EXPECT_EQ(fuzzer.stats().unique_anomalies, 2u);
 }
 
+TEST(FuzzerTest, CorpusImportDedupesIdenticalEntries) {
+  // Cross-shard sync re-publishes entries through every shard; the hash
+  // guard keeps the queue at parity with the number of DISTINCT inputs.
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  Fuzzer fuzzer(options, [](const FuzzInput&) { return ExecFeedback{}; });
+
+  const FuzzInput a(kFuzzInputSize, 0xaa);
+  const FuzzInput b(kFuzzInputSize, 0xbb);
+  EXPECT_TRUE(fuzzer.ImportCorpusEntry(a));
+  EXPECT_FALSE(fuzzer.ImportCorpusEntry(a));  // Identical re-publish.
+  EXPECT_TRUE(fuzzer.ImportCorpusEntry(b));
+  EXPECT_FALSE(fuzzer.ImportCorpusEntry(b));
+  EXPECT_FALSE(fuzzer.ImportCorpusEntry(a));
+  EXPECT_EQ(fuzzer.stats().queue_size, 2u);
+}
+
+TEST(FuzzerTest, ImportDedupCoversOwnDiscoveries) {
+  // An import identical to an input the fuzzer already queued itself is
+  // also rejected.
+  uint32_t next_edge = 0;
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  FuzzInput last_queued;
+  Fuzzer fuzzer(options, [&](const FuzzInput& input) {
+    ExecFeedback fb;
+    fb.edges = {next_edge++};  // Every run is novel -> input joins queue.
+    last_queued = input;
+    return fb;
+  });
+  fuzzer.Run(5);
+  ASSERT_EQ(fuzzer.stats().queue_size, 5u);
+  EXPECT_FALSE(fuzzer.ImportCorpusEntry(last_queued));
+  EXPECT_EQ(fuzzer.stats().queue_size, 5u);
+}
+
 TEST(FuzzerTest, DeterministicForSeed) {
   auto run = [](uint64_t seed) {
     FuzzerOptions options;

@@ -27,7 +27,7 @@ TEST(IntegrationRq1, NecoFuzzBeatsSyzkallerOnIntel) {
   options.arch = Arch::kIntel;
   options.iterations = kBudget;
   options.samples = 4;
-  const CampaignResult neco = RunCampaign(kvm, options);
+  const CampaignResult neco = CampaignEngine(kvm, options).Run().merged;
 
   SyzkallerSim syzkaller;
   const BaselineResult syz = syzkaller.Run(kvm, Arch::kIntel, kBudget, 4);
@@ -46,7 +46,7 @@ TEST(IntegrationRq1, NecoFuzzCrushesSyzkallerOnAmd) {
   options.arch = Arch::kAmd;
   options.iterations = kBudget;
   options.samples = 4;
-  const CampaignResult neco = RunCampaign(kvm, options);
+  const CampaignResult neco = CampaignEngine(kvm, options).Run().merged;
 
   SyzkallerSim syzkaller;
   const BaselineResult syz = syzkaller.Run(kvm, Arch::kAmd, kBudget, 4);
@@ -63,7 +63,7 @@ TEST(IntegrationRq1, CoverageRampIsFrontLoaded) {
   options.arch = Arch::kIntel;
   options.iterations = kBudget;
   options.samples = 10;
-  const CampaignResult result = RunCampaign(kvm, options);
+  const CampaignResult result = CampaignEngine(kvm, options).Run().merged;
   ASSERT_EQ(result.series.size(), 10u);
   EXPECT_GT(result.series.front().percent, 0.5 * result.final_percent);
   EXPECT_GT(result.final_percent, 60.0);
@@ -83,7 +83,7 @@ TEST(IntegrationRq2, EveryComponentContributes) {
     options.agent.use_harness = m != "no_harness" && m != "none";
     options.agent.use_validator = m != "no_validator" && m != "none";
     options.agent.use_configurator = m != "no_configurator" && m != "none";
-    coverage[m] = RunCampaign(kvm, options).final_percent;
+    coverage[m] = CampaignEngine(kvm, options).Run().merged.final_percent;
   }
   EXPECT_GT(coverage["all"], coverage["no_harness"]);
   EXPECT_GT(coverage["all"], coverage["no_validator"]);
@@ -99,7 +99,7 @@ TEST(IntegrationRq3, XenCampaignBeatsXtf) {
     options.arch = arch;
     options.iterations = kBudget;
     options.samples = 2;
-    const CampaignResult neco = RunCampaign(xen, options);
+    const CampaignResult neco = CampaignEngine(xen, options).Run().merged;
     XtfSim xtf;
     const BaselineResult xtf_result = xtf.Run(xen, arch, 1, 1);
     EXPECT_GT(neco.final_percent, xtf_result.final_percent + 30.0)
@@ -121,7 +121,7 @@ TEST(IntegrationRq4, AllSixVulnerabilitiesRediscovered) {
     options.arch = arch;
     options.iterations = 3 * kBudget;
     options.samples = 2;
-    collect(RunCampaign(kvm, options));
+    collect(CampaignEngine(kvm, options).Run().merged);
   }
   SimXen xen;
   for (const Arch arch : {Arch::kIntel, Arch::kAmd}) {
@@ -129,7 +129,7 @@ TEST(IntegrationRq4, AllSixVulnerabilitiesRediscovered) {
     options.arch = arch;
     options.iterations = 3 * kBudget;
     options.samples = 2;
-    collect(RunCampaign(xen, options));
+    collect(CampaignEngine(xen, options).Run().merged);
   }
   SimVbox vbox;
   {
@@ -137,7 +137,7 @@ TEST(IntegrationRq4, AllSixVulnerabilitiesRediscovered) {
     options.arch = Arch::kIntel;
     options.iterations = 3 * kBudget;
     options.samples = 2;
-    collect(RunCampaign(vbox, options));
+    collect(CampaignEngine(vbox, options).Run().merged);
   }
 
   // Table 6, with this repository's bug identities (bug 3 appears in both
@@ -215,9 +215,9 @@ TEST(IntegrationGuidance, BreadthFirstAtLeastAsGoodAsGuided) {
   options.iterations = kBudget;
   options.samples = 2;
   options.fuzzer.coverage_guidance = false;
-  const double breadth = RunCampaign(kvm, options).final_percent;
+  const double breadth = CampaignEngine(kvm, options).Run().merged.final_percent;
   options.fuzzer.coverage_guidance = true;
-  const double guided = RunCampaign(kvm, options).final_percent;
+  const double guided = CampaignEngine(kvm, options).Run().merged.final_percent;
   EXPECT_GE(breadth, guided - 3.0);
 }
 

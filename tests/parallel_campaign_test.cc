@@ -1,16 +1,21 @@
-// Tests for the sharded multi-worker campaign engine: serial equivalence
-// at workers=1, same-seed determinism at a fixed worker count, merged
-// coverage as a superset of every shard's coverage, and cross-shard
-// anomaly dedup.
+// Tests for sharded campaign execution through CampaignEngine: serial
+// equivalence at workers=1 (against the deprecated serial wrapper, the
+// historical reference), same-seed determinism at a fixed worker count,
+// merged coverage as a superset of every shard's coverage, and
+// cross-shard anomaly dedup.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <string>
 
-#include "src/core/campaign.h"
+#include "src/core/engine.h"
 #include "src/core/parallel_campaign.h"
 #include "src/hv/factory.h"
 #include "src/hv/sim_kvm/kvm.h"
+
+// This suite deliberately exercises the deprecated pre-engine entry points
+// to pin their wrapper behaviour.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace neco {
 namespace {
@@ -37,16 +42,21 @@ TEST(HypervisorFactoryTest, KnownNamesBuildIsolatedInstances) {
     a->nested_coverage(Arch::kIntel).Hit(0);
     EXPECT_EQ(b->nested_coverage(Arch::kIntel).covered_points(), 0u);
   }
+  // The deprecated lookup keeps its historical alias and its
+  // empty-function-on-unknown contract (the registry path throws instead;
+  // see engine_test.cc).
+  EXPECT_TRUE(MakeHypervisorFactory("vbox"));
   EXPECT_FALSE(MakeHypervisorFactory("hyper-v"));
 }
 
 TEST(ParallelCampaignTest, SingleWorkerReproducesSerialCampaign) {
   const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 1);
 
+  // The deprecated serial wrapper is the historical reference the engine
+  // must reproduce bit for bit at workers=1.
   SimKvm kvm;
   const CampaignResult serial = RunCampaign(kvm, options);
-  const ParallelCampaignResult parallel =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult parallel = CampaignEngine("kvm", options).Run();
 
   EXPECT_EQ(parallel.merged.final_percent, serial.final_percent);
   EXPECT_EQ(parallel.merged.covered_points, serial.covered_points);
@@ -71,10 +81,10 @@ TEST(ParallelCampaignTest, SingleWorkerReproducesSerialCampaign) {
 
 TEST(ParallelCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
   const CampaignOptions options = SmallOptions(Arch::kIntel, 600, 3);
-  const HypervisorFactory factory = MakeHypervisorFactory("kvm");
+  CampaignEngine engine("kvm", options);
 
-  const ParallelCampaignResult a = RunParallelCampaign(factory, options);
-  const ParallelCampaignResult b = RunParallelCampaign(factory, options);
+  const EngineResult a = engine.Run();
+  const EngineResult b = engine.Run();
 
   EXPECT_EQ(a.merged.covered_set, b.merged.covered_set);
   EXPECT_EQ(a.merged.final_percent, b.merged.final_percent);
@@ -94,8 +104,7 @@ TEST(ParallelCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
 
 TEST(ParallelCampaignTest, MergedCoverageIsSupersetOfEveryWorker) {
   const CampaignOptions options = SmallOptions(Arch::kAmd, 800, 4);
-  const ParallelCampaignResult result =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult result = CampaignEngine("kvm", options).Run();
 
   ASSERT_EQ(result.per_worker.size(), 4u);
   uint64_t total_iterations = 0;
@@ -115,8 +124,7 @@ TEST(ParallelCampaignTest, NoDuplicateAnomalyIdsAfterMerge) {
   // AMD KVM surfaces anomalies quickly; run enough iterations that
   // several shards rediscover the same bugs.
   CampaignOptions options = SmallOptions(Arch::kAmd, 4000, 4);
-  const ParallelCampaignResult result =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult result = CampaignEngine("kvm", options).Run();
 
   std::set<std::string> ids;
   for (const AnomalyReport& report : result.merged.findings) {
@@ -136,27 +144,42 @@ TEST(ParallelCampaignTest, FourWorkersMatchSerialCoverageAtEqualBudget) {
   // Acceptance criterion: at an equal total iteration budget, the merged
   // 4-worker coverage on SimKvm is at least the serial final coverage.
   CampaignOptions options = SmallOptions(Arch::kIntel, 2000, 1);
-  SimKvm kvm;
-  const CampaignResult serial = RunCampaign(kvm, options);
+  const EngineResult serial = CampaignEngine("kvm", options).Run();
 
   options.workers = 4;
-  const ParallelCampaignResult parallel =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult parallel = CampaignEngine("kvm", options).Run();
 
-  EXPECT_GE(parallel.merged.final_percent, serial.final_percent);
+  EXPECT_GE(parallel.merged.final_percent, serial.merged.final_percent);
 }
 
 TEST(ParallelCampaignTest, CorpusSyncSharesEntriesInGuidedMode) {
   CampaignOptions options = SmallOptions(Arch::kIntel, 1200, 3);
   options.fuzzer.coverage_guidance = true;
-  const ParallelCampaignResult with_sync =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult with_sync = CampaignEngine("kvm", options).Run();
   EXPECT_GT(with_sync.corpus_imports, 0u);
 
   options.corpus_sync = false;
-  const ParallelCampaignResult without_sync =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
+  const EngineResult without_sync = CampaignEngine("kvm", options).Run();
   EXPECT_EQ(without_sync.corpus_imports, 0u);
+}
+
+TEST(ParallelCampaignTest, CorpusSyncDedupKeepsQueueSizesAtParity) {
+  // Corpus dedup on import (ROADMAP): with sync active, an entry
+  // re-published by every shard joins each importing queue at most once,
+  // so no shard's queue can exceed the campaign-wide number of distinct
+  // discoveries (own discoveries + everything ever pooled).
+  CampaignOptions options = SmallOptions(Arch::kIntel, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+  const EngineResult result = CampaignEngine("kvm", options).Run();
+
+  uint64_t discovered = 0;  // Queue entries born in some shard.
+  for (const CampaignResult& worker : result.per_worker) {
+    discovered += worker.fuzzer_stats.queue_size;
+  }
+  discovered -= result.corpus_imports;
+  for (const CampaignResult& worker : result.per_worker) {
+    EXPECT_LE(worker.fuzzer_stats.queue_size, discovered);
+  }
 }
 
 }  // namespace
