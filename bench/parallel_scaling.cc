@@ -2,11 +2,23 @@
 // sharded engine at 1/2/4/8 workers against SimKvm, at a fixed total
 // iteration budget (pFSCK-style worker scaling of the checking loop).
 //
-// Two sections: NecoFuzz's default breadth-first mode (no corpus, so no
-// cross-shard syncing happens), and guided mode where shards exchange
-// queue entries at every sample boundary (the "imports" column).
+// Three sections:
+//  * NecoFuzz's default breadth-first mode (no corpus, so no cross-shard
+//    syncing and no feedback waits — shards only meet in the pipeline),
+//  * guided mode where shards exchange queue entries at every sample
+//    boundary (the "imports" column),
+//  * the merge-pipeline mode: a merge_batch sweep at a fixed worker
+//    count reporting queue depth and worker idle time (publish + feedback
+//    waits), the counters that show the many-core win once hardware
+//    allows. Results are identical across batches by construction; only
+//    the pipeline counters move.
+//
+// `--smoke` shrinks the budget and sweep so CI can exercise the pipeline
+// path under optimization in seconds.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/engine.h"
@@ -14,16 +26,21 @@
 namespace neco {
 namespace {
 
-constexpr uint64_t kBudget = 20000;
+uint64_t g_budget = 20000;
 
-void RunAt(int workers, bool coverage_guidance) {
+CampaignOptions BaseOptions(int workers, bool coverage_guidance) {
   CampaignOptions options;
   options.arch = Arch::kIntel;
-  options.iterations = kBudget;
+  options.iterations = g_budget;
   options.samples = 8;
   options.seed = 1;
   options.workers = workers;
   options.fuzzer.coverage_guidance = coverage_guidance;
+  return options;
+}
+
+void RunAt(int workers, bool coverage_guidance) {
+  const CampaignOptions options = BaseOptions(workers, coverage_guidance);
 
   const auto start = std::chrono::steady_clock::now();
   const EngineResult result = CampaignEngine("kvm", options).Run();
@@ -32,30 +49,82 @@ void RunAt(int workers, bool coverage_guidance) {
           .count();
 
   std::printf(
-      "  %7d %12.0f %9.2f%% %9zu %10llu %8llu\n", workers,
-      secs > 0 ? static_cast<double>(kBudget) / secs : 0.0,
+      "  %7d %12.0f %9.2f%% %9zu %10llu %8llu %7zu %8.3f\n", workers,
+      secs > 0 ? static_cast<double>(g_budget) / secs : 0.0,
       result.merged.final_percent, result.merged.covered_points,
       static_cast<unsigned long long>(result.merged.findings.size()),
-      static_cast<unsigned long long>(result.corpus_imports));
+      static_cast<unsigned long long>(result.corpus_imports),
+      result.pipeline.max_queue_depth,
+      result.pipeline.publish_wait_seconds +
+          result.pipeline.feedback_wait_seconds);
 }
 
-void RunSection(const char* title, bool coverage_guidance) {
+void RunSection(const char* title, bool coverage_guidance,
+                const std::vector<int>& worker_counts) {
   std::printf("\n%s\n", title);
-  std::printf("  %7s %12s %10s %9s %10s %8s\n", "workers", "iters/sec",
-              "coverage", "#lines", "findings", "imports");
-  for (int workers : {1, 2, 4, 8}) {
+  std::printf("  %7s %12s %10s %9s %10s %8s %7s %8s\n", "workers",
+              "iters/sec", "coverage", "#lines", "findings", "imports",
+              "qmax", "idle_s");
+  for (int workers : worker_counts) {
     RunAt(workers, coverage_guidance);
+  }
+}
+
+void RunMergeBatch(int workers, int merge_batch) {
+  CampaignOptions options = BaseOptions(workers, true);
+  options.merge_batch = merge_batch;
+
+  const auto start = std::chrono::steady_clock::now();
+  const EngineResult result = CampaignEngine("kvm", options).Run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const MergePipelineStats& p = result.pipeline;
+
+  std::printf(
+      "  %7d %12.0f %8llu %8llu %7zu %7.2f %9.3f %9.3f %9.2f%%\n",
+      merge_batch, secs > 0 ? static_cast<double>(g_budget) / secs : 0.0,
+      static_cast<unsigned long long>(p.deltas),
+      static_cast<unsigned long long>(p.flushes), p.max_queue_depth,
+      p.avg_queue_depth, p.publish_wait_seconds, p.feedback_wait_seconds,
+      result.merged.final_percent);
+}
+
+void RunMergeBatchSection(int workers, const std::vector<int>& batches) {
+  std::printf(
+      "\n[merge-pipeline mode: merge_batch sweep at %d workers, guided]\n",
+      workers);
+  std::printf("  %7s %12s %8s %8s %7s %7s %9s %9s %10s\n", "batch",
+              "iters/sec", "deltas", "flushes", "qmax", "qavg", "pub_wait",
+              "fb_wait", "coverage");
+  for (int batch : batches) {
+    RunMergeBatch(workers, batch);
   }
 }
 
 }  // namespace
 }  // namespace neco
 
-int main() {
-  neco::PrintHeader(
-      "Parallel campaign scaling — SimKvm, Intel, fixed 20k-iteration "
-      "budget\nsplit across worker shards (seed + worker_id each)");
-  neco::RunSection("[breadth-first, the paper's default mode]", false);
-  neco::RunSection("[coverage-guided, cross-shard corpus sync active]", true);
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    neco::g_budget = 2000;
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Parallel campaign scaling — SimKvm, Intel, fixed "
+                "%llu-iteration budget\nsplit across worker shards "
+                "(seed + worker_id each), delta merge pipeline%s",
+                static_cast<unsigned long long>(neco::g_budget),
+                smoke ? " [smoke]" : "");
+  neco::PrintHeader(title);
+  const std::vector<int> workers =
+      smoke ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  neco::RunSection("[breadth-first, the paper's default mode]", false,
+                   workers);
+  neco::RunSection("[coverage-guided, cross-shard corpus sync active]", true,
+                   workers);
+  neco::RunMergeBatchSection(4, smoke ? std::vector<int>{1, 8}
+                                      : std::vector<int>{1, 8, 32});
   return 0;
 }

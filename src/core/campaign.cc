@@ -1,14 +1,6 @@
 #include "src/core/campaign.h"
 
-#include "src/core/engine.h"
-
 namespace neco {
-
-CampaignResult RunCampaign(Hypervisor& target,
-                           const CampaignOptions& options) {
-  CampaignEngine engine(target, options);
-  return engine.Run().merged;
-}
 
 std::vector<uint64_t> ChunkSchedule(uint64_t budget, int samples) {
   const uint64_t parts = samples > 0 ? static_cast<uint64_t>(samples) : 1;

@@ -19,13 +19,22 @@ struct CampaignOptions {
   // Number of evenly spaced coverage samples (Figure 3 / Figure 4 series).
   int samples = 24;
   uint64_t seed = 1;
-  // Worker shards for RunParallelCampaign (RunCampaign ignores this and
-  // always runs one shard inline). Each worker derives its fuzzer seed as
-  // seed + worker_id, so worker 0 reproduces the serial campaign exactly.
+  // Worker shards for CampaignEngine (a borrowed-target session ignores
+  // this and always runs one shard inline). Each worker derives its
+  // fuzzer seed as seed + worker_id, so worker 0 reproduces the serial
+  // campaign exactly.
   int workers = 1;
   // Cross-shard corpus syncing: at every sample boundary each worker
-  // publishes its new queue entries and adopts the other shards'.
+  // publishes its new queue entries and adopts the other shards'. Only
+  // effective in guided mode — breadth-first campaigns have no corpus,
+  // so their shards run fully decoupled regardless of this flag.
   bool corpus_sync = true;
+  // Shard deltas folded per merge-pipeline flush (src/core/merge_pipeline).
+  // 1 reproduces the barrier-era one-merge-per-delta cadence; larger
+  // values amortize drainer wake-ups. Merged results and observer event
+  // sequences are identical for every value — the fold order is fixed —
+  // so this only trades flush frequency against queue depth.
+  int merge_batch = 1;
   AgentOptions agent;
   // NecoFuzz's default mode is the breadth-first boundary explorer: the
   // paper found coverage guidance counter-productive here, because the
@@ -50,16 +59,6 @@ struct CampaignResult {
   FuzzerStats fuzzer_stats;
   uint64_t watchdog_restarts = 0;
 };
-
-// Deprecated: construct a CampaignEngine (src/core/engine.h) and Run() it.
-// Thin wrapper over a borrowed-target engine session: runs NecoFuzz
-// against `target` on one inline shard (options.workers is ignored, the
-// historical contract). The target's coverage for the campaign
-// architecture is reset at the start so repeated campaigns are
-// independent.
-[[deprecated("use CampaignEngine(target, options).Run().merged")]]
-CampaignResult RunCampaign(Hypervisor& target,
-                           const CampaignOptions& options);
 
 // The campaign's sampling cadence: `budget` iterations split into
 // chunk-sized steps (one coverage sample after each), chunk =

@@ -1,9 +1,7 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <functional>
-#include <map>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,58 +15,22 @@
 namespace neco {
 namespace {
 
-// Cyclic barrier whose last arriver runs a completion step before
-// releasing the waiters. The completion step is the single-threaded,
-// deterministic point where shard states merge (and observer events
-// fire); everyone else is parked on the condition variable, so their
-// fuzzer/hypervisor state is safe to read (the barrier mutex orders those
-// writes before the merge reads).
-class EpochBarrier {
- public:
-  EpochBarrier(int parties, std::function<void()> on_complete)
-      : parties_(parties), on_complete_(std::move(on_complete)) {}
-
-  void ArriveAndWait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    const uint64_t phase = phase_;
-    if (++waiting_ == parties_) {
-      on_complete_();
-      waiting_ = 0;
-      ++phase_;
-      cv_.notify_all();
-    } else {
-      cv_.wait(lock, [&] { return phase_ != phase; });
-    }
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  const int parties_;
-  int waiting_ = 0;
-  uint64_t phase_ = 0;
-  std::function<void()> on_complete_;
-};
-
-// An input one shard found interesting, published for the others.
-struct PoolEntry {
-  int origin = 0;
-  FuzzInput input;
-};
-
 struct WorkerState {
-  Hypervisor* hv = nullptr;            // Owned or borrowed.
+  Hypervisor* hv = nullptr;  // Owned or borrowed.
   std::unique_ptr<Hypervisor> owned;
   std::unique_ptr<Agent> agent;
   std::unique_ptr<Fuzzer> fuzzer;
   // Per-epoch iteration steps; mirrors the serial campaign's chunking so
-  // worker 0 of a one-worker campaign replays the historical RunCampaign
+  // worker 0 of a one-worker campaign replays the historical serial
   // schedule exactly.
   std::vector<uint64_t> steps;
-  size_t export_cursor = 0;      // Own queue entries already published.
-  size_t import_cursor = 0;      // Pool entries already considered.
-  uint64_t imports = 0;          // Entries adopted (post-dedup).
-  uint64_t reported_imports = 0; // Imports already streamed to observers.
+  // Covered-point snapshot backing CoverageUnit::ExtractDeltaSince.
+  std::vector<uint8_t> covered_seen;
+  // Finding ids already shipped in a delta (the agent's findings map is
+  // bug-id-sorted, so per-epoch diffs against this set come out sorted —
+  // the order ShardDelta::findings promises).
+  std::unordered_set<std::string> shipped_findings;
+  uint64_t imports = 0;  // Pool entries adopted (post-dedup).
 };
 
 }  // namespace
@@ -131,100 +93,103 @@ EngineResult CampaignEngine::Run() {
 
   const size_t total_points =
       states[0].hv->nested_coverage(options.arch).total_points();
+  // Corpus syncing needs a corpus: in breadth-first mode (guidance off)
+  // nothing is ever queued or exported, so shards run fully decoupled —
+  // no feedback waits — instead of idling on empty exchanges.
+  const bool syncing =
+      options.corpus_sync && workers > 1 && options.fuzzer.coverage_guidance;
 
-  // Global merged state; touched only inside the barrier completion step.
-  CoverageBitmap global_virgin;
-  std::vector<uint8_t> global_covered(total_points, 0);
-  std::map<std::string, AnomalyReport> global_findings;
-  std::vector<PoolEntry> pool;
-  std::vector<CoverageSample> series;
-  uint64_t total_done = 0;
-  size_t current_epoch = 0;
+  MergePipelineOptions pipeline_options;
+  pipeline_options.workers = workers;
+  pipeline_options.epochs = epochs;
+  pipeline_options.total_points = total_points;
+  pipeline_options.merge_batch = options.merge_batch;
+  MergePipeline pipeline(pipeline_options, observers_);
 
-  EpochBarrier barrier(workers, [&] {
-    for (auto& state : states) {
-      if (current_epoch < state.steps.size()) {
-        total_done += state.steps[current_epoch];
+  // A worker or merge-thread failure must not strand the other threads at
+  // the queue or the feedback wait: record the first exception, abort the
+  // pipeline (unblocking everybody), and rethrow after the join.
+  std::mutex error_mu;
+  std::exception_ptr fatal;
+  auto capture = [&](std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!fatal) {
+        fatal = error;
       }
     }
-    for (int w = 0; w < workers; ++w) {
-      WorkerState& state = states[static_cast<size_t>(w)];
-      uint64_t published = 0;
-      if (options.corpus_sync && workers > 1) {
-        for (FuzzInput& input :
-             state.fuzzer->ExportCorpus(state.export_cursor)) {
-          pool.push_back({w, std::move(input)});
-          ++published;
-        }
-        state.export_cursor = state.fuzzer->corpus().size();
-      }
-      const uint64_t imported = state.imports - state.reported_imports;
-      state.reported_imports = state.imports;
-      if (published != 0 || imported != 0) {
-        const CorpusSyncEvent event{current_epoch, w, published, imported};
-        for (CampaignObserver* observer : observers_) {
-          observer->OnCorpusSync(event);
-        }
-      }
-      state.fuzzer->virgin_map().MergeInto(global_virgin);
-      const auto& hits = state.hv->nested_coverage(options.arch).hits();
-      for (size_t i = 0; i < hits.size() && i < global_covered.size(); ++i) {
-        global_covered[i] |= hits[i];
-      }
-      for (const auto& [id, report] : state.agent->findings()) {
-        if (global_findings.emplace(id, report).second) {
-          const FindingEvent event{current_epoch, w, report};
-          for (CampaignObserver* observer : observers_) {
-            observer->OnFinding(event);
-          }
-        }
-      }
-    }
-    size_t covered = 0;
-    for (uint8_t h : global_covered) {
-      covered += h != 0;
-    }
-    series.push_back(
-        {total_done, total_points == 0
-                         ? 0.0
-                         : 100.0 * static_cast<double>(covered) /
-                               static_cast<double>(total_points)});
-    const SampleEvent event{current_epoch, total_done, series.back().percent,
-                           covered};
-    for (CampaignObserver* observer : observers_) {
-      observer->OnSample(event);
-    }
-    ++current_epoch;
-  });
+    pipeline.Abort();
+  };
 
   auto worker_main = [&](int w) {
     WorkerState& state = states[static_cast<size_t>(w)];
-    for (size_t epoch = 0; epoch < epochs; ++epoch) {
-      if (options.corpus_sync && workers > 1) {
-        // The pool and the global virgin map only change inside the
-        // barrier completion step, so reading them here is race-free.
-        const size_t pool_size = pool.size();
-        for (size_t i = state.import_cursor; i < pool_size; ++i) {
-          // The fuzzer hash-guards imports, so an identical entry
-          // re-published by several shards joins this queue only once.
-          if (pool[i].origin != w &&
-              state.fuzzer->ImportCorpusEntry(pool[i].input)) {
-            ++state.imports;
+    try {
+      // Every worker publishes one delta per global epoch — empty ones
+      // past its own schedule — so the drainer can finalize epochs
+      // without tracking per-shard schedules.
+      for (size_t epoch = 0; epoch < epochs; ++epoch) {
+        uint64_t imported = 0;
+        if (syncing && epoch > 0) {
+          MergePipeline::Feedback feedback;
+          if (!pipeline.WaitForFeedback(epoch - 1, w, &feedback)) {
+            return;
+          }
+          for (const FuzzInput& input : feedback.pool_entries) {
+            // The fuzzer hash-guards imports, so an identical entry
+            // re-published by several shards joins this queue only once.
+            if (state.fuzzer->ImportCorpusEntry(input)) {
+              ++imported;
+            }
+          }
+          state.imports += imported;
+          // Mark the merged global novelty seen (not novel here, not
+          // re-exported) and skip the just-imported entries at the next
+          // export: re-publishing them would bounce inputs between
+          // shards, duplicating without bound.
+          state.fuzzer->ApplyVirginDelta(feedback.virgin);
+          state.fuzzer->MarkQueueExported();
+        }
+        if (epoch < state.steps.size()) {
+          state.fuzzer->Run(state.steps[epoch]);
+        }
+
+        if (!syncing) {
+          // Nothing consumes queue entries without syncing; skip the
+          // per-epoch input copies entirely.
+          state.fuzzer->MarkQueueExported();
+        }
+        FuzzerDelta fuzzer_delta = state.fuzzer->ExportDelta();
+        ShardDelta delta;
+        delta.worker = w;
+        delta.epoch = epoch;
+        delta.iterations = fuzzer_delta.iterations;
+        delta.imported = imported;
+        delta.virgin = std::move(fuzzer_delta.virgin);
+        delta.queue_entries = std::move(fuzzer_delta.queue_entries);
+        delta.covered_points =
+            state.hv->nested_coverage(options.arch)
+                .ExtractDeltaSince(state.covered_seen);
+        for (const auto& [id, report] : state.agent->findings()) {
+          if (state.shipped_findings.insert(id).second) {
+            delta.findings.push_back(report);
           }
         }
-        state.import_cursor = pool_size;
-        // Skip the just-imported entries at the next export: re-publishing
-        // them would bounce inputs between shards, duplicating without
-        // bound. Own discoveries made during Run land after this cursor.
-        state.export_cursor = state.fuzzer->corpus().size();
-        state.fuzzer->MergeVirginFrom(global_virgin);
+        if (!pipeline.Publish(wire::Encode(delta))) {
+          return;
+        }
       }
-      if (epoch < state.steps.size()) {
-        state.fuzzer->Run(state.steps[epoch]);
-      }
-      barrier.ArriveAndWait();
+    } catch (...) {
+      capture(std::current_exception());
     }
   };
+
+  std::thread merge_thread([&] {
+    try {
+      pipeline.RunMergeLoop();
+    } catch (...) {
+      capture(std::current_exception());
+    }
+  });
 
   if (workers == 1) {
     worker_main(0);
@@ -238,26 +203,30 @@ EngineResult CampaignEngine::Run() {
       thread.join();
     }
   }
+  merge_thread.join();
+  if (fatal) {
+    std::rethrow_exception(fatal);
+  }
 
   EngineResult out;
-  out.merged.series = std::move(series);
+  out.pipeline = pipeline.stats();
+  out.merged.series = pipeline.series();
   out.merged.total_points = total_points;
-  size_t covered = 0;
+  const std::vector<uint8_t>& global_covered = pipeline.covered();
   for (size_t i = 0; i < global_covered.size(); ++i) {
     if (global_covered[i] != 0) {
-      ++covered;
       out.merged.covered_set.push_back(i);
     }
   }
-  out.merged.covered_points = covered;
+  out.merged.covered_points = out.merged.covered_set.size();
   out.merged.final_percent =
       total_points == 0 ? 0.0
-                        : 100.0 * static_cast<double>(covered) /
+                        : 100.0 * static_cast<double>(out.merged.covered_points) /
                               static_cast<double>(total_points);
-  for (const auto& [id, report] : global_findings) {
+  for (const auto& [id, report] : pipeline.findings()) {
     out.merged.findings.push_back(report);
   }
-  out.merged.fuzzer_stats.bitmap_edges = global_virgin.CountNonZero();
+  out.merged.fuzzer_stats.bitmap_edges = pipeline.virgin().CountNonZero();
 
   std::unordered_set<std::string> crash_ids;
   for (int w = 0; w < workers; ++w) {
@@ -290,9 +259,7 @@ EngineResult CampaignEngine::Run() {
                                wr.findings.size(),
                                state.imports,
                                wr.watchdog_restarts};
-    for (CampaignObserver* observer : observers_) {
-      observer->OnShardDone(event);
-    }
+    pipeline.NotifyShardDone(event);
     out.per_worker.push_back(std::move(wr));
   }
   out.merged.fuzzer_stats.unique_anomalies = crash_ids.size();
@@ -305,8 +272,9 @@ EngineResult CampaignEngine::Run() {
                           out.merged.total_points,
                           out.merged.findings.size(),
                           out.corpus_imports};
-  for (CampaignObserver* observer : observers_) {
-    observer->OnFinish(event);
+  pipeline.NotifyFinish(event);
+  if (std::exception_ptr error = pipeline.observer_error()) {
+    std::rethrow_exception(error);
   }
   return out;
 }

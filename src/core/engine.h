@@ -1,32 +1,38 @@
 // CampaignEngine — the unified session API for fuzzing campaigns.
 //
-// One object covers what used to be split across RunCampaign (serial) and
-// RunParallelCampaign (sharded): a session is constructed from a target —
-// a registry name ("kvm"), an explicit HypervisorFactory, or a borrowed
-// Hypervisor instance — configured with CampaignOptions, optionally wired
-// to observers, and driven by Run(). Run() dispatches to one shard inline
-// or options.workers worker threads; `workers = 1` reproduces the
-// pre-engine serial RunCampaign schedule bit for bit (same fuzzer seed,
-// same chunking, same merge math), so serial and sharded campaigns are the
-// same code path at different widths.
+// A session is constructed from a target — a registry name ("kvm"), an
+// explicit HypervisorFactory, or a borrowed Hypervisor instance —
+// configured with CampaignOptions, optionally wired to observers, and
+// driven by Run(). Run() shards the iteration budget across
+// options.workers worker threads; `workers = 1` reproduces the historical
+// serial campaign schedule bit for bit (same fuzzer seed, same chunking,
+// same merge math), so serial and sharded campaigns are the same code
+// path at different widths.
 //
-// Sharded execution keeps the PR 1 design: every worker owns a private
-// Hypervisor/Agent/Fuzzer (coverage units are not thread-safe), shards run
-// in lock-step epochs, and at each epoch boundary exactly one thread
-// merges shard states — virgin bitmaps, covered sets, deduplicated
-// findings — into the global view and exchanges corpus entries.
+// Since PR 3 the merge path is a delta pipeline, not a lock-step barrier:
+// every worker owns a private Hypervisor/Agent/Fuzzer (coverage units are
+// not thread-safe) and, once per epoch, publishes a wire-encoded
+// ShardDelta (src/core/wire.h) — new virgin-map bits, newly covered
+// lines, new queue entries, new findings — onto a bounded MPSC queue. A
+// dedicated merge thread (src/core/merge_pipeline.h) folds deltas into
+// the global view in deterministic (epoch, worker) order and fires
+// observer events in that same merge-ordered sequence, concurrently with
+// the shards' next epoch. Workers block only when the queue is full or,
+// with corpus syncing on, when they need the previous epoch's merged
+// state — never at a full stop per sample. CampaignOptions::merge_batch
+// sets how many deltas a flush folds; results and event sequences are
+// identical for every value (1 recovers the barrier-era cadence).
 //
 // Observers stream the campaign instead of waiting for the final blob.
-// Every event is a plain serializable record, and delivery is
-// deterministic and merge-ordered: events fire only inside the
-// single-threaded epoch merge (worker-id order within an epoch) and the
-// final assembly, so two runs with identical (options, target) produce
-// identical event sequences. This is the seam the ROADMAP's batched-merge,
-// process-sharding, and async-executor items plug into — a process-level
-// shard only has to ship these records over a pipe. Note: with workers > 1
-// the merge step runs on whichever worker thread arrives last, so observer
-// callbacks must not assume a particular thread (they are never called
-// concurrently).
+// Every event is a plain serializable wire record, and delivery is
+// deterministic and merge-ordered: two runs with identical (options,
+// target) produce identical event sequences. This is the seam the
+// ROADMAP's process-sharding and async-executor items plug into — a
+// process-level shard only has to ship these records over a pipe.
+// Events fire on the merge thread (final-assembly events on the calling
+// thread), never concurrently. Observer exceptions cannot strand or kill
+// the campaign: every callback is guarded, the first exception is
+// recorded, and Run() rethrows it after all shards joined.
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
@@ -35,70 +41,22 @@
 #include <vector>
 
 #include "src/core/campaign.h"
+#include "src/core/merge_pipeline.h"
+#include "src/core/wire.h"
 #include "src/hv/factory.h"
 
 namespace neco {
-
-// --- Event records -------------------------------------------------------
-
-// One merged coverage sample (epoch boundary) — the streaming form of
-// CampaignResult::series.
-struct SampleEvent {
-  size_t epoch = 0;        // 0-based merge epoch.
-  uint64_t iteration = 0;  // Campaign-wide iterations completed.
-  double percent = 0.0;    // Merged coverage after this epoch.
-  size_t covered_points = 0;
-};
-
-// A finding entered the global deduplicated set for the first time.
-struct FindingEvent {
-  size_t epoch = 0;
-  int worker = 0;  // Shard whose report won the (deterministic) merge.
-  AnomalyReport report;
-};
-
-// One shard's corpus exchange at an epoch boundary. `published` counts
-// queue entries pushed to the shared pool at this merge; `imported` counts
-// pool entries the shard adopted since the previous merge.
-struct CorpusSyncEvent {
-  size_t epoch = 0;
-  int worker = 0;
-  uint64_t published = 0;
-  uint64_t imported = 0;
-};
-
-// A shard finished its budget (fired per worker, in worker-id order).
-struct ShardDoneEvent {
-  int worker = 0;
-  uint64_t iterations = 0;
-  double final_percent = 0.0;
-  size_t covered_points = 0;
-  uint64_t queue_size = 0;
-  size_t findings = 0;
-  uint64_t corpus_imports = 0;
-  uint64_t watchdog_restarts = 0;
-};
-
-// The campaign completed; the merged summary.
-struct FinishEvent {
-  int workers = 1;
-  size_t epochs = 0;
-  uint64_t iterations = 0;
-  double final_percent = 0.0;
-  size_t covered_points = 0;
-  size_t total_points = 0;
-  size_t findings = 0;
-  uint64_t corpus_imports = 0;
-};
 
 // --- Observer ------------------------------------------------------------
 
 // Default-no-op interface; override the events you care about. Observers
 // are borrowed (caller keeps ownership) and must stay alive across Run().
-// Callbacks run inside the barrier completion step and must not throw: an
-// escaping exception would leave worker threads parked at the barrier
-// (and, with workers > 1, terminate the process via the std::thread entry
-// function). Record failures and surface them after Run() instead.
+// The event records themselves live in src/core/wire.h, next to their
+// serialized form. Callbacks run on the merge thread (ShardDone/Finish on
+// the thread calling Run()) and are never invoked concurrently. A
+// callback that throws does not terminate the process: the engine records
+// the first exception, keeps the campaign (and other observers) running,
+// and rethrows it from Run() after every shard joined.
 class CampaignObserver {
  public:
   virtual ~CampaignObserver() = default;
@@ -113,13 +71,17 @@ class CampaignObserver {
 
 struct EngineResult {
   // The global merged view, shaped exactly like a serial CampaignResult.
-  // With workers == 1 it reproduces the pre-engine RunCampaign bit for bit.
+  // With workers == 1 it reproduces the historical serial campaign bit
+  // for bit.
   CampaignResult merged;
   // Each shard's own final state (per-worker coverage is a subset of the
   // merged coverage).
   std::vector<CampaignResult> per_worker;
   // Queue entries adopted across shards over the whole campaign.
   uint64_t corpus_imports = 0;
+  // Merge-pipeline counters: queue depth and worker idle time (see
+  // bench/parallel_scaling's merge-pipeline mode).
+  MergePipelineStats pipeline;
 };
 
 // --- The session object --------------------------------------------------
@@ -139,7 +101,7 @@ class CampaignEngine {
   // Borrowed-target session: runs against an existing instance the caller
   // keeps alive and owns. A single instance cannot shard, so this mode
   // always runs one inline shard regardless of options.workers (the
-  // historical RunCampaign contract).
+  // historical serial-campaign contract).
   explicit CampaignEngine(Hypervisor& target, CampaignOptions options = {});
 
   // Registers a borrowed observer for subsequent Run() calls.

@@ -1,0 +1,309 @@
+#include "src/core/merge_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/engine.h"
+#include "src/hv/coverage.h"
+
+namespace neco {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// An epoch's observer events in barrier-era order: per worker the corpus
+// sync first, then that worker's new findings; the coverage sample last.
+// Collected during the fold (under state_mu_) and dispatched after it, so
+// observer code never runs under a pipeline lock.
+struct PendingEvents {
+  std::vector<CorpusSyncEvent> syncs;      // At most one per worker.
+  std::vector<FindingEvent> findings;
+  std::vector<int> order;                  // 0 = next sync, 1 = next finding.
+  SampleEvent sample;
+};
+
+}  // namespace
+
+MergePipeline::MergePipeline(MergePipelineOptions options,
+                             std::vector<CampaignObserver*> observers)
+    : options_(options), observers_(std::move(observers)) {
+  if (options_.workers < 1) {
+    options_.workers = 1;
+  }
+  if (options_.merge_batch < 1) {
+    options_.merge_batch = 1;
+  }
+  queue_capacity_ = options_.queue_capacity;
+  if (queue_capacity_ == 0) {
+    // Room for one full epoch of deltas plus a flush in flight, so the
+    // common cadence never blocks a publisher.
+    queue_capacity_ =
+        std::max<size_t>(2 * static_cast<size_t>(options_.workers),
+                         static_cast<size_t>(options_.merge_batch));
+  }
+  global_covered_.assign(options_.total_points, 0);
+  cursors_.resize(static_cast<size_t>(options_.workers));
+}
+
+bool MergePipeline::Publish(wire::Buffer encoded_delta) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (queue_.size() >= queue_capacity_ && !aborted_) {
+    ++stats_.publish_blocks;
+    const auto start = Clock::now();
+    queue_not_full_.wait(lock, [&] {
+      return queue_.size() < queue_capacity_ || aborted_.load();
+    });
+    stats_.publish_wait_seconds += SecondsSince(start);
+  }
+  if (aborted_) {
+    return false;
+  }
+  ++stats_.deltas;
+  stats_.delta_bytes += encoded_delta.size();
+  queue_.push_back(std::move(encoded_delta));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  queue_depth_sum_ += static_cast<double>(queue_.size());
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+bool MergePipeline::PopBatch(std::vector<wire::Buffer>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_not_empty_.wait(lock,
+                        [&] { return !queue_.empty() || aborted_.load(); });
+  if (aborted_) {
+    return false;
+  }
+  const size_t n =
+      std::min(queue_.size(), static_cast<size_t>(options_.merge_batch));
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++stats_.flushes;
+  queue_not_full_.notify_all();
+  return true;
+}
+
+// Note on memory: the queue bounds *encoded* deltas in flight, but the
+// drainer must pop whatever is at the head, so when shards skew (only
+// possible without feedback coupling) the decoded staging map can grow to
+// O(workers × epochs) deltas — fine while epochs ≈ samples (tens), and a
+// delta shrinks with coverage saturation anyway. Process-level sharding
+// with long campaigns should add per-worker admission (e.g. credit-based
+// publishing) before building on this.
+void MergePipeline::Stage(std::unique_ptr<ShardDelta> delta) {
+  if (delta->worker < 0 || delta->worker >= options_.workers ||
+      delta->epoch >= options_.epochs || delta->epoch < next_epoch_) {
+    throw std::runtime_error("MergePipeline: delta for impossible shard " +
+                             std::to_string(delta->worker) + " / epoch " +
+                             std::to_string(delta->epoch));
+  }
+  std::vector<std::unique_ptr<ShardDelta>>& slots = staged_[delta->epoch];
+  slots.resize(static_cast<size_t>(options_.workers));
+  std::unique_ptr<ShardDelta>& slot =
+      slots[static_cast<size_t>(delta->worker)];
+  if (slot != nullptr) {
+    throw std::runtime_error("MergePipeline: duplicate delta from shard " +
+                             std::to_string(delta->worker));
+  }
+  slot = std::move(delta);
+}
+
+void MergePipeline::FoldReadyEpochs() {
+  while (true) {
+    const auto it = staged_.find(next_epoch_);
+    if (it == staged_.end()) {
+      return;
+    }
+    std::vector<std::unique_ptr<ShardDelta>>& deltas = it->second;
+    if (std::any_of(deltas.begin(), deltas.end(),
+                    [](const auto& d) { return d == nullptr; })) {
+      return;
+    }
+
+    PendingEvents events;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      EpochFeedback fb;
+      // The barrier accumulated the epoch's iteration total before
+      // merging any shard, so the sample reflects every worker.
+      for (const auto& delta : deltas) {
+        total_iterations_ += delta->iterations;
+      }
+      for (const auto& delta : deltas) {
+        const int w = delta->worker;
+        if (!delta->queue_entries.empty() || delta->imported != 0) {
+          events.syncs.push_back(
+              {next_epoch_, w,
+               static_cast<uint64_t>(delta->queue_entries.size()),
+               delta->imported});
+          events.order.push_back(0);
+        }
+        for (FuzzInput& input : delta->queue_entries) {
+          pool_.push_back({w, std::move(input)});
+        }
+        for (size_t i = 0; i < delta->virgin.size(); ++i) {
+          const uint32_t cell = delta->virgin.cells[i];
+          const uint8_t grown =
+              global_virgin_.OrCell(cell, delta->virgin.bits[i]);
+          if (grown != 0) {
+            fb.virgin.Append(cell, grown);
+          }
+        }
+        covered_count_ +=
+            CoverageUnit::ApplyDelta(delta->covered_points, global_covered_);
+        for (AnomalyReport& report : delta->findings) {
+          if (global_findings_.emplace(report.bug_id, report).second) {
+            events.findings.push_back({next_epoch_, w, std::move(report)});
+            events.order.push_back(1);
+          }
+        }
+      }
+      const double percent =
+          options_.total_points == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(covered_count_) /
+                    static_cast<double>(options_.total_points);
+      series_.push_back({total_iterations_, percent});
+      events.sample = {next_epoch_, total_iterations_, percent,
+                       covered_count_};
+      fb.pool_end = pool_.size();
+      feedback_.push_back(std::move(fb));
+      finalized_ = next_epoch_ + 1;
+      feedback_cv_.notify_all();
+    }
+
+    size_t next_sync = 0;
+    size_t next_finding = 0;
+    for (int kind : events.order) {
+      if (kind == 0) {
+        const CorpusSyncEvent& event = events.syncs[next_sync++];
+        Notify([&](CampaignObserver* obs) { obs->OnCorpusSync(event); });
+      } else {
+        const FindingEvent& event = events.findings[next_finding++];
+        Notify([&](CampaignObserver* obs) { obs->OnFinding(event); });
+      }
+    }
+    Notify([&](CampaignObserver* obs) { obs->OnSample(events.sample); });
+
+    staged_.erase(it);
+    ++next_epoch_;
+  }
+}
+
+void MergePipeline::RunMergeLoop() {
+  std::vector<wire::Buffer> batch;
+  while (next_epoch_ < options_.epochs) {
+    if (!PopBatch(&batch)) {
+      return;  // Aborted.
+    }
+    for (wire::Buffer& buffer : batch) {
+      auto delta = std::make_unique<ShardDelta>();
+      if (!wire::Decode(buffer, delta.get())) {
+        throw std::runtime_error(
+            "MergePipeline: corrupt ShardDelta on the merge queue");
+      }
+      Stage(std::move(delta));
+    }
+    FoldReadyEpochs();
+  }
+}
+
+bool MergePipeline::WaitForFeedback(size_t through_epoch, int worker,
+                                    Feedback* out) {
+  out->pool_entries.clear();
+  out->virgin = {};
+  std::unique_lock<std::mutex> lock(state_mu_);
+  if (finalized_ <= through_epoch && !aborted_) {
+    const auto start = Clock::now();
+    feedback_cv_.wait(lock, [&] {
+      return finalized_ > through_epoch || aborted_.load();
+    });
+    stats_.feedback_wait_seconds += SecondsSince(start);
+  }
+  if (aborted_) {
+    return false;
+  }
+  WorkerCursor& cursor = cursors_[static_cast<size_t>(worker)];
+  // The pool boundary recorded at `through_epoch` keeps the answer
+  // identical however far ahead the drainer has folded by now.
+  const size_t pool_end = feedback_[through_epoch].pool_end;
+  for (size_t i = cursor.pool; i < pool_end; ++i) {
+    if (pool_[i].origin != worker) {
+      out->pool_entries.push_back(pool_[i].input);
+    }
+  }
+  cursor.pool = pool_end;
+  for (size_t epoch = cursor.epoch; epoch <= through_epoch; ++epoch) {
+    out->virgin.Append(feedback_[epoch].virgin);
+  }
+  cursor.epoch = through_epoch + 1;
+  return true;
+}
+
+void MergePipeline::Abort() {
+  aborted_ = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_not_empty_.notify_all();
+    queue_not_full_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    feedback_cv_.notify_all();
+  }
+}
+
+template <typename Fn>
+void MergePipeline::Notify(Fn&& fn) {
+  for (CampaignObserver* observer : observers_) {
+    try {
+      fn(observer);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!observer_error_) {
+        observer_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void MergePipeline::NotifyShardDone(const ShardDoneEvent& event) {
+  Notify([&](CampaignObserver* obs) { obs->OnShardDone(event); });
+}
+
+void MergePipeline::NotifyFinish(const FinishEvent& event) {
+  Notify([&](CampaignObserver* obs) { obs->OnFinish(event); });
+}
+
+std::exception_ptr MergePipeline::observer_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return observer_error_;
+}
+
+size_t MergePipeline::finalized_epochs() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return finalized_;
+}
+
+MergePipelineStats MergePipeline::stats() const {
+  // Queue-side fields (deltas, bytes, depth, publish waits, flushes) are
+  // guarded by queue_mu_; feedback_wait_seconds by state_mu_. Lock order
+  // queue -> state is used nowhere else, so this cannot deadlock.
+  std::lock_guard<std::mutex> queue_lock(queue_mu_);
+  std::lock_guard<std::mutex> state_lock(state_mu_);
+  MergePipelineStats out = stats_;
+  out.avg_queue_depth =
+      out.deltas == 0 ? 0.0 : queue_depth_sum_ / static_cast<double>(out.deltas);
+  return out;
+}
+
+}  // namespace neco

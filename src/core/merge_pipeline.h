@@ -1,0 +1,197 @@
+// The delta-based merge pipeline: a bounded MPSC queue of encoded
+// ShardDelta records drained by a single merge loop.
+//
+// This replaces the per-epoch stop-the-world barrier the campaign engine
+// used through PR 2. Workers publish self-contained, wire-encoded deltas
+// (src/core/wire.h) and immediately continue fuzzing; the merge loop —
+// run on its own thread by CampaignEngine — decodes them, assigns
+// deterministic epoch numbers, and folds them into the global virgin
+// bitmap, covered set, finding-dedup map, and corpus pool in fixed
+// (epoch, worker) order. Observer events therefore fire in exactly the
+// same merge-ordered sequence the barrier produced, for any merge_batch
+// and any thread timing; only wall-clock interleaving changes.
+//
+// Workers block in exactly two places:
+//  * Publish(), when the bounded queue is full (backpressure against a
+//    slow drainer), and
+//  * WaitForFeedback(), when corpus syncing needs the previous epoch's
+//    merged state (pool entries + global novelty) and the drainer has not
+//    folded it yet.
+// With corpus syncing off — NecoFuzz's default breadth-first mode — the
+// second site disappears entirely and shards never wait for each other.
+//
+// Determinism: the pool boundary and global-novelty delta are recorded
+// per finalized epoch, so a worker asking for "the merged state through
+// epoch E" gets the same answer no matter how far ahead the drainer has
+// already folded. That property is what makes results independent of
+// merge_batch (tested in tests/engine_test.cc).
+#ifndef SRC_CORE_MERGE_PIPELINE_H_
+#define SRC_CORE_MERGE_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.h"
+#include "src/core/wire.h"
+#include "src/fuzz/bitmap.h"
+
+namespace neco {
+
+class CampaignObserver;
+
+struct MergePipelineOptions {
+  int workers = 1;
+  // Global epoch count (max over shards); every worker must publish one
+  // delta per epoch, empty deltas included, so the drainer can tell a
+  // complete epoch from a pending one.
+  size_t epochs = 0;
+  size_t total_points = 0;  // Line-coverage universe size.
+  // Deltas drained per flush; 1 reproduces the barrier-era one-merge-per-
+  // delta cadence. Results are identical for any value.
+  int merge_batch = 1;
+  // Encoded deltas in flight before Publish() blocks; 0 derives a default
+  // from workers and merge_batch.
+  size_t queue_capacity = 0;
+};
+
+// Counters for bench/parallel_scaling's merge-pipeline mode: how deep the
+// queue ran and how long workers sat idle (blocked publishing or waiting
+// for feedback) instead of fuzzing.
+struct MergePipelineStats {
+  uint64_t deltas = 0;       // Shard deltas published.
+  uint64_t delta_bytes = 0;  // Encoded bytes through the queue.
+  uint64_t flushes = 0;      // Drainer wake-ups.
+  size_t max_queue_depth = 0;
+  double avg_queue_depth = 0.0;  // Sampled after each publish.
+  uint64_t publish_blocks = 0;   // Publishes that found the queue full.
+  double publish_wait_seconds = 0.0;
+  double feedback_wait_seconds = 0.0;
+};
+
+class MergePipeline {
+ public:
+  // Observers are borrowed; every dispatch is exception-guarded (the
+  // first escaping exception is recorded, later ones are dropped) so a
+  // throwing observer can never strand worker threads — the engine
+  // rethrows observer_error() after everything joined.
+  MergePipeline(MergePipelineOptions options,
+                std::vector<CampaignObserver*> observers);
+
+  // --- Producer side (worker threads) ---
+
+  // Enqueues one wire-encoded ShardDelta; blocks while the queue is full.
+  // Returns false when the pipeline was aborted.
+  bool Publish(wire::Buffer encoded_delta);
+
+  // The merged state a syncing shard absorbs at an epoch boundary.
+  struct Feedback {
+    // Other shards' pool entries, in deterministic pool order.
+    std::vector<FuzzInput> pool_entries;
+    // Global novelty (cells merged into the global virgin map) since this
+    // worker's previous feedback.
+    BitmapDelta virgin;
+  };
+
+  // Blocks until epoch `through_epoch` is finalized, then fills `out`
+  // with everything merged through it that `worker` has not seen yet.
+  // Returns false when the pipeline was aborted.
+  bool WaitForFeedback(size_t through_epoch, int worker, Feedback* out);
+
+  // --- Drainer ---
+
+  // Decodes and folds published deltas until every epoch is finalized (or
+  // Abort()). The engine runs this on a dedicated merge thread; observer
+  // events fire here, never concurrently. Throws std::runtime_error on a
+  // corrupt delta.
+  void RunMergeLoop();
+
+  // Unblocks every Publish/WaitForFeedback (they return false) and makes
+  // RunMergeLoop return; used when a worker dies so nobody waits forever.
+  void Abort();
+  bool aborted() const { return aborted_; }
+
+  // --- Exception-guarded observer dispatch for the final assembly ---
+  void NotifyShardDone(const ShardDoneEvent& event);
+  void NotifyFinish(const FinishEvent& event);
+  std::exception_ptr observer_error() const;
+
+  // --- Merged state; read after RunMergeLoop() returned ---
+  const CoverageBitmap& virgin() const { return global_virgin_; }
+  const std::vector<uint8_t>& covered() const { return global_covered_; }
+  size_t covered_points() const { return covered_count_; }
+  const std::map<std::string, AnomalyReport>& findings() const {
+    return global_findings_;
+  }
+  const std::vector<CoverageSample>& series() const { return series_; }
+  size_t finalized_epochs() const;
+  MergePipelineStats stats() const;
+
+ private:
+  // What a finalized epoch leaves behind for later feedback requests.
+  struct EpochFeedback {
+    BitmapDelta virgin;   // Cells the fold newly set globally.
+    size_t pool_end = 0;  // Pool size when the epoch was finalized.
+  };
+  struct PoolEntry {
+    int origin = 0;
+    FuzzInput input;
+  };
+  struct WorkerCursor {
+    size_t pool = 0;   // Pool entries already handed to this worker.
+    size_t epoch = 0;  // Next feedback epoch to hand out.
+  };
+
+  bool PopBatch(std::vector<wire::Buffer>* out);
+  void Stage(std::unique_ptr<ShardDelta> delta);
+  void FoldReadyEpochs();
+  template <typename Fn>
+  void Notify(Fn&& fn);
+
+  MergePipelineOptions options_;
+  std::vector<CampaignObserver*> observers_;
+  size_t queue_capacity_ = 0;
+  std::atomic<bool> aborted_{false};
+
+  // Bounded MPSC queue of encoded deltas (+ queue-side stats).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<wire::Buffer> queue_;
+  MergePipelineStats stats_;  // Fields guarded as documented in stats().
+  double queue_depth_sum_ = 0.0;
+
+  // Drainer-only staging: decoded deltas waiting for their epoch to
+  // complete (all workers' records present).
+  std::map<uint64_t, std::vector<std::unique_ptr<ShardDelta>>> staged_;
+  size_t next_epoch_ = 0;
+
+  // Global merged state; written by the drainer under state_mu_, read by
+  // WaitForFeedback and (unlocked, after the drainer joined) the engine.
+  mutable std::mutex state_mu_;
+  std::condition_variable feedback_cv_;
+  CoverageBitmap global_virgin_;
+  std::vector<uint8_t> global_covered_;
+  size_t covered_count_ = 0;
+  std::map<std::string, AnomalyReport> global_findings_;
+  std::vector<PoolEntry> pool_;
+  std::vector<CoverageSample> series_;
+  uint64_t total_iterations_ = 0;
+  std::vector<EpochFeedback> feedback_;  // Indexed by finalized epoch.
+  std::vector<WorkerCursor> cursors_;
+  size_t finalized_ = 0;
+
+  mutable std::mutex error_mu_;
+  std::exception_ptr observer_error_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_MERGE_PIPELINE_H_

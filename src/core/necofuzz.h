@@ -12,9 +12,9 @@
 //   const neco::EngineResult result = engine.Run();
 //   // result.merged.final_percent, result.merged.findings, ...
 //
-// RunCampaign / RunParallelCampaign remain as deprecated wrappers over
-// CampaignEngine. See README.md for the architecture overview and
-// examples/ for runnable programs.
+// Shards merge through the delta pipeline (src/core/merge_pipeline.h)
+// whose records are wire-serializable (src/core/wire.h). See README.md
+// for the architecture overview and examples/ for runnable programs.
 #ifndef SRC_CORE_NECOFUZZ_H_
 #define SRC_CORE_NECOFUZZ_H_
 
@@ -23,8 +23,9 @@
 #include "src/core/config/configurator.h"        // IWYU pragma: export
 #include "src/core/engine.h"                     // IWYU pragma: export
 #include "src/core/harness/harness.h"            // IWYU pragma: export
-#include "src/core/parallel_campaign.h"          // IWYU pragma: export
+#include "src/core/merge_pipeline.h"             // IWYU pragma: export
 #include "src/core/validator/oracle.h"           // IWYU pragma: export
+#include "src/core/wire.h"                       // IWYU pragma: export
 #include "src/core/validator/vmcb_validator.h"   // IWYU pragma: export
 #include "src/core/validator/vmcs_validator.h"   // IWYU pragma: export
 #include "src/hv/sim_kvm/kvm.h"                  // IWYU pragma: export

@@ -1,0 +1,366 @@
+#include "src/core/wire.h"
+
+#include <cstring>
+
+namespace neco {
+namespace wire {
+namespace {
+
+constexpr size_t kHeaderSize = 1 + 1 + 4;  // type, version, payload length.
+
+// --- Little-endian writer ------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void I32(int v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t image = 0;
+    static_assert(sizeof(image) == sizeof(v));
+    std::memcpy(&image, &v, sizeof(image));
+    U64(image);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void Bytes(const std::vector<uint8_t>& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+
+ private:
+  Buffer& out_;
+};
+
+// Frames one record: reserves the header, runs `payload`, then patches the
+// length field with what the payload actually wrote.
+template <typename PayloadFn>
+Buffer Frame(RecordType type, PayloadFn&& payload) {
+  Buffer out(kHeaderSize, 0);
+  out.reserve(64);
+  out[0] = static_cast<uint8_t>(type);
+  out[1] = kVersion;
+  Writer writer(out);
+  payload(writer);
+  const uint32_t length = static_cast<uint32_t>(out.size() - kHeaderSize);
+  for (int i = 0; i < 4; ++i) {
+    out[2 + static_cast<size_t>(i)] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  return out;
+}
+
+// --- Bounds-checked little-endian reader ---------------------------------
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+  bool ok() const { return ok_; }
+  Reader& Fail() {
+    ok_ = false;
+    return *this;
+  }
+  // A record must consume its payload exactly; trailing bytes are corrupt.
+  bool Done() const { return ok_ && pos_ == size_; }
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return data_[pos_++];
+  }
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t U64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  int I32() { return static_cast<int>(static_cast<int32_t>(U32())); }
+  double F64() {
+    const uint64_t image = U64();
+    double v = 0.0;
+    std::memcpy(&v, &image, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!Require(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<uint8_t> Bytes() {
+    const uint32_t n = U32();
+    if (!Require(n)) return {};
+    std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+  // Guards a count field before a reserve/loop: each element needs at
+  // least `element_size` bytes, so a count the remaining payload cannot
+  // possibly hold is corrupt (and would otherwise trigger a huge
+  // allocation from four attacker-controlled bytes).
+  bool FitsCount(uint32_t count, size_t element_size) {
+    if (!ok_ || count > remaining() / element_size) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Validates the frame header and returns a reader over the payload (with
+// ok() == false on any header problem).
+Reader OpenFrame(const uint8_t* data, size_t size, RecordType expected) {
+  if (data == nullptr || size < kHeaderSize ||
+      data[0] != static_cast<uint8_t>(expected) || data[1] != kVersion) {
+    return Reader(nullptr, 0).Fail();
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(data[2 + i]) << (8 * i);
+  }
+  if (length != size - kHeaderSize) {
+    return Reader(nullptr, 0).Fail();
+  }
+  return Reader(data + kHeaderSize, size - kHeaderSize);
+}
+
+// --- Shared payload pieces -----------------------------------------------
+
+void WriteReport(Writer& w, const AnomalyReport& report) {
+  w.U8(static_cast<uint8_t>(report.kind));
+  w.Str(report.bug_id);
+  w.Str(report.message);
+}
+
+bool ReadReport(Reader& r, AnomalyReport* out) {
+  const uint8_t kind = r.U8();
+  if (kind > static_cast<uint8_t>(AnomalyKind::kLogWarning)) {
+    return false;
+  }
+  out->kind = static_cast<AnomalyKind>(kind);
+  out->bug_id = r.Str();
+  out->message = r.Str();
+  return r.ok();
+}
+
+}  // namespace
+
+Buffer Encode(const ShardDelta& record) {
+  return Frame(RecordType::kShardDelta, [&](Writer& w) {
+    w.I32(record.worker);
+    w.U64(record.epoch);
+    w.U64(record.iterations);
+    w.U64(record.imported);
+    w.U32(static_cast<uint32_t>(record.virgin.size()));
+    for (size_t i = 0; i < record.virgin.size(); ++i) {
+      w.U32(record.virgin.cells[i]);
+      w.U8(record.virgin.bits[i]);
+    }
+    w.U32(static_cast<uint32_t>(record.covered_points.size()));
+    for (uint32_t point : record.covered_points) {
+      w.U32(point);
+    }
+    w.U32(static_cast<uint32_t>(record.queue_entries.size()));
+    for (const FuzzInput& input : record.queue_entries) {
+      w.Bytes(input);
+    }
+    w.U32(static_cast<uint32_t>(record.findings.size()));
+    for (const AnomalyReport& report : record.findings) {
+      WriteReport(w, report);
+    }
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
+  Reader r = OpenFrame(data, size, RecordType::kShardDelta);
+  out->worker = r.I32();
+  out->epoch = r.U64();
+  out->iterations = r.U64();
+  out->imported = r.U64();
+  out->virgin = {};
+  const uint32_t virgin_count = r.U32();
+  if (!r.FitsCount(virgin_count, 5)) return false;
+  for (uint32_t i = 0; i < virgin_count; ++i) {
+    const uint32_t cell = r.U32();
+    out->virgin.Append(cell, r.U8());
+  }
+  out->covered_points.clear();
+  const uint32_t covered_count = r.U32();
+  if (!r.FitsCount(covered_count, 4)) return false;
+  for (uint32_t i = 0; i < covered_count; ++i) {
+    out->covered_points.push_back(r.U32());
+  }
+  out->queue_entries.clear();
+  const uint32_t queue_count = r.U32();
+  if (!r.FitsCount(queue_count, 4)) return false;
+  for (uint32_t i = 0; i < queue_count; ++i) {
+    out->queue_entries.push_back(r.Bytes());
+  }
+  out->findings.clear();
+  const uint32_t finding_count = r.U32();
+  if (!r.FitsCount(finding_count, 9)) return false;
+  for (uint32_t i = 0; i < finding_count; ++i) {
+    AnomalyReport report;
+    if (!ReadReport(r, &report)) return false;
+    out->findings.push_back(std::move(report));
+  }
+  return r.Done();
+}
+
+Buffer Encode(const SampleEvent& record) {
+  return Frame(RecordType::kSample, [&](Writer& w) {
+    w.U64(record.epoch);
+    w.U64(record.iteration);
+    w.F64(record.percent);
+    w.U64(record.covered_points);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, SampleEvent* out) {
+  Reader r = OpenFrame(data, size, RecordType::kSample);
+  out->epoch = static_cast<size_t>(r.U64());
+  out->iteration = r.U64();
+  out->percent = r.F64();
+  out->covered_points = static_cast<size_t>(r.U64());
+  return r.Done();
+}
+
+Buffer Encode(const FindingEvent& record) {
+  return Frame(RecordType::kFinding, [&](Writer& w) {
+    w.U64(record.epoch);
+    w.I32(record.worker);
+    WriteReport(w, record.report);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, FindingEvent* out) {
+  Reader r = OpenFrame(data, size, RecordType::kFinding);
+  out->epoch = static_cast<size_t>(r.U64());
+  out->worker = r.I32();
+  if (!ReadReport(r, &out->report)) return false;
+  return r.Done();
+}
+
+Buffer Encode(const CorpusSyncEvent& record) {
+  return Frame(RecordType::kCorpusSync, [&](Writer& w) {
+    w.U64(record.epoch);
+    w.I32(record.worker);
+    w.U64(record.published);
+    w.U64(record.imported);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, CorpusSyncEvent* out) {
+  Reader r = OpenFrame(data, size, RecordType::kCorpusSync);
+  out->epoch = static_cast<size_t>(r.U64());
+  out->worker = r.I32();
+  out->published = r.U64();
+  out->imported = r.U64();
+  return r.Done();
+}
+
+Buffer Encode(const ShardDoneEvent& record) {
+  return Frame(RecordType::kShardDone, [&](Writer& w) {
+    w.I32(record.worker);
+    w.U64(record.iterations);
+    w.F64(record.final_percent);
+    w.U64(record.covered_points);
+    w.U64(record.queue_size);
+    w.U64(record.findings);
+    w.U64(record.corpus_imports);
+    w.U64(record.watchdog_restarts);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, ShardDoneEvent* out) {
+  Reader r = OpenFrame(data, size, RecordType::kShardDone);
+  out->worker = r.I32();
+  out->iterations = r.U64();
+  out->final_percent = r.F64();
+  out->covered_points = static_cast<size_t>(r.U64());
+  out->queue_size = r.U64();
+  out->findings = static_cast<size_t>(r.U64());
+  out->corpus_imports = r.U64();
+  out->watchdog_restarts = r.U64();
+  return r.Done();
+}
+
+Buffer Encode(const FinishEvent& record) {
+  return Frame(RecordType::kFinish, [&](Writer& w) {
+    w.I32(record.workers);
+    w.U64(record.epochs);
+    w.U64(record.iterations);
+    w.F64(record.final_percent);
+    w.U64(record.covered_points);
+    w.U64(record.total_points);
+    w.U64(record.findings);
+    w.U64(record.corpus_imports);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, FinishEvent* out) {
+  Reader r = OpenFrame(data, size, RecordType::kFinish);
+  out->workers = r.I32();
+  out->epochs = static_cast<size_t>(r.U64());
+  out->iterations = r.U64();
+  out->final_percent = r.F64();
+  out->covered_points = static_cast<size_t>(r.U64());
+  out->total_points = static_cast<size_t>(r.U64());
+  out->findings = static_cast<size_t>(r.U64());
+  out->corpus_imports = r.U64();
+  return r.Done();
+}
+
+bool PeekType(const uint8_t* data, size_t size, RecordType* out) {
+  if (data == nullptr || size < kHeaderSize) {
+    return false;
+  }
+  const uint8_t type = data[0];
+  if (type < static_cast<uint8_t>(RecordType::kShardDelta) ||
+      type > static_cast<uint8_t>(RecordType::kFinish)) {
+    return false;
+  }
+  *out = static_cast<RecordType>(type);
+  return true;
+}
+
+}  // namespace wire
+}  // namespace neco

@@ -1,0 +1,156 @@
+// Wire format for campaign records: the serialized shapes shards and the
+// merge pipeline exchange (src/core/merge_pipeline.h).
+//
+// Two families of records live here:
+//
+//  * The five observer event records (SampleEvent .. FinishEvent) — the
+//    streaming API of CampaignEngine (src/core/engine.h re-exports them).
+//  * ShardDelta — everything one shard learned during one epoch, as a
+//    self-contained record: new virgin-map bits, newly covered line ids,
+//    new queue entries, new findings. Shards communicate with the merge
+//    loop exclusively through these; nothing shares in-memory fuzzer
+//    state across threads.
+//
+// The binary encoding is versioned, length-prefixed, and endian-stable
+// (everything is serialized little-endian byte by byte, so records decode
+// identically across hosts). Frame layout:
+//
+//   [u8 record type][u8 version][u32 payload length][payload]
+//
+// Decode() is strict: a wrong type, unknown version, bad length, truncated
+// buffer, or out-of-range enum/count is rejected (returns false) without
+// reading out of bounds. This is the exact payload a process-level shard
+// ships over a pipe, so robustness against corrupt input is part of the
+// contract and is fuzz-tested in tests/wire_test.cc.
+#ifndef SRC_CORE_WIRE_H_
+#define SRC_CORE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/bitmap.h"
+#include "src/fuzz/mutator.h"
+#include "src/hv/sanitizer.h"
+
+namespace neco {
+
+// --- Observer event records ----------------------------------------------
+
+// One merged coverage sample (epoch boundary) — the streaming form of
+// CampaignResult::series.
+struct SampleEvent {
+  size_t epoch = 0;        // 0-based merge epoch.
+  uint64_t iteration = 0;  // Campaign-wide iterations completed.
+  double percent = 0.0;    // Merged coverage after this epoch.
+  size_t covered_points = 0;
+};
+
+// A finding entered the global deduplicated set for the first time.
+struct FindingEvent {
+  size_t epoch = 0;
+  int worker = 0;  // Shard whose report won the (deterministic) merge.
+  AnomalyReport report;
+};
+
+// One shard's corpus exchange at an epoch boundary. `published` counts
+// queue entries pushed to the shared pool at this merge; `imported` counts
+// pool entries the shard adopted since the previous merge.
+struct CorpusSyncEvent {
+  size_t epoch = 0;
+  int worker = 0;
+  uint64_t published = 0;
+  uint64_t imported = 0;
+};
+
+// A shard finished its budget (fired per worker, in worker-id order).
+struct ShardDoneEvent {
+  int worker = 0;
+  uint64_t iterations = 0;
+  double final_percent = 0.0;
+  size_t covered_points = 0;
+  uint64_t queue_size = 0;
+  size_t findings = 0;
+  uint64_t corpus_imports = 0;
+  uint64_t watchdog_restarts = 0;
+};
+
+// The campaign completed; the merged summary.
+struct FinishEvent {
+  int workers = 1;
+  size_t epochs = 0;
+  uint64_t iterations = 0;
+  double final_percent = 0.0;
+  size_t covered_points = 0;
+  size_t total_points = 0;
+  size_t findings = 0;
+  uint64_t corpus_imports = 0;
+};
+
+// --- ShardDelta ----------------------------------------------------------
+
+// Everything one shard learned during one epoch that the global merge
+// consumes. Folding every delta into the global view in (epoch, worker)
+// order reconstructs exactly the state the old stop-the-world barrier
+// merge produced. Crash *inputs* are deliberately not here: the merged
+// view only dedups findings by bug id, while reproduction inputs stay in
+// the shard's own result (per-worker crashes / the agent's CrashStore).
+struct ShardDelta {
+  int worker = 0;
+  uint64_t epoch = 0;       // The shard's 0-based epoch index.
+  uint64_t iterations = 0;  // Executions spent this epoch.
+  uint64_t imported = 0;    // Pool entries adopted at epoch start.
+  BitmapDelta virgin;       // Edges newly seen by this shard.
+  std::vector<uint32_t> covered_points;  // Line ids newly covered.
+  std::vector<FuzzInput> queue_entries;  // New discoveries, for the pool.
+  // New unique findings, sorted by bug id (merge dedup is first-wins in
+  // fold order, so the sort makes FindingEvent order deterministic).
+  std::vector<AnomalyReport> findings;
+};
+
+// --- Encode / decode -----------------------------------------------------
+
+namespace wire {
+
+inline constexpr uint8_t kVersion = 1;
+
+enum class RecordType : uint8_t {
+  kShardDelta = 1,
+  kSample = 2,
+  kFinding = 3,
+  kCorpusSync = 4,
+  kShardDone = 5,
+  kFinish = 6,
+};
+
+using Buffer = std::vector<uint8_t>;
+
+Buffer Encode(const ShardDelta& record);
+Buffer Encode(const SampleEvent& record);
+Buffer Encode(const FindingEvent& record);
+Buffer Encode(const CorpusSyncEvent& record);
+Buffer Encode(const ShardDoneEvent& record);
+Buffer Encode(const FinishEvent& record);
+
+// Strict decoding; `*out` is unspecified when false is returned.
+bool Decode(const uint8_t* data, size_t size, ShardDelta* out);
+bool Decode(const uint8_t* data, size_t size, SampleEvent* out);
+bool Decode(const uint8_t* data, size_t size, FindingEvent* out);
+bool Decode(const uint8_t* data, size_t size, CorpusSyncEvent* out);
+bool Decode(const uint8_t* data, size_t size, ShardDoneEvent* out);
+bool Decode(const uint8_t* data, size_t size, FinishEvent* out);
+
+template <typename Record>
+bool Decode(const Buffer& buffer, Record* out) {
+  return Decode(buffer.data(), buffer.size(), out);
+}
+
+// The record type of a framed buffer (for demultiplexing a stream);
+// returns false for anything shorter than a frame header.
+bool PeekType(const uint8_t* data, size_t size, RecordType* out);
+
+}  // namespace wire
+}  // namespace neco
+
+#endif  // SRC_CORE_WIRE_H_

@@ -9,8 +9,34 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 namespace neco {
+
+// Sparse difference between two coverage bitmaps: the cells whose bit set
+// grew, with the bits that appeared there. This is the unit shards ship to
+// the merge pipeline instead of whole 64 KiB virgin maps — applying every
+// delta a map ever produced reconstructs the map exactly (ApplyDelta is an
+// OR, so duplicated cells are harmless).
+struct BitmapDelta {
+  std::vector<uint32_t> cells;  // Parallel arrays: cell index ...
+  std::vector<uint8_t> bits;    // ... and the bits that appeared there.
+
+  bool empty() const { return cells.empty(); }
+  size_t size() const { return cells.size(); }
+
+  void Append(uint32_t cell, uint8_t grown) {
+    cells.push_back(cell);
+    bits.push_back(grown);
+  }
+
+  // Concatenates another delta (used to hand several epochs' global
+  // novelty to a shard in one feedback record).
+  void Append(const BitmapDelta& other) {
+    cells.insert(cells.end(), other.cells.begin(), other.cells.end());
+    bits.insert(bits.end(), other.bits.begin(), other.bits.end());
+  }
+};
 
 class CoverageBitmap {
  public:
@@ -57,6 +83,38 @@ class CoverageBitmap {
       }
     }
     return ret;
+  }
+
+  // Every cell whose bit set grew relative to `snapshot`, with the newly
+  // appearing bits; advances `snapshot` to match this map, so consecutive
+  // calls yield disjoint deltas.
+  BitmapDelta ExtractDeltaSince(CoverageBitmap& snapshot) const {
+    BitmapDelta delta;
+    for (size_t i = 0; i < kSize; ++i) {
+      const uint8_t grown =
+          static_cast<uint8_t>(map_[i] & ~snapshot.map_[i]);
+      if (grown != 0) {
+        delta.Append(static_cast<uint32_t>(i), grown);
+        snapshot.map_[i] |= grown;
+      }
+    }
+    return delta;
+  }
+
+  // Folds a delta in (the merge side of ExtractDeltaSince).
+  void ApplyDelta(const BitmapDelta& delta) {
+    for (size_t i = 0; i < delta.cells.size(); ++i) {
+      map_[delta.cells[i] % kSize] |= delta.bits[i];
+    }
+  }
+
+  // ORs `bits` into one cell, returning the bits that were new there (the
+  // merge pipeline uses this to record per-epoch global novelty).
+  uint8_t OrCell(size_t cell, uint8_t bits) {
+    uint8_t& v = map_[cell % kSize];
+    const uint8_t grown = static_cast<uint8_t>(bits & ~v);
+    v |= bits;
+    return grown;
   }
 
   size_t CountNonZero() const {

@@ -65,12 +65,23 @@ void Fuzzer::Run(uint64_t iterations) {
   }
 }
 
-std::vector<FuzzInput> Fuzzer::ExportCorpus(size_t from) const {
-  std::vector<FuzzInput> out;
-  for (size_t i = from; i < corpus_.size(); ++i) {
-    out.push_back(corpus_.at(i).input);
+FuzzerDelta Fuzzer::ExportDelta() {
+  FuzzerDelta delta;
+  delta.virgin = virgin_.ExtractDeltaSince(virgin_exported_);
+  for (size_t i = export_cursor_; i < corpus_.size(); ++i) {
+    delta.queue_entries.push_back(corpus_.at(i).input);
   }
-  return out;
+  export_cursor_ = corpus_.size();
+  delta.iterations = iterations_ - iterations_exported_;
+  iterations_exported_ = iterations_;
+  return delta;
+}
+
+void Fuzzer::ApplyVirginDelta(const BitmapDelta& delta) {
+  virgin_.ApplyDelta(delta);
+  // Absorbed bits count as already exported: they are not this shard's
+  // discoveries, so the next ExportDelta must not re-publish them.
+  virgin_exported_.ApplyDelta(delta);
 }
 
 bool Fuzzer::ImportCorpusEntry(const FuzzInput& input) {

@@ -49,6 +49,19 @@ struct FuzzerStats {
   uint64_t bitmap_edges = 0;
 };
 
+// One shard's per-epoch progress as a self-contained record (everything
+// since the previous export), the fuzz-layer half of the ShardDelta the
+// merge pipeline serializes (src/core/wire.h). Finding reports are not
+// here: the agent layer contributes those to the ShardDelta directly
+// (one execution can surface several anomalies but reports only the
+// first through ExecFeedback, so the agent's findings map — not the
+// crash list — is the complete per-shard set).
+struct FuzzerDelta {
+  BitmapDelta virgin;                    // Edges newly seen.
+  std::vector<FuzzInput> queue_entries;  // Discoveries past the cursor.
+  uint64_t iterations = 0;               // Executions spent.
+};
+
 class Fuzzer {
  public:
   Fuzzer(FuzzerOptions options, Executor executor);
@@ -65,20 +78,34 @@ class Fuzzer {
   const Corpus& corpus() const { return corpus_; }
   uint64_t iterations() const { return iterations_; }
 
-  // --- Cross-shard campaign hooks (src/core/parallel_campaign) ---
+  // --- Cross-shard campaign hooks (src/core/merge_pipeline) ---
+  //
+  // Shards communicate exclusively through self-contained delta records:
+  // instead of exposing the whole virgin map for a lock-step merge, the
+  // fuzzer exports what changed since the last export and absorbs other
+  // shards' novelty as deltas. See src/core/wire.h for the serialized
+  // form these feed into.
 
   // The accumulated seen-edges map (AFL "virgin" map, with seen bits set).
   const CoverageBitmap& virgin_map() const { return virgin_; }
 
-  // Marks edges another shard already saw as non-novel here, so syncing
-  // shards stop re-queueing each other's discoveries.
-  void MergeVirginFrom(const CoverageBitmap& other) {
-    other.MergeInto(virgin_);
-  }
+  // Everything this fuzzer learned since the previous ExportDelta() call:
+  // newly seen edges, queue entries discovered past the export cursor, and
+  // the iterations spent. Consecutive calls yield disjoint deltas;
+  // replaying every delta in order reconstructs the fuzzer's contribution
+  // exactly.
+  FuzzerDelta ExportDelta();
 
-  // Queue entries discovered at index >= `from`, for publishing to other
-  // shards. Pair with corpus().size() as the next cursor.
-  std::vector<FuzzInput> ExportCorpus(size_t from) const;
+  // Marks edges another shard (or the merged global view) already saw as
+  // non-novel here, so syncing shards stop re-queueing each other's
+  // discoveries. Absorbed bits are also excluded from future ExportDelta
+  // results — they are someone else's news.
+  void ApplyVirginDelta(const BitmapDelta& delta);
+
+  // Excludes the current queue contents (e.g. just-imported entries) from
+  // the next ExportDelta: re-publishing imports would bounce inputs
+  // between shards, duplicating traffic without bound.
+  void MarkQueueExported() { export_cursor_ = corpus_.size(); }
 
   // Adopts an input another shard found interesting, unless an identical
   // input is already queued here (every shard re-publishes to every other,
@@ -102,6 +129,10 @@ class Fuzzer {
   std::vector<std::pair<std::string, FuzzInput>> crashes_;
   std::unordered_set<std::string> seen_bug_ids_;
   uint64_t iterations_ = 0;
+  // ExportDelta cursor state: what the last export already shipped.
+  CoverageBitmap virgin_exported_;
+  size_t export_cursor_ = 0;
+  uint64_t iterations_exported_ = 0;
 };
 
 }  // namespace neco

@@ -14,6 +14,31 @@ std::vector<size_t> CoverageUnit::CoveredSet() const {
   return out;
 }
 
+std::vector<uint32_t> CoverageUnit::ExtractDeltaSince(
+    std::vector<uint8_t>& snapshot) const {
+  snapshot.resize(hits_.size(), 0);
+  std::vector<uint32_t> delta;
+  for (size_t i = 0; i < hits_.size(); ++i) {
+    if (hits_[i] != 0 && snapshot[i] == 0) {
+      delta.push_back(static_cast<uint32_t>(i));
+      snapshot[i] = 1;
+    }
+  }
+  return delta;
+}
+
+size_t CoverageUnit::ApplyDelta(const std::vector<uint32_t>& delta,
+                                std::vector<uint8_t>& covered) {
+  size_t newly_covered = 0;
+  for (uint32_t point : delta) {
+    if (point < covered.size() && covered[point] == 0) {
+      covered[point] = 1;
+      ++newly_covered;
+    }
+  }
+  return newly_covered;
+}
+
 std::vector<size_t> CoverageIntersect(const std::vector<size_t>& a,
                                       const std::vector<size_t>& b) {
   std::vector<size_t> out;

@@ -66,6 +66,19 @@ class CoverageUnit {
   // Set of covered point ids (for the A∩B / A−B rows of Tables 2 and 4).
   std::vector<size_t> CoveredSet() const;
 
+  // Point ids newly covered relative to `snapshot` (grown to total_points
+  // on first use); advances the snapshot so consecutive calls yield
+  // disjoint deltas. The covered-set half of the shard-delta protocol
+  // (src/core/wire.h): shipping these instead of the whole hits vector
+  // keeps per-epoch merge records proportional to actual progress.
+  std::vector<uint32_t> ExtractDeltaSince(std::vector<uint8_t>& snapshot) const;
+
+  // Folds a delta into a covered-set byte vector (the merge side of
+  // ExtractDeltaSince), returning how many points were newly covered;
+  // out-of-range points are ignored.
+  static size_t ApplyDelta(const std::vector<uint32_t>& delta,
+                           std::vector<uint8_t>& covered);
+
   // Raw hit vector for bitmap mapping by the fuzzing agent.
   const std::vector<uint8_t>& hits() const { return hits_; }
 

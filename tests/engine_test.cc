@@ -1,10 +1,13 @@
-// Tests for the CampaignEngine session API: registry round-trip
-// (register/list/construct), loud failure on unknown targets, observer
-// event-stream determinism, and engine-vs-legacy-wrapper equivalence at
-// workers=1 and workers=4.
+// Tests for the CampaignEngine session API and its delta-based merge
+// pipeline: registry round-trip (register/list/construct), loud failure
+// on unknown targets, observer event-stream determinism, barrier-era
+// golden event ordering at merge_batch=1, merge_batch invariance of
+// results and event sequences, and the observer exception guard.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -12,12 +15,8 @@
 #include <vector>
 
 #include "src/core/engine.h"
-#include "src/core/parallel_campaign.h"
 #include "src/hv/factory.h"
 #include "src/hv/sim_kvm/kvm.h"
-
-// The equivalence tests intentionally call the deprecated wrappers.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace neco {
 namespace {
@@ -140,48 +139,33 @@ TEST(HypervisorRegistryTest, UnknownTargetFailsLoudly) {
   }
 }
 
-TEST(CampaignEngineTest, MatchesLegacySerialWrapper) {
+TEST(CampaignEngineTest, FactoryWorkerMatchesBorrowedSerialSession) {
+  // A borrowed-target session is the historical serial campaign; a
+  // factory session at workers=1 must reproduce it bit for bit through
+  // the pipeline.
   const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 1);
 
   SimKvm kvm;
-  const CampaignResult legacy = RunCampaign(kvm, options);
+  const CampaignResult serial = CampaignEngine(kvm, options).Run().merged;
   const EngineResult engine = CampaignEngine("kvm", options).Run();
 
-  EXPECT_EQ(engine.merged.final_percent, legacy.final_percent);
-  EXPECT_EQ(engine.merged.covered_set, legacy.covered_set);
-  EXPECT_EQ(engine.merged.findings.size(), legacy.findings.size());
+  EXPECT_EQ(engine.merged.final_percent, serial.final_percent);
+  EXPECT_EQ(engine.merged.covered_set, serial.covered_set);
+  EXPECT_EQ(engine.merged.findings.size(), serial.findings.size());
   EXPECT_EQ(engine.merged.fuzzer_stats.iterations,
-            legacy.fuzzer_stats.iterations);
+            serial.fuzzer_stats.iterations);
   EXPECT_EQ(engine.merged.fuzzer_stats.queue_size,
-            legacy.fuzzer_stats.queue_size);
-  ASSERT_EQ(engine.merged.series.size(), legacy.series.size());
-  for (size_t i = 0; i < legacy.series.size(); ++i) {
+            serial.fuzzer_stats.queue_size);
+  ASSERT_EQ(engine.merged.series.size(), serial.series.size());
+  for (size_t i = 0; i < serial.series.size(); ++i) {
     EXPECT_DOUBLE_EQ(engine.merged.series[i].percent,
-                     legacy.series[i].percent);
-  }
-}
-
-TEST(CampaignEngineTest, MatchesLegacyParallelWrapper) {
-  const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 4);
-
-  const ParallelCampaignResult legacy =
-      RunParallelCampaign(MakeHypervisorFactory("kvm"), options);
-  const EngineResult engine = CampaignEngine("kvm", options).Run();
-
-  EXPECT_EQ(engine.merged.covered_set, legacy.merged.covered_set);
-  EXPECT_EQ(engine.merged.final_percent, legacy.merged.final_percent);
-  EXPECT_EQ(engine.merged.findings.size(), legacy.merged.findings.size());
-  EXPECT_EQ(engine.corpus_imports, legacy.corpus_imports);
-  ASSERT_EQ(engine.per_worker.size(), legacy.per_worker.size());
-  for (size_t w = 0; w < engine.per_worker.size(); ++w) {
-    EXPECT_EQ(engine.per_worker[w].covered_set,
-              legacy.per_worker[w].covered_set);
+                     serial.series[i].percent);
   }
 }
 
 TEST(CampaignEngineTest, BorrowedTargetAlwaysRunsOneInlineShard) {
   // A borrowed instance cannot shard; options.workers is ignored (the
-  // historical RunCampaign contract).
+  // historical serial-campaign contract).
   CampaignOptions options = SmallOptions(Arch::kIntel, 400, 4);
   SimKvm kvm;
   const EngineResult borrowed = CampaignEngine(kvm, options).Run();
@@ -248,6 +232,190 @@ TEST(CampaignObserverTest, SampleEventsMirrorTheMergedSeries) {
   EXPECT_EQ(observer.finish.covered_points, result.merged.covered_points);
   EXPECT_EQ(observer.finish.total_points, result.merged.total_points);
   EXPECT_EQ(observer.finish.findings, result.merged.findings.size());
+}
+
+// --- Delta pipeline vs the barrier era -----------------------------------
+
+// Integer-field event formatter: no doubles, so the log is stable across
+// platforms and safe to pin as a golden.
+class GoldenObserver : public CampaignObserver {
+ public:
+  void OnSample(const SampleEvent& e) override {
+    Line("sample epoch=%zu iter=%llu covered=%zu", e.epoch,
+         (unsigned long long)e.iteration, e.covered_points);
+  }
+  void OnFinding(const FindingEvent& e) override {
+    std::ostringstream s;
+    s << "finding epoch=" << e.epoch << " worker=" << e.worker
+      << " id=" << e.report.bug_id;
+    log.push_back(s.str());
+  }
+  void OnCorpusSync(const CorpusSyncEvent& e) override {
+    Line("sync epoch=%zu worker=%d published=%llu imported=%llu", e.epoch,
+         e.worker, (unsigned long long)e.published,
+         (unsigned long long)e.imported);
+  }
+  void OnShardDone(const ShardDoneEvent& e) override {
+    Line("shard worker=%d iters=%llu covered=%zu queue=%llu findings=%zu "
+         "imports=%llu",
+         e.worker, (unsigned long long)e.iterations, e.covered_points,
+         (unsigned long long)e.queue_size, e.findings,
+         (unsigned long long)e.corpus_imports);
+  }
+  void OnFinish(const FinishEvent& e) override {
+    Line("finish workers=%d epochs=%zu iters=%llu covered=%zu total=%zu "
+         "findings=%zu imports=%llu",
+         e.workers, e.epochs, (unsigned long long)e.iterations,
+         e.covered_points, e.total_points, e.findings,
+         (unsigned long long)e.corpus_imports);
+  }
+
+  std::vector<std::string> log;
+
+ private:
+  void Line(const char* fmt, ...) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    log.push_back(buf);
+  }
+};
+
+TEST(MergePipelineGoldenTest, BarrierEraOrderingReproducedAtMergeBatch1) {
+  // This exact event sequence was captured from the PR 2 engine — the
+  // stop-the-world barrier implementation — for (kvm, AMD, 900
+  // iterations, 3 samples, seed 7, 3 workers, guided). The delta
+  // pipeline at merge_batch=1 must reproduce it verbatim: same epochs,
+  // same worker order within an epoch, same sync/finding interleaving,
+  // same merged counters.
+  const std::vector<std::string> kBarrierEraGolden = {
+      "sync epoch=0 worker=0 published=23 imported=0",
+      "sync epoch=0 worker=1 published=30 imported=0",
+      "finding epoch=0 worker=1 id=kvm-nsvm-dummy-root",
+      "sync epoch=0 worker=2 published=28 imported=0",
+      "sample epoch=0 iter=300 covered=94",
+      "sync epoch=1 worker=0 published=1 imported=58",
+      "sync epoch=1 worker=1 published=1 imported=51",
+      "sync epoch=1 worker=2 published=0 imported=53",
+      "sample epoch=1 iter=600 covered=95",
+      "sync epoch=2 worker=0 published=0 imported=1",
+      "sync epoch=2 worker=1 published=0 imported=1",
+      "sync epoch=2 worker=2 published=0 imported=2",
+      "sample epoch=2 iter=900 covered=95",
+      "shard worker=0 iters=300 covered=94 queue=83 findings=1 imports=59",
+      "shard worker=1 iters=300 covered=95 queue=83 findings=1 imports=52",
+      "shard worker=2 iters=300 covered=95 queue=83 findings=1 imports=55",
+      "finish workers=3 epochs=3 iters=900 covered=95 total=118 findings=1 "
+      "imports=166",
+  };
+
+  CampaignOptions options;
+  options.arch = Arch::kAmd;
+  options.iterations = 900;
+  options.samples = 3;
+  options.seed = 7;
+  options.workers = 3;
+  options.merge_batch = 1;
+  options.fuzzer.coverage_guidance = true;
+
+  GoldenObserver observer;
+  CampaignEngine("kvm", options).AddObserver(&observer).Run();
+  EXPECT_EQ(observer.log, kBarrierEraGolden);
+}
+
+TEST(MergePipelineDeterminismTest, MergeBatchChangesNeitherResultsNorEvents) {
+  // merge_batch only controls how many queued deltas one drainer flush
+  // folds; the fold order is fixed, so merged coverage, findings, and the
+  // whole observer event sequence must be identical at workers=4.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1600, 4);
+  options.fuzzer.coverage_guidance = true;
+
+  options.merge_batch = 1;
+  RecordingObserver barrier_cadence;
+  const EngineResult a =
+      CampaignEngine("kvm", options).AddObserver(&barrier_cadence).Run();
+
+  options.merge_batch = 5;
+  RecordingObserver batched;
+  const EngineResult b =
+      CampaignEngine("kvm", options).AddObserver(&batched).Run();
+
+  EXPECT_EQ(a.merged.covered_set, b.merged.covered_set);
+  EXPECT_EQ(a.merged.final_percent, b.merged.final_percent);
+  EXPECT_EQ(a.merged.fuzzer_stats.bitmap_edges,
+            b.merged.fuzzer_stats.bitmap_edges);
+  EXPECT_EQ(a.corpus_imports, b.corpus_imports);
+  ASSERT_EQ(a.merged.findings.size(), b.merged.findings.size());
+  for (size_t i = 0; i < a.merged.findings.size(); ++i) {
+    EXPECT_EQ(a.merged.findings[i].bug_id, b.merged.findings[i].bug_id);
+  }
+  ASSERT_EQ(a.per_worker.size(), b.per_worker.size());
+  for (size_t w = 0; w < a.per_worker.size(); ++w) {
+    EXPECT_EQ(a.per_worker[w].covered_set, b.per_worker[w].covered_set);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.queue_size,
+              b.per_worker[w].fuzzer_stats.queue_size);
+  }
+  ASSERT_FALSE(barrier_cadence.log.empty());
+  EXPECT_EQ(barrier_cadence.log, batched.log);
+}
+
+TEST(MergePipelineStatsTest, PipelineCountersAreReported) {
+  CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+  options.merge_batch = 4;
+  const EngineResult result = CampaignEngine("kvm", options).Run();
+
+  // One delta per worker per epoch, empty trailing epochs included.
+  const size_t epochs = result.merged.series.size();
+  EXPECT_EQ(result.pipeline.deltas, 2u * epochs);
+  EXPECT_GT(result.pipeline.delta_bytes, 0u);
+  EXPECT_GT(result.pipeline.flushes, 0u);
+  EXPECT_LE(result.pipeline.flushes, result.pipeline.deltas);
+  EXPECT_GE(result.pipeline.max_queue_depth, 1u);
+  EXPECT_GE(result.pipeline.avg_queue_depth, 0.0);
+  // Breadth-first mode has no corpus to exchange, so shards are fully
+  // decoupled: the feedback wait site is never entered.
+  EXPECT_EQ(result.pipeline.feedback_wait_seconds, 0.0);
+}
+
+// --- Observer exception guard --------------------------------------------
+
+TEST(CampaignObserverTest, ThrowingObserverIsRecordedAndRethrownAfterJoin) {
+  // A throwing callback used to terminate the process via the std::thread
+  // entry (documented hazard of the barrier engine). Now every dispatch
+  // is guarded: the campaign runs to completion, later observers still
+  // receive the full stream, and Run() rethrows the first exception after
+  // all shards joined.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+
+  RecordingObserver reference;
+  CampaignEngine("kvm", options).AddObserver(&reference).Run();
+  ASSERT_FALSE(reference.log.empty());
+
+  class ThrowingObserver : public CampaignObserver {
+   public:
+    void OnSample(const SampleEvent&) override {
+      ++throws;
+      throw std::runtime_error("observer failed on purpose");
+    }
+    int throws = 0;
+  } thrower;
+
+  RecordingObserver bystander;
+  CampaignEngine engine("kvm", options);
+  engine.AddObserver(&thrower).AddObserver(&bystander);
+  try {
+    engine.Run();
+    FAIL() << "expected the observer exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "observer failed on purpose");
+  }
+  // The campaign was not cut short: every sample fired (and threw), and
+  // the well-behaved observer saw the same stream as a clean run.
+  EXPECT_GT(thrower.throws, 1);
+  EXPECT_EQ(bystander.log, reference.log);
 }
 
 }  // namespace

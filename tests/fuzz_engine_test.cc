@@ -211,6 +211,113 @@ TEST(FuzzerTest, DeterministicForSeed) {
   EXPECT_NE(run(11), run(12));
 }
 
+TEST(BitmapTest, ExtractDeltaSinceYieldsDisjointDeltasThatRebuildTheMap) {
+  CoverageBitmap map;
+  CoverageBitmap snapshot;
+  map.Add(3);
+  map.Add(90000);  // Wraps modulo 64 KiB.
+  map.ClassifyCounts();
+
+  const BitmapDelta first = map.ExtractDeltaSince(snapshot);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first.cells[0], 3u);
+  EXPECT_EQ(first.cells[1], 90000u % CoverageBitmap::kSize);
+  // Nothing changed: the next delta is empty (the snapshot advanced).
+  EXPECT_TRUE(map.ExtractDeltaSince(snapshot).empty());
+
+  // A new hit-count bucket on a known cell is a one-cell delta carrying
+  // only the new bit.
+  CoverageBitmap more;
+  for (int i = 0; i < 5; ++i) {
+    more.Add(3);
+  }
+  more.ClassifyCounts();
+  more.MergeInto(map);
+  const BitmapDelta second = map.ExtractDeltaSince(snapshot);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second.cells[0], 3u);
+  EXPECT_EQ(second.bits[0], map.at(3) & ~first.bits[0]);
+
+  // Replaying every delta reconstructs the map exactly.
+  CoverageBitmap rebuilt;
+  rebuilt.ApplyDelta(first);
+  rebuilt.ApplyDelta(second);
+  for (size_t i = 0; i < CoverageBitmap::kSize; ++i) {
+    ASSERT_EQ(rebuilt.at(i), map.at(i)) << "cell " << i;
+  }
+}
+
+TEST(FuzzerTest, ExportDeltaIsDisjointAndComplete) {
+  uint32_t next_edge = 0;
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  Fuzzer fuzzer(options, [&](const FuzzInput&) {
+    ExecFeedback fb;
+    fb.edges = {next_edge++ % 10};  // 10 distinct edges then repeats.
+    return fb;
+  });
+
+  fuzzer.Run(10);
+  FuzzerDelta first = fuzzer.ExportDelta();
+  EXPECT_EQ(first.iterations, 10u);
+  EXPECT_EQ(first.virgin.size(), 10u);
+  EXPECT_EQ(first.queue_entries.size(), fuzzer.corpus().size());
+
+  // No executions since the export: everything is empty.
+  FuzzerDelta idle = fuzzer.ExportDelta();
+  EXPECT_EQ(idle.iterations, 0u);
+  EXPECT_TRUE(idle.virgin.empty());
+  EXPECT_TRUE(idle.queue_entries.empty());
+
+  // Re-running the same edges adds hit-count buckets at most; the next
+  // delta carries only what is new since the first export.
+  fuzzer.Run(10);
+  FuzzerDelta second = fuzzer.ExportDelta();
+  EXPECT_EQ(second.iterations, 10u);
+  for (size_t i = 0; i < second.virgin.size(); ++i) {
+    EXPECT_NE(second.virgin.bits[i], 0);
+  }
+  // Deltas are disjoint: applying them in order rebuilds the virgin map.
+  CoverageBitmap rebuilt;
+  rebuilt.ApplyDelta(first.virgin);
+  rebuilt.ApplyDelta(second.virgin);
+  EXPECT_EQ(rebuilt.CountNonZero(), fuzzer.virgin_map().CountNonZero());
+}
+
+TEST(FuzzerTest, AppliedVirginDeltaIsNeitherNovelNorReExported) {
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  uint32_t planned_edge = 42;
+  Fuzzer fuzzer(options, [&](const FuzzInput&) {
+    ExecFeedback fb;
+    fb.edges = {planned_edge};
+    return fb;
+  });
+
+  // Another shard already saw edge 42 with hit-count bucket 1.
+  BitmapDelta foreign;
+  foreign.Append(42, 1 << 0);
+  fuzzer.ApplyVirginDelta(foreign);
+
+  fuzzer.Run(1);
+  // The edge was not novel, so nothing joined the queue...
+  EXPECT_EQ(fuzzer.stats().queue_size, 0u);
+  // ...and the absorbed foreign bits are not re-exported as our news.
+  EXPECT_TRUE(fuzzer.ExportDelta().virgin.empty());
+}
+
+TEST(FuzzerTest, MarkQueueExportedSkipsImportsAtTheNextExport) {
+  FuzzerOptions options;
+  options.coverage_guidance = true;
+  Fuzzer fuzzer(options, [](const FuzzInput&) { return ExecFeedback{}; });
+
+  ASSERT_TRUE(fuzzer.ImportCorpusEntry(FuzzInput(kFuzzInputSize, 0x11)));
+  ASSERT_TRUE(fuzzer.ImportCorpusEntry(FuzzInput(kFuzzInputSize, 0x22)));
+  fuzzer.MarkQueueExported();
+  // Imports must not bounce back out through the next delta.
+  EXPECT_TRUE(fuzzer.ExportDelta().queue_entries.empty());
+}
+
 TEST(InputTest, MakeRandomInputHasFullSizeAndEntropy) {
   Rng rng(1);
   const FuzzInput input = MakeRandomInput(rng);

@@ -1,0 +1,278 @@
+// Unit tests for the delta merge pipeline (src/core/merge_pipeline.h),
+// exercised directly with synthetic wire-encoded ShardDeltas: epoch
+// finalization from out-of-order arrivals, deterministic (epoch, worker)
+// fold order, first-wins finding dedup, feedback snapshots, merge_batch
+// invariance, queue backpressure, abort semantics, and corrupt-delta
+// rejection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/merge_pipeline.h"
+#include "src/core/wire.h"
+
+namespace neco {
+namespace {
+
+class LogObserver : public CampaignObserver {
+ public:
+  void OnSample(const SampleEvent& event) override {
+    std::ostringstream line;
+    line << "sample epoch=" << event.epoch << " iter=" << event.iteration
+         << " covered=" << event.covered_points;
+    log.push_back(line.str());
+  }
+  void OnFinding(const FindingEvent& event) override {
+    std::ostringstream line;
+    line << "finding epoch=" << event.epoch << " worker=" << event.worker
+         << " id=" << event.report.bug_id;
+    log.push_back(line.str());
+  }
+  void OnCorpusSync(const CorpusSyncEvent& event) override {
+    std::ostringstream line;
+    line << "sync epoch=" << event.epoch << " worker=" << event.worker
+         << " published=" << event.published
+         << " imported=" << event.imported;
+    log.push_back(line.str());
+  }
+  std::vector<std::string> log;
+};
+
+ShardDelta MakeDelta(int worker, uint64_t epoch, uint64_t iterations) {
+  ShardDelta delta;
+  delta.worker = worker;
+  delta.epoch = epoch;
+  delta.iterations = iterations;
+  return delta;
+}
+
+FuzzInput MakeInput(uint8_t fill) { return FuzzInput(kFuzzInputSize, fill); }
+
+// Two workers, two epochs: worker 1 covers points {1,2} and finds "bug-x"
+// in epoch 0; worker 0 covers {2,3} and finds the same "bug-x" plus
+// "bug-a" in epoch 0; epoch 1 adds worker 1's queue entry.
+std::vector<wire::Buffer> CannedDeltas() {
+  std::vector<wire::Buffer> out;
+  ShardDelta w0e0 = MakeDelta(0, 0, 10);
+  w0e0.virgin.Append(7, 0x01);
+  w0e0.covered_points = {2, 3};
+  w0e0.findings = {{AnomalyKind::kUbsan, "bug-a", "m"},
+                   {AnomalyKind::kKasan, "bug-x", "from w0"}};
+  ShardDelta w1e0 = MakeDelta(1, 0, 10);
+  w1e0.virgin.Append(7, 0x03);  // Overlapping cell, one extra bit.
+  w1e0.covered_points = {1, 2};
+  w1e0.findings = {{AnomalyKind::kKasan, "bug-x", "from w1"}};
+  ShardDelta w0e1 = MakeDelta(0, 1, 10);
+  ShardDelta w1e1 = MakeDelta(1, 1, 10);
+  w1e1.queue_entries = {MakeInput(0x11)};
+  w1e1.imported = 0;
+  out.push_back(wire::Encode(w0e0));
+  out.push_back(wire::Encode(w1e0));
+  out.push_back(wire::Encode(w0e1));
+  out.push_back(wire::Encode(w1e1));
+  return out;
+}
+
+MergePipelineOptions TwoWorkerOptions(int merge_batch = 1) {
+  MergePipelineOptions options;
+  options.workers = 2;
+  options.epochs = 2;
+  options.total_points = 8;
+  options.merge_batch = merge_batch;
+  options.queue_capacity = 16;
+  return options;
+}
+
+TEST(MergePipelineTest, OutOfOrderArrivalsFoldInEpochWorkerOrder) {
+  // Publish everything backwards — latest epoch first, worker 1 before
+  // worker 0 — then drain. The fold must still happen in (epoch, worker)
+  // order: "bug-x" is credited to worker 0 (first in fold order), never
+  // to worker 1, and the samples are cumulative.
+  LogObserver observer;
+  MergePipeline pipeline(TwoWorkerOptions(), {&observer});
+  std::vector<wire::Buffer> deltas = CannedDeltas();
+  for (size_t i = deltas.size(); i > 0; --i) {
+    ASSERT_TRUE(pipeline.Publish(std::move(deltas[i - 1])));
+  }
+  pipeline.RunMergeLoop();
+
+  const std::vector<std::string> expected = {
+      "finding epoch=0 worker=0 id=bug-a",
+      "finding epoch=0 worker=0 id=bug-x",
+      "sample epoch=0 iter=20 covered=3",
+      "sync epoch=1 worker=1 published=1 imported=0",
+      "sample epoch=1 iter=40 covered=3",
+  };
+  EXPECT_EQ(observer.log, expected);
+  EXPECT_EQ(pipeline.finalized_epochs(), 2u);
+  EXPECT_EQ(pipeline.covered_points(), 3u);
+  EXPECT_EQ(pipeline.virgin().at(7), 0x03);
+  ASSERT_EQ(pipeline.findings().count("bug-x"), 1u);
+  // First-wins dedup kept worker 0's report.
+  EXPECT_EQ(pipeline.findings().at("bug-x").message, "from w0");
+  ASSERT_EQ(pipeline.series().size(), 2u);
+  EXPECT_EQ(pipeline.series()[0].iteration, 20u);
+  EXPECT_EQ(pipeline.series()[1].iteration, 40u);
+}
+
+TEST(MergePipelineTest, MergeBatchDoesNotChangeTheEventSequence) {
+  std::vector<std::string> logs[2];
+  const int batches[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    LogObserver observer;
+    MergePipeline pipeline(TwoWorkerOptions(batches[i]), {&observer});
+    for (wire::Buffer& delta : CannedDeltas()) {
+      ASSERT_TRUE(pipeline.Publish(std::move(delta)));
+    }
+    pipeline.RunMergeLoop();
+    logs[i] = observer.log;
+  }
+  ASSERT_FALSE(logs[0].empty());
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(MergePipelineTest, FeedbackIsSnapshottedAtTheRequestedEpoch) {
+  // The pool boundary and virgin novelty handed to a worker asking for
+  // "through epoch 0" must not include epoch 1's fold, even though the
+  // drainer has long finished both epochs.
+  MergePipeline pipeline(TwoWorkerOptions(), {});
+  ShardDelta w0e0 = MakeDelta(0, 0, 10);
+  w0e0.queue_entries = {MakeInput(0xAA)};
+  w0e0.virgin.Append(3, 0x01);
+  ShardDelta w1e0 = MakeDelta(1, 0, 10);
+  ShardDelta w0e1 = MakeDelta(0, 1, 10);
+  w0e1.queue_entries = {MakeInput(0xBB)};
+  w0e1.virgin.Append(4, 0x01);
+  ShardDelta w1e1 = MakeDelta(1, 1, 10);
+  for (const ShardDelta* delta : {&w0e0, &w1e0, &w0e1, &w1e1}) {
+    ASSERT_TRUE(pipeline.Publish(wire::Encode(*delta)));
+  }
+  pipeline.RunMergeLoop();
+  ASSERT_EQ(pipeline.finalized_epochs(), 2u);
+
+  MergePipeline::Feedback feedback;
+  // Worker 1 asks for epoch 0 only: sees w0's first entry, not the
+  // second, and only epoch 0's novelty.
+  ASSERT_TRUE(pipeline.WaitForFeedback(0, 1, &feedback));
+  ASSERT_EQ(feedback.pool_entries.size(), 1u);
+  EXPECT_EQ(feedback.pool_entries[0][0], 0xAA);
+  ASSERT_EQ(feedback.virgin.size(), 1u);
+  EXPECT_EQ(feedback.virgin.cells[0], 3u);
+
+  // The next request (through epoch 1) hands over only the increment.
+  ASSERT_TRUE(pipeline.WaitForFeedback(1, 1, &feedback));
+  ASSERT_EQ(feedback.pool_entries.size(), 1u);
+  EXPECT_EQ(feedback.pool_entries[0][0], 0xBB);
+  ASSERT_EQ(feedback.virgin.size(), 1u);
+  EXPECT_EQ(feedback.virgin.cells[0], 4u);
+
+  // A worker never receives its own publications.
+  MergePipeline::Feedback own;
+  ASSERT_TRUE(pipeline.WaitForFeedback(1, 0, &own));
+  EXPECT_TRUE(own.pool_entries.empty());
+}
+
+TEST(MergePipelineTest, PublishBlocksAtCapacityUntilAborted) {
+  MergePipelineOptions options = TwoWorkerOptions();
+  options.queue_capacity = 2;
+  MergePipeline pipeline(options, {});
+  ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+  ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(1, 0, 1))));
+
+  std::atomic<bool> returned{false};
+  std::atomic<bool> result{true};
+  std::thread publisher([&] {
+    result = pipeline.Publish(wire::Encode(MakeDelta(0, 1, 1)));
+    returned = true;
+  });
+  // With no drainer the third publish must block on the full queue...
+  for (int i = 0; i < 100 && pipeline.stats().publish_blocks == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(pipeline.stats().publish_blocks, 1u);
+  EXPECT_FALSE(returned);
+  // ...until Abort unblocks it with a false return.
+  pipeline.Abort();
+  publisher.join();
+  EXPECT_TRUE(returned);
+  EXPECT_FALSE(result);
+}
+
+TEST(MergePipelineTest, AbortUnblocksFeedbackWaiters) {
+  MergePipeline pipeline(TwoWorkerOptions(), {});
+  std::atomic<bool> result{true};
+  std::thread waiter([&] {
+    MergePipeline::Feedback feedback;
+    result = pipeline.WaitForFeedback(0, 1, &feedback);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pipeline.Abort();
+  waiter.join();
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(pipeline.aborted());
+}
+
+TEST(MergePipelineTest, CorruptAndImpossibleDeltasThrow) {
+  {
+    MergePipeline pipeline(TwoWorkerOptions(), {});
+    ASSERT_TRUE(pipeline.Publish({0xDE, 0xAD, 0xBE, 0xEF}));
+    EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
+  }
+  {
+    // A structurally valid delta for a shard the pipeline does not have.
+    MergePipeline pipeline(TwoWorkerOptions(), {});
+    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(5, 0, 1))));
+    EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
+  }
+  {
+    // Two deltas from the same shard for the same epoch.
+    MergePipeline pipeline(TwoWorkerOptions(), {});
+    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+    EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
+  }
+}
+
+TEST(MergePipelineTest, DrainerRunsConcurrentlyWithPublishers) {
+  // End-to-end MPSC shape: two producer threads, the drainer on a third,
+  // a capacity small enough to force real backpressure.
+  MergePipelineOptions options = TwoWorkerOptions();
+  options.epochs = 50;
+  options.queue_capacity = 3;
+  LogObserver observer;
+  MergePipeline pipeline(options, {&observer});
+
+  std::thread drainer([&] { pipeline.RunMergeLoop(); });
+  std::vector<std::thread> producers;
+  for (int w = 0; w < 2; ++w) {
+    producers.emplace_back([&, w] {
+      for (uint64_t epoch = 0; epoch < 50; ++epoch) {
+        ShardDelta delta = MakeDelta(w, epoch, 5);
+        delta.covered_points = {static_cast<uint32_t>(epoch % 8)};
+        ASSERT_TRUE(pipeline.Publish(wire::Encode(delta)));
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  drainer.join();
+
+  EXPECT_EQ(pipeline.finalized_epochs(), 50u);
+  EXPECT_EQ(pipeline.series().size(), 50u);
+  EXPECT_EQ(pipeline.series().back().iteration, 500u);
+  EXPECT_EQ(pipeline.covered_points(), 8u);
+  const MergePipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.deltas, 100u);
+  EXPECT_LE(stats.max_queue_depth, 3u);
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,20 +1,19 @@
-// Tests for sharded campaign execution through CampaignEngine: serial
-// equivalence at workers=1 (against the deprecated serial wrapper, the
-// historical reference), same-seed determinism at a fixed worker count,
-// merged coverage as a superset of every shard's coverage, and
-// cross-shard anomaly dedup.
+// Tests for sharded campaign execution through CampaignEngine's delta
+// merge pipeline: serial equivalence at workers=1 (against a
+// borrowed-target session, the historical serial reference), same-seed
+// determinism at a fixed worker count, merged coverage as a superset of
+// every shard's coverage, and cross-shard anomaly dedup.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <string>
 
 #include "src/core/engine.h"
-#include "src/core/parallel_campaign.h"
 #include "src/hv/factory.h"
 #include "src/hv/sim_kvm/kvm.h"
 
-// This suite deliberately exercises the deprecated pre-engine entry points
-// to pin their wrapper behaviour.
+// MakeHypervisorFactory below deliberately exercises the deprecated
+// pre-registry lookup to pin its alias/unknown-name contract.
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace neco {
@@ -49,13 +48,13 @@ TEST(HypervisorFactoryTest, KnownNamesBuildIsolatedInstances) {
   EXPECT_FALSE(MakeHypervisorFactory("hyper-v"));
 }
 
-TEST(ParallelCampaignTest, SingleWorkerReproducesSerialCampaign) {
+TEST(ShardedCampaignTest, SingleWorkerReproducesSerialCampaign) {
   const CampaignOptions options = SmallOptions(Arch::kIntel, 800, 1);
 
-  // The deprecated serial wrapper is the historical reference the engine
-  // must reproduce bit for bit at workers=1.
+  // A borrowed-target session is the historical serial campaign the
+  // sharded engine must reproduce bit for bit at workers=1.
   SimKvm kvm;
-  const CampaignResult serial = RunCampaign(kvm, options);
+  const CampaignResult serial = CampaignEngine(kvm, options).Run().merged;
   const EngineResult parallel = CampaignEngine("kvm", options).Run();
 
   EXPECT_EQ(parallel.merged.final_percent, serial.final_percent);
@@ -79,7 +78,7 @@ TEST(ParallelCampaignTest, SingleWorkerReproducesSerialCampaign) {
   EXPECT_EQ(parallel.corpus_imports, 0u);
 }
 
-TEST(ParallelCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
+TEST(ShardedCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
   const CampaignOptions options = SmallOptions(Arch::kIntel, 600, 3);
   CampaignEngine engine("kvm", options);
 
@@ -102,7 +101,7 @@ TEST(ParallelCampaignTest, SameSeedSameWorkerCountIsDeterministic) {
   }
 }
 
-TEST(ParallelCampaignTest, MergedCoverageIsSupersetOfEveryWorker) {
+TEST(ShardedCampaignTest, MergedCoverageIsSupersetOfEveryWorker) {
   const CampaignOptions options = SmallOptions(Arch::kAmd, 800, 4);
   const EngineResult result = CampaignEngine("kvm", options).Run();
 
@@ -120,7 +119,7 @@ TEST(ParallelCampaignTest, MergedCoverageIsSupersetOfEveryWorker) {
   EXPECT_EQ(result.merged.fuzzer_stats.iterations, options.iterations);
 }
 
-TEST(ParallelCampaignTest, NoDuplicateAnomalyIdsAfterMerge) {
+TEST(ShardedCampaignTest, NoDuplicateAnomalyIdsAfterMerge) {
   // AMD KVM surfaces anomalies quickly; run enough iterations that
   // several shards rediscover the same bugs.
   CampaignOptions options = SmallOptions(Arch::kAmd, 4000, 4);
@@ -140,7 +139,7 @@ TEST(ParallelCampaignTest, NoDuplicateAnomalyIdsAfterMerge) {
   }
 }
 
-TEST(ParallelCampaignTest, FourWorkersMatchSerialCoverageAtEqualBudget) {
+TEST(ShardedCampaignTest, FourWorkersMatchSerialCoverageAtEqualBudget) {
   // Acceptance criterion: at an equal total iteration budget, the merged
   // 4-worker coverage on SimKvm is at least the serial final coverage.
   CampaignOptions options = SmallOptions(Arch::kIntel, 2000, 1);
@@ -152,7 +151,7 @@ TEST(ParallelCampaignTest, FourWorkersMatchSerialCoverageAtEqualBudget) {
   EXPECT_GE(parallel.merged.final_percent, serial.merged.final_percent);
 }
 
-TEST(ParallelCampaignTest, CorpusSyncSharesEntriesInGuidedMode) {
+TEST(ShardedCampaignTest, CorpusSyncSharesEntriesInGuidedMode) {
   CampaignOptions options = SmallOptions(Arch::kIntel, 1200, 3);
   options.fuzzer.coverage_guidance = true;
   const EngineResult with_sync = CampaignEngine("kvm", options).Run();
@@ -163,7 +162,7 @@ TEST(ParallelCampaignTest, CorpusSyncSharesEntriesInGuidedMode) {
   EXPECT_EQ(without_sync.corpus_imports, 0u);
 }
 
-TEST(ParallelCampaignTest, CorpusSyncDedupKeepsQueueSizesAtParity) {
+TEST(ShardedCampaignTest, CorpusSyncDedupKeepsQueueSizesAtParity) {
   // Corpus dedup on import (ROADMAP): with sync active, an entry
   // re-published by every shard joins each importing queue at most once,
   // so no shard's queue can exceed the campaign-wide number of distinct
