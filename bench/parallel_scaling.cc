@@ -2,9 +2,17 @@
 // sharded engine at 1/2/4/8 workers against SimKvm, at a fixed total
 // iteration budget (pFSCK-style worker scaling of the checking loop).
 //
+// `--transport={inproc,process}` picks the shard transport: thread shards
+// over the in-proc queue (default), or fork/exec'd process shards over
+// pipes — this binary registers the hidden --necofuzz-shard-child
+// entrypoint, so process mode spawns real exec'd children of this
+// executable. Results are identical across transports by construction;
+// the per-transport columns (wire bytes moved, queue depth, wait time)
+// show what the medium costs.
+//
 // Three sections:
 //  * NecoFuzz's default breadth-first mode (no corpus, so no cross-shard
-//    syncing and no feedback waits — shards only meet in the pipeline),
+//    syncing and no feedback frames — shards only meet in the pipeline),
 //  * guided mode where shards exchange queue entries at every sample
 //    boundary (the "imports" column),
 //  * the merge-pipeline mode: a merge_batch sweep at a fixed worker
@@ -17,6 +25,7 @@
 // path under optimization in seconds.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -27,6 +36,7 @@ namespace neco {
 namespace {
 
 uint64_t g_budget = 20000;
+ShardMode g_shard_mode = ShardMode::kThreads;
 
 CampaignOptions BaseOptions(int workers, bool coverage_guidance) {
   CampaignOptions options;
@@ -36,7 +46,22 @@ CampaignOptions BaseOptions(int workers, bool coverage_guidance) {
   options.seed = 1;
   options.workers = workers;
   options.fuzzer.coverage_guidance = coverage_guidance;
+  options.shard_mode = g_shard_mode;
+  if (g_shard_mode == ShardMode::kProcesses) {
+    // Exercise the full fork/exec path: children are fresh processes of
+    // this binary entering through MaybeRunShardChild.
+    options.shard_exec_path = "/proc/self/exe";
+  }
   return options;
+}
+
+double TransportWaitSeconds(const EngineResult& result) {
+  return result.transport.publish_wait_seconds +
+         result.pipeline.feedback_wait_seconds;
+}
+
+uint64_t TransportWireBytes(const EngineResult& result) {
+  return result.transport.delta_bytes + result.transport.feedback_bytes;
 }
 
 void RunAt(int workers, bool coverage_guidance) {
@@ -49,22 +74,21 @@ void RunAt(int workers, bool coverage_guidance) {
           .count();
 
   std::printf(
-      "  %7d %12.0f %9.2f%% %9zu %10llu %8llu %7zu %8.3f\n", workers,
+      "  %7d %12.0f %9.2f%% %9zu %10llu %8llu %8.1f %7zu %8.3f\n", workers,
       secs > 0 ? static_cast<double>(g_budget) / secs : 0.0,
       result.merged.final_percent, result.merged.covered_points,
       static_cast<unsigned long long>(result.merged.findings.size()),
       static_cast<unsigned long long>(result.corpus_imports),
-      result.pipeline.max_queue_depth,
-      result.pipeline.publish_wait_seconds +
-          result.pipeline.feedback_wait_seconds);
+      static_cast<double>(TransportWireBytes(result)) / 1024.0,
+      result.transport.max_queue_depth, TransportWaitSeconds(result));
 }
 
 void RunSection(const char* title, bool coverage_guidance,
                 const std::vector<int>& worker_counts) {
   std::printf("\n%s\n", title);
-  std::printf("  %7s %12s %10s %9s %10s %8s %7s %8s\n", "workers",
+  std::printf("  %7s %12s %10s %9s %10s %8s %8s %7s %8s\n", "workers",
               "iters/sec", "coverage", "#lines", "findings", "imports",
-              "qmax", "idle_s");
+              "wire_kb", "qmax", "idle_s");
   for (int workers : worker_counts) {
     RunAt(workers, coverage_guidance);
   }
@@ -79,24 +103,25 @@ void RunMergeBatch(int workers, int merge_batch) {
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  const MergePipelineStats& p = result.pipeline;
+  const TransportStats& t = result.transport;
 
   std::printf(
-      "  %7d %12.0f %8llu %8llu %7zu %7.2f %9.3f %9.3f %9.2f%%\n",
+      "  %7d %12.0f %8llu %8llu %8.1f %7zu %7.2f %9.3f %9.3f %9.2f%%\n",
       merge_batch, secs > 0 ? static_cast<double>(g_budget) / secs : 0.0,
-      static_cast<unsigned long long>(p.deltas),
-      static_cast<unsigned long long>(p.flushes), p.max_queue_depth,
-      p.avg_queue_depth, p.publish_wait_seconds, p.feedback_wait_seconds,
-      result.merged.final_percent);
+      static_cast<unsigned long long>(t.deltas),
+      static_cast<unsigned long long>(result.pipeline.flushes),
+      static_cast<double>(TransportWireBytes(result)) / 1024.0,
+      t.max_queue_depth, t.avg_queue_depth, t.publish_wait_seconds,
+      result.pipeline.feedback_wait_seconds, result.merged.final_percent);
 }
 
 void RunMergeBatchSection(int workers, const std::vector<int>& batches) {
   std::printf(
       "\n[merge-pipeline mode: merge_batch sweep at %d workers, guided]\n",
       workers);
-  std::printf("  %7s %12s %8s %8s %7s %7s %9s %9s %10s\n", "batch",
-              "iters/sec", "deltas", "flushes", "qmax", "qavg", "pub_wait",
-              "fb_wait", "coverage");
+  std::printf("  %7s %12s %8s %8s %8s %7s %7s %9s %9s %10s\n", "batch",
+              "iters/sec", "deltas", "flushes", "wire_kb", "qmax", "qavg",
+              "pub_wait", "fb_wait", "coverage");
   for (int batch : batches) {
     RunMergeBatch(workers, batch);
   }
@@ -106,16 +131,39 @@ void RunMergeBatchSection(int workers, const std::vector<int>& batches) {
 }  // namespace neco
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Process-mode shards re-enter this binary with the hidden shard-child
+  // arguments; nothing below runs in that case.
+  if (const int code = neco::MaybeRunShardChild(argc, argv); code >= 0) {
+    return code;
+  }
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--transport=process") == 0) {
+      neco::g_shard_mode = neco::ShardMode::kProcesses;
+    } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
+      neco::g_shard_mode = neco::ShardMode::kThreads;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--transport={inproc,process}]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   if (smoke) {
     neco::g_budget = 2000;
   }
-  char title[160];
+  const bool processes = neco::g_shard_mode == neco::ShardMode::kProcesses;
+  char title[200];
   std::snprintf(title, sizeof(title),
                 "Parallel campaign scaling — SimKvm, Intel, fixed "
                 "%llu-iteration budget\nsplit across worker shards "
-                "(seed + worker_id each), delta merge pipeline%s",
+                "(seed + worker_id each), delta merge pipeline,\n"
+                "transport: %s%s",
                 static_cast<unsigned long long>(neco::g_budget),
+                processes ? "process shards over pipes (fork/exec)"
+                          : "thread shards over the in-proc queue",
                 smoke ? " [smoke]" : "");
   neco::PrintHeader(title);
   const std::vector<int> workers =

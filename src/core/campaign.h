@@ -4,6 +4,7 @@
 #ifndef SRC_CORE_CAMPAIGN_H_
 #define SRC_CORE_CAMPAIGN_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,18 @@
 #include "src/hv/hypervisor.h"
 
 namespace neco {
+
+// How CampaignEngine runs its worker shards (src/core/transport/):
+//  * kThreads — worker threads in this process, deltas over the in-proc
+//    bounded queue (InProcTransport);
+//  * kProcesses — fork/exec'd child processes, deltas and feedback over
+//    pipes (PipeTransport + ShardSupervisor). Same merge math, same
+//    deterministic results and observer event sequences; the medium is
+//    the only difference.
+enum class ShardMode {
+  kThreads,
+  kProcesses,
+};
 
 struct CampaignOptions {
   Arch arch = Arch::kIntel;
@@ -35,6 +48,29 @@ struct CampaignOptions {
   // sequences are identical for every value — the fold order is fixed —
   // so this only trades flush frequency against queue depth.
   int merge_batch = 1;
+  // Thread shards or fork/exec'd process shards. Either mode produces
+  // bit-identical merged results and observer event sequences for the
+  // same (options, target) — pinned in tests/engine_test.cc. A
+  // borrowed-target session ignores this (single inline shard, like
+  // `workers`).
+  ShardMode shard_mode = ShardMode::kThreads;
+  // With shard_mode = processes: when non-empty, children are spawned by
+  // fork + exec of this binary (e.g. "/proc/self/exe") with the hidden
+  // --necofuzz-shard-child arguments — its main() must call
+  // MaybeRunShardChild first (src/core/engine.h). Exec'd children rebuild
+  // the target from the registry, so the session must be constructed by
+  // name. Empty spawns plain fork children (works from any binary,
+  // including the test suites) — but fork-without-exec assumes the
+  // calling process is effectively single-threaded at Run() time: a
+  // child forked while some unrelated embedder thread holds e.g. an
+  // allocator lock can deadlock. Multithreaded embedders should set an
+  // exec path.
+  std::string shard_exec_path;
+  // Test-only fault injection: when set, every fork-mode process shard
+  // calls this at the start of each epoch (in the child process). Lets
+  // tests kill a child mid-campaign and assert the parent surfaces a
+  // shard error instead of hanging.
+  std::function<void(int worker, size_t epoch)> shard_fault_for_test;
   AgentOptions agent;
   // NecoFuzz's default mode is the breadth-first boundary explorer: the
   // paper found coverage guidance counter-productive here, because the

@@ -1,21 +1,33 @@
 #include "src/core/engine.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "src/core/agent.h"
+#include "src/core/transport/inproc.h"
+#include "src/core/transport/pipe.h"
+#include "src/core/transport/supervisor.h"
 #include "src/fuzz/fuzzer.h"
 
 namespace neco {
 namespace {
 
-struct WorkerState {
+// --- One shard's private campaign state ----------------------------------
+
+struct ShardContext {
   Hypervisor* hv = nullptr;  // Owned or borrowed.
   std::unique_ptr<Hypervisor> owned;
   std::unique_ptr<Agent> agent;
@@ -33,11 +45,339 @@ struct WorkerState {
   uint64_t imports = 0;  // Pool entries adopted (post-dedup).
 };
 
+// What the engine needs from a finished shard, whichever side of a fork it
+// ran on: thread shards fill this from their ShardContext, process shards
+// ship it as a ShardResultRecord.
+struct ShardOutcome {
+  CampaignResult result;
+  uint64_t imports = 0;
+  std::vector<std::string> crash_ids;
+};
+
+uint64_t ShardBudget(uint64_t iterations, int workers, int w) {
+  const uint64_t base = iterations / static_cast<uint64_t>(workers);
+  const uint64_t rem = iterations % static_cast<uint64_t>(workers);
+  return base + (static_cast<uint64_t>(w) < rem ? 1 : 0);
+}
+
+// The global epoch count: the longest shard schedule. Pure arithmetic, so
+// the parent of a process campaign and every exec'd child agree without
+// sharing memory.
+size_t ComputeEpochs(uint64_t iterations, int workers, int samples) {
+  size_t epochs = 0;
+  for (int w = 0; w < workers; ++w) {
+    epochs = std::max(
+        epochs, ChunkSchedule(ShardBudget(iterations, workers, w), samples)
+                    .size());
+  }
+  return epochs;
+}
+
+void InitShard(ShardContext& state, Hypervisor* borrowed,
+               const HypervisorFactory& factory,
+               const CampaignOptions& options, int workers, int w,
+               int samples) {
+  if (borrowed != nullptr) {
+    state.hv = borrowed;
+  } else {
+    state.owned = factory();
+    state.hv = state.owned.get();
+  }
+  CoverageUnit& cov = state.hv->nested_coverage(options.arch);
+  cov.ResetCoverage();
+  state.hv->sanitizers().Clear();
+
+  AgentOptions agent_options = options.agent;
+  agent_options.arch = options.arch;
+  state.agent = std::make_unique<Agent>(*state.hv, agent_options);
+
+  FuzzerOptions fuzzer_options = options.fuzzer;
+  fuzzer_options.seed = options.seed + static_cast<uint64_t>(w);
+  state.fuzzer =
+      std::make_unique<Fuzzer>(fuzzer_options, state.agent->MakeExecutor());
+
+  state.steps =
+      ChunkSchedule(ShardBudget(options.iterations, workers, w), samples);
+}
+
+// The shard epoch loop, shared by thread workers and process children:
+// absorb the previous epoch's feedback (when syncing), fuzz one step,
+// publish one wire-encoded ShardDelta. `get_feedback` and `publish`
+// abstract the transport direction; either returning false means the
+// campaign is going down and the shard stops quietly. Every worker
+// publishes one delta per global epoch — empty ones past its own schedule
+// — so the drainer can finalize epochs without tracking per-shard
+// schedules.
+bool RunShardEpochs(
+    ShardContext& state, const CampaignOptions& options, int w,
+    size_t epochs, bool syncing,
+    const std::function<bool(size_t, MergePipeline::Feedback*)>& get_feedback,
+    const std::function<bool(wire::Buffer)>& publish,
+    const std::function<void(int, size_t)>& fault_hook) {
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    if (fault_hook) {
+      fault_hook(w, epoch);
+    }
+    uint64_t imported = 0;
+    if (syncing && epoch > 0) {
+      MergePipeline::Feedback feedback;
+      if (!get_feedback(epoch - 1, &feedback)) {
+        return false;
+      }
+      for (const FuzzInput& input : feedback.pool_entries) {
+        // The fuzzer hash-guards imports, so an identical entry
+        // re-published by several shards joins this queue only once.
+        if (state.fuzzer->ImportCorpusEntry(input)) {
+          ++imported;
+        }
+      }
+      state.imports += imported;
+      // Mark the merged global novelty seen (not novel here, not
+      // re-exported) and skip the just-imported entries at the next
+      // export: re-publishing them would bounce inputs between shards,
+      // duplicating without bound.
+      state.fuzzer->ApplyVirginDelta(feedback.virgin);
+      state.fuzzer->MarkQueueExported();
+    }
+    if (epoch < state.steps.size()) {
+      state.fuzzer->Run(state.steps[epoch]);
+    }
+
+    if (!syncing) {
+      // Nothing consumes queue entries without syncing; skip the
+      // per-epoch input copies entirely.
+      state.fuzzer->MarkQueueExported();
+    }
+    FuzzerDelta fuzzer_delta = state.fuzzer->ExportDelta();
+    ShardDelta delta;
+    delta.worker = w;
+    delta.epoch = epoch;
+    delta.iterations = fuzzer_delta.iterations;
+    delta.imported = imported;
+    delta.virgin = std::move(fuzzer_delta.virgin);
+    delta.queue_entries = std::move(fuzzer_delta.queue_entries);
+    delta.covered_points = state.hv->nested_coverage(options.arch)
+                               .ExtractDeltaSince(state.covered_seen);
+    for (const auto& [id, report] : state.agent->findings()) {
+      if (state.shipped_findings.insert(id).second) {
+        delta.findings.push_back(report);
+      }
+    }
+    if (!publish(wire::Encode(delta))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ShardOutcome CollectOutcome(ShardContext& state,
+                            const CampaignOptions& options) {
+  ShardOutcome out;
+  CampaignResult& wr = out.result;
+  CoverageUnit& cov = state.hv->nested_coverage(options.arch);
+  wr.final_percent = cov.percent();
+  wr.covered_points = cov.covered_points();
+  wr.total_points = cov.total_points();
+  wr.covered_set = cov.CoveredSet();
+  for (const auto& [id, report] : state.agent->findings()) {
+    wr.findings.push_back(report);
+  }
+  wr.fuzzer_stats = state.fuzzer->stats();
+  wr.watchdog_restarts = state.agent->watchdog_restarts();
+  out.imports = state.imports;
+  for (const auto& [id, input] : state.fuzzer->crashes()) {
+    out.crash_ids.push_back(id);
+  }
+  return out;
+}
+
+ShardOutcome OutcomeFromRecord(const ShardResultRecord& record) {
+  ShardOutcome out;
+  CampaignResult& wr = out.result;
+  wr.final_percent = record.final_percent;
+  wr.covered_points = static_cast<size_t>(record.covered_points);
+  wr.total_points = static_cast<size_t>(record.total_points);
+  for (uint32_t point : record.covered_set) {
+    wr.covered_set.push_back(point);
+  }
+  wr.findings = record.findings;
+  wr.fuzzer_stats.iterations = record.iterations;
+  wr.fuzzer_stats.queue_size = record.queue_size;
+  wr.fuzzer_stats.unique_anomalies = record.unique_anomalies;
+  wr.fuzzer_stats.bitmap_edges = record.bitmap_edges;
+  wr.watchdog_restarts = record.watchdog_restarts;
+  out.imports = record.imports;
+  out.crash_ids = record.crash_ids;
+  return out;
+}
+
+ShardResultRecord RecordFromContext(ShardContext& state,
+                                    const CampaignOptions& options, int w) {
+  ShardResultRecord record;
+  ShardOutcome outcome = CollectOutcome(state, options);
+  const CampaignResult& wr = outcome.result;
+  record.worker = w;
+  record.final_percent = wr.final_percent;
+  record.covered_points = wr.covered_points;
+  record.total_points = wr.total_points;
+  for (size_t point : wr.covered_set) {
+    record.covered_set.push_back(static_cast<uint32_t>(point));
+  }
+  record.findings = wr.findings;
+  record.iterations = wr.fuzzer_stats.iterations;
+  record.queue_size = wr.fuzzer_stats.queue_size;
+  record.unique_anomalies = wr.fuzzer_stats.unique_anomalies;
+  record.bitmap_edges = wr.fuzzer_stats.bitmap_edges;
+  record.watchdog_restarts = wr.watchdog_restarts;
+  record.imports = outcome.imports;
+  record.crash_ids = std::move(outcome.crash_ids);
+  return record;
+}
+
+// Closes every registered descriptor on destruction unless released;
+// keeps the process-shard setup's error paths from leaking 2 x workers
+// pipe ends however they unwind.
+class FdCloser {
+ public:
+  ~FdCloser() {
+    for (int fd : fds_) {
+      ::close(fd);
+    }
+  }
+  void Add(int fd) { fds_.push_back(fd); }
+  void Release() { fds_.clear(); }
+  void CloseNow() {
+    for (int fd : fds_) {
+      ::close(fd);
+    }
+    fds_.clear();
+  }
+
+ private:
+  std::vector<int> fds_;
+};
+
+// Whether shards exchange corpus entries: syncing needs a corpus, and in
+// breadth-first mode (guidance off) nothing is ever queued or exported, so
+// shards run fully decoupled instead of idling on empty exchanges.
+bool ResolveSyncing(const CampaignOptions& options, int workers) {
+  return options.corpus_sync && workers > 1 &&
+         options.fuzzer.coverage_guidance;
+}
+
+// --- The shard child loop (process mode, both fork and exec flavors) -----
+
+int RunShardChildLoop(const HypervisorFactory& factory,
+                      const CampaignOptions& options, int workers, int w,
+                      int samples, size_t epochs, bool syncing, int delta_fd,
+                      int feedback_fd) {
+  // The parent may die or abort at any time; a write into the closed pipe
+  // must come back as an error code, not a process-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  ShardContext state;
+  InitShard(state, nullptr, factory, options, workers, w, samples);
+  const bool completed = RunShardEpochs(
+      state, options, w, epochs, syncing,
+      [&](size_t through_epoch, MergePipeline::Feedback* out) {
+        wire::Buffer frame;
+        FeedbackRecord record;
+        if (!ReadPipeFrame(feedback_fd, &frame) ||
+            !wire::Decode(frame, &record) || record.worker != w ||
+            record.epoch != through_epoch) {
+          return false;  // Parent gone or stream corrupt: stop quietly.
+        }
+        out->pool_entries = std::move(record.pool_entries);
+        out->virgin = std::move(record.virgin);
+        return true;
+      },
+      [&](wire::Buffer frame) { return WritePipeFrame(delta_fd, frame); },
+      options.shard_fault_for_test);
+  if (!completed) {
+    return 2;  // Aborted mid-campaign; the parent reports its own error.
+  }
+  const ShardResultRecord record = RecordFromContext(state, options, w);
+  if (!WritePipeFrame(delta_fd, wire::Encode(record))) {
+    return 2;
+  }
+  ::close(delta_fd);
+  ::close(feedback_fd);
+  return 0;
+}
+
+// --- Result assembly (shared by both shard modes) ------------------------
+
+EngineResult AssembleResult(MergePipeline& pipeline,
+                            ShardTransport& transport,
+                            std::vector<ShardOutcome> outcomes, int workers,
+                            size_t epochs, size_t total_points) {
+  EngineResult out;
+  out.pipeline = pipeline.stats();
+  out.transport = transport.stats();
+  out.merged.series = pipeline.series();
+  out.merged.total_points = total_points;
+  const std::vector<uint8_t>& global_covered = pipeline.covered();
+  for (size_t i = 0; i < global_covered.size(); ++i) {
+    if (global_covered[i] != 0) {
+      out.merged.covered_set.push_back(i);
+    }
+  }
+  out.merged.covered_points = out.merged.covered_set.size();
+  out.merged.final_percent =
+      total_points == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(out.merged.covered_points) /
+                static_cast<double>(total_points);
+  for (const auto& [id, report] : pipeline.findings()) {
+    out.merged.findings.push_back(report);
+  }
+  out.merged.fuzzer_stats.bitmap_edges = pipeline.virgin().CountNonZero();
+
+  std::unordered_set<std::string> crash_ids;
+  for (int w = 0; w < workers; ++w) {
+    ShardOutcome& outcome = outcomes[static_cast<size_t>(w)];
+    CampaignResult& wr = outcome.result;
+    out.merged.fuzzer_stats.iterations += wr.fuzzer_stats.iterations;
+    out.merged.fuzzer_stats.queue_size += wr.fuzzer_stats.queue_size;
+    for (const std::string& id : outcome.crash_ids) {
+      crash_ids.insert(id);
+    }
+    out.merged.watchdog_restarts += wr.watchdog_restarts;
+    out.corpus_imports += outcome.imports;
+
+    const ShardDoneEvent event{w,
+                               wr.fuzzer_stats.iterations,
+                               wr.final_percent,
+                               wr.covered_points,
+                               wr.fuzzer_stats.queue_size,
+                               wr.findings.size(),
+                               outcome.imports,
+                               wr.watchdog_restarts};
+    pipeline.NotifyShardDone(event);
+    out.per_worker.push_back(std::move(wr));
+  }
+  out.merged.fuzzer_stats.unique_anomalies = crash_ids.size();
+
+  const FinishEvent event{workers,
+                          epochs,
+                          out.merged.fuzzer_stats.iterations,
+                          out.merged.final_percent,
+                          out.merged.covered_points,
+                          out.merged.total_points,
+                          out.merged.findings.size(),
+                          out.corpus_imports};
+  pipeline.NotifyFinish(event);
+  if (std::exception_ptr error = pipeline.observer_error()) {
+    std::rethrow_exception(error);
+  }
+  return out;
+}
+
 }  // namespace
 
 CampaignEngine::CampaignEngine(std::string_view target,
                                CampaignOptions options)
     : factory_(ResolveHypervisorFactory(target)),
+      target_name_(target),
       options_(std::move(options)) {}
 
 CampaignEngine::CampaignEngine(HypervisorFactory factory,
@@ -55,56 +395,42 @@ CampaignEngine& CampaignEngine::AddObserver(CampaignObserver* observer) {
 }
 
 EngineResult CampaignEngine::Run() {
-  const CampaignOptions& options = options_;
-  // A borrowed target is a single instance, hence a single inline shard.
+  // A borrowed target is a single instance, hence a single inline shard
+  // (and nothing that could cross a fork).
   const int workers =
-      borrowed_ != nullptr ? 1 : (options.workers > 0 ? options.workers : 1);
-  const int samples = options.samples > 0 ? options.samples : 1;
-
-  std::vector<WorkerState> states(static_cast<size_t>(workers));
-  size_t epochs = 0;
-  for (int w = 0; w < workers; ++w) {
-    WorkerState& state = states[static_cast<size_t>(w)];
-    if (borrowed_ != nullptr) {
-      state.hv = borrowed_;
-    } else {
-      state.owned = factory_();
-      state.hv = state.owned.get();
-    }
-    CoverageUnit& cov = state.hv->nested_coverage(options.arch);
-    cov.ResetCoverage();
-    state.hv->sanitizers().Clear();
-
-    AgentOptions agent_options = options.agent;
-    agent_options.arch = options.arch;
-    state.agent = std::make_unique<Agent>(*state.hv, agent_options);
-
-    FuzzerOptions fuzzer_options = options.fuzzer;
-    fuzzer_options.seed = options.seed + static_cast<uint64_t>(w);
-    state.fuzzer = std::make_unique<Fuzzer>(fuzzer_options,
-                                            state.agent->MakeExecutor());
-
-    const uint64_t base = options.iterations / static_cast<uint64_t>(workers);
-    const uint64_t rem = options.iterations % static_cast<uint64_t>(workers);
-    const uint64_t budget = base + (static_cast<uint64_t>(w) < rem ? 1 : 0);
-    state.steps = ChunkSchedule(budget, samples);
-    epochs = std::max(epochs, state.steps.size());
+      borrowed_ != nullptr ? 1
+                           : (options_.workers > 0 ? options_.workers : 1);
+  const int samples = options_.samples > 0 ? options_.samples : 1;
+  if (borrowed_ == nullptr && options_.shard_mode == ShardMode::kProcesses) {
+    return RunWithProcessShards(workers, samples);
   }
+  return RunWithThreadShards(workers, samples);
+}
 
+EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples) {
+  const CampaignOptions& options = options_;
+
+  std::vector<ShardContext> states(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    InitShard(states[static_cast<size_t>(w)], borrowed_, factory_, options,
+              workers, w, samples);
+  }
+  const size_t epochs = ComputeEpochs(options.iterations, workers, samples);
   const size_t total_points =
       states[0].hv->nested_coverage(options.arch).total_points();
-  // Corpus syncing needs a corpus: in breadth-first mode (guidance off)
-  // nothing is ever queued or exported, so shards run fully decoupled —
-  // no feedback waits — instead of idling on empty exchanges.
-  const bool syncing =
-      options.corpus_sync && workers > 1 && options.fuzzer.coverage_guidance;
+  const bool syncing = ResolveSyncing(options, workers);
+
+  InProcTransportOptions transport_options;
+  transport_options.workers = workers;
+  transport_options.merge_batch = options.merge_batch;
+  InProcTransport transport(transport_options);
 
   MergePipelineOptions pipeline_options;
   pipeline_options.workers = workers;
   pipeline_options.epochs = epochs;
   pipeline_options.total_points = total_points;
   pipeline_options.merge_batch = options.merge_batch;
-  MergePipeline pipeline(pipeline_options, observers_);
+  MergePipeline pipeline(pipeline_options, &transport, observers_);
 
   // A worker or merge-thread failure must not strand the other threads at
   // the queue or the feedback wait: record the first exception, abort the
@@ -122,62 +448,17 @@ EngineResult CampaignEngine::Run() {
   };
 
   auto worker_main = [&](int w) {
-    WorkerState& state = states[static_cast<size_t>(w)];
+    ShardContext& state = states[static_cast<size_t>(w)];
     try {
-      // Every worker publishes one delta per global epoch — empty ones
-      // past its own schedule — so the drainer can finalize epochs
-      // without tracking per-shard schedules.
-      for (size_t epoch = 0; epoch < epochs; ++epoch) {
-        uint64_t imported = 0;
-        if (syncing && epoch > 0) {
-          MergePipeline::Feedback feedback;
-          if (!pipeline.WaitForFeedback(epoch - 1, w, &feedback)) {
-            return;
-          }
-          for (const FuzzInput& input : feedback.pool_entries) {
-            // The fuzzer hash-guards imports, so an identical entry
-            // re-published by several shards joins this queue only once.
-            if (state.fuzzer->ImportCorpusEntry(input)) {
-              ++imported;
-            }
-          }
-          state.imports += imported;
-          // Mark the merged global novelty seen (not novel here, not
-          // re-exported) and skip the just-imported entries at the next
-          // export: re-publishing them would bounce inputs between
-          // shards, duplicating without bound.
-          state.fuzzer->ApplyVirginDelta(feedback.virgin);
-          state.fuzzer->MarkQueueExported();
-        }
-        if (epoch < state.steps.size()) {
-          state.fuzzer->Run(state.steps[epoch]);
-        }
-
-        if (!syncing) {
-          // Nothing consumes queue entries without syncing; skip the
-          // per-epoch input copies entirely.
-          state.fuzzer->MarkQueueExported();
-        }
-        FuzzerDelta fuzzer_delta = state.fuzzer->ExportDelta();
-        ShardDelta delta;
-        delta.worker = w;
-        delta.epoch = epoch;
-        delta.iterations = fuzzer_delta.iterations;
-        delta.imported = imported;
-        delta.virgin = std::move(fuzzer_delta.virgin);
-        delta.queue_entries = std::move(fuzzer_delta.queue_entries);
-        delta.covered_points =
-            state.hv->nested_coverage(options.arch)
-                .ExtractDeltaSince(state.covered_seen);
-        for (const auto& [id, report] : state.agent->findings()) {
-          if (state.shipped_findings.insert(id).second) {
-            delta.findings.push_back(report);
-          }
-        }
-        if (!pipeline.Publish(wire::Encode(delta))) {
-          return;
-        }
-      }
+      RunShardEpochs(
+          state, options, w, epochs, syncing,
+          [&](size_t through_epoch, MergePipeline::Feedback* out) {
+            return pipeline.WaitForFeedback(through_epoch, w, out);
+          },
+          [&](wire::Buffer frame) {
+            return transport.Publish(std::move(frame));
+          },
+          /*fault_hook=*/nullptr);
     } catch (...) {
       capture(std::current_exception());
     }
@@ -208,75 +489,279 @@ EngineResult CampaignEngine::Run() {
     std::rethrow_exception(fatal);
   }
 
-  EngineResult out;
-  out.pipeline = pipeline.stats();
-  out.merged.series = pipeline.series();
-  out.merged.total_points = total_points;
-  const std::vector<uint8_t>& global_covered = pipeline.covered();
-  for (size_t i = 0; i < global_covered.size(); ++i) {
-    if (global_covered[i] != 0) {
-      out.merged.covered_set.push_back(i);
-    }
-  }
-  out.merged.covered_points = out.merged.covered_set.size();
-  out.merged.final_percent =
-      total_points == 0 ? 0.0
-                        : 100.0 * static_cast<double>(out.merged.covered_points) /
-                              static_cast<double>(total_points);
-  for (const auto& [id, report] : pipeline.findings()) {
-    out.merged.findings.push_back(report);
-  }
-  out.merged.fuzzer_stats.bitmap_edges = pipeline.virgin().CountNonZero();
-
-  std::unordered_set<std::string> crash_ids;
+  std::vector<ShardOutcome> outcomes;
+  outcomes.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    WorkerState& state = states[static_cast<size_t>(w)];
-    CampaignResult wr;
-    CoverageUnit& cov = state.hv->nested_coverage(options.arch);
-    wr.final_percent = cov.percent();
-    wr.covered_points = cov.covered_points();
-    wr.total_points = cov.total_points();
-    wr.covered_set = cov.CoveredSet();
-    for (const auto& [id, report] : state.agent->findings()) {
-      wr.findings.push_back(report);
-    }
-    wr.fuzzer_stats = state.fuzzer->stats();
-    wr.watchdog_restarts = state.agent->watchdog_restarts();
-
-    out.merged.fuzzer_stats.iterations += wr.fuzzer_stats.iterations;
-    out.merged.fuzzer_stats.queue_size += wr.fuzzer_stats.queue_size;
-    for (const auto& [id, input] : state.fuzzer->crashes()) {
-      crash_ids.insert(id);
-    }
-    out.merged.watchdog_restarts += wr.watchdog_restarts;
-    out.corpus_imports += state.imports;
-
-    const ShardDoneEvent event{w,
-                               wr.fuzzer_stats.iterations,
-                               wr.final_percent,
-                               wr.covered_points,
-                               wr.fuzzer_stats.queue_size,
-                               wr.findings.size(),
-                               state.imports,
-                               wr.watchdog_restarts};
-    pipeline.NotifyShardDone(event);
-    out.per_worker.push_back(std::move(wr));
+    outcomes.push_back(
+        CollectOutcome(states[static_cast<size_t>(w)], options));
   }
-  out.merged.fuzzer_stats.unique_anomalies = crash_ids.size();
+  return AssembleResult(pipeline, transport, std::move(outcomes), workers,
+                        epochs, total_points);
+}
 
-  const FinishEvent event{workers,
-                          epochs,
-                          out.merged.fuzzer_stats.iterations,
-                          out.merged.final_percent,
-                          out.merged.covered_points,
-                          out.merged.total_points,
-                          out.merged.findings.size(),
-                          out.corpus_imports};
-  pipeline.NotifyFinish(event);
-  if (std::exception_ptr error = pipeline.observer_error()) {
-    std::rethrow_exception(error);
+EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
+  const CampaignOptions& options = options_;
+  const bool exec_mode = !options.shard_exec_path.empty();
+  if (exec_mode && target_name_.empty()) {
+    throw std::invalid_argument(
+        "CampaignEngine: exec-mode process shards rebuild the target from "
+        "the registry, so the session must be constructed by name");
   }
-  return out;
+
+  const size_t epochs = ComputeEpochs(options.iterations, workers, samples);
+  const bool syncing = ResolveSyncing(options, workers);
+  size_t total_points = 0;
+  {
+    // One throwaway instance answers the coverage-universe question the
+    // thread path reads off its worker states.
+    const std::unique_ptr<Hypervisor> probe = factory_();
+    total_points = probe->nested_coverage(options.arch).total_points();
+  }
+
+  // All pipes exist before the first fork so every child can close every
+  // descriptor that is not its own pair — otherwise a sibling holding a
+  // dead shard's write end would keep that stream from ever hitting EOF.
+  struct ChildEnds {
+    int delta_wr = -1;
+    int feedback_rd = -1;
+  };
+  std::vector<PipeShardChannel> channels;
+  std::vector<ChildEnds> child_ends;
+  FdCloser parent_ends;  // Until PipeTransport takes ownership.
+  FdCloser child_end_closer;
+  for (int w = 0; w < workers; ++w) {
+    int delta[2] = {-1, -1};
+    int feedback[2] = {-1, -1};
+    if (::pipe(delta) != 0) {
+      throw std::runtime_error("CampaignEngine: pipe() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    parent_ends.Add(delta[0]);
+    child_end_closer.Add(delta[1]);
+    if (::pipe(feedback) != 0) {
+      throw std::runtime_error("CampaignEngine: pipe() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    parent_ends.Add(feedback[1]);
+    child_end_closer.Add(feedback[0]);
+    channels.push_back({w, delta[0], feedback[1]});
+    child_ends.push_back({delta[1], feedback[0]});
+  }
+
+  ShardSupervisor supervisor;
+  for (int w = 0; w < workers; ++w) {
+    pid_t pid = -1;
+    if (exec_mode) {
+      std::vector<std::string> argv = {
+          "--necofuzz-shard-child",
+          "--necofuzz-delta-fd=" + std::to_string(child_ends[w].delta_wr),
+          "--necofuzz-feedback-fd=" +
+              std::to_string(child_ends[w].feedback_rd)};
+      pid = supervisor.SpawnExec(
+          w, options.shard_exec_path, argv,
+          {child_ends[w].delta_wr, child_ends[w].feedback_rd});
+    } else {
+      // Fork mode: the child inherits everything it needs through memory.
+      const HypervisorFactory factory = factory_;
+      const int delta_fd = child_ends[static_cast<size_t>(w)].delta_wr;
+      const int feedback_fd = child_ends[static_cast<size_t>(w)].feedback_rd;
+      pid = supervisor.SpawnFork(w, [&, w, delta_fd, feedback_fd] {
+        // Drop every descriptor that belongs to the parent or a sibling.
+        for (const PipeShardChannel& ch : channels) {
+          ::close(ch.delta_fd);
+          ::close(ch.feedback_fd);
+        }
+        for (int other = 0; other < workers; ++other) {
+          if (other != w) {
+            ::close(child_ends[static_cast<size_t>(other)].delta_wr);
+            ::close(child_ends[static_cast<size_t>(other)].feedback_rd);
+          }
+        }
+        return RunShardChildLoop(factory, options, workers, w, samples,
+                                 epochs, syncing, delta_fd, feedback_fd);
+      });
+    }
+    if (pid < 0) {
+      // The FdClosers release every pipe end; ~ShardSupervisor reaps
+      // whatever was already spawned.
+      throw std::runtime_error("CampaignEngine: fork() failed");
+    }
+  }
+  // Parent: the child-side ends live in the children now.
+  child_end_closer.CloseNow();
+
+  // PipeTransport owns the parent ends from here (closing them itself if
+  // its constructor fails).
+  parent_ends.Release();
+  PipeTransport transport(std::move(channels));
+
+  MergePipelineOptions pipeline_options;
+  pipeline_options.workers = workers;
+  pipeline_options.epochs = epochs;
+  pipeline_options.total_points = total_points;
+  pipeline_options.merge_batch = options.merge_batch;
+  pipeline_options.push_feedback = syncing;
+  MergePipeline pipeline(pipeline_options, &transport, observers_);
+
+  // There are no worker threads in the parent, so the merge loop runs
+  // inline; any failure (corrupt delta, dead shard) lands here.
+  try {
+    if (exec_mode) {
+      // Exec'd children know nothing yet: ship each one its config record
+      // before expecting the first delta.
+      for (int w = 0; w < workers; ++w) {
+        ShardChildConfigRecord config;
+        config.target = target_name_;
+        config.worker = w;
+        config.workers = workers;
+        config.epochs = epochs;
+        config.arch = static_cast<uint8_t>(options.arch);
+        config.iterations = options.iterations;
+        config.samples = samples;
+        config.seed = options.seed;
+        config.syncing = syncing ? 1 : 0;
+        config.coverage_guidance = options.fuzzer.coverage_guidance ? 1 : 0;
+        config.havoc_stack = options.fuzzer.havoc_stack;
+        config.splice_percent = options.fuzzer.splice_percent;
+        config.use_harness = options.agent.use_harness ? 1 : 0;
+        config.use_validator = options.agent.use_validator ? 1 : 0;
+        config.use_configurator = options.agent.use_configurator ? 1 : 0;
+        config.oracle_interval = options.agent.oracle_interval;
+        config.crash_dir = options.agent.crash_dir;
+        if (!transport.SendFeedback(w, wire::Encode(config))) {
+          throw std::runtime_error("CampaignEngine: " + transport.error());
+        }
+      }
+    }
+    pipeline.RunMergeLoop();
+    if (pipeline.finalized_epochs() < epochs) {
+      throw std::runtime_error("CampaignEngine: campaign aborted after " +
+                               std::to_string(pipeline.finalized_epochs()) +
+                               " of " + std::to_string(epochs) + " epochs");
+    }
+    if (!transport.CollectResults()) {
+      throw std::runtime_error("CampaignEngine: " + transport.error());
+    }
+  } catch (const std::exception& e) {
+    // Harvest whoever already died (the likely culprit) for the error
+    // message, then tear the rest down so nothing outlives the campaign.
+    pipeline.Abort();
+    std::string message = e.what();
+    // The transport knows which shard it saw die; reap that child for
+    // its exit status ("killed by signal 9") before the teardown kill
+    // makes every survivor look the same. Then harvest any other
+    // already-dead children.
+    const int dead_worker = transport.dead_worker();
+    if (dead_worker >= 0) {
+      const ShardExit shard_exit = supervisor.WaitWorker(dead_worker);
+      if (shard_exit.reaped && !shard_exit.clean()) {
+        message += "; shard " + std::to_string(shard_exit.worker) + " " +
+                   shard_exit.Describe();
+      }
+    }
+    for (const ShardExit& shard_exit : supervisor.ReapExited()) {
+      if (shard_exit.worker != dead_worker && shard_exit.reaped &&
+          !shard_exit.clean()) {
+        message += "; shard " + std::to_string(shard_exit.worker) + " " +
+                   shard_exit.Describe();
+      }
+    }
+    supervisor.KillAll(SIGKILL);
+    supervisor.WaitAll();
+    throw std::runtime_error(message);
+  }
+
+  // Clean completion: every child must also exit cleanly.
+  for (const ShardExit& shard_exit : supervisor.WaitAll()) {
+    if (!shard_exit.clean()) {
+      throw std::runtime_error("CampaignEngine: shard " +
+                               std::to_string(shard_exit.worker) + " " +
+                               shard_exit.Describe());
+    }
+  }
+
+  std::vector<ShardOutcome> outcomes;
+  outcomes.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    const ShardResultRecord* record = transport.shard_result(w);
+    if (record == nullptr) {
+      throw std::runtime_error("CampaignEngine: shard " + std::to_string(w) +
+                               " never delivered its result record");
+    }
+    outcomes.push_back(OutcomeFromRecord(*record));
+  }
+  return AssembleResult(pipeline, transport, std::move(outcomes), workers,
+                        epochs, total_points);
+}
+
+namespace {
+
+// Strict fd parse: anything but a pure decimal number is -1, so a mangled
+// argument can never alias stdin (fd 0) and pass validation.
+int ParseFdArg(const std::string& arg, const std::string& prefix) {
+  const char* text = arg.c_str() + prefix.size();
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0 || value > 1 << 20) {
+    return -1;
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+int MaybeRunShardChild(int argc, char** argv) {
+  bool is_child = false;
+  int delta_fd = -1;
+  int feedback_fd = -1;
+  const std::string delta_prefix = "--necofuzz-delta-fd=";
+  const std::string feedback_prefix = "--necofuzz-feedback-fd=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--necofuzz-shard-child") {
+      is_child = true;
+    } else if (arg.rfind(delta_prefix, 0) == 0) {
+      delta_fd = ParseFdArg(arg, delta_prefix);
+    } else if (arg.rfind(feedback_prefix, 0) == 0) {
+      feedback_fd = ParseFdArg(arg, feedback_prefix);
+    }
+  }
+  if (!is_child) {
+    return -1;
+  }
+  if (delta_fd < 0 || feedback_fd < 0) {
+    return 2;
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+
+  wire::Buffer frame;
+  ShardChildConfigRecord config;
+  if (!ReadPipeFrame(feedback_fd, &frame) || !wire::Decode(frame, &config)) {
+    return 2;
+  }
+  try {
+    const HypervisorFactory factory =
+        ResolveHypervisorFactory(config.target);
+    CampaignOptions options;
+    options.arch = static_cast<Arch>(config.arch);
+    options.iterations = config.iterations;
+    options.samples = config.samples;
+    options.seed = config.seed;
+    options.workers = config.workers;
+    options.fuzzer.coverage_guidance = config.coverage_guidance != 0;
+    options.fuzzer.havoc_stack = config.havoc_stack;
+    options.fuzzer.splice_percent = config.splice_percent;
+    options.agent.use_harness = config.use_harness != 0;
+    options.agent.use_validator = config.use_validator != 0;
+    options.agent.use_configurator = config.use_configurator != 0;
+    options.agent.oracle_interval = config.oracle_interval;
+    options.agent.crash_dir = config.crash_dir;
+    return RunShardChildLoop(factory, options, config.workers, config.worker,
+                             config.samples, config.epochs,
+                             config.syncing != 0, delta_fd, feedback_fd);
+  } catch (...) {
+    return 1;
+  }
 }
 
 }  // namespace neco

@@ -12,23 +12,32 @@
 // Since PR 3 the merge path is a delta pipeline, not a lock-step barrier:
 // every worker owns a private Hypervisor/Agent/Fuzzer (coverage units are
 // not thread-safe) and, once per epoch, publishes a wire-encoded
-// ShardDelta (src/core/wire.h) — new virgin-map bits, newly covered
-// lines, new queue entries, new findings — onto a bounded MPSC queue. A
-// dedicated merge thread (src/core/merge_pipeline.h) folds deltas into
-// the global view in deterministic (epoch, worker) order and fires
-// observer events in that same merge-ordered sequence, concurrently with
-// the shards' next epoch. Workers block only when the queue is full or,
-// with corpus syncing on, when they need the previous epoch's merged
-// state — never at a full stop per sample. CampaignOptions::merge_batch
-// sets how many deltas a flush folds; results and event sequences are
-// identical for every value (1 recovers the barrier-era cadence).
+// ShardDelta (src/core/wire.h) into a ShardTransport
+// (src/core/transport/). A single merge loop (src/core/merge_pipeline.h)
+// drains the transport, folds deltas into the global view in
+// deterministic (epoch, worker) order, and fires observer events in that
+// same merge-ordered sequence, concurrently with the shards' next epoch.
+// CampaignOptions::merge_batch sets how many deltas a flush folds;
+// results and event sequences are identical for every value (1 recovers
+// the barrier-era cadence).
+//
+// CampaignOptions::shard_mode picks the transport:
+//  * threads (default) — worker threads publish into the in-proc bounded
+//    queue (backpressure when full; corpus-syncing workers pull feedback
+//    straight from the pipeline);
+//  * processes — the engine fork(/exec)s one child process per shard
+//    (ShardSupervisor), children ship the same wire frames over pipes
+//    (PipeTransport), and the drainer pushes per-epoch FeedbackRecords
+//    back. The merge math never changes, so process campaigns produce
+//    bit-identical EngineResults and observer event sequences to thread
+//    campaigns at the same worker count (pinned in tests/engine_test.cc).
+//    A shard that dies (even kill -9) surfaces as a thrown shard error —
+//    recorded, never a hang.
 //
 // Observers stream the campaign instead of waiting for the final blob.
 // Every event is a plain serializable wire record, and delivery is
 // deterministic and merge-ordered: two runs with identical (options,
-// target) produce identical event sequences. This is the seam the
-// ROADMAP's process-sharding and async-executor items plug into — a
-// process-level shard only has to ship these records over a pipe.
+// target) produce identical event sequences.
 // Events fire on the merge thread (final-assembly events on the calling
 // thread), never concurrently. Observer exceptions cannot strand or kill
 // the campaign: every callback is guarded, the first exception is
@@ -37,11 +46,13 @@
 #define SRC_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/campaign.h"
 #include "src/core/merge_pipeline.h"
+#include "src/core/transport/transport.h"
 #include "src/core/wire.h"
 #include "src/hv/factory.h"
 
@@ -79,9 +90,12 @@ struct EngineResult {
   std::vector<CampaignResult> per_worker;
   // Queue entries adopted across shards over the whole campaign.
   uint64_t corpus_imports = 0;
-  // Merge-pipeline counters: queue depth and worker idle time (see
-  // bench/parallel_scaling's merge-pipeline mode).
+  // Merge-loop counters (flushes, thread-shard feedback waits).
   MergePipelineStats pipeline;
+  // Transport counters: bytes and queue depth through whichever
+  // ShardTransport carried the campaign (the per-transport columns of
+  // bench/parallel_scaling).
+  TransportStats transport;
 };
 
 // --- The session object --------------------------------------------------
@@ -115,11 +129,36 @@ class CampaignEngine {
   EngineResult Run();
 
  private:
+  EngineResult RunWithThreadShards(int workers, int samples);
+  EngineResult RunWithProcessShards(int workers, int samples);
+
   HypervisorFactory factory_;
   Hypervisor* borrowed_ = nullptr;
+  std::string target_name_;  // Set for by-name sessions; exec'd process
+                             // shards rebuild the target from this.
   CampaignOptions options_;
   std::vector<CampaignObserver*> observers_;
 };
+
+// --- Hidden process-shard entrypoint -------------------------------------
+
+// When argv carries --necofuzz-shard-child, the process is an exec'd shard
+// child of a shard_mode = processes campaign: this reads the
+// ShardChildConfigRecord off the inherited feedback pipe, runs the shard
+// (publishing ShardDelta frames, absorbing FeedbackRecords, finishing with
+// a ShardResultRecord), and returns the process exit code — the caller's
+// main() must return it without doing anything else. Returns -1 for a
+// normal invocation (no flag), in which case main() proceeds as usual.
+//
+//   int main(int argc, char** argv) {
+//     if (const int code = neco::MaybeRunShardChild(argc, argv); code >= 0)
+//       return code;
+//     ...
+//   }
+//
+// Binaries that never set CampaignOptions::shard_exec_path (fork-mode
+// process sharding, the default) do not need this hook.
+int MaybeRunShardChild(int argc, char** argv);
 
 }  // namespace neco
 

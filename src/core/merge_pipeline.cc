@@ -31,72 +31,26 @@ struct PendingEvents {
 }  // namespace
 
 MergePipeline::MergePipeline(MergePipelineOptions options,
+                             ShardTransport* transport,
                              std::vector<CampaignObserver*> observers)
-    : options_(options), observers_(std::move(observers)) {
+    : options_(options),
+      transport_(transport),
+      observers_(std::move(observers)) {
   if (options_.workers < 1) {
     options_.workers = 1;
   }
   if (options_.merge_batch < 1) {
     options_.merge_batch = 1;
   }
-  queue_capacity_ = options_.queue_capacity;
-  if (queue_capacity_ == 0) {
-    // Room for one full epoch of deltas plus a flush in flight, so the
-    // common cadence never blocks a publisher.
-    queue_capacity_ =
-        std::max<size_t>(2 * static_cast<size_t>(options_.workers),
-                         static_cast<size_t>(options_.merge_batch));
-  }
   global_covered_.assign(options_.total_points, 0);
   cursors_.resize(static_cast<size_t>(options_.workers));
 }
 
-bool MergePipeline::Publish(wire::Buffer encoded_delta) {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  if (queue_.size() >= queue_capacity_ && !aborted_) {
-    ++stats_.publish_blocks;
-    const auto start = Clock::now();
-    queue_not_full_.wait(lock, [&] {
-      return queue_.size() < queue_capacity_ || aborted_.load();
-    });
-    stats_.publish_wait_seconds += SecondsSince(start);
-  }
-  if (aborted_) {
-    return false;
-  }
-  ++stats_.deltas;
-  stats_.delta_bytes += encoded_delta.size();
-  queue_.push_back(std::move(encoded_delta));
-  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-  queue_depth_sum_ += static_cast<double>(queue_.size());
-  queue_not_empty_.notify_one();
-  return true;
-}
-
-bool MergePipeline::PopBatch(std::vector<wire::Buffer>* out) {
-  out->clear();
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_not_empty_.wait(lock,
-                        [&] { return !queue_.empty() || aborted_.load(); });
-  if (aborted_) {
-    return false;
-  }
-  const size_t n =
-      std::min(queue_.size(), static_cast<size_t>(options_.merge_batch));
-  for (size_t i = 0; i < n; ++i) {
-    out->push_back(std::move(queue_.front()));
-    queue_.pop_front();
-  }
-  ++stats_.flushes;
-  queue_not_full_.notify_all();
-  return true;
-}
-
-// Note on memory: the queue bounds *encoded* deltas in flight, but the
+// Note on memory: the transport bounds *encoded* deltas in flight, but the
 // drainer must pop whatever is at the head, so when shards skew (only
 // possible without feedback coupling) the decoded staging map can grow to
 // O(workers × epochs) deltas — fine while epochs ≈ samples (tens), and a
-// delta shrinks with coverage saturation anyway. Process-level sharding
+// delta shrinks with coverage saturation anyway. Multi-machine transports
 // with long campaigns should add per-worker admission (e.g. credit-based
 // publishing) before building on this.
 void MergePipeline::Stage(std::unique_ptr<ShardDelta> delta) {
@@ -194,16 +148,54 @@ void MergePipeline::FoldReadyEpochs() {
     }
     Notify([&](CampaignObserver* obs) { obs->OnSample(events.sample); });
 
+    // Process shards cannot reach WaitForFeedback, so the drainer pushes
+    // each epoch's feedback through the transport instead — same cursors,
+    // same content. The final epoch's feedback has no consumer (shards
+    // read feedback *before* an epoch, and there is no next epoch).
+    if (options_.push_feedback && next_epoch_ + 1 < options_.epochs) {
+      PushEpochFeedback(next_epoch_);
+    }
+
     staged_.erase(it);
     ++next_epoch_;
+  }
+}
+
+void MergePipeline::PushEpochFeedback(size_t epoch) {
+  for (int w = 0; w < options_.workers; ++w) {
+    FeedbackRecord record;
+    record.epoch = epoch;
+    record.worker = w;
+    Feedback feedback;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      BuildFeedbackLocked(epoch, w, &feedback);
+    }
+    record.pool_entries = std::move(feedback.pool_entries);
+    record.virgin = std::move(feedback.virgin);
+    if (!transport_->SendFeedback(w, wire::Encode(record))) {
+      throw std::runtime_error("MergePipeline: " + transport_->error());
+    }
   }
 }
 
 void MergePipeline::RunMergeLoop() {
   std::vector<wire::Buffer> batch;
   while (next_epoch_ < options_.epochs) {
-    if (!PopBatch(&batch)) {
+    if (!transport_->Drain(static_cast<size_t>(options_.merge_batch),
+                           &batch)) {
+      const std::string error = transport_->error();
+      if (!error.empty()) {
+        // A shard died mid-campaign (or the stream corrupted): fail loudly
+        // rather than leaving the campaign waiting for an epoch that can
+        // never complete.
+        throw std::runtime_error("MergePipeline: " + error);
+      }
       return;  // Aborted.
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ++stats_.flushes;
     }
     for (wire::Buffer& buffer : batch) {
       auto delta = std::make_unique<ShardDelta>();
@@ -215,6 +207,26 @@ void MergePipeline::RunMergeLoop() {
     }
     FoldReadyEpochs();
   }
+}
+
+void MergePipeline::BuildFeedbackLocked(size_t through_epoch, int worker,
+                                        Feedback* out) {
+  out->pool_entries.clear();
+  out->virgin = {};
+  WorkerCursor& cursor = cursors_[static_cast<size_t>(worker)];
+  // The pool boundary recorded at `through_epoch` keeps the answer
+  // identical however far ahead the drainer has folded by now.
+  const size_t pool_end = feedback_[through_epoch].pool_end;
+  for (size_t i = cursor.pool; i < pool_end; ++i) {
+    if (pool_[i].origin != worker) {
+      out->pool_entries.push_back(pool_[i].input);
+    }
+  }
+  cursor.pool = pool_end;
+  for (size_t epoch = cursor.epoch; epoch <= through_epoch; ++epoch) {
+    out->virgin.Append(feedback_[epoch].virgin);
+  }
+  cursor.epoch = through_epoch + 1;
 }
 
 bool MergePipeline::WaitForFeedback(size_t through_epoch, int worker,
@@ -232,30 +244,13 @@ bool MergePipeline::WaitForFeedback(size_t through_epoch, int worker,
   if (aborted_) {
     return false;
   }
-  WorkerCursor& cursor = cursors_[static_cast<size_t>(worker)];
-  // The pool boundary recorded at `through_epoch` keeps the answer
-  // identical however far ahead the drainer has folded by now.
-  const size_t pool_end = feedback_[through_epoch].pool_end;
-  for (size_t i = cursor.pool; i < pool_end; ++i) {
-    if (pool_[i].origin != worker) {
-      out->pool_entries.push_back(pool_[i].input);
-    }
-  }
-  cursor.pool = pool_end;
-  for (size_t epoch = cursor.epoch; epoch <= through_epoch; ++epoch) {
-    out->virgin.Append(feedback_[epoch].virgin);
-  }
-  cursor.epoch = through_epoch + 1;
+  BuildFeedbackLocked(through_epoch, worker, out);
   return true;
 }
 
 void MergePipeline::Abort() {
   aborted_ = true;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_not_empty_.notify_all();
-    queue_not_full_.notify_all();
-  }
+  transport_->Abort();
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     feedback_cv_.notify_all();
@@ -295,15 +290,8 @@ size_t MergePipeline::finalized_epochs() const {
 }
 
 MergePipelineStats MergePipeline::stats() const {
-  // Queue-side fields (deltas, bytes, depth, publish waits, flushes) are
-  // guarded by queue_mu_; feedback_wait_seconds by state_mu_. Lock order
-  // queue -> state is used nowhere else, so this cannot deadlock.
-  std::lock_guard<std::mutex> queue_lock(queue_mu_);
-  std::lock_guard<std::mutex> state_lock(state_mu_);
-  MergePipelineStats out = stats_;
-  out.avg_queue_depth =
-      out.deltas == 0 ? 0.0 : queue_depth_sum_ / static_cast<double>(out.deltas);
-  return out;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return stats_;
 }
 
 }  // namespace neco

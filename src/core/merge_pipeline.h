@@ -1,37 +1,37 @@
-// The delta-based merge pipeline: a bounded MPSC queue of encoded
-// ShardDelta records drained by a single merge loop.
+// The delta merge pipeline: a single drain loop over a ShardTransport.
 //
-// This replaces the per-epoch stop-the-world barrier the campaign engine
-// used through PR 2. Workers publish self-contained, wire-encoded deltas
-// (src/core/wire.h) and immediately continue fuzzing; the merge loop —
-// run on its own thread by CampaignEngine — decodes them, assigns
-// deterministic epoch numbers, and folds them into the global virgin
-// bitmap, covered set, finding-dedup map, and corpus pool in fixed
-// (epoch, worker) order. Observer events therefore fire in exactly the
-// same merge-ordered sequence the barrier produced, for any merge_batch
-// and any thread timing; only wall-clock interleaving changes.
+// PR 3 replaced the per-epoch stop-the-world barrier with this pipeline;
+// PR 4 split it from its medium. Workers publish self-contained,
+// wire-encoded ShardDeltas (src/core/wire.h) into a ShardTransport
+// (src/core/transport/) — an in-process bounded queue for thread shards,
+// pipes from fork/exec'd children for process shards — and the merge loop
+// drains whichever transport it was given, decodes, assigns deterministic
+// epoch numbers, and folds into the global virgin bitmap, covered set,
+// finding-dedup map, and corpus pool in fixed (epoch, worker) order.
+// Observer events therefore fire in exactly the same merge-ordered
+// sequence the barrier produced, for any merge_batch, any thread timing,
+// and any transport; only wall-clock interleaving changes.
 //
-// Workers block in exactly two places:
-//  * Publish(), when the bounded queue is full (backpressure against a
-//    slow drainer), and
-//  * WaitForFeedback(), when corpus syncing needs the previous epoch's
-//    merged state (pool entries + global novelty) and the drainer has not
-//    folded it yet.
-// With corpus syncing off — NecoFuzz's default breadth-first mode — the
-// second site disappears entirely and shards never wait for each other.
+// Feedback (the merged state corpus-syncing shards absorb at epoch
+// boundaries) flows back two ways, same content either way:
+//  * thread shards pull it: WaitForFeedback() blocks until the epoch is
+//    finalized, then snapshots against per-worker cursors;
+//  * process shards get it pushed: with options.push_feedback the drainer
+//    encodes a FeedbackRecord per worker right after finalizing an epoch
+//    and sends it through the transport, using the same cursors — so a
+//    shard sees identical feedback whichever side of the fork it runs on.
 //
 // Determinism: the pool boundary and global-novelty delta are recorded
 // per finalized epoch, so a worker asking for "the merged state through
 // epoch E" gets the same answer no matter how far ahead the drainer has
 // already folded. That property is what makes results independent of
-// merge_batch (tested in tests/engine_test.cc).
+// merge_batch and of the transport (tested in tests/engine_test.cc).
 #ifndef SRC_CORE_MERGE_PIPELINE_H_
 #define SRC_CORE_MERGE_PIPELINE_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <map>
 #include <memory>
@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/core/campaign.h"
+#include "src/core/transport/transport.h"
 #include "src/core/wire.h"
 #include "src/fuzz/bitmap.h"
 
@@ -57,41 +58,36 @@ struct MergePipelineOptions {
   // Deltas drained per flush; 1 reproduces the barrier-era one-merge-per-
   // delta cadence. Results are identical for any value.
   int merge_batch = 1;
-  // Encoded deltas in flight before Publish() blocks; 0 derives a default
-  // from workers and merge_batch.
-  size_t queue_capacity = 0;
+  // Push an encoded FeedbackRecord to every worker through the transport
+  // after finalizing each epoch (process shards; mutually exclusive with
+  // the workers calling WaitForFeedback — both advance the same per-worker
+  // cursors).
+  bool push_feedback = false;
 };
 
-// Counters for bench/parallel_scaling's merge-pipeline mode: how deep the
-// queue ran and how long workers sat idle (blocked publishing or waiting
-// for feedback) instead of fuzzing.
+// Drain-loop counters (the transport counts bytes and queue depth itself;
+// see TransportStats).
 struct MergePipelineStats {
-  uint64_t deltas = 0;       // Shard deltas published.
-  uint64_t delta_bytes = 0;  // Encoded bytes through the queue.
-  uint64_t flushes = 0;      // Drainer wake-ups.
-  size_t max_queue_depth = 0;
-  double avg_queue_depth = 0.0;  // Sampled after each publish.
-  uint64_t publish_blocks = 0;   // Publishes that found the queue full.
-  double publish_wait_seconds = 0.0;
+  uint64_t flushes = 0;  // Drainer wake-ups.
+  // Time thread shards spent blocked in WaitForFeedback (always 0 with
+  // push_feedback — a process shard's wait happens in its own process).
   double feedback_wait_seconds = 0.0;
 };
 
 class MergePipeline {
  public:
-  // Observers are borrowed; every dispatch is exception-guarded (the
-  // first escaping exception is recorded, later ones are dropped) so a
-  // throwing observer can never strand worker threads — the engine
-  // rethrows observer_error() after everything joined.
-  MergePipeline(MergePipelineOptions options,
+  // The transport is borrowed and must outlive the pipeline. Observers are
+  // borrowed; every dispatch is exception-guarded (the first escaping
+  // exception is recorded, later ones are dropped) so a throwing observer
+  // can never strand worker threads — the engine rethrows observer_error()
+  // after everything joined.
+  MergePipeline(MergePipelineOptions options, ShardTransport* transport,
                 std::vector<CampaignObserver*> observers);
 
-  // --- Producer side (worker threads) ---
+  // --- Thread-shard feedback (pull side) ---
 
-  // Enqueues one wire-encoded ShardDelta; blocks while the queue is full.
-  // Returns false when the pipeline was aborted.
-  bool Publish(wire::Buffer encoded_delta);
-
-  // The merged state a syncing shard absorbs at an epoch boundary.
+  // The merged state a syncing shard absorbs at an epoch boundary (the
+  // in-memory twin of the wire FeedbackRecord).
   struct Feedback {
     // Other shards' pool entries, in deterministic pool order.
     std::vector<FuzzInput> pool_entries;
@@ -107,14 +103,16 @@ class MergePipeline {
 
   // --- Drainer ---
 
-  // Decodes and folds published deltas until every epoch is finalized (or
-  // Abort()). The engine runs this on a dedicated merge thread; observer
-  // events fire here, never concurrently. Throws std::runtime_error on a
-  // corrupt delta.
+  // Drains the transport and folds published deltas until every epoch is
+  // finalized (or Abort()). The engine runs this on a dedicated merge
+  // thread (inline for process shards); observer events fire here, never
+  // concurrently. Throws std::runtime_error on a corrupt delta or a
+  // transport failure (a dead shard surfaces here, never as a hang).
   void RunMergeLoop();
 
-  // Unblocks every Publish/WaitForFeedback (they return false) and makes
-  // RunMergeLoop return; used when a worker dies so nobody waits forever.
+  // Aborts the transport (unblocking its producers and Drain) and every
+  // WaitForFeedback (they return false); used when a worker dies so
+  // nobody waits forever.
   void Abort();
   bool aborted() const { return aborted_; }
 
@@ -149,24 +147,24 @@ class MergePipeline {
     size_t epoch = 0;  // Next feedback epoch to hand out.
   };
 
-  bool PopBatch(std::vector<wire::Buffer>* out);
   void Stage(std::unique_ptr<ShardDelta> delta);
   void FoldReadyEpochs();
+  // Snapshots `worker`'s unseen merged state through `through_epoch` and
+  // advances its cursors; caller holds state_mu_ and the epoch must be
+  // finalized. Shared by WaitForFeedback and the push_feedback path.
+  void BuildFeedbackLocked(size_t through_epoch, int worker, Feedback* out);
+  // Encodes and pushes every worker's FeedbackRecord for `epoch`; throws
+  // on a transport failure.
+  void PushEpochFeedback(size_t epoch);
   template <typename Fn>
   void Notify(Fn&& fn);
 
   MergePipelineOptions options_;
+  ShardTransport* transport_;
   std::vector<CampaignObserver*> observers_;
-  size_t queue_capacity_ = 0;
   std::atomic<bool> aborted_{false};
 
-  // Bounded MPSC queue of encoded deltas (+ queue-side stats).
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_not_empty_;
-  std::condition_variable queue_not_full_;
-  std::deque<wire::Buffer> queue_;
-  MergePipelineStats stats_;  // Fields guarded as documented in stats().
-  double queue_depth_sum_ = 0.0;
+  MergePipelineStats stats_;  // flushes: drainer-only; waits: state_mu_.
 
   // Drainer-only staging: decoded deltas waiting for their epoch to
   // complete (all workers' records present).

@@ -12,9 +12,13 @@
 //   const neco::EngineResult result = engine.Run();
 //   // result.merged.final_percent, result.merged.findings, ...
 //
-// Shards merge through the delta pipeline (src/core/merge_pipeline.h)
-// whose records are wire-serializable (src/core/wire.h). See README.md
-// for the architecture overview and examples/ for runnable programs.
+// Shards merge through the delta pipeline (src/core/merge_pipeline.h),
+// whose records are wire-serializable (src/core/wire.h) and travel a
+// pluggable ShardTransport (src/core/transport/): thread shards over the
+// in-proc queue, or — options.shard_mode = ShardMode::kProcesses —
+// fork/exec'd child processes over pipes, with identical results. See
+// README.md for the architecture overview and examples/ for runnable
+// programs.
 #ifndef SRC_CORE_NECOFUZZ_H_
 #define SRC_CORE_NECOFUZZ_H_
 
@@ -24,6 +28,10 @@
 #include "src/core/engine.h"                     // IWYU pragma: export
 #include "src/core/harness/harness.h"            // IWYU pragma: export
 #include "src/core/merge_pipeline.h"             // IWYU pragma: export
+#include "src/core/transport/inproc.h"           // IWYU pragma: export
+#include "src/core/transport/pipe.h"             // IWYU pragma: export
+#include "src/core/transport/supervisor.h"       // IWYU pragma: export
+#include "src/core/transport/transport.h"        // IWYU pragma: export
 #include "src/core/validator/oracle.h"           // IWYU pragma: export
 #include "src/core/wire.h"                       // IWYU pragma: export
 #include "src/core/validator/vmcb_validator.h"   // IWYU pragma: export

@@ -1,0 +1,89 @@
+#include "src/core/transport/inproc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace neco {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+InProcTransport::InProcTransport(InProcTransportOptions options) {
+  const int workers = std::max(options.workers, 1);
+  const int merge_batch = std::max(options.merge_batch, 1);
+  capacity_ = options.capacity;
+  if (capacity_ == 0) {
+    capacity_ = std::max<size_t>(2 * static_cast<size_t>(workers),
+                                 static_cast<size_t>(merge_batch));
+  }
+}
+
+bool InProcTransport::Publish(wire::Buffer encoded_delta) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= capacity_ && !aborted_) {
+    ++stats_.publish_blocks;
+    const auto start = Clock::now();
+    not_full_.wait(lock, [&] {
+      return queue_.size() < capacity_ || aborted_.load();
+    });
+    stats_.publish_wait_seconds += SecondsSince(start);
+  }
+  if (aborted_) {
+    return false;
+  }
+  ++stats_.deltas;
+  stats_.delta_bytes += encoded_delta.size();
+  queue_.push_back(std::move(encoded_delta));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  queue_depth_sum_ += static_cast<double>(queue_.size());
+  not_empty_.notify_one();
+  return true;
+}
+
+bool InProcTransport::Drain(size_t max_batch, std::vector<wire::Buffer>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !queue_.empty() || aborted_.load(); });
+  if (aborted_) {
+    return false;
+  }
+  const size_t n = std::min(queue_.size(), std::max<size_t>(max_batch, 1));
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  not_full_.notify_all();
+  return true;
+}
+
+bool InProcTransport::SendFeedback(int /*worker*/,
+                                   const wire::Buffer& /*frame*/) {
+  // Thread shards pull feedback from MergePipeline::WaitForFeedback;
+  // nothing travels through the transport.
+  return true;
+}
+
+void InProcTransport::Abort() {
+  aborted_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+TransportStats InProcTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransportStats out = stats_;
+  out.avg_queue_depth =
+      out.deltas == 0 ? 0.0
+                      : queue_depth_sum_ / static_cast<double>(out.deltas);
+  return out;
+}
+
+}  // namespace neco

@@ -1,0 +1,71 @@
+// InProcTransport — the bounded in-memory MPSC queue for thread shards.
+//
+// This is the deque MergePipeline owned through PR 3, hoisted out behind
+// the ShardTransport interface: worker threads Publish() wire-encoded
+// ShardDeltas, the merge thread Drain()s them in arrival order, and a full
+// queue applies backpressure (the publisher blocks until the drainer
+// catches up or the transport is aborted).
+//
+// SendFeedback() is a no-op: thread shards live in the pipeline's address
+// space and pull merged state directly through
+// MergePipeline::WaitForFeedback, so nothing needs to travel back.
+#ifndef SRC_CORE_TRANSPORT_INPROC_H_
+#define SRC_CORE_TRANSPORT_INPROC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "src/core/transport/transport.h"
+
+namespace neco {
+
+struct InProcTransportOptions {
+  int workers = 1;
+  // The drain batch the merge pipeline will use; feeds the derived
+  // capacity so the common cadence never blocks a publisher.
+  int merge_batch = 1;
+  // Encoded deltas in flight before Publish() blocks. 0 does NOT mean
+  // unbounded: it derives the default max(2 * workers, merge_batch) —
+  // room for one full epoch of deltas plus a flush in flight. Explicit
+  // values are honored as-is (minimum 1); callers that really want an
+  // effectively unbounded queue pass SIZE_MAX. The resolved value is
+  // readable through capacity(). Covered in tests/merge_pipeline_test.cc.
+  size_t capacity = 0;
+};
+
+class InProcTransport : public ShardTransport {
+ public:
+  explicit InProcTransport(InProcTransportOptions options);
+
+  // Producer side (worker threads): enqueues one encoded ShardDelta,
+  // blocking while the queue is at capacity. Returns false when the
+  // transport was aborted.
+  bool Publish(wire::Buffer encoded_delta);
+
+  // The resolved queue bound (after the 0 -> derived-default rule).
+  size_t capacity() const { return capacity_; }
+
+  // ShardTransport:
+  bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) override;
+  bool SendFeedback(int worker, const wire::Buffer& frame) override;
+  void Abort() override;
+  std::string error() const override { return {}; }
+  TransportStats stats() const override;
+
+ private:
+  size_t capacity_ = 0;
+  std::atomic<bool> aborted_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<wire::Buffer> queue_;
+  TransportStats stats_;  // Guarded by mu_.
+  double queue_depth_sum_ = 0.0;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_TRANSPORT_INPROC_H_

@@ -1,0 +1,157 @@
+#include "src/core/transport/supervisor.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace neco {
+
+std::string ShardExit::Describe() const {
+  if (!reaped) {
+    return "still running";
+  }
+  if (term_signal != 0) {
+    return "killed by signal " + std::to_string(term_signal);
+  }
+  return "exited with status " + std::to_string(exit_code);
+}
+
+ShardSupervisor::ShardSupervisor() {
+  // A shard child can die at any moment, turning the parent's next
+  // feedback-pipe write into an EPIPE. The default SIGPIPE disposition
+  // would kill the whole campaign process instead; ignoring it keeps the
+  // failure a recoverable error code (PipeTransport turns it into a
+  // recorded shard error). The previous disposition is restored when the
+  // supervisor (which outlives every pipe write of its campaign) goes
+  // away, so the embedding process does not keep the side effect.
+  previous_sigpipe_ = ::signal(SIGPIPE, SIG_IGN);
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  KillAll(SIGKILL);
+  WaitAll();
+  ::signal(SIGPIPE, previous_sigpipe_);
+}
+
+pid_t ShardSupervisor::SpawnFork(int worker,
+                                 const std::function<int()>& body) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return -1;
+  }
+  if (pid == 0) {
+    // Child: run the shard body and leave without unwinding the parent's
+    // stack or running its atexit handlers (they belong to the parent).
+    int code = 1;
+    try {
+      code = body();
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+  children_.push_back(ShardExit{worker, pid, false, -1, 0});
+  return pid;
+}
+
+pid_t ShardSupervisor::SpawnExec(int worker, const std::string& exec_path,
+                                 const std::vector<std::string>& argv,
+                                 const std::vector<int>& keep_fds) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return -1;
+  }
+  if (pid == 0) {
+    // Close every inherited descriptor the child must not hold open —
+    // above all the *other* shards' pipe ends, which would otherwise keep
+    // their streams from ever reaching EOF when a sibling dies.
+    const long max_fd = ::sysconf(_SC_OPEN_MAX);
+    for (int fd = 3; fd < (max_fd > 0 ? max_fd : 1024); ++fd) {
+      bool keep = false;
+      for (int k : keep_fds) {
+        keep = keep || k == fd;
+      }
+      if (!keep) {
+        ::close(fd);
+      }
+    }
+    std::vector<char*> args;
+    args.push_back(const_cast<char*>(exec_path.c_str()));
+    for (const std::string& arg : argv) {
+      args.push_back(const_cast<char*>(arg.c_str()));
+    }
+    args.push_back(nullptr);
+    ::execv(exec_path.c_str(), args.data());
+    ::_exit(127);  // Exec failed; surfaces at WaitAll().
+  }
+  children_.push_back(ShardExit{worker, pid, false, -1, 0});
+  return pid;
+}
+
+namespace {
+
+void Reap(ShardExit& child, int flags) {
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(child.pid, &status, flags);
+  } while (r < 0 && errno == EINTR);
+  if (r <= 0) {
+    return;  // Still running (WNOHANG) or already reaped elsewhere.
+  }
+  child.reaped = true;
+  if (WIFEXITED(status)) {
+    child.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    child.term_signal = WTERMSIG(status);
+  }
+}
+
+}  // namespace
+
+std::vector<ShardExit> ShardSupervisor::WaitAll() {
+  for (ShardExit& child : children_) {
+    if (!child.reaped) {
+      Reap(child, 0);
+    }
+  }
+  return children_;
+}
+
+std::vector<ShardExit> ShardSupervisor::ReapExited() {
+  for (ShardExit& child : children_) {
+    if (!child.reaped) {
+      Reap(child, WNOHANG);
+    }
+  }
+  return children_;
+}
+
+ShardExit ShardSupervisor::WaitWorker(int worker) {
+  for (ShardExit& child : children_) {
+    if (child.worker != worker) {
+      continue;
+    }
+    for (int attempt = 0; attempt < 500 && !child.reaped; ++attempt) {
+      Reap(child, WNOHANG);
+      if (!child.reaped) {
+        ::usleep(2000);
+      }
+    }
+    return child;
+  }
+  return ShardExit{};
+}
+
+void ShardSupervisor::KillAll(int sig) {
+  for (const ShardExit& child : children_) {
+    if (!child.reaped && child.pid > 0) {
+      ::kill(child.pid, sig);
+    }
+  }
+}
+
+}  // namespace neco

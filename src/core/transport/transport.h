@@ -1,0 +1,80 @@
+// ShardTransport — how encoded campaign records move between worker
+// shards and the merge pipeline's drain loop.
+//
+// PR 3 made shards communicate exclusively through serialized ShardDelta
+// records (src/core/wire.h); this layer makes the medium those records
+// travel over pluggable. The merge pipeline (src/core/merge_pipeline.h)
+// drains *a transport* — it no longer owns a queue — so the same drain /
+// stage / fold loop serves:
+//
+//  * InProcTransport (src/core/transport/inproc.h): the bounded in-memory
+//    MPSC deque the pipeline historically embedded, for thread shards
+//    inside one process, and
+//  * PipeTransport (src/core/transport/pipe.h): length-prefixed frames
+//    from fork/exec'd child-shard processes over pipes, with per-epoch
+//    FeedbackRecord frames flowing back, for campaigns that scale past
+//    one process.
+//
+// The contract is deterministic content: a transport moves opaque encoded
+// frames without reordering records from the same shard, so the fold — and
+// therefore merged results and observer event sequences — is identical
+// whichever backend carried the bytes (pinned in tests/engine_test.cc).
+#ifndef SRC_CORE_TRANSPORT_TRANSPORT_H_
+#define SRC_CORE_TRANSPORT_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/wire.h"
+
+namespace neco {
+
+// Byte / wait counters a transport reports into EngineResult::transport
+// (the per-transport columns of bench/parallel_scaling).
+struct TransportStats {
+  uint64_t deltas = 0;           // ShardDelta frames delivered to the drainer.
+  uint64_t delta_bytes = 0;      // Encoded delta bytes through the transport.
+  uint64_t feedback_records = 0; // Feedback/config frames sent toward shards.
+  uint64_t feedback_bytes = 0;
+  size_t max_queue_depth = 0;    // Frames buffered drainer-side.
+  double avg_queue_depth = 0.0;  // Sampled once per enqueued frame.
+  uint64_t publish_blocks = 0;   // Producer-side backpressure events (in-proc
+                                 // only: a child process blocks in the pipe
+                                 // buffer, invisible to the parent).
+  double publish_wait_seconds = 0.0;
+};
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  // Drainer side: blocks until at least one encoded ShardDelta is
+  // available, then moves up to `max_batch` of them into `*out` (cleared
+  // first). Returns false when no delta will ever arrive again — the
+  // transport was aborted, or a producer failed (see error()).
+  virtual bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) = 0;
+
+  // Ships one encoded frame (a FeedbackRecord, or a ShardChildConfigRecord
+  // at startup) toward shard `worker`. In-process transports no-op and
+  // return true: thread shards read merged state straight from the
+  // pipeline (MergePipeline::WaitForFeedback). Returns false when the
+  // shard can no longer receive (dead child / aborted transport); the
+  // failure is also recorded in error().
+  virtual bool SendFeedback(int worker, const wire::Buffer& frame) = 0;
+
+  // Unblocks Drain() and every producer; both fail fast afterwards. Safe
+  // to call from any thread, repeatedly.
+  virtual void Abort() = 0;
+
+  // Non-empty after a transport-level failure (producer died mid-stream,
+  // corrupt frame header, broken pipe). Drain() returns false once set.
+  virtual std::string error() const = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_TRANSPORT_TRANSPORT_H_

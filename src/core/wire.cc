@@ -6,7 +6,7 @@ namespace neco {
 namespace wire {
 namespace {
 
-constexpr size_t kHeaderSize = 1 + 1 + 4;  // type, version, payload length.
+constexpr size_t kHeaderSize = kFrameHeaderSize;
 
 // --- Little-endian writer ------------------------------------------------
 
@@ -349,16 +349,175 @@ bool Decode(const uint8_t* data, size_t size, FinishEvent* out) {
   return r.Done();
 }
 
+Buffer Encode(const FeedbackRecord& record) {
+  return Frame(RecordType::kFeedback, [&](Writer& w) {
+    w.U64(record.epoch);
+    w.I32(record.worker);
+    w.U32(static_cast<uint32_t>(record.pool_entries.size()));
+    for (const FuzzInput& input : record.pool_entries) {
+      w.Bytes(input);
+    }
+    w.U32(static_cast<uint32_t>(record.virgin.size()));
+    for (size_t i = 0; i < record.virgin.size(); ++i) {
+      w.U32(record.virgin.cells[i]);
+      w.U8(record.virgin.bits[i]);
+    }
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kFeedback);
+  out->epoch = r.U64();
+  out->worker = r.I32();
+  out->pool_entries.clear();
+  const uint32_t pool_count = r.U32();
+  if (!r.FitsCount(pool_count, 4)) return false;
+  for (uint32_t i = 0; i < pool_count; ++i) {
+    out->pool_entries.push_back(r.Bytes());
+  }
+  out->virgin = {};
+  const uint32_t virgin_count = r.U32();
+  if (!r.FitsCount(virgin_count, 5)) return false;
+  for (uint32_t i = 0; i < virgin_count; ++i) {
+    const uint32_t cell = r.U32();
+    out->virgin.Append(cell, r.U8());
+  }
+  return r.Done();
+}
+
+Buffer Encode(const ShardResultRecord& record) {
+  return Frame(RecordType::kShardResult, [&](Writer& w) {
+    w.I32(record.worker);
+    w.F64(record.final_percent);
+    w.U64(record.covered_points);
+    w.U64(record.total_points);
+    w.U32(static_cast<uint32_t>(record.covered_set.size()));
+    for (uint32_t point : record.covered_set) {
+      w.U32(point);
+    }
+    w.U32(static_cast<uint32_t>(record.findings.size()));
+    for (const AnomalyReport& report : record.findings) {
+      WriteReport(w, report);
+    }
+    w.U64(record.iterations);
+    w.U64(record.queue_size);
+    w.U64(record.unique_anomalies);
+    w.U64(record.bitmap_edges);
+    w.U64(record.watchdog_restarts);
+    w.U64(record.imports);
+    w.U32(static_cast<uint32_t>(record.crash_ids.size()));
+    for (const std::string& id : record.crash_ids) {
+      w.Str(id);
+    }
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kShardResult);
+  out->worker = r.I32();
+  out->final_percent = r.F64();
+  out->covered_points = r.U64();
+  out->total_points = r.U64();
+  out->covered_set.clear();
+  const uint32_t covered_count = r.U32();
+  if (!r.FitsCount(covered_count, 4)) return false;
+  for (uint32_t i = 0; i < covered_count; ++i) {
+    out->covered_set.push_back(r.U32());
+  }
+  out->findings.clear();
+  const uint32_t finding_count = r.U32();
+  if (!r.FitsCount(finding_count, 9)) return false;
+  for (uint32_t i = 0; i < finding_count; ++i) {
+    AnomalyReport report;
+    if (!ReadReport(r, &report)) return false;
+    out->findings.push_back(std::move(report));
+  }
+  out->iterations = r.U64();
+  out->queue_size = r.U64();
+  out->unique_anomalies = r.U64();
+  out->bitmap_edges = r.U64();
+  out->watchdog_restarts = r.U64();
+  out->imports = r.U64();
+  out->crash_ids.clear();
+  const uint32_t crash_count = r.U32();
+  if (!r.FitsCount(crash_count, 4)) return false;
+  for (uint32_t i = 0; i < crash_count; ++i) {
+    out->crash_ids.push_back(r.Str());
+  }
+  return r.Done();
+}
+
+Buffer Encode(const ShardChildConfigRecord& record) {
+  return Frame(RecordType::kChildConfig, [&](Writer& w) {
+    w.Str(record.target);
+    w.I32(record.worker);
+    w.I32(record.workers);
+    w.U64(record.epochs);
+    w.U8(record.arch);
+    w.U64(record.iterations);
+    w.I32(record.samples);
+    w.U64(record.seed);
+    w.U8(record.syncing);
+    w.U8(record.coverage_guidance);
+    w.U32(record.havoc_stack);
+    w.U32(record.splice_percent);
+    w.U8(record.use_harness);
+    w.U8(record.use_validator);
+    w.U8(record.use_configurator);
+    w.U32(record.oracle_interval);
+    w.Str(record.crash_dir);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kChildConfig);
+  out->target = r.Str();
+  out->worker = r.I32();
+  out->workers = r.I32();
+  out->epochs = r.U64();
+  out->arch = r.U8();
+  if (r.ok() && out->arch > 1) return false;  // Arch::{kIntel,kAmd}.
+  out->iterations = r.U64();
+  out->samples = r.I32();
+  out->seed = r.U64();
+  out->syncing = r.U8();
+  out->coverage_guidance = r.U8();
+  out->havoc_stack = r.U32();
+  out->splice_percent = r.U32();
+  out->use_harness = r.U8();
+  out->use_validator = r.U8();
+  out->use_configurator = r.U8();
+  out->oracle_interval = r.U32();
+  out->crash_dir = r.Str();
+  return r.Done();
+}
+
 bool PeekType(const uint8_t* data, size_t size, RecordType* out) {
   if (data == nullptr || size < kHeaderSize) {
     return false;
   }
   const uint8_t type = data[0];
   if (type < static_cast<uint8_t>(RecordType::kShardDelta) ||
-      type > static_cast<uint8_t>(RecordType::kFinish)) {
+      type > static_cast<uint8_t>(RecordType::kChildConfig)) {
     return false;
   }
   *out = static_cast<RecordType>(type);
+  return true;
+}
+
+bool FrameSize(const uint8_t* data, size_t size, size_t* out) {
+  RecordType type;
+  if (!PeekType(data, size, &type)) {
+    return false;
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(data[2 + i]) << (8 * i);
+  }
+  if (length > kMaxFramePayload) {
+    return false;
+  }
+  *out = kHeaderSize + static_cast<size_t>(length);
   return true;
 }
 

@@ -1,7 +1,8 @@
 // Wire format for campaign records: the serialized shapes shards and the
-// merge pipeline exchange (src/core/merge_pipeline.h).
+// merge pipeline exchange (src/core/merge_pipeline.h) over a
+// ShardTransport (src/core/transport/transport.h).
 //
-// Two families of records live here:
+// Three families of records live here:
 //
 //  * The five observer event records (SampleEvent .. FinishEvent) — the
 //    streaming API of CampaignEngine (src/core/engine.h re-exports them).
@@ -9,7 +10,14 @@
 //    self-contained record: new virgin-map bits, newly covered line ids,
 //    new queue entries, new findings. Shards communicate with the merge
 //    loop exclusively through these; nothing shares in-memory fuzzer
-//    state across threads.
+//    state across threads (or, with process shards, across processes).
+//  * The process-sharding records: FeedbackRecord (the per-epoch merged
+//    state a syncing shard absorbs — pool entries + the global-novelty
+//    BitmapDelta — pushed from the drainer to child shards),
+//    ShardResultRecord (a child shard's final per-worker summary, shipped
+//    after its last delta), and ShardChildConfigRecord (the campaign
+//    configuration an exec'd --necofuzz-shard-child process reads at
+//    startup).
 //
 // The binary encoding is versioned, length-prefixed, and endian-stable
 // (everything is serialized little-endian byte by byte, so records decode
@@ -109,11 +117,75 @@ struct ShardDelta {
   std::vector<AnomalyReport> findings;
 };
 
+// --- Process-sharding records --------------------------------------------
+
+// The merged state a syncing shard absorbs at an epoch boundary, as the
+// drainer pushes it to a process shard over its feedback pipe (the
+// serialized form of MergePipeline::Feedback; thread shards pull the same
+// content through MergePipeline::WaitForFeedback instead).
+struct FeedbackRecord {
+  uint64_t epoch = 0;  // Feedback covers merged state through this epoch.
+  int worker = 0;      // Target shard (lets the child validate routing).
+  // Other shards' pool entries, in deterministic pool order.
+  std::vector<FuzzInput> pool_entries;
+  // Global novelty (cells merged into the global virgin map) since this
+  // worker's previous feedback.
+  BitmapDelta virgin;
+};
+
+// A child shard's final per-worker state, shipped after its last delta so
+// the parent can assemble EngineResult::per_worker (and the ShardDoneEvent
+// stream) bit-identically to thread mode.
+struct ShardResultRecord {
+  int worker = 0;
+  double final_percent = 0.0;
+  uint64_t covered_points = 0;
+  uint64_t total_points = 0;
+  std::vector<uint32_t> covered_set;      // Covered line ids, ascending.
+  std::vector<AnomalyReport> findings;    // Bug-id order (agent map order).
+  uint64_t iterations = 0;
+  uint64_t queue_size = 0;
+  uint64_t unique_anomalies = 0;
+  uint64_t bitmap_edges = 0;
+  uint64_t watchdog_restarts = 0;
+  uint64_t imports = 0;                   // Pool entries adopted (post-dedup).
+  std::vector<std::string> crash_ids;     // Fuzzer crash bug ids, in
+                                          // discovery order.
+};
+
+// Everything an exec'd --necofuzz-shard-child process needs to rebuild its
+// shard: the target (by registry name — factories cannot cross exec), the
+// campaign options that shape the schedule, and this shard's identity.
+// Fork-mode children inherit all of this through memory and skip the
+// record.
+struct ShardChildConfigRecord {
+  std::string target;
+  int worker = 0;
+  int workers = 1;
+  uint64_t epochs = 0;  // Global epoch count (parent's schedule authority).
+  uint8_t arch = 0;     // static_cast<uint8_t>(Arch).
+  uint64_t iterations = 0;
+  int samples = 1;
+  uint64_t seed = 1;
+  uint8_t syncing = 0;  // Parent's resolved corpus-sync decision.
+  // FuzzerOptions (seed is derived: campaign seed + worker).
+  uint8_t coverage_guidance = 0;
+  uint32_t havoc_stack = 16;
+  uint32_t splice_percent = 15;
+  // AgentOptions (arch comes from the campaign arch above).
+  uint8_t use_harness = 1;
+  uint8_t use_validator = 1;
+  uint8_t use_configurator = 1;
+  uint32_t oracle_interval = 64;
+  std::string crash_dir;
+};
+
 // --- Encode / decode -----------------------------------------------------
 
 namespace wire {
 
-inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kVersion = 2;  // v2 added the process-sharding
+                                        // records (kFeedback..kChildConfig).
 
 enum class RecordType : uint8_t {
   kShardDelta = 1,
@@ -122,9 +194,21 @@ enum class RecordType : uint8_t {
   kCorpusSync = 4,
   kShardDone = 5,
   kFinish = 6,
+  kFeedback = 7,
+  kShardResult = 8,
+  kChildConfig = 9,
 };
 
 using Buffer = std::vector<uint8_t>;
+
+// [u8 type][u8 version][u32 payload length] — what PipeTransport needs to
+// cut frames out of a byte stream.
+inline constexpr size_t kFrameHeaderSize = 1 + 1 + 4;
+
+// Sanity bound on a single frame travelling a pipe: a real delta is a few
+// KiB, so anything this large is a corrupt length field, and rejecting it
+// beats letting four attacker-controlled bytes trigger a 4 GiB allocation.
+inline constexpr size_t kMaxFramePayload = size_t{1} << 30;
 
 Buffer Encode(const ShardDelta& record);
 Buffer Encode(const SampleEvent& record);
@@ -132,6 +216,9 @@ Buffer Encode(const FindingEvent& record);
 Buffer Encode(const CorpusSyncEvent& record);
 Buffer Encode(const ShardDoneEvent& record);
 Buffer Encode(const FinishEvent& record);
+Buffer Encode(const FeedbackRecord& record);
+Buffer Encode(const ShardResultRecord& record);
+Buffer Encode(const ShardChildConfigRecord& record);
 
 // Strict decoding; `*out` is unspecified when false is returned.
 bool Decode(const uint8_t* data, size_t size, ShardDelta* out);
@@ -140,6 +227,9 @@ bool Decode(const uint8_t* data, size_t size, FindingEvent* out);
 bool Decode(const uint8_t* data, size_t size, CorpusSyncEvent* out);
 bool Decode(const uint8_t* data, size_t size, ShardDoneEvent* out);
 bool Decode(const uint8_t* data, size_t size, FinishEvent* out);
+bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out);
+bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out);
+bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out);
 
 template <typename Record>
 bool Decode(const Buffer& buffer, Record* out) {
@@ -149,6 +239,13 @@ bool Decode(const Buffer& buffer, Record* out) {
 // The record type of a framed buffer (for demultiplexing a stream);
 // returns false for anything shorter than a frame header.
 bool PeekType(const uint8_t* data, size_t size, RecordType* out);
+
+// Stream framing: given the head of a byte stream, reports the total size
+// (header + payload) of the frame it starts with, so a transport can tell
+// whether a complete frame has arrived. Returns false while fewer than
+// kFrameHeaderSize bytes are available, or when the header is invalid
+// (unknown type byte, payload length above kMaxFramePayload).
+bool FrameSize(const uint8_t* data, size_t size, size_t* out);
 
 }  // namespace wire
 }  // namespace neco

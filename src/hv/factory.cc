@@ -78,8 +78,4 @@ HypervisorFactory ResolveHypervisorFactory(std::string_view name) {
   throw std::invalid_argument(message);
 }
 
-HypervisorFactory MakeHypervisorFactory(std::string_view name) {
-  return FindHypervisorFactory(name == "vbox" ? "virtualbox" : name);
-}
-
 }  // namespace neco

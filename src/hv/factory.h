@@ -46,15 +46,10 @@ HypervisorFactory FindHypervisorFactory(std::string_view name);
 // alternatives. CampaignEngine's construct-by-name path resolves through
 // this, so a typo'd target fails loudly instead of yielding an empty
 // std::function that explodes later.
+//
+// (The historical MakeHypervisorFactory wrapper — deprecated since the
+// registry landed — is gone; its "vbox" alias maps to "virtualbox".)
 HypervisorFactory ResolveHypervisorFactory(std::string_view name);
-
-// Deprecated: resolve through the registry instead
-// (ResolveHypervisorFactory, or FindHypervisorFactory when an empty result
-// is acceptable). Kept for pre-engine call sites; still accepts the
-// historical "vbox" alias and still returns an empty function for unknown
-// names.
-[[deprecated("use ResolveHypervisorFactory / FindHypervisorFactory")]]
-HypervisorFactory MakeHypervisorFactory(std::string_view name);
 
 }  // namespace neco
 

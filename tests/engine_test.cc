@@ -1,9 +1,13 @@
 // Tests for the CampaignEngine session API and its delta-based merge
 // pipeline: registry round-trip (register/list/construct), loud failure
 // on unknown targets, observer event-stream determinism, barrier-era
-// golden event ordering at merge_batch=1, merge_batch invariance of
-// results and event sequences, and the observer exception guard.
+// golden event ordering at merge_batch=1 (in thread AND process shard
+// mode), merge_batch invariance of results and event sequences,
+// process-shard equivalence (shard_mode=processes reproduces the
+// thread-mode EngineResult and event sequence exactly), dead-shard error
+// reporting, and the observer exception guard.
 #include <gtest/gtest.h>
+#include <signal.h>
 
 #include <algorithm>
 #include <cstdarg>
@@ -283,14 +287,14 @@ class GoldenObserver : public CampaignObserver {
   }
 };
 
-TEST(MergePipelineGoldenTest, BarrierEraOrderingReproducedAtMergeBatch1) {
-  // This exact event sequence was captured from the PR 2 engine — the
-  // stop-the-world barrier implementation — for (kvm, AMD, 900
-  // iterations, 3 samples, seed 7, 3 workers, guided). The delta
-  // pipeline at merge_batch=1 must reproduce it verbatim: same epochs,
-  // same worker order within an epoch, same sync/finding interleaving,
-  // same merged counters.
-  const std::vector<std::string> kBarrierEraGolden = {
+// This exact event sequence was captured from the PR 2 engine — the
+// stop-the-world barrier implementation — for (kvm, AMD, 900 iterations,
+// 3 samples, seed 7, 3 workers, guided). The delta pipeline at
+// merge_batch=1 must reproduce it verbatim whichever transport carries
+// the deltas: same epochs, same worker order within an epoch, same
+// sync/finding interleaving, same merged counters.
+std::vector<std::string> BarrierEraGolden() {
+  return {
       "sync epoch=0 worker=0 published=23 imported=0",
       "sync epoch=0 worker=1 published=30 imported=0",
       "finding epoch=0 worker=1 id=kvm-nsvm-dummy-root",
@@ -310,7 +314,9 @@ TEST(MergePipelineGoldenTest, BarrierEraOrderingReproducedAtMergeBatch1) {
       "finish workers=3 epochs=3 iters=900 covered=95 total=118 findings=1 "
       "imports=166",
   };
+}
 
+CampaignOptions GoldenOptions() {
   CampaignOptions options;
   options.arch = Arch::kAmd;
   options.iterations = 900;
@@ -319,10 +325,24 @@ TEST(MergePipelineGoldenTest, BarrierEraOrderingReproducedAtMergeBatch1) {
   options.workers = 3;
   options.merge_batch = 1;
   options.fuzzer.coverage_guidance = true;
+  return options;
+}
 
+TEST(MergePipelineGoldenTest, BarrierEraOrderingReproducedAtMergeBatch1) {
+  GoldenObserver observer;
+  CampaignEngine("kvm", GoldenOptions()).AddObserver(&observer).Run();
+  EXPECT_EQ(observer.log, BarrierEraGolden());
+}
+
+TEST(ProcessShardGoldenTest, ProcessShardsReproduceTheBarrierEraGolden) {
+  // The same golden, with every shard a fork'd child process and the
+  // deltas travelling pipes instead of the in-proc queue. Identical
+  // event sequence = the transport changed nothing observable.
+  CampaignOptions options = GoldenOptions();
+  options.shard_mode = ShardMode::kProcesses;
   GoldenObserver observer;
   CampaignEngine("kvm", options).AddObserver(&observer).Run();
-  EXPECT_EQ(observer.log, kBarrierEraGolden);
+  EXPECT_EQ(observer.log, BarrierEraGolden());
 }
 
 TEST(MergePipelineDeterminismTest, MergeBatchChangesNeitherResultsNorEvents) {
@@ -361,22 +381,150 @@ TEST(MergePipelineDeterminismTest, MergeBatchChangesNeitherResultsNorEvents) {
   EXPECT_EQ(barrier_cadence.log, batched.log);
 }
 
-TEST(MergePipelineStatsTest, PipelineCountersAreReported) {
+TEST(MergePipelineStatsTest, PipelineAndTransportCountersAreReported) {
   CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
   options.merge_batch = 4;
   const EngineResult result = CampaignEngine("kvm", options).Run();
 
   // One delta per worker per epoch, empty trailing epochs included.
   const size_t epochs = result.merged.series.size();
-  EXPECT_EQ(result.pipeline.deltas, 2u * epochs);
-  EXPECT_GT(result.pipeline.delta_bytes, 0u);
+  EXPECT_EQ(result.transport.deltas, 2u * epochs);
+  EXPECT_GT(result.transport.delta_bytes, 0u);
   EXPECT_GT(result.pipeline.flushes, 0u);
-  EXPECT_LE(result.pipeline.flushes, result.pipeline.deltas);
-  EXPECT_GE(result.pipeline.max_queue_depth, 1u);
-  EXPECT_GE(result.pipeline.avg_queue_depth, 0.0);
+  EXPECT_LE(result.pipeline.flushes, result.transport.deltas);
+  EXPECT_GE(result.transport.max_queue_depth, 1u);
+  EXPECT_GE(result.transport.avg_queue_depth, 0.0);
+  // Thread shards pull feedback in-process; nothing travels a transport.
+  EXPECT_EQ(result.transport.feedback_records, 0u);
   // Breadth-first mode has no corpus to exchange, so shards are fully
   // decoupled: the feedback wait site is never entered.
   EXPECT_EQ(result.pipeline.feedback_wait_seconds, 0.0);
+}
+
+// --- Process shards vs thread shards -------------------------------------
+
+void ExpectSameEngineResult(const EngineResult& a, const EngineResult& b) {
+  EXPECT_EQ(a.merged.covered_set, b.merged.covered_set);
+  EXPECT_EQ(a.merged.covered_points, b.merged.covered_points);
+  EXPECT_EQ(a.merged.total_points, b.merged.total_points);
+  EXPECT_EQ(a.merged.final_percent, b.merged.final_percent);
+  EXPECT_EQ(a.merged.fuzzer_stats.iterations, b.merged.fuzzer_stats.iterations);
+  EXPECT_EQ(a.merged.fuzzer_stats.queue_size, b.merged.fuzzer_stats.queue_size);
+  EXPECT_EQ(a.merged.fuzzer_stats.unique_anomalies,
+            b.merged.fuzzer_stats.unique_anomalies);
+  EXPECT_EQ(a.merged.fuzzer_stats.bitmap_edges,
+            b.merged.fuzzer_stats.bitmap_edges);
+  EXPECT_EQ(a.merged.watchdog_restarts, b.merged.watchdog_restarts);
+  EXPECT_EQ(a.corpus_imports, b.corpus_imports);
+  ASSERT_EQ(a.merged.series.size(), b.merged.series.size());
+  for (size_t i = 0; i < a.merged.series.size(); ++i) {
+    EXPECT_EQ(a.merged.series[i].iteration, b.merged.series[i].iteration);
+    EXPECT_DOUBLE_EQ(a.merged.series[i].percent, b.merged.series[i].percent);
+  }
+  ASSERT_EQ(a.merged.findings.size(), b.merged.findings.size());
+  for (size_t i = 0; i < a.merged.findings.size(); ++i) {
+    EXPECT_EQ(a.merged.findings[i].bug_id, b.merged.findings[i].bug_id);
+    EXPECT_EQ(a.merged.findings[i].kind, b.merged.findings[i].kind);
+    EXPECT_EQ(a.merged.findings[i].message, b.merged.findings[i].message);
+  }
+  ASSERT_EQ(a.per_worker.size(), b.per_worker.size());
+  for (size_t w = 0; w < a.per_worker.size(); ++w) {
+    EXPECT_EQ(a.per_worker[w].covered_set, b.per_worker[w].covered_set);
+    EXPECT_EQ(a.per_worker[w].final_percent, b.per_worker[w].final_percent);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.iterations,
+              b.per_worker[w].fuzzer_stats.iterations);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.queue_size,
+              b.per_worker[w].fuzzer_stats.queue_size);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.unique_anomalies,
+              b.per_worker[w].fuzzer_stats.unique_anomalies);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.bitmap_edges,
+              b.per_worker[w].fuzzer_stats.bitmap_edges);
+    EXPECT_EQ(a.per_worker[w].watchdog_restarts,
+              b.per_worker[w].watchdog_restarts);
+    ASSERT_EQ(a.per_worker[w].findings.size(), b.per_worker[w].findings.size());
+    for (size_t i = 0; i < a.per_worker[w].findings.size(); ++i) {
+      EXPECT_EQ(a.per_worker[w].findings[i].bug_id,
+                b.per_worker[w].findings[i].bug_id);
+    }
+  }
+}
+
+TEST(ProcessShardTest, FourProcessShardsReproduceFourThreadShardsExactly) {
+  // The acceptance bar for the transport layer: shard_mode=processes at
+  // N=4 (guided, corpus-syncing — every record type in play) produces a
+  // bit-identical EngineResult and merge-ordered observer event sequence
+  // to workers=4 threads.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1600, 4);
+  options.fuzzer.coverage_guidance = true;
+
+  RecordingObserver threads;
+  const EngineResult thread_result =
+      CampaignEngine("kvm", options).AddObserver(&threads).Run();
+
+  options.shard_mode = ShardMode::kProcesses;
+  RecordingObserver processes;
+  const EngineResult process_result =
+      CampaignEngine("kvm", options).AddObserver(&processes).Run();
+
+  ASSERT_FALSE(threads.log.empty());
+  EXPECT_EQ(threads.log, processes.log);
+  ExpectSameEngineResult(thread_result, process_result);
+  // The deltas genuinely travelled pipes, and feedback flowed back.
+  EXPECT_GT(process_result.transport.delta_bytes, 0u);
+  EXPECT_GT(process_result.transport.feedback_records, 0u);
+}
+
+TEST(ProcessShardTest, BreadthFirstProcessShardsMatchThreadShards) {
+  // The paper's default mode: no corpus, shards fully decoupled, no
+  // feedback frames at all — results must still be identical.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+
+  RecordingObserver threads;
+  const EngineResult thread_result =
+      CampaignEngine("kvm", options).AddObserver(&threads).Run();
+
+  options.shard_mode = ShardMode::kProcesses;
+  RecordingObserver processes;
+  const EngineResult process_result =
+      CampaignEngine("kvm", options).AddObserver(&processes).Run();
+
+  EXPECT_EQ(threads.log, processes.log);
+  ExpectSameEngineResult(thread_result, process_result);
+  EXPECT_EQ(process_result.transport.feedback_records, 0u);
+}
+
+TEST(ProcessShardTest, KilledChildShardIsARecordedErrorNotAHang) {
+  // kill -9 one child mid-campaign: the drainer must fail fast with a
+  // shard error naming the dead worker — never hang waiting for an epoch
+  // that cannot complete — and the surviving children must be torn down.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+  options.shard_mode = ShardMode::kProcesses;
+  options.shard_fault_for_test = [](int worker, size_t epoch) {
+    if (worker == 1 && epoch == 1) {
+      ::raise(SIGKILL);
+    }
+  };
+
+  try {
+    CampaignEngine("kvm", options).Run();
+    FAIL() << "expected a shard error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("shard 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("signal 9"), std::string::npos) << message;
+  }
+}
+
+TEST(ProcessShardTest, ExecModeRequiresARegistryName) {
+  // An exec'd child rebuilds its target from the registry; a session
+  // built from a bare factory cannot cross exec and must fail loudly.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 100, 2);
+  options.shard_mode = ShardMode::kProcesses;
+  options.shard_exec_path = "/proc/self/exe";
+  CampaignEngine engine(
+      HypervisorFactory([] { return std::make_unique<SimKvm>(); }), options);
+  EXPECT_THROW(engine.Run(), std::invalid_argument);
 }
 
 // --- Observer exception guard --------------------------------------------

@@ -1,9 +1,10 @@
-// Unit tests for the delta merge pipeline (src/core/merge_pipeline.h),
-// exercised directly with synthetic wire-encoded ShardDeltas: epoch
-// finalization from out-of-order arrivals, deterministic (epoch, worker)
-// fold order, first-wins finding dedup, feedback snapshots, merge_batch
-// invariance, queue backpressure, abort semantics, and corrupt-delta
-// rejection.
+// Unit tests for the delta merge pipeline (src/core/merge_pipeline.h)
+// drained through an InProcTransport, exercised directly with synthetic
+// wire-encoded ShardDeltas: epoch finalization from out-of-order arrivals,
+// deterministic (epoch, worker) fold order, first-wins finding dedup,
+// feedback snapshots, merge_batch invariance, queue capacity semantics
+// (explicit bound, 0 = derived default — never unbounded), backpressure,
+// abort semantics, and corrupt-delta rejection.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,6 +17,7 @@
 
 #include "src/core/engine.h"
 #include "src/core/merge_pipeline.h"
+#include "src/core/transport/inproc.h"
 #include "src/core/wire.h"
 
 namespace neco {
@@ -80,15 +82,84 @@ std::vector<wire::Buffer> CannedDeltas() {
   return out;
 }
 
+InProcTransportOptions TwoWorkerTransportOptions(int merge_batch = 1) {
+  InProcTransportOptions options;
+  options.workers = 2;
+  options.merge_batch = merge_batch;
+  options.capacity = 16;
+  return options;
+}
+
 MergePipelineOptions TwoWorkerOptions(int merge_batch = 1) {
   MergePipelineOptions options;
   options.workers = 2;
   options.epochs = 2;
   options.total_points = 8;
   options.merge_batch = merge_batch;
-  options.queue_capacity = 16;
   return options;
 }
+
+// --- InProcTransport capacity semantics ----------------------------------
+
+TEST(InProcTransportTest, ZeroCapacityDerivesTheDefaultNotUnbounded) {
+  // capacity = 0 is the "pick for me" marker, NOT an unbounded queue: it
+  // derives max(2 * workers, merge_batch) — one epoch of deltas plus a
+  // flush in flight.
+  {
+    InProcTransportOptions options;
+    options.workers = 3;
+    options.merge_batch = 1;
+    options.capacity = 0;
+    EXPECT_EQ(InProcTransport(options).capacity(), 6u);
+  }
+  {
+    InProcTransportOptions options;
+    options.workers = 2;
+    options.merge_batch = 32;  // A large flush dominates the bound.
+    options.capacity = 0;
+    EXPECT_EQ(InProcTransport(options).capacity(), 32u);
+  }
+  {
+    // Explicit capacities are honored as-is, even below the derived
+    // default (the drainer always pops the head, so a tiny bound
+    // throttles publishers without deadlocking).
+    InProcTransportOptions options;
+    options.workers = 4;
+    options.capacity = 2;
+    EXPECT_EQ(InProcTransport(options).capacity(), 2u);
+  }
+}
+
+TEST(InProcTransportTest, ExplicitCapacityBoundsTheQueue) {
+  InProcTransportOptions options;
+  options.workers = 2;
+  options.capacity = 3;
+  InProcTransport transport(options);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(0, i, 1))));
+  }
+  EXPECT_EQ(transport.stats().max_queue_depth, 3u);
+
+  // The fourth publish must block (bounded!) until a drain frees a slot.
+  std::atomic<bool> returned{false};
+  std::thread publisher([&] {
+    ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(0, 3, 1))));
+    returned = true;
+  });
+  for (int i = 0; i < 100 && transport.stats().publish_blocks == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(transport.stats().publish_blocks, 1u);
+  EXPECT_FALSE(returned);
+  std::vector<wire::Buffer> batch;
+  ASSERT_TRUE(transport.Drain(1, &batch));
+  EXPECT_EQ(batch.size(), 1u);
+  publisher.join();
+  EXPECT_TRUE(returned);
+  EXPECT_LE(transport.stats().max_queue_depth, 3u);
+}
+
+// --- Pipeline over the in-proc transport ---------------------------------
 
 TEST(MergePipelineTest, OutOfOrderArrivalsFoldInEpochWorkerOrder) {
   // Publish everything backwards — latest epoch first, worker 1 before
@@ -96,10 +167,11 @@ TEST(MergePipelineTest, OutOfOrderArrivalsFoldInEpochWorkerOrder) {
   // order: "bug-x" is credited to worker 0 (first in fold order), never
   // to worker 1, and the samples are cumulative.
   LogObserver observer;
-  MergePipeline pipeline(TwoWorkerOptions(), {&observer});
+  InProcTransport transport(TwoWorkerTransportOptions());
+  MergePipeline pipeline(TwoWorkerOptions(), &transport, {&observer});
   std::vector<wire::Buffer> deltas = CannedDeltas();
   for (size_t i = deltas.size(); i > 0; --i) {
-    ASSERT_TRUE(pipeline.Publish(std::move(deltas[i - 1])));
+    ASSERT_TRUE(transport.Publish(std::move(deltas[i - 1])));
   }
   pipeline.RunMergeLoop();
 
@@ -127,9 +199,11 @@ TEST(MergePipelineTest, MergeBatchDoesNotChangeTheEventSequence) {
   const int batches[2] = {1, 4};
   for (int i = 0; i < 2; ++i) {
     LogObserver observer;
-    MergePipeline pipeline(TwoWorkerOptions(batches[i]), {&observer});
+    InProcTransport transport(TwoWorkerTransportOptions(batches[i]));
+    MergePipeline pipeline(TwoWorkerOptions(batches[i]), &transport,
+                           {&observer});
     for (wire::Buffer& delta : CannedDeltas()) {
-      ASSERT_TRUE(pipeline.Publish(std::move(delta)));
+      ASSERT_TRUE(transport.Publish(std::move(delta)));
     }
     pipeline.RunMergeLoop();
     logs[i] = observer.log;
@@ -142,7 +216,8 @@ TEST(MergePipelineTest, FeedbackIsSnapshottedAtTheRequestedEpoch) {
   // The pool boundary and virgin novelty handed to a worker asking for
   // "through epoch 0" must not include epoch 1's fold, even though the
   // drainer has long finished both epochs.
-  MergePipeline pipeline(TwoWorkerOptions(), {});
+  InProcTransport transport(TwoWorkerTransportOptions());
+  MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
   ShardDelta w0e0 = MakeDelta(0, 0, 10);
   w0e0.queue_entries = {MakeInput(0xAA)};
   w0e0.virgin.Append(3, 0x01);
@@ -152,7 +227,7 @@ TEST(MergePipelineTest, FeedbackIsSnapshottedAtTheRequestedEpoch) {
   w0e1.virgin.Append(4, 0x01);
   ShardDelta w1e1 = MakeDelta(1, 1, 10);
   for (const ShardDelta* delta : {&w0e0, &w1e0, &w0e1, &w1e1}) {
-    ASSERT_TRUE(pipeline.Publish(wire::Encode(*delta)));
+    ASSERT_TRUE(transport.Publish(wire::Encode(*delta)));
   }
   pipeline.RunMergeLoop();
   ASSERT_EQ(pipeline.finalized_epochs(), 2u);
@@ -180,25 +255,27 @@ TEST(MergePipelineTest, FeedbackIsSnapshottedAtTheRequestedEpoch) {
 }
 
 TEST(MergePipelineTest, PublishBlocksAtCapacityUntilAborted) {
-  MergePipelineOptions options = TwoWorkerOptions();
-  options.queue_capacity = 2;
-  MergePipeline pipeline(options, {});
-  ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
-  ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(1, 0, 1))));
+  InProcTransportOptions transport_options = TwoWorkerTransportOptions();
+  transport_options.capacity = 2;
+  InProcTransport transport(transport_options);
+  MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
+  ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+  ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(1, 0, 1))));
 
   std::atomic<bool> returned{false};
   std::atomic<bool> result{true};
   std::thread publisher([&] {
-    result = pipeline.Publish(wire::Encode(MakeDelta(0, 1, 1)));
+    result = transport.Publish(wire::Encode(MakeDelta(0, 1, 1)));
     returned = true;
   });
   // With no drainer the third publish must block on the full queue...
-  for (int i = 0; i < 100 && pipeline.stats().publish_blocks == 0; ++i) {
+  for (int i = 0; i < 100 && transport.stats().publish_blocks == 0; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
-  EXPECT_EQ(pipeline.stats().publish_blocks, 1u);
+  EXPECT_EQ(transport.stats().publish_blocks, 1u);
   EXPECT_FALSE(returned);
-  // ...until Abort unblocks it with a false return.
+  // ...until the pipeline's Abort cascades into the transport and
+  // unblocks it with a false return.
   pipeline.Abort();
   publisher.join();
   EXPECT_TRUE(returned);
@@ -206,7 +283,8 @@ TEST(MergePipelineTest, PublishBlocksAtCapacityUntilAborted) {
 }
 
 TEST(MergePipelineTest, AbortUnblocksFeedbackWaiters) {
-  MergePipeline pipeline(TwoWorkerOptions(), {});
+  InProcTransport transport(TwoWorkerTransportOptions());
+  MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
   std::atomic<bool> result{true};
   std::thread waiter([&] {
     MergePipeline::Feedback feedback;
@@ -221,21 +299,24 @@ TEST(MergePipelineTest, AbortUnblocksFeedbackWaiters) {
 
 TEST(MergePipelineTest, CorruptAndImpossibleDeltasThrow) {
   {
-    MergePipeline pipeline(TwoWorkerOptions(), {});
-    ASSERT_TRUE(pipeline.Publish({0xDE, 0xAD, 0xBE, 0xEF}));
+    InProcTransport transport(TwoWorkerTransportOptions());
+    MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
+    ASSERT_TRUE(transport.Publish({0xDE, 0xAD, 0xBE, 0xEF}));
     EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
   }
   {
     // A structurally valid delta for a shard the pipeline does not have.
-    MergePipeline pipeline(TwoWorkerOptions(), {});
-    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(5, 0, 1))));
+    InProcTransport transport(TwoWorkerTransportOptions());
+    MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
+    ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(5, 0, 1))));
     EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
   }
   {
     // Two deltas from the same shard for the same epoch.
-    MergePipeline pipeline(TwoWorkerOptions(), {});
-    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
-    ASSERT_TRUE(pipeline.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+    InProcTransport transport(TwoWorkerTransportOptions());
+    MergePipeline pipeline(TwoWorkerOptions(), &transport, {});
+    ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(0, 0, 1))));
+    ASSERT_TRUE(transport.Publish(wire::Encode(MakeDelta(0, 0, 1))));
     EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
   }
 }
@@ -243,11 +324,13 @@ TEST(MergePipelineTest, CorruptAndImpossibleDeltasThrow) {
 TEST(MergePipelineTest, DrainerRunsConcurrentlyWithPublishers) {
   // End-to-end MPSC shape: two producer threads, the drainer on a third,
   // a capacity small enough to force real backpressure.
+  InProcTransportOptions transport_options = TwoWorkerTransportOptions();
+  transport_options.capacity = 3;
+  InProcTransport transport(transport_options);
   MergePipelineOptions options = TwoWorkerOptions();
   options.epochs = 50;
-  options.queue_capacity = 3;
   LogObserver observer;
-  MergePipeline pipeline(options, {&observer});
+  MergePipeline pipeline(options, &transport, {&observer});
 
   std::thread drainer([&] { pipeline.RunMergeLoop(); });
   std::vector<std::thread> producers;
@@ -256,7 +339,7 @@ TEST(MergePipelineTest, DrainerRunsConcurrentlyWithPublishers) {
       for (uint64_t epoch = 0; epoch < 50; ++epoch) {
         ShardDelta delta = MakeDelta(w, epoch, 5);
         delta.covered_points = {static_cast<uint32_t>(epoch % 8)};
-        ASSERT_TRUE(pipeline.Publish(wire::Encode(delta)));
+        ASSERT_TRUE(transport.Publish(wire::Encode(delta)));
       }
     });
   }
@@ -269,9 +352,10 @@ TEST(MergePipelineTest, DrainerRunsConcurrentlyWithPublishers) {
   EXPECT_EQ(pipeline.series().size(), 50u);
   EXPECT_EQ(pipeline.series().back().iteration, 500u);
   EXPECT_EQ(pipeline.covered_points(), 8u);
-  const MergePipelineStats stats = pipeline.stats();
+  const TransportStats stats = transport.stats();
   EXPECT_EQ(stats.deltas, 100u);
   EXPECT_LE(stats.max_queue_depth, 3u);
+  EXPECT_GT(pipeline.stats().flushes, 0u);
 }
 
 }  // namespace

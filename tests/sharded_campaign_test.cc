@@ -6,15 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "src/core/engine.h"
 #include "src/hv/factory.h"
 #include "src/hv/sim_kvm/kvm.h"
-
-// MakeHypervisorFactory below deliberately exercises the deprecated
-// pre-registry lookup to pin its alias/unknown-name contract.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace neco {
 namespace {
@@ -31,7 +28,7 @@ CampaignOptions SmallOptions(Arch arch, uint64_t iterations, int workers) {
 
 TEST(HypervisorFactoryTest, KnownNamesBuildIsolatedInstances) {
   for (const char* name : {"kvm", "xen", "virtualbox"}) {
-    const HypervisorFactory factory = MakeHypervisorFactory(name);
+    const HypervisorFactory factory = ResolveHypervisorFactory(name);
     ASSERT_TRUE(factory) << name;
     auto a = factory();
     auto b = factory();
@@ -41,11 +38,12 @@ TEST(HypervisorFactoryTest, KnownNamesBuildIsolatedInstances) {
     a->nested_coverage(Arch::kIntel).Hit(0);
     EXPECT_EQ(b->nested_coverage(Arch::kIntel).covered_points(), 0u);
   }
-  // The deprecated lookup keeps its historical alias and its
-  // empty-function-on-unknown contract (the registry path throws instead;
-  // see engine_test.cc).
-  EXPECT_TRUE(MakeHypervisorFactory("vbox"));
-  EXPECT_FALSE(MakeHypervisorFactory("hyper-v"));
+  // The registry is the only lookup now (the deprecated
+  // MakeHypervisorFactory wrapper and its "vbox" alias are gone): unknown
+  // names are an empty find or a loud resolve (engine_test.cc).
+  EXPECT_FALSE(FindHypervisorFactory("vbox"));
+  EXPECT_FALSE(FindHypervisorFactory("hyper-v"));
+  EXPECT_THROW(ResolveHypervisorFactory("hyper-v"), std::invalid_argument);
 }
 
 TEST(ShardedCampaignTest, SingleWorkerReproducesSerialCampaign) {

@@ -1,0 +1,298 @@
+// Tests for the ShardTransport layer (src/core/transport/): pipe frame
+// I/O round-trips, PipeTransport drain/demux driven by real fork'd
+// children, feedback frames flowing parent -> child, the dead-shard
+// failure model (premature EOF, kill -9) failing the drain loop fast
+// instead of hanging it, and ShardSupervisor spawn/reap/kill semantics.
+// (InProcTransport's queue semantics live in merge_pipeline_test.cc, next
+// to the drain loop they serve.)
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/merge_pipeline.h"
+#include "src/core/transport/pipe.h"
+#include "src/core/transport/supervisor.h"
+#include "src/core/wire.h"
+
+namespace neco {
+namespace {
+
+ShardDelta MakeDelta(int worker, uint64_t epoch, uint64_t iterations) {
+  ShardDelta delta;
+  delta.worker = worker;
+  delta.epoch = epoch;
+  delta.iterations = iterations;
+  return delta;
+}
+
+ShardResultRecord MakeResult(int worker) {
+  ShardResultRecord record;
+  record.worker = worker;
+  record.iterations = 10;
+  return record;
+}
+
+// One shard's pipe pair, parent perspective.
+struct Pipes {
+  int delta_rd = -1;
+  int delta_wr = -1;
+  int feedback_rd = -1;
+  int feedback_wr = -1;
+};
+
+Pipes MakePipes() {
+  int delta[2];
+  int feedback[2];
+  EXPECT_EQ(::pipe(delta), 0);
+  EXPECT_EQ(::pipe(feedback), 0);
+  return {delta[0], delta[1], feedback[0], feedback[1]};
+}
+
+TEST(PipeFrameTest, FramesRoundTripThroughARealPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ShardDelta delta = MakeDelta(1, 3, 250);
+  delta.virgin.Append(7, 0x81);
+  delta.covered_points = {4, 9};
+  ASSERT_TRUE(WritePipeFrame(fds[1], wire::Encode(delta)));
+
+  wire::Buffer frame;
+  ASSERT_TRUE(ReadPipeFrame(fds[0], &frame));
+  ShardDelta decoded;
+  ASSERT_TRUE(wire::Decode(frame, &decoded));
+  EXPECT_EQ(decoded.worker, 1);
+  EXPECT_EQ(decoded.epoch, 3u);
+  EXPECT_EQ(decoded.covered_points, delta.covered_points);
+
+  // EOF comes back as a clean false, not a garbage frame.
+  ::close(fds[1]);
+  EXPECT_FALSE(ReadPipeFrame(fds[0], &frame));
+  ::close(fds[0]);
+}
+
+TEST(PipeTransportTest, ForkChildrenDriveTheMergePipeline) {
+  // Two real child processes publish two epochs each over pipes; the
+  // parent's pipeline folds them exactly as if they were thread shards.
+  Pipes p0 = MakePipes();
+  Pipes p1 = MakePipes();
+
+  ShardSupervisor supervisor;
+  for (int w = 0; w < 2; ++w) {
+    const Pipes& own = w == 0 ? p0 : p1;
+    const Pipes& other = w == 0 ? p1 : p0;
+    supervisor.SpawnFork(w, [&, w] {
+      ::close(other.delta_rd);
+      ::close(other.delta_wr);
+      ::close(other.feedback_rd);
+      ::close(other.feedback_wr);
+      ::close(own.delta_rd);
+      ::close(own.feedback_wr);
+      for (uint64_t epoch = 0; epoch < 2; ++epoch) {
+        ShardDelta delta = MakeDelta(w, epoch, 10);
+        delta.covered_points = {static_cast<uint32_t>(w)};
+        if (!WritePipeFrame(own.delta_wr, wire::Encode(delta))) {
+          return 2;
+        }
+      }
+      if (!WritePipeFrame(own.delta_wr, wire::Encode(MakeResult(w)))) {
+        return 2;
+      }
+      return 0;
+    });
+  }
+  ::close(p0.delta_wr);
+  ::close(p0.feedback_rd);
+  ::close(p1.delta_wr);
+  ::close(p1.feedback_rd);
+
+  PipeTransport transport(
+      {{0, p0.delta_rd, p0.feedback_wr}, {1, p1.delta_rd, p1.feedback_wr}});
+  MergePipelineOptions options;
+  options.workers = 2;
+  options.epochs = 2;
+  options.total_points = 4;
+  MergePipeline pipeline(options, &transport, {});
+  pipeline.RunMergeLoop();
+
+  EXPECT_EQ(pipeline.finalized_epochs(), 2u);
+  EXPECT_EQ(pipeline.covered_points(), 2u);
+  EXPECT_EQ(pipeline.series().back().iteration, 40u);
+
+  ASSERT_TRUE(transport.CollectResults());
+  ASSERT_NE(transport.shard_result(0), nullptr);
+  ASSERT_NE(transport.shard_result(1), nullptr);
+  EXPECT_EQ(transport.shard_result(1)->iterations, 10u);
+
+  for (const ShardExit& shard_exit : supervisor.WaitAll()) {
+    EXPECT_TRUE(shard_exit.clean()) << shard_exit.Describe();
+  }
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.deltas, 4u);
+  EXPECT_GT(stats.delta_bytes, 0u);
+}
+
+TEST(PipeTransportTest, FeedbackFramesReachTheChild) {
+  // The child blocks on a FeedbackRecord and echoes its pool payload back
+  // inside its delta — proving the parent -> child direction end to end.
+  Pipes pipes = MakePipes();
+  ShardSupervisor supervisor;
+  supervisor.SpawnFork(0, [&] {
+    ::close(pipes.delta_rd);
+    ::close(pipes.feedback_wr);
+    wire::Buffer frame;
+    FeedbackRecord feedback;
+    if (!ReadPipeFrame(pipes.feedback_rd, &frame) ||
+        !wire::Decode(frame, &feedback) || feedback.pool_entries.size() != 1) {
+      return 3;
+    }
+    ShardDelta delta = MakeDelta(0, 0, feedback.epoch + 41);
+    delta.queue_entries = feedback.pool_entries;
+    if (!WritePipeFrame(pipes.delta_wr, wire::Encode(delta)) ||
+        !WritePipeFrame(pipes.delta_wr, wire::Encode(MakeResult(0)))) {
+      return 2;
+    }
+    return 0;
+  });
+  ::close(pipes.delta_wr);
+  ::close(pipes.feedback_rd);
+
+  PipeTransport transport({{0, pipes.delta_rd, pipes.feedback_wr}});
+  FeedbackRecord feedback;
+  feedback.epoch = 1;
+  feedback.worker = 0;
+  feedback.pool_entries = {FuzzInput(kFuzzInputSize, 0x5A)};
+  ASSERT_TRUE(transport.SendFeedback(0, wire::Encode(feedback)));
+
+  std::vector<wire::Buffer> batch;
+  ASSERT_TRUE(transport.Drain(4, &batch));
+  ASSERT_EQ(batch.size(), 1u);
+  ShardDelta delta;
+  ASSERT_TRUE(wire::Decode(batch[0], &delta));
+  EXPECT_EQ(delta.iterations, 42u);
+  ASSERT_EQ(delta.queue_entries.size(), 1u);
+  EXPECT_EQ(delta.queue_entries[0][5], 0x5A);
+
+  ASSERT_TRUE(transport.CollectResults());
+  for (const ShardExit& shard_exit : supervisor.WaitAll()) {
+    EXPECT_TRUE(shard_exit.clean()) << shard_exit.Describe();
+  }
+  EXPECT_EQ(transport.stats().feedback_records, 1u);
+  EXPECT_GT(transport.stats().feedback_bytes, 0u);
+}
+
+TEST(PipeTransportTest, PrematureEofIsARecordedErrorNotAHang) {
+  // A child that exits without its result record (simulating a crash)
+  // must fail the drain loop with an error naming the shard.
+  Pipes pipes = MakePipes();
+  ShardSupervisor supervisor;
+  supervisor.SpawnFork(0, [&] {
+    ::close(pipes.delta_rd);
+    ::close(pipes.feedback_wr);
+    ::close(pipes.feedback_rd);
+    WritePipeFrame(pipes.delta_wr, wire::Encode(MakeDelta(0, 0, 5)));
+    ::close(pipes.delta_wr);
+    return 0;  // "Clean" exit, but the stream is short: still an error.
+  });
+  ::close(pipes.delta_wr);
+  ::close(pipes.feedback_rd);
+
+  PipeTransport transport({{0, pipes.delta_rd, pipes.feedback_wr}});
+  MergePipelineOptions options;
+  options.workers = 1;
+  options.epochs = 2;  // Expects two deltas; only one will come.
+  MergePipeline pipeline(options, &transport, {});
+  try {
+    pipeline.RunMergeLoop();
+    FAIL() << "expected the short stream to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("shard 0"), std::string::npos) << message;
+  }
+  supervisor.WaitAll();
+}
+
+TEST(PipeTransportTest, KillNineChildFailsTheDrainFast) {
+  Pipes pipes = MakePipes();
+  ShardSupervisor supervisor;
+  supervisor.SpawnFork(0, [&] {
+    ::close(pipes.delta_rd);
+    ::close(pipes.feedback_wr);
+    ::close(pipes.feedback_rd);
+    WritePipeFrame(pipes.delta_wr, wire::Encode(MakeDelta(0, 0, 5)));
+    ::raise(SIGKILL);  // Dies with epoch 1 still owed.
+    return 0;
+  });
+  ::close(pipes.delta_wr);
+  ::close(pipes.feedback_rd);
+
+  PipeTransport transport({{0, pipes.delta_rd, pipes.feedback_wr}});
+  MergePipelineOptions options;
+  options.workers = 1;
+  options.epochs = 2;
+  MergePipeline pipeline(options, &transport, {});
+  EXPECT_THROW(pipeline.RunMergeLoop(), std::runtime_error);
+  EXPECT_FALSE(transport.error().empty());
+
+  const std::vector<ShardExit> exits = supervisor.WaitAll();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_TRUE(exits[0].reaped);
+  EXPECT_EQ(exits[0].term_signal, SIGKILL);
+  EXPECT_EQ(exits[0].Describe(), "killed by signal 9");
+}
+
+TEST(PipeTransportTest, AbortUnblocksTheDrain) {
+  Pipes pipes = MakePipes();
+  ::close(pipes.delta_wr);     // No writer yet — Drain would block...
+  ::close(pipes.feedback_rd);  // (EOF arrives immediately: error path)
+
+  // Use a pair with a held-open writer so the drain genuinely blocks.
+  int held[2];
+  ASSERT_EQ(::pipe(held), 0);
+  PipeTransport transport({{0, held[0], pipes.feedback_wr}});
+  ::close(pipes.delta_rd);
+
+  std::vector<wire::Buffer> batch;
+  transport.Abort();
+  EXPECT_FALSE(transport.Drain(1, &batch));
+  EXPECT_FALSE(transport.SendFeedback(0, wire::Encode(FeedbackRecord{})));
+  ::close(held[1]);
+}
+
+TEST(ShardSupervisorTest, ReapsExitCodesAndSignals) {
+  ShardSupervisor supervisor;
+  supervisor.SpawnFork(0, [] { return 0; });
+  supervisor.SpawnFork(1, [] { return 7; });
+  supervisor.SpawnFork(2, [] {
+    ::pause();  // Never exits on its own.
+    return 0;
+  });
+  EXPECT_EQ(supervisor.spawned(), 3u);
+  supervisor.KillAll(SIGKILL);  // Only shard 2 should still be alive...
+  const std::vector<ShardExit> exits = supervisor.WaitAll();
+  ASSERT_EQ(exits.size(), 3u);
+  // ...but kill/exit races mean shards 0 and 1 may be reaped either way;
+  // their *worker* identity is what must be stable.
+  EXPECT_EQ(exits[0].worker, 0);
+  EXPECT_EQ(exits[1].worker, 1);
+  EXPECT_EQ(exits[2].worker, 2);
+  EXPECT_TRUE(exits[2].reaped);
+  EXPECT_EQ(exits[2].term_signal, SIGKILL);
+  EXPECT_FALSE(exits[2].clean());
+}
+
+TEST(ShardSupervisorTest, ExecFailureSurfacesAsExitCode127) {
+  ShardSupervisor supervisor;
+  supervisor.SpawnExec(0, "/nonexistent/necofuzz-shard", {"--whatever"}, {});
+  const std::vector<ShardExit> exits = supervisor.WaitAll();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_TRUE(exits[0].reaped);
+  EXPECT_EQ(exits[0].exit_code, 127);
+  EXPECT_EQ(exits[0].Describe(), "exited with status 127");
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,7 +1,9 @@
 // Tests for the campaign wire format (src/core/wire.h): encode/decode
-// identity for ShardDelta and all five observer event records, strict
-// rejection of truncated and corrupt buffers, and a deterministic fuzz
-// pass over random buffers and random single-byte corruptions.
+// identity for ShardDelta, all five observer event records, and the three
+// process-sharding records (FeedbackRecord, ShardResultRecord,
+// ShardChildConfigRecord); strict rejection of truncated and corrupt
+// buffers; stream framing (FrameSize); and a deterministic fuzz pass over
+// random buffers and random single-byte corruptions.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -137,6 +139,136 @@ TEST(WireTest, FinishEventRoundTripIsIdentity) {
   EXPECT_EQ(decoded.corpus_imports, event.corpus_imports);
 }
 
+FeedbackRecord MakeFeedback() {
+  FeedbackRecord record;
+  record.epoch = 11;
+  record.worker = 3;
+  record.pool_entries = {MakeInput(0x10), MakeInput(0x20), MakeInput(0x30)};
+  record.virgin.Append(12, 0x01);
+  record.virgin.Append(40000, 0xC0);
+  return record;
+}
+
+ShardResultRecord MakeResult() {
+  ShardResultRecord record;
+  record.worker = 1;
+  record.final_percent = 80.50847457627118;
+  record.covered_points = 95;
+  record.total_points = 118;
+  record.covered_set = {0, 3, 94, 117};
+  record.findings = {MakeReport("kvm-a"), MakeReport("kvm-b")};
+  record.iterations = 5000;
+  record.queue_size = 83;
+  record.unique_anomalies = 2;
+  record.bitmap_edges = 451;
+  record.watchdog_restarts = 1;
+  record.imports = 59;
+  record.crash_ids = {"kvm-a", "kvm-b"};
+  return record;
+}
+
+ShardChildConfigRecord MakeConfig() {
+  ShardChildConfigRecord record;
+  record.target = "kvm";
+  record.worker = 2;
+  record.workers = 4;
+  record.epochs = 24;
+  record.arch = 1;
+  record.iterations = 20000;
+  record.samples = 24;
+  record.seed = 7;
+  record.syncing = 1;
+  record.coverage_guidance = 1;
+  record.havoc_stack = 16;
+  record.splice_percent = 15;
+  record.use_harness = 1;
+  record.use_validator = 0;
+  record.use_configurator = 1;
+  record.oracle_interval = 64;
+  record.crash_dir = "/tmp/crashes";
+  return record;
+}
+
+TEST(WireTest, FeedbackRecordRoundTripIsIdentity) {
+  const FeedbackRecord record = MakeFeedback();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kFeedback);
+
+  FeedbackRecord decoded;
+  decoded.pool_entries = {MakeInput(0xFF)};  // Pre-dirtied: must be cleared.
+  decoded.virgin.Append(1, 0x01);
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.epoch, record.epoch);
+  EXPECT_EQ(decoded.worker, record.worker);
+  EXPECT_EQ(decoded.pool_entries, record.pool_entries);
+  EXPECT_EQ(decoded.virgin.cells, record.virgin.cells);
+  EXPECT_EQ(decoded.virgin.bits, record.virgin.bits);
+
+  // The empty feedback (no pool growth, no new novelty) round-trips too.
+  const FeedbackRecord empty;
+  ASSERT_TRUE(wire::Decode(wire::Encode(empty), &decoded));
+  EXPECT_TRUE(decoded.pool_entries.empty());
+  EXPECT_TRUE(decoded.virgin.empty());
+}
+
+TEST(WireTest, ShardResultRecordRoundTripIsIdentity) {
+  const ShardResultRecord record = MakeResult();
+  ShardResultRecord decoded;
+  ASSERT_TRUE(wire::Decode(wire::Encode(record), &decoded));
+  EXPECT_EQ(decoded.worker, record.worker);
+  EXPECT_EQ(decoded.final_percent, record.final_percent);  // Bit-exact f64.
+  EXPECT_EQ(decoded.covered_points, record.covered_points);
+  EXPECT_EQ(decoded.total_points, record.total_points);
+  EXPECT_EQ(decoded.covered_set, record.covered_set);
+  ASSERT_EQ(decoded.findings.size(), record.findings.size());
+  for (size_t i = 0; i < record.findings.size(); ++i) {
+    EXPECT_EQ(decoded.findings[i].kind, record.findings[i].kind);
+    EXPECT_EQ(decoded.findings[i].bug_id, record.findings[i].bug_id);
+    EXPECT_EQ(decoded.findings[i].message, record.findings[i].message);
+  }
+  EXPECT_EQ(decoded.iterations, record.iterations);
+  EXPECT_EQ(decoded.queue_size, record.queue_size);
+  EXPECT_EQ(decoded.unique_anomalies, record.unique_anomalies);
+  EXPECT_EQ(decoded.bitmap_edges, record.bitmap_edges);
+  EXPECT_EQ(decoded.watchdog_restarts, record.watchdog_restarts);
+  EXPECT_EQ(decoded.imports, record.imports);
+  EXPECT_EQ(decoded.crash_ids, record.crash_ids);
+}
+
+TEST(WireTest, ShardChildConfigRecordRoundTripIsIdentity) {
+  const ShardChildConfigRecord record = MakeConfig();
+  ShardChildConfigRecord decoded;
+  ASSERT_TRUE(wire::Decode(wire::Encode(record), &decoded));
+  EXPECT_EQ(decoded.target, record.target);
+  EXPECT_EQ(decoded.worker, record.worker);
+  EXPECT_EQ(decoded.workers, record.workers);
+  EXPECT_EQ(decoded.epochs, record.epochs);
+  EXPECT_EQ(decoded.arch, record.arch);
+  EXPECT_EQ(decoded.iterations, record.iterations);
+  EXPECT_EQ(decoded.samples, record.samples);
+  EXPECT_EQ(decoded.seed, record.seed);
+  EXPECT_EQ(decoded.syncing, record.syncing);
+  EXPECT_EQ(decoded.coverage_guidance, record.coverage_guidance);
+  EXPECT_EQ(decoded.havoc_stack, record.havoc_stack);
+  EXPECT_EQ(decoded.splice_percent, record.splice_percent);
+  EXPECT_EQ(decoded.use_harness, record.use_harness);
+  EXPECT_EQ(decoded.use_validator, record.use_validator);
+  EXPECT_EQ(decoded.use_configurator, record.use_configurator);
+  EXPECT_EQ(decoded.oracle_interval, record.oracle_interval);
+  EXPECT_EQ(decoded.crash_dir, record.crash_dir);
+
+  // An out-of-range Arch byte is rejected, not cast blindly.
+  wire::Buffer bad_arch = wire::Encode(record);
+  // Payload layout: target str (4 + 3), worker i32, workers i32, epochs
+  // u64, then the arch byte.
+  const size_t arch_offset = 6 + (4 + 3) + 4 + 4 + 8;
+  bad_arch[arch_offset] = 9;
+  EXPECT_FALSE(wire::Decode(bad_arch, &decoded));
+}
+
 TEST(WireTest, EveryTruncationIsRejected) {
   const wire::Buffer full = wire::Encode(MakeDelta());
   ShardDelta out;
@@ -149,6 +281,29 @@ TEST(WireTest, EveryTruncationIsRejected) {
   SampleEvent sample;
   for (size_t len = 0; len < event.size(); ++len) {
     EXPECT_FALSE(wire::Decode(event.data(), len, &sample)) << "length " << len;
+  }
+
+  // The process-sharding records reject every truncation too.
+  const wire::Buffer feedback = wire::Encode(MakeFeedback());
+  FeedbackRecord feedback_out;
+  for (size_t len = 0; len < feedback.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(feedback.data(), len, &feedback_out))
+        << "length " << len;
+  }
+  ASSERT_TRUE(wire::Decode(feedback, &feedback_out));
+
+  const wire::Buffer result = wire::Encode(MakeResult());
+  ShardResultRecord result_out;
+  for (size_t len = 0; len < result.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(result.data(), len, &result_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer config = wire::Encode(MakeConfig());
+  ShardChildConfigRecord config_out;
+  for (size_t len = 0; len < config.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(config.data(), len, &config_out))
+        << "length " << len;
   }
 }
 
@@ -185,6 +340,37 @@ TEST(WireTest, WrongTypeVersionAndLengthAreRejected) {
   EXPECT_FALSE(wire::Decode(bad_type, &out));
 }
 
+TEST(WireTest, FeedbackRecordCorruptHeadersAreRejected) {
+  const wire::Buffer buffer = wire::Encode(MakeFeedback());
+  FeedbackRecord out;
+
+  // Decoding as a different record type (and vice versa).
+  ShardDelta delta;
+  EXPECT_FALSE(wire::Decode(buffer, &delta));
+  EXPECT_FALSE(wire::Decode(wire::Encode(MakeDelta()), &out));
+
+  wire::Buffer bad_version = buffer;
+  bad_version[1] = wire::kVersion + 1;
+  EXPECT_FALSE(wire::Decode(bad_version, &out));
+
+  wire::Buffer bad_length = buffer;
+  bad_length[2] ^= 0x01;
+  EXPECT_FALSE(wire::Decode(bad_length, &out));
+
+  wire::Buffer trailing = buffer;
+  trailing.push_back(0);
+  EXPECT_FALSE(wire::Decode(trailing, &out));
+
+  // A pool-entry count the payload cannot possibly hold is rejected by
+  // the remaining-bytes guard, never attempted as an allocation.
+  wire::Buffer huge_count = buffer;
+  const size_t pool_count_offset = 6 + 8 + 4;  // Header, epoch, worker.
+  for (size_t i = 0; i < 4; ++i) {
+    huge_count[pool_count_offset + i] = 0xFF;
+  }
+  EXPECT_FALSE(wire::Decode(huge_count, &out));
+}
+
 TEST(WireTest, HugeCountFieldsAreRejectedWithoutAllocating) {
   // The first count in a ShardDelta payload sits right after the three
   // u64s and the worker id. Blowing it up to 4 billion must be rejected
@@ -216,6 +402,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
   ShardDelta delta;
   SampleEvent sample;
   FindingEvent finding;
+  FeedbackRecord feedback;
+  ShardResultRecord result;
+  ShardChildConfigRecord config;
   for (int i = 0; i < 2000; ++i) {
     wire::Buffer buffer(rng.Below(160));
     for (auto& byte : buffer) {
@@ -224,6 +413,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
     wire::Decode(buffer, &delta);
     wire::Decode(buffer, &sample);
     wire::Decode(buffer, &finding);
+    wire::Decode(buffer, &feedback);
+    wire::Decode(buffer, &result);
+    wire::Decode(buffer, &config);
   }
 }
 
@@ -239,6 +431,83 @@ TEST(WireTest, CorruptedValidBuffersNeverCrashTheDecoder) {
         static_cast<uint8_t>(1 + rng.Below(255));
     wire::Decode(corrupt, &out);
   }
+
+  // Same pass over the process-sharding records that travel real pipes.
+  const wire::Buffer clean_feedback = wire::Encode(MakeFeedback());
+  FeedbackRecord feedback;
+  const wire::Buffer clean_result = wire::Encode(MakeResult());
+  ShardResultRecord result;
+  const wire::Buffer clean_config = wire::Encode(MakeConfig());
+  ShardChildConfigRecord config;
+  for (int i = 0; i < 2000; ++i) {
+    wire::Buffer corrupt = clean_feedback;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &feedback);
+
+    corrupt = clean_result;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &result);
+
+    corrupt = clean_config;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &config);
+  }
+}
+
+TEST(WireTest, RandomFeedbackRecordsRoundTripExactly) {
+  // Property fuzz: arbitrary well-formed feedback survives the wire.
+  Rng rng(0xF33DBACC);
+  for (int round = 0; round < 50; ++round) {
+    FeedbackRecord record;
+    record.epoch = rng.Below(1 << 20);
+    record.worker = static_cast<int>(rng.Below(64));
+    for (size_t i = rng.Below(4); i > 0; --i) {
+      FuzzInput input(rng.Below(kFuzzInputSize + 1));
+      for (auto& byte : input) {
+        byte = static_cast<uint8_t>(rng.Below(256));
+      }
+      record.pool_entries.push_back(std::move(input));
+    }
+    for (size_t i = rng.Below(40); i > 0; --i) {
+      record.virgin.Append(static_cast<uint32_t>(rng.Below(1 << 16)),
+                           static_cast<uint8_t>(1 + rng.Below(255)));
+    }
+    FeedbackRecord decoded;
+    ASSERT_TRUE(wire::Decode(wire::Encode(record), &decoded));
+    EXPECT_EQ(decoded.epoch, record.epoch);
+    EXPECT_EQ(decoded.worker, record.worker);
+    EXPECT_EQ(decoded.pool_entries, record.pool_entries);
+    EXPECT_EQ(decoded.virgin.cells, record.virgin.cells);
+    EXPECT_EQ(decoded.virgin.bits, record.virgin.bits);
+  }
+}
+
+TEST(WireTest, FrameSizeCutsStreamsCorrectly) {
+  const wire::Buffer a = wire::Encode(MakeDelta());
+  const wire::Buffer b = wire::Encode(MakeFeedback());
+  wire::Buffer stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  // The head frame's size is visible as soon as the header arrived.
+  size_t size = 0;
+  EXPECT_FALSE(wire::FrameSize(stream.data(), 5, &size));  // Short header.
+  ASSERT_TRUE(wire::FrameSize(stream.data(), wire::kFrameHeaderSize, &size));
+  EXPECT_EQ(size, a.size());
+  ASSERT_TRUE(wire::FrameSize(stream.data() + a.size(),
+                              stream.size() - a.size(), &size));
+  EXPECT_EQ(size, b.size());
+
+  // Unknown type bytes and absurd lengths are invalid, not "wait for 4
+  // GiB of payload".
+  wire::Buffer bad = a;
+  bad[0] = 0x7F;
+  EXPECT_FALSE(wire::FrameSize(bad.data(), bad.size(), &size));
+  bad = a;
+  bad[2] = bad[3] = bad[4] = bad[5] = 0xFF;
+  EXPECT_FALSE(wire::FrameSize(bad.data(), bad.size(), &size));
 }
 
 TEST(WireTest, RandomDeltasRoundTripExactly) {
