@@ -2,13 +2,15 @@
 // sharded engine at 1/2/4/8 workers against SimKvm, at a fixed total
 // iteration budget (pFSCK-style worker scaling of the checking loop).
 //
-// `--transport={inproc,process}` picks the shard transport: thread shards
-// over the in-proc queue (default), or fork/exec'd process shards over
-// pipes — this binary registers the hidden --necofuzz-shard-child
-// entrypoint, so process mode spawns real exec'd children of this
-// executable. Results are identical across transports by construction;
-// the per-transport columns (wire bytes moved, queue depth, wait time)
-// show what the medium costs.
+// `--transport={inproc,process,socket}` picks the shard transport: thread
+// shards over the in-proc queue (default), fork/exec'd process shards
+// over pipes, or exec'd shard children dialing a loopback TCP listener —
+// this binary registers the hidden --necofuzz-shard-child entrypoint, so
+// process and socket modes spawn real exec'd children of this executable
+// (socket children bootstrap purely from the hello/config handshake, the
+// exact shape a remote launcher runs on another machine). Results are
+// identical across transports by construction; the per-transport columns
+// (wire bytes moved, queue depth, wait time) show what the medium costs.
 //
 // Three sections:
 //  * NecoFuzz's default breadth-first mode (no corpus, so no cross-shard
@@ -47,9 +49,10 @@ CampaignOptions BaseOptions(int workers, bool coverage_guidance) {
   options.workers = workers;
   options.fuzzer.coverage_guidance = coverage_guidance;
   options.shard_mode = g_shard_mode;
-  if (g_shard_mode == ShardMode::kProcesses) {
+  if (g_shard_mode != ShardMode::kThreads) {
     // Exercise the full fork/exec path: children are fresh processes of
-    // this binary entering through MaybeRunShardChild.
+    // this binary entering through MaybeRunShardChild (dialing the
+    // loopback listener in socket mode).
     options.shard_exec_path = "/proc/self/exe";
   }
   return options;
@@ -142,28 +145,34 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--transport=process") == 0) {
       neco::g_shard_mode = neco::ShardMode::kProcesses;
+    } else if (std::strcmp(argv[i], "--transport=socket") == 0) {
+      neco::g_shard_mode = neco::ShardMode::kSockets;
     } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
       neco::g_shard_mode = neco::ShardMode::kThreads;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--transport={inproc,process}]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--smoke] [--transport={inproc,process,socket}]\n",
+          argv[0]);
       return 2;
     }
   }
   if (smoke) {
     neco::g_budget = 2000;
   }
-  const bool processes = neco::g_shard_mode == neco::ShardMode::kProcesses;
-  char title[200];
+  const char* medium =
+      neco::g_shard_mode == neco::ShardMode::kProcesses
+          ? "process shards over pipes (fork/exec)"
+          : neco::g_shard_mode == neco::ShardMode::kSockets
+                ? "socket shards over loopback TCP (exec + dial)"
+                : "thread shards over the in-proc queue";
+  char title[256];
   std::snprintf(title, sizeof(title),
                 "Parallel campaign scaling — SimKvm, Intel, fixed "
                 "%llu-iteration budget\nsplit across worker shards "
                 "(seed + worker_id each), delta merge pipeline,\n"
                 "transport: %s%s",
-                static_cast<unsigned long long>(neco::g_budget),
-                processes ? "process shards over pipes (fork/exec)"
-                          : "thread shards over the in-proc queue",
+                static_cast<unsigned long long>(neco::g_budget), medium,
                 smoke ? " [smoke]" : "");
   neco::PrintHeader(title);
   const std::vector<int> workers =

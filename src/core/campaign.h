@@ -4,6 +4,7 @@
 #ifndef SRC_CORE_CAMPAIGN_H_
 #define SRC_CORE_CAMPAIGN_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,13 +19,38 @@ namespace neco {
 //  * kThreads — worker threads in this process, deltas over the in-proc
 //    bounded queue (InProcTransport);
 //  * kProcesses — fork/exec'd child processes, deltas and feedback over
-//    pipes (PipeTransport + ShardSupervisor). Same merge math, same
-//    deterministic results and observer event sequences; the medium is
-//    the only difference.
+//    pipes (PipeTransport + ShardSupervisor);
+//  * kSockets — shard children dial a TCP listener and speak the same
+//    wire frames over the connection (SocketTransport). The launcher is
+//    pluggable (CampaignOptions::remote_launcher), so the children can
+//    live on other machines; the default launcher spawns local
+//    subprocesses, which makes the single-machine case and the tests
+//    need no ssh.
+// Same merge math in every mode, same deterministic results and observer
+// event sequences; the medium is the only difference.
 enum class ShardMode {
   kThreads,
   kProcesses,
+  kSockets,
 };
+
+// What a remote launcher must do for one shard of a shard_mode = sockets
+// campaign: start a process (ssh, container, job scheduler, ...) that runs
+// a binary calling MaybeRunShardChild (src/core/engine.h) with
+//   --necofuzz-shard-child --necofuzz-connect=<address:port>
+//   --necofuzz-worker=<worker>
+// The child dials the address, sends a ShardHelloRecord, receives its
+// ShardChildConfigRecord, and runs the shard over the socket.
+struct ShardLaunch {
+  int worker = 0;
+  std::string address;  // The listen address the child must dial.
+  uint16_t port = 0;    // The resolved listen port (after an ephemeral bind).
+  std::string target;   // Registry name the child rebuilds its target from.
+};
+
+// Returns false when the shard could not be launched; the campaign fails
+// with a launcher error instead of waiting out the accept timeout.
+using RemoteLauncher = std::function<bool(const ShardLaunch&)>;
 
 struct CampaignOptions {
   Arch arch = Arch::kIntel;
@@ -48,12 +74,34 @@ struct CampaignOptions {
   // sequences are identical for every value — the fold order is fixed —
   // so this only trades flush frequency against queue depth.
   int merge_batch = 1;
-  // Thread shards or fork/exec'd process shards. Either mode produces
-  // bit-identical merged results and observer event sequences for the
-  // same (options, target) — pinned in tests/engine_test.cc. A
-  // borrowed-target session ignores this (single inline shard, like
-  // `workers`).
+  // Thread shards, fork/exec'd process shards, or socket-dialing shard
+  // children. Every mode produces bit-identical merged results and
+  // observer event sequences for the same (options, target) — pinned in
+  // tests/engine_test.cc. A borrowed-target session ignores this (single
+  // inline shard, like `workers`).
   ShardMode shard_mode = ShardMode::kThreads;
+  // With shard_mode = sockets: the address/port the parent listens on and
+  // shard children dial. Port 0 binds an ephemeral port (the resolved
+  // value is handed to the launcher). For multi-machine campaigns bind a
+  // reachable interface (e.g. "0.0.0.0") and make sure remote_launcher
+  // passes an address the remote host can route.
+  std::string listen_address = "127.0.0.1";
+  uint16_t listen_port = 0;
+  // How long the parent waits for every shard to dial in and complete the
+  // handshake before failing the campaign. Connections that handshake
+  // badly (stray dialers, garbage, duplicate workers) are dropped and the
+  // listener keeps accepting until this deadline — a launcher may retry a
+  // failed dial — after which the campaign fails with an error naming the
+  // missing shards (reconnect-or-fail).
+  double socket_accept_timeout = 30.0;
+  // With shard_mode = sockets: launches shard `worker` somewhere it can
+  // dial the listener (ssh, container, ...). Null uses the built-in local
+  // launcher: children are subprocesses of this process — fork'd shard
+  // bodies, or exec'd via shard_exec_path when that is set — so tests and
+  // single-machine campaigns need no infrastructure. A non-null launcher
+  // requires a by-name session (remote children rebuild the target from
+  // the registry).
+  RemoteLauncher remote_launcher;
   // With shard_mode = processes: when non-empty, children are spawned by
   // fork + exec of this binary (e.g. "/proc/self/exe") with the hidden
   // --necofuzz-shard-child arguments — its main() must call

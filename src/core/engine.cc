@@ -1,5 +1,6 @@
 #include "src/core/engine.h"
 
+#include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
 
@@ -19,6 +20,7 @@
 #include "src/core/agent.h"
 #include "src/core/transport/inproc.h"
 #include "src/core/transport/pipe.h"
+#include "src/core/transport/socket.h"
 #include "src/core/transport/supervisor.h"
 #include "src/fuzz/fuzzer.h"
 
@@ -52,6 +54,7 @@ struct ShardOutcome {
   CampaignResult result;
   uint64_t imports = 0;
   std::vector<std::string> crash_ids;
+  std::vector<FuzzInput> crash_inputs;  // Parallel to crash_ids.
 };
 
 uint64_t ShardBudget(uint64_t iterations, int workers, int w) {
@@ -187,6 +190,7 @@ ShardOutcome CollectOutcome(ShardContext& state,
   out.imports = state.imports;
   for (const auto& [id, input] : state.fuzzer->crashes()) {
     out.crash_ids.push_back(id);
+    out.crash_inputs.push_back(input);
   }
   return out;
 }
@@ -208,6 +212,7 @@ ShardOutcome OutcomeFromRecord(const ShardResultRecord& record) {
   wr.watchdog_restarts = record.watchdog_restarts;
   out.imports = record.imports;
   out.crash_ids = record.crash_ids;
+  out.crash_inputs = record.crash_inputs;
   return out;
 }
 
@@ -231,6 +236,7 @@ ShardResultRecord RecordFromContext(ShardContext& state,
   record.watchdog_restarts = wr.watchdog_restarts;
   record.imports = outcome.imports;
   record.crash_ids = std::move(outcome.crash_ids);
+  record.crash_inputs = std::move(outcome.crash_inputs);
   return record;
 }
 
@@ -246,12 +252,6 @@ class FdCloser {
   }
   void Add(int fd) { fds_.push_back(fd); }
   void Release() { fds_.clear(); }
-  void CloseNow() {
-    for (int fd : fds_) {
-      ::close(fd);
-    }
-    fds_.clear();
-  }
 
  private:
   std::vector<int> fds_;
@@ -265,8 +265,11 @@ bool ResolveSyncing(const CampaignOptions& options, int workers) {
          options.fuzzer.coverage_guidance;
 }
 
-// --- The shard child loop (process mode, both fork and exec flavors) -----
+// --- The shard child loop (process/socket mode, fork and exec flavors) ---
 
+// `delta_fd` and `feedback_fd` are the same descriptor for a socket-mode
+// child: the frames are direction-tagged by type, so one full-duplex
+// stream carries both.
 int RunShardChildLoop(const HypervisorFactory& factory,
                       const CampaignOptions& options, int workers, int w,
                       int samples, size_t epochs, bool syncing, int delta_fd,
@@ -300,7 +303,9 @@ int RunShardChildLoop(const HypervisorFactory& factory,
     return 2;
   }
   ::close(delta_fd);
-  ::close(feedback_fd);
+  if (feedback_fd != delta_fd) {
+    ::close(feedback_fd);
+  }
   return 0;
 }
 
@@ -341,6 +346,15 @@ EngineResult AssembleResult(MergePipeline& pipeline,
     for (const std::string& id : outcome.crash_ids) {
       crash_ids.insert(id);
     }
+    std::vector<std::pair<std::string, FuzzInput>> shard_crashes;
+    const size_t crash_count =
+        std::min(outcome.crash_ids.size(), outcome.crash_inputs.size());
+    shard_crashes.reserve(crash_count);
+    for (size_t i = 0; i < crash_count; ++i) {
+      shard_crashes.emplace_back(std::move(outcome.crash_ids[i]),
+                                 std::move(outcome.crash_inputs[i]));
+    }
+    out.crashes.push_back(std::move(shard_crashes));
     out.merged.watchdog_restarts += wr.watchdog_restarts;
     out.corpus_imports += outcome.imports;
 
@@ -401,7 +415,9 @@ EngineResult CampaignEngine::Run() {
       borrowed_ != nullptr ? 1
                            : (options_.workers > 0 ? options_.workers : 1);
   const int samples = options_.samples > 0 ? options_.samples : 1;
-  if (borrowed_ == nullptr && options_.shard_mode == ShardMode::kProcesses) {
+  if (borrowed_ == nullptr && options_.shard_mode != ShardMode::kThreads) {
+    // kProcesses and kSockets share the epoch/merge loop; only the
+    // transport setup differs.
     return RunWithProcessShards(workers, samples);
   }
   return RunWithThreadShards(workers, samples);
@@ -501,11 +517,14 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples) {
 
 EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
   const CampaignOptions& options = options_;
+  const bool sockets = options.shard_mode == ShardMode::kSockets;
   const bool exec_mode = !options.shard_exec_path.empty();
-  if (exec_mode && target_name_.empty()) {
+  const bool remote = sockets && options.remote_launcher != nullptr;
+  if ((exec_mode || remote) && target_name_.empty()) {
     throw std::invalid_argument(
-        "CampaignEngine: exec-mode process shards rebuild the target from "
-        "the registry, so the session must be constructed by name");
+        "CampaignEngine: exec-mode and remote-launched shards rebuild the "
+        "target from the registry, so the session must be constructed by "
+        "name");
   }
 
   const size_t epochs = ComputeEpochs(options.iterations, workers, samples);
@@ -518,82 +537,160 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
     total_points = probe->nested_coverage(options.arch).total_points();
   }
 
-  // All pipes exist before the first fork so every child can close every
-  // descriptor that is not its own pair — otherwise a sibling holding a
-  // dead shard's write end would keep that stream from ever hitting EOF.
-  struct ChildEnds {
-    int delta_wr = -1;
-    int feedback_rd = -1;
+  // Everything an exec'd or remote child needs to rebuild its shard; fork
+  // children receive (and discard) the same record so the handshake is
+  // uniform.
+  auto child_config = [&](int w) {
+    ShardChildConfigRecord config;
+    config.target = target_name_;
+    config.worker = w;
+    config.workers = workers;
+    config.epochs = epochs;
+    config.arch = static_cast<uint8_t>(options.arch);
+    config.iterations = options.iterations;
+    config.samples = samples;
+    config.seed = options.seed;
+    config.syncing = syncing ? 1 : 0;
+    config.coverage_guidance = options.fuzzer.coverage_guidance ? 1 : 0;
+    config.havoc_stack = options.fuzzer.havoc_stack;
+    config.splice_percent = options.fuzzer.splice_percent;
+    config.use_harness = options.agent.use_harness ? 1 : 0;
+    config.use_validator = options.agent.use_validator ? 1 : 0;
+    config.use_configurator = options.agent.use_configurator ? 1 : 0;
+    config.oracle_interval = options.agent.oracle_interval;
+    config.crash_dir = options.agent.crash_dir;
+    return wire::Encode(config);
   };
-  std::vector<PipeShardChannel> channels;
-  std::vector<ChildEnds> child_ends;
-  FdCloser parent_ends;  // Until PipeTransport takes ownership.
-  FdCloser child_end_closer;
-  for (int w = 0; w < workers; ++w) {
-    int delta[2] = {-1, -1};
-    int feedback[2] = {-1, -1};
-    if (::pipe(delta) != 0) {
-      throw std::runtime_error("CampaignEngine: pipe() failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    parent_ends.Add(delta[0]);
-    child_end_closer.Add(delta[1]);
-    if (::pipe(feedback) != 0) {
-      throw std::runtime_error("CampaignEngine: pipe() failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    parent_ends.Add(feedback[1]);
-    child_end_closer.Add(feedback[0]);
-    channels.push_back({w, delta[0], feedback[1]});
-    child_ends.push_back({delta[1], feedback[0]});
-  }
 
+  // The supervisor also scopes SIGPIPE (see transport.h) for every
+  // feedback write below — constructed before any child or socket exists.
   ShardSupervisor supervisor;
-  for (int w = 0; w < workers; ++w) {
-    pid_t pid = -1;
-    if (exec_mode) {
-      std::vector<std::string> argv = {
-          "--necofuzz-shard-child",
-          "--necofuzz-delta-fd=" + std::to_string(child_ends[w].delta_wr),
-          "--necofuzz-feedback-fd=" +
-              std::to_string(child_ends[w].feedback_rd)};
-      pid = supervisor.SpawnExec(
-          w, options.shard_exec_path, argv,
-          {child_ends[w].delta_wr, child_ends[w].feedback_rd});
-    } else {
-      // Fork mode: the child inherits everything it needs through memory.
-      const HypervisorFactory factory = factory_;
-      const int delta_fd = child_ends[static_cast<size_t>(w)].delta_wr;
-      const int feedback_fd = child_ends[static_cast<size_t>(w)].feedback_rd;
-      pid = supervisor.SpawnFork(w, [&, w, delta_fd, feedback_fd] {
-        // Drop every descriptor that belongs to the parent or a sibling.
-        for (const PipeShardChannel& ch : channels) {
-          ::close(ch.delta_fd);
-          ::close(ch.feedback_fd);
-        }
-        for (int other = 0; other < workers; ++other) {
-          if (other != w) {
-            ::close(child_ends[static_cast<size_t>(other)].delta_wr);
-            ::close(child_ends[static_cast<size_t>(other)].feedback_rd);
-          }
-        }
-        return RunShardChildLoop(factory, options, workers, w, samples,
-                                 epochs, syncing, delta_fd, feedback_fd);
-      });
-    }
-    if (pid < 0) {
-      // The FdClosers release every pipe end; ~ShardSupervisor reaps
-      // whatever was already spawned.
-      throw std::runtime_error("CampaignEngine: fork() failed");
-    }
-  }
-  // Parent: the child-side ends live in the children now.
-  child_end_closer.CloseNow();
+  std::unique_ptr<FrameStreamTransport> transport;
+  SocketTransport* socket_transport = nullptr;
 
-  // PipeTransport owns the parent ends from here (closing them itself if
-  // its constructor fails).
-  parent_ends.Release();
-  PipeTransport transport(std::move(channels));
+  if (sockets) {
+    SocketTransportOptions transport_options;
+    transport_options.workers = workers;
+    transport_options.address = options.listen_address;
+    transport_options.port = options.listen_port;
+    transport_options.accept_timeout_seconds = options.socket_accept_timeout;
+    auto owned = std::make_unique<SocketTransport>(transport_options);
+    socket_transport = owned.get();
+    transport = std::move(owned);
+    const uint16_t port = socket_transport->port();
+
+    for (int w = 0; w < workers; ++w) {
+      if (remote) {
+        if (!options.remote_launcher(
+                {w, options.listen_address, port, target_name_})) {
+          throw std::runtime_error(
+              "CampaignEngine: remote launcher failed for shard " +
+              std::to_string(w));
+        }
+      } else if (exec_mode) {
+        const std::vector<std::string> argv = {
+            "--necofuzz-shard-child",
+            "--necofuzz-connect=" + options.listen_address + ":" +
+                std::to_string(port),
+            "--necofuzz-worker=" + std::to_string(w)};
+        // No descriptors to keep: a socket child dials its own.
+        if (supervisor.SpawnExec(w, options.shard_exec_path, argv, {}) < 0) {
+          throw std::runtime_error("CampaignEngine: fork() failed");
+        }
+      } else {
+        const HypervisorFactory factory = factory_;
+        const std::string address = options.listen_address;
+        const int listen_fd = socket_transport->listen_fd();
+        const pid_t pid = supervisor.SpawnFork(w, [&, w] {
+          ::close(listen_fd);  // Do not keep the parent's port alive.
+          std::string dial_error;
+          const int sock = DialShardSocket(address, port, w, &dial_error);
+          if (sock < 0) {
+            return 2;
+          }
+          // A fork child inherits its configuration through memory, but
+          // reads the config frame anyway so the stream afterwards
+          // carries feedback frames only.
+          wire::Buffer frame;
+          ShardChildConfigRecord config;
+          if (!ReadPipeFrame(sock, &frame) || !wire::Decode(frame, &config)) {
+            ::close(sock);
+            return 2;
+          }
+          return RunShardChildLoop(factory, options, workers, w, samples,
+                                   epochs, syncing, sock, sock);
+        });
+        if (pid < 0) {
+          throw std::runtime_error("CampaignEngine: fork() failed");
+        }
+      }
+    }
+  } else {
+    // Pipe pairs are created per child, immediately before its fork, so a
+    // child never inherits a sibling's write end (which would keep that
+    // sibling's stream from ever reaching EOF when it dies). Parent-held
+    // ends are O_CLOEXEC from birth, so exec'd children shed them without
+    // any close sweep racing the exec.
+    std::vector<PipeShardChannel> channels;
+    FdCloser parent_ends;  // Until PipeTransport takes ownership.
+    for (int w = 0; w < workers; ++w) {
+      int delta[2] = {-1, -1};
+      int feedback[2] = {-1, -1};
+      if (::pipe2(delta, O_CLOEXEC) != 0) {
+        throw std::runtime_error("CampaignEngine: pipe2() failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      parent_ends.Add(delta[0]);
+      if (::pipe2(feedback, O_CLOEXEC) != 0) {
+        ::close(delta[1]);
+        throw std::runtime_error("CampaignEngine: pipe2() failed: " +
+                                 std::string(std::strerror(errno)));
+      }
+      parent_ends.Add(feedback[1]);
+      channels.push_back({w, delta[0], feedback[1]});
+      const int delta_wr = delta[1];
+      const int feedback_rd = feedback[0];
+
+      pid_t pid = -1;
+      if (exec_mode) {
+        const std::vector<std::string> argv = {
+            "--necofuzz-shard-child",
+            "--necofuzz-delta-fd=" + std::to_string(delta_wr),
+            "--necofuzz-feedback-fd=" + std::to_string(feedback_rd)};
+        // SpawnExec clears FD_CLOEXEC on the kept ends in the child.
+        pid = supervisor.SpawnExec(w, options.shard_exec_path, argv,
+                                   {delta_wr, feedback_rd});
+      } else {
+        // Fork mode: the child inherits everything it needs through
+        // memory. It drops the parent-held ends created so far (CLOEXEC
+        // cannot help a fork-only child); sibling child ends need no
+        // hand-closing anymore — they are already gone from this process
+        // by the time this fork happens.
+        const HypervisorFactory factory = factory_;
+        pid = supervisor.SpawnFork(w, [&, w, delta_wr, feedback_rd] {
+          for (const PipeShardChannel& ch : channels) {
+            ::close(ch.delta_fd);
+            ::close(ch.feedback_fd);
+          }
+          return RunShardChildLoop(factory, options, workers, w, samples,
+                                   epochs, syncing, delta_wr, feedback_rd);
+        });
+      }
+      // Parent: the child-side ends live in the child now (or never will,
+      // on failure).
+      ::close(delta_wr);
+      ::close(feedback_rd);
+      if (pid < 0) {
+        // parent_ends releases every parent pipe end; ~ShardSupervisor
+        // reaps whatever was already spawned.
+        throw std::runtime_error("CampaignEngine: fork() failed");
+      }
+    }
+    // PipeTransport owns the parent ends from here (closing them itself
+    // if its constructor fails).
+    parent_ends.Release();
+    transport = std::make_unique<PipeTransport>(std::move(channels));
+  }
 
   MergePipelineOptions pipeline_options;
   pipeline_options.workers = workers;
@@ -601,35 +698,38 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
   pipeline_options.total_points = total_points;
   pipeline_options.merge_batch = options.merge_batch;
   pipeline_options.push_feedback = syncing;
-  MergePipeline pipeline(pipeline_options, &transport, observers_);
+  MergePipeline pipeline(pipeline_options, transport.get(), observers_);
 
   // There are no worker threads in the parent, so the merge loop runs
-  // inline; any failure (corrupt delta, dead shard) lands here.
+  // inline; any failure (corrupt delta, dead shard, failed handshake)
+  // lands here.
   try {
-    if (exec_mode) {
-      // Exec'd children know nothing yet: ship each one its config record
-      // before expecting the first delta.
+    if (sockets) {
+      // The handshake doubles as config delivery; with a local launcher a
+      // child that dies before saying hello fails the wait early instead
+      // of running out the accept timeout. A *clean* exit is not a death:
+      // a fast shard can legitimately finish its whole workload (frames
+      // parked in the socket buffers) and exit 0 while a slower sibling
+      // is still dialing.
+      auto children_alive = [&supervisor] {
+        for (const ShardExit& shard_exit : supervisor.ReapExited()) {
+          if (shard_exit.reaped && !shard_exit.clean()) {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (!socket_transport->AcceptShards(
+              child_config, remote ? std::function<bool()>()
+                                   : std::function<bool()>(children_alive))) {
+        throw std::runtime_error("CampaignEngine: " + transport->error());
+      }
+    } else if (exec_mode) {
+      // Exec'd pipe children know nothing yet: ship each one its config
+      // record before expecting the first delta.
       for (int w = 0; w < workers; ++w) {
-        ShardChildConfigRecord config;
-        config.target = target_name_;
-        config.worker = w;
-        config.workers = workers;
-        config.epochs = epochs;
-        config.arch = static_cast<uint8_t>(options.arch);
-        config.iterations = options.iterations;
-        config.samples = samples;
-        config.seed = options.seed;
-        config.syncing = syncing ? 1 : 0;
-        config.coverage_guidance = options.fuzzer.coverage_guidance ? 1 : 0;
-        config.havoc_stack = options.fuzzer.havoc_stack;
-        config.splice_percent = options.fuzzer.splice_percent;
-        config.use_harness = options.agent.use_harness ? 1 : 0;
-        config.use_validator = options.agent.use_validator ? 1 : 0;
-        config.use_configurator = options.agent.use_configurator ? 1 : 0;
-        config.oracle_interval = options.agent.oracle_interval;
-        config.crash_dir = options.agent.crash_dir;
-        if (!transport.SendFeedback(w, wire::Encode(config))) {
-          throw std::runtime_error("CampaignEngine: " + transport.error());
+        if (!transport->SendFeedback(w, child_config(w))) {
+          throw std::runtime_error("CampaignEngine: " + transport->error());
         }
       }
     }
@@ -639,8 +739,8 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
                                std::to_string(pipeline.finalized_epochs()) +
                                " of " + std::to_string(epochs) + " epochs");
     }
-    if (!transport.CollectResults()) {
-      throw std::runtime_error("CampaignEngine: " + transport.error());
+    if (!transport->CollectResults()) {
+      throw std::runtime_error("CampaignEngine: " + transport->error());
     }
   } catch (const std::exception& e) {
     // Harvest whoever already died (the likely culprit) for the error
@@ -650,8 +750,9 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
     // The transport knows which shard it saw die; reap that child for
     // its exit status ("killed by signal 9") before the teardown kill
     // makes every survivor look the same. Then harvest any other
-    // already-dead children.
-    const int dead_worker = transport.dead_worker();
+    // already-dead children. (With a remote launcher there is nothing to
+    // reap; the transport's attribution is the whole story.)
+    const int dead_worker = transport->dead_worker();
     if (dead_worker >= 0) {
       const ShardExit shard_exit = supervisor.WaitWorker(dead_worker);
       if (shard_exit.reaped && !shard_exit.clean()) {
@@ -671,7 +772,9 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
     throw std::runtime_error(message);
   }
 
-  // Clean completion: every child must also exit cleanly.
+  // Clean completion: every locally launched child must also exit
+  // cleanly (remote-launched shards have no local pid; their clean "exit"
+  // is the result record plus EOF the transport already verified).
   for (const ShardExit& shard_exit : supervisor.WaitAll()) {
     if (!shard_exit.clean()) {
       throw std::runtime_error("CampaignEngine: shard " +
@@ -683,14 +786,14 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
   std::vector<ShardOutcome> outcomes;
   outcomes.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    const ShardResultRecord* record = transport.shard_result(w);
+    const ShardResultRecord* record = transport->shard_result(w);
     if (record == nullptr) {
       throw std::runtime_error("CampaignEngine: shard " + std::to_string(w) +
                                " never delivered its result record");
     }
     outcomes.push_back(OutcomeFromRecord(*record));
   }
-  return AssembleResult(pipeline, transport, std::move(outcomes), workers,
+  return AssembleResult(pipeline, *transport, std::move(outcomes), workers,
                         epochs, total_points);
 }
 
@@ -714,8 +817,12 @@ int MaybeRunShardChild(int argc, char** argv) {
   bool is_child = false;
   int delta_fd = -1;
   int feedback_fd = -1;
+  int worker_arg = -1;
+  std::string connect;
   const std::string delta_prefix = "--necofuzz-delta-fd=";
   const std::string feedback_prefix = "--necofuzz-feedback-fd=";
+  const std::string connect_prefix = "--necofuzz-connect=";
+  const std::string worker_prefix = "--necofuzz-worker=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--necofuzz-shard-child") {
@@ -724,19 +831,46 @@ int MaybeRunShardChild(int argc, char** argv) {
       delta_fd = ParseFdArg(arg, delta_prefix);
     } else if (arg.rfind(feedback_prefix, 0) == 0) {
       feedback_fd = ParseFdArg(arg, feedback_prefix);
+    } else if (arg.rfind(connect_prefix, 0) == 0) {
+      connect = arg.substr(connect_prefix.size());
+    } else if (arg.rfind(worker_prefix, 0) == 0) {
+      worker_arg = ParseFdArg(arg, worker_prefix);
     }
   }
   if (!is_child) {
     return -1;
   }
-  if (delta_fd < 0 || feedback_fd < 0) {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (!connect.empty()) {
+    // Socket mode: dial the parent's listener, introduce ourselves, and
+    // run the shard over the connection. This is the exact invocation a
+    // RemoteLauncher issues on another machine.
+    const size_t colon = connect.rfind(':');
+    if (colon == std::string::npos || worker_arg < 0) {
+      return 2;
+    }
+    const std::string address = connect.substr(0, colon);
+    const int port = ParseFdArg(connect.substr(colon + 1), std::string());
+    if (port <= 0 || port > 65535) {
+      return 2;
+    }
+    std::string dial_error;
+    const int sock = DialShardSocket(address, static_cast<uint16_t>(port),
+                                     worker_arg, &dial_error);
+    if (sock < 0) {
+      return 2;
+    }
+    delta_fd = sock;
+    feedback_fd = sock;
+  } else if (delta_fd < 0 || feedback_fd < 0) {
     return 2;
   }
-  ::signal(SIGPIPE, SIG_IGN);
 
   wire::Buffer frame;
   ShardChildConfigRecord config;
-  if (!ReadPipeFrame(feedback_fd, &frame) || !wire::Decode(frame, &config)) {
+  if (!ReadPipeFrame(feedback_fd, &frame) || !wire::Decode(frame, &config) ||
+      (worker_arg >= 0 && config.worker != worker_arg)) {
     return 2;
   }
   try {

@@ -28,11 +28,20 @@
 //  * processes — the engine fork(/exec)s one child process per shard
 //    (ShardSupervisor), children ship the same wire frames over pipes
 //    (PipeTransport), and the drainer pushes per-epoch FeedbackRecords
-//    back. The merge math never changes, so process campaigns produce
-//    bit-identical EngineResults and observer event sequences to thread
-//    campaigns at the same worker count (pinned in tests/engine_test.cc).
-//    A shard that dies (even kill -9) surfaces as a thrown shard error —
-//    recorded, never a hang.
+//    back;
+//  * sockets — the engine listens on a TCP port (SocketTransport) and
+//    shard children dial in, handshake (hello -> config record), and
+//    stream the same frames over the connection. The launcher is
+//    pluggable: by default children are local subprocesses (fork, or exec
+//    when shard_exec_path is set), while options.remote_launcher starts
+//    them on other machines. Crash reproduction inputs come home in each
+//    shard's ShardResultRecord, so nothing stays resident on a remote
+//    box.
+// The merge math never changes, so process and socket campaigns produce
+// bit-identical EngineResults and observer event sequences to thread
+// campaigns at the same worker count (pinned in tests/engine_test.cc).
+// A shard that dies (even kill -9, even mid-socket) surfaces as a thrown
+// shard error — recorded, never a hang.
 //
 // Observers stream the campaign instead of waiting for the final blob.
 // Every event is a plain serializable wire record, and delivery is
@@ -48,6 +57,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/campaign.h"
@@ -90,6 +100,12 @@ struct EngineResult {
   std::vector<CampaignResult> per_worker;
   // Queue entries adopted across shards over the whole campaign.
   uint64_t corpus_imports = 0;
+  // Per-worker crash reproduction: the (bug id, input) pairs each shard's
+  // fuzzer saved, in discovery order. Thread shards read them off their
+  // own fuzzer; process and socket shards ship them home inside their
+  // ShardResultRecord — which is what makes a crash found on a remote
+  // machine reproducible on the parent. Identical across shard modes.
+  std::vector<std::vector<std::pair<std::string, FuzzInput>>> crashes;
   // Merge-loop counters (flushes, thread-shard feedback waits).
   MergePipelineStats pipeline;
   // Transport counters: bytes and queue depth through whichever
@@ -143,12 +159,17 @@ class CampaignEngine {
 // --- Hidden process-shard entrypoint -------------------------------------
 
 // When argv carries --necofuzz-shard-child, the process is an exec'd shard
-// child of a shard_mode = processes campaign: this reads the
-// ShardChildConfigRecord off the inherited feedback pipe, runs the shard
-// (publishing ShardDelta frames, absorbing FeedbackRecords, finishing with
-// a ShardResultRecord), and returns the process exit code — the caller's
-// main() must return it without doing anything else. Returns -1 for a
-// normal invocation (no flag), in which case main() proceeds as usual.
+// child of a shard_mode = processes or sockets campaign. Pipe children
+// (--necofuzz-delta-fd / --necofuzz-feedback-fd) read their
+// ShardChildConfigRecord off the inherited feedback pipe; socket children
+// (--necofuzz-connect=<address:port> --necofuzz-worker=<n>) dial the
+// parent's listener, send a ShardHelloRecord, and receive the config over
+// the connection — this is the invocation a RemoteLauncher issues on
+// another machine. Either way the shard then runs (publishing ShardDelta
+// frames, absorbing FeedbackRecords, finishing with a ShardResultRecord)
+// and this returns the process exit code — the caller's main() must
+// return it without doing anything else. Returns -1 for a normal
+// invocation (no flag), in which case main() proceeds as usual.
 //
 //   int main(int argc, char** argv) {
 //     if (const int code = neco::MaybeRunShardChild(argc, argv); code >= 0)

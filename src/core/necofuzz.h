@@ -30,6 +30,7 @@
 #include "src/core/merge_pipeline.h"             // IWYU pragma: export
 #include "src/core/transport/inproc.h"           // IWYU pragma: export
 #include "src/core/transport/pipe.h"             // IWYU pragma: export
+#include "src/core/transport/socket.h"           // IWYU pragma: export
 #include "src/core/transport/supervisor.h"       // IWYU pragma: export
 #include "src/core/transport/transport.h"        // IWYU pragma: export
 #include "src/core/validator/oracle.h"           // IWYU pragma: export

@@ -1,339 +1,23 @@
 #include "src/core/transport/pipe.h"
 
-#include <errno.h>
-#include <fcntl.h>
-#include <poll.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cstring>
-#include <stdexcept>
 #include <utility>
 
 namespace neco {
 namespace {
 
-bool ReadExact(int fd, uint8_t* data, size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::read(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    if (n == 0) {
-      return false;  // EOF mid-frame.
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
+std::vector<StreamShardChannel> ToStreamChannels(
+    const std::vector<PipeShardChannel>& channels) {
+  std::vector<StreamShardChannel> out;
+  out.reserve(channels.size());
+  for (const PipeShardChannel& ch : channels) {
+    out.push_back({ch.worker, ch.delta_fd, ch.feedback_fd});
   }
-  return true;
+  return out;
 }
 
 }  // namespace
 
-bool WritePipeFrame(int fd, const wire::Buffer& frame) {
-  const uint8_t* data = frame.data();
-  size_t size = frame.size();
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool ReadPipeFrame(int fd, wire::Buffer* out) {
-  out->assign(wire::kFrameHeaderSize, 0);
-  if (!ReadExact(fd, out->data(), wire::kFrameHeaderSize)) {
-    return false;
-  }
-  size_t frame_size = 0;
-  if (!wire::FrameSize(out->data(), out->size(), &frame_size)) {
-    return false;
-  }
-  out->resize(frame_size);
-  return ReadExact(fd, out->data() + wire::kFrameHeaderSize,
-                   frame_size - wire::kFrameHeaderSize);
-}
-
-PipeTransport::PipeTransport(std::vector<PipeShardChannel> channels) {
-  for (const PipeShardChannel& ch : channels) {
-    Channel channel;
-    channel.worker = ch.worker;
-    channel.delta_fd = ch.delta_fd;
-    channel.feedback_fd = ch.feedback_fd;
-    // Delta reads are driven by poll(); non-blocking reads let ReadChannel
-    // drain exactly what arrived without ever stalling the drainer.
-    // Feedback writes stay blocking (backpressure against a slow child).
-    if (channel.delta_fd >= 0) {
-      const int flags = ::fcntl(channel.delta_fd, F_GETFL, 0);
-      ::fcntl(channel.delta_fd, F_SETFL, flags | O_NONBLOCK);
-    }
-    channels_.push_back(std::move(channel));
-  }
-  int fds[2] = {-1, -1};
-  if (::pipe(fds) != 0) {
-    // Without the self-pipe a cross-thread Abort() could not wake a
-    // drainer blocked in poll(); fail construction instead of risking a
-    // hang later.
-    for (Channel& channel : channels_) {
-      ::close(channel.delta_fd);
-      ::close(channel.feedback_fd);
-    }
-    throw std::runtime_error("PipeTransport: abort pipe creation failed: " +
-                             std::string(std::strerror(errno)));
-  }
-  abort_rd_ = fds[0];
-  abort_wr_ = fds[1];
-}
-
-PipeTransport::~PipeTransport() {
-  for (Channel& channel : channels_) {
-    if (channel.delta_fd >= 0) {
-      ::close(channel.delta_fd);
-    }
-    if (channel.feedback_fd >= 0) {
-      ::close(channel.feedback_fd);
-    }
-  }
-  if (abort_rd_ >= 0) {
-    ::close(abort_rd_);
-  }
-  if (abort_wr_ >= 0) {
-    ::close(abort_wr_);
-  }
-}
-
-void PipeTransport::SetError(const std::string& message) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (error_.empty()) {
-    error_ = message;
-  }
-}
-
-std::string PipeTransport::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return error_;
-}
-
-void PipeTransport::ExtractFrames(Channel& channel) {
-  size_t offset = 0;
-  while (channel.buffer.size() - offset >= wire::kFrameHeaderSize) {
-    const uint8_t* head = channel.buffer.data() + offset;
-    const size_t available = channel.buffer.size() - offset;
-    size_t frame_size = 0;
-    if (!wire::FrameSize(head, available, &frame_size)) {
-      SetError("shard " + std::to_string(channel.worker) +
-               " sent a corrupt frame header");
-      break;
-    }
-    if (available < frame_size) {
-      break;  // Frame still arriving.
-    }
-    wire::Buffer frame(head, head + frame_size);
-    offset += frame_size;
-
-    wire::RecordType type;
-    wire::PeekType(frame.data(), frame.size(), &type);
-    if (type == wire::RecordType::kShardDelta) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.deltas;
-      stats_.delta_bytes += frame.size();
-      pending_.push_back(std::move(frame));
-      stats_.max_queue_depth =
-          std::max(stats_.max_queue_depth, pending_.size());
-      queue_depth_sum_ += static_cast<double>(pending_.size());
-    } else if (type == wire::RecordType::kShardResult) {
-      auto result = std::make_unique<ShardResultRecord>();
-      if (!wire::Decode(frame, result.get()) ||
-          result->worker != channel.worker || channel.result != nullptr) {
-        SetError("shard " + std::to_string(channel.worker) +
-                 " sent an invalid result record");
-        break;
-      }
-      channel.result = std::move(result);
-    } else {
-      SetError("shard " + std::to_string(channel.worker) +
-               " sent an unexpected record type");
-      break;
-    }
-  }
-  channel.buffer.erase(channel.buffer.begin(),
-                       channel.buffer.begin() + static_cast<long>(offset));
-}
-
-void PipeTransport::ReadChannel(Channel& channel) {
-  uint8_t chunk[65536];
-  while (true) {
-    const ssize_t n = ::read(channel.delta_fd, chunk, sizeof(chunk));
-    if (n > 0) {
-      channel.buffer.insert(channel.buffer.end(), chunk, chunk + n);
-      ExtractFrames(channel);
-      if (static_cast<size_t>(n) < sizeof(chunk)) {
-        return;  // Pipe drained for now.
-      }
-      continue;
-    }
-    if (n == 0) {
-      // EOF. Clean only when the shard already delivered its final
-      // result record with no partial frame left behind.
-      channel.open = false;
-      if (channel.result == nullptr || !channel.buffer.empty()) {
-        int expected = -1;
-        dead_worker_.compare_exchange_strong(expected, channel.worker);
-        SetError("shard " + std::to_string(channel.worker) +
-                 " closed its delta stream mid-campaign");
-      }
-      return;
-    }
-    if (errno == EINTR) {
-      continue;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return;
-    }
-    channel.open = false;
-    SetError("shard " + std::to_string(channel.worker) +
-             " delta pipe read failed: " + std::strerror(errno));
-    return;
-  }
-}
-
-bool PipeTransport::PumpOnce() {
-  if (aborted_) {
-    return false;
-  }
-  if (!error().empty()) {
-    return false;
-  }
-  std::vector<pollfd> fds;
-  std::vector<Channel*> polled;
-  for (Channel& channel : channels_) {
-    if (channel.open) {
-      fds.push_back({channel.delta_fd, POLLIN, 0});
-      polled.push_back(&channel);
-    }
-  }
-  if (polled.empty()) {
-    SetError("every shard closed its delta stream before the campaign "
-             "completed");
-    return false;
-  }
-  if (abort_rd_ >= 0) {
-    fds.push_back({abort_rd_, POLLIN, 0});
-  }
-  int r;
-  do {
-    r = ::poll(fds.data(), fds.size(), -1);
-  } while (r < 0 && errno == EINTR);
-  if (r < 0) {
-    SetError(std::string("poll failed: ") + std::strerror(errno));
-    return false;
-  }
-  if (aborted_) {
-    return false;
-  }
-  for (size_t i = 0; i < polled.size(); ++i) {
-    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-      ReadChannel(*polled[i]);
-    }
-  }
-  return error().empty();
-}
-
-bool PipeTransport::Drain(size_t max_batch, std::vector<wire::Buffer>* out) {
-  out->clear();
-  while (pending_.empty()) {
-    if (!PumpOnce()) {
-      return false;
-    }
-  }
-  const size_t n = std::min(pending_.size(), std::max<size_t>(max_batch, 1));
-  for (size_t i = 0; i < n; ++i) {
-    out->push_back(std::move(pending_.front()));
-    pending_.pop_front();
-  }
-  return true;
-}
-
-bool PipeTransport::SendFeedback(int worker, const wire::Buffer& frame) {
-  if (aborted_) {
-    return false;
-  }
-  for (Channel& channel : channels_) {
-    if (channel.worker != worker) {
-      continue;
-    }
-    if (channel.feedback_fd < 0 ||
-        !WritePipeFrame(channel.feedback_fd, frame)) {
-      if (errno == EPIPE) {
-        // No read end left: the child is gone.
-        int expected = -1;
-        dead_worker_.compare_exchange_strong(expected, worker);
-      }
-      SetError("feedback write to shard " + std::to_string(worker) +
-               " failed (shard dead?)");
-      return false;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.feedback_records;
-    stats_.feedback_bytes += frame.size();
-    return true;
-  }
-  SetError("feedback for unknown shard " + std::to_string(worker));
-  return false;
-}
-
-bool PipeTransport::CollectResults() {
-  auto all_collected = [&] {
-    for (const Channel& channel : channels_) {
-      if (channel.result == nullptr) {
-        return false;
-      }
-    }
-    return true;
-  };
-  while (!all_collected()) {
-    if (!PumpOnce()) {
-      return false;
-    }
-  }
-  return true;
-}
-
-const ShardResultRecord* PipeTransport::shard_result(int worker) const {
-  for (const Channel& channel : channels_) {
-    if (channel.worker == worker) {
-      return channel.result.get();
-    }
-  }
-  return nullptr;
-}
-
-void PipeTransport::Abort() {
-  aborted_ = true;
-  if (abort_wr_ >= 0) {
-    const uint8_t byte = 1;
-    // Best-effort wake-up; the atomic flag is the source of truth.
-    [[maybe_unused]] const ssize_t n = ::write(abort_wr_, &byte, 1);
-  }
-}
-
-TransportStats PipeTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  TransportStats out = stats_;
-  out.avg_queue_depth =
-      out.deltas == 0 ? 0.0
-                      : queue_depth_sum_ / static_cast<double>(out.deltas);
-  return out;
-}
+PipeTransport::PipeTransport(std::vector<PipeShardChannel> channels)
+    : FrameStreamTransport(ToStreamChannels(channels)) {}
 
 }  // namespace neco

@@ -5,19 +5,19 @@
 // length-prefixed wire frames (src/core/wire.h) in a fixed sequence —
 // one ShardDelta per epoch, then one ShardResultRecord — and, when corpus
 // syncing is on, blocks reading one FeedbackRecord frame before every
-// epoch after the first. The parent-side PipeTransport poll(2)s all delta
-// pipes, cuts complete frames out of the byte streams, and demultiplexes:
-// ShardDelta frames feed MergePipeline's drain loop in arrival order;
-// ShardResultRecord frames park in per-worker slots the engine collects
-// after the merge completes.
+// epoch after the first. The parent side is the shared byte-stream engine
+// (FrameStreamTransport, src/core/transport/stream.h): poll all delta
+// pipes, cut complete frames out of the streams, demultiplex ShardDelta
+// frames into MergePipeline's drain loop and ShardResultRecord frames
+// into per-worker slots.
 //
 // Failure model: a shard that dies (crash, kill -9, clean-but-early exit)
 // closes its delta pipe; EOF before the shard's ShardResultRecord arrived
 // is recorded as a transport error and Drain() fails fast — the drainer
 // never hangs waiting for an epoch that cannot complete. Writing feedback
-// to a dead shard surfaces the same way (EPIPE; SIGPIPE is ignored, see
-// ShardSupervisor). The engine turns transport errors plus the
-// supervisor's exit reports into one thrown shard error.
+// to a dead shard surfaces the same way (EPIPE; SIGPIPE is scoped by
+// ShardSupervisor, see transport.h). The engine turns transport errors
+// plus the supervisor's exit reports into one thrown shard error.
 //
 // Deadlock freedom with syncing on: feedback for epoch E is only sent
 // after every shard's epoch-E delta was *decoded*, at which point each
@@ -27,28 +27,11 @@
 #ifndef SRC_CORE_TRANSPORT_PIPE_H_
 #define SRC_CORE_TRANSPORT_PIPE_H_
 
-#include <atomic>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <string>
 #include <vector>
 
-#include "src/core/transport/transport.h"
+#include "src/core/transport/stream.h"
 
 namespace neco {
-
-// --- Child-side frame I/O (also used by the shard-child loop) ------------
-
-// Writes one complete frame, looping over partial writes. Returns false on
-// any write error (EPIPE after the parent died, etc.).
-bool WritePipeFrame(int fd, const wire::Buffer& frame);
-
-// Blocks until one complete frame was read into `*out`. Returns false on
-// EOF, a read error, or an invalid frame header.
-bool ReadPipeFrame(int fd, wire::Buffer* out);
-
-// --- Parent side ---------------------------------------------------------
 
 // The parent-side descriptors of one shard's pipe pair. PipeTransport
 // takes ownership and closes them.
@@ -58,66 +41,13 @@ struct PipeShardChannel {
   int feedback_fd = -1;  // Write end: config + FeedbackRecord frames.
 };
 
-class PipeTransport : public ShardTransport {
+class PipeTransport : public FrameStreamTransport {
  public:
+  // Throws std::runtime_error (closing every descriptor it was handed)
+  // when the abort self-pipe cannot be created or a channel descriptor
+  // fails fcntl — a transport built on bad descriptors must not limp into
+  // the drain loop.
   explicit PipeTransport(std::vector<PipeShardChannel> channels);
-  ~PipeTransport() override;
-
-  PipeTransport(const PipeTransport&) = delete;
-  PipeTransport& operator=(const PipeTransport&) = delete;
-
-  // ShardTransport:
-  bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) override;
-  bool SendFeedback(int worker, const wire::Buffer& frame) override;
-  void Abort() override;
-  std::string error() const override;
-  TransportStats stats() const override;
-
-  // After the merge loop finished: keeps reading until every shard's
-  // ShardResultRecord arrived (they follow the final deltas, so they may
-  // or may not be buffered already). Returns false on abort or error.
-  bool CollectResults();
-
-  // Worker `worker`'s final summary, or nullptr if it never arrived.
-  const ShardResultRecord* shard_result(int worker) const;
-
-  // The first worker observed dead (mid-campaign EOF on its delta pipe,
-  // or EPIPE writing its feedback), or -1. "Dead" is a kernel-level fact
-  // — those conditions only arise once the child's descriptors closed —
-  // so the engine can reap this specific child for its exit status when
-  // composing the shard error. (A corrupt frame does NOT set this: the
-  // sender of garbage may well still be running.)
-  int dead_worker() const { return dead_worker_; }
-
- private:
-  struct Channel {
-    int worker = 0;
-    int delta_fd = -1;
-    int feedback_fd = -1;
-    bool open = true;
-    std::vector<uint8_t> buffer;  // Partial-frame bytes read so far.
-    std::unique_ptr<ShardResultRecord> result;
-  };
-
-  // Blocks in poll() until a delta stream made progress, then reads and
-  // demultiplexes. Returns false on abort or transport error.
-  bool PumpOnce();
-  // Drains `channel`'s readable bytes and cuts complete frames.
-  void ReadChannel(Channel& channel);
-  void ExtractFrames(Channel& channel);
-  void SetError(const std::string& message);
-
-  std::vector<Channel> channels_;
-  std::deque<wire::Buffer> pending_;  // Decoded-order ShardDelta frames.
-  int abort_rd_ = -1;  // Self-pipe: Abort() wakes the poll loop.
-  int abort_wr_ = -1;
-  std::atomic<bool> aborted_{false};
-  std::atomic<int> dead_worker_{-1};
-
-  mutable std::mutex mu_;  // Guards error_ and stats_.
-  std::string error_;
-  TransportStats stats_;
-  double queue_depth_sum_ = 0.0;
 };
 
 }  // namespace neco

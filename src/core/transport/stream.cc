@@ -1,0 +1,426 @@
+#include "src/core/transport/stream.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace neco {
+namespace {
+
+bool ReadExact(int fd, uint8_t* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;  // EOF mid-frame.
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Blocks until `fd` is writable again. POLLERR/POLLHUP deliberately fall
+// through to the retried write: it reports the real errno (EPIPE, ...),
+// which is how the caller tells a dead peer from a slow one.
+bool WaitWritable(int fd) {
+  pollfd p{fd, POLLOUT, 0};
+  int r;
+  do {
+    r = ::poll(&p, 1, -1);
+  } while (r < 0 && errno == EINTR);
+  return r >= 0;
+}
+
+}  // namespace
+
+bool WritePipeFrame(int fd, const wire::Buffer& frame) {
+  const uint8_t* data = frame.data();
+  size_t size = frame.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Full buffer on a non-blocking descriptor: the peer is slow, not
+        // dead. Park until it drains, then retry.
+        if (!WaitWritable(fd)) {
+          return false;
+        }
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadPipeFrame(int fd, wire::Buffer* out) {
+  out->assign(wire::kFrameHeaderSize, 0);
+  if (!ReadExact(fd, out->data(), wire::kFrameHeaderSize)) {
+    return false;
+  }
+  size_t frame_size = 0;
+  if (!wire::FrameSize(out->data(), out->size(), &frame_size)) {
+    return false;
+  }
+  out->resize(frame_size);
+  return ReadExact(fd, out->data() + wire::kFrameHeaderSize,
+                   frame_size - wire::kFrameHeaderSize);
+}
+
+bool FrameStreamTransport::SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void FrameStreamTransport::CloseChannelFds(Channel& channel) {
+  if (channel.read_fd >= 0) {
+    ::close(channel.read_fd);
+  }
+  if (channel.write_fd >= 0 && channel.write_fd != channel.read_fd) {
+    ::close(channel.write_fd);
+  }
+  channel.read_fd = -1;
+  channel.write_fd = -1;
+}
+
+FrameStreamTransport::FrameStreamTransport(
+    std::vector<StreamShardChannel> channels) {
+  for (const StreamShardChannel& ch : channels) {
+    Channel channel;
+    channel.worker = ch.worker;
+    channel.read_fd = ch.read_fd;
+    channel.write_fd = ch.write_fd;
+    channels_.push_back(std::move(channel));
+  }
+  // The constructor owns every descriptor it was handed from here on: any
+  // failure below must close them all before throwing (the destructor
+  // will not run for a half-constructed object).
+  auto fail = [&](const std::string& message) {
+    for (Channel& channel : channels_) {
+      CloseChannelFds(channel);
+    }
+    if (abort_rd_ >= 0) {
+      ::close(abort_rd_);
+    }
+    if (abort_wr_ >= 0) {
+      ::close(abort_wr_);
+    }
+    throw std::runtime_error("FrameStreamTransport: " + message + ": " +
+                             std::strerror(errno));
+  };
+
+  int fds[2] = {-1, -1};
+  // Without the self-pipe a cross-thread Abort() could not wake a drainer
+  // blocked in poll(); fail construction instead of risking a hang later.
+  // O_CLOEXEC: an exec'd shard child must not inherit the parent's wake-up
+  // channel.
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    fail("abort pipe creation failed");
+  }
+  abort_rd_ = fds[0];
+  abort_wr_ = fds[1];
+
+  for (Channel& channel : channels_) {
+    // Delta reads are driven by poll(); non-blocking reads let ReadChannel
+    // drain exactly what arrived without ever stalling the drainer. (On a
+    // socket, read_fd == write_fd shares the flag — WritePipeFrame handles
+    // the resulting EAGAIN by polling for writability.)
+    if (!SetNonBlocking(channel.read_fd)) {
+      fail("fcntl(O_NONBLOCK) failed for shard " +
+           std::to_string(channel.worker));
+    }
+  }
+}
+
+FrameStreamTransport::~FrameStreamTransport() {
+  for (Channel& channel : channels_) {
+    CloseChannelFds(channel);
+  }
+  if (abort_rd_ >= 0) {
+    ::close(abort_rd_);
+  }
+  if (abort_wr_ >= 0) {
+    ::close(abort_wr_);
+  }
+}
+
+bool FrameStreamTransport::AdoptChannel(const StreamShardChannel& ch) {
+  Channel channel;
+  channel.worker = ch.worker;
+  channel.read_fd = ch.read_fd;
+  channel.write_fd = ch.write_fd;
+  if (!SetNonBlocking(channel.read_fd)) {
+    SetError("fcntl(O_NONBLOCK) failed for shard " +
+             std::to_string(channel.worker) + ": " + std::strerror(errno));
+    CloseChannelFds(channel);
+    return false;
+  }
+  channels_.push_back(std::move(channel));
+  return true;
+}
+
+void FrameStreamTransport::SetError(const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error_.empty()) {
+    error_ = message;
+  }
+}
+
+std::string FrameStreamTransport::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+void FrameStreamTransport::MarkDead(int worker) {
+  int expected = -1;
+  dead_worker_.compare_exchange_strong(expected, worker);
+}
+
+void FrameStreamTransport::ExtractFrames(Channel& channel) {
+  size_t offset = 0;
+  while (channel.buffer.size() - offset >= wire::kFrameHeaderSize) {
+    const uint8_t* head = channel.buffer.data() + offset;
+    const size_t available = channel.buffer.size() - offset;
+    size_t frame_size = 0;
+    if (!wire::FrameSize(head, available, &frame_size)) {
+      SetError("shard " + std::to_string(channel.worker) +
+               " sent a corrupt frame header");
+      break;
+    }
+    if (available < frame_size) {
+      break;  // Frame still arriving.
+    }
+    wire::Buffer frame(head, head + frame_size);
+    offset += frame_size;
+
+    wire::RecordType type;
+    wire::PeekType(frame.data(), frame.size(), &type);
+    if (type == wire::RecordType::kShardDelta) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deltas;
+      stats_.delta_bytes += frame.size();
+      pending_.push_back(std::move(frame));
+      stats_.max_queue_depth =
+          std::max(stats_.max_queue_depth, pending_.size());
+      queue_depth_sum_ += static_cast<double>(pending_.size());
+    } else if (type == wire::RecordType::kShardResult) {
+      auto result = std::make_unique<ShardResultRecord>();
+      if (!wire::Decode(frame, result.get()) ||
+          result->worker != channel.worker || channel.result != nullptr) {
+        SetError("shard " + std::to_string(channel.worker) +
+                 " sent an invalid result record");
+        break;
+      }
+      channel.result = std::move(result);
+    } else {
+      SetError("shard " + std::to_string(channel.worker) +
+               " sent an unexpected record type");
+      break;
+    }
+  }
+  channel.buffer.erase(channel.buffer.begin(),
+                       channel.buffer.begin() + static_cast<long>(offset));
+}
+
+void FrameStreamTransport::ReadChannel(Channel& channel) {
+  uint8_t chunk[65536];
+  while (true) {
+    const ssize_t n = ::read(channel.read_fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      channel.buffer.insert(channel.buffer.end(), chunk, chunk + n);
+      ExtractFrames(channel);
+      if (static_cast<size_t>(n) < sizeof(chunk)) {
+        return;  // Stream drained for now.
+      }
+      continue;
+    }
+    if (n == 0) {
+      // EOF. Clean only when the shard already delivered its final
+      // result record with no partial frame left behind.
+      channel.open = false;
+      if (channel.result == nullptr || !channel.buffer.empty()) {
+        MarkDead(channel.worker);
+        SetError("shard " + std::to_string(channel.worker) +
+                 " closed its delta stream mid-campaign");
+      }
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    }
+    channel.open = false;
+    if (errno == ECONNRESET || errno == EPIPE) {
+      // A socket peer that vanished (child SIGKILLed before EOF could be
+      // sent cleanly) surfaces as a reset, not an EOF — same fate, same
+      // attribution.
+      MarkDead(channel.worker);
+      SetError("shard " + std::to_string(channel.worker) +
+               " dropped its connection mid-campaign: " +
+               std::strerror(errno));
+      return;
+    }
+    SetError("shard " + std::to_string(channel.worker) +
+             " delta stream read failed: " + std::strerror(errno));
+    return;
+  }
+}
+
+bool FrameStreamTransport::PumpOnce() {
+  if (aborted_) {
+    return false;
+  }
+  if (!error().empty()) {
+    return false;
+  }
+  std::vector<pollfd> fds;
+  std::vector<Channel*> polled;
+  for (Channel& channel : channels_) {
+    if (channel.open) {
+      fds.push_back({channel.read_fd, POLLIN, 0});
+      polled.push_back(&channel);
+    }
+  }
+  if (polled.empty()) {
+    SetError("every shard closed its delta stream before the campaign "
+             "completed");
+    return false;
+  }
+  if (abort_rd_ >= 0) {
+    fds.push_back({abort_rd_, POLLIN, 0});
+  }
+  int r;
+  do {
+    r = ::poll(fds.data(), fds.size(), -1);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    SetError(std::string("poll failed: ") + std::strerror(errno));
+    return false;
+  }
+  if (aborted_) {
+    return false;
+  }
+  for (size_t i = 0; i < polled.size(); ++i) {
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      ReadChannel(*polled[i]);
+    }
+  }
+  return error().empty();
+}
+
+bool FrameStreamTransport::Drain(size_t max_batch,
+                                 std::vector<wire::Buffer>* out) {
+  out->clear();
+  while (pending_.empty()) {
+    if (!PumpOnce()) {
+      return false;
+    }
+  }
+  const size_t n = std::min(pending_.size(), std::max<size_t>(max_batch, 1));
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return true;
+}
+
+bool FrameStreamTransport::SendFeedback(int worker,
+                                        const wire::Buffer& frame) {
+  if (aborted_) {
+    return false;
+  }
+  for (Channel& channel : channels_) {
+    if (channel.worker != worker) {
+      continue;
+    }
+    if (channel.write_fd < 0 || !WritePipeFrame(channel.write_fd, frame)) {
+      // WritePipeFrame already absorbed EAGAIN (a slow-but-alive peer is
+      // backpressure, not a failure), so reaching here means a real
+      // error; EPIPE/ECONNRESET specifically mean the peer is gone.
+      const int err = errno;
+      if (channel.write_fd >= 0 &&
+          (err == EPIPE || err == ECONNRESET)) {
+        MarkDead(worker);
+        SetError("feedback write to shard " + std::to_string(worker) +
+                 " failed: shard dead (" + std::strerror(err) + ")");
+      } else {
+        SetError("feedback write to shard " + std::to_string(worker) +
+                 " failed: " +
+                 (channel.write_fd < 0 ? "no stream" : std::strerror(err)));
+      }
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.feedback_records;
+    stats_.feedback_bytes += frame.size();
+    return true;
+  }
+  SetError("feedback for unknown shard " + std::to_string(worker));
+  return false;
+}
+
+bool FrameStreamTransport::CollectResults() {
+  auto all_collected = [&] {
+    for (const Channel& channel : channels_) {
+      if (channel.result == nullptr) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_collected()) {
+    if (!PumpOnce()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const ShardResultRecord* FrameStreamTransport::shard_result(
+    int worker) const {
+  for (const Channel& channel : channels_) {
+    if (channel.worker == worker) {
+      return channel.result.get();
+    }
+  }
+  return nullptr;
+}
+
+void FrameStreamTransport::Abort() {
+  aborted_ = true;
+  if (abort_wr_ >= 0) {
+    const uint8_t byte = 1;
+    // Best-effort wake-up; the atomic flag is the source of truth.
+    [[maybe_unused]] const ssize_t n = ::write(abort_wr_, &byte, 1);
+  }
+}
+
+TransportStats FrameStreamTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransportStats out = stats_;
+  out.avg_queue_depth =
+      out.deltas == 0 ? 0.0
+                      : queue_depth_sum_ / static_cast<double>(out.deltas);
+  return out;
+}
+
+}  // namespace neco

@@ -1,6 +1,7 @@
 #include "src/core/transport/supervisor.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -21,19 +22,24 @@ std::string ShardExit::Describe() const {
 
 ShardSupervisor::ShardSupervisor() {
   // A shard child can die at any moment, turning the parent's next
-  // feedback-pipe write into an EPIPE. The default SIGPIPE disposition
-  // would kill the whole campaign process instead; ignoring it keeps the
-  // failure a recoverable error code (PipeTransport turns it into a
-  // recorded shard error). The previous disposition is restored when the
-  // supervisor (which outlives every pipe write of its campaign) goes
-  // away, so the embedding process does not keep the side effect.
-  previous_sigpipe_ = ::signal(SIGPIPE, SIG_IGN);
+  // feedback write (pipe or socket) into an EPIPE. The default SIGPIPE
+  // disposition would kill the whole campaign process instead; ignoring
+  // it keeps the failure a recoverable error code (the transport turns it
+  // into a recorded shard error). The disposition is scoped, not
+  // clobbered: sigaction saves the embedding application's full previous
+  // action — including an SA_SIGINFO handler, which the old
+  // signal()-based save could not represent — and the destructor (which
+  // outlives every feedback write of its campaign) restores it.
+  struct sigaction ignore_action {};
+  ignore_action.sa_handler = SIG_IGN;
+  ::sigemptyset(&ignore_action.sa_mask);
+  ::sigaction(SIGPIPE, &ignore_action, &previous_sigpipe_);
 }
 
 ShardSupervisor::~ShardSupervisor() {
   KillAll(SIGKILL);
   WaitAll();
-  ::signal(SIGPIPE, previous_sigpipe_);
+  ::sigaction(SIGPIPE, &previous_sigpipe_, nullptr);
 }
 
 pid_t ShardSupervisor::SpawnFork(int worker,
@@ -65,9 +71,16 @@ pid_t ShardSupervisor::SpawnExec(int worker, const std::string& exec_path,
     return -1;
   }
   if (pid == 0) {
-    // Close every inherited descriptor the child must not hold open —
-    // above all the *other* shards' pipe ends, which would otherwise keep
-    // their streams from ever reaching EOF when a sibling dies.
+    // The engine creates every campaign descriptor O_CLOEXEC, so the exec
+    // below sheds them automatically; the child's own channel ends are
+    // the exception and get the flag cleared here. The close sweep stays
+    // as a second line of defense so a non-CLOEXEC descriptor leaked by
+    // the embedding process cannot reach the child either — between the
+    // two, an exec'd shard starts with stdio plus exactly its keep_fds
+    // (asserted via /proc/self/fd in tests/transport_test.cc).
+    for (int k : keep_fds) {
+      ::fcntl(k, F_SETFD, 0);
+    }
     const long max_fd = ::sysconf(_SC_OPEN_MAX);
     for (int fd = 3; fd < (max_fd > 0 ? max_fd : 1024); ++fd) {
       bool keep = false;

@@ -27,6 +27,7 @@
 #ifndef SRC_CORE_TRANSPORT_SUPERVISOR_H_
 #define SRC_CORE_TRANSPORT_SUPERVISOR_H_
 
+#include <signal.h>
 #include <sys/types.h>
 
 #include <functional>
@@ -66,9 +67,12 @@ class ShardSupervisor {
 
   // Forks and execs `exec_path` with `argv` (argv[0] is supplied by the
   // supervisor). `keep_fds` are inherited descriptors the child must keep
-  // (its pipe ends); every other descriptor above stderr is closed before
-  // exec. Returns the child pid, or -1 when fork failed; exec failure
-  // surfaces as exit code 127 at WaitAll().
+  // (its pipe ends) — they get FD_CLOEXEC cleared, since the engine now
+  // creates every campaign descriptor close-on-exec; every other
+  // descriptor above stderr is closed before exec as a second line of
+  // defense against non-CLOEXEC descriptors the embedding process holds.
+  // Returns the child pid, or -1 when fork failed; exec failure surfaces
+  // as exit code 127 at WaitAll().
   pid_t SpawnExec(int worker, const std::string& exec_path,
                   const std::vector<std::string>& argv,
                   const std::vector<int>& keep_fds);
@@ -97,7 +101,11 @@ class ShardSupervisor {
 
  private:
   std::vector<ShardExit> children_;
-  void (*previous_sigpipe_)(int) = nullptr;  // Restored by the destructor.
+  // The embedder's full SIGPIPE disposition (sigaction, not just a
+  // handler pointer — a host's SA_SIGINFO action must survive the round
+  // trip), restored by the destructor. See the SIGPIPE constraint note in
+  // transport.h.
+  struct sigaction previous_sigpipe_ {};
 };
 
 }  // namespace neco

@@ -9,16 +9,30 @@
 //
 //  * InProcTransport (src/core/transport/inproc.h): the bounded in-memory
 //    MPSC deque the pipeline historically embedded, for thread shards
-//    inside one process, and
+//    inside one process,
 //  * PipeTransport (src/core/transport/pipe.h): length-prefixed frames
 //    from fork/exec'd child-shard processes over pipes, with per-epoch
 //    FeedbackRecord frames flowing back, for campaigns that scale past
-//    one process.
+//    one process, and
+//  * SocketTransport (src/core/transport/socket.h): the same frames over
+//    TCP connections shard children dial into, for campaigns that scale
+//    past one machine (both stream backends share the poll/demux engine
+//    in src/core/transport/stream.h).
 //
 // The contract is deterministic content: a transport moves opaque encoded
 // frames without reordering records from the same shard, so the fold — and
 // therefore merged results and observer event sequences — is identical
 // whichever backend carried the bytes (pinned in tests/engine_test.cc).
+//
+// SIGPIPE constraint: the stream backends write to descriptors whose peer
+// can die at any moment, which must surface as an error code (EPIPE), not
+// a process-killing signal. ShardSupervisor (src/core/transport/
+// supervisor.h) scopes that for a campaign — it saves the embedding
+// process's SIGPIPE disposition via sigaction on construction, installs
+// SIG_IGN, and restores the saved disposition on destruction. An
+// application embedding the library keeps its own SIGPIPE handler outside
+// campaign lifetimes, but must not install one concurrently with a
+// running campaign (the save/restore would race it).
 #ifndef SRC_CORE_TRANSPORT_TRANSPORT_H_
 #define SRC_CORE_TRANSPORT_TRANSPORT_H_
 

@@ -409,6 +409,10 @@ Buffer Encode(const ShardResultRecord& record) {
     for (const std::string& id : record.crash_ids) {
       w.Str(id);
     }
+    w.U32(static_cast<uint32_t>(record.crash_inputs.size()));
+    for (const FuzzInput& input : record.crash_inputs) {
+      w.Bytes(input);
+    }
   });
 }
 
@@ -443,6 +447,16 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
   if (!r.FitsCount(crash_count, 4)) return false;
   for (uint32_t i = 0; i < crash_count; ++i) {
     out->crash_ids.push_back(r.Str());
+  }
+  out->crash_inputs.clear();
+  const uint32_t input_count = r.U32();
+  // The arrays are parallel by contract; a record that disagrees with
+  // itself is corrupt.
+  if (input_count != crash_count || !r.FitsCount(input_count, 4)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < input_count; ++i) {
+    out->crash_inputs.push_back(r.Bytes());
   }
   return r.Done();
 }
@@ -492,13 +506,30 @@ bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out) {
   return r.Done();
 }
 
+Buffer Encode(const ShardHelloRecord& record) {
+  return Frame(RecordType::kShardHello, [&](Writer& w) {
+    w.U32(record.magic);
+    w.I32(record.worker);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kShardHello);
+  out->magic = r.U32();
+  if (r.ok() && out->magic != ShardHelloRecord::kMagic) {
+    return false;  // A stray peer, not a shard child.
+  }
+  out->worker = r.I32();
+  return r.Done();
+}
+
 bool PeekType(const uint8_t* data, size_t size, RecordType* out) {
   if (data == nullptr || size < kHeaderSize) {
     return false;
   }
   const uint8_t type = data[0];
   if (type < static_cast<uint8_t>(RecordType::kShardDelta) ||
-      type > static_cast<uint8_t>(RecordType::kChildConfig)) {
+      type > static_cast<uint8_t>(RecordType::kShardHello)) {
     return false;
   }
   *out = static_cast<RecordType>(type);

@@ -15,9 +15,12 @@
 //    state a syncing shard absorbs — pool entries + the global-novelty
 //    BitmapDelta — pushed from the drainer to child shards),
 //    ShardResultRecord (a child shard's final per-worker summary, shipped
-//    after its last delta), and ShardChildConfigRecord (the campaign
-//    configuration an exec'd --necofuzz-shard-child process reads at
-//    startup).
+//    after its last delta — including the crash reproduction inputs, so
+//    nothing stays resident in a child that may live on another machine),
+//    ShardChildConfigRecord (the campaign configuration an exec'd
+//    --necofuzz-shard-child process reads at startup), and
+//    ShardHelloRecord (the socket-transport handshake: a dialing shard
+//    identifies itself before receiving its config).
 //
 // The binary encoding is versioned, length-prefixed, and endian-stable
 // (everything is serialized little-endian byte by byte, so records decode
@@ -151,6 +154,25 @@ struct ShardResultRecord {
   uint64_t imports = 0;                   // Pool entries adopted (post-dedup).
   std::vector<std::string> crash_ids;     // Fuzzer crash bug ids, in
                                           // discovery order.
+  // Parallel to crash_ids: the input that reproduces each crash. Shipping
+  // them in the result record is what lets a process/socket campaign
+  // collect reproduction inputs from children that exit (or live on
+  // another machine) — they never stay resident in the shard. Decode()
+  // rejects a record whose two crash arrays disagree in length.
+  std::vector<FuzzInput> crash_inputs;
+};
+
+// The first frame a socket-mode shard child sends after dialing the
+// parent's listener (src/core/transport/socket.h): which worker this
+// connection carries. The parent validates it and replies with the
+// shard's ShardChildConfigRecord; anything else on a fresh connection —
+// stray dialers, port scanners, a corrupt hello — gets the connection
+// dropped. The magic makes a non-NecoFuzz peer fail the handshake even
+// when its bytes happen to parse as a frame.
+struct ShardHelloRecord {
+  static constexpr uint32_t kMagic = 0x4E43534Bu;  // "KSCN" little-endian.
+  uint32_t magic = kMagic;
+  int worker = 0;
 };
 
 // Everything an exec'd --necofuzz-shard-child process needs to rebuild its
@@ -184,8 +206,11 @@ struct ShardChildConfigRecord {
 
 namespace wire {
 
-inline constexpr uint8_t kVersion = 2;  // v2 added the process-sharding
-                                        // records (kFeedback..kChildConfig).
+inline constexpr uint8_t kVersion = 3;  // v2 added the process-sharding
+                                        // records (kFeedback..kChildConfig);
+                                        // v3 the socket handshake
+                                        // (kShardHello) and crash-input
+                                        // shipping in ShardResultRecord.
 
 enum class RecordType : uint8_t {
   kShardDelta = 1,
@@ -197,6 +222,7 @@ enum class RecordType : uint8_t {
   kFeedback = 7,
   kShardResult = 8,
   kChildConfig = 9,
+  kShardHello = 10,
 };
 
 using Buffer = std::vector<uint8_t>;
@@ -219,6 +245,7 @@ Buffer Encode(const FinishEvent& record);
 Buffer Encode(const FeedbackRecord& record);
 Buffer Encode(const ShardResultRecord& record);
 Buffer Encode(const ShardChildConfigRecord& record);
+Buffer Encode(const ShardHelloRecord& record);
 
 // Strict decoding; `*out` is unspecified when false is returned.
 bool Decode(const uint8_t* data, size_t size, ShardDelta* out);
@@ -230,6 +257,7 @@ bool Decode(const uint8_t* data, size_t size, FinishEvent* out);
 bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out);
 bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out);
 bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out);
+bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out);
 
 template <typename Record>
 bool Decode(const Buffer& buffer, Record* out) {

@@ -1,11 +1,18 @@
 // Tests for the CampaignEngine session API and its delta-based merge
 // pipeline: registry round-trip (register/list/construct), loud failure
 // on unknown targets, observer event-stream determinism, barrier-era
-// golden event ordering at merge_batch=1 (in thread AND process shard
-// mode), merge_batch invariance of results and event sequences,
-// process-shard equivalence (shard_mode=processes reproduces the
-// thread-mode EngineResult and event sequence exactly), dead-shard error
-// reporting, and the observer exception guard.
+// golden event ordering at merge_batch=1 (in thread AND process AND
+// socket shard mode), merge_batch invariance of results and event
+// sequences, process/socket-shard equivalence (shard_mode=processes and
+// shard_mode=sockets both reproduce the thread-mode EngineResult —
+// including the shipped-home crash reproduction inputs — and event
+// sequence exactly), dead-shard error reporting (kill -9 over a pipe and
+// an abruptly cut socket alike), and the observer exception guard.
+//
+// This suite defines its own main() (calling MaybeRunShardChild before
+// gtest) so exec-mode campaigns can re-exec this binary as real shard
+// children — the same invocation a RemoteLauncher would issue on another
+// machine.
 #include <gtest/gtest.h>
 #include <signal.h>
 
@@ -345,6 +352,17 @@ TEST(ProcessShardGoldenTest, ProcessShardsReproduceTheBarrierEraGolden) {
   EXPECT_EQ(observer.log, BarrierEraGolden());
 }
 
+TEST(SocketShardGoldenTest, SocketShardsReproduceTheBarrierEraGolden) {
+  // The same golden once more, with every shard dialing a loopback TCP
+  // socket and the deltas travelling the connection. Identical event
+  // sequence = the socket transport changed nothing observable either.
+  CampaignOptions options = GoldenOptions();
+  options.shard_mode = ShardMode::kSockets;
+  GoldenObserver observer;
+  CampaignEngine("kvm", options).AddObserver(&observer).Run();
+  EXPECT_EQ(observer.log, BarrierEraGolden());
+}
+
 TEST(MergePipelineDeterminismTest, MergeBatchChangesNeitherResultsNorEvents) {
   // merge_batch only controls how many queued deltas one drainer flush
   // folds; the fold order is fixed, so merged coverage, findings, and the
@@ -426,6 +444,12 @@ void ExpectSameEngineResult(const EngineResult& a, const EngineResult& b) {
     EXPECT_EQ(a.merged.findings[i].bug_id, b.merged.findings[i].bug_id);
     EXPECT_EQ(a.merged.findings[i].kind, b.merged.findings[i].kind);
     EXPECT_EQ(a.merged.findings[i].message, b.merged.findings[i].message);
+  }
+  // Crash reproduction inputs ship home across any transport and must be
+  // byte-identical to what a thread shard keeps in memory.
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (size_t w = 0; w < a.crashes.size(); ++w) {
+    EXPECT_EQ(a.crashes[w], b.crashes[w]);
   }
   ASSERT_EQ(a.per_worker.size(), b.per_worker.size());
   for (size_t w = 0; w < a.per_worker.size(); ++w) {
@@ -516,6 +540,124 @@ TEST(ProcessShardTest, KilledChildShardIsARecordedErrorNotAHang) {
   }
 }
 
+// --- Socket shards vs thread shards --------------------------------------
+
+TEST(SocketShardTest, FourSocketShardsReproduceFourThreadShardsExactly) {
+  // The acceptance bar for the socket transport: shard_mode=sockets at
+  // N=4 over loopback (guided, corpus-syncing — every record type in
+  // play, hello/config handshake included) produces a bit-identical
+  // EngineResult and merge-ordered observer event sequence to workers=4
+  // threads.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1600, 4);
+  options.fuzzer.coverage_guidance = true;
+
+  RecordingObserver threads;
+  const EngineResult thread_result =
+      CampaignEngine("kvm", options).AddObserver(&threads).Run();
+
+  options.shard_mode = ShardMode::kSockets;
+  RecordingObserver sockets;
+  const EngineResult socket_result =
+      CampaignEngine("kvm", options).AddObserver(&sockets).Run();
+
+  ASSERT_FALSE(threads.log.empty());
+  EXPECT_EQ(threads.log, sockets.log);
+  ExpectSameEngineResult(thread_result, socket_result);
+  // The deltas genuinely travelled TCP, and feedback flowed back.
+  EXPECT_GT(socket_result.transport.delta_bytes, 0u);
+  EXPECT_GT(socket_result.transport.feedback_records, 0u);
+  // Crash reproduction inputs came home over the wire: this workload
+  // finds anomalies, so at least one worker shipped a non-empty input.
+  size_t shipped = 0;
+  for (const auto& worker_crashes : socket_result.crashes) {
+    for (const auto& [id, input] : worker_crashes) {
+      EXPECT_FALSE(id.empty());
+      EXPECT_FALSE(input.empty());
+      ++shipped;
+    }
+  }
+  EXPECT_GT(shipped, 0u);
+}
+
+TEST(SocketShardTest, ExecSocketShardsMatchThreadShards) {
+  // The remote-launcher shape end to end on one machine: children are
+  // fresh exec'd processes of this binary that know nothing, dial the
+  // loopback listener, and rebuild everything from the handshake config.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+
+  RecordingObserver threads;
+  const EngineResult thread_result =
+      CampaignEngine("kvm", options).AddObserver(&threads).Run();
+
+  options.shard_mode = ShardMode::kSockets;
+  options.shard_exec_path = "/proc/self/exe";
+  RecordingObserver sockets;
+  const EngineResult socket_result =
+      CampaignEngine("kvm", options).AddObserver(&sockets).Run();
+
+  EXPECT_EQ(threads.log, sockets.log);
+  ExpectSameEngineResult(thread_result, socket_result);
+}
+
+TEST(SocketShardTest, KilledSocketShardIsARecordedErrorNotAHang) {
+  // kill -9 one socket child mid-campaign: the connection is cut without
+  // a clean EOF; the drainer must fail fast with a shard error naming the
+  // dead worker and its fate — never hang waiting for the missing epoch.
+  CampaignOptions options = SmallOptions(Arch::kAmd, 1200, 3);
+  options.fuzzer.coverage_guidance = true;
+  options.shard_mode = ShardMode::kSockets;
+  options.shard_fault_for_test = [](int worker, size_t epoch) {
+    if (worker == 1 && epoch == 1) {
+      ::raise(SIGKILL);
+    }
+  };
+
+  try {
+    CampaignEngine("kvm", options).Run();
+    FAIL() << "expected a shard error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("shard 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("signal 9"), std::string::npos) << message;
+  }
+}
+
+TEST(SocketShardTest, RemoteLauncherFailureFailsTheCampaignImmediately) {
+  // A launcher that cannot start its shard must fail the campaign right
+  // away — not leave the listener waiting out the accept timeout.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 200, 2);
+  options.shard_mode = ShardMode::kSockets;
+  std::vector<ShardLaunch> launches;
+  options.remote_launcher = [&](const ShardLaunch& launch) {
+    launches.push_back(launch);
+    return false;  // Nothing ever dials.
+  };
+  try {
+    CampaignEngine("kvm", options).Run();
+    FAIL() << "expected a launcher error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("launcher"), std::string::npos)
+        << e.what();
+  }
+  // The launcher saw a fully resolved dial target for the first shard.
+  ASSERT_EQ(launches.size(), 1u);
+  EXPECT_EQ(launches[0].worker, 0);
+  EXPECT_EQ(launches[0].address, "127.0.0.1");
+  EXPECT_GT(launches[0].port, 0);
+  EXPECT_EQ(launches[0].target, "kvm");
+}
+
+TEST(SocketShardTest, RemoteLauncherRequiresARegistryName) {
+  // Remote children rebuild the target from the registry; a bare-factory
+  // session cannot cross machines and must fail loudly.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 100, 2);
+  options.shard_mode = ShardMode::kSockets;
+  options.remote_launcher = [](const ShardLaunch&) { return true; };
+  CampaignEngine engine(
+      HypervisorFactory([] { return std::make_unique<SimKvm>(); }), options);
+  EXPECT_THROW(engine.Run(), std::invalid_argument);
+}
+
 TEST(ProcessShardTest, ExecModeRequiresARegistryName) {
   // An exec'd child rebuilds its target from the registry; a session
   // built from a bare factory cannot cross exec and must fail loudly.
@@ -568,3 +710,14 @@ TEST(CampaignObserverTest, ThrowingObserverIsRecordedAndRethrownAfterJoin) {
 
 }  // namespace
 }  // namespace neco
+
+int main(int argc, char** argv) {
+  // Exec-mode campaigns in this suite re-exec this binary as shard
+  // children (pipe-fd and socket-dial flavors alike); the hidden
+  // entrypoint must run before gtest does.
+  if (const int code = neco::MaybeRunShardChild(argc, argv); code >= 0) {
+    return code;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

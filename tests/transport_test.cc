@@ -1,15 +1,31 @@
 // Tests for the ShardTransport layer (src/core/transport/): pipe frame
-// I/O round-trips, PipeTransport drain/demux driven by real fork'd
-// children, feedback frames flowing parent -> child, the dead-shard
-// failure model (premature EOF, kill -9) failing the drain loop fast
-// instead of hanging it, and ShardSupervisor spawn/reap/kill semantics.
-// (InProcTransport's queue semantics live in merge_pipeline_test.cc, next
-// to the drain loop they serve.)
+// I/O round-trips, slow-reader (EAGAIN) writes that must not be mistaken
+// for a dead peer, PipeTransport drain/demux driven by real fork'd
+// children, construction failing loudly on a bad descriptor, feedback
+// frames flowing parent -> child, the dead-shard failure model (premature
+// EOF, kill -9) failing the drain loop fast instead of hanging it, and
+// ShardSupervisor spawn/reap/kill semantics including the CLOEXEC
+// descriptor discipline (an exec'd child inherits stdio plus exactly its
+// own channel fds, asserted via /proc/self/fd — this suite has its own
+// main() so the re-exec'd binary can run the audit probe before gtest
+// starts). (InProcTransport's queue semantics live in
+// merge_pipeline_test.cc, next to the drain loop they serve; the socket
+// backend's tests live in socket_transport_test.cc.)
+#include <dirent.h>
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -17,6 +33,7 @@
 #include "src/core/transport/pipe.h"
 #include "src/core/transport/supervisor.h"
 #include "src/core/wire.h"
+#include "src/fuzz/mutator.h"
 
 namespace neco {
 namespace {
@@ -72,6 +89,64 @@ TEST(PipeFrameTest, FramesRoundTripThroughARealPipe) {
   ::close(fds[1]);
   EXPECT_FALSE(ReadPipeFrame(fds[0], &frame));
   ::close(fds[0]);
+}
+
+TEST(PipeFrameTest, SlowReaderIsBackpressureNotADeadPeer) {
+  // A non-blocking descriptor whose buffer fills (EAGAIN) is exactly what
+  // a feedback write to a slow-but-alive shard looks like — and what
+  // every socket-transport write looks like. WritePipeFrame must park on
+  // poll(POLLOUT) and finish the frame, not report a dead shard.
+  ShardSupervisor sigpipe_scope;  // Scopes SIGPIPE for the dead-peer half.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int tiny = 1;  // The kernel clamps this up to its minimum.
+  ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  const int flags = ::fcntl(fds[1], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK), 0);
+
+  // Far bigger than any SO_SNDBUF minimum, so the write MUST hit EAGAIN.
+  ShardDelta big = MakeDelta(0, 0, 1);
+  big.queue_entries.assign(64, FuzzInput(kFuzzInputSize, 0xAB));
+  const wire::Buffer frame = wire::Encode(big);
+  ASSERT_GT(frame.size(), 100000u);
+
+  std::thread reader([&] {
+    // Give the writer time to genuinely fill the buffer and block.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    wire::Buffer got;
+    EXPECT_TRUE(ReadPipeFrame(fds[0], &got));
+    EXPECT_EQ(got, frame);
+  });
+  EXPECT_TRUE(WritePipeFrame(fds[1], frame));
+  reader.join();
+
+  // A genuinely dead peer still fails — with errno saying why.
+  ::close(fds[0]);
+  EXPECT_FALSE(WritePipeFrame(fds[1], frame));
+  EXPECT_TRUE(errno == EPIPE || errno == ECONNRESET) << std::strerror(errno);
+  ::close(fds[1]);
+}
+
+TEST(PipeTransportTest, BadDescriptorFailsConstructionLoudly) {
+  // A channel built on a dead descriptor (fcntl(F_GETFL) fails) must fail
+  // construction like the abort-pipe path does — never hand F_SETFL
+  // garbage and limp into the drain loop. The bogus number is far above
+  // anything allocated (a freshly *closed* fd would just be recycled by
+  // the transport's own abort pipe), so fcntl reliably sees EBADF.
+  Pipes pipes = MakePipes();
+  const int bogus = 1 << 19;
+  try {
+    PipeTransport transport({{0, bogus, pipes.feedback_wr}});
+    FAIL() << "expected construction to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fcntl"), std::string::npos)
+        << e.what();
+  }
+  // The failed constructor owned and closed feedback_wr; the rest is ours.
+  ::close(pipes.delta_rd);
+  ::close(pipes.delta_wr);
+  ::close(pipes.feedback_rd);
 }
 
 TEST(PipeTransportTest, ForkChildrenDriveTheMergePipeline) {
@@ -294,5 +369,116 @@ TEST(ShardSupervisorTest, ExecFailureSurfacesAsExitCode127) {
   EXPECT_EQ(exits[0].Describe(), "exited with status 127");
 }
 
+TEST(ShardSupervisorTest, ExecChildInheritsOnlyItsOwnChannelFds) {
+  // The engine creates every campaign descriptor O_CLOEXEC and SpawnExec
+  // clears the flag only on the child's own keep_fds — so an exec'd shard
+  // must start with stdio plus exactly its two channel descriptors, even
+  // while the parent is holding other shards' channels. The child is this
+  // binary re-exec'd in fd-audit mode (see main() below): it lists
+  // /proc/self/fd and ships the listing back over its audit channel.
+  int sibling[2];  // A sibling channel that must NOT leak into the child.
+  ASSERT_EQ(::pipe2(sibling, O_CLOEXEC), 0);
+  int audit[2];  // The child's "delta" end: carries the fd listing back.
+  ASSERT_EQ(::pipe2(audit, O_CLOEXEC), 0);
+  int keep[2];  // The child's "feedback" end: kept but unused.
+  ASSERT_EQ(::pipe2(keep, O_CLOEXEC), 0);
+
+  ShardSupervisor supervisor;
+  const pid_t pid = supervisor.SpawnExec(
+      0, "/proc/self/exe",
+      {"--necofuzz-fd-audit", "--necofuzz-audit-out=" + std::to_string(audit[1]),
+       "--necofuzz-audit-keep=" + std::to_string(keep[0])},
+      {audit[1], keep[0]});
+  ASSERT_GT(pid, 0);
+  ::close(audit[1]);
+  ::close(keep[0]);
+
+  std::string listing;
+  char buffer[256];
+  ssize_t n;
+  while ((n = ::read(audit[0], buffer, sizeof(buffer))) > 0) {
+    listing.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(audit[0]);
+  ::close(keep[1]);
+  ::close(sibling[0]);
+  ::close(sibling[1]);
+
+  std::set<int> child_fds;
+  std::istringstream stream(listing);
+  int fd;
+  while (stream >> fd) {
+    child_fds.insert(fd);
+  }
+  const std::set<int> expected = {0, 1, 2, audit[1], keep[0]};
+  EXPECT_EQ(child_fds, expected) << "child fd listing: " << listing;
+
+  const std::vector<ShardExit> exits = supervisor.WaitAll();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_TRUE(exits[0].clean()) << exits[0].Describe();
+}
+
 }  // namespace
 }  // namespace neco
+
+namespace {
+
+// Hidden probe mode for ExecChildInheritsOnlyItsOwnChannelFds: list every
+// open descriptor (via /proc/self/fd, excluding the directory fd doing
+// the listing), write the listing to the audit descriptor, exit 0.
+// Returns -1 for a normal test run.
+int MaybeRunFdAudit(int argc, char** argv) {
+  bool audit = false;
+  int out_fd = -1;
+  const std::string out_prefix = "--necofuzz-audit-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--necofuzz-fd-audit") {
+      audit = true;
+    } else if (arg.rfind(out_prefix, 0) == 0) {
+      out_fd = std::atoi(arg.c_str() + out_prefix.size());
+    }
+  }
+  if (!audit) {
+    return -1;
+  }
+  if (out_fd < 0) {
+    return 2;
+  }
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 2;
+  }
+  std::string listing;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') {
+      continue;
+    }
+    const int fd = std::atoi(entry->d_name);
+    if (fd == ::dirfd(dir)) {
+      continue;  // Our own directory handle, not an inherited fd.
+    }
+    listing += std::to_string(fd) + " ";
+  }
+  ::closedir(dir);
+  size_t offset = 0;
+  while (offset < listing.size()) {
+    const ssize_t n =
+        ::write(out_fd, listing.data() + offset, listing.size() - offset);
+    if (n <= 0) {
+      return 2;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const int code = MaybeRunFdAudit(argc, argv); code >= 0) {
+    return code;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

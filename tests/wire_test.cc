@@ -164,6 +164,7 @@ ShardResultRecord MakeResult() {
   record.watchdog_restarts = 1;
   record.imports = 59;
   record.crash_ids = {"kvm-a", "kvm-b"};
+  record.crash_inputs = {MakeInput(0x61), MakeInput(0x62)};
   return record;
 }
 
@@ -236,6 +237,45 @@ TEST(WireTest, ShardResultRecordRoundTripIsIdentity) {
   EXPECT_EQ(decoded.watchdog_restarts, record.watchdog_restarts);
   EXPECT_EQ(decoded.imports, record.imports);
   EXPECT_EQ(decoded.crash_ids, record.crash_ids);
+  EXPECT_EQ(decoded.crash_inputs, record.crash_inputs);
+}
+
+TEST(WireTest, ShardResultCrashArraysMustAgree) {
+  // crash_ids and crash_inputs are parallel by contract; a record that
+  // disagrees with itself (an input without its id, or vice versa) is
+  // corrupt and must be rejected, not silently misaligned.
+  ShardResultRecord lopsided = MakeResult();
+  lopsided.crash_inputs.pop_back();
+  ShardResultRecord decoded;
+  EXPECT_FALSE(wire::Decode(wire::Encode(lopsided), &decoded));
+}
+
+TEST(WireTest, ShardHelloRoundTripAndMagicRejection) {
+  ShardHelloRecord hello;
+  hello.worker = 5;
+  const wire::Buffer buffer = wire::Encode(hello);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kShardHello);
+
+  ShardHelloRecord decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.worker, 5);
+  EXPECT_EQ(decoded.magic, ShardHelloRecord::kMagic);
+
+  // A stray peer whose bytes parse as a frame still fails the handshake:
+  // the magic is part of the contract.
+  ShardHelloRecord impostor;
+  impostor.magic = 0xDEADBEEF;
+  impostor.worker = 0;
+  EXPECT_FALSE(wire::Decode(wire::Encode(impostor), &decoded));
+
+  // Every truncation is rejected, like every other record.
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(buffer.data(), len, &decoded))
+        << "length " << len;
+  }
 }
 
 TEST(WireTest, ShardChildConfigRecordRoundTripIsIdentity) {
@@ -405,6 +445,7 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
   FeedbackRecord feedback;
   ShardResultRecord result;
   ShardChildConfigRecord config;
+  ShardHelloRecord hello;
   for (int i = 0; i < 2000; ++i) {
     wire::Buffer buffer(rng.Below(160));
     for (auto& byte : buffer) {
@@ -416,6 +457,7 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
     wire::Decode(buffer, &feedback);
     wire::Decode(buffer, &result);
     wire::Decode(buffer, &config);
+    wire::Decode(buffer, &hello);
   }
 }
 
