@@ -258,6 +258,10 @@ ExecFeedback Agent::ExecuteOne(const FuzzInput& input) {
       record.hypervisor = std::string(target_.name());
       record.arch = std::string(ArchName(options_.arch));
       record.iteration = executions_;
+      // Save() throws when persisting fails (ENOSPC, EACCES, ...); the
+      // exception propagates through the executor to the engine, which
+      // fails the campaign — a crash artifact that cannot be made durable
+      // must not be silently dropped.
       crash_store_.Save(record);
     }
     findings_.emplace(report.bug_id, std::move(report));

@@ -114,6 +114,20 @@ struct CampaignOptions {
   // allocator lock can deadlock. Multithreaded embedders should set an
   // exec path.
   std::string shard_exec_path;
+  // Durable campaign state (src/core/state/journal.h). Empty (the
+  // default) keeps the campaign memory-resident. When set, CampaignEngine
+  // opens or creates a CampaignJournal at this directory and commits the
+  // campaign at epoch granularity — merged deltas, new crash artifacts,
+  // and a versioned manifest, each write-to-temp + fsync + atomic rename
+  // + directory fsync. A campaign killed at any point (kill -9 included)
+  // and restarted with the same state_dir and options resumes from the
+  // last committed epoch, bit-identical to an uninterrupted run: same
+  // EngineResult, and the observer event stream continues exactly where
+  // the committed prefix stopped. Works across all shard modes (the
+  // journal lives in the parent; shard_mode and merge_batch may even
+  // change between incarnations). A state_dir written by different
+  // options, target, or binary is rejected at Run() with an error.
+  std::string state_dir;
   // Test-only fault injection: when set, every fork-mode process shard
   // calls this at the start of each epoch (in the child process). Lets
   // tests kill a child mid-campaign and assert the parent surfaces a

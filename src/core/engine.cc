@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/arch/cpu_features.h"
 #include "src/core/agent.h"
 #include "src/core/transport/inproc.h"
 #include "src/core/transport/pipe.h"
@@ -159,6 +160,10 @@ bool RunShardEpochs(
     delta.imported = imported;
     delta.virgin = std::move(fuzzer_delta.virgin);
     delta.queue_entries = std::move(fuzzer_delta.queue_entries);
+    for (auto& [id, input] : fuzzer_delta.crashes) {
+      delta.crash_ids.push_back(std::move(id));
+      delta.crash_inputs.push_back(std::move(input));
+    }
     delta.covered_points = state.hv->nested_coverage(options.arch)
                                .ExtractDeltaSince(state.covered_seen);
     for (const auto& [id, report] : state.agent->findings()) {
@@ -265,6 +270,33 @@ bool ResolveSyncing(const CampaignOptions& options, int workers) {
          options.fuzzer.coverage_guidance;
 }
 
+// The journal fingerprint: everything the campaign's results depend on.
+// merge_batch and shard_mode are deliberately absent — results are
+// invariant to both, so a campaign may resume under a different transport
+// or batch size than it started with.
+CampaignManifestRecord MakeManifest(const CampaignOptions& options,
+                                    const std::string& target, int workers,
+                                    int samples, size_t epochs,
+                                    bool syncing) {
+  CampaignManifestRecord manifest;
+  manifest.epochs = epochs;
+  manifest.workers = workers;
+  manifest.samples = samples;
+  manifest.arch = static_cast<uint8_t>(options.arch);
+  manifest.iterations = options.iterations;
+  manifest.seed = options.seed;
+  manifest.corpus_sync = syncing ? 1 : 0;
+  manifest.coverage_guidance = options.fuzzer.coverage_guidance ? 1 : 0;
+  manifest.havoc_stack = options.fuzzer.havoc_stack;
+  manifest.splice_percent = options.fuzzer.splice_percent;
+  manifest.use_harness = options.agent.use_harness ? 1 : 0;
+  manifest.use_validator = options.agent.use_validator ? 1 : 0;
+  manifest.use_configurator = options.agent.use_configurator ? 1 : 0;
+  manifest.oracle_interval = options.agent.oracle_interval;
+  manifest.target = target;
+  return manifest;
+}
+
 // --- The shard child loop (process/socket mode, fork and exec flavors) ---
 
 // `delta_fd` and `feedback_fd` are the same descriptor for a socket-mode
@@ -314,10 +346,14 @@ int RunShardChildLoop(const HypervisorFactory& factory,
 EngineResult AssembleResult(MergePipeline& pipeline,
                             ShardTransport& transport,
                             std::vector<ShardOutcome> outcomes, int workers,
-                            size_t epochs, size_t total_points) {
+                            size_t epochs, size_t total_points,
+                            CampaignJournal* journal) {
   EngineResult out;
   out.pipeline = pipeline.stats();
   out.transport = transport.stats();
+  if (journal != nullptr) {
+    out.journal = journal->stats();
+  }
   out.merged.series = pipeline.series();
   out.merged.total_points = total_points;
   const std::vector<uint8_t>& global_covered = pipeline.covered();
@@ -415,15 +451,28 @@ EngineResult CampaignEngine::Run() {
       borrowed_ != nullptr ? 1
                            : (options_.workers > 0 ? options_.workers : 1);
   const int samples = options_.samples > 0 ? options_.samples : 1;
+  // Durable state: open (or create) the journal before any shard starts.
+  // A fingerprint mismatch — the directory belongs to a different
+  // campaign — throws here, before anything runs.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!options_.state_dir.empty()) {
+    const size_t epochs =
+        ComputeEpochs(options_.iterations, workers, samples);
+    journal = std::make_unique<CampaignJournal>(
+        options_.state_dir,
+        MakeManifest(options_, target_name_, workers, samples, epochs,
+                     ResolveSyncing(options_, workers)));
+  }
   if (borrowed_ == nullptr && options_.shard_mode != ShardMode::kThreads) {
     // kProcesses and kSockets share the epoch/merge loop; only the
     // transport setup differs.
-    return RunWithProcessShards(workers, samples);
+    return RunWithProcessShards(workers, samples, journal.get());
   }
-  return RunWithThreadShards(workers, samples);
+  return RunWithThreadShards(workers, samples, journal.get());
 }
 
-EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples) {
+EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
+                                                 CampaignJournal* journal) {
   const CampaignOptions& options = options_;
 
   std::vector<ShardContext> states(static_cast<size_t>(workers));
@@ -446,6 +495,13 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples) {
   pipeline_options.epochs = epochs;
   pipeline_options.total_points = total_points;
   pipeline_options.merge_batch = options.merge_batch;
+  if (journal != nullptr) {
+    pipeline_options.journal = journal;
+    pipeline_options.resume_epochs =
+        std::min(journal->committed_epochs(), epochs);
+    pipeline_options.hypervisor = std::string(states[0].hv->name());
+    pipeline_options.arch = std::string(ArchName(options.arch));
+  }
   MergePipeline pipeline(pipeline_options, &transport, observers_);
 
   // A worker or merge-thread failure must not strand the other threads at
@@ -512,10 +568,11 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples) {
         CollectOutcome(states[static_cast<size_t>(w)], options));
   }
   return AssembleResult(pipeline, transport, std::move(outcomes), workers,
-                        epochs, total_points);
+                        epochs, total_points, journal);
 }
 
-EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
+EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
+                                                  CampaignJournal* journal) {
   const CampaignOptions& options = options_;
   const bool sockets = options.shard_mode == ShardMode::kSockets;
   const bool exec_mode = !options.shard_exec_path.empty();
@@ -530,11 +587,14 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
   const size_t epochs = ComputeEpochs(options.iterations, workers, samples);
   const bool syncing = ResolveSyncing(options, workers);
   size_t total_points = 0;
+  std::string hv_name;
   {
     // One throwaway instance answers the coverage-universe question the
-    // thread path reads off its worker states.
+    // thread path reads off its worker states (and names the target for
+    // persisted crash artifacts).
     const std::unique_ptr<Hypervisor> probe = factory_();
     total_points = probe->nested_coverage(options.arch).total_points();
+    hv_name = std::string(probe->name());
   }
 
   // Everything an exec'd or remote child needs to rebuild its shard; fork
@@ -698,6 +758,13 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
   pipeline_options.total_points = total_points;
   pipeline_options.merge_batch = options.merge_batch;
   pipeline_options.push_feedback = syncing;
+  if (journal != nullptr) {
+    pipeline_options.journal = journal;
+    pipeline_options.resume_epochs =
+        std::min(journal->committed_epochs(), epochs);
+    pipeline_options.hypervisor = hv_name;
+    pipeline_options.arch = std::string(ArchName(options.arch));
+  }
   MergePipeline pipeline(pipeline_options, transport.get(), observers_);
 
   // There are no worker threads in the parent, so the merge loop runs
@@ -794,7 +861,7 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples) {
     outcomes.push_back(OutcomeFromRecord(*record));
   }
   return AssembleResult(pipeline, *transport, std::move(outcomes), workers,
-                        epochs, total_points);
+                        epochs, total_points, journal);
 }
 
 namespace {

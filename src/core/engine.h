@@ -62,6 +62,7 @@
 
 #include "src/core/campaign.h"
 #include "src/core/merge_pipeline.h"
+#include "src/core/state/journal.h"
 #include "src/core/transport/transport.h"
 #include "src/core/wire.h"
 #include "src/hv/factory.h"
@@ -112,6 +113,11 @@ struct EngineResult {
   // ShardTransport carried the campaign (the per-transport columns of
   // bench/parallel_scaling).
   TransportStats transport;
+  // Durable-state counters (all zero without CampaignOptions::state_dir):
+  // epochs committed and replayed, bytes fsync'd, crash artifacts
+  // persisted. Like the pipeline/transport stats, wall-clock fields are
+  // excluded from any determinism comparison.
+  JournalStats journal;
 };
 
 // --- The session object --------------------------------------------------
@@ -145,8 +151,10 @@ class CampaignEngine {
   EngineResult Run();
 
  private:
-  EngineResult RunWithThreadShards(int workers, int samples);
-  EngineResult RunWithProcessShards(int workers, int samples);
+  EngineResult RunWithThreadShards(int workers, int samples,
+                                   CampaignJournal* journal);
+  EngineResult RunWithProcessShards(int workers, int samples,
+                                    CampaignJournal* journal);
 
   HypervisorFactory factory_;
   Hypervisor* borrowed_ = nullptr;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/engine.h"
+#include "src/core/state/journal.h"
 #include "src/hv/coverage.h"
 
 namespace neco {
@@ -53,22 +54,23 @@ MergePipeline::MergePipeline(MergePipelineOptions options,
 // delta shrinks with coverage saturation anyway. Multi-machine transports
 // with long campaigns should add per-worker admission (e.g. credit-based
 // publishing) before building on this.
-void MergePipeline::Stage(std::unique_ptr<ShardDelta> delta) {
+void MergePipeline::Stage(std::unique_ptr<ShardDelta> delta,
+                          wire::Buffer raw) {
   if (delta->worker < 0 || delta->worker >= options_.workers ||
       delta->epoch >= options_.epochs || delta->epoch < next_epoch_) {
     throw std::runtime_error("MergePipeline: delta for impossible shard " +
                              std::to_string(delta->worker) + " / epoch " +
                              std::to_string(delta->epoch));
   }
-  std::vector<std::unique_ptr<ShardDelta>>& slots = staged_[delta->epoch];
+  std::vector<StagedDelta>& slots = staged_[delta->epoch];
   slots.resize(static_cast<size_t>(options_.workers));
-  std::unique_ptr<ShardDelta>& slot =
-      slots[static_cast<size_t>(delta->worker)];
-  if (slot != nullptr) {
+  StagedDelta& slot = slots[static_cast<size_t>(delta->worker)];
+  if (slot.delta != nullptr) {
     throw std::runtime_error("MergePipeline: duplicate delta from shard " +
                              std::to_string(delta->worker));
   }
-  slot = std::move(delta);
+  slot.delta = std::move(delta);
+  slot.raw = std::move(raw);
 }
 
 void MergePipeline::FoldReadyEpochs() {
@@ -77,47 +79,82 @@ void MergePipeline::FoldReadyEpochs() {
     if (it == staged_.end()) {
       return;
     }
-    std::vector<std::unique_ptr<ShardDelta>>& deltas = it->second;
+    std::vector<StagedDelta>& deltas = it->second;
     if (std::any_of(deltas.begin(), deltas.end(),
-                    [](const auto& d) { return d == nullptr; })) {
+                    [](const StagedDelta& d) { return d.delta == nullptr; })) {
       return;
     }
+    const size_t epoch = next_epoch_;
+    // A replayed epoch was committed by a previous incarnation: the fold
+    // still advances every byte of merged state (that IS the resume), but
+    // its events were already delivered before the original commit's
+    // OnSample returned, so they are suppressed here.
+    const bool replay = epoch < options_.resume_epochs;
 
     PendingEvents events;
+    // Journal mode: the epoch's new crash artifacts, in fold order, and
+    // the commit trailer's merged-state summary — both assembled under
+    // the lock, persisted after it (fsync must not block WaitForFeedback).
+    std::vector<CrashRecord> crashes;
+    EpochCommitRecord summary;
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       EpochFeedback fb;
       // The barrier accumulated the epoch's iteration total before
       // merging any shard, so the sample reflects every worker.
-      for (const auto& delta : deltas) {
-        total_iterations_ += delta->iterations;
+      for (const StagedDelta& staged : deltas) {
+        total_iterations_ += staged.delta->iterations;
       }
-      for (const auto& delta : deltas) {
-        const int w = delta->worker;
-        if (!delta->queue_entries.empty() || delta->imported != 0) {
+      for (StagedDelta& staged : deltas) {
+        ShardDelta& delta = *staged.delta;
+        const int w = delta.worker;
+        if (!delta.queue_entries.empty() || delta.imported != 0) {
           events.syncs.push_back(
-              {next_epoch_, w,
-               static_cast<uint64_t>(delta->queue_entries.size()),
-               delta->imported});
+              {epoch, w, static_cast<uint64_t>(delta.queue_entries.size()),
+               delta.imported});
           events.order.push_back(0);
         }
-        for (FuzzInput& input : delta->queue_entries) {
+        for (FuzzInput& input : delta.queue_entries) {
           pool_.push_back({w, std::move(input)});
         }
-        for (size_t i = 0; i < delta->virgin.size(); ++i) {
-          const uint32_t cell = delta->virgin.cells[i];
+        for (size_t i = 0; i < delta.virgin.size(); ++i) {
+          const uint32_t cell = delta.virgin.cells[i];
           const uint8_t grown =
-              global_virgin_.OrCell(cell, delta->virgin.bits[i]);
+              global_virgin_.OrCell(cell, delta.virgin.bits[i]);
           if (grown != 0) {
             fb.virgin.Append(cell, grown);
           }
         }
         covered_count_ +=
-            CoverageUnit::ApplyDelta(delta->covered_points, global_covered_);
-        for (AnomalyReport& report : delta->findings) {
+            CoverageUnit::ApplyDelta(delta.covered_points, global_covered_);
+        for (AnomalyReport& report : delta.findings) {
           if (global_findings_.emplace(report.bug_id, report).second) {
-            events.findings.push_back({next_epoch_, w, std::move(report)});
+            events.findings.push_back({epoch, w, std::move(report)});
             events.order.push_back(1);
+          }
+        }
+        if (options_.journal != nullptr) {
+          // A crash's finding report always rides the same delta (both
+          // diff against per-shard "already shipped" state at the same
+          // boundary), so the global map has the report by now.
+          const size_t crash_count =
+              std::min(delta.crash_ids.size(), delta.crash_inputs.size());
+          for (size_t i = 0; i < crash_count; ++i) {
+            const std::string& id = delta.crash_ids[i];
+            if (options_.journal->crash_store().Known(id)) {
+              continue;  // Persisted by an earlier epoch (or incarnation).
+            }
+            CrashRecord record;
+            const auto found = global_findings_.find(id);
+            record.report = found != global_findings_.end()
+                                ? found->second
+                                : AnomalyReport{AnomalyKind::kAssertion, id,
+                                                std::string()};
+            record.input = std::move(delta.crash_inputs[i]);
+            record.hypervisor = options_.hypervisor;
+            record.arch = options_.arch;
+            record.iteration = total_iterations_;
+            crashes.push_back(std::move(record));
           }
         }
       }
@@ -127,33 +164,66 @@ void MergePipeline::FoldReadyEpochs() {
               : 100.0 * static_cast<double>(covered_count_) /
                     static_cast<double>(options_.total_points);
       series_.push_back({total_iterations_, percent});
-      events.sample = {next_epoch_, total_iterations_, percent,
-                       covered_count_};
+      events.sample = {epoch, total_iterations_, percent, covered_count_};
       fb.pool_end = pool_.size();
+      summary.iterations = total_iterations_;
+      summary.covered_points = covered_count_;
+      summary.pool_end = fb.pool_end;
+      summary.findings = global_findings_.size();
+      summary.percent = percent;
       feedback_.push_back(std::move(fb));
-      finalized_ = next_epoch_ + 1;
+      finalized_ = epoch + 1;
       feedback_cv_.notify_all();
     }
 
-    size_t next_sync = 0;
-    size_t next_finding = 0;
-    for (int kind : events.order) {
-      if (kind == 0) {
-        const CorpusSyncEvent& event = events.syncs[next_sync++];
-        Notify([&](CampaignObserver* obs) { obs->OnCorpusSync(event); });
+    if (options_.journal != nullptr) {
+      std::vector<wire::Buffer> frames;
+      frames.reserve(deltas.size());
+      for (StagedDelta& staged : deltas) {
+        frames.push_back(std::move(staged.raw));
+      }
+      // Crash artifacts first: each save is its own idempotent commit
+      // (dedup by bug id), so a kill between a crash and its epoch
+      // recommits the epoch — and re-saves nothing — on resume. During
+      // replay the saves self-heal a store the artifacts never reached.
+      for (const CrashRecord& record : crashes) {
+        options_.journal->SaveCrashArtifact(record);
+      }
+      if (replay) {
+        options_.journal->VerifyEpoch(epoch, frames);
       } else {
-        const FindingEvent& event = events.findings[next_finding++];
-        Notify([&](CampaignObserver* obs) { obs->OnFinding(event); });
+        summary.crash_artifacts =
+            options_.journal->crash_store().records().size();
+        // Durability before visibility: the epoch is committed before any
+        // of its events fire, so everything an observer ever saw survives
+        // kill -9 — the resumed stream continues exactly where this one
+        // stopped.
+        options_.journal->CommitEpoch(epoch, frames, summary);
       }
     }
-    Notify([&](CampaignObserver* obs) { obs->OnSample(events.sample); });
+
+    if (!replay) {
+      size_t next_sync = 0;
+      size_t next_finding = 0;
+      for (int kind : events.order) {
+        if (kind == 0) {
+          const CorpusSyncEvent& event = events.syncs[next_sync++];
+          Notify([&](CampaignObserver* obs) { obs->OnCorpusSync(event); });
+        } else {
+          const FindingEvent& event = events.findings[next_finding++];
+          Notify([&](CampaignObserver* obs) { obs->OnFinding(event); });
+        }
+      }
+      Notify([&](CampaignObserver* obs) { obs->OnSample(events.sample); });
+    }
 
     // Process shards cannot reach WaitForFeedback, so the drainer pushes
     // each epoch's feedback through the transport instead — same cursors,
-    // same content. The final epoch's feedback has no consumer (shards
-    // read feedback *before* an epoch, and there is no next epoch).
-    if (options_.push_feedback && next_epoch_ + 1 < options_.epochs) {
-      PushEpochFeedback(next_epoch_);
+    // same content, replayed epochs included (the children re-execute
+    // them too). The final epoch's feedback has no consumer (shards read
+    // feedback *before* an epoch, and there is no next epoch).
+    if (options_.push_feedback && epoch + 1 < options_.epochs) {
+      PushEpochFeedback(epoch);
     }
 
     staged_.erase(it);
@@ -203,7 +273,11 @@ void MergePipeline::RunMergeLoop() {
         throw std::runtime_error(
             "MergePipeline: corrupt ShardDelta on the merge queue");
       }
-      Stage(std::move(delta));
+      // Journal mode keeps the exact frame bytes: they are the unit of
+      // commit (and of replay verification).
+      Stage(std::move(delta), options_.journal != nullptr
+                                  ? std::move(buffer)
+                                  : wire::Buffer());
     }
     FoldReadyEpochs();
   }

@@ -46,6 +46,7 @@
 
 namespace neco {
 
+class CampaignJournal;
 class CampaignObserver;
 
 struct MergePipelineOptions {
@@ -63,6 +64,21 @@ struct MergePipelineOptions {
   // the workers calling WaitForFeedback — both advance the same per-worker
   // cursors).
   bool push_feedback = false;
+  // Durable campaign state (src/core/state/journal.h), borrowed; null for
+  // a memory-resident campaign. With a journal, every finalized epoch is
+  // committed — crash artifacts, then the epoch's raw delta frames, then
+  // the manifest — BEFORE its observer events fire, so an event stream
+  // never gets ahead of what a resume can reproduce.
+  CampaignJournal* journal = nullptr;
+  // Epochs already committed by a previous incarnation. The fold replays
+  // them: merged state, cursors, and feedback advance exactly as they
+  // originally did, the re-published frames are verified byte-for-byte
+  // against the journal, and observer events are suppressed — the stream
+  // resumes precisely where the interrupted run's commits stopped.
+  size_t resume_epochs = 0;
+  // Crash-artifact metadata stamped into persisted records (journal mode).
+  std::string hypervisor;
+  std::string arch;
 };
 
 // Drain-loop counters (the transport counts bytes and queue depth itself;
@@ -147,7 +163,14 @@ class MergePipeline {
     size_t epoch = 0;  // Next feedback epoch to hand out.
   };
 
-  void Stage(std::unique_ptr<ShardDelta> delta);
+  // A decoded delta plus (journal mode only) the exact frame bytes it
+  // arrived as — what CommitEpoch persists and VerifyEpoch compares.
+  struct StagedDelta {
+    std::unique_ptr<ShardDelta> delta;
+    wire::Buffer raw;
+  };
+
+  void Stage(std::unique_ptr<ShardDelta> delta, wire::Buffer raw);
   void FoldReadyEpochs();
   // Snapshots `worker`'s unseen merged state through `through_epoch` and
   // advances its cursors; caller holds state_mu_ and the epoch must be
@@ -168,7 +191,7 @@ class MergePipeline {
 
   // Drainer-only staging: decoded deltas waiting for their epoch to
   // complete (all workers' records present).
-  std::map<uint64_t, std::vector<std::unique_ptr<ShardDelta>>> staged_;
+  std::map<uint64_t, std::vector<StagedDelta>> staged_;
   size_t next_epoch_ = 0;
 
   // Global merged state; written by the drainer under state_mu_, read by

@@ -28,6 +28,9 @@
 #include "src/core/engine.h"                     // IWYU pragma: export
 #include "src/core/harness/harness.h"            // IWYU pragma: export
 #include "src/core/merge_pipeline.h"             // IWYU pragma: export
+#include "src/core/repro/crash_store.h"          // IWYU pragma: export
+#include "src/core/state/commit.h"               // IWYU pragma: export
+#include "src/core/state/journal.h"              // IWYU pragma: export
 #include "src/core/transport/inproc.h"           // IWYU pragma: export
 #include "src/core/transport/pipe.h"             // IWYU pragma: export
 #include "src/core/transport/socket.h"           // IWYU pragma: export

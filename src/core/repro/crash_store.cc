@@ -1,6 +1,14 @@
 #include "src/core/repro/crash_store.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/state/commit.h"
+#include "src/core/wire.h"
 
 namespace neco {
 namespace {
@@ -16,6 +24,17 @@ std::string SanitizeId(const std::string& id) {
   return out.empty() ? "unknown" : out;
 }
 
+std::string RenderReport(const CrashRecord& record) {
+  std::ostringstream text;
+  text << "bug_id:     " << record.report.bug_id << "\n"
+       << "detection:  " << AnomalyKindName(record.report.kind) << "\n"
+       << "hypervisor: " << record.hypervisor << "\n"
+       << "arch:       " << record.arch << "\n"
+       << "iteration:  " << record.iteration << "\n"
+       << "message:    " << record.report.message << "\n";
+  return text.str();
+}
+
 }  // namespace
 
 CrashStore::CrashStore(std::filesystem::path directory)
@@ -23,63 +42,106 @@ CrashStore::CrashStore(std::filesystem::path directory)
   if (!directory_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
+    Reload();
   }
 }
 
-bool CrashStore::Known(const std::string& bug_id) const {
-  for (const CrashRecord& record : records_) {
-    if (record.report.bug_id == bug_id) {
-      return true;
+void CrashStore::Reload() {
+  struct Loaded {
+    uint64_t seq;
+    CrashRecord record;
+  };
+  std::vector<Loaded> loaded;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(directory_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() != ".record") {
+      continue;
     }
+    // Only a fully committed record decodes: the strict wire codec
+    // rejects anything truncated or damaged, and the atomic-rename
+    // protocol means a half-written record never carries this name.
+    std::vector<uint8_t> bytes;
+    CrashArtifactRecord artifact;
+    if (!ReadFileBytes(it->path(), &bytes) ||
+        !wire::Decode(bytes.data(), bytes.size(), &artifact)) {
+      continue;
+    }
+    CrashRecord record;
+    record.report = artifact.report;
+    record.input = std::move(artifact.input);
+    record.hypervisor = std::move(artifact.hypervisor);
+    record.arch = std::move(artifact.arch);
+    record.iteration = artifact.iteration;
+    loaded.push_back({artifact.seq, std::move(record)});
   }
-  return false;
+  std::sort(loaded.begin(), loaded.end(),
+            [](const Loaded& a, const Loaded& b) { return a.seq < b.seq; });
+  for (Loaded& entry : loaded) {
+    if (!known_ids_.insert(entry.record.report.bug_id).second) {
+      continue;  // A duplicate id can only be operator-planted; first wins.
+    }
+    next_seq_ = std::max(next_seq_, entry.seq + 1);
+    seqs_.push_back(entry.seq);
+    records_.push_back(std::move(entry.record));
+  }
 }
 
-std::filesystem::path CrashStore::InputPath(size_t seq,
-                                            const std::string& id) const {
+std::filesystem::path CrashStore::PathFor(uint64_t seq, const std::string& id,
+                                          const char* extension) const {
   return directory_ /
-         (std::to_string(seq) + "-" + SanitizeId(id) + ".input");
-}
-
-std::filesystem::path CrashStore::ReportPath(size_t seq,
-                                             const std::string& id) const {
-  return directory_ /
-         (std::to_string(seq) + "-" + SanitizeId(id) + ".report");
+         (std::to_string(seq) + "-" + SanitizeId(id) + extension);
 }
 
 bool CrashStore::Save(const CrashRecord& record) {
   if (Known(record.report.bug_id)) {
     return false;
   }
-  const size_t seq = records_.size();
+  const uint64_t seq = next_seq_;
+  if (!directory_.empty()) {
+    std::string error;
+    // Derived files first, the authoritative .record last: its rename is
+    // the commit point, so a kill between any two writes leaves orphans
+    // that the next Reload() ignores — never a torn pair behind a
+    // committed marker.
+    const std::string& id = record.report.bug_id;
+    if (!AtomicWriteFile(PathFor(seq, id, ".input"), record.input.data(),
+                         record.input.size(), &error)) {
+      throw std::runtime_error("CrashStore: " + error);
+    }
+    const std::string report = RenderReport(record);
+    if (!AtomicWriteFile(PathFor(seq, id, ".report"),
+                         reinterpret_cast<const uint8_t*>(report.data()),
+                         report.size(), &error)) {
+      throw std::runtime_error("CrashStore: " + error);
+    }
+    CrashArtifactRecord artifact;
+    artifact.seq = seq;
+    artifact.report = record.report;
+    artifact.hypervisor = record.hypervisor;
+    artifact.arch = record.arch;
+    artifact.iteration = record.iteration;
+    artifact.input = record.input;
+    const wire::Buffer frame = wire::Encode(artifact);
+    if (!AtomicWriteFile(PathFor(seq, id, ".record"), frame.data(),
+                         frame.size(), &error)) {
+      throw std::runtime_error("CrashStore: " + error);
+    }
+  }
+  ++next_seq_;
+  seqs_.push_back(seq);
   records_.push_back(record);
-  if (directory_.empty()) {
-    return true;
-  }
-  {
-    std::ofstream input(InputPath(seq, record.report.bug_id),
-                        std::ios::binary);
-    input.write(reinterpret_cast<const char*>(record.input.data()),
-                static_cast<std::streamsize>(record.input.size()));
-  }
-  {
-    std::ofstream report(ReportPath(seq, record.report.bug_id));
-    report << "bug_id:     " << record.report.bug_id << "\n"
-           << "detection:  " << AnomalyKindName(record.report.kind) << "\n"
-           << "hypervisor: " << record.hypervisor << "\n"
-           << "arch:       " << record.arch << "\n"
-           << "iteration:  " << record.iteration << "\n"
-           << "message:    " << record.report.message << "\n";
-  }
+  known_ids_.insert(record.report.bug_id);
   return true;
 }
 
-std::optional<FuzzInput> CrashStore::LoadInput(size_t seq) const {
-  if (seq >= records_.size() || directory_.empty()) {
+std::optional<FuzzInput> CrashStore::LoadInput(size_t index) const {
+  if (index >= records_.size() || directory_.empty()) {
     return std::nullopt;
   }
-  std::ifstream input(InputPath(seq, records_[seq].report.bug_id),
-                      std::ios::binary);
+  std::ifstream input(
+      PathFor(seqs_[index], records_[index].report.bug_id, ".input"),
+      std::ios::binary);
   if (!input) {
     return std::nullopt;
   }

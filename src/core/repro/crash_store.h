@@ -3,16 +3,29 @@
 // directory specified in its configuration", so findings survive the
 // campaign for reproduction.
 //
-// Each saved report is a pair of files under the store directory:
+// Each saved crash is three files under the store directory, all written
+// through the atomic commit primitive (src/core/state/commit.h):
 //   <seq>-<bug_id>.input   — the raw 2 KiB fuzzing input
 //   <seq>-<bug_id>.report  — human-readable metadata (kind, message,
 //                            hypervisor, architecture, iteration)
+//   <seq>-<bug_id>.record  — the authoritative wire-encoded
+//                            CrashArtifactRecord, written LAST: it is the
+//                            crash's commit marker. A crash interrupted
+//                            mid-save leaves at most orphan .input/.report
+//                            files, which reload ignores — no torn pair is
+//                            ever observable through the API.
+//
+// A store pointed at an existing directory reloads every committed
+// .record at construction, so deduplication and sequence numbering
+// survive a restart.
 #ifndef SRC_CORE_REPRO_CRASH_STORE_H_
 #define SRC_CORE_REPRO_CRASH_STORE_H_
 
+#include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/fuzz/mutator.h"
@@ -30,27 +43,41 @@ struct CrashRecord {
 
 class CrashStore {
  public:
-  // In-memory only when `directory` is empty.
+  // In-memory only when `directory` is empty. A non-empty directory is
+  // created if missing and scanned for previously committed records
+  // (restart continues where the last run stopped: same dedup set, fresh
+  // sequence numbers after the highest committed one). Unreadable or
+  // torn files are skipped, never trusted.
   explicit CrashStore(std::filesystem::path directory = {});
 
   // Records a finding; returns false if the bug id is already known
-  // (deduplication), true if this is a new finding.
+  // (deduplication), true if this is a new finding. Throws
+  // std::runtime_error when persisting fails (ENOSPC, EACCES, a torn
+  // write, ...): a crash artifact that cannot be made durable is an
+  // error, not a silent success.
   bool Save(const CrashRecord& record);
 
+  // Committed crashes in sequence order (reloaded ones first).
   const std::vector<CrashRecord>& records() const { return records_; }
-  bool Known(const std::string& bug_id) const;
+  bool Known(const std::string& bug_id) const {
+    return known_ids_.count(bug_id) != 0;
+  }
 
-  // Reload a persisted input by sequence number (round-trip support).
-  std::optional<FuzzInput> LoadInput(size_t seq) const;
+  // Reload a persisted input by records() index (round-trip support).
+  std::optional<FuzzInput> LoadInput(size_t index) const;
 
   const std::filesystem::path& directory() const { return directory_; }
 
  private:
-  std::filesystem::path InputPath(size_t seq, const std::string& id) const;
-  std::filesystem::path ReportPath(size_t seq, const std::string& id) const;
+  std::filesystem::path PathFor(uint64_t seq, const std::string& id,
+                                const char* extension) const;
+  void Reload();
 
   std::filesystem::path directory_;
   std::vector<CrashRecord> records_;
+  std::vector<uint64_t> seqs_;  // Parallel to records_: on-disk sequence.
+  std::unordered_set<std::string> known_ids_;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace neco

@@ -1,0 +1,130 @@
+#include "src/core/state/commit.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace neco {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ErrnoText(const std::string& what,
+                      const std::filesystem::path& path, int err) {
+  return what + " " + path.string() + ": " + std::strerror(err);
+}
+
+// Fsync under timing; EINTR-retried like the write loop below.
+bool FsyncFd(int fd, CommitStats* stats) {
+  const auto start = Clock::now();
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (stats != nullptr) {
+    stats->fsync_seconds +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  return rc == 0;
+}
+
+}  // namespace
+
+bool AtomicWriteFile(const std::filesystem::path& path, const uint8_t* data,
+                     size_t size, std::string* error, CommitStats* stats) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = ErrnoText("open", tmp, errno);
+    return false;
+  }
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      if (error != nullptr) *error = ErrnoText("write", tmp, err);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (!FsyncFd(fd, stats)) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    if (error != nullptr) *error = ErrnoText("fsync", tmp, err);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    if (error != nullptr) *error = ErrnoText("close", tmp, err);
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    if (error != nullptr) *error = ErrnoText("rename", tmp, err);
+    return false;
+  }
+  // The rename is only durable once the directory entry is; without this
+  // fsync a crash can resurrect the old file (or neither).
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path()
+                             : std::filesystem::path(".");
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    if (error != nullptr) *error = ErrnoText("open dir", dir, errno);
+    return false;
+  }
+  if (!FsyncFd(dir_fd, stats)) {
+    const int err = errno;
+    ::close(dir_fd);
+    if (error != nullptr) *error = ErrnoText("fsync dir", dir, err);
+    return false;
+  }
+  ::close(dir_fd);
+  if (stats != nullptr) {
+    ++stats->files;
+    stats->bytes += size;
+  }
+  return true;
+}
+
+bool ReadFileBytes(const std::filesystem::path& path,
+                   std::vector<uint8_t>* out) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return false;
+  }
+  uint8_t chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      out->clear();
+      return false;
+    }
+    if (n == 0) {
+      break;
+    }
+    out->insert(out->end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace neco

@@ -1,0 +1,48 @@
+// The durable-write primitive under NecoFuzz's crash-consistent state
+// (TxFS-style transactional journaling): write to a temp file, fsync the
+// file, atomically rename it into place, then fsync the parent directory
+// so the rename itself is durable. A state transition built out of this
+// primitive either happened atomically and durably, or it didn't happen
+// at all — a reader after power loss or kill -9 sees the old contents or
+// the new contents, never a torn mix, and never a renamed file whose
+// bytes were lost.
+//
+// CampaignJournal (journal.h) and CrashStore (src/core/repro) build every
+// on-disk mutation out of AtomicWriteFile; nothing in the state layer
+// writes a file any other way.
+#ifndef SRC_CORE_STATE_COMMIT_H_
+#define SRC_CORE_STATE_COMMIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace neco {
+
+// Durability accounting for the commit primitive; EngineResult surfaces
+// the journal's accumulated totals.
+struct CommitStats {
+  uint64_t files = 0;          // Atomic writes completed.
+  uint64_t bytes = 0;          // Payload bytes durably written.
+  double fsync_seconds = 0.0;  // Wall time spent in fsync (file + dir).
+};
+
+// Atomically and durably replaces `path` with `size` bytes of `data`
+// (temp file `<path>.tmp` → fsync → rename → fsync parent directory).
+// Returns false and fills `*error` (errno text, path) on any failure; the
+// temp file is removed on the failure paths that created it. `stats` (may
+// be null) accumulates the write.
+bool AtomicWriteFile(const std::filesystem::path& path, const uint8_t* data,
+                     size_t size, std::string* error,
+                     CommitStats* stats = nullptr);
+
+// Reads a whole file; returns false (and clears `*out`) when the file
+// cannot be opened or read.
+bool ReadFileBytes(const std::filesystem::path& path,
+                   std::vector<uint8_t>* out);
+
+}  // namespace neco
+
+#endif  // SRC_CORE_STATE_COMMIT_H_

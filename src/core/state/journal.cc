@@ -1,0 +1,210 @@
+#include "src/core/state/journal.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace neco {
+namespace {
+
+// FNV-1a 64: cheap, endian-free, and deterministic across hosts — all an
+// integrity check over already-strictly-decoded frames needs.
+uint64_t Fnv1a(uint64_t hash, const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+
+uint64_t ChecksumFrames(const std::vector<wire::Buffer>& frames) {
+  uint64_t hash = kFnvOffset;
+  for (const wire::Buffer& frame : frames) {
+    hash = Fnv1a(hash, frame.data(), frame.size());
+  }
+  return hash;
+}
+
+// The fingerprint fields must match exactly; committed_epochs is the only
+// mutable field of the manifest.
+std::string FingerprintMismatch(const CampaignManifestRecord& disk,
+                                const CampaignManifestRecord& run) {
+  auto differs = [](const std::string& field) {
+    return "fingerprint mismatch (" + field + ")";
+  };
+  if (disk.epochs != run.epochs) return differs("epochs");
+  if (disk.workers != run.workers) return differs("workers");
+  if (disk.samples != run.samples) return differs("samples");
+  if (disk.arch != run.arch) return differs("arch");
+  if (disk.iterations != run.iterations) return differs("iterations");
+  if (disk.seed != run.seed) return differs("seed");
+  if (disk.corpus_sync != run.corpus_sync) return differs("corpus_sync");
+  if (disk.coverage_guidance != run.coverage_guidance) {
+    return differs("coverage_guidance");
+  }
+  if (disk.havoc_stack != run.havoc_stack) return differs("havoc_stack");
+  if (disk.splice_percent != run.splice_percent) {
+    return differs("splice_percent");
+  }
+  if (disk.use_harness != run.use_harness) return differs("use_harness");
+  if (disk.use_validator != run.use_validator) {
+    return differs("use_validator");
+  }
+  if (disk.use_configurator != run.use_configurator) {
+    return differs("use_configurator");
+  }
+  if (disk.oracle_interval != run.oracle_interval) {
+    return differs("oracle_interval");
+  }
+  if (disk.target != run.target) return differs("target");
+  return {};
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::filesystem::path dir,
+                                 const CampaignManifestRecord& fingerprint)
+    : dir_(std::move(dir)),
+      manifest_(fingerprint),
+      // Creating crashes/ creates the state dir itself on the way.
+      crash_store_(dir_ / "crashes") {
+  manifest_.committed_epochs = 0;
+  std::error_code ec;
+  if (std::filesystem::exists(ManifestPath(), ec)) {
+    std::vector<uint8_t> bytes;
+    CampaignManifestRecord disk;
+    if (!ReadFileBytes(ManifestPath(), &bytes) ||
+        !wire::Decode(bytes.data(), bytes.size(), &disk)) {
+      throw std::runtime_error("CampaignJournal: corrupt manifest at " +
+                               ManifestPath().string());
+    }
+    const std::string mismatch = FingerprintMismatch(disk, fingerprint);
+    if (!mismatch.empty()) {
+      throw std::runtime_error(
+          "CampaignJournal: " + dir_.string() +
+          " belongs to a different campaign: " + mismatch +
+          "; use a fresh state_dir (or the original options) to resume");
+    }
+    manifest_.committed_epochs = disk.committed_epochs;
+    committed_epochs_ = static_cast<size_t>(disk.committed_epochs);
+  } else {
+    // Stamp the fingerprint immediately: a directory is claimed by its
+    // campaign at open, so even a run that dies before its first commit
+    // rejects a mismatched resume.
+    WriteManifest();
+  }
+}
+
+void CampaignJournal::WriteManifest() {
+  manifest_.committed_epochs = committed_epochs_;
+  const wire::Buffer frame = wire::Encode(manifest_);
+  std::string error;
+  if (!AtomicWriteFile(ManifestPath(), frame.data(), frame.size(), &error,
+                       &commit_stats_)) {
+    throw std::runtime_error("CampaignJournal: " + error);
+  }
+}
+
+void CampaignJournal::CommitEpoch(size_t epoch,
+                                  const std::vector<wire::Buffer>& frames,
+                                  EpochCommitRecord summary) {
+  if (epoch != committed_epochs_) {
+    throw std::logic_error("CampaignJournal: commit for epoch " +
+                           std::to_string(epoch) + " but commit point is " +
+                           std::to_string(committed_epochs_));
+  }
+  summary.epoch = epoch;
+  summary.workers = static_cast<int>(frames.size());
+  summary.checksum = ChecksumFrames(frames);
+  wire::Buffer file;
+  for (const wire::Buffer& frame : frames) {
+    file.insert(file.end(), frame.begin(), frame.end());
+  }
+  const wire::Buffer trailer = wire::Encode(summary);
+  file.insert(file.end(), trailer.begin(), trailer.end());
+  std::string error;
+  if (!AtomicWriteFile(dir_ / EpochFileName(epoch), file.data(), file.size(),
+                       &error, &commit_stats_)) {
+    throw std::runtime_error("CampaignJournal: " + error);
+  }
+  // Only now — with the epoch file durable — does the commit point move.
+  ++committed_epochs_;
+  WriteManifest();
+  ++stats_.commits;
+}
+
+std::vector<wire::Buffer> CampaignJournal::LoadEpoch(size_t epoch) const {
+  const std::filesystem::path path = dir_ / EpochFileName(epoch);
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes)) {
+    throw std::runtime_error("CampaignJournal: cannot read " + path.string());
+  }
+  std::vector<wire::Buffer> frames;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t frame_size = 0;
+    if (!wire::FrameSize(bytes.data() + pos, bytes.size() - pos,
+                         &frame_size) ||
+        frame_size > bytes.size() - pos) {
+      throw std::runtime_error("CampaignJournal: torn epoch file " +
+                               path.string());
+    }
+    frames.emplace_back(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                        bytes.begin() + static_cast<ptrdiff_t>(pos) +
+                            static_cast<ptrdiff_t>(frame_size));
+    pos += frame_size;
+  }
+  EpochCommitRecord trailer;
+  if (frames.empty() ||
+      !wire::Decode(frames.back().data(), frames.back().size(), &trailer)) {
+    throw std::runtime_error(
+        "CampaignJournal: epoch file missing its commit record: " +
+        path.string());
+  }
+  frames.pop_back();
+  if (trailer.epoch != epoch ||
+      trailer.workers != static_cast<int>(frames.size()) ||
+      trailer.checksum != ChecksumFrames(frames)) {
+    throw std::runtime_error("CampaignJournal: corrupt epoch file " +
+                             path.string());
+  }
+  return frames;
+}
+
+void CampaignJournal::VerifyEpoch(size_t epoch,
+                                  const std::vector<wire::Buffer>& frames) {
+  const std::vector<wire::Buffer> committed = LoadEpoch(epoch);
+  if (committed.size() != frames.size()) {
+    throw std::runtime_error(
+        "CampaignJournal: epoch " + std::to_string(epoch) + " replayed " +
+        std::to_string(frames.size()) + " deltas but the journal committed " +
+        std::to_string(committed.size()));
+  }
+  for (size_t i = 0; i < frames.size(); ++i) {
+    if (committed[i] != frames[i]) {
+      throw std::runtime_error(
+          "CampaignJournal: resume divergence at epoch " +
+          std::to_string(epoch) + ", shard " + std::to_string(i) +
+          " — the state dir was produced by a different campaign or binary");
+    }
+  }
+  ++stats_.replayed_epochs;
+}
+
+bool CampaignJournal::SaveCrashArtifact(const CrashRecord& record) {
+  const bool fresh = crash_store_.Save(record);
+  if (fresh) {
+    ++stats_.crash_artifacts;
+  }
+  return fresh;
+}
+
+JournalStats CampaignJournal::stats() const {
+  JournalStats out = stats_;
+  out.bytes_written = commit_stats_.bytes;
+  out.fsync_seconds = commit_stats_.fsync_seconds;
+  out.committed_epochs = committed_epochs_;
+  return out;
+}
+
+}  // namespace neco

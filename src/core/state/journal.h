@@ -1,0 +1,118 @@
+// CampaignJournal — crash-consistent, resumable campaign state.
+//
+// A journaling campaign (CampaignOptions::state_dir) commits its progress
+// at epoch granularity. The journal is a redo log: the unit of commit is
+// the epoch's worker ShardDelta frames — the exact wire bytes the merge
+// pipeline folded — because replaying committed deltas in (epoch, worker)
+// order reconstructs the merged campaign state bit for bit (the
+// determinism contract from the delta pipeline). Layout under state_dir:
+//
+//   MANIFEST                  wire CampaignManifestRecord: the campaign
+//                             fingerprint + committed_epochs, the journal's
+//                             commit point
+//   epoch-<N>.journal         N's worker delta frames (worker order) +
+//                             a trailing EpochCommitRecord (checksum +
+//                             merged-state summary)
+//   crashes/                  a CrashStore (src/core/repro): one
+//                             .input/.report/.record triple per crash
+//
+// Commit protocol per epoch (every file via AtomicWriteFile, commit.h):
+//   1. persist the epoch's new crash artifacts (idempotent; each .record
+//      rename is that crash's own commit point),
+//   2. write epoch-<N>.journal,
+//   3. advance MANIFEST.committed_epochs — THE commit point.
+// A kill anywhere in between leaves either a fully committed epoch or an
+// invisible partial one (stale temp files, an epoch file the manifest
+// does not name yet); resuming recommits it byte-identically.
+//
+// Resume: the engine re-runs the campaign from scratch — shards re-derive
+// their state deterministically — and the pipeline *verifies* each
+// replayed epoch's frames byte-for-byte against the journal (divergence
+// means the state dir belongs to a different build/seed/target and the
+// campaign fails loudly), suppressing observer events until the resume
+// point. Events for an epoch only ever fire after its commit, so an
+// interrupted run's observers plus the resumed run's observers see
+// exactly the uninterrupted stream.
+#ifndef SRC_CORE_STATE_JOURNAL_H_
+#define SRC_CORE_STATE_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/core/repro/crash_store.h"
+#include "src/core/state/commit.h"
+#include "src/core/wire.h"
+
+namespace neco {
+
+// Journal counters, surfaced in EngineResult::journal. The wall-clock
+// fsync time is excluded from any determinism comparison (like the
+// pipeline/transport stats).
+struct JournalStats {
+  uint64_t commits = 0;          // Epochs committed by this run.
+  uint64_t replayed_epochs = 0;  // Committed epochs verified on resume.
+  uint64_t bytes_written = 0;    // Payload bytes durably written.
+  uint64_t crash_artifacts = 0;  // Crash records persisted by this run.
+  double fsync_seconds = 0.0;    // Wall time spent in fsync.
+  size_t committed_epochs = 0;   // Manifest commit point after the run.
+};
+
+class CampaignJournal {
+ public:
+  // Opens (or creates) the journal at `dir`. A fresh directory starts at
+  // committed_epochs = 0; an existing one must carry a manifest whose
+  // fingerprint matches `fingerprint` exactly (committed_epochs aside) —
+  // a mismatch, or a corrupt manifest, throws std::runtime_error.
+  CampaignJournal(std::filesystem::path dir,
+                  const CampaignManifestRecord& fingerprint);
+
+  size_t committed_epochs() const { return committed_epochs_; }
+
+  // Commits the next epoch (`epoch` must equal committed_epochs()):
+  // writes the epoch file from `frames` + `summary` (checksum and frame
+  // count are filled here), then advances the manifest. Throws
+  // std::runtime_error on any write failure.
+  void CommitEpoch(size_t epoch, const std::vector<wire::Buffer>& frames,
+                   EpochCommitRecord summary);
+
+  // Loads a committed epoch's delta frames (worker order). Throws
+  // std::runtime_error when the file is missing, torn, fails its
+  // checksum, or trails anything but a matching EpochCommitRecord.
+  std::vector<wire::Buffer> LoadEpoch(size_t epoch) const;
+
+  // Resume verification: checks that a replayed epoch's re-published
+  // frames are byte-identical to the committed ones. Divergence throws —
+  // it means the state dir was produced by a different campaign or
+  // binary, and silently mixing the two states would corrupt both.
+  void VerifyEpoch(size_t epoch, const std::vector<wire::Buffer>& frames);
+
+  // Persists one crash artifact through the store (idempotent by bug id).
+  // Returns whether the artifact was new. Throws on write failure.
+  bool SaveCrashArtifact(const CrashRecord& record);
+
+  CrashStore& crash_store() { return crash_store_; }
+  JournalStats stats() const;
+  const std::filesystem::path& directory() const { return dir_; }
+
+  static std::string EpochFileName(size_t epoch) {
+    return "epoch-" + std::to_string(epoch) + ".journal";
+  }
+
+ private:
+  std::filesystem::path ManifestPath() const { return dir_ / "MANIFEST"; }
+  void WriteManifest();
+
+  std::filesystem::path dir_;
+  CampaignManifestRecord manifest_;
+  size_t committed_epochs_ = 0;
+  CrashStore crash_store_;
+  JournalStats stats_;
+  CommitStats commit_stats_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_STATE_JOURNAL_H_

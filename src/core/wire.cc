@@ -206,6 +206,14 @@ Buffer Encode(const ShardDelta& record) {
     for (const AnomalyReport& report : record.findings) {
       WriteReport(w, report);
     }
+    w.U32(static_cast<uint32_t>(record.crash_ids.size()));
+    for (const std::string& id : record.crash_ids) {
+      w.Str(id);
+    }
+    w.U32(static_cast<uint32_t>(record.crash_inputs.size()));
+    for (const FuzzInput& input : record.crash_inputs) {
+      w.Bytes(input);
+    }
   });
 }
 
@@ -241,6 +249,22 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
     AnomalyReport report;
     if (!ReadReport(r, &report)) return false;
     out->findings.push_back(std::move(report));
+  }
+  out->crash_ids.clear();
+  const uint32_t crash_count = r.U32();
+  if (!r.FitsCount(crash_count, 4)) return false;
+  for (uint32_t i = 0; i < crash_count; ++i) {
+    out->crash_ids.push_back(r.Str());
+  }
+  out->crash_inputs.clear();
+  const uint32_t input_count = r.U32();
+  // The arrays are parallel by contract; a record that disagrees with
+  // itself is corrupt.
+  if (input_count != crash_count || !r.FitsCount(input_count, 4)) {
+    return false;
+  }
+  for (uint32_t i = 0; i < input_count; ++i) {
+    out->crash_inputs.push_back(r.Bytes());
   }
   return r.Done();
 }
@@ -523,13 +547,111 @@ bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out) {
   return r.Done();
 }
 
+Buffer Encode(const CampaignManifestRecord& record) {
+  return Frame(RecordType::kManifest, [&](Writer& w) {
+    w.U32(record.magic);
+    w.U64(record.committed_epochs);
+    w.U64(record.epochs);
+    w.I32(record.workers);
+    w.I32(record.samples);
+    w.U8(record.arch);
+    w.U64(record.iterations);
+    w.U64(record.seed);
+    w.U8(record.corpus_sync);
+    w.U8(record.coverage_guidance);
+    w.U32(record.havoc_stack);
+    w.U32(record.splice_percent);
+    w.U8(record.use_harness);
+    w.U8(record.use_validator);
+    w.U8(record.use_configurator);
+    w.U32(record.oracle_interval);
+    w.Str(record.target);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, CampaignManifestRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kManifest);
+  out->magic = r.U32();
+  if (r.ok() && out->magic != CampaignManifestRecord::kMagic) {
+    return false;  // Not a NecoFuzz state manifest.
+  }
+  out->committed_epochs = r.U64();
+  out->epochs = r.U64();
+  out->workers = r.I32();
+  out->samples = r.I32();
+  out->arch = r.U8();
+  if (r.ok() && out->arch > 1) return false;  // Arch::{kIntel,kAmd}.
+  out->iterations = r.U64();
+  out->seed = r.U64();
+  out->corpus_sync = r.U8();
+  out->coverage_guidance = r.U8();
+  out->havoc_stack = r.U32();
+  out->splice_percent = r.U32();
+  out->use_harness = r.U8();
+  out->use_validator = r.U8();
+  out->use_configurator = r.U8();
+  out->oracle_interval = r.U32();
+  out->target = r.Str();
+  return r.Done();
+}
+
+Buffer Encode(const EpochCommitRecord& record) {
+  return Frame(RecordType::kEpochCommit, [&](Writer& w) {
+    w.U64(record.epoch);
+    w.I32(record.workers);
+    w.U64(record.checksum);
+    w.U64(record.iterations);
+    w.U64(record.covered_points);
+    w.U64(record.pool_end);
+    w.U64(record.findings);
+    w.U64(record.crash_artifacts);
+    w.F64(record.percent);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, EpochCommitRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kEpochCommit);
+  out->epoch = r.U64();
+  out->workers = r.I32();
+  out->checksum = r.U64();
+  out->iterations = r.U64();
+  out->covered_points = r.U64();
+  out->pool_end = r.U64();
+  out->findings = r.U64();
+  out->crash_artifacts = r.U64();
+  out->percent = r.F64();
+  return r.Done();
+}
+
+Buffer Encode(const CrashArtifactRecord& record) {
+  return Frame(RecordType::kCrashArtifact, [&](Writer& w) {
+    w.U64(record.seq);
+    WriteReport(w, record.report);
+    w.Str(record.hypervisor);
+    w.Str(record.arch);
+    w.U64(record.iteration);
+    w.Bytes(record.input);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, CrashArtifactRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kCrashArtifact);
+  out->seq = r.U64();
+  if (!ReadReport(r, &out->report)) return false;
+  out->hypervisor = r.Str();
+  out->arch = r.Str();
+  out->iteration = r.U64();
+  out->input = r.Bytes();
+  return r.Done();
+}
+
 bool PeekType(const uint8_t* data, size_t size, RecordType* out) {
   if (data == nullptr || size < kHeaderSize) {
     return false;
   }
   const uint8_t type = data[0];
   if (type < static_cast<uint8_t>(RecordType::kShardDelta) ||
-      type > static_cast<uint8_t>(RecordType::kShardHello)) {
+      type > static_cast<uint8_t>(RecordType::kCrashArtifact)) {
     return false;
   }
   *out = static_cast<RecordType>(type);

@@ -104,9 +104,11 @@ struct FinishEvent {
 // Everything one shard learned during one epoch that the global merge
 // consumes. Folding every delta into the global view in (epoch, worker)
 // order reconstructs exactly the state the old stop-the-world barrier
-// merge produced. Crash *inputs* are deliberately not here: the merged
-// view only dedups findings by bug id, while reproduction inputs stay in
-// the shard's own result (per-worker crashes / the agent's CrashStore).
+// merge produced. The merged view only dedups findings by bug id; the
+// crash arrays below carry the *reproduction inputs* at epoch granularity
+// so a journaling campaign (src/core/state/journal.h) can commit crash
+// artifacts together with the epoch that discovered them — per-worker
+// crash collection for EngineResult still rides the shard's final result.
 struct ShardDelta {
   int worker = 0;
   uint64_t epoch = 0;       // The shard's 0-based epoch index.
@@ -118,6 +120,10 @@ struct ShardDelta {
   // New unique findings, sorted by bug id (merge dedup is first-wins in
   // fold order, so the sort makes FindingEvent order deterministic).
   std::vector<AnomalyReport> findings;
+  // New crash reproduction pairs this epoch, in discovery order. Parallel
+  // arrays; Decode() rejects a record whose lengths disagree.
+  std::vector<std::string> crash_ids;
+  std::vector<FuzzInput> crash_inputs;
 };
 
 // --- Process-sharding records --------------------------------------------
@@ -202,15 +208,84 @@ struct ShardChildConfigRecord {
   std::string crash_dir;
 };
 
+// --- Durable campaign state records (src/core/state/journal.h) -----------
+//
+// The wire format doubles as the storage format: a CampaignJournal's
+// on-disk files are framed records from this header, so the same strict
+// codecs that reject a corrupt pipe frame reject a torn or damaged state
+// file on reopen.
+
+// The journal's versioned manifest (file MANIFEST under the state dir).
+// `committed_epochs` is the journal's commit point — it only advances
+// after the epoch file it names is durable. The remaining fields
+// fingerprint the campaign: a journal opened with a different fingerprint
+// is a different campaign (different schedule, seeds, or target), so the
+// open throws rather than silently mixing two runs' state. merge_batch
+// and shard_mode are deliberately absent: results are invariant to both,
+// so a campaign may resume under a different transport or batch size.
+struct CampaignManifestRecord {
+  static constexpr uint32_t kMagic = 0x4D4A434Eu;  // "NCJM" little-endian.
+  uint32_t magic = kMagic;
+  uint64_t committed_epochs = 0;
+  // --- Fingerprint ---
+  uint64_t epochs = 0;  // Global epoch count.
+  int workers = 1;
+  int samples = 1;
+  uint8_t arch = 0;  // static_cast<uint8_t>(Arch).
+  uint64_t iterations = 0;
+  uint64_t seed = 1;
+  uint8_t corpus_sync = 0;  // The resolved cross-shard syncing decision.
+  uint8_t coverage_guidance = 0;
+  uint32_t havoc_stack = 16;
+  uint32_t splice_percent = 15;
+  uint8_t use_harness = 1;
+  uint8_t use_validator = 1;
+  uint8_t use_configurator = 1;
+  uint32_t oracle_interval = 64;
+  std::string target;  // Registry name ("" for factory/borrowed sessions).
+};
+
+// The trailer of an epoch journal file: the epoch's identity, a checksum
+// over the worker delta frames preceding it, and the merged-state summary
+// after folding the epoch (for inspection; the merged state itself is
+// reconstructed by replaying the delta frames).
+struct EpochCommitRecord {
+  uint64_t epoch = 0;
+  int workers = 1;          // Delta frames in this epoch file.
+  uint64_t checksum = 0;    // FNV-1a 64 over the delta frames' bytes.
+  uint64_t iterations = 0;  // Campaign-cumulative after this epoch.
+  uint64_t covered_points = 0;
+  uint64_t pool_end = 0;    // Corpus pool size after this epoch.
+  uint64_t findings = 0;    // Global deduplicated finding count.
+  uint64_t crash_artifacts = 0;  // Persisted crash records so far.
+  double percent = 0.0;     // Merged coverage after this epoch.
+};
+
+// One persisted crash: the authoritative `<seq>-<id>.record` file a
+// CrashStore writes last (its commit marker — the human-readable .report
+// and raw .input beside it are derived conveniences).
+struct CrashArtifactRecord {
+  uint64_t seq = 0;
+  AnomalyReport report;
+  std::string hypervisor;
+  std::string arch;
+  uint64_t iteration = 0;
+  FuzzInput input;
+};
+
 // --- Encode / decode -----------------------------------------------------
 
 namespace wire {
 
-inline constexpr uint8_t kVersion = 3;  // v2 added the process-sharding
+inline constexpr uint8_t kVersion = 4;  // v2 added the process-sharding
                                         // records (kFeedback..kChildConfig);
                                         // v3 the socket handshake
                                         // (kShardHello) and crash-input
-                                        // shipping in ShardResultRecord.
+                                        // shipping in ShardResultRecord;
+                                        // v4 per-epoch crash shipping in
+                                        // ShardDelta and the durable-state
+                                        // records (kManifest..
+                                        // kCrashArtifact).
 
 enum class RecordType : uint8_t {
   kShardDelta = 1,
@@ -223,6 +298,9 @@ enum class RecordType : uint8_t {
   kShardResult = 8,
   kChildConfig = 9,
   kShardHello = 10,
+  kManifest = 11,
+  kEpochCommit = 12,
+  kCrashArtifact = 13,
 };
 
 using Buffer = std::vector<uint8_t>;
@@ -246,6 +324,9 @@ Buffer Encode(const FeedbackRecord& record);
 Buffer Encode(const ShardResultRecord& record);
 Buffer Encode(const ShardChildConfigRecord& record);
 Buffer Encode(const ShardHelloRecord& record);
+Buffer Encode(const CampaignManifestRecord& record);
+Buffer Encode(const EpochCommitRecord& record);
+Buffer Encode(const CrashArtifactRecord& record);
 
 // Strict decoding; `*out` is unspecified when false is returned.
 bool Decode(const uint8_t* data, size_t size, ShardDelta* out);
@@ -258,6 +339,9 @@ bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out);
 bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out);
 bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out);
 bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out);
+bool Decode(const uint8_t* data, size_t size, CampaignManifestRecord* out);
+bool Decode(const uint8_t* data, size_t size, EpochCommitRecord* out);
+bool Decode(const uint8_t* data, size_t size, CrashArtifactRecord* out);
 
 template <typename Record>
 bool Decode(const Buffer& buffer, Record* out) {

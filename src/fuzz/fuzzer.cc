@@ -74,6 +74,10 @@ FuzzerDelta Fuzzer::ExportDelta() {
   export_cursor_ = corpus_.size();
   delta.iterations = iterations_ - iterations_exported_;
   iterations_exported_ = iterations_;
+  for (size_t i = crashes_exported_; i < crashes_.size(); ++i) {
+    delta.crashes.push_back(crashes_[i]);
+  }
+  crashes_exported_ = crashes_.size();
   return delta;
 }
 

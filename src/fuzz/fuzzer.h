@@ -60,6 +60,10 @@ struct FuzzerDelta {
   BitmapDelta virgin;                    // Edges newly seen.
   std::vector<FuzzInput> queue_entries;  // Discoveries past the cursor.
   uint64_t iterations = 0;               // Executions spent.
+  // Crash reproduction pairs discovered since the previous export, in
+  // discovery order — what lets a journaling campaign commit crash
+  // artifacts with the epoch that found them.
+  std::vector<std::pair<std::string, FuzzInput>> crashes;
 };
 
 class Fuzzer {
@@ -133,6 +137,7 @@ class Fuzzer {
   CoverageBitmap virgin_exported_;
   size_t export_cursor_ = 0;
   uint64_t iterations_exported_ = 0;
+  size_t crashes_exported_ = 0;
 };
 
 }  // namespace neco

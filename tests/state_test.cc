@@ -1,0 +1,673 @@
+// Tests for the durable campaign state layer (src/core/state/): the
+// atomic commit primitive, CampaignJournal's epoch-granular commit
+// protocol and fingerprint checks, CrashStore persistence (reload, dedup,
+// torn-pair invisibility, loud write failures), and the engine-level
+// contract — a campaign killed with SIGKILL mid-run and restarted with
+// the same state_dir resumes from the last committed epoch bit-identical
+// to an uninterrupted run, in thread and process shard mode alike, with
+// the observer event stream continuing exactly where the committed prefix
+// stopped.
+//
+// Process-shard campaigns here use fork-mode children (no exec), so this
+// suite links the stock gtest main.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/repro/crash_store.h"
+#include "src/core/state/commit.h"
+#include "src/core/state/journal.h"
+#include "src/core/wire.h"
+
+namespace neco {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A per-test scratch directory, removed on destruction (kill-test child
+// processes never destroy it — the parent owns cleanup).
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("necofuzz-state-" + tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::vector<uint8_t> Bytes(const std::string& text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+void WriteRaw(const fs::path& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- AtomicWriteFile -----------------------------------------------------
+
+TEST(AtomicWriteFileTest, WritesReplacesAndLeavesNoTempBehind) {
+  TempDir dir("atomic");
+  const fs::path target = dir.path() / "file";
+  CommitStats stats;
+  std::string error;
+
+  const std::vector<uint8_t> first = Bytes("first contents");
+  ASSERT_TRUE(AtomicWriteFile(target, first.data(), first.size(), &error,
+                              &stats))
+      << error;
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(ReadFileBytes(target, &read));
+  EXPECT_EQ(read, first);
+
+  const std::vector<uint8_t> second = Bytes("second, longer contents");
+  ASSERT_TRUE(AtomicWriteFile(target, second.data(), second.size(), &error,
+                              &stats))
+      << error;
+  ASSERT_TRUE(ReadFileBytes(target, &read));
+  EXPECT_EQ(read, second);
+
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+  EXPECT_EQ(stats.files, 2u);
+  EXPECT_EQ(stats.bytes, first.size() + second.size());
+  EXPECT_GE(stats.fsync_seconds, 0.0);
+}
+
+TEST(AtomicWriteFileTest, FailureReturnsFalseWithAnErrnoMessage) {
+  TempDir dir("atomic-fail");
+  // The "parent directory" is a regular file, so the temp open fails.
+  const fs::path blocker = dir.path() / "blocker";
+  WriteRaw(blocker, Bytes("x"));
+  const fs::path target = blocker / "child";
+
+  std::string error;
+  const std::vector<uint8_t> payload = Bytes("data");
+  EXPECT_FALSE(AtomicWriteFile(target, payload.data(), payload.size(),
+                               &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(target.string()), std::string::npos) << error;
+}
+
+TEST(ReadFileBytesTest, MissingFileReturnsFalse) {
+  TempDir dir("readbytes");
+  std::vector<uint8_t> out = Bytes("stale");
+  EXPECT_FALSE(ReadFileBytes(dir.path() / "missing", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+// --- CampaignJournal unit tests ------------------------------------------
+
+CampaignManifestRecord TestFingerprint() {
+  CampaignManifestRecord m;
+  m.epochs = 3;
+  m.workers = 2;
+  m.samples = 3;
+  m.arch = 1;
+  m.iterations = 600;
+  m.seed = 7;
+  m.corpus_sync = 1;
+  m.coverage_guidance = 1;
+  m.target = "kvm";
+  return m;
+}
+
+wire::Buffer DeltaFrame(int worker, uint64_t epoch, uint8_t salt) {
+  ShardDelta delta;
+  delta.worker = worker;
+  delta.epoch = epoch;
+  delta.iterations = 100 + salt;
+  delta.covered_points = {1u, 5u, 9u + salt};
+  delta.crash_ids = {"bug-" + std::to_string(salt)};
+  delta.crash_inputs = {FuzzInput(8, salt)};
+  return wire::Encode(delta);
+}
+
+std::vector<wire::Buffer> EpochFrames(uint64_t epoch) {
+  return {DeltaFrame(0, epoch, static_cast<uint8_t>(2 * epoch)),
+          DeltaFrame(1, epoch, static_cast<uint8_t>(2 * epoch + 1))};
+}
+
+TEST(CampaignJournalTest, CommitReopenLoadRoundTrip) {
+  TempDir dir("journal-roundtrip");
+  const std::vector<wire::Buffer> epoch0 = EpochFrames(0);
+  const std::vector<wire::Buffer> epoch1 = EpochFrames(1);
+  {
+    CampaignJournal journal(dir.path(), TestFingerprint());
+    EXPECT_EQ(journal.committed_epochs(), 0u);
+    EpochCommitRecord summary;
+    summary.iterations = 200;
+    journal.CommitEpoch(0, epoch0, summary);
+    summary.iterations = 400;
+    journal.CommitEpoch(1, epoch1, summary);
+    const JournalStats stats = journal.stats();
+    EXPECT_EQ(stats.commits, 2u);
+    EXPECT_EQ(stats.replayed_epochs, 0u);
+    EXPECT_EQ(stats.committed_epochs, 2u);
+    EXPECT_GT(stats.bytes_written, 0u);
+    EXPECT_EQ(journal.LoadEpoch(0), epoch0);
+    EXPECT_EQ(journal.LoadEpoch(1), epoch1);
+    // The next commit must be the commit point, nothing else.
+    EXPECT_THROW(journal.CommitEpoch(0, epoch0, EpochCommitRecord{}),
+                 std::logic_error);
+    EXPECT_THROW(journal.CommitEpoch(3, epoch0, EpochCommitRecord{}),
+                 std::logic_error);
+  }
+  // Reopen: the commit point and every committed epoch survive.
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  EXPECT_EQ(journal.committed_epochs(), 2u);
+  EXPECT_EQ(journal.LoadEpoch(0), epoch0);
+  EXPECT_EQ(journal.LoadEpoch(1), epoch1);
+  journal.VerifyEpoch(0, epoch0);
+  journal.VerifyEpoch(1, epoch1);
+  EXPECT_EQ(journal.stats().replayed_epochs, 2u);
+
+  // Divergent replay (different campaign state reaching this dir) throws.
+  std::vector<wire::Buffer> tampered = epoch0;
+  tampered[1] = DeltaFrame(1, 0, 99);
+  EXPECT_THROW(journal.VerifyEpoch(0, tampered), std::runtime_error);
+  EXPECT_THROW(journal.VerifyEpoch(1, {epoch1[0]}), std::runtime_error);
+}
+
+TEST(CampaignJournalTest, FingerprintMismatchIsRejectedByName) {
+  TempDir dir("journal-fingerprint");
+  { CampaignJournal journal(dir.path(), TestFingerprint()); }
+  CampaignManifestRecord other = TestFingerprint();
+  other.seed = 8;
+  try {
+    CampaignJournal journal(dir.path(), other);
+    FAIL() << "expected a fingerprint mismatch";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("seed"), std::string::npos) << message;
+    EXPECT_NE(message.find(dir.path().string()), std::string::npos)
+        << message;
+  }
+  // The original fingerprint still opens.
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  EXPECT_EQ(journal.committed_epochs(), 0u);
+}
+
+TEST(CampaignJournalTest, CorruptManifestIsRejectedNotTrusted) {
+  TempDir dir("journal-badmanifest");
+  { CampaignJournal journal(dir.path(), TestFingerprint()); }
+  WriteRaw(dir.path() / "MANIFEST", Bytes("not a wire record"));
+  EXPECT_THROW(CampaignJournal(dir.path(), TestFingerprint()),
+               std::runtime_error);
+}
+
+TEST(CampaignJournalTest, UncommittedEpochFilesAreInvisibleAndRecommitted) {
+  TempDir dir("journal-torn");
+  const std::vector<wire::Buffer> epoch0 = EpochFrames(0);
+  const std::vector<wire::Buffer> epoch1 = EpochFrames(1);
+  {
+    CampaignJournal journal(dir.path(), TestFingerprint());
+    journal.CommitEpoch(0, epoch0, EpochCommitRecord{});
+  }
+  // Simulate a kill between step 2 (epoch file) and step 3 (manifest
+  // advance): a complete-looking epoch-1 file the manifest does not name,
+  // plus a torn temp from a kill mid-write.
+  WriteRaw(dir.path() / CampaignJournal::EpochFileName(1),
+           Bytes("torn garbage from a dead incarnation"));
+  WriteRaw(dir.path() / (CampaignJournal::EpochFileName(1) + ".tmp"),
+           Bytes("half a write"));
+
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  EXPECT_EQ(journal.committed_epochs(), 1u);  // Epoch 1 never committed.
+  EXPECT_THROW(journal.LoadEpoch(1), std::runtime_error);
+  // Recommitting the epoch overwrites the stale file and temp alike.
+  journal.CommitEpoch(1, epoch1, EpochCommitRecord{});
+  EXPECT_EQ(journal.LoadEpoch(1), epoch1);
+  EXPECT_FALSE(
+      fs::exists(dir.path() / (CampaignJournal::EpochFileName(1) + ".tmp")));
+}
+
+TEST(CampaignJournalTest, DamagedCommittedEpochFailsLoudlyOnLoad) {
+  TempDir dir("journal-damage");
+  const std::vector<wire::Buffer> epoch0 = EpochFrames(0);
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  journal.CommitEpoch(0, epoch0, EpochCommitRecord{});
+
+  const fs::path path = dir.path() / CampaignJournal::EpochFileName(0);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes));
+
+  // A flipped payload byte fails the checksum.
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x20;
+  WriteRaw(path, flipped);
+  EXPECT_THROW(journal.LoadEpoch(0), std::runtime_error);
+
+  // A truncated file is torn, not silently short.
+  std::vector<uint8_t> truncated(bytes.begin(),
+                                 bytes.begin() + bytes.size() / 2);
+  WriteRaw(path, truncated);
+  EXPECT_THROW(journal.LoadEpoch(0), std::runtime_error);
+
+  // Restoring the original bytes restores the epoch.
+  WriteRaw(path, bytes);
+  EXPECT_EQ(journal.LoadEpoch(0), epoch0);
+}
+
+TEST(CampaignJournalTest, DeletedManifestStartsTheJournalFresh) {
+  TempDir dir("journal-fresh");
+  {
+    CampaignJournal journal(dir.path(), TestFingerprint());
+    journal.CommitEpoch(0, EpochFrames(0), EpochCommitRecord{});
+    journal.CommitEpoch(1, EpochFrames(1), EpochCommitRecord{});
+  }
+  fs::remove(dir.path() / "MANIFEST");
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  EXPECT_EQ(journal.committed_epochs(), 0u);
+  // A fresh commit overwrites the stale epoch file from the orphaned run.
+  const std::vector<wire::Buffer> replacement = {DeltaFrame(0, 0, 50),
+                                                 DeltaFrame(1, 0, 51)};
+  journal.CommitEpoch(0, replacement, EpochCommitRecord{});
+  EXPECT_EQ(journal.LoadEpoch(0), replacement);
+}
+
+// --- CrashStore ----------------------------------------------------------
+
+CrashRecord MakeCrash(const std::string& id, uint8_t fill) {
+  CrashRecord record;
+  record.report = {AnomalyKind::kAssertion, id,
+                   "Assertion failure in " + id};
+  record.input = FuzzInput(64, fill);
+  record.hypervisor = "kvm";
+  record.arch = "intel";
+  record.iteration = 40 + fill;
+  return record;
+}
+
+size_t CountFiles(const fs::path& dir, const std::string& extension) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    n += entry.path().extension() == extension;
+  }
+  return n;
+}
+
+TEST(CrashStoreTest, ReloadRestoresDedupSequenceAndInputs) {
+  TempDir dir("crash-reload");
+  {
+    CrashStore store(dir.path());
+    EXPECT_TRUE(store.Save(MakeCrash("kvm-bug-a", 1)));
+    EXPECT_FALSE(store.Save(MakeCrash("kvm-bug-a", 9)));  // Dedup.
+    EXPECT_TRUE(store.Save(MakeCrash("kvm-bug-b", 2)));
+    EXPECT_EQ(store.records().size(), 2u);
+  }
+  EXPECT_EQ(CountFiles(dir.path(), ".record"), 2u);
+  EXPECT_EQ(CountFiles(dir.path(), ".input"), 2u);
+  EXPECT_EQ(CountFiles(dir.path(), ".report"), 2u);
+
+  // A restarted store continues where the last run stopped: same records
+  // in sequence order, same dedup set, sequence numbers after the highest
+  // committed one.
+  CrashStore store(dir.path());
+  ASSERT_EQ(store.records().size(), 2u);
+  EXPECT_EQ(store.records()[0].report.bug_id, "kvm-bug-a");
+  EXPECT_EQ(store.records()[1].report.bug_id, "kvm-bug-b");
+  EXPECT_EQ(store.records()[0].input, FuzzInput(64, 1));
+  EXPECT_EQ(store.records()[1].iteration, 42u);
+  EXPECT_TRUE(store.Known("kvm-bug-a"));
+  EXPECT_TRUE(store.Known("kvm-bug-b"));
+  EXPECT_FALSE(store.Save(MakeCrash("kvm-bug-b", 5)));  // Dedup survives.
+
+  const std::optional<FuzzInput> input = store.LoadInput(1);
+  ASSERT_TRUE(input.has_value());
+  EXPECT_EQ(*input, FuzzInput(64, 2));
+
+  EXPECT_TRUE(store.Save(MakeCrash("kvm-bug-c", 3)));
+  EXPECT_TRUE(fs::exists(dir.path() / "2-kvm-bug-c.record"));
+}
+
+TEST(CrashStoreTest, OrphanAndTornFilesAreInvisibleAfterReopen) {
+  TempDir dir("crash-torn");
+  {
+    CrashStore store(dir.path());
+    EXPECT_TRUE(store.Save(MakeCrash("kvm-bug-real", 1)));
+  }
+  // A save killed between writes leaves derived files with no .record
+  // commit marker; a torn record itself fails the strict decode. Neither
+  // may surface through the API.
+  WriteRaw(dir.path() / "9-kvm-bug-orphan.input", Bytes("orphan input"));
+  WriteRaw(dir.path() / "9-kvm-bug-orphan.report", Bytes("orphan report"));
+  WriteRaw(dir.path() / "5-kvm-bug-torn.record", Bytes("torn record"));
+
+  CrashStore store(dir.path());
+  ASSERT_EQ(store.records().size(), 1u);
+  EXPECT_EQ(store.records()[0].report.bug_id, "kvm-bug-real");
+  EXPECT_FALSE(store.Known("kvm-bug-orphan"));
+  EXPECT_FALSE(store.Known("kvm-bug-torn"));
+}
+
+TEST(CrashStoreTest, PersistFailureThrowsInsteadOfSilentlySucceeding) {
+  TempDir dir("crash-fail");
+  const fs::path store_dir = dir.path() / "store";
+  CrashStore store(store_dir);
+  // Yank the directory out from under the store: the next Save cannot
+  // make its artifact durable and must say so.
+  fs::remove_all(store_dir);
+  WriteRaw(store_dir, Bytes("a file where the directory was"));
+  EXPECT_THROW(store.Save(MakeCrash("kvm-bug-lost", 1)), std::runtime_error);
+  // The failed save is not remembered as known.
+  EXPECT_FALSE(store.Known("kvm-bug-lost"));
+}
+
+TEST(CrashStoreTest, MemoryOnlyStoreStillDedups) {
+  CrashStore store;
+  EXPECT_TRUE(store.Save(MakeCrash("kvm-bug-a", 1)));
+  EXPECT_FALSE(store.Save(MakeCrash("kvm-bug-a", 2)));
+  EXPECT_EQ(store.records().size(), 1u);
+  EXPECT_EQ(store.LoadInput(0), std::nullopt);
+}
+
+// --- Engine-level crash consistency --------------------------------------
+
+// (kvm, AMD, guided, 3 workers, 3 epochs): finds an anomaly in epoch 0,
+// syncs corpus every epoch — every journal record type in play.
+CampaignOptions StateOptions() {
+  CampaignOptions options;
+  options.arch = Arch::kAmd;
+  options.iterations = 900;
+  options.samples = 3;
+  options.seed = 7;
+  options.workers = 3;
+  options.merge_batch = 1;
+  options.fuzzer.coverage_guidance = true;
+  return options;
+}
+
+// Integer-only event log (stable across platforms); epoch-carrying lines
+// lead with "epoch=<N>" so ExpectedTail can split the stream at the
+// resume point.
+class EventObserver : public CampaignObserver {
+ public:
+  void OnSample(const SampleEvent& e) override {
+    Line("sample epoch=%zu iter=%llu covered=%zu", e.epoch,
+         (unsigned long long)e.iteration, e.covered_points);
+  }
+  void OnFinding(const FindingEvent& e) override {
+    std::ostringstream s;
+    s << "finding epoch=" << e.epoch << " worker=" << e.worker
+      << " id=" << e.report.bug_id;
+    log.push_back(s.str());
+  }
+  void OnCorpusSync(const CorpusSyncEvent& e) override {
+    Line("sync epoch=%zu worker=%d published=%llu imported=%llu", e.epoch,
+         e.worker, (unsigned long long)e.published,
+         (unsigned long long)e.imported);
+  }
+  void OnShardDone(const ShardDoneEvent& e) override {
+    Line("shard worker=%d iters=%llu covered=%zu queue=%llu findings=%zu",
+         e.worker, (unsigned long long)e.iterations, e.covered_points,
+         (unsigned long long)e.queue_size, e.findings);
+  }
+  void OnFinish(const FinishEvent& e) override {
+    Line("finish workers=%d epochs=%zu iters=%llu covered=%zu findings=%zu",
+         e.workers, e.epochs, (unsigned long long)e.iterations,
+         e.covered_points, e.findings);
+  }
+
+  std::vector<std::string> log;
+
+ private:
+  void Line(const char* fmt, ...) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    log.push_back(buf);
+  }
+};
+
+// The event stream a resumed campaign must produce: the uninterrupted
+// stream minus every per-epoch line for epochs before the resume point
+// (ShardDone/Finish lines carry no epoch and always fire at the end).
+std::vector<std::string> ExpectedTail(const std::vector<std::string>& golden,
+                                      size_t resume_epochs) {
+  std::vector<std::string> tail;
+  for (const std::string& line : golden) {
+    const size_t at = line.find(" epoch=");
+    if (at != std::string::npos) {
+      const size_t epoch = std::stoul(line.substr(at + 7));
+      if (epoch < resume_epochs) {
+        continue;
+      }
+    }
+    tail.push_back(line);
+  }
+  return tail;
+}
+
+// Bit-exactness across an interruption, minus the run-local counters
+// (pipeline/transport/journal stats measure this incarnation's work, not
+// the campaign).
+void ExpectSameResult(const EngineResult& a, const EngineResult& b) {
+  EXPECT_EQ(a.merged.covered_set, b.merged.covered_set);
+  EXPECT_EQ(a.merged.covered_points, b.merged.covered_points);
+  EXPECT_EQ(a.merged.total_points, b.merged.total_points);
+  EXPECT_EQ(a.merged.final_percent, b.merged.final_percent);
+  EXPECT_EQ(a.merged.fuzzer_stats.iterations,
+            b.merged.fuzzer_stats.iterations);
+  EXPECT_EQ(a.merged.fuzzer_stats.queue_size,
+            b.merged.fuzzer_stats.queue_size);
+  EXPECT_EQ(a.merged.fuzzer_stats.unique_anomalies,
+            b.merged.fuzzer_stats.unique_anomalies);
+  EXPECT_EQ(a.merged.fuzzer_stats.bitmap_edges,
+            b.merged.fuzzer_stats.bitmap_edges);
+  EXPECT_EQ(a.corpus_imports, b.corpus_imports);
+  ASSERT_EQ(a.merged.series.size(), b.merged.series.size());
+  for (size_t i = 0; i < a.merged.series.size(); ++i) {
+    EXPECT_EQ(a.merged.series[i].iteration, b.merged.series[i].iteration);
+    EXPECT_DOUBLE_EQ(a.merged.series[i].percent, b.merged.series[i].percent);
+  }
+  ASSERT_EQ(a.merged.findings.size(), b.merged.findings.size());
+  for (size_t i = 0; i < a.merged.findings.size(); ++i) {
+    EXPECT_EQ(a.merged.findings[i].bug_id, b.merged.findings[i].bug_id);
+  }
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (size_t w = 0; w < a.crashes.size(); ++w) {
+    EXPECT_EQ(a.crashes[w], b.crashes[w]);
+  }
+  ASSERT_EQ(a.per_worker.size(), b.per_worker.size());
+  for (size_t w = 0; w < a.per_worker.size(); ++w) {
+    EXPECT_EQ(a.per_worker[w].covered_set, b.per_worker[w].covered_set);
+    EXPECT_EQ(a.per_worker[w].final_percent, b.per_worker[w].final_percent);
+    EXPECT_EQ(a.per_worker[w].fuzzer_stats.queue_size,
+              b.per_worker[w].fuzzer_stats.queue_size);
+    ASSERT_EQ(a.per_worker[w].findings.size(),
+              b.per_worker[w].findings.size());
+  }
+}
+
+TEST(DurableCampaignTest, JournalingChangesNothingAndCommitsEveryEpoch) {
+  TempDir dir("engine-journal");
+  CampaignOptions options = StateOptions();
+
+  EventObserver plain;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&plain).Run();
+  ASSERT_FALSE(plain.log.empty());
+  EXPECT_EQ(golden.journal.commits, 0u);  // No state_dir, no journal.
+
+  options.state_dir = (dir.path() / "state").string();
+  EventObserver journaled;
+  const EngineResult result =
+      CampaignEngine("kvm", options).AddObserver(&journaled).Run();
+
+  // Durability is invisible to the campaign itself.
+  EXPECT_EQ(journaled.log, plain.log);
+  ExpectSameResult(golden, result);
+
+  // Every epoch committed, none replayed, and the artifacts are on disk.
+  const size_t epochs = result.merged.series.size();
+  EXPECT_EQ(result.journal.commits, epochs);
+  EXPECT_EQ(result.journal.replayed_epochs, 0u);
+  EXPECT_EQ(result.journal.committed_epochs, epochs);
+  EXPECT_GT(result.journal.bytes_written, 0u);
+  EXPECT_GE(result.journal.crash_artifacts, 1u);
+  const fs::path state = options.state_dir;
+  EXPECT_TRUE(fs::exists(state / "MANIFEST"));
+  for (size_t e = 0; e < epochs; ++e) {
+    EXPECT_TRUE(fs::exists(state / CampaignJournal::EpochFileName(e)));
+  }
+  EXPECT_GE(CountFiles(state / "crashes", ".record"), 1u);
+
+  // Re-running the completed campaign replays every epoch silently —
+  // per-epoch events already fired in the first incarnation — and lands
+  // on the identical result without recommitting anything.
+  EventObserver rerun;
+  const EngineResult replayed =
+      CampaignEngine("kvm", options).AddObserver(&rerun).Run();
+  ExpectSameResult(golden, replayed);
+  EXPECT_EQ(rerun.log, ExpectedTail(plain.log, epochs));
+  EXPECT_EQ(replayed.journal.commits, 0u);
+  EXPECT_EQ(replayed.journal.replayed_epochs, epochs);
+}
+
+TEST(DurableCampaignTest, MismatchedOptionsAreRejectedBeforeAnythingRuns) {
+  TempDir dir("engine-mismatch");
+  CampaignOptions options = StateOptions();
+  options.state_dir = (dir.path() / "state").string();
+  CampaignEngine("kvm", options).Run();
+
+  options.seed = 8;
+  try {
+    CampaignEngine("kvm", options).Run();
+    FAIL() << "expected a fingerprint mismatch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Truncates the journal's commit point to `epochs` without touching the
+// epoch files — the on-disk shape of a campaign killed right after that
+// commit (stale later-epoch files included, exactly like a kill between
+// an epoch-file write and its manifest advance).
+void TruncateCommitPoint(const fs::path& state, size_t epochs) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(state / "MANIFEST", &bytes));
+  CampaignManifestRecord manifest;
+  ASSERT_TRUE(wire::Decode(bytes.data(), bytes.size(), &manifest));
+  manifest.committed_epochs = epochs;
+  WriteRaw(state / "MANIFEST", wire::Encode(manifest));
+}
+
+TEST(DurableCampaignTest, TrimmedJournalResumesAcrossShardModes) {
+  TempDir dir("engine-trim");
+  CampaignOptions options = StateOptions();
+  options.state_dir = (dir.path() / "state").string();
+
+  EventObserver full;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&full).Run();
+
+  // Rewind the commit point to one epoch and resume under a different
+  // transport AND batch size: neither is part of the fingerprint, because
+  // results are invariant to both.
+  TruncateCommitPoint(options.state_dir, 1);
+  options.shard_mode = ShardMode::kProcesses;
+  options.merge_batch = 4;
+  EventObserver resumed;
+  const EngineResult result =
+      CampaignEngine("kvm", options).AddObserver(&resumed).Run();
+
+  ExpectSameResult(golden, result);
+  EXPECT_EQ(resumed.log, ExpectedTail(full.log, 1));
+  EXPECT_EQ(result.journal.replayed_epochs, 1u);
+  EXPECT_EQ(result.journal.commits, golden.merged.series.size() - 1);
+}
+
+// Runs one journaling campaign in a forked child that SIGKILLs itself
+// from inside the sample callback at `kill_epoch` (events fire after the
+// epoch's commit, so the journal holds exactly kill_epoch + 1 epochs),
+// then asserts the parent-side resume reproduces the uninterrupted run
+// bit for bit, events included.
+void RunKillResumeTest(ShardMode mode, const std::string& tag) {
+  TempDir dir("engine-kill-" + tag);
+  CampaignOptions options = StateOptions();
+  options.shard_mode = mode;
+
+  EventObserver plain;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&plain).Run();
+
+  options.state_dir = (dir.path() / "state").string();
+  constexpr size_t kKillEpoch = 1;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: die mid-campaign, after epoch kKillEpoch committed. No gtest
+    // here — asserting happens in the parent; a child that survives to
+    // _exit(1) fails the WIFSIGNALED check below.
+    class KillerObserver : public CampaignObserver {
+     public:
+      void OnSample(const SampleEvent& event) override {
+        if (event.epoch == kKillEpoch) {
+          ::raise(SIGKILL);
+        }
+      }
+    } killer;
+    try {
+      CampaignEngine("kvm", options).AddObserver(&killer).Run();
+    } catch (...) {
+    }
+    ::_exit(1);
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with " << status;
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Resume in this process: replay the committed prefix, run the rest.
+  EventObserver resumed;
+  const EngineResult result =
+      CampaignEngine("kvm", options).AddObserver(&resumed).Run();
+
+  ExpectSameResult(golden, result);
+  // The event stream continues exactly where the dead incarnation's
+  // commits stopped: interrupted prefix + this tail = the plain stream.
+  EXPECT_EQ(resumed.log, ExpectedTail(plain.log, kKillEpoch + 1));
+  EXPECT_EQ(result.journal.replayed_epochs, kKillEpoch + 1);
+  EXPECT_EQ(result.journal.commits,
+            golden.merged.series.size() - (kKillEpoch + 1));
+  EXPECT_EQ(result.journal.committed_epochs, golden.merged.series.size());
+}
+
+TEST(DurableCampaignTest, Kill9ThenResumeIsBitExactWithThreadShards) {
+  RunKillResumeTest(ShardMode::kThreads, "threads");
+}
+
+TEST(DurableCampaignTest, Kill9ThenResumeIsBitExactWithProcessShards) {
+  RunKillResumeTest(ShardMode::kProcesses, "processes");
+}
+
+}  // namespace
+}  // namespace neco

@@ -1,9 +1,12 @@
 // Tests for the campaign wire format (src/core/wire.h): encode/decode
-// identity for ShardDelta, all five observer event records, and the three
+// identity for ShardDelta, all five observer event records, the three
 // process-sharding records (FeedbackRecord, ShardResultRecord,
-// ShardChildConfigRecord); strict rejection of truncated and corrupt
-// buffers; stream framing (FrameSize); and a deterministic fuzz pass over
-// random buffers and random single-byte corruptions.
+// ShardChildConfigRecord), and the three durable-state records
+// (CampaignManifestRecord, EpochCommitRecord, CrashArtifactRecord —
+// doubly load-bearing, since they are also CampaignJournal's on-disk
+// format); strict rejection of truncated and corrupt buffers; stream
+// framing (FrameSize); and a deterministic fuzz pass over random buffers
+// and random single-byte corruptions.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -38,6 +41,8 @@ ShardDelta MakeDelta() {
   delta.covered_points = {1, 94, 117};
   delta.queue_entries = {MakeInput(0x00), MakeInput(0x42)};
   delta.findings = {MakeReport("kvm-a"), MakeReport("kvm-b")};
+  delta.crash_ids = {"kvm-a", "kvm-b"};
+  delta.crash_inputs = {MakeInput(0x61), MakeInput(0x62)};
   return delta;
 }
 
@@ -56,6 +61,8 @@ void ExpectEq(const ShardDelta& a, const ShardDelta& b) {
     EXPECT_EQ(a.findings[i].bug_id, b.findings[i].bug_id);
     EXPECT_EQ(a.findings[i].message, b.findings[i].message);
   }
+  EXPECT_EQ(a.crash_ids, b.crash_ids);
+  EXPECT_EQ(a.crash_inputs, b.crash_inputs);
 }
 
 TEST(WireTest, ShardDeltaRoundTripIsIdentity) {
@@ -240,6 +247,15 @@ TEST(WireTest, ShardResultRecordRoundTripIsIdentity) {
   EXPECT_EQ(decoded.crash_inputs, record.crash_inputs);
 }
 
+TEST(WireTest, ShardDeltaCrashArraysMustAgree) {
+  // Same parallel-array contract as ShardResultRecord: a delta whose
+  // crash arrays disagree in length is corrupt, not misaligned.
+  ShardDelta lopsided = MakeDelta();
+  lopsided.crash_ids.pop_back();
+  ShardDelta decoded;
+  EXPECT_FALSE(wire::Decode(wire::Encode(lopsided), &decoded));
+}
+
 TEST(WireTest, ShardResultCrashArraysMustAgree) {
   // crash_ids and crash_inputs are parallel by contract; a record that
   // disagrees with itself (an input without its id, or vice versa) is
@@ -309,6 +325,133 @@ TEST(WireTest, ShardChildConfigRecordRoundTripIsIdentity) {
   EXPECT_FALSE(wire::Decode(bad_arch, &decoded));
 }
 
+// --- Durable-state records (CampaignJournal's on-disk format) ------------
+
+CampaignManifestRecord MakeManifest() {
+  CampaignManifestRecord record;
+  record.committed_epochs = 5;
+  record.epochs = 24;
+  record.workers = 4;
+  record.samples = 24;
+  record.arch = 1;
+  record.iterations = 20000;
+  record.seed = 7;
+  record.corpus_sync = 1;
+  record.coverage_guidance = 1;
+  record.havoc_stack = 16;
+  record.splice_percent = 15;
+  record.use_harness = 1;
+  record.use_validator = 0;
+  record.use_configurator = 1;
+  record.oracle_interval = 64;
+  record.target = "kvm";
+  return record;
+}
+
+EpochCommitRecord MakeEpochCommit() {
+  EpochCommitRecord record;
+  record.epoch = 5;
+  record.workers = 4;
+  record.checksum = 0xDEADBEEFCAFEF00DULL;
+  record.iterations = 5000;
+  record.covered_points = 95;
+  record.pool_end = 83;
+  record.findings = 2;
+  record.crash_artifacts = 2;
+  record.percent = 80.50847457627118;
+  return record;
+}
+
+CrashArtifactRecord MakeCrashArtifact() {
+  CrashArtifactRecord record;
+  record.seq = 3;
+  record.report = MakeReport("kvm-nsvm-dummy-root");
+  record.hypervisor = "kvm";
+  record.arch = "amd";
+  record.iteration = 412;
+  record.input = MakeInput(0x5C);
+  return record;
+}
+
+TEST(WireTest, CampaignManifestRoundTripAndMagicRejection) {
+  const CampaignManifestRecord record = MakeManifest();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kManifest);
+
+  CampaignManifestRecord decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.magic, CampaignManifestRecord::kMagic);
+  EXPECT_EQ(decoded.committed_epochs, record.committed_epochs);
+  EXPECT_EQ(decoded.epochs, record.epochs);
+  EXPECT_EQ(decoded.workers, record.workers);
+  EXPECT_EQ(decoded.samples, record.samples);
+  EXPECT_EQ(decoded.arch, record.arch);
+  EXPECT_EQ(decoded.iterations, record.iterations);
+  EXPECT_EQ(decoded.seed, record.seed);
+  EXPECT_EQ(decoded.corpus_sync, record.corpus_sync);
+  EXPECT_EQ(decoded.coverage_guidance, record.coverage_guidance);
+  EXPECT_EQ(decoded.havoc_stack, record.havoc_stack);
+  EXPECT_EQ(decoded.splice_percent, record.splice_percent);
+  EXPECT_EQ(decoded.use_harness, record.use_harness);
+  EXPECT_EQ(decoded.use_validator, record.use_validator);
+  EXPECT_EQ(decoded.use_configurator, record.use_configurator);
+  EXPECT_EQ(decoded.oracle_interval, record.oracle_interval);
+  EXPECT_EQ(decoded.target, record.target);
+
+  // A file that parses as a frame but is not a manifest (wrong magic, or
+  // a nonsense arch byte) is rejected, not trusted as a commit point.
+  CampaignManifestRecord impostor = record;
+  impostor.magic = 0xDEADBEEF;
+  EXPECT_FALSE(wire::Decode(wire::Encode(impostor), &decoded));
+  CampaignManifestRecord bad_arch = record;
+  bad_arch.arch = 9;
+  EXPECT_FALSE(wire::Decode(wire::Encode(bad_arch), &decoded));
+}
+
+TEST(WireTest, EpochCommitRecordRoundTripIsIdentity) {
+  const EpochCommitRecord record = MakeEpochCommit();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kEpochCommit);
+
+  EpochCommitRecord decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.epoch, record.epoch);
+  EXPECT_EQ(decoded.workers, record.workers);
+  EXPECT_EQ(decoded.checksum, record.checksum);
+  EXPECT_EQ(decoded.iterations, record.iterations);
+  EXPECT_EQ(decoded.covered_points, record.covered_points);
+  EXPECT_EQ(decoded.pool_end, record.pool_end);
+  EXPECT_EQ(decoded.findings, record.findings);
+  EXPECT_EQ(decoded.crash_artifacts, record.crash_artifacts);
+  EXPECT_EQ(decoded.percent, record.percent);  // Bit-exact f64.
+}
+
+TEST(WireTest, CrashArtifactRecordRoundTripIsIdentity) {
+  const CrashArtifactRecord record = MakeCrashArtifact();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kCrashArtifact);
+
+  CrashArtifactRecord decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.seq, record.seq);
+  EXPECT_EQ(decoded.report.kind, record.report.kind);
+  EXPECT_EQ(decoded.report.bug_id, record.report.bug_id);
+  EXPECT_EQ(decoded.report.message, record.report.message);
+  EXPECT_EQ(decoded.hypervisor, record.hypervisor);
+  EXPECT_EQ(decoded.arch, record.arch);
+  EXPECT_EQ(decoded.iteration, record.iteration);
+  EXPECT_EQ(decoded.input, record.input);
+}
+
 TEST(WireTest, EveryTruncationIsRejected) {
   const wire::Buffer full = wire::Encode(MakeDelta());
   ShardDelta out;
@@ -343,6 +486,29 @@ TEST(WireTest, EveryTruncationIsRejected) {
   ShardChildConfigRecord config_out;
   for (size_t len = 0; len < config.size(); ++len) {
     EXPECT_FALSE(wire::Decode(config.data(), len, &config_out))
+        << "length " << len;
+  }
+
+  // A truncated durable-state record is a torn state file; it must be
+  // rejected on reopen like a torn pipe frame.
+  const wire::Buffer manifest = wire::Encode(MakeManifest());
+  CampaignManifestRecord manifest_out;
+  for (size_t len = 0; len < manifest.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(manifest.data(), len, &manifest_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer commit = wire::Encode(MakeEpochCommit());
+  EpochCommitRecord commit_out;
+  for (size_t len = 0; len < commit.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(commit.data(), len, &commit_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer artifact = wire::Encode(MakeCrashArtifact());
+  CrashArtifactRecord artifact_out;
+  for (size_t len = 0; len < artifact.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(artifact.data(), len, &artifact_out))
         << "length " << len;
   }
 }
@@ -426,10 +592,19 @@ TEST(WireTest, HugeCountFieldsAreRejectedWithoutAllocating) {
   // An out-of-range enum value inside a finding is rejected too.
   const ShardDelta delta = MakeDelta();
   wire::Buffer encoded = wire::Encode(delta);
-  // The last finding's kind byte: message comes last, so walk back from
-  // the end: message (4 + len), bug_id (4 + len), kind (1).
+  // The last finding's kind byte: walk back from the end over the crash
+  // arrays (count + entries each), then the finding's message (4 + len),
+  // bug_id (4 + len), kind (1).
+  size_t crash_tail = 4 + 4;
+  for (const std::string& id : delta.crash_ids) {
+    crash_tail += 4 + id.size();
+  }
+  for (const FuzzInput& input : delta.crash_inputs) {
+    crash_tail += 4 + input.size();
+  }
   const AnomalyReport& last = delta.findings.back();
-  const size_t kind_offset = encoded.size() - (4 + last.message.size()) -
+  const size_t kind_offset = encoded.size() - crash_tail -
+                             (4 + last.message.size()) -
                              (4 + last.bug_id.size()) - 1;
   encoded[kind_offset] = 0xEE;
   EXPECT_FALSE(wire::Decode(encoded, &out));
@@ -446,6 +621,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
   ShardResultRecord result;
   ShardChildConfigRecord config;
   ShardHelloRecord hello;
+  CampaignManifestRecord manifest;
+  EpochCommitRecord commit;
+  CrashArtifactRecord artifact;
   for (int i = 0; i < 2000; ++i) {
     wire::Buffer buffer(rng.Below(160));
     for (auto& byte : buffer) {
@@ -458,6 +636,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
     wire::Decode(buffer, &result);
     wire::Decode(buffer, &config);
     wire::Decode(buffer, &hello);
+    wire::Decode(buffer, &manifest);
+    wire::Decode(buffer, &commit);
+    wire::Decode(buffer, &artifact);
   }
 }
 
@@ -496,6 +677,24 @@ TEST(WireTest, CorruptedValidBuffersNeverCrashTheDecoder) {
     corrupt[rng.Below(corrupt.size())] ^=
         static_cast<uint8_t>(1 + rng.Below(255));
     wire::Decode(corrupt, &config);
+  }
+
+  // And over the durable-state records that live on disk, where a bad
+  // sector plays the role of the corrupting peer.
+  const wire::Buffer clean_manifest = wire::Encode(MakeManifest());
+  CampaignManifestRecord manifest;
+  const wire::Buffer clean_artifact = wire::Encode(MakeCrashArtifact());
+  CrashArtifactRecord artifact;
+  for (int i = 0; i < 2000; ++i) {
+    wire::Buffer corrupt = clean_manifest;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &manifest);
+
+    corrupt = clean_artifact;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &artifact);
   }
 }
 
@@ -580,6 +779,14 @@ TEST(WireTest, RandomDeltasRoundTripExactly) {
           {static_cast<AnomalyKind>(rng.Below(7)),
            "bug-" + std::to_string(rng.Below(1000)),
            std::string(rng.Below(64), 'x')});
+    }
+    for (size_t i = rng.Below(3); i > 0; --i) {
+      delta.crash_ids.push_back("crash-" + std::to_string(rng.Below(1000)));
+      FuzzInput input(rng.Below(kFuzzInputSize + 1));
+      for (auto& byte : input) {
+        byte = static_cast<uint8_t>(rng.Below(256));
+      }
+      delta.crash_inputs.push_back(std::move(input));
     }
     ShardDelta decoded;
     ASSERT_TRUE(wire::Decode(wire::Encode(delta), &decoded));
