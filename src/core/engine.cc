@@ -6,11 +6,9 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -24,6 +22,8 @@
 #include "src/core/transport/socket.h"
 #include "src/core/transport/supervisor.h"
 #include "src/fuzz/fuzzer.h"
+#include "src/support/errno_util.h"
+#include "src/support/mutex.h"
 
 namespace neco {
 namespace {
@@ -506,12 +506,14 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
 
   // A worker or merge-thread failure must not strand the other threads at
   // the queue or the feedback wait: record the first exception, abort the
-  // pipeline (unblocking everybody), and rethrow after the join.
-  std::mutex error_mu;
+  // pipeline (unblocking everybody), and rethrow after the join. (`fatal`
+  // is a local, so clang's analysis cannot tie it to error_mu the way
+  // NECO_GUARDED_BY ties members; the capture lambda is its only writer.)
+  Mutex error_mu;
   std::exception_ptr fatal;
   auto capture = [&](std::exception_ptr error) {
     {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(&error_mu);
       if (!fatal) {
         fatal = error;
       }
@@ -698,13 +700,13 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
       int feedback[2] = {-1, -1};
       if (::pipe2(delta, O_CLOEXEC) != 0) {
         throw std::runtime_error("CampaignEngine: pipe2() failed: " +
-                                 std::string(std::strerror(errno)));
+                                 SafeStrerror(errno));
       }
       parent_ends.Add(delta[0]);
       if (::pipe2(feedback, O_CLOEXEC) != 0) {
         ::close(delta[1]);
         throw std::runtime_error("CampaignEngine: pipe2() failed: " +
-                                 std::string(std::strerror(errno)));
+                                 SafeStrerror(errno));
       }
       parent_ends.Add(feedback[1]);
       channels.push_back({w, delta[0], feedback[1]});

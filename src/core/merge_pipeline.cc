@@ -98,7 +98,7 @@ void MergePipeline::FoldReadyEpochs() {
     std::vector<CrashRecord> crashes;
     EpochCommitRecord summary;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       EpochFeedback fb;
       // The barrier accumulated the epoch's iteration total before
       // merging any shard, so the sample reflects every worker.
@@ -173,7 +173,7 @@ void MergePipeline::FoldReadyEpochs() {
       summary.percent = percent;
       feedback_.push_back(std::move(fb));
       finalized_ = epoch + 1;
-      feedback_cv_.notify_all();
+      feedback_cv_.NotifyAll();
     }
 
     if (options_.journal != nullptr) {
@@ -238,7 +238,7 @@ void MergePipeline::PushEpochFeedback(size_t epoch) {
     record.worker = w;
     Feedback feedback;
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       BuildFeedbackLocked(epoch, w, &feedback);
     }
     record.pool_entries = std::move(feedback.pool_entries);
@@ -264,7 +264,7 @@ void MergePipeline::RunMergeLoop() {
       return;  // Aborted.
     }
     {
-      std::lock_guard<std::mutex> lock(state_mu_);
+      MutexLock lock(&state_mu_);
       ++stats_.flushes;
     }
     for (wire::Buffer& buffer : batch) {
@@ -307,12 +307,12 @@ bool MergePipeline::WaitForFeedback(size_t through_epoch, int worker,
                                     Feedback* out) {
   out->pool_entries.clear();
   out->virgin = {};
-  std::unique_lock<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   if (finalized_ <= through_epoch && !aborted_) {
     const auto start = Clock::now();
-    feedback_cv_.wait(lock, [&] {
-      return finalized_ > through_epoch || aborted_.load();
-    });
+    while (finalized_ <= through_epoch && !aborted_) {
+      feedback_cv_.Wait(state_mu_);
+    }
     stats_.feedback_wait_seconds += SecondsSince(start);
   }
   if (aborted_) {
@@ -326,8 +326,8 @@ void MergePipeline::Abort() {
   aborted_ = true;
   transport_->Abort();
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    feedback_cv_.notify_all();
+    MutexLock lock(&state_mu_);
+    feedback_cv_.NotifyAll();
   }
 }
 
@@ -337,7 +337,7 @@ void MergePipeline::Notify(Fn&& fn) {
     try {
       fn(observer);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu_);
+      MutexLock lock(&error_mu_);
       if (!observer_error_) {
         observer_error_ = std::current_exception();
       }
@@ -354,18 +354,47 @@ void MergePipeline::NotifyFinish(const FinishEvent& event) {
 }
 
 std::exception_ptr MergePipeline::observer_error() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(&error_mu_);
   return observer_error_;
 }
 
 size_t MergePipeline::finalized_epochs() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   return finalized_;
 }
 
 MergePipelineStats MergePipeline::stats() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(&state_mu_);
   return stats_;
+}
+
+// The merged-state accessors lock like every other reader. Before this
+// they returned the members without state_mu_ — correct only because the
+// engine calls them after joining the merge thread, but exactly the kind
+// of by-convention discipline -Wthread-safety exists to replace.
+const CoverageBitmap& MergePipeline::virgin() const {
+  MutexLock lock(&state_mu_);
+  return global_virgin_;
+}
+
+const std::vector<uint8_t>& MergePipeline::covered() const {
+  MutexLock lock(&state_mu_);
+  return global_covered_;
+}
+
+size_t MergePipeline::covered_points() const {
+  MutexLock lock(&state_mu_);
+  return covered_count_;
+}
+
+const std::map<std::string, AnomalyReport>& MergePipeline::findings() const {
+  MutexLock lock(&state_mu_);
+  return global_findings_;
+}
+
+const std::vector<CoverageSample>& MergePipeline::series() const {
+  MutexLock lock(&state_mu_);
+  return series_;
 }
 
 }  // namespace neco

@@ -30,12 +30,10 @@
 #define SRC_CORE_MERGE_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +41,8 @@
 #include "src/core/transport/transport.h"
 #include "src/core/wire.h"
 #include "src/fuzz/bitmap.h"
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace neco {
 
@@ -115,7 +115,8 @@ class MergePipeline {
   // Blocks until epoch `through_epoch` is finalized, then fills `out`
   // with everything merged through it that `worker` has not seen yet.
   // Returns false when the pipeline was aborted.
-  bool WaitForFeedback(size_t through_epoch, int worker, Feedback* out);
+  bool WaitForFeedback(size_t through_epoch, int worker, Feedback* out)
+      NECO_EXCLUDES(state_mu_);
 
   // --- Drainer ---
 
@@ -124,29 +125,34 @@ class MergePipeline {
   // thread (inline for process shards); observer events fire here, never
   // concurrently. Throws std::runtime_error on a corrupt delta or a
   // transport failure (a dead shard surfaces here, never as a hang).
-  void RunMergeLoop();
+  void RunMergeLoop() NECO_EXCLUDES(state_mu_);
 
   // Aborts the transport (unblocking its producers and Drain) and every
   // WaitForFeedback (they return false); used when a worker dies so
   // nobody waits forever.
-  void Abort();
+  void Abort() NECO_EXCLUDES(state_mu_);
   bool aborted() const { return aborted_; }
 
   // --- Exception-guarded observer dispatch for the final assembly ---
-  void NotifyShardDone(const ShardDoneEvent& event);
-  void NotifyFinish(const FinishEvent& event);
-  std::exception_ptr observer_error() const;
+  void NotifyShardDone(const ShardDoneEvent& event)
+      NECO_EXCLUDES(error_mu_);
+  void NotifyFinish(const FinishEvent& event) NECO_EXCLUDES(error_mu_);
+  std::exception_ptr observer_error() const NECO_EXCLUDES(error_mu_);
 
-  // --- Merged state; read after RunMergeLoop() returned ---
-  const CoverageBitmap& virgin() const { return global_virgin_; }
-  const std::vector<uint8_t>& covered() const { return global_covered_; }
-  size_t covered_points() const { return covered_count_; }
-  const std::map<std::string, AnomalyReport>& findings() const {
-    return global_findings_;
-  }
-  const std::vector<CoverageSample>& series() const { return series_; }
-  size_t finalized_epochs() const;
-  MergePipelineStats stats() const;
+  // --- Merged state accessors ---
+  // The returned references stay valid for the pipeline's lifetime, but
+  // their *contents* are only stable once RunMergeLoop() returned (and
+  // the merge thread joined) — which is the only time the engine reads
+  // them. Each accessor still takes the lock for the member access so the
+  // discipline is compiler-checked end to end, not waived for readers.
+  const CoverageBitmap& virgin() const NECO_EXCLUDES(state_mu_);
+  const std::vector<uint8_t>& covered() const NECO_EXCLUDES(state_mu_);
+  size_t covered_points() const NECO_EXCLUDES(state_mu_);
+  const std::map<std::string, AnomalyReport>& findings() const
+      NECO_EXCLUDES(state_mu_);
+  const std::vector<CoverageSample>& series() const NECO_EXCLUDES(state_mu_);
+  size_t finalized_epochs() const NECO_EXCLUDES(state_mu_);
+  MergePipelineStats stats() const NECO_EXCLUDES(state_mu_);
 
  private:
   // What a finalized epoch leaves behind for later feedback requests.
@@ -171,46 +177,50 @@ class MergePipeline {
   };
 
   void Stage(std::unique_ptr<ShardDelta> delta, wire::Buffer raw);
-  void FoldReadyEpochs();
+  void FoldReadyEpochs() NECO_EXCLUDES(state_mu_);
   // Snapshots `worker`'s unseen merged state through `through_epoch` and
   // advances its cursors; caller holds state_mu_ and the epoch must be
   // finalized. Shared by WaitForFeedback and the push_feedback path.
-  void BuildFeedbackLocked(size_t through_epoch, int worker, Feedback* out);
+  void BuildFeedbackLocked(size_t through_epoch, int worker, Feedback* out)
+      NECO_REQUIRES(state_mu_);
   // Encodes and pushes every worker's FeedbackRecord for `epoch`; throws
   // on a transport failure.
-  void PushEpochFeedback(size_t epoch);
+  void PushEpochFeedback(size_t epoch) NECO_EXCLUDES(state_mu_);
   template <typename Fn>
-  void Notify(Fn&& fn);
+  void Notify(Fn&& fn) NECO_EXCLUDES(error_mu_);
 
   MergePipelineOptions options_;
   ShardTransport* transport_;
   std::vector<CampaignObserver*> observers_;
   std::atomic<bool> aborted_{false};
 
-  MergePipelineStats stats_;  // flushes: drainer-only; waits: state_mu_.
-
   // Drainer-only staging: decoded deltas waiting for their epoch to
-  // complete (all workers' records present).
+  // complete (all workers' records present). Single-threaded by
+  // construction (only RunMergeLoop touches them), hence unguarded.
   std::map<uint64_t, std::vector<StagedDelta>> staged_;
   size_t next_epoch_ = 0;
 
-  // Global merged state; written by the drainer under state_mu_, read by
-  // WaitForFeedback and (unlocked, after the drainer joined) the engine.
-  mutable std::mutex state_mu_;
-  std::condition_variable feedback_cv_;
-  CoverageBitmap global_virgin_;
-  std::vector<uint8_t> global_covered_;
-  size_t covered_count_ = 0;
-  std::map<std::string, AnomalyReport> global_findings_;
-  std::vector<PoolEntry> pool_;
-  std::vector<CoverageSample> series_;
-  uint64_t total_iterations_ = 0;
-  std::vector<EpochFeedback> feedback_;  // Indexed by finalized epoch.
-  std::vector<WorkerCursor> cursors_;
-  size_t finalized_ = 0;
+  // Global merged state: written by the drainer under state_mu_, read by
+  // WaitForFeedback (worker threads) and — through the locking accessors
+  // above — the engine.
+  mutable Mutex state_mu_;
+  CondVar feedback_cv_;
+  MergePipelineStats stats_ NECO_GUARDED_BY(state_mu_);
+  CoverageBitmap global_virgin_ NECO_GUARDED_BY(state_mu_);
+  std::vector<uint8_t> global_covered_ NECO_GUARDED_BY(state_mu_);
+  size_t covered_count_ NECO_GUARDED_BY(state_mu_) = 0;
+  std::map<std::string, AnomalyReport> global_findings_
+      NECO_GUARDED_BY(state_mu_);
+  std::vector<PoolEntry> pool_ NECO_GUARDED_BY(state_mu_);
+  std::vector<CoverageSample> series_ NECO_GUARDED_BY(state_mu_);
+  uint64_t total_iterations_ NECO_GUARDED_BY(state_mu_) = 0;
+  // Indexed by finalized epoch.
+  std::vector<EpochFeedback> feedback_ NECO_GUARDED_BY(state_mu_);
+  std::vector<WorkerCursor> cursors_ NECO_GUARDED_BY(state_mu_);
+  size_t finalized_ NECO_GUARDED_BY(state_mu_) = 0;
 
-  mutable std::mutex error_mu_;
-  std::exception_ptr observer_error_;
+  mutable Mutex error_mu_;
+  std::exception_ptr observer_error_ NECO_GUARDED_BY(error_mu_);
 };
 
 }  // namespace neco

@@ -73,6 +73,10 @@ class CrashStore {
                                 const char* extension) const;
   void Reload();
 
+  // Single-threaded by contract (hence no mutex / NECO_GUARDED_BY): every
+  // Save() happens on the merge/drain thread — findings reach the store
+  // only through the journal observer, which MergePipeline invokes from
+  // the (single) merge loop — and reads happen after the campaign joined.
   std::filesystem::path directory_;
   std::vector<CrashRecord> records_;
   std::vector<uint64_t> seqs_;  // Parallel to records_: on-disk sequence.

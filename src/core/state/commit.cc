@@ -5,7 +5,8 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
+
+#include "src/support/errno_util.h"
 
 namespace neco {
 namespace {
@@ -14,7 +15,7 @@ using Clock = std::chrono::steady_clock;
 
 std::string ErrnoText(const std::string& what,
                       const std::filesystem::path& path, int err) {
-  return what + " " + path.string() + ": " + std::strerror(err);
+  return what + " " + path.string() + ": " + SafeStrerror(err);
 }
 
 // Fsync under timing; EINTR-retried like the write loop below.

@@ -26,13 +26,13 @@ InProcTransport::InProcTransport(InProcTransportOptions options) {
 }
 
 bool InProcTransport::Publish(wire::Buffer encoded_delta) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (queue_.size() >= capacity_ && !aborted_) {
     ++stats_.publish_blocks;
     const auto start = Clock::now();
-    not_full_.wait(lock, [&] {
-      return queue_.size() < capacity_ || aborted_.load();
-    });
+    while (queue_.size() >= capacity_ && !aborted_) {
+      not_full_.Wait(mu_);
+    }
     stats_.publish_wait_seconds += SecondsSince(start);
   }
   if (aborted_) {
@@ -43,14 +43,16 @@ bool InProcTransport::Publish(wire::Buffer encoded_delta) {
   queue_.push_back(std::move(encoded_delta));
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   queue_depth_sum_ += static_cast<double>(queue_.size());
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 bool InProcTransport::Drain(size_t max_batch, std::vector<wire::Buffer>* out) {
   out->clear();
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return !queue_.empty() || aborted_.load(); });
+  MutexLock lock(&mu_);
+  while (queue_.empty() && !aborted_) {
+    not_empty_.Wait(mu_);
+  }
   if (aborted_) {
     return false;
   }
@@ -59,7 +61,7 @@ bool InProcTransport::Drain(size_t max_batch, std::vector<wire::Buffer>* out) {
     out->push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
-  not_full_.notify_all();
+  not_full_.NotifyAll();
   return true;
 }
 
@@ -72,13 +74,13 @@ bool InProcTransport::SendFeedback(int /*worker*/,
 
 void InProcTransport::Abort() {
   aborted_ = true;
-  std::lock_guard<std::mutex> lock(mu_);
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  MutexLock lock(&mu_);
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
 }
 
 TransportStats InProcTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TransportStats out = stats_;
   out.avg_queue_depth =
       out.deltas == 0 ? 0.0

@@ -13,11 +13,11 @@
 #define SRC_CORE_TRANSPORT_INPROC_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "src/core/transport/transport.h"
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace neco {
 
@@ -42,28 +42,29 @@ class InProcTransport : public ShardTransport {
   // Producer side (worker threads): enqueues one encoded ShardDelta,
   // blocking while the queue is at capacity. Returns false when the
   // transport was aborted.
-  bool Publish(wire::Buffer encoded_delta);
+  bool Publish(wire::Buffer encoded_delta) NECO_EXCLUDES(mu_);
 
   // The resolved queue bound (after the 0 -> derived-default rule).
   size_t capacity() const { return capacity_; }
 
   // ShardTransport:
-  bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) override;
+  bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) override
+      NECO_EXCLUDES(mu_);
   bool SendFeedback(int worker, const wire::Buffer& frame) override;
-  void Abort() override;
+  void Abort() override NECO_EXCLUDES(mu_);
   std::string error() const override { return {}; }
-  TransportStats stats() const override;
+  TransportStats stats() const override NECO_EXCLUDES(mu_);
 
  private:
-  size_t capacity_ = 0;
+  size_t capacity_ = 0;  // Const after construction.
   std::atomic<bool> aborted_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<wire::Buffer> queue_;
-  TransportStats stats_;  // Guarded by mu_.
-  double queue_depth_sum_ = 0.0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<wire::Buffer> queue_ NECO_GUARDED_BY(mu_);
+  TransportStats stats_ NECO_GUARDED_BY(mu_);
+  double queue_depth_sum_ NECO_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace neco

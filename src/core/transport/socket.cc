@@ -9,10 +9,11 @@
 #include <unistd.h>
 
 #include <chrono>
-#include <cstring>
 #include <set>
 #include <stdexcept>
 #include <vector>
+
+#include "src/support/errno_util.h"
 
 namespace neco {
 namespace {
@@ -72,14 +73,14 @@ SocketTransport::SocketTransport(SocketTransportOptions options)
     const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                             ai->ai_protocol);
     if (fd < 0) {
-      last_error = std::string("socket() failed: ") + std::strerror(errno);
+      last_error = std::string("socket() failed: ") + SafeStrerror(errno);
       continue;
     }
     const int yes = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
     if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
         ::listen(fd, options_.workers + 8) != 0) {
-      last_error = std::string("bind/listen failed: ") + std::strerror(errno);
+      last_error = std::string("bind/listen failed: ") + SafeStrerror(errno);
       ::close(fd);
       continue;
     }
@@ -164,7 +165,7 @@ bool SocketTransport::AcceptShards(
     } while (r < 0 && errno == EINTR);
     if (r < 0) {
       SetError(std::string("poll failed during handshake: ") +
-               std::strerror(errno));
+               SafeStrerror(errno));
       close_pending();
       return false;
     }
@@ -261,7 +262,7 @@ int DialShardSocket(const std::string& address, uint16_t port, int worker,
     const int candidate = ::socket(
         ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
     if (candidate < 0) {
-      last_error = std::string("socket() failed: ") + std::strerror(errno);
+      last_error = std::string("socket() failed: ") + SafeStrerror(errno);
       continue;
     }
     // The parent listens before launching children, so a refusal can only
@@ -276,7 +277,7 @@ int DialShardSocket(const std::string& address, uint16_t port, int worker,
         fd = candidate;
         break;
       }
-      last_error = std::string("connect failed: ") + std::strerror(errno);
+      last_error = std::string("connect failed: ") + SafeStrerror(errno);
       if (errno != ECONNREFUSED && errno != ETIMEDOUT) {
         break;
       }
@@ -296,7 +297,7 @@ int DialShardSocket(const std::string& address, uint16_t port, int worker,
   ShardHelloRecord hello;
   hello.worker = worker;
   if (!WritePipeFrame(fd, wire::Encode(hello))) {
-    *error = std::string("hello write failed: ") + std::strerror(errno);
+    *error = std::string("hello write failed: ") + SafeStrerror(errno);
     ::close(fd);
     return -1;
   }

@@ -77,6 +77,10 @@ class SocketTransport : public FrameStreamTransport {
       const std::function<bool()>& keep_waiting = nullptr);
 
  private:
+  // Single-threaded: written in the constructor and AcceptShards(), both
+  // of which the engine sequences before the merge thread's first
+  // Drain(). Shared mutable state (error/stats) lives in the
+  // mu_-guarded base class.
   SocketTransportOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -6,9 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "src/support/errno_util.h"
 
 namespace neco {
 namespace {
@@ -123,7 +124,7 @@ FrameStreamTransport::FrameStreamTransport(
       ::close(abort_wr_);
     }
     throw std::runtime_error("FrameStreamTransport: " + message + ": " +
-                             std::strerror(errno));
+                             SafeStrerror(errno));
   };
 
   int fds[2] = {-1, -1};
@@ -168,7 +169,7 @@ bool FrameStreamTransport::AdoptChannel(const StreamShardChannel& ch) {
   channel.write_fd = ch.write_fd;
   if (!SetNonBlocking(channel.read_fd)) {
     SetError("fcntl(O_NONBLOCK) failed for shard " +
-             std::to_string(channel.worker) + ": " + std::strerror(errno));
+             std::to_string(channel.worker) + ": " + SafeStrerror(errno));
     CloseChannelFds(channel);
     return false;
   }
@@ -177,14 +178,14 @@ bool FrameStreamTransport::AdoptChannel(const StreamShardChannel& ch) {
 }
 
 void FrameStreamTransport::SetError(const std::string& message) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (error_.empty()) {
     error_ = message;
   }
 }
 
 std::string FrameStreamTransport::error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return error_;
 }
 
@@ -213,7 +214,7 @@ void FrameStreamTransport::ExtractFrames(Channel& channel) {
     wire::RecordType type;
     wire::PeekType(frame.data(), frame.size(), &type);
     if (type == wire::RecordType::kShardDelta) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.deltas;
       stats_.delta_bytes += frame.size();
       pending_.push_back(std::move(frame));
@@ -276,11 +277,11 @@ void FrameStreamTransport::ReadChannel(Channel& channel) {
       MarkDead(channel.worker);
       SetError("shard " + std::to_string(channel.worker) +
                " dropped its connection mid-campaign: " +
-               std::strerror(errno));
+               SafeStrerror(errno));
       return;
     }
     SetError("shard " + std::to_string(channel.worker) +
-             " delta stream read failed: " + std::strerror(errno));
+             " delta stream read failed: " + SafeStrerror(errno));
     return;
   }
 }
@@ -313,7 +314,7 @@ bool FrameStreamTransport::PumpOnce() {
     r = ::poll(fds.data(), fds.size(), -1);
   } while (r < 0 && errno == EINTR);
   if (r < 0) {
-    SetError(std::string("poll failed: ") + std::strerror(errno));
+    SetError(std::string("poll failed: ") + SafeStrerror(errno));
     return false;
   }
   if (aborted_) {
@@ -361,15 +362,15 @@ bool FrameStreamTransport::SendFeedback(int worker,
           (err == EPIPE || err == ECONNRESET)) {
         MarkDead(worker);
         SetError("feedback write to shard " + std::to_string(worker) +
-                 " failed: shard dead (" + std::strerror(err) + ")");
+                 " failed: shard dead (" + SafeStrerror(err) + ")");
       } else {
         SetError("feedback write to shard " + std::to_string(worker) +
                  " failed: " +
-                 (channel.write_fd < 0 ? "no stream" : std::strerror(err)));
+                 (channel.write_fd < 0 ? "no stream" : SafeStrerror(err)));
       }
       return false;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.feedback_records;
     stats_.feedback_bytes += frame.size();
     return true;
@@ -415,7 +416,7 @@ void FrameStreamTransport::Abort() {
 }
 
 TransportStats FrameStreamTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TransportStats out = stats_;
   out.avg_queue_depth =
       out.deltas == 0 ? 0.0

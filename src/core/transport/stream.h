@@ -27,11 +27,12 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/core/transport/transport.h"
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace neco {
 
@@ -68,10 +69,11 @@ class FrameStreamTransport : public ShardTransport {
 
   // ShardTransport:
   bool Drain(size_t max_batch, std::vector<wire::Buffer>* out) override;
-  bool SendFeedback(int worker, const wire::Buffer& frame) override;
+  bool SendFeedback(int worker, const wire::Buffer& frame) override
+      NECO_EXCLUDES(mu_);
   void Abort() override;
-  std::string error() const override;
-  TransportStats stats() const override;
+  std::string error() const override NECO_EXCLUDES(mu_);
+  TransportStats stats() const override NECO_EXCLUDES(mu_);
 
   // After the merge loop finished: keeps reading until every shard's
   // ShardResultRecord arrived (they follow the final deltas, so they may
@@ -103,7 +105,7 @@ class FrameStreamTransport : public ShardTransport {
   // the error, and returns false. Must not race Drain()/CollectResults().
   bool AdoptChannel(const StreamShardChannel& channel);
 
-  void SetError(const std::string& message);
+  void SetError(const std::string& message) NECO_EXCLUDES(mu_);
   bool aborted() const { return aborted_; }
   int abort_rd() const { return abort_rd_; }
 
@@ -126,9 +128,15 @@ class FrameStreamTransport : public ShardTransport {
   bool PumpOnce();
   // Drains `channel`'s readable bytes and cuts complete frames.
   void ReadChannel(Channel& channel);
-  void ExtractFrames(Channel& channel);
+  void ExtractFrames(Channel& channel) NECO_EXCLUDES(mu_);
   void MarkDead(int worker);
 
+  // Drainer-thread-only state: channels, reassembly buffers, and the
+  // decoded-order frame queue are touched exclusively by Drain()/
+  // CollectResults()/SendFeedback() callers on the merge thread (the
+  // engine sequences AcceptShards/AdoptChannel before the first Drain),
+  // hence unguarded. Cross-thread communication happens via aborted_ /
+  // dead_worker_ (atomics) and the mu_-guarded error/stats below.
   std::vector<Channel> channels_;
   std::deque<wire::Buffer> pending_;  // Decoded-order ShardDelta frames.
   int abort_rd_ = -1;  // Self-pipe: Abort() wakes the poll loop.
@@ -136,10 +144,10 @@ class FrameStreamTransport : public ShardTransport {
   std::atomic<bool> aborted_{false};
   std::atomic<int> dead_worker_{-1};
 
-  mutable std::mutex mu_;  // Guards error_ and stats_.
-  std::string error_;
-  TransportStats stats_;
-  double queue_depth_sum_ = 0.0;
+  mutable Mutex mu_;
+  std::string error_ NECO_GUARDED_BY(mu_);
+  TransportStats stats_ NECO_GUARDED_BY(mu_);
+  double queue_depth_sum_ NECO_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace neco

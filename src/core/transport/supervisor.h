@@ -100,6 +100,11 @@ class ShardSupervisor {
   void KillAll(int sig);
 
  private:
+  // Single-threaded by contract (hence no mutex / NECO_GUARDED_BY): the
+  // supervisor is owned by the engine's campaign thread, which spawns
+  // before any worker or merge thread exists (see the fork constraint
+  // above) and reaps after they joined. fork/waitpid from two threads
+  // would be a design error, not a data race to annotate around.
   std::vector<ShardExit> children_;
   // The embedder's full SIGPIPE disposition (sigaction, not just a
   // handler pointer — a host's SA_SIGINFO action must survive the round

@@ -1,21 +1,23 @@
 #include "src/hv/factory.h"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "src/hv/sim_kvm/kvm.h"
 #include "src/hv/sim_vbox/vbox.h"
 #include "src/hv/sim_xen/xen.h"
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace neco {
 namespace {
 
 struct RegistryState {
-  std::mutex mu;
+  Mutex mu;
   // Ordered so ListHypervisors is sorted without an extra pass.
-  std::map<std::string, HypervisorFactory, std::less<>> targets;
+  std::map<std::string, HypervisorFactory, std::less<>> targets
+      NECO_GUARDED_BY(mu);
 };
 
 RegistryState& Registry() {
@@ -26,6 +28,10 @@ RegistryState& Registry() {
   // order relative to this TU is unspecified).
   static RegistryState* state = [] {
     auto* s = new RegistryState;
+    // No other thread can see `s` yet, but the seeding happens outside
+    // RegistryState's constructor, so the analysis (correctly) demands
+    // the lock for these guarded writes.
+    MutexLock lock(&s->mu);
     s->targets.emplace("kvm", [] { return std::make_unique<SimKvm>(); });
     s->targets.emplace("xen", [] { return std::make_unique<SimXen>(); });
     s->targets.emplace("virtualbox",
@@ -42,13 +48,13 @@ bool RegisterHypervisor(std::string name, HypervisorFactory factory) {
     return false;
   }
   RegistryState& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   return registry.targets.emplace(std::move(name), std::move(factory)).second;
 }
 
 std::vector<std::string> ListHypervisors() {
   RegistryState& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   std::vector<std::string> names;
   names.reserve(registry.targets.size());
   for (const auto& [name, factory] : registry.targets) {
@@ -59,7 +65,7 @@ std::vector<std::string> ListHypervisors() {
 
 HypervisorFactory FindHypervisorFactory(std::string_view name) {
   RegistryState& registry = Registry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   const auto it = registry.targets.find(name);
   return it == registry.targets.end() ? HypervisorFactory{} : it->second;
 }

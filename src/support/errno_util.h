@@ -1,0 +1,29 @@
+// Thread-safe errno formatting.
+//
+// std::strerror returns a pointer into storage that glibc may share
+// between threads (and other libcs definitely do) — and nearly every
+// caller in this codebase is on a merge/poll thread racing worker shards,
+// so the classic "error text from one failure, errno from another"
+// corruption is a live hazard, not a theoretical one. SafeStrerror wraps
+// strerror_r, papering over the XSI (int return, POSIX) vs GNU (char*
+// return, _GNU_SOURCE on glibc) signature split, and returns a plain
+// std::string the caller owns.
+//
+// necolint enforces the boundary: a raw strerror( call anywhere in src/
+// outside this wrapper is a lint error (gai_strerror, which formats
+// getaddrinfo's own error space and is thread-safe, is exempt).
+#ifndef SRC_SUPPORT_ERRNO_UTIL_H_
+#define SRC_SUPPORT_ERRNO_UTIL_H_
+
+#include <string>
+
+namespace neco {
+
+// The message for `err` (an errno value), e.g. "Broken pipe"; for an
+// unknown value, a stable "Unknown error <n>"-style text. Never returns
+// an empty string, never touches global state.
+std::string SafeStrerror(int err);
+
+}  // namespace neco
+
+#endif  // SRC_SUPPORT_ERRNO_UTIL_H_

@@ -1,0 +1,66 @@
+// Clang thread-safety annotation macros (no-ops elsewhere).
+//
+// The engine's determinism contract rests on a small set of locking
+// invariants — MergePipeline's state_mu_ over the merged campaign state,
+// each transport's mu_ over its queue/error/stats — that used to be kept
+// by code review alone. These macros hand those invariants to the
+// compiler: clang's -Wthread-safety analysis (enabled with
+// -Werror=thread-safety for clang builds, see the top-level
+// CMakeLists.txt) statically proves that every access to a
+// NECO_GUARDED_BY member happens with the named mutex held, and that
+// every NECO_REQUIRES function is only called under it. GCC and other
+// compilers see empty macros and compile the same code.
+//
+// Convention for new code (see README "Correctness tooling"):
+//  * every member a mutex protects gets NECO_GUARDED_BY(mu_);
+//  * a private helper that expects the caller to hold the lock gets
+//    NECO_REQUIRES(mu_) — and a "Locked" name suffix;
+//  * members touched by only one thread (e.g. drainer-only staging) get a
+//    comment naming that thread instead of a fake guard;
+//  * NECO_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//    justification comment.
+#ifndef SRC_SUPPORT_THREAD_ANNOTATIONS_H_
+#define SRC_SUPPORT_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define NECO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NECO_THREAD_ANNOTATION(x)
+#endif
+
+// Documents that a member is protected by the given capability (mutex).
+#define NECO_GUARDED_BY(x) NECO_THREAD_ANNOTATION(guarded_by(x))
+
+// Documents that the *pointee* of a pointer member is protected.
+#define NECO_PT_GUARDED_BY(x) NECO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// The function may only be called while holding the capability.
+#define NECO_REQUIRES(...) \
+  NECO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// The function acquires / releases the capability and holds it across the
+// call boundary (lock/unlock wrappers).
+#define NECO_ACQUIRE(...) \
+  NECO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NECO_RELEASE(...) \
+  NECO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// The function must be called WITHOUT the capability held (it acquires it
+// itself; calling it under the lock would deadlock).
+#define NECO_EXCLUDES(...) NECO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Declares a type as a capability (for hand-rolled lock types).
+#define NECO_CAPABILITY(x) NECO_THREAD_ANNOTATION(capability(x))
+
+// RAII types that acquire on construction and release on destruction.
+#define NECO_SCOPED_CAPABILITY NECO_THREAD_ANNOTATION(scoped_lockable)
+
+// The function returns a reference to the given capability.
+#define NECO_RETURN_CAPABILITY(x) NECO_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: the function's locking is correct for a reason the
+// analysis cannot see. Every use must explain why in a comment.
+#define NECO_NO_THREAD_SAFETY_ANALYSIS \
+  NECO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_SUPPORT_THREAD_ANNOTATIONS_H_

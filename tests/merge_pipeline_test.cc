@@ -358,5 +358,55 @@ TEST(MergePipelineTest, DrainerRunsConcurrentlyWithPublishers) {
   EXPECT_GT(pipeline.stats().flushes, 0u);
 }
 
+TEST(MergePipelineTest, AccessorsAreSafeWhileTheMergeLoopRuns) {
+  // Regression test for the accessor lock-discipline hole: the
+  // by-value accessors (covered_points(), stats()) used to return
+  // guarded state without taking state_mu_, which was only safe under
+  // the engine's join-before-read convention. A monitoring thread (a
+  // stats poller, a progress bar) breaks that convention, so they must
+  // lock — under TSan this test fails if either regresses to an
+  // unlocked read. (The by-reference accessors — series(), findings(),
+  // virgin(), covered() — stay join-before-read for their *contents*;
+  // the poller deliberately avoids them.)
+  InProcTransportOptions transport_options = TwoWorkerTransportOptions();
+  InProcTransport transport(transport_options);
+  MergePipelineOptions options = TwoWorkerOptions();
+  options.epochs = 200;
+  MergePipeline pipeline(options, &transport, {});
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    size_t sink = 0;
+    while (!done) {
+      sink += pipeline.covered_points();
+      sink += static_cast<size_t>(pipeline.stats().flushes);
+      sink += static_cast<size_t>(pipeline.finalized_epochs());
+      std::this_thread::yield();
+    }
+    EXPECT_GE(sink, 0u);
+  });
+
+  std::thread drainer([&] { pipeline.RunMergeLoop(); });
+  std::vector<std::thread> producers;
+  for (int w = 0; w < 2; ++w) {
+    producers.emplace_back([&, w] {
+      for (uint64_t epoch = 0; epoch < 200; ++epoch) {
+        ShardDelta delta = MakeDelta(w, epoch, 5);
+        delta.covered_points = {static_cast<uint32_t>(epoch % 8)};
+        ASSERT_TRUE(transport.Publish(wire::Encode(delta)));
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  drainer.join();
+  done = true;
+  poller.join();
+
+  EXPECT_EQ(pipeline.finalized_epochs(), 200u);
+  EXPECT_EQ(pipeline.covered_points(), 8u);
+}
+
 }  // namespace
 }  // namespace neco

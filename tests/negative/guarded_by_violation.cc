@@ -1,0 +1,33 @@
+// Negative-compile probe: this file MUST fail to compile under clang
+// with -Wthread-safety -Werror=thread-safety (registered with WILL_FAIL
+// in tests/CMakeLists.txt). It writes a NECO_GUARDED_BY member without
+// holding the named mutex — exactly the bug class the annotations exist
+// to reject. If this ever compiles on clang, the annotation macros have
+// silently degraded to no-ops and the whole analysis is off.
+//
+// GCC compiles it clean (the macros expand to nothing there), so the
+// test is registered only for clang builds.
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    // Violation: `count_` is guarded by `mu_`, which is not held here.
+    ++count_;
+  }
+
+ private:
+  neco::Mutex mu_;
+  int count_ NECO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -466,6 +466,37 @@ TEST(WireTest, EveryTruncationIsRejected) {
     EXPECT_FALSE(wire::Decode(event.data(), len, &sample)) << "length " << len;
   }
 
+  const wire::Buffer finding_event =
+      wire::Encode(FindingEvent{7, 3, MakeReport("truncate-me")});
+  FindingEvent finding_out;
+  for (size_t len = 0; len < finding_event.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(finding_event.data(), len, &finding_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer sync = wire::Encode(CorpusSyncEvent{1, 0, 2, 3});
+  CorpusSyncEvent sync_out;
+  for (size_t len = 0; len < sync.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(sync.data(), len, &sync_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer done =
+      wire::Encode(ShardDoneEvent{3, 5000, 81.25, 96, 83, 4, 59, 2});
+  ShardDoneEvent done_out;
+  for (size_t len = 0; len < done.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(done.data(), len, &done_out))
+        << "length " << len;
+  }
+
+  const wire::Buffer finish =
+      wire::Encode(FinishEvent{4, 24, 20000, 80.5, 95, 118, 6, 166});
+  FinishEvent finish_out;
+  for (size_t len = 0; len < finish.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(finish.data(), len, &finish_out))
+        << "length " << len;
+  }
+
   // The process-sharding records reject every truncation too.
   const wire::Buffer feedback = wire::Encode(MakeFeedback());
   FeedbackRecord feedback_out;
@@ -617,6 +648,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
   ShardDelta delta;
   SampleEvent sample;
   FindingEvent finding;
+  CorpusSyncEvent sync;
+  ShardDoneEvent done;
+  FinishEvent finish;
   FeedbackRecord feedback;
   ShardResultRecord result;
   ShardChildConfigRecord config;
@@ -632,6 +666,9 @@ TEST(WireTest, RandomBuffersNeverCrashTheDecoder) {
     wire::Decode(buffer, &delta);
     wire::Decode(buffer, &sample);
     wire::Decode(buffer, &finding);
+    wire::Decode(buffer, &sync);
+    wire::Decode(buffer, &done);
+    wire::Decode(buffer, &finish);
     wire::Decode(buffer, &feedback);
     wire::Decode(buffer, &result);
     wire::Decode(buffer, &config);

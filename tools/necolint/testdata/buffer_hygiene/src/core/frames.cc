@@ -1,0 +1,10 @@
+// Fixture: hand-rolled buffer handling in src/core/ outside wire.cc.
+// Two seeded wire-buffer-hygiene violations: a raw new[] and a memcpy.
+#include <cstdint>
+#include <cstring>
+
+uint8_t* CopyFrame(const uint8_t* data, unsigned size) {
+  uint8_t* buffer = new uint8_t[size];  // Seeded violation: raw new[].
+  std::memcpy(buffer, data, size);      // Seeded violation: memcpy.
+  return buffer;
+}

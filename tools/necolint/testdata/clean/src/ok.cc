@@ -1,0 +1,15 @@
+// Fixture: a file every rule accepts — the lint must exit 0 on this root.
+#include <fcntl.h>
+#include <string>
+#include <vector>
+
+// Mentions that must not fire: strerror, ::pipe(, fsync, memcpy, new[]
+// all live in comments or string literals only.
+const char* kDoc = "call strerror via SafeStrerror; never ::pipe( or fsync";
+
+std::vector<unsigned char> MakeBuffer(unsigned size) {
+  std::vector<unsigned char> buffer(size);
+  const int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  buffer[0] = fd >= 0 ? 1 : 0;
+  return buffer;
+}

@@ -1,0 +1,23 @@
+// Fixture: descriptor creation without close-on-exec. Four seeded
+// fd-cloexec violations (::pipe, bare ::open, bare ::socket, ::dup) and
+// two compliant calls that must NOT fire.
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+int MakeFds() {
+  int fds[2];
+  if (::pipe(fds) != 0) {  // Seeded violation: banned call.
+    return -1;
+  }
+  const int plain = ::open("/dev/null", O_RDONLY);  // Seeded violation.
+  const int sock =
+      ::socket(AF_INET, SOCK_STREAM, 0);  // Seeded violation.
+  const int copy = ::dup(plain);          // Seeded violation.
+
+  // Compliant: flag named in the same statement, even across lines.
+  const int good_open = ::open("/dev/null",
+                               O_RDONLY | O_CLOEXEC);
+  const int good_sock = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  return fds[0] + plain + sock + copy + good_open + good_sock;
+}

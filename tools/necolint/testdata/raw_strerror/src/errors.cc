@@ -1,0 +1,18 @@
+// Fixture: a raw strerror call (flagged) amid the exempt spellings.
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+std::string Fine(int err) {
+  char buf[256];
+  // strerror_r is the thread-safe primitive: exempt.
+  if (::strerror_r(err, buf, sizeof(buf)) != 0) {
+    buf[0] = '\0';
+  }
+  return buf;
+}
+
+// A comment mentioning strerror( must not fire either.
+std::string Bad(int err) {
+  return std::strerror(err);  // Seeded violation: raw-strerror.
+}

@@ -1,0 +1,7 @@
+// Fixture: an fsync outside src/core/state/commit.cc — durable-state
+// logic leaking out of the commit primitive.
+#include <unistd.h>
+
+bool Flush(int fd) {
+  return ::fsync(fd) == 0;  // Seeded violation: fsync-outside-commit.
+}

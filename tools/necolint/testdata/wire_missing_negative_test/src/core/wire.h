@@ -1,0 +1,19 @@
+// Fixture: two codecs, only one with rejection coverage. The lint must
+// flag UncoveredRecord and accept CoveredRecord.
+#ifndef FIXTURE_WIRE_H_
+#define FIXTURE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+struct CoveredRecord {
+  uint64_t value = 0;
+};
+struct UncoveredRecord {
+  uint64_t value = 0;
+};
+
+bool Decode(const uint8_t* data, size_t size, CoveredRecord* out);
+bool Decode(const uint8_t* data, size_t size, UncoveredRecord* out);
+
+#endif  // FIXTURE_WIRE_H_

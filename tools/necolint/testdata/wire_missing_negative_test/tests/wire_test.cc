@@ -1,0 +1,15 @@
+// Fixture test file: CoveredRecord has a truncation test; UncoveredRecord
+// only round-trips (the gap the lint exists to catch).
+#include "src/core/wire.h"
+
+#define TEST(suite, name) void suite##_##name()
+
+TEST(WireTest, CoveredRecordEveryTruncationIsRejected) {
+  CoveredRecord out;
+  Decode(nullptr, 0, &out);
+}
+
+TEST(WireTest, UncoveredRecordRoundTripIsIdentity) {
+  UncoveredRecord out;
+  Decode(nullptr, 0, &out);
+}
