@@ -1,10 +1,12 @@
 // Shared helpers for the paper-reproduction benches: iteration-to-hours
 // mapping, multi-seed medians with 95% confidence intervals (the Klees et
-// al. methodology the paper follows), and table formatting.
+// al. methodology the paper follows), table formatting, common flag
+// parsing, and machine-readable JSON output.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,6 +60,91 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   PrintRule();
 }
+
+// --- Common flags --------------------------------------------------------
+
+// Every bench supports `--smoke`: a budget shrunk enough for CI to
+// exercise the full code path in seconds (necolint enforces the flag's
+// presence in each bench).
+inline bool ParseSmokeFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// `--json=PATH` for benches that emit a machine-readable result file;
+// empty when absent.
+inline std::string ParseJsonPathFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return std::string(argv[i] + 7);
+    }
+  }
+  return std::string();
+}
+
+// --- Machine-readable bench output (schema_version 1) --------------------
+//
+// The shape CI diffs against a checked-in baseline (BENCH_hotpath.json,
+// validated by tools/check_bench_json.py):
+//
+//   {"bench": "<name>", "schema_version": 1, "smoke": <bool>,
+//    "metrics": [{"name": "...", "unit": "...", "value": <number>}, ...]}
+//
+// Metric names must not depend on the budget: a smoke run must produce
+// the same metric set as the full run the baseline was captured from.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, bool smoke)
+      : bench_(std::move(bench)), smoke_(smoke) {}
+
+  void Metric(std::string name, std::string unit, double value) {
+    metrics_.push_back({std::move(name), std::move(unit), value});
+  }
+
+  std::string Dump() const {
+    std::string out = "{\"bench\": \"" + bench_ +
+                      "\", \"schema_version\": 1, \"smoke\": ";
+    out += smoke_ ? "true" : "false";
+    out += ", \"metrics\": [";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.6g", metrics_[i].value);
+      if (i != 0) {
+        out += ", ";
+      }
+      out += "{\"name\": \"" + metrics_[i].name + "\", \"unit\": \"" +
+             metrics_[i].unit + "\", \"value\": " + value + "}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    const std::string text = Dump();
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return (std::fclose(f) == 0) && wrote;
+  }
+
+ private:
+  struct MetricRow {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  std::string bench_;
+  bool smoke_;
+  std::vector<MetricRow> metrics_;
+};
 
 }  // namespace neco
 

@@ -12,7 +12,7 @@ namespace neco {
 namespace {
 
 constexpr int kSamples = 16;
-const uint64_t kBudget = HoursToIters(48);
+uint64_t g_budget = HoursToIters(48);
 
 void PrintSeries(const char* name, const std::vector<CoverageSample>& series,
                  uint64_t budget) {
@@ -39,7 +39,7 @@ void RunArch(Arch arch) {
   std::printf("\n(%s) time axis: %d samples over the 48h-equivalent "
               "budget (%llu iterations)\n",
               std::string(ArchName(arch)).c_str(), kSamples,
-              static_cast<unsigned long long>(kBudget));
+              static_cast<unsigned long long>(g_budget));
   std::printf("  %-10s", "hours:");
   for (int i = 1; i <= kSamples; ++i) {
     std::printf(" %5.1f", 48.0 * i / kSamples);
@@ -49,19 +49,19 @@ void RunArch(Arch arch) {
   SimKvm kvm;
   CampaignOptions options;
   options.arch = arch;
-  options.iterations = kBudget;
+  options.iterations = g_budget;
   options.samples = kSamples;
   options.seed = 1;
   const CampaignResult neco = CampaignEngine(kvm, options).Run().merged;
-  PrintSeries("NecoFuzz", neco.series, kBudget);
+  PrintSeries("NecoFuzz", neco.series, g_budget);
 
   SyzkallerSim syzkaller(1);
-  const BaselineResult syz = syzkaller.Run(kvm, arch, kBudget, kSamples);
-  PrintSeries("Syzkaller", syz.series, kBudget);
+  const BaselineResult syz = syzkaller.Run(kvm, arch, g_budget, kSamples);
+  PrintSeries("Syzkaller", syz.series, g_budget);
 
   if (arch == Arch::kIntel) {
     IrisSim iris(1);
-    const BaselineResult iris_result = iris.Run(kvm, arch, kBudget, 4);
+    const BaselineResult iris_result = iris.Run(kvm, arch, g_budget, 4);
     std::printf("  %-10s %5.1f (saturates immediately; terminated after "
                 "%llu of %llu iterations)\n",
                 "IRIS", iris_result.final_percent,
@@ -69,7 +69,7 @@ void RunArch(Arch arch) {
                     iris_result.series.empty()
                         ? 0
                         : iris_result.series.back().iteration),
-                static_cast<unsigned long long>(kBudget));
+                static_cast<unsigned long long>(g_budget));
   }
 
   std::printf("\n");
@@ -80,7 +80,12 @@ void RunArch(Arch arch) {
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
+  if (neco::ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink the budget so the bench exercises the full code
+    // path in seconds rather than reproducing the paper's time axis.
+    neco::g_budget = neco::HoursToIters(1);
+  }
   neco::PrintHeader(
       "Figure 3 — coverage transition over 48 hours (nested-virt code)\n"
       "(paper shape: NecoFuzz ramps ~70->84.7% on Intel, ~65->74.2% on "

@@ -25,7 +25,7 @@
 namespace neco {
 namespace {
 
-constexpr int kRepetitions = 10000;
+int g_repetitions = 10000;
 
 void PrintDistribution(const char* name, const RunningStats& stats,
                        const std::vector<double>& values) {
@@ -61,8 +61,13 @@ void PrintDistribution(const char* name, const RunningStats& stats,
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
   using namespace neco;
+  if (ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): enough repetitions to exercise every distribution, not
+    // enough to reproduce the paper's statistics.
+    g_repetitions = 200;
+  }
   PrintHeader(
       "Figure 5 — distribution of VM-state Hamming distances\n"
       "(10,000 repetitions over the 165-field / 8,000-bit VMCS layout)");
@@ -78,7 +83,7 @@ int main() {
   std::vector<double> random_vals, default_vals, inter_vals;
   std::vector<uint8_t> previous;
 
-  for (int i = 0; i < kRepetitions; ++i) {
+  for (int i = 0; i < g_repetitions; ++i) {
     std::vector<uint8_t> raw_image(Vmcs::BitImageSize());
     for (auto& b : raw_image) {
       b = static_cast<uint8_t>(rng.Next());

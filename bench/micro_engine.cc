@@ -5,6 +5,9 @@
 // table.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/core/necofuzz.h"
 
 namespace neco {
@@ -125,4 +128,30 @@ BENCHMARK(BM_VmcsBitImageRoundTrip);
 }  // namespace
 }  // namespace neco
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): google-benchmark rejects flags it does not know,
+// and every bench in this repo must accept --smoke (enforced by
+// necolint's bench-smoke rule). Strip the flag and substitute a tiny
+// measurement time so CI exercises every benchmark in seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) {
+    args.push_back(min_time);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,11 +24,13 @@
 //    the pipeline counters move.
 //
 // `--smoke` shrinks the budget and sweep so CI can exercise the pipeline
-// path under optimization in seconds.
+// path under optimization in seconds. `--json=PATH` writes the
+// schema_version-1 result file (same shape as bench/hot_path's).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -39,6 +41,7 @@ namespace {
 
 uint64_t g_budget = 20000;
 ShardMode g_shard_mode = ShardMode::kThreads;
+BenchJson* g_json = nullptr;
 
 CampaignOptions BaseOptions(int workers, bool coverage_guidance) {
   CampaignOptions options;
@@ -84,6 +87,16 @@ void RunAt(int workers, bool coverage_guidance) {
       static_cast<unsigned long long>(result.corpus_imports),
       static_cast<double>(TransportWireBytes(result)) / 1024.0,
       result.transport.max_queue_depth, TransportWaitSeconds(result));
+  if (g_json != nullptr) {
+    const std::string suffix =
+        std::string(coverage_guidance ? "_guided_w" : "_bf_w") +
+        std::to_string(workers);
+    g_json->Metric("iters_per_sec" + suffix, "iters/s",
+                   secs > 0 ? static_cast<double>(g_budget) / secs : 0.0);
+    g_json->Metric("coverage" + suffix, "%", result.merged.final_percent);
+    g_json->Metric("wire_kb" + suffix, "KiB",
+                   static_cast<double>(TransportWireBytes(result)) / 1024.0);
+  }
 }
 
 void RunSection(const char* title, bool coverage_guidance,
@@ -116,6 +129,12 @@ void RunMergeBatch(int workers, int merge_batch) {
       static_cast<double>(TransportWireBytes(result)) / 1024.0,
       t.max_queue_depth, t.avg_queue_depth, t.publish_wait_seconds,
       result.pipeline.feedback_wait_seconds, result.merged.final_percent);
+  if (g_json != nullptr) {
+    const std::string suffix = "_batch" + std::to_string(merge_batch);
+    g_json->Metric("coverage" + suffix, "%", result.merged.final_percent);
+    g_json->Metric("wire_kb" + suffix, "KiB",
+                   static_cast<double>(TransportWireBytes(result)) / 1024.0);
+  }
 }
 
 void RunMergeBatchSection(int workers, const std::vector<int>& batches) {
@@ -140,9 +159,12 @@ int main(int argc, char** argv) {
     return code;
   }
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--transport=process") == 0) {
       neco::g_shard_mode = neco::ShardMode::kProcesses;
     } else if (std::strcmp(argv[i], "--transport=socket") == 0) {
@@ -150,12 +172,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
       neco::g_shard_mode = neco::ShardMode::kThreads;
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--smoke] [--transport={inproc,process,socket}]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json=PATH] "
+                   "[--transport={inproc,process,socket}]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  neco::BenchJson json("parallel_scaling", smoke);
+  if (!json_path.empty()) {
+    neco::g_json = &json;
   }
   if (smoke) {
     neco::g_budget = 2000;
@@ -183,5 +209,12 @@ int main(int argc, char** argv) {
                    workers);
   neco::RunMergeBatchSection(4, smoke ? std::vector<int>{1, 8}
                                       : std::vector<int>{1, 8, 32});
+  if (!json_path.empty()) {
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -17,8 +17,8 @@
 namespace neco {
 namespace {
 
-constexpr int kRuns = 5;
-const uint64_t kBudget = HoursToIters(48);
+int g_runs = 5;
+uint64_t g_budget = HoursToIters(48);
 
 struct ToolRow {
   std::string name;
@@ -59,10 +59,10 @@ void RunArch(Arch arch) {
   ToolRow neco;
   neco.name = "NecoFuzz";
   {
-    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+    const MultiRunStats stats = MedianOverRuns(g_runs, [&](uint64_t seed) {
       CampaignOptions options;
       options.arch = arch;
-      options.iterations = kBudget;
+      options.iterations = g_budget;
       options.samples = 4;
       options.seed = seed;
       const CampaignResult result =
@@ -82,9 +82,9 @@ void RunArch(Arch arch) {
   ToolRow syz;
   syz.name = "Syzkaller";
   {
-    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+    const MultiRunStats stats = MedianOverRuns(g_runs, [&](uint64_t seed) {
       SyzkallerSim tool(seed);
-      const BaselineResult result = tool.Run(kvm, arch, kBudget, 4);
+      const BaselineResult result = tool.Run(kvm, arch, g_budget, 4);
       if (seed == 1) {
         syz.covered_set = result.covered_set;
         syz.lines = result.covered_points;
@@ -101,7 +101,7 @@ void RunArch(Arch arch) {
   iris.name = "IRIS";
   if (arch == Arch::kIntel) {
     IrisSim tool(3);
-    const BaselineResult result = tool.Run(kvm, arch, kBudget, 4);
+    const BaselineResult result = tool.Run(kvm, arch, g_budget, 4);
     iris.median_pct = iris.ci_low = iris.ci_high = result.final_percent;
     iris.lines = result.covered_points;
     iris.covered_set = result.covered_set;
@@ -174,7 +174,14 @@ void RunArch(Arch arch) {
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
+  if (neco::ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink runs and budget so the bench exercises the full
+    // code path in seconds rather than reproducing the paper's medians.
+    neco::g_runs = 2;
+    neco::g_budget = neco::HoursToIters(1);
+  }
+
   neco::PrintHeader(
       "Table 2 — KVM coverage of nested-virtualization-specific code\n"
       "(median of 5 runs at the 48h-equivalent budget; paper: NecoFuzz "

@@ -16,9 +16,9 @@
 namespace neco {
 namespace {
 
-constexpr int kRuns = 5;
+int g_runs = 5;
 constexpr int kSamples = 8;
-const uint64_t kBudget = HoursToIters(24);
+uint64_t g_budget = HoursToIters(24);
 
 struct Mode {
   const char* name;
@@ -43,10 +43,10 @@ void RunArch(Arch arch) {
   double with_all = 0.0;
   for (const Mode& mode : kModes) {
     std::vector<CoverageSample> series;
-    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+    const MultiRunStats stats = MedianOverRuns(g_runs, [&](uint64_t seed) {
       CampaignOptions options;
       options.arch = arch;
-      options.iterations = kBudget;
+      options.iterations = g_budget;
       options.samples = kSamples;
       options.seed = seed;
       options.agent.use_harness = mode.harness;
@@ -76,7 +76,14 @@ void RunArch(Arch arch) {
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
+  if (neco::ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink runs and budget so the bench exercises the full
+    // code path in seconds rather than reproducing the paper's medians.
+    neco::g_runs = 2;
+    neco::g_budget = neco::HoursToIters(1);
+  }
+
   neco::PrintHeader(
       "Table 3 / Figure 4 — component ablation at the 24h-equivalent "
       "budget\n(median of 5 runs; every component must contribute: paper "

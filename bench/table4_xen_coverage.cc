@@ -13,8 +13,8 @@
 namespace neco {
 namespace {
 
-constexpr int kRuns = 5;
-const uint64_t kBudget = HoursToIters(24);
+int g_runs = 5;
+uint64_t g_budget = HoursToIters(24);
 
 void RunArch(Arch arch) {
   SimXen xen;
@@ -25,10 +25,10 @@ void RunArch(Arch arch) {
 
   std::vector<size_t> neco_set;
   size_t neco_lines = 0;
-  const MultiRunStats neco = MedianOverRuns(kRuns, [&](uint64_t seed) {
+  const MultiRunStats neco = MedianOverRuns(g_runs, [&](uint64_t seed) {
     CampaignOptions options;
     options.arch = arch;
-    options.iterations = kBudget;
+    options.iterations = g_budget;
     options.samples = 4;
     options.seed = seed;
     const CampaignResult result = CampaignEngine(xen, options).Run().merged;
@@ -66,7 +66,14 @@ void RunArch(Arch arch) {
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
+  if (neco::ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink runs and budget so the bench exercises the full
+    // code path in seconds rather than reproducing the paper's medians.
+    neco::g_runs = 2;
+    neco::g_budget = neco::HoursToIters(1);
+  }
+
   neco::PrintHeader(
       "Table 4 — Xen coverage of nested-virtualization-specific code (24h "
       "budget)\n(paper: NecoFuzz 83.4%/79.0% vs XTF 20.4%/10.8%)");

@@ -15,18 +15,18 @@
 namespace neco {
 namespace {
 
-constexpr int kRuns = 5;
-const uint64_t kBudget = HoursToIters(48);
+int g_runs = 5;
+uint64_t g_budget = HoursToIters(48);
 
 void RunArch(Arch arch) {
   SimKvm kvm;
   std::printf("\n[%s]\n", std::string(ArchName(arch)).c_str());
   double breadth_first = 0.0;
   for (const bool guidance : {false, true}) {
-    const MultiRunStats stats = MedianOverRuns(kRuns, [&](uint64_t seed) {
+    const MultiRunStats stats = MedianOverRuns(g_runs, [&](uint64_t seed) {
       CampaignOptions options;
       options.arch = arch;
-      options.iterations = kBudget;
+      options.iterations = g_budget;
       options.samples = 2;
       options.seed = seed;
       options.fuzzer.coverage_guidance = guidance;
@@ -48,7 +48,14 @@ void RunArch(Arch arch) {
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
+  if (neco::ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink runs and budget so the bench exercises the full
+    // code path in seconds rather than reproducing the paper's medians.
+    neco::g_runs = 2;
+    neco::g_budget = neco::HoursToIters(1);
+  }
+
   neco::PrintHeader(
       "Table 5 — effect of coverage guidance in NecoFuzz (48h budget)\n"
       "(paper: w/o 84.7%/74.2%, with 81.7%/71.8%; the boundary-oriented\n"

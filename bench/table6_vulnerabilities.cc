@@ -12,7 +12,7 @@
 namespace neco {
 namespace {
 
-const uint64_t kBudget = HoursToIters(36);
+uint64_t g_budget = HoursToIters(36);
 
 struct PaperRow {
   int number;
@@ -46,7 +46,7 @@ void Collect(Hypervisor& target, Arch arch,
              uint64_t& executions) {
   CampaignOptions options;
   options.arch = arch;
-  options.iterations = kBudget;
+  options.iterations = g_budget;
   options.samples = 2;
   options.seed = 1;
   const CampaignResult result = CampaignEngine(target, options).Run().merged;
@@ -59,8 +59,13 @@ void Collect(Hypervisor& target, Arch arch,
 }  // namespace
 }  // namespace neco
 
-int main() {
+int main(int argc, char** argv) {
   using namespace neco;
+  if (ParseSmokeFlag(argc, argv)) {
+    // --smoke (CI): shrink the budget so the bench exercises the full code
+    // path in seconds rather than reproducing the paper's campaigns.
+    g_budget = HoursToIters(1);
+  }
   PrintHeader(
       "Table 6 — newly discovered vulnerabilities in nested "
       "virtualization\n(full NecoFuzz campaigns against sim-KVM, sim-Xen "

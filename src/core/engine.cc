@@ -159,7 +159,6 @@ bool RunShardEpochs(
     delta.iterations = fuzzer_delta.iterations;
     delta.imported = imported;
     delta.virgin = std::move(fuzzer_delta.virgin);
-    delta.queue_entries = std::move(fuzzer_delta.queue_entries);
     for (auto& [id, input] : fuzzer_delta.crashes) {
       delta.crash_ids.push_back(std::move(id));
       delta.crash_inputs.push_back(std::move(input));
@@ -171,7 +170,11 @@ bool RunShardEpochs(
         delta.findings.push_back(report);
       }
     }
-    if (!publish(wire::Encode(delta))) {
+    // Queue entries are serialized straight out of the fuzzer's corpus
+    // (fuzzer_delta holds pointers, valid until the fuzzer's next Run);
+    // delta.queue_entries stays empty — the bytes exist once, in the
+    // corpus and then in the frame.
+    if (!publish(wire::Encode(delta, fuzzer_delta.queue_entries))) {
       return false;
     }
   }

@@ -291,6 +291,9 @@ void MergePipeline::BuildFeedbackLocked(size_t through_epoch, int worker,
   // The pool boundary recorded at `through_epoch` keeps the answer
   // identical however far ahead the drainer has folded by now.
   const size_t pool_end = feedback_[through_epoch].pool_end;
+  // Upper bound (the worker's own entries are filtered out below); one
+  // allocation instead of growth doubling across a large catch-up span.
+  out->pool_entries.reserve(pool_end - cursor.pool);
   for (size_t i = cursor.pool; i < pool_end; ++i) {
     if (pool_[i].origin != worker) {
       out->pool_entries.push_back(pool_[i].input);

@@ -9,20 +9,47 @@ namespace {
 constexpr size_t kHeaderSize = kFrameHeaderSize;
 
 // --- Little-endian writer ------------------------------------------------
+//
+// Encoding is two-pass: every payload is a generic lambda run first
+// against a Sizer (which only accumulates the byte count) and then
+// against a Writer over an exactly-sized buffer. One pass of arithmetic
+// buys a single allocation per record with capacity == size — no
+// push_back growth doubling, no over-reserve slack riding along a pipe
+// write — and the shared lambda makes the two passes impossible to
+// desynchronize.
 
+// Pass 1: same method surface as Writer, accumulates the payload size.
+class Sizer {
+ public:
+  void U8(uint8_t) { size_ += 1; }
+  void U32(uint32_t) { size_ += 4; }
+  void U64(uint64_t) { size_ += 8; }
+  void I32(int) { size_ += 4; }
+  void F64(double) { size_ += 8; }
+  void Str(const std::string& s) { size_ += 4 + s.size(); }
+  void Bytes(const std::vector<uint8_t>& b) { size_ += 4 + b.size(); }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+};
+
+// Pass 2: indexed writes into the pre-sized buffer; bulk payloads go
+// through one memcpy instead of a per-byte loop.
 class Writer {
  public:
-  explicit Writer(Buffer& out) : out_(out) {}
+  Writer(Buffer& out, size_t pos) : out_(out), pos_(pos) {}
 
-  void U8(uint8_t v) { out_.push_back(v); }
+  void U8(uint8_t v) { out_[pos_++] = v; }
   void U32(uint32_t v) {
     for (int i = 0; i < 4; ++i) {
-      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      out_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
     }
   }
   void U64(uint64_t v) {
     for (int i = 0; i < 8; ++i) {
-      out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      out_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
     }
   }
   void I32(int v) { U32(static_cast<uint32_t>(v)); }
@@ -34,31 +61,42 @@ class Writer {
   }
   void Str(const std::string& s) {
     U32(static_cast<uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
+    Append(s.data(), s.size());
   }
   void Bytes(const std::vector<uint8_t>& b) {
     U32(static_cast<uint32_t>(b.size()));
-    out_.insert(out_.end(), b.begin(), b.end());
+    Append(b.data(), b.size());
   }
 
  private:
+  void Append(const void* data, size_t n) {
+    if (n != 0) {
+      std::memcpy(out_.data() + pos_, data, n);
+      pos_ += n;
+    }
+  }
+
   Buffer& out_;
+  size_t pos_;
 };
 
-// Frames one record: reserves the header, runs `payload`, then patches the
-// length field with what the payload actually wrote.
+// Frames one record: sizes the payload, allocates header + payload
+// exactly, writes the header (length known up front — no patching), then
+// writes the payload. `payload` must be a generic lambda ([](auto& w))
+// so the same body drives both passes.
 template <typename PayloadFn>
 Buffer Frame(RecordType type, PayloadFn&& payload) {
-  Buffer out(kHeaderSize, 0);
-  out.reserve(64);
+  Sizer sizer;
+  payload(sizer);
+  const size_t length = sizer.size();
+  Buffer out(kHeaderSize + length);
   out[0] = static_cast<uint8_t>(type);
   out[1] = kVersion;
-  Writer writer(out);
-  payload(writer);
-  const uint32_t length = static_cast<uint32_t>(out.size() - kHeaderSize);
   for (int i = 0; i < 4; ++i) {
     out[2 + static_cast<size_t>(i)] = static_cast<uint8_t>(length >> (8 * i));
   }
+  Writer writer(out, kHeaderSize);
+  payload(writer);
   return out;
 }
 
@@ -164,7 +202,8 @@ Reader OpenFrame(const uint8_t* data, size_t size, RecordType expected) {
 
 // --- Shared payload pieces -----------------------------------------------
 
-void WriteReport(Writer& w, const AnomalyReport& report) {
+template <typename W>
+void WriteReport(W& w, const AnomalyReport& report) {
   w.U8(static_cast<uint8_t>(report.kind));
   w.Str(report.bug_id);
   w.Str(report.message);
@@ -183,8 +222,14 @@ bool ReadReport(Reader& r, AnomalyReport* out) {
 
 }  // namespace
 
-Buffer Encode(const ShardDelta& record) {
-  return Frame(RecordType::kShardDelta, [&](Writer& w) {
+namespace {
+
+// Shared ShardDelta payload; `queue` writes the queue-entry section
+// (count + entries), so the owning and referencing Encode overloads
+// produce byte-identical frames from the same body.
+template <typename QueueFn>
+Buffer EncodeShardDeltaWith(const ShardDelta& record, QueueFn&& queue) {
+  return Frame(RecordType::kShardDelta, [&](auto& w) {
     w.I32(record.worker);
     w.U64(record.epoch);
     w.U64(record.iterations);
@@ -198,10 +243,7 @@ Buffer Encode(const ShardDelta& record) {
     for (uint32_t point : record.covered_points) {
       w.U32(point);
     }
-    w.U32(static_cast<uint32_t>(record.queue_entries.size()));
-    for (const FuzzInput& input : record.queue_entries) {
-      w.Bytes(input);
-    }
+    queue(w);
     w.U32(static_cast<uint32_t>(record.findings.size()));
     for (const AnomalyReport& report : record.findings) {
       WriteReport(w, report);
@@ -217,6 +259,27 @@ Buffer Encode(const ShardDelta& record) {
   });
 }
 
+}  // namespace
+
+Buffer Encode(const ShardDelta& record) {
+  return EncodeShardDeltaWith(record, [&](auto& w) {
+    w.U32(static_cast<uint32_t>(record.queue_entries.size()));
+    for (const FuzzInput& input : record.queue_entries) {
+      w.Bytes(input);
+    }
+  });
+}
+
+Buffer Encode(const ShardDelta& record,
+              const std::vector<const FuzzInput*>& queue_entries) {
+  return EncodeShardDeltaWith(record, [&](auto& w) {
+    w.U32(static_cast<uint32_t>(queue_entries.size()));
+    for (const FuzzInput* input : queue_entries) {
+      w.Bytes(*input);
+    }
+  });
+}
+
 bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
   Reader r = OpenFrame(data, size, RecordType::kShardDelta);
   out->worker = r.I32();
@@ -225,7 +288,10 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
   out->imported = r.U64();
   out->virgin = {};
   const uint32_t virgin_count = r.U32();
+  // FitsCount bounds each count by the remaining payload, so the
+  // reserves below size by trusted arithmetic, not attacker bytes.
   if (!r.FitsCount(virgin_count, 5)) return false;
+  out->virgin.Reserve(virgin_count);
   for (uint32_t i = 0; i < virgin_count; ++i) {
     const uint32_t cell = r.U32();
     out->virgin.Append(cell, r.U8());
@@ -233,18 +299,21 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
   out->covered_points.clear();
   const uint32_t covered_count = r.U32();
   if (!r.FitsCount(covered_count, 4)) return false;
+  out->covered_points.reserve(covered_count);
   for (uint32_t i = 0; i < covered_count; ++i) {
     out->covered_points.push_back(r.U32());
   }
   out->queue_entries.clear();
   const uint32_t queue_count = r.U32();
   if (!r.FitsCount(queue_count, 4)) return false;
+  out->queue_entries.reserve(queue_count);
   for (uint32_t i = 0; i < queue_count; ++i) {
     out->queue_entries.push_back(r.Bytes());
   }
   out->findings.clear();
   const uint32_t finding_count = r.U32();
   if (!r.FitsCount(finding_count, 9)) return false;
+  out->findings.reserve(finding_count);
   for (uint32_t i = 0; i < finding_count; ++i) {
     AnomalyReport report;
     if (!ReadReport(r, &report)) return false;
@@ -253,6 +322,7 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
   out->crash_ids.clear();
   const uint32_t crash_count = r.U32();
   if (!r.FitsCount(crash_count, 4)) return false;
+  out->crash_ids.reserve(crash_count);
   for (uint32_t i = 0; i < crash_count; ++i) {
     out->crash_ids.push_back(r.Str());
   }
@@ -263,6 +333,7 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
   if (input_count != crash_count || !r.FitsCount(input_count, 4)) {
     return false;
   }
+  out->crash_inputs.reserve(input_count);
   for (uint32_t i = 0; i < input_count; ++i) {
     out->crash_inputs.push_back(r.Bytes());
   }
@@ -270,7 +341,7 @@ bool Decode(const uint8_t* data, size_t size, ShardDelta* out) {
 }
 
 Buffer Encode(const SampleEvent& record) {
-  return Frame(RecordType::kSample, [&](Writer& w) {
+  return Frame(RecordType::kSample, [&](auto& w) {
     w.U64(record.epoch);
     w.U64(record.iteration);
     w.F64(record.percent);
@@ -288,7 +359,7 @@ bool Decode(const uint8_t* data, size_t size, SampleEvent* out) {
 }
 
 Buffer Encode(const FindingEvent& record) {
-  return Frame(RecordType::kFinding, [&](Writer& w) {
+  return Frame(RecordType::kFinding, [&](auto& w) {
     w.U64(record.epoch);
     w.I32(record.worker);
     WriteReport(w, record.report);
@@ -304,7 +375,7 @@ bool Decode(const uint8_t* data, size_t size, FindingEvent* out) {
 }
 
 Buffer Encode(const CorpusSyncEvent& record) {
-  return Frame(RecordType::kCorpusSync, [&](Writer& w) {
+  return Frame(RecordType::kCorpusSync, [&](auto& w) {
     w.U64(record.epoch);
     w.I32(record.worker);
     w.U64(record.published);
@@ -322,7 +393,7 @@ bool Decode(const uint8_t* data, size_t size, CorpusSyncEvent* out) {
 }
 
 Buffer Encode(const ShardDoneEvent& record) {
-  return Frame(RecordType::kShardDone, [&](Writer& w) {
+  return Frame(RecordType::kShardDone, [&](auto& w) {
     w.I32(record.worker);
     w.U64(record.iterations);
     w.F64(record.final_percent);
@@ -348,7 +419,7 @@ bool Decode(const uint8_t* data, size_t size, ShardDoneEvent* out) {
 }
 
 Buffer Encode(const FinishEvent& record) {
-  return Frame(RecordType::kFinish, [&](Writer& w) {
+  return Frame(RecordType::kFinish, [&](auto& w) {
     w.I32(record.workers);
     w.U64(record.epochs);
     w.U64(record.iterations);
@@ -374,7 +445,7 @@ bool Decode(const uint8_t* data, size_t size, FinishEvent* out) {
 }
 
 Buffer Encode(const FeedbackRecord& record) {
-  return Frame(RecordType::kFeedback, [&](Writer& w) {
+  return Frame(RecordType::kFeedback, [&](auto& w) {
     w.U64(record.epoch);
     w.I32(record.worker);
     w.U32(static_cast<uint32_t>(record.pool_entries.size()));
@@ -396,12 +467,14 @@ bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out) {
   out->pool_entries.clear();
   const uint32_t pool_count = r.U32();
   if (!r.FitsCount(pool_count, 4)) return false;
+  out->pool_entries.reserve(pool_count);
   for (uint32_t i = 0; i < pool_count; ++i) {
     out->pool_entries.push_back(r.Bytes());
   }
   out->virgin = {};
   const uint32_t virgin_count = r.U32();
   if (!r.FitsCount(virgin_count, 5)) return false;
+  out->virgin.Reserve(virgin_count);
   for (uint32_t i = 0; i < virgin_count; ++i) {
     const uint32_t cell = r.U32();
     out->virgin.Append(cell, r.U8());
@@ -410,7 +483,7 @@ bool Decode(const uint8_t* data, size_t size, FeedbackRecord* out) {
 }
 
 Buffer Encode(const ShardResultRecord& record) {
-  return Frame(RecordType::kShardResult, [&](Writer& w) {
+  return Frame(RecordType::kShardResult, [&](auto& w) {
     w.I32(record.worker);
     w.F64(record.final_percent);
     w.U64(record.covered_points);
@@ -449,12 +522,14 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
   out->covered_set.clear();
   const uint32_t covered_count = r.U32();
   if (!r.FitsCount(covered_count, 4)) return false;
+  out->covered_set.reserve(covered_count);
   for (uint32_t i = 0; i < covered_count; ++i) {
     out->covered_set.push_back(r.U32());
   }
   out->findings.clear();
   const uint32_t finding_count = r.U32();
   if (!r.FitsCount(finding_count, 9)) return false;
+  out->findings.reserve(finding_count);
   for (uint32_t i = 0; i < finding_count; ++i) {
     AnomalyReport report;
     if (!ReadReport(r, &report)) return false;
@@ -469,6 +544,7 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
   out->crash_ids.clear();
   const uint32_t crash_count = r.U32();
   if (!r.FitsCount(crash_count, 4)) return false;
+  out->crash_ids.reserve(crash_count);
   for (uint32_t i = 0; i < crash_count; ++i) {
     out->crash_ids.push_back(r.Str());
   }
@@ -479,6 +555,7 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
   if (input_count != crash_count || !r.FitsCount(input_count, 4)) {
     return false;
   }
+  out->crash_inputs.reserve(input_count);
   for (uint32_t i = 0; i < input_count; ++i) {
     out->crash_inputs.push_back(r.Bytes());
   }
@@ -486,7 +563,7 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
 }
 
 Buffer Encode(const ShardChildConfigRecord& record) {
-  return Frame(RecordType::kChildConfig, [&](Writer& w) {
+  return Frame(RecordType::kChildConfig, [&](auto& w) {
     w.Str(record.target);
     w.I32(record.worker);
     w.I32(record.workers);
@@ -531,7 +608,7 @@ bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out) {
 }
 
 Buffer Encode(const ShardHelloRecord& record) {
-  return Frame(RecordType::kShardHello, [&](Writer& w) {
+  return Frame(RecordType::kShardHello, [&](auto& w) {
     w.U32(record.magic);
     w.I32(record.worker);
   });
@@ -548,7 +625,7 @@ bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out) {
 }
 
 Buffer Encode(const CampaignManifestRecord& record) {
-  return Frame(RecordType::kManifest, [&](Writer& w) {
+  return Frame(RecordType::kManifest, [&](auto& w) {
     w.U32(record.magic);
     w.U64(record.committed_epochs);
     w.U64(record.epochs);
@@ -596,7 +673,7 @@ bool Decode(const uint8_t* data, size_t size, CampaignManifestRecord* out) {
 }
 
 Buffer Encode(const EpochCommitRecord& record) {
-  return Frame(RecordType::kEpochCommit, [&](Writer& w) {
+  return Frame(RecordType::kEpochCommit, [&](auto& w) {
     w.U64(record.epoch);
     w.I32(record.workers);
     w.U64(record.checksum);
@@ -624,7 +701,7 @@ bool Decode(const uint8_t* data, size_t size, EpochCommitRecord* out) {
 }
 
 Buffer Encode(const CrashArtifactRecord& record) {
-  return Frame(RecordType::kCrashArtifact, [&](Writer& w) {
+  return Frame(RecordType::kCrashArtifact, [&](auto& w) {
     w.U64(record.seq);
     WriteReport(w, record.report);
     w.Str(record.hypervisor);

@@ -315,6 +315,14 @@ inline constexpr size_t kFrameHeaderSize = 1 + 1 + 4;
 inline constexpr size_t kMaxFramePayload = size_t{1} << 30;
 
 Buffer Encode(const ShardDelta& record);
+// Zero-copy variant for the publishing shard: the queue-entry section is
+// serialized from `queue_entries` (pointers into the fuzzer's corpus —
+// see FuzzerDelta::queue_entries for the lifetime rule) and
+// `record.queue_entries` is ignored, so exporting discoveries never
+// copies input bytes before they hit the wire. Produces a frame
+// byte-identical to Encode() of a record owning the same entries.
+Buffer Encode(const ShardDelta& record,
+              const std::vector<const FuzzInput*>& queue_entries);
 Buffer Encode(const SampleEvent& record);
 Buffer Encode(const FindingEvent& record);
 Buffer Encode(const CorpusSyncEvent& record);

@@ -1,0 +1,88 @@
+#include "src/fuzz/bitmap.h"
+
+namespace neco {
+namespace {
+
+// The classic AFL count_class_lookup16: buckets two cells per table
+// lookup. Index and value are a (low byte, high byte) cell pair, so the
+// mapping is position-preserving for any byte order — composing four
+// lookups rebuilds the word with every cell bucketed in place.
+const std::array<uint16_t, 65536>& ClassifyLookup16() {
+  static const std::array<uint16_t, 65536> table = [] {
+    std::array<uint16_t, 65536> t{};
+    for (uint32_t hi = 0; hi < 256; ++hi) {
+      const uint16_t hi_bucket =
+          static_cast<uint16_t>(CoverageBitmap::Bucket(
+              static_cast<uint8_t>(hi)))
+          << 8;
+      for (uint32_t lo = 0; lo < 256; ++lo) {
+        t[(hi << 8) | lo] = static_cast<uint16_t>(
+            hi_bucket | CoverageBitmap::Bucket(static_cast<uint8_t>(lo)));
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint64_t ClassifyWord(uint64_t v) {
+  const std::array<uint16_t, 65536>& lut = ClassifyLookup16();
+  return static_cast<uint64_t>(lut[v & 0xffff]) |
+         static_cast<uint64_t>(lut[(v >> 16) & 0xffff]) << 16 |
+         static_cast<uint64_t>(lut[(v >> 32) & 0xffff]) << 32 |
+         static_cast<uint64_t>(lut[(v >> 48) & 0xffff]) << 48;
+}
+
+}  // namespace
+
+void CoverageBitmap::ClassifyCounts() {
+  for (size_t w = 0; w < kWords; ++w) {
+    const uint64_t v = LoadWord(w);
+    if (v == 0) {
+      continue;
+    }
+    StoreWord(w, ClassifyWord(v));
+  }
+}
+
+int CoverageBitmap::MergeWordCells(size_t w, CoverageBitmap& virgin,
+                                   int ret) const {
+  for (size_t i = w * kCellsPerWord; i < (w + 1) * kCellsPerWord; ++i) {
+    const uint8_t cur = map_[i];
+    if (cur == 0) {
+      continue;
+    }
+    uint8_t& v = virgin.map_[i];
+    if ((cur & ~v) != 0) {
+      if (v == 0) {
+        ret = 2;
+      } else if (ret < 1) {
+        ret = 1;
+      }
+      v |= cur;
+    }
+  }
+  return ret;
+}
+
+void SparseTrace::ClassifyCounts() {
+  // A touched word always carries a count (Add bumps a cell from zero or
+  // holds it at 255), so no zero-skip is needed here.
+  for (const uint32_t w : touched_) {
+    map_.StoreWord(w, ClassifyWord(map_.LoadWord(w)));
+  }
+}
+
+int SparseTrace::MergeInto(CoverageBitmap& virgin) const {
+  int ret = 0;
+  for (const uint32_t w : touched_) {
+    const uint64_t cur = map_.LoadWord(w);
+    if ((cur & ~virgin.LoadWord(w)) == 0) {
+      continue;
+    }
+    ret = map_.MergeWordCells(w, virgin, ret);
+  }
+  return ret;
+}
+
+}  // namespace neco

@@ -47,12 +47,12 @@ void Fuzzer::Run(uint64_t iterations) {
     const ExecFeedback feedback = executor_(input);
     ++iterations_;
 
-    CoverageBitmap trace;
+    trace_.Clear();
     for (uint32_t edge : feedback.edges) {
-      trace.Add(edge);
+      trace_.Add(edge);
     }
-    trace.ClassifyCounts();
-    const int novelty = trace.MergeInto(virgin_);
+    trace_.ClassifyCounts();
+    const int novelty = trace_.MergeInto(virgin_);
 
     if (options_.coverage_guidance && novelty == 2) {
       queue_hashes_.insert(HashInput(input));
@@ -68,8 +68,11 @@ void Fuzzer::Run(uint64_t iterations) {
 FuzzerDelta Fuzzer::ExportDelta() {
   FuzzerDelta delta;
   delta.virgin = virgin_.ExtractDeltaSince(virgin_exported_);
+  delta.queue_entries.reserve(corpus_.size() - export_cursor_);
   for (size_t i = export_cursor_; i < corpus_.size(); ++i) {
-    delta.queue_entries.push_back(corpus_.at(i).input);
+    // The input stays owned by the corpus; the caller serializes through
+    // the pointer (see FuzzerDelta::queue_entries for the lifetime rule).
+    delta.queue_entries.push_back(&corpus_.at(i).input);
   }
   export_cursor_ = corpus_.size();
   delta.iterations = iterations_ - iterations_exported_;

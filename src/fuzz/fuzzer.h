@@ -57,9 +57,14 @@ struct FuzzerStats {
 // first through ExecFeedback, so the agent's findings map — not the
 // crash list — is the complete per-shard set).
 struct FuzzerDelta {
-  BitmapDelta virgin;                    // Edges newly seen.
-  std::vector<FuzzInput> queue_entries;  // Discoveries past the cursor.
-  uint64_t iterations = 0;               // Executions spent.
+  BitmapDelta virgin;  // Edges newly seen.
+  // Discoveries past the export cursor, as pointers into the fuzzer's
+  // corpus — the entries are only serialized (wire::Encode(ShardDelta,
+  // queue_entries) references them), so exporting does not copy 2 KiB
+  // per entry. Valid until the corpus next grows (the fuzzer's next
+  // Run or ImportCorpusEntry call).
+  std::vector<const FuzzInput*> queue_entries;
+  uint64_t iterations = 0;  // Executions spent.
   // Crash reproduction pairs discovered since the previous export, in
   // discovery order — what lets a journaling campaign commit crash
   // artifacts with the epoch that found them.
@@ -126,6 +131,9 @@ class Fuzzer {
   Executor executor_;
   Mutator mutator_;
   Corpus corpus_;
+  // Per-exec trace accumulator, reused across executions so the classify
+  // + merge + reset cycle is O(trace), not O(64 KiB bitmap).
+  SparseTrace trace_;
   // Content hashes of every queued input (own discoveries and imports),
   // the dedup guard for cross-shard imports.
   std::unordered_set<uint64_t> queue_hashes_;

@@ -1,6 +1,7 @@
 #include "src/hv/coverage.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace neco {
 
@@ -15,6 +16,40 @@ std::vector<size_t> CoverageUnit::CoveredSet() const {
 }
 
 std::vector<uint32_t> CoverageUnit::ExtractDeltaSince(
+    std::vector<uint8_t>& snapshot) const {
+  snapshot.resize(hits_.size(), 0);
+  std::vector<uint32_t> delta;
+  const size_t n = hits_.size();
+  size_t i = 0;
+  // Full 8-byte chunks: one load pair and one compare skips a chunk with
+  // nothing new. The memcpy loads are unaligned-safe; the loop bound
+  // guarantees both reads stay inside the vectors (no word read past the
+  // tail), and the remainder below finishes byte-wise.
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t hit_word;
+    uint64_t seen_word;
+    std::memcpy(&hit_word, hits_.data() + i, sizeof(hit_word));
+    std::memcpy(&seen_word, snapshot.data() + i, sizeof(seen_word));
+    if ((hit_word & ~seen_word) == 0) {
+      continue;
+    }
+    for (size_t j = i; j < i + sizeof(uint64_t); ++j) {
+      if (hits_[j] != 0 && snapshot[j] == 0) {
+        delta.push_back(static_cast<uint32_t>(j));
+        snapshot[j] = 1;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (hits_[i] != 0 && snapshot[i] == 0) {
+      delta.push_back(static_cast<uint32_t>(i));
+      snapshot[i] = 1;
+    }
+  }
+  return delta;
+}
+
+std::vector<uint32_t> CoverageUnit::ExtractDeltaSinceScalar(
     std::vector<uint8_t>& snapshot) const {
   snapshot.resize(hits_.size(), 0);
   std::vector<uint32_t> delta;

@@ -71,7 +71,15 @@ class CoverageUnit {
   // disjoint deltas. The covered-set half of the shard-delta protocol
   // (src/core/wire.h): shipping these instead of the whole hits vector
   // keeps per-epoch merge records proportional to actual progress.
+  // Word-at-a-time: 8 hit bytes are compared against the snapshot per
+  // load (unaligned-safe, tail handled byte-wise), so the per-epoch scan
+  // is one compare per 8 points once coverage saturates.
   std::vector<uint32_t> ExtractDeltaSince(std::vector<uint8_t>& snapshot) const;
+
+  // Byte-at-a-time reference implementation of ExtractDeltaSince, kept
+  // for the randomized equivalence tests (tests/bitmap_test.cc).
+  std::vector<uint32_t> ExtractDeltaSinceScalar(
+      std::vector<uint8_t>& snapshot) const;
 
   // Folds a delta into a covered-set byte vector (the merge side of
   // ExtractDeltaSince), returning how many points were newly covered;

@@ -1,0 +1,263 @@
+// Equivalence tests for the word-at-a-time coverage paths: randomized
+// maps prove ClassifyCounts / MergeInto / ExtractDeltaSince (bitmap and
+// CoverageUnit) bit-identical to their scalar reference implementations,
+// SparseTrace identical to the full-bitmap per-exec path, and the AFL
+// 0/1/2 novelty semantics pinned explicitly — including 255-saturation
+// and cell-wrap edges.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fuzz/bitmap.h"
+#include "src/hv/coverage.h"
+#include "src/support/rng.h"
+
+namespace neco {
+namespace {
+
+// Sprinkles `edges` random edge ids (full uint32 range, so the modulo
+// mapping is exercised) with hit counts 1..`max_hits` into both maps.
+void FillRandom(Rng& rng, size_t edges, uint64_t max_hits,
+                CoverageBitmap* a, CoverageBitmap* b) {
+  for (size_t i = 0; i < edges; ++i) {
+    const uint32_t edge = static_cast<uint32_t>(rng.Next());
+    const uint64_t hits = rng.Between(1, max_hits);
+    for (uint64_t h = 0; h < hits; ++h) {
+      a->Add(edge);
+      if (b != nullptr) {
+        b->Add(edge);
+      }
+    }
+  }
+}
+
+void ExpectSameMap(const CoverageBitmap& a, const CoverageBitmap& b) {
+  for (size_t i = 0; i < CoverageBitmap::kSize; ++i) {
+    ASSERT_EQ(a.at(i), b.at(i)) << "cell " << i;
+  }
+}
+
+TEST(BitmapEquivalenceTest, ClassifyCountsMatchesScalar) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    CoverageBitmap word;
+    CoverageBitmap scalar;
+    // Vary density across trials; max_hits 300 drives cells into
+    // 255-saturation so the top bucket is covered.
+    FillRandom(rng, size_t{1} << (4 + trial % 10), 300, &word, &scalar);
+    word.ClassifyCounts();
+    scalar.ClassifyCountsScalar();
+    ExpectSameMap(word, scalar);
+  }
+}
+
+TEST(BitmapEquivalenceTest, ClassifyMatchesBucketForEveryCount) {
+  // One cell per possible count value, including the saturated 255.
+  CoverageBitmap map;
+  for (int count = 0; count < 256; ++count) {
+    for (int h = 0; h < count; ++h) {
+      map.Add(static_cast<uint32_t>(count));  // Cell i holds count i.
+    }
+  }
+  map.ClassifyCounts();
+  for (int count = 0; count < 256; ++count) {
+    EXPECT_EQ(map.at(static_cast<size_t>(count)),
+              CoverageBitmap::Bucket(static_cast<uint8_t>(count)))
+        << "count " << count;
+  }
+}
+
+TEST(BitmapEquivalenceTest, MergeIntoMatchesScalar) {
+  Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    CoverageBitmap trace;
+    FillRandom(rng, 64 + 32 * static_cast<size_t>(trial), 300, &trace,
+               nullptr);
+    trace.ClassifyCounts();
+    CoverageBitmap virgin_word;
+    CoverageBitmap virgin_scalar;
+    // Pre-populate the virgin maps identically so all three outcomes
+    // (new edge, new bucket, nothing) occur.
+    CoverageBitmap seen;
+    FillRandom(rng, 128, 300, &seen, nullptr);
+    seen.ClassifyCounts();
+    seen.MergeIntoScalar(virgin_word);
+    seen.MergeIntoScalar(virgin_scalar);
+
+    const int word_ret = trace.MergeInto(virgin_word);
+    const int scalar_ret = trace.MergeIntoScalar(virgin_scalar);
+    EXPECT_EQ(word_ret, scalar_ret);
+    ExpectSameMap(virgin_word, virgin_scalar);
+    // Re-merging the same trace must now report nothing new, both ways.
+    EXPECT_EQ(trace.MergeInto(virgin_word), 0);
+    EXPECT_EQ(trace.MergeIntoScalar(virgin_scalar), 0);
+  }
+}
+
+TEST(BitmapEquivalenceTest, ExtractDeltaSinceMatchesScalar) {
+  Rng rng(303);
+  for (int trial = 0; trial < 10; ++trial) {
+    CoverageBitmap map;
+    FillRandom(rng, 256, 300, &map, nullptr);
+    map.ClassifyCounts();
+    CoverageBitmap snap_word;
+    CoverageBitmap snap_scalar;
+    // Partially catch the snapshots up (identically) first.
+    CoverageBitmap earlier;
+    FillRandom(rng, 64, 300, &earlier, nullptr);
+    earlier.ClassifyCounts();
+    (void)earlier.ExtractDeltaSinceScalar(snap_word);
+    (void)earlier.ExtractDeltaSinceScalar(snap_scalar);
+
+    const BitmapDelta word = map.ExtractDeltaSince(snap_word);
+    const BitmapDelta scalar = map.ExtractDeltaSinceScalar(snap_scalar);
+    EXPECT_EQ(word.cells, scalar.cells);
+    EXPECT_EQ(word.bits, scalar.bits);
+    ExpectSameMap(snap_word, snap_scalar);
+    // Consecutive extracts are disjoint: a second pass finds nothing.
+    EXPECT_TRUE(map.ExtractDeltaSince(snap_word).empty());
+    EXPECT_TRUE(map.ExtractDeltaSinceScalar(snap_scalar).empty());
+  }
+}
+
+TEST(BitmapEquivalenceTest, ApplyDeltaReconstructsAndWraps) {
+  CoverageBitmap map;
+  map.Add(5);
+  map.Add(70000);  // Wraps modulo 64 KiB.
+  map.ClassifyCounts();
+  CoverageBitmap snapshot;
+  const BitmapDelta delta = map.ExtractDeltaSince(snapshot);
+  CoverageBitmap rebuilt;
+  rebuilt.ApplyDelta(delta);
+  ExpectSameMap(rebuilt, map);
+  // A delta cell beyond kSize folds onto the same cell as Add did.
+  BitmapDelta wrapping;
+  wrapping.Append(70000, 0x01);
+  CoverageBitmap wrapped;
+  wrapped.ApplyDelta(wrapping);
+  EXPECT_EQ(wrapped.at(70000 % CoverageBitmap::kSize), 0x01);
+}
+
+// The AFL novelty contract, pinned value by value (this is the behaviour
+// the seed's duplicated-branch loop computed; the collapsed scalar form
+// and the word path must both preserve it):
+//   2 — at least one trace cell lands where the virgin byte is 0,
+//   1 — only new hit-count buckets on already-seen edges,
+//   0 — nothing new. The result is a max over cells.
+TEST(BitmapNoveltyTest, ZeroOneTwoSemanticsPinned) {
+  for (const bool word_path : {false, true}) {
+    CoverageBitmap virgin;
+    const auto merge = [&](const CoverageBitmap& t, CoverageBitmap& v) {
+      return word_path ? t.MergeInto(v) : t.MergeIntoScalar(v);
+    };
+
+    CoverageBitmap empty;
+    EXPECT_EQ(merge(empty, virgin), 0) << "empty trace, word=" << word_path;
+
+    CoverageBitmap first;
+    first.Add(10);
+    first.ClassifyCounts();
+    EXPECT_EQ(merge(first, virgin), 2) << "new edge, word=" << word_path;
+    EXPECT_EQ(merge(first, virgin), 0) << "repeat, word=" << word_path;
+
+    CoverageBitmap bucket;
+    for (int i = 0; i < 5; ++i) {
+      bucket.Add(10);  // Same edge, new hit-count bucket.
+    }
+    bucket.ClassifyCounts();
+    EXPECT_EQ(merge(bucket, virgin), 1) << "new bucket, word=" << word_path;
+
+    // Max over cells: one new bucket AND one new edge reports 2.
+    CoverageBitmap both;
+    for (int i = 0; i < 17; ++i) {
+      both.Add(10);  // Yet another bucket for the seen edge.
+    }
+    both.Add(11);  // A brand-new edge.
+    both.ClassifyCounts();
+    EXPECT_EQ(merge(both, virgin), 2) << "max semantics, word=" << word_path;
+  }
+}
+
+TEST(SparseTraceTest, MatchesFullBitmapPathAcrossReuse) {
+  Rng rng(404);
+  CoverageBitmap virgin_sparse;
+  CoverageBitmap virgin_scalar;
+  SparseTrace sparse;  // Reused across executions, as Fuzzer::Run does.
+  for (int exec = 0; exec < 50; ++exec) {
+    std::vector<uint32_t> edges;
+    const size_t density = 1 + rng.Below(300);
+    for (size_t i = 0; i < density; ++i) {
+      // Cluster some edges so repeated hits (count buckets) occur.
+      edges.push_back(static_cast<uint32_t>(rng.Below(512) * 997));
+    }
+    sparse.Clear();
+    CoverageBitmap full;
+    for (const uint32_t edge : edges) {
+      sparse.Add(edge);
+      full.Add(edge);
+    }
+    sparse.ClassifyCounts();
+    full.ClassifyCountsScalar();
+    const int sparse_ret = sparse.MergeInto(virgin_sparse);
+    const int scalar_ret = full.MergeIntoScalar(virgin_scalar);
+    ASSERT_EQ(sparse_ret, scalar_ret) << "exec " << exec;
+    ExpectSameMap(virgin_sparse, virgin_scalar);
+  }
+}
+
+TEST(SparseTraceTest, ClearLeavesNoResidue) {
+  SparseTrace trace;
+  trace.Add(1);
+  trace.Add(70000);  // Wraps modulo 64 KiB.
+  EXPECT_EQ(trace.touched_words(), 2u);
+  EXPECT_EQ(trace.bitmap().at(70000 % CoverageBitmap::kSize), 1);
+  trace.Clear();
+  EXPECT_EQ(trace.touched_words(), 0u);
+  EXPECT_EQ(trace.bitmap().CountNonZero(), 0u);
+  // A word dirtied before Clear is re-trackable after it.
+  trace.Add(1);
+  EXPECT_EQ(trace.touched_words(), 1u);
+  EXPECT_EQ(trace.bitmap().at(1), 1);
+}
+
+TEST(SparseTraceTest, SaturatesAt255LikeBitmapAdd) {
+  SparseTrace trace;
+  for (int i = 0; i < 300; ++i) {
+    trace.Add(42);
+  }
+  EXPECT_EQ(trace.bitmap().at(42), 255);
+  trace.ClassifyCounts();
+  EXPECT_EQ(trace.bitmap().at(42), CoverageBitmap::Bucket(255));
+}
+
+TEST(CoverageUnitEquivalenceTest, ExtractDeltaMatchesScalar) {
+  Rng rng(505);
+  // Sizes straddle the word loop's edges: below one word, exact
+  // multiples, and arbitrary non-aligned tails.
+  for (const size_t total : {size_t{3}, size_t{8}, size_t{64},
+                             size_t{1021}, size_t{40001}}) {
+    CoverageUnit unit("eq", total);
+    for (size_t i = 0; i < total / 2 + 1; ++i) {
+      unit.Hit(static_cast<size_t>(rng.Below(total)));
+    }
+    (void)unit.DrainTrace();
+    std::vector<uint8_t> snap_word;
+    std::vector<uint8_t> snap_scalar;
+    const std::vector<uint32_t> word = unit.ExtractDeltaSince(snap_word);
+    const std::vector<uint32_t> scalar =
+        unit.ExtractDeltaSinceScalar(snap_scalar);
+    EXPECT_EQ(word, scalar) << "total " << total;
+    EXPECT_EQ(snap_word, snap_scalar) << "total " << total;
+    // New hits after the snapshot caught up surface in both paths.
+    unit.Hit(0);
+    (void)unit.DrainTrace();
+    const std::vector<uint32_t> word2 = unit.ExtractDeltaSince(snap_word);
+    const std::vector<uint32_t> scalar2 =
+        unit.ExtractDeltaSinceScalar(snap_scalar);
+    EXPECT_EQ(word2, scalar2) << "total " << total;
+    EXPECT_TRUE(unit.ExtractDeltaSince(snap_word).empty());
+  }
+}
+
+}  // namespace
+}  // namespace neco

@@ -107,6 +107,18 @@ TEST(NecolintTest, DetectsBufferHygieneViolations) {
       << result.output;
 }
 
+TEST(NecolintTest, DetectsBenchWithoutSmoke) {
+  ExpectDetects("bench_missing_smoke", "bench-smoke", "bench/no_smoke.cc");
+  // Exactly one: the compliant bench (has_flag.cc) must not fire, and
+  // the flag living in a string literal is precisely what satisfies the
+  // raw-text rule.
+  const LintResult result = RunLint(Fixture("bench_missing_smoke"));
+  EXPECT_NE(result.output.find("1 violation"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("has_flag.cc"), std::string::npos)
+      << result.output;
+}
+
 TEST(NecolintTest, CleanFixturePasses) {
   const LintResult result = RunLint(Fixture("clean"));
   EXPECT_EQ(result.exit_code, 0) << result.output;

@@ -78,6 +78,43 @@ TEST(WireTest, ShardDeltaRoundTripIsIdentity) {
   ExpectEq(delta, decoded);
 }
 
+TEST(WireTest, EncodeIsExactlySized) {
+  // The two-pass encoder sizes each frame before writing it, so the
+  // buffer must carry zero slack — what a transport writes is exactly
+  // what was allocated. Checked across record shapes (empty and full).
+  for (const wire::Buffer& buffer :
+       {wire::Encode(MakeDelta()), wire::Encode(ShardDelta{}),
+        wire::Encode(SampleEvent{4, 12000, 79.6, 94}),
+        wire::Encode(ShardChildConfigRecord{})}) {
+    EXPECT_EQ(buffer.capacity(), buffer.size());
+    EXPECT_GE(buffer.size(), wire::kFrameHeaderSize);
+  }
+}
+
+TEST(WireTest, ReferencingEncodeMatchesOwningEncode) {
+  // The zero-copy overload serializes queue entries through pointers into
+  // the fuzzer's corpus; its frame must be byte-identical to encoding a
+  // record that owns the same entries.
+  const ShardDelta owning = MakeDelta();
+  ShardDelta referencing = owning;
+  referencing.queue_entries.clear();  // Ignored by the overload anyway.
+  std::vector<const FuzzInput*> refs;
+  for (const FuzzInput& input : owning.queue_entries) {
+    refs.push_back(&input);
+  }
+  const wire::Buffer from_refs = wire::Encode(referencing, refs);
+  EXPECT_EQ(from_refs, wire::Encode(owning));
+  EXPECT_EQ(from_refs.capacity(), from_refs.size());
+
+  ShardDelta decoded;
+  ASSERT_TRUE(wire::Decode(from_refs, &decoded));
+  ExpectEq(owning, decoded);
+
+  // An owning record with entries present alongside refs: the refs win.
+  const wire::Buffer refs_win = wire::Encode(owning, refs);
+  EXPECT_EQ(refs_win, wire::Encode(owning));
+}
+
 TEST(WireTest, EmptyShardDeltaRoundTrips) {
   // The empty delta is the common case for trailing epochs past a
   // shard's schedule; it must survive the wire unchanged too.

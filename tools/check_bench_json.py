@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a bench/hot_path JSON emission against the checked-in baseline.
+
+Usage: check_bench_json.py BASELINE.json CURRENT.json [--max-regression X]
+
+Two classes of check, with different severity:
+
+  * Schema drift is FATAL (exit 1): wrong/missing schema_version, metric
+    sets that do not match the baseline's, unit changes, non-finite or
+    non-positive values. These mean the bench and its baseline no longer
+    describe the same measurement, which silently invalidates every
+    number in README/ROADMAP.
+
+  * Performance regression is a REPORT, not a failure (exit 0): CI
+    machines are noisy and the smoke run uses a reduced budget, so a
+    ratio against the full-run baseline is advisory. Any metric slower
+    than --max-regression (default 10x) is printed so a human can look,
+    but the step stays green.
+
+Speedup-style metrics (unit "x") and size metrics (unit "bytes") are
+compared in the appropriate direction; throughput ("MB/s") regresses
+downward, latency ("ns") regresses upward.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+FATAL = 1
+
+# unit -> True if larger is better (throughput/speedup), False if smaller
+# is better (latency). Units not listed (e.g. "bytes") are informational
+# and only schema-checked.
+DIRECTION = {
+    "ns": False,
+    "MB/s": True,
+    "x": True,
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"FATAL: cannot load {path}: {err}")
+        sys.exit(FATAL)
+
+
+def check_schema(doc, path):
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append(f"{path}: schema_version must be 1, got "
+                      f"{doc.get('schema_version')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append(f"{path}: missing bench name")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append(f"{path}: smoke must be a boolean")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append(f"{path}: metrics must be a non-empty list")
+        return errors, {}
+    table = {}
+    for m in metrics:
+        name = m.get("name")
+        unit = m.get("unit")
+        value = m.get("value")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{path}: metric with missing name: {m!r}")
+            continue
+        if name in table:
+            errors.append(f"{path}: duplicate metric {name}")
+        if not isinstance(unit, str) or not unit:
+            errors.append(f"{path}: {name}: missing unit")
+        if (not isinstance(value, (int, float)) or isinstance(value, bool)
+                or not math.isfinite(value) or value <= 0):
+            errors.append(f"{path}: {name}: value must be a finite positive "
+                          f"number, got {value!r}")
+            continue
+        table[name] = (unit, float(value))
+    return errors, table
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regression", type=float, default=10.0,
+                        help="advisory ratio threshold (default 10x)")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+
+    errors, base = check_schema(base_doc, args.baseline)
+    cur_errors, cur = check_schema(cur_doc, args.current)
+    errors += cur_errors
+
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        errors.append(f"bench name mismatch: {base_doc.get('bench')!r} vs "
+                      f"{cur_doc.get('bench')!r}")
+
+    # Metric names are budget-independent by design: a smoke run must
+    # produce exactly the metric set the full-run baseline recorded.
+    for name in sorted(set(base) - set(cur)):
+        errors.append(f"metric {name} present in baseline, missing from "
+                      f"current run")
+    for name in sorted(set(cur) - set(base)):
+        errors.append(f"metric {name} emitted by current run but absent "
+                      f"from the baseline — regenerate {args.baseline}")
+    for name in sorted(set(base) & set(cur)):
+        if base[name][0] != cur[name][0]:
+            errors.append(f"{name}: unit changed {base[name][0]!r} -> "
+                          f"{cur[name][0]!r}")
+
+    if errors:
+        for e in errors:
+            print(f"FATAL: {e}")
+        print(f"\n{len(errors)} schema error(s); bench and baseline no "
+              f"longer agree.")
+        sys.exit(FATAL)
+
+    regressions = []
+    for name in sorted(base):
+        unit, base_v = base[name]
+        _, cur_v = cur[name]
+        if unit not in DIRECTION:
+            continue
+        ratio = base_v / cur_v if DIRECTION[unit] else cur_v / base_v
+        if ratio > args.max_regression:
+            regressions.append((name, unit, base_v, cur_v, ratio))
+
+    print(f"OK: {len(cur)} metrics match the baseline schema "
+          f"(smoke={cur_doc['smoke']}).")
+    if regressions:
+        print(f"\nADVISORY: {len(regressions)} metric(s) more than "
+              f"{args.max_regression:g}x worse than the checked-in "
+              f"baseline (noisy CI + smoke budgets make this "
+              f"non-fatal; investigate if it persists):")
+        for name, unit, base_v, cur_v, ratio in regressions:
+            print(f"  {name}: baseline {base_v:g} {unit}, "
+                  f"current {cur_v:g} {unit} ({ratio:.1f}x worse)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

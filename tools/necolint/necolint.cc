@@ -39,6 +39,10 @@
 //                        confined to wire.cc's codec helpers: hand-rolled
 //                        byte copies around wire buffers are how frame
 //                        corruption bugs start.
+//   bench-smoke          Every bench binary under bench/ must support
+//                        --smoke (a seconds-scale budget), so CI can
+//                        exercise every bench's code path on each push
+//                        instead of only the full multi-minute runs.
 //
 // The scanner is textual by design: it strips comments and string
 // literals, then pattern-matches. That keeps it dependency-free (no
@@ -511,6 +515,39 @@ void CheckBufferHygiene(const std::vector<SourceFile>& files,
   }
 }
 
+// --- Rule: bench-smoke ---------------------------------------------------
+
+// Every bench binary must take --smoke. The flag's spelling lives inside
+// string literals (argv comparisons, usage lines), which the shared
+// scanner blanks — so this rule reads the RAW file text instead of the
+// stripped SourceFile form.
+void CheckBenchSmoke(const fs::path& root, std::vector<Violation>* out) {
+  const fs::path bench = root / "bench";
+  if (!fs::exists(bench)) {
+    return;  // Fixture roots without benches skip the rule.
+  }
+  std::vector<std::string> missing;
+  for (const auto& entry : fs::recursive_directory_iterator(bench)) {
+    if (!entry.is_regular_file() ||
+        entry.path().extension().string() != ".cc") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (text.str().find("--smoke") == std::string::npos) {
+      missing.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(missing.begin(), missing.end());
+  for (const std::string& rel : missing) {
+    out->push_back({rel, 1, "bench-smoke",
+                    "bench binaries must support a --smoke flag (shrunk "
+                    "seconds-scale budget) so CI can exercise them on "
+                    "every push"});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -533,6 +570,7 @@ int main(int argc, char** argv) {
   CheckCloexec(files, &violations);
   CheckFsync(files, &violations);
   CheckBufferHygiene(files, &violations);
+  CheckBenchSmoke(root, &violations);
 
   for (const Violation& v : violations) {
     std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "

@@ -1,0 +1,10 @@
+// Fixture: a compliant bench — parses --smoke, must NOT fire.
+#include <cstdio>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  std::printf(smoke ? "smoke\n" : "full\n");
+  return 0;
+}

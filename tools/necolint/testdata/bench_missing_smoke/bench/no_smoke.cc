@@ -1,0 +1,9 @@
+// Fixture: a bench binary with no smoke-budget flag — the bench-smoke
+// rule must flag this file. (Even a comment spelling the flag would
+// satisfy the textual rule, so this file must never mention it.)
+#include <cstdio>
+
+int main() {
+  std::printf("full multi-minute run only\n");
+  return 0;
+}

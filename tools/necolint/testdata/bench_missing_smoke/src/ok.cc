@@ -1,0 +1,2 @@
+// Fixture: a clean source file so only the seeded bench violation fires.
+int Answer() { return 42; }
