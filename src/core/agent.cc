@@ -1,9 +1,18 @@
 #include "src/core/agent.h"
 
+#include <chrono>
+
 #include "src/core/partition.h"
 
 namespace neco {
 namespace {
+
+// Guards the snapshot cache against 64-bit fingerprint collisions: a hit
+// is only taken when the cached snapshot's config matches field for field.
+bool SameConfig(const VcpuConfig& a, const VcpuConfig& b) {
+  return a.arch == b.arch && a.features.raw() == b.features.raw() &&
+         a.vcpus == b.vcpus && a.memory_mb == b.memory_mb;
+}
 
 // MSR indices the agent plants in VM-entry MSR-load areas, weighted toward
 // the address-typed MSRs whose canonicality handling differs across
@@ -35,7 +44,8 @@ Agent::Agent(Hypervisor& target, AgentOptions options)
       svm_validator_(SvmCaps{}),
       vmx_oracle_(oracle_vmx_cpu_, vmx_validator_),
       svm_oracle_(oracle_svm_cpu_, svm_validator_),
-      crash_store_(options.crash_dir) {}
+      crash_store_(options.crash_dir),
+      snapshot_cache_(options.snapshot_cache_size) {}
 
 void Agent::PlantGuestMemory(const HarnessProgram& prog, const Vmcs* vmcs12,
                              ByteReader& msr_bytes) {
@@ -79,7 +89,7 @@ void Agent::RunIntel(const FuzzInput& input, const VcpuConfig& config,
     vmcs12 = vmx_validator_.GenerateBoundaryState(parts.vmcs_image,
                                                   parts.mutation);
     if (options_.oracle_interval != 0 &&
-        executions_ % options_.oracle_interval == 0) {
+        stats_.executions % options_.oracle_interval == 0) {
       vmx_oracle_.VerifyOnce(vmcs12);
     }
   } else {
@@ -152,7 +162,7 @@ void Agent::RunAmd(const FuzzInput& input, const VcpuConfig& config,
     vmcb12 = svm_validator_.GenerateBoundaryState(parts.vmcs_image,
                                                   parts.mutation);
     if (options_.oracle_interval != 0 &&
-        executions_ % options_.oracle_interval == 0) {
+        stats_.executions % options_.oracle_interval == 0) {
       svm_oracle_.VerifyOnce(vmcb12);
     }
   } else {
@@ -219,23 +229,63 @@ void Agent::RunAmd(const FuzzInput& input, const VcpuConfig& config,
 }
 
 ExecFeedback Agent::ExecuteOne(const FuzzInput& input) {
-  ++executions_;
+  ++stats_.executions;
   // Watchdog: if the previous test case took the host down, restart it
   // before this one (paper Section 3.2).
   if (target_.host_crashed()) {
     target_.RestartHost();
-    ++watchdog_restarts_;
+    ++stats_.watchdog_restarts;
   }
 
   InputPartition parts(input);
-  const VcpuConfig config =
-      options_.use_configurator
-          ? configurator_.Generate(parts.config, options_.arch)
-          : VcpuConfig::Default(options_.arch);
-  if (adapter_ != nullptr) {
-    adapter_->Apply(target_, config);
+  VcpuConfig config = VcpuConfig::Default(options_.arch);
+  if (options_.use_configurator) {
+    // Identical config bytes generate identical configs; the memo skips
+    // Generate entirely for repeats. Nothing downstream reads the config
+    // slice after Generate, so leaving parts.config unconsumed on a memo
+    // hit is invisible.
+    ConfiguratorMemo::Key key;
+    const bool keyed = ConfiguratorMemo::MakeKey(input, &key);
+    const VcpuConfig* memo = keyed ? config_memo_.Lookup(key) : nullptr;
+    if (memo != nullptr) {
+      config = *memo;
+      ++stats_.config_memo_hits;
+    } else {
+      config = configurator_.Generate(parts.config, options_.arch);
+      if (keyed) {
+        config_memo_.Insert(key, config);
+      }
+    }
+  }
+
+  // Snapshot cache: a hit replaces module reload + VM boot with a restore
+  // that is bit-equivalent to the boot (the snapshot tests pin this); a
+  // miss boots through the adapter as before and captures a snapshot.
+  const uint64_t fingerprint = FingerprintConfig(config);
+  const VmSnapshot* snap = snapshot_cache_.Get(fingerprint);
+  if (snap != nullptr && SameConfig(snap->config, config)) {
+    const auto start = std::chrono::steady_clock::now();
+    target_.RestoreVm(*snap);
+    stats_.restore_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ++stats_.snapshot_hits;
   } else {
-    target_.StartVm(config);
+    if (adapter_ != nullptr) {
+      adapter_->Apply(target_, config);
+    } else {
+      target_.StartVm(config);
+    }
+    ++stats_.snapshot_misses;
+    if (snapshot_cache_.capacity() > 0) {
+      VmSnapshot captured = target_.SnapshotVm();
+      if (captured.data == nullptr) {
+        // Base-class fallback snapshot: fix up the config it cannot know.
+        captured.config = config;
+      }
+      snapshot_cache_.Put(fingerprint, std::move(captured));
+    }
   }
 
   if (options_.arch == Arch::kIntel) {
@@ -251,20 +301,21 @@ ExecFeedback Agent::ExecuteOne(const FuzzInput& input) {
       feedback.anomaly = true;
       feedback.anomaly_id = report.bug_id;
     }
-    if (findings_.count(report.bug_id) == 0) {
+    auto [it, inserted] = findings_.try_emplace(report.bug_id);
+    if (inserted) {
       CrashRecord record;
       record.report = report;
       record.input = input;
       record.hypervisor = std::string(target_.name());
       record.arch = std::string(ArchName(options_.arch));
-      record.iteration = executions_;
+      record.iteration = stats_.executions;
       // Save() throws when persisting fails (ENOSPC, EACCES, ...); the
       // exception propagates through the executor to the engine, which
       // fails the campaign — a crash artifact that cannot be made durable
       // must not be silently dropped.
       crash_store_.Save(record);
+      it->second = std::move(report);
     }
-    findings_.emplace(report.bug_id, std::move(report));
   }
   return feedback;
 }

@@ -27,6 +27,7 @@
 #include "src/core/harness/harness.h"
 #include "src/core/partition.h"
 #include "src/core/repro/crash_store.h"
+#include "src/core/snapshot_cache.h"
 #include "src/core/validator/oracle.h"
 #include "src/core/validator/vmcb_validator.h"
 #include "src/core/validator/vmcs_validator.h"
@@ -47,6 +48,23 @@ struct AgentOptions {
   // Directory for persisted crash reports and inputs (Section 4.5's
   // "designated directory"); empty keeps findings in memory only.
   std::string crash_dir;
+  // Capacity of the post-boot snapshot cache (distinct vCPU configs kept
+  // resident). 0 disables snapshot/restore: every execution cold-boots.
+  // Results are invariant to this knob; only throughput changes.
+  size_t snapshot_cache_size = 64;
+};
+
+// Execution-core throughput counters, surfaced through EngineResult. All
+// fields except restore_ns are deterministic for a fixed input sequence
+// and cache size; restore_ns is wall-clock and advisory only (excluded
+// from determinism comparisons, like the pipeline/journal timings).
+struct AgentStats {
+  uint64_t executions = 0;
+  uint64_t watchdog_restarts = 0;
+  uint64_t snapshot_hits = 0;     // Boots replaced by RestoreVm.
+  uint64_t snapshot_misses = 0;   // Cold boots (each captures a snapshot).
+  uint64_t config_memo_hits = 0;  // Generate calls skipped by the memo.
+  uint64_t restore_ns = 0;        // Wall-clock nanoseconds inside RestoreVm.
 };
 
 class Agent {
@@ -73,8 +91,9 @@ class Agent {
   // Persisted crash records (inputs + metadata) for reproduction.
   const CrashStore& crash_store() const { return crash_store_; }
 
-  uint64_t executions() const { return executions_; }
-  uint64_t watchdog_restarts() const { return watchdog_restarts_; }
+  uint64_t executions() const { return stats_.executions; }
+  uint64_t watchdog_restarts() const { return stats_.watchdog_restarts; }
+  const AgentStats& stats() const { return stats_; }
   const OracleStats& vmx_oracle_stats() const { return vmx_oracle_.stats(); }
 
  private:
@@ -101,8 +120,9 @@ class Agent {
 
   std::map<std::string, AnomalyReport> findings_;
   CrashStore crash_store_;
-  uint64_t executions_ = 0;
-  uint64_t watchdog_restarts_ = 0;
+  SnapshotCache snapshot_cache_;
+  ConfiguratorMemo config_memo_;
+  AgentStats stats_;
 };
 
 }  // namespace neco

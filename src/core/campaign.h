@@ -156,6 +156,11 @@ struct CampaignResult {
   std::vector<AnomalyReport> findings;
   FuzzerStats fuzzer_stats;
   uint64_t watchdog_restarts = 0;
+  // Execution-core throughput counters (snapshot cache, configurator
+  // memo, restore time). agent_stats.watchdog_restarts mirrors the
+  // top-level field; restore_ns is wall-clock and excluded from
+  // determinism comparisons.
+  AgentStats agent_stats;
 };
 
 // The campaign's sampling cadence: `budget` iterations split into

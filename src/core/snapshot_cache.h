@@ -1,0 +1,158 @@
+// Config-keyed throughput caches for the execution core.
+//
+// Two layers sit in front of the per-exec StartVm cost (paper Section 4.5's
+// module reload + VM boot):
+//
+//   ConfiguratorMemo  — maps the raw 128-byte configurator input slice to
+//                       the VcpuConfig it generates, so identical config
+//                       bytes skip VcpuConfigurator::Generate entirely.
+//   SnapshotCache     — bounded LRU of post-boot VmSnapshots keyed by a
+//                       VcpuConfig fingerprint; a hit replaces module
+//                       reload + boot with Hypervisor::RestoreVm.
+//
+// Both are pure accelerations: a hit must be observationally identical to
+// the miss path (the snapshot equivalence tests pin this), so campaign
+// results are invariant to cache capacity, including capacity 0.
+#ifndef SRC_CORE_SNAPSHOT_CACHE_H_
+#define SRC_CORE_SNAPSHOT_CACHE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/partition.h"
+#include "src/hv/snapshot.h"
+#include "src/hv/vcpu_config.h"
+
+namespace neco {
+
+// FNV-1a over the semantic VcpuConfig fields. Configs that compare equal
+// field-for-field fingerprint equal; the 64-bit space makes accidental
+// collisions across a campaign's config diversity negligible.
+inline uint64_t FingerprintConfig(const VcpuConfig& config) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(config.arch));
+  mix(config.features.raw());
+  mix(config.vcpus);
+  mix(config.memory_mb);
+  return h;
+}
+
+// Bounded LRU cache of post-boot VM snapshots. Capacity 0 disables the
+// cache (Get always misses, Put is a no-op).
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached snapshot for the key (marking it most recently
+  // used), or nullptr. The pointer is invalidated by the next Put.
+  const VmSnapshot* Get(uint64_t key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return nullptr;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &entries_.front().second;
+  }
+
+  void Put(uint64_t key, VmSnapshot snapshot) {
+    if (capacity_ == 0) {
+      return;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(snapshot);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(snapshot));
+    index_.emplace(key, entries_.begin());
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<uint64_t, VmSnapshot>;
+
+  size_t capacity_;
+  std::list<Entry> entries_;  // Most recently used at the front.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+// Direct-mapped memo from the raw configurator input slice to the
+// VcpuConfig it generates. The key is the full 128-byte slice (not just
+// the bytes Generate consumes), which is conservative: different bytes in
+// the unread tail force a miss but can never alias two distinct configs.
+// One memo serves one agent, whose target arch is fixed for its lifetime,
+// so arch is not part of the key.
+class ConfiguratorMemo {
+ public:
+  using Key = std::array<uint8_t, InputPartition::kConfigSize>;
+
+  // Extracts the memo key from a fuzz input. False when the input is too
+  // short to carry a full config slice (ByteReader then wraps over a
+  // shorter slice, which the fixed-width key cannot represent) — callers
+  // must fall back to Generate.
+  static bool MakeKey(const FuzzInput& input, Key* key) {
+    if (input.size() < InputPartition::kConfigOffset + key->size()) {
+      return false;
+    }
+    std::copy_n(input.data() + InputPartition::kConfigOffset, key->size(),
+                key->begin());
+    return true;
+  }
+
+  // Returns the memoized config for the key, or nullptr on miss.
+  const VcpuConfig* Lookup(const Key& key) const {
+    const Slot& slot = slots_[SlotIndex(key)];
+    if (!slot.valid || slot.key != key) {
+      return nullptr;
+    }
+    return &slot.config;
+  }
+
+  void Insert(const Key& key, const VcpuConfig& config) {
+    Slot& slot = slots_[SlotIndex(key)];
+    slot.valid = true;
+    slot.key = key;
+    slot.config = config;
+  }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    Key key{};
+    VcpuConfig config;
+  };
+
+  static size_t SlotIndex(const Key& key) {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint8_t b : key) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h % kSlots);
+  }
+
+  static constexpr size_t kSlots = 256;
+
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace neco
+
+#endif  // SRC_CORE_SNAPSHOT_CACHE_H_

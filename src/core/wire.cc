@@ -502,6 +502,10 @@ Buffer Encode(const ShardResultRecord& record) {
     w.U64(record.bitmap_edges);
     w.U64(record.watchdog_restarts);
     w.U64(record.imports);
+    w.U64(record.snapshot_hits);
+    w.U64(record.snapshot_misses);
+    w.U64(record.config_memo_hits);
+    w.U64(record.restore_ns);
     w.U32(static_cast<uint32_t>(record.crash_ids.size()));
     for (const std::string& id : record.crash_ids) {
       w.Str(id);
@@ -541,6 +545,10 @@ bool Decode(const uint8_t* data, size_t size, ShardResultRecord* out) {
   out->bitmap_edges = r.U64();
   out->watchdog_restarts = r.U64();
   out->imports = r.U64();
+  out->snapshot_hits = r.U64();
+  out->snapshot_misses = r.U64();
+  out->config_memo_hits = r.U64();
+  out->restore_ns = r.U64();
   out->crash_ids.clear();
   const uint32_t crash_count = r.U32();
   if (!r.FitsCount(crash_count, 4)) return false;
@@ -580,6 +588,7 @@ Buffer Encode(const ShardChildConfigRecord& record) {
     w.U8(record.use_validator);
     w.U8(record.use_configurator);
     w.U32(record.oracle_interval);
+    w.U64(record.snapshot_cache_size);
     w.Str(record.crash_dir);
   });
 }
@@ -603,6 +612,7 @@ bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out) {
   out->use_validator = r.U8();
   out->use_configurator = r.U8();
   out->oracle_interval = r.U32();
+  out->snapshot_cache_size = r.U64();
   out->crash_dir = r.Str();
   return r.Done();
 }

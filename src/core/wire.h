@@ -158,6 +158,13 @@ struct ShardResultRecord {
   uint64_t bitmap_edges = 0;
   uint64_t watchdog_restarts = 0;
   uint64_t imports = 0;                   // Pool entries adopted (post-dedup).
+  // Execution-core throughput counters (AgentStats). The first three are
+  // deterministic for a fixed input sequence and cache size; restore_ns
+  // is wall-clock and excluded from determinism comparisons.
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
+  uint64_t config_memo_hits = 0;
+  uint64_t restore_ns = 0;
   std::vector<std::string> crash_ids;     // Fuzzer crash bug ids, in
                                           // discovery order.
   // Parallel to crash_ids: the input that reproduces each crash. Shipping
@@ -205,6 +212,11 @@ struct ShardChildConfigRecord {
   uint8_t use_validator = 1;
   uint8_t use_configurator = 1;
   uint32_t oracle_interval = 64;
+  // Snapshot-cache capacity, so exec'd children run the same execution
+  // core as the parent. Not part of the campaign fingerprint: results are
+  // invariant to it (like merge_batch/shard_mode), only throughput and
+  // the advisory hit/miss counters change.
+  uint64_t snapshot_cache_size = 64;
   std::string crash_dir;
 };
 
@@ -277,7 +289,7 @@ struct CrashArtifactRecord {
 
 namespace wire {
 
-inline constexpr uint8_t kVersion = 4;  // v2 added the process-sharding
+inline constexpr uint8_t kVersion = 5;  // v2 added the process-sharding
                                         // records (kFeedback..kChildConfig);
                                         // v3 the socket handshake
                                         // (kShardHello) and crash-input
@@ -285,7 +297,11 @@ inline constexpr uint8_t kVersion = 4;  // v2 added the process-sharding
                                         // v4 per-epoch crash shipping in
                                         // ShardDelta and the durable-state
                                         // records (kManifest..
-                                        // kCrashArtifact).
+                                        // kCrashArtifact); v5 the
+                                        // execution-core stats in
+                                        // ShardResultRecord and the
+                                        // snapshot-cache capacity in
+                                        // ShardChildConfigRecord.
 
 enum class RecordType : uint8_t {
   kShardDelta = 1,

@@ -23,27 +23,31 @@ Fuzzer::Fuzzer(FuzzerOptions options, Executor executor)
       mutator_(options.seed),
       corpus_(options.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
-FuzzInput Fuzzer::NextInput() {
+// Fills the reusable scratch buffer in place (copy-assignment from the
+// picked queue entry / random refill) so the steady-state loop never
+// allocates; `out` keeps its 2 KiB capacity across iterations.
+void Fuzzer::NextInput(FuzzInput* out) {
   if (!options_.coverage_guidance || corpus_.empty()) {
     // Breadth-first mode: fresh random bytes every time. The VM state
     // validator downstream rounds them to the valid/invalid boundary, so
     // raw entropy is productive here (paper Section 5.6).
-    return MakeRandomInput(mutator_.rng());
+    FillRandomInput(mutator_.rng(), out);
+    return;
   }
   QueueEntry& entry = corpus_.Pick();
   ++entry.times_fuzzed;
-  FuzzInput input = entry.input;
+  *out = entry.input;
   if (mutator_.rng().Chance(options_.splice_percent, 100) &&
       corpus_.size() > 1) {
-    mutator_.Splice(input, corpus_.RandomDonor());
+    mutator_.Splice(*out, corpus_.RandomDonor());
   }
-  mutator_.Havoc(input, options_.havoc_stack);
-  return input;
+  mutator_.Havoc(*out, options_.havoc_stack);
 }
 
 void Fuzzer::Run(uint64_t iterations) {
   for (uint64_t i = 0; i < iterations; ++i) {
-    FuzzInput input = NextInput();
+    NextInput(&scratch_);
+    const FuzzInput& input = scratch_;
     const ExecFeedback feedback = executor_(input);
     ++iterations_;
 

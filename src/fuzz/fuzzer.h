@@ -125,9 +125,12 @@ class Fuzzer {
   bool ImportCorpusEntry(const FuzzInput& input);
 
  private:
-  FuzzInput NextInput();
+  void NextInput(FuzzInput* out);
 
   FuzzerOptions options_;
+  // Scratch input reused across Run iterations (allocation-free steady
+  // state); only Run and NextInput touch it.
+  FuzzInput scratch_;
   Executor executor_;
   Mutator mutator_;
   Corpus corpus_;

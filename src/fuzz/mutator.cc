@@ -17,11 +17,16 @@ constexpr int32_t kInteresting32[] = {-2147483647 - 1, -100663046, -32769,
 FuzzInput MakeZeroInput() { return FuzzInput(kFuzzInputSize, 0); }
 
 FuzzInput MakeRandomInput(Rng& rng) {
-  FuzzInput input(kFuzzInputSize);
-  for (auto& b : input) {
+  FuzzInput input;
+  FillRandomInput(rng, &input);
+  return input;
+}
+
+void FillRandomInput(Rng& rng, FuzzInput* out) {
+  out->resize(kFuzzInputSize);
+  for (auto& b : *out) {
     b = static_cast<uint8_t>(rng.Next());
   }
-  return input;
 }
 
 void Mutator::FlipBit(FuzzInput& input, size_t bit) {

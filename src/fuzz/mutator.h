@@ -22,6 +22,10 @@ using FuzzInput = std::vector<uint8_t>;
 FuzzInput MakeZeroInput();
 FuzzInput MakeRandomInput(Rng& rng);
 
+// In-place variant: refills `out` with fresh random bytes, reusing its
+// allocation. Byte-identical to assigning MakeRandomInput(rng).
+void FillRandomInput(Rng& rng, FuzzInput* out);
+
 class Mutator {
  public:
   explicit Mutator(uint64_t seed) : rng_(seed) {}

@@ -24,6 +24,22 @@ void KvmNestedVmx::Reset(const VcpuConfig& config) {
   l2_ever_ran_ = false;
 }
 
+// Mirrors Reset() field for field; the derived members (nested_caps_,
+// vmcs01_) come from the image instead of being recomputed. Keep the two
+// in sync — the snapshot equivalence tests pin this.
+void KvmNestedVmx::RestoreBoot(const BootImage& image) {
+  config_ = image.config;
+  nested_caps_ = image.nested_caps;
+  vmxon_ = false;
+  vmxon_ptr_ = kNoPtr;
+  current_ptr_ = kNoPtr;
+  vmcs12_cache_.clear();
+  vmcs01_ = image.vmcs01;
+  vmcs02_ = Vmcs();
+  in_l2_ = false;
+  l2_ever_ran_ = false;
+}
+
 const Vmcs* KvmNestedVmx::current_vmcs12() const {
   auto it = vmcs12_cache_.find(current_ptr_);
   return it != vmcs12_cache_.end() ? &it->second.vmcs : nullptr;
@@ -894,7 +910,10 @@ void KvmNestedVmx::LoadShadowMmu(const Vmcs& v12) {
 
 void KvmNestedVmx::PrepareVmcs02(const Vmcs& v12) {
   NVCOV(cov_);
-  vmcs02_ = MakeDefaultVmcs();  // L0-owned base state (vmcs01-derived).
+  // L0-owned base state: vmcs01 is the boot-built default image and is
+  // never written after Reset, so copying it is byte-identical to (and
+  // much cheaper than) rebuilding MakeDefaultVmcs per entry.
+  vmcs02_ = vmcs01_;
   vmcs02_.set_launch_state(Vmcs::LaunchState::kClear);
 
   // Controls: L1's requests merged with L0's own requirements.

@@ -23,6 +23,23 @@ void XenNestedVmx::Reset(const VcpuConfig& config) {
   vvmcs_ptr_ = kNoPtr;
   vvmcs_cache_.clear();
   launched_.clear();
+  vmcs01_ = MakeDefaultVmcs();
+  vmcs02_ = Vmcs();
+  in_l2_ = false;
+}
+
+// Mirrors Reset() field for field, with the derived members copied from
+// the image instead of recomputed. Keep in sync with Reset — the snapshot
+// equivalence tests pin this.
+void XenNestedVmx::RestoreBoot(const BootImage& image) {
+  config_ = image.config;
+  nested_caps_ = image.nested_caps;
+  vmxon_ = false;
+  vmxon_ptr_ = kNoPtr;
+  vvmcs_ptr_ = kNoPtr;
+  vvmcs_cache_.clear();
+  launched_.clear();
+  vmcs01_ = image.vmcs01;
   vmcs02_ = Vmcs();
   in_l2_ = false;
 }
@@ -294,7 +311,9 @@ bool XenNestedVmx::NvmxCheckGuest(const Vmcs& v12) {
 
 void XenNestedVmx::LoadVvmcs(const Vmcs& v12) {
   NVCOV(cov_);
-  vmcs02_ = MakeDefaultVmcs();
+  // vmcs01 is the boot-built default image, never written after Reset, so
+  // copying it is byte-identical to rebuilding MakeDefaultVmcs per entry.
+  vmcs02_ = vmcs01_;
   vmcs02_.set_launch_state(Vmcs::LaunchState::kClear);
   const uint32_t proc =
       static_cast<uint32_t>(v12.Read(VmcsField::kCpuBasedVmExecControl));

@@ -41,6 +41,18 @@ class XenNestedVmx {
   XenNestedVmx(CoverageUnit& cov, SanitizerSink& san, GuestMemory& mem,
                VmxCpu& cpu, bool* host_crashed);
   void Reset(const VcpuConfig& config);
+
+  // Cooked post-boot state (advertised capabilities, the boot-built
+  // vmcs01) so a restore is copy-assignment instead of recompute.
+  // RestoreBoot(CaptureBoot()) after Reset(config) == Reset(config).
+  struct BootImage {
+    VcpuConfig config;
+    VmxCapabilities nested_caps;
+    Vmcs vmcs01;
+  };
+  BootImage CaptureBoot() const { return {config_, nested_caps_, vmcs01_}; }
+  void RestoreBoot(const BootImage& image);
+
   VmxEmuResult HandleInstruction(const VmxInsn& insn);
   HandledBy HandleL2Instruction(const GuestInsn& insn);
   HandledBy HandleL1Instruction(const GuestInsn& insn);
@@ -71,6 +83,10 @@ class XenNestedVmx {
   uint64_t vvmcs_ptr_ = kNoPtr;  // Xen's name for the active VMCS12.
   std::map<uint64_t, Vmcs> vvmcs_cache_;
   std::map<uint64_t, bool> launched_;
+  // The L0 container VMCS for the L1 guest, built once at boot (same
+  // fidelity as KVM's vmcs01) and copied into vmcs02 per nested entry.
+  // Never written after Reset/RestoreBoot.
+  Vmcs vmcs01_;
   Vmcs vmcs02_;
   bool in_l2_ = false;
 };
@@ -117,6 +133,8 @@ class SimXen : public Hypervisor {
   std::string_view name() const override { return "xen"; }
   Arch arch() const override { return config_.arch; }
   void StartVm(const VcpuConfig& config) override;
+  VmSnapshot SnapshotVm() override;
+  void RestoreVm(const VmSnapshot& snapshot) override;
   VmxEmuResult HandleVmxInstruction(const VmxInsn& insn) override;
   SvmEmuResult HandleSvmInstruction(const SvmInsn& insn) override;
   HandledBy HandleGuestInstruction(const GuestInsn& insn,

@@ -1,0 +1,111 @@
+#include "src/hv/snapshot.h"
+
+namespace neco {
+namespace {
+
+constexpr uint32_t kMagic = 0x4E534E56u;  // "VNSN" little-endian.
+constexpr uint8_t kVersion = 1;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+// Bounds-checked little-endian reader over the serialized buffer.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint8_t U8() { return Fits(1) ? bytes_[pos_++] : Fail(); }
+
+  uint16_t U16() {
+    const uint16_t lo = U8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(U8()) << 8));
+  }
+
+  uint32_t U32() {
+    const uint32_t lo = U16();
+    return lo | (static_cast<uint32_t>(U16()) << 16);
+  }
+
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    return lo | (static_cast<uint64_t>(U32()) << 32);
+  }
+
+  std::string Str(size_t len) {
+    if (!Fits(len)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+                  bytes_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return s;
+  }
+
+  bool Done() const { return ok_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Fits(size_t n) const { return ok_ && bytes_.size() - pos_ >= n; }
+  uint8_t Fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeVmSnapshot(const VmSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 1 + 1 + snapshot.hypervisor.size() + 1 + 8 + 1 + 2);
+  PutU32(&out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<uint8_t>(snapshot.hypervisor.size()));
+  for (char c : snapshot.hypervisor) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
+  out.push_back(static_cast<uint8_t>(snapshot.config.arch));
+  PutU64(&out, snapshot.config.features.raw());
+  out.push_back(snapshot.config.vcpus);
+  PutU16(&out, snapshot.config.memory_mb);
+  return out;
+}
+
+bool DeserializeVmSnapshot(const std::vector<uint8_t>& bytes,
+                           VmSnapshot* out) {
+  Reader r(bytes);
+  if (r.U32() != kMagic || r.U8() != kVersion) {
+    return false;
+  }
+  const uint8_t name_len = r.U8();
+  out->hypervisor = r.Str(name_len);
+  const uint8_t arch = r.U8();
+  if (arch > 1) {  // Arch::{kIntel,kAmd}.
+    return false;
+  }
+  out->config.arch = static_cast<Arch>(arch);
+  CpuFeatureSet features;
+  features.set_raw(r.U64());
+  out->config.features = features;
+  out->config.vcpus = r.U8();
+  out->config.memory_mb = r.U16();
+  out->data.reset();  // Serialized snapshots are always config-only.
+  return r.Done();
+}
+
+}  // namespace neco

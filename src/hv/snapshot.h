@@ -1,0 +1,61 @@
+// VM snapshot/restore support for the execution core.
+//
+// A VmSnapshot is a post-boot state capture of the guest VM: restoring it
+// must leave the hypervisor bit-equivalent to a fresh StartVm(config) —
+// same emulation behaviour, same coverage trace, same sanitizer reports
+// for any subsequent input. Accumulated cross-execution state (coverage
+// units, the sanitizer sink, host-restart counters) is deliberately NOT
+// part of a snapshot: a campaign aggregates those across VM restarts, so
+// a restore must leave them untouched exactly like a cold boot does.
+//
+// Backends attach an opaque cooked image (VmSnapshotData subclass) holding
+// the expensive boot products — the container VMCS L0 builds for the L1
+// guest, derived capability MSRs — so RestoreVm is a handful of
+// copy-assignments instead of a recompute. A snapshot without cooked data
+// (the base-class default, or one that crossed a process boundary) is
+// still valid: RestoreVm degrades to StartVm(config).
+//
+// The serialized form is {hypervisor name, config} only. Post-boot state
+// is a pure function of the configuration in every sim target, so the
+// config is the complete durable representation; the cooked image is a
+// per-process acceleration that never needs to travel.
+#ifndef SRC_HV_SNAPSHOT_H_
+#define SRC_HV_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hv/vcpu_config.h"
+
+namespace neco {
+
+// Backend-opaque cooked boot state. Backends subclass this and
+// dynamic_cast it back in their RestoreVm; a mismatched or absent payload
+// falls back to a cold boot.
+struct VmSnapshotData {
+  virtual ~VmSnapshotData() = default;
+};
+
+struct VmSnapshot {
+  std::string hypervisor;  // Hypervisor::name() of the capturing target.
+  VcpuConfig config;       // The configuration the VM was booted with.
+  // Cooked post-boot image, shared so cache entries copy cheaply. Null
+  // means config-only: RestoreVm degrades to StartVm(config).
+  std::shared_ptr<const VmSnapshotData> data;
+};
+
+// Durable form: [magic u32][version u8][name len u8][name bytes]
+// [arch u8][features u64][vcpus u8][memory_mb u16], little-endian.
+std::vector<uint8_t> SerializeVmSnapshot(const VmSnapshot& snapshot);
+
+// Strict decode of the serialized form; returns false on a short, corrupt,
+// or version-mismatched buffer. The result carries no cooked data (it is
+// the StartVm-fallback form by construction).
+bool DeserializeVmSnapshot(const std::vector<uint8_t>& bytes,
+                           VmSnapshot* out);
+
+}  // namespace neco
+
+#endif  // SRC_HV_SNAPSHOT_H_

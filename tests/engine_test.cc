@@ -419,6 +419,37 @@ TEST(MergePipelineStatsTest, PipelineAndTransportCountersAreReported) {
   EXPECT_EQ(result.pipeline.feedback_wait_seconds, 0.0);
 }
 
+TEST(ExecutionCoreStatsTest, SnapshotCountersSurfaceThroughEngineResult) {
+  CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+  const EngineResult result = CampaignEngine("kvm", options).Run();
+  const AgentStats& stats = result.merged.agent_stats;
+  EXPECT_EQ(stats.executions, options.iterations);
+  // Every execution either restored a snapshot or cold-booted.
+  EXPECT_EQ(stats.snapshot_hits + stats.snapshot_misses, stats.executions);
+  EXPECT_EQ(stats.watchdog_restarts, result.merged.watchdog_restarts);
+}
+
+TEST(ExecutionCoreStatsTest, CacheCapacityDoesNotChangeResults) {
+  // The snapshot cache and configurator memo are pure accelerations:
+  // campaign results must be invariant to the capacity knob, including
+  // fully disabled.
+  CampaignOptions options = SmallOptions(Arch::kIntel, 600, 2);
+  options.agent.snapshot_cache_size = 0;
+  const EngineResult off = CampaignEngine("kvm", options).Run();
+  options.agent.snapshot_cache_size = 64;
+  const EngineResult on = CampaignEngine("kvm", options).Run();
+  EXPECT_EQ(off.merged.agent_stats.snapshot_hits, 0u);
+  EXPECT_EQ(off.merged.covered_set, on.merged.covered_set);
+  EXPECT_EQ(off.merged.final_percent, on.merged.final_percent);
+  ASSERT_EQ(off.merged.findings.size(), on.merged.findings.size());
+  for (size_t i = 0; i < off.merged.findings.size(); ++i) {
+    EXPECT_EQ(off.merged.findings[i].bug_id, on.merged.findings[i].bug_id);
+  }
+  EXPECT_EQ(off.merged.watchdog_restarts, on.merged.watchdog_restarts);
+  EXPECT_EQ(off.merged.agent_stats.executions,
+            on.merged.agent_stats.executions);
+}
+
 // --- Process shards vs thread shards -------------------------------------
 
 void ExpectSameEngineResult(const EngineResult& a, const EngineResult& b) {
@@ -433,6 +464,18 @@ void ExpectSameEngineResult(const EngineResult& a, const EngineResult& b) {
   EXPECT_EQ(a.merged.fuzzer_stats.bitmap_edges,
             b.merged.fuzzer_stats.bitmap_edges);
   EXPECT_EQ(a.merged.watchdog_restarts, b.merged.watchdog_restarts);
+  // Execution-core counters are deterministic for a fixed input sequence
+  // and cache size, so they must agree across shard modes too (restore_ns
+  // is wall-clock and deliberately not compared).
+  EXPECT_EQ(a.merged.agent_stats.executions, b.merged.agent_stats.executions);
+  EXPECT_EQ(a.merged.agent_stats.watchdog_restarts,
+            b.merged.agent_stats.watchdog_restarts);
+  EXPECT_EQ(a.merged.agent_stats.snapshot_hits,
+            b.merged.agent_stats.snapshot_hits);
+  EXPECT_EQ(a.merged.agent_stats.snapshot_misses,
+            b.merged.agent_stats.snapshot_misses);
+  EXPECT_EQ(a.merged.agent_stats.config_memo_hits,
+            b.merged.agent_stats.config_memo_hits);
   EXPECT_EQ(a.corpus_imports, b.corpus_imports);
   ASSERT_EQ(a.merged.series.size(), b.merged.series.size());
   for (size_t i = 0; i < a.merged.series.size(); ++i) {

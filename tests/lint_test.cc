@@ -119,6 +119,23 @@ TEST(NecolintTest, DetectsBenchWithoutSmoke) {
       << result.output;
 }
 
+TEST(NecolintTest, DetectsUnpinnedSnapshotOverride) {
+  ExpectDetects("snapshot_missing_equivalence", "snapshot-equivalence",
+                "src/hv/sims.h");
+  // The rule distinguishes: UncoveredHv fires, CoveredHv (referenced with
+  // both hooks by the fixture's test file) and the base-class virtual
+  // (no `override`) do not.
+  const LintResult result = RunLint(Fixture("snapshot_missing_equivalence"));
+  EXPECT_NE(result.output.find("UncoveredHv"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("CoveredHv overrides"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("HypervisorBase"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("1 violation"), std::string::npos)
+      << result.output;
+}
+
 TEST(NecolintTest, CleanFixturePasses) {
   const LintResult result = RunLint(Fixture("clean"));
   EXPECT_EQ(result.exit_code, 0) << result.output;

@@ -1,0 +1,466 @@
+// Equivalence tests for the execution core's snapshot/restore path: a
+// restored VM must be bit-equivalent to a freshly booted one (same
+// emulation results, same coverage trace, same anomalies) across all
+// three sim hypervisors (SimKvm, SimXen, SimVbox) and both arches, with
+// the accumulated-coverage / sanitizer-sink / watchdog contracts
+// preserved. Also covers the serialized snapshot form, the Agent's
+// snapshot cache + configurator memo (cache-on vs cache-off campaigns
+// must be observationally identical), and the cache/memo data structures
+// themselves.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/agent.h"
+#include "src/core/config/configurator.h"
+#include "src/core/partition.h"
+#include "src/core/snapshot_cache.h"
+#include "src/hv/factory.h"
+#include "src/hv/sim_kvm/kvm.h"
+#include "src/hv/sim_vbox/vbox.h"
+#include "src/hv/sim_xen/xen.h"
+#include "src/hv/snapshot.h"
+
+namespace neco {
+namespace {
+
+struct TargetCase {
+  const char* target;
+  Arch arch;
+};
+
+// SimVbox is Intel-only (it forces arch at StartVm), like the original.
+const TargetCase kTargetCases[] = {
+    {"kvm", Arch::kIntel},        {"kvm", Arch::kAmd},
+    {"xen", Arch::kIntel},        {"xen", Arch::kAmd},
+    {"virtualbox", Arch::kIntel},
+};
+
+std::string CaseName(const TargetCase& c) {
+  return std::string(c.target) + "/" + std::string(ArchName(c.arch));
+}
+
+VcpuConfig RandomConfig(Rng& rng, Arch arch) {
+  FuzzInput bytes(InputPartition::kConfigSize);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ByteReader reader(bytes);
+  return VcpuConfigurator().Generate(reader, arch);
+}
+
+// Issues a fixed probe of virtualization + guest instructions and records
+// every observable (emulation results, handler dispositions, coverage
+// trace, nested state) so two hypervisors can be compared for behavioural
+// equality. Pointers are 4 KiB-aligned as real VMCS/VMCB regions are.
+struct ProbeLog {
+  std::vector<uint64_t> values;
+  std::vector<uint32_t> trace;
+  std::vector<std::string> anomalies;
+
+  bool operator==(const ProbeLog& other) const = default;
+};
+
+// Puts `hv` into the state the agent's watchdog guarantees at the top of
+// an execution (crash flag clear, no pending reports or trace), so two
+// instances with different histories can be compared by probing.
+void NormalizeForProbe(Hypervisor& hv, Arch arch) {
+  if (hv.host_crashed()) {
+    hv.RestartHost();
+  }
+  hv.sanitizers().Drain();
+  hv.nested_coverage(arch).DrainTrace();
+}
+
+ProbeLog RunProbe(Hypervisor& hv, Arch arch, uint64_t salt) {
+  ProbeLog log;
+  auto note_vmx = [&log](const VmxEmuResult& r) {
+    log.values.push_back(r.ok);
+    log.values.push_back(r.entered_l2);
+    log.values.push_back(r.read_value);
+  };
+  auto note_svm = [&log](const SvmEmuResult& r) {
+    log.values.push_back(r.ok);
+    log.values.push_back(r.entered_l2);
+  };
+  auto note_guest = [&log, &hv](HandledBy by) {
+    log.values.push_back(static_cast<uint64_t>(by));
+    log.values.push_back(hv.in_l2());
+    log.values.push_back(hv.host_crashed());
+  };
+  const uint64_t pa = 0x1000 + (salt % 8) * 0x1000;
+  if (arch == Arch::kIntel) {
+    note_vmx(hv.HandleVmxInstruction({VmxOp::kVmxon, pa, {}, 0}));
+    note_vmx(hv.HandleVmxInstruction({VmxOp::kVmclear, pa + 0x1000, {}, 0}));
+    note_vmx(hv.HandleVmxInstruction({VmxOp::kVmptrld, pa + 0x1000, {}, 0}));
+    note_vmx(hv.HandleVmxInstruction(
+        {VmxOp::kVmwrite, 0, VmcsField::kGuestRip, salt}));
+    note_vmx(hv.HandleVmxInstruction(
+        {VmxOp::kVmread, 0, VmcsField::kGuestRip, 0}));
+    note_vmx(hv.HandleVmxInstruction({VmxOp::kVmlaunch, 0, {}, 0}));
+    note_vmx(hv.HandleVmxInstruction({VmxOp::kVmptrst, 0, {}, 0}));
+  } else {
+    note_guest(hv.HandleGuestInstruction(
+        {GuestInsnKind::kWrmsr, Msr::kIa32Efer, 1ull << 12}, GuestLevel::kL1));
+    note_svm(hv.HandleSvmInstruction({SvmOp::kStgi, 0, {}, 0}));
+    note_svm(hv.HandleSvmInstruction(
+        {SvmOp::kVmcbWrite, pa, VmcbField::kRip, salt}));
+    note_svm(hv.HandleSvmInstruction({SvmOp::kVmrun, pa, {}, 0}));
+  }
+  note_guest(hv.HandleGuestInstruction({GuestInsnKind::kCpuid, salt, 0},
+                                       GuestLevel::kL1));
+  note_guest(hv.HandleGuestInstruction({GuestInsnKind::kRdmsr, Msr::kIa32Efer,
+                                        0},
+                                       GuestLevel::kL1));
+  log.trace = hv.nested_coverage(arch).DrainTrace();
+  for (AnomalyReport& report : hv.sanitizers().Drain()) {
+    log.anomalies.push_back(report.bug_id);
+  }
+  return log;
+}
+
+// Random dirtying activity between snapshot and restore, so the restore
+// has real state to unwind.
+void DirtyState(Hypervisor& hv, Arch arch, Rng& rng) {
+  for (int i = 0; i < 6; ++i) {
+    RunProbe(hv, arch, rng.Next());
+  }
+  hv.guest_memory().Write32(0x1000, static_cast<uint32_t>(rng.Next()));
+}
+
+// --- Serialized form ------------------------------------------------------
+
+TEST(VmSnapshotWire, SerializeRoundTripsConfig) {
+  Rng rng(7);
+  for (Arch arch : {Arch::kIntel, Arch::kAmd}) {
+    VmSnapshot snap;
+    snap.hypervisor = "kvm";
+    snap.config = RandomConfig(rng, arch);
+    const std::vector<uint8_t> bytes = SerializeVmSnapshot(snap);
+    VmSnapshot decoded;
+    ASSERT_TRUE(DeserializeVmSnapshot(bytes, &decoded));
+    EXPECT_EQ(decoded.hypervisor, snap.hypervisor);
+    EXPECT_EQ(decoded.config.arch, snap.config.arch);
+    EXPECT_EQ(decoded.config.features.raw(), snap.config.features.raw());
+    EXPECT_EQ(decoded.config.vcpus, snap.config.vcpus);
+    EXPECT_EQ(decoded.config.memory_mb, snap.config.memory_mb);
+    EXPECT_EQ(decoded.data, nullptr);  // Cooked images never travel.
+  }
+}
+
+TEST(VmSnapshotWire, DeserializeRejectsCorruption) {
+  VmSnapshot snap;
+  snap.hypervisor = "xen";
+  snap.config = VcpuConfig::Default(Arch::kIntel);
+  const std::vector<uint8_t> good = SerializeVmSnapshot(snap);
+  VmSnapshot out;
+  ASSERT_TRUE(DeserializeVmSnapshot(good, &out));
+
+  // Truncation at every prefix length must be rejected, not crash.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DeserializeVmSnapshot(cut, &out)) << "len=" << len;
+  }
+  // Trailing garbage is rejected (exact-consumption decode).
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializeVmSnapshot(padded, &out));
+  // Bad magic / version / arch.
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeVmSnapshot(bad, &out));
+  bad = good;
+  bad[4] += 1;  // Version byte.
+  EXPECT_FALSE(DeserializeVmSnapshot(bad, &out));
+  bad = good;
+  bad[5 + 1 + snap.hypervisor.size() - 1 + 1] = 9;  // Arch byte.
+  EXPECT_FALSE(DeserializeVmSnapshot(bad, &out));
+}
+
+// --- Randomized StartVm-vs-RestoreVm state equivalence --------------------
+
+// For every target/arch: boot a config on two instances, snapshot one,
+// dirty it with random activity, restore — then both must behave
+// identically under a probe, including the coverage trace it emits.
+// Exercises both the cooked restore and (via the serialized form) the
+// config-only StartVm fallback.
+TEST(SnapshotEquivalence, RestoreMatchesColdBootAfterDirtying) {
+  for (const TargetCase& c : kTargetCases) {
+    SCOPED_TRACE(CaseName(c));
+    HypervisorFactory factory = FindHypervisorFactory(c.target);
+    ASSERT_TRUE(factory);
+    auto cold = factory();
+    auto restored = factory();
+    Rng rng(0x5eed + static_cast<uint64_t>(c.arch));
+    for (int trial = 0; trial < 25; ++trial) {
+      SCOPED_TRACE(trial);
+      const VcpuConfig config = RandomConfig(rng, c.arch);
+      const uint64_t salt = rng.Next();
+
+      cold->StartVm(config);
+      restored->StartVm(config);
+      VmSnapshot snap = restored->SnapshotVm();
+      if (trial % 2 == 1) {
+        // Odd trials go through the serialized config-only form, pinning
+        // the StartVm fallback to the same equivalence bar.
+        VmSnapshot decoded;
+        ASSERT_TRUE(DeserializeVmSnapshot(SerializeVmSnapshot(snap),
+                                          &decoded));
+        snap = decoded;
+      }
+      Rng dirty_rng(salt);
+      DirtyState(*restored, c.arch, dirty_rng);
+      restored->RestoreVm(snap);
+
+      // The dirtying may have crashed the host or queued reports on the
+      // restored side only — accumulated state restore deliberately keeps.
+      // Clear it the way the watchdog would, then compare probe behaviour.
+      NormalizeForProbe(*cold, c.arch);
+      NormalizeForProbe(*restored, c.arch);
+      const ProbeLog a = RunProbe(*cold, c.arch, salt);
+      const ProbeLog b = RunProbe(*restored, c.arch, salt);
+      ASSERT_EQ(a.values, b.values);
+      ASSERT_EQ(a.trace, b.trace);
+      ASSERT_EQ(a.anomalies, b.anomalies);
+    }
+  }
+}
+
+// Every sim backend's SnapshotVm/RestoreVm override attaches a cooked
+// image where the boot is expensive (Intel VMX state); AMD boots on
+// kvm/xen are cheap enough that the snapshot stays config-only and
+// RestoreVm degrades to the StartVm fallback.
+TEST(SnapshotEquivalence, CookedSnapshotsCarryData) {
+  SimKvm kvm;
+  kvm.StartVm(VcpuConfig::Default(Arch::kIntel));
+  EXPECT_NE(kvm.SnapshotVm().data, nullptr);
+  SimXen xen;
+  xen.StartVm(VcpuConfig::Default(Arch::kIntel));
+  EXPECT_NE(xen.SnapshotVm().data, nullptr);
+  SimVbox vbox;
+  vbox.StartVm(VcpuConfig::Default(Arch::kIntel));
+  EXPECT_NE(vbox.SnapshotVm().data, nullptr);
+
+  SimKvm kvm_amd;
+  kvm_amd.StartVm(VcpuConfig::Default(Arch::kAmd));
+  const VmSnapshot amd_snap = kvm_amd.SnapshotVm();
+  EXPECT_EQ(amd_snap.data, nullptr);
+  EXPECT_EQ(amd_snap.config.arch, Arch::kAmd);
+  kvm_amd.RestoreVm(amd_snap);  // Config-only restore must stay valid.
+  EXPECT_FALSE(kvm_amd.in_l2());
+}
+
+// Restoring a snapshot captured by one target on a different target (a
+// "foreign" snapshot: the cooked payload's dynamic type won't match)
+// degrades to StartVm(config) instead of misbehaving.
+TEST(SnapshotEquivalence, ForeignSnapshotFallsBackToStartVm) {
+  auto kvm = FindHypervisorFactory("kvm")();
+  auto xen = FindHypervisorFactory("xen")();
+  auto xen_cold = FindHypervisorFactory("xen")();
+  Rng rng(11);
+  const VcpuConfig config = RandomConfig(rng, Arch::kIntel);
+  kvm->StartVm(config);
+  const VmSnapshot foreign = kvm->SnapshotVm();
+
+  xen->StartVm(config);
+  xen->RestoreVm(foreign);  // Must behave like StartVm(config) on xen.
+  xen_cold->StartVm(config);
+  NormalizeForProbe(*xen, Arch::kIntel);
+  NormalizeForProbe(*xen_cold, Arch::kIntel);
+  const ProbeLog a = RunProbe(*xen, Arch::kIntel, 42);
+  const ProbeLog b = RunProbe(*xen_cold, Arch::kIntel, 42);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.anomalies, b.anomalies);
+}
+
+// --- Agent-level equivalence: cache on vs cache off -----------------------
+
+// Runs the same input stream through two agents over private hypervisor
+// instances — one with the snapshot cache + memo disabled, one enabled —
+// and requires identical per-execution feedback, findings, and watchdog
+// behaviour. Inputs recycle a small pool of config slices so the enabled
+// agent actually takes the restore path (asserted via its stats).
+void ExpectCachedAgentMatchesCold(const TargetCase& c, uint64_t seed,
+                                  int execs) {
+  HypervisorFactory factory = FindHypervisorFactory(c.target);
+  ASSERT_TRUE(factory);
+  auto hv_cold = factory();
+  auto hv_cached = factory();
+  AgentOptions cold_opts;
+  cold_opts.arch = c.arch;
+  cold_opts.snapshot_cache_size = 0;  // Every execution cold-boots.
+  AgentOptions cached_opts = cold_opts;
+  cached_opts.snapshot_cache_size = 8;
+  Agent cold(*hv_cold, cold_opts);
+  Agent cached(*hv_cached, cached_opts);
+
+  Rng rng(seed);
+  std::vector<FuzzInput> config_pool;
+  for (int i = 0; i < 4; ++i) {
+    config_pool.push_back(MakeRandomInput(rng));
+  }
+  for (int i = 0; i < execs; ++i) {
+    FuzzInput input = MakeRandomInput(rng);
+    // Reuse a pooled config slice so configs repeat across executions.
+    const FuzzInput& donor = config_pool[rng.Next() % config_pool.size()];
+    std::copy_n(donor.begin(), InputPartition::kConfigSize, input.begin());
+    const ExecFeedback a = cold.ExecuteOne(input);
+    const ExecFeedback b = cached.ExecuteOne(input);
+    ASSERT_EQ(a.edges, b.edges) << "exec " << i;
+    ASSERT_EQ(a.anomaly, b.anomaly) << "exec " << i;
+    ASSERT_EQ(a.anomaly_id, b.anomaly_id) << "exec " << i;
+  }
+  EXPECT_EQ(cold.watchdog_restarts(), cached.watchdog_restarts());
+  ASSERT_EQ(cold.findings().size(), cached.findings().size());
+  for (auto it_a = cold.findings().begin(), it_b = cached.findings().begin();
+       it_a != cold.findings().end(); ++it_a, ++it_b) {
+    EXPECT_EQ(it_a->first, it_b->first);
+  }
+  // The disabled agent never restores; the enabled one must have.
+  EXPECT_EQ(cold.stats().snapshot_hits, 0u);
+  EXPECT_GT(cached.stats().snapshot_hits, 0u);
+  EXPECT_GT(cached.stats().config_memo_hits, 0u);
+  EXPECT_EQ(cached.stats().snapshot_hits + cached.stats().snapshot_misses,
+            cached.stats().executions);
+}
+
+TEST(SnapshotAgentEquivalence, CachedStreamIdenticalAcrossTargets) {
+  for (const TargetCase& c : kTargetCases) {
+    SCOPED_TRACE(CaseName(c));
+    ExpectCachedAgentMatchesCold(c, 0xA11CE, 150);
+  }
+}
+
+// The crashed-host-then-restore case: drive enough executions that the
+// watchdog fires (the re-seeded bugs take the host down), with restores
+// active, and require the cached agent to agree with the cold one on
+// every watchdog restart.
+TEST(SnapshotAgentEquivalence, WatchdogPathSurvivesRestores) {
+  bool saw_watchdog = false;
+  for (const TargetCase& c : kTargetCases) {
+    SCOPED_TRACE(CaseName(c));
+    HypervisorFactory factory = FindHypervisorFactory(c.target);
+    auto hv_cold = factory();
+    auto hv_cached = factory();
+    AgentOptions cold_opts;
+    cold_opts.arch = c.arch;
+    cold_opts.snapshot_cache_size = 0;
+    AgentOptions cached_opts = cold_opts;
+    cached_opts.snapshot_cache_size = 64;
+    Agent cold(*hv_cold, cold_opts);
+    Agent cached(*hv_cached, cached_opts);
+    Rng rng(0xD06 + static_cast<uint64_t>(c.arch));
+    for (int i = 0; i < 400; ++i) {
+      const FuzzInput input = MakeRandomInput(rng);
+      const ExecFeedback a = cold.ExecuteOne(input);
+      const ExecFeedback b = cached.ExecuteOne(input);
+      ASSERT_EQ(a.edges, b.edges) << "exec " << i;
+      ASSERT_EQ(a.anomaly_id, b.anomaly_id) << "exec " << i;
+      ASSERT_EQ(cold.watchdog_restarts(), cached.watchdog_restarts())
+          << "exec " << i;
+    }
+    saw_watchdog |= cold.watchdog_restarts() > 0;
+  }
+  // At least one target/arch must actually have exercised the
+  // crashed-host-then-restore path, or this test proves nothing.
+  EXPECT_TRUE(saw_watchdog);
+}
+
+// --- Cache / memo data structures -----------------------------------------
+
+VmSnapshot NamedSnapshot(const std::string& name) {
+  VmSnapshot snap;
+  snap.hypervisor = name;
+  snap.config = VcpuConfig::Default(Arch::kIntel);
+  return snap;
+}
+
+TEST(SnapshotCacheTest, EvictsLeastRecentlyUsed) {
+  SnapshotCache cache(2);
+  cache.Put(1, NamedSnapshot("one"));
+  cache.Put(2, NamedSnapshot("two"));
+  ASSERT_NE(cache.Get(1), nullptr);  // 1 is now most recently used.
+  cache.Put(3, NamedSnapshot("three"));
+  EXPECT_EQ(cache.Get(2), nullptr);  // 2 was LRU and evicted.
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1)->hypervisor, "one");
+  ASSERT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SnapshotCacheTest, PutOverwritesExistingKey) {
+  SnapshotCache cache(2);
+  cache.Put(1, NamedSnapshot("old"));
+  cache.Put(1, NamedSnapshot("new"));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(1)->hypervisor, "new");
+}
+
+TEST(SnapshotCacheTest, ZeroCapacityDisables) {
+  SnapshotCache cache(0);
+  cache.Put(1, NamedSnapshot("one"));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ConfiguratorMemoTest, MemoizedConfigMatchesGenerate) {
+  Rng rng(99);
+  ConfiguratorMemo memo;
+  for (int i = 0; i < 50; ++i) {
+    const FuzzInput input = MakeRandomInput(rng);
+    ConfiguratorMemo::Key key;
+    ASSERT_TRUE(ConfiguratorMemo::MakeKey(input, &key));
+    EXPECT_EQ(memo.Lookup(key), nullptr);
+    InputPartition parts(input);
+    const VcpuConfig config =
+        VcpuConfigurator().Generate(parts.config, Arch::kIntel);
+    memo.Insert(key, config);
+    const VcpuConfig* hit = memo.Lookup(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->features.raw(), config.features.raw());
+    EXPECT_EQ(hit->vcpus, config.vcpus);
+    EXPECT_EQ(hit->memory_mb, config.memory_mb);
+  }
+}
+
+TEST(ConfiguratorMemoTest, DifferentSliceBytesMiss) {
+  Rng rng(100);
+  ConfiguratorMemo memo;
+  FuzzInput input = MakeRandomInput(rng);
+  ConfiguratorMemo::Key key;
+  ASSERT_TRUE(ConfiguratorMemo::MakeKey(input, &key));
+  memo.Insert(key, VcpuConfig::Default(Arch::kIntel));
+  // Any changed byte in the config slice must miss, even one Generate
+  // never reads — conservative keying cannot alias distinct configs.
+  input[InputPartition::kConfigSize - 1] ^= 0xFF;
+  ConfiguratorMemo::Key other;
+  ASSERT_TRUE(ConfiguratorMemo::MakeKey(input, &other));
+  EXPECT_EQ(memo.Lookup(other), nullptr);
+}
+
+TEST(ConfiguratorMemoTest, ShortInputHasNoKey) {
+  ConfiguratorMemo::Key key;
+  FuzzInput tiny(16, 0xAB);
+  EXPECT_FALSE(ConfiguratorMemo::MakeKey(tiny, &key));
+}
+
+TEST(FingerprintConfigTest, DistinguishesFields) {
+  const VcpuConfig base = VcpuConfig::Default(Arch::kIntel);
+  VcpuConfig other = base;
+  EXPECT_EQ(FingerprintConfig(base), FingerprintConfig(other));
+  other.vcpus = static_cast<uint8_t>(base.vcpus + 1);
+  EXPECT_NE(FingerprintConfig(base), FingerprintConfig(other));
+  other = base;
+  other.memory_mb = static_cast<uint16_t>(base.memory_mb + 1);
+  EXPECT_NE(FingerprintConfig(base), FingerprintConfig(other));
+  EXPECT_NE(FingerprintConfig(VcpuConfig::Default(Arch::kIntel)),
+            FingerprintConfig(VcpuConfig::Default(Arch::kAmd)));
+}
+
+}  // namespace
+}  // namespace neco

@@ -207,6 +207,10 @@ ShardResultRecord MakeResult() {
   record.bitmap_edges = 451;
   record.watchdog_restarts = 1;
   record.imports = 59;
+  record.snapshot_hits = 4800;
+  record.snapshot_misses = 200;
+  record.config_memo_hits = 4810;
+  record.restore_ns = 123456789;
   record.crash_ids = {"kvm-a", "kvm-b"};
   record.crash_inputs = {MakeInput(0x61), MakeInput(0x62)};
   return record;
@@ -230,6 +234,7 @@ ShardChildConfigRecord MakeConfig() {
   record.use_validator = 0;
   record.use_configurator = 1;
   record.oracle_interval = 64;
+  record.snapshot_cache_size = 32;
   record.crash_dir = "/tmp/crashes";
   return record;
 }
@@ -280,6 +285,10 @@ TEST(WireTest, ShardResultRecordRoundTripIsIdentity) {
   EXPECT_EQ(decoded.bitmap_edges, record.bitmap_edges);
   EXPECT_EQ(decoded.watchdog_restarts, record.watchdog_restarts);
   EXPECT_EQ(decoded.imports, record.imports);
+  EXPECT_EQ(decoded.snapshot_hits, record.snapshot_hits);
+  EXPECT_EQ(decoded.snapshot_misses, record.snapshot_misses);
+  EXPECT_EQ(decoded.config_memo_hits, record.config_memo_hits);
+  EXPECT_EQ(decoded.restore_ns, record.restore_ns);
   EXPECT_EQ(decoded.crash_ids, record.crash_ids);
   EXPECT_EQ(decoded.crash_inputs, record.crash_inputs);
 }
@@ -351,6 +360,7 @@ TEST(WireTest, ShardChildConfigRecordRoundTripIsIdentity) {
   EXPECT_EQ(decoded.use_validator, record.use_validator);
   EXPECT_EQ(decoded.use_configurator, record.use_configurator);
   EXPECT_EQ(decoded.oracle_interval, record.oracle_interval);
+  EXPECT_EQ(decoded.snapshot_cache_size, record.snapshot_cache_size);
   EXPECT_EQ(decoded.crash_dir, record.crash_dir);
 
   // An out-of-range Arch byte is rejected, not cast blindly.

@@ -36,6 +36,7 @@ DIRECTION = {
     "ns": False,
     "MB/s": True,
     "x": True,
+    "execs/s": True,
 }
 
 

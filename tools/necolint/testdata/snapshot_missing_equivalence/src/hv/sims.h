@@ -1,0 +1,27 @@
+// Fixture: two backends override the snapshot hooks; only CoveredHv is
+// referenced by an equivalence test, so UncoveredHv must be flagged.
+#ifndef FIXTURE_SIMS_H_
+#define FIXTURE_SIMS_H_
+
+struct VmSnapshot {};
+
+class HypervisorBase {
+ public:
+  virtual ~HypervisorBase() = default;
+  virtual VmSnapshot SnapshotVm() { return {}; }
+  virtual void RestoreVm(const VmSnapshot& snapshot) {}
+};
+
+class CoveredHv : public HypervisorBase {
+ public:
+  VmSnapshot SnapshotVm() override;
+  void RestoreVm(const VmSnapshot& snapshot) override;
+};
+
+class UncoveredHv : public HypervisorBase {
+ public:
+  VmSnapshot SnapshotVm() override;
+  void RestoreVm(const VmSnapshot& snapshot) override;
+};
+
+#endif  // FIXTURE_SIMS_H_

@@ -1,0 +1,8 @@
+// Equivalence coverage for CoveredHv only.
+#include "src/hv/sims.h"
+
+void PinCoveredHv() {
+  CoveredHv hv;
+  VmSnapshot snap = hv.SnapshotVm();
+  hv.RestoreVm(snap);
+}
