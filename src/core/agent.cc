@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/core/partition.h"
+#include "src/core/wire.h"
 
 namespace neco {
 namespace {
@@ -318,6 +319,61 @@ ExecFeedback Agent::ExecuteOne(const FuzzInput& input) {
     }
   }
   return feedback;
+}
+
+void Agent::ExportState(WorkerStateRecord* out) const {
+  out->executions = stats_.executions;
+  out->watchdog_restarts = stats_.watchdog_restarts;
+  out->snapshot_hits = stats_.snapshot_hits;
+  out->snapshot_misses = stats_.snapshot_misses;
+  out->config_memo_hits = stats_.config_memo_hits;
+  out->restore_ns = stats_.restore_ns;
+  out->findings.clear();
+  out->findings.reserve(findings_.size());
+  for (const auto& [id, report] : findings_) {
+    out->findings.push_back(report);
+  }
+  // std::set iteration is sorted, so the quirk tables serialize in a
+  // deterministic order.
+  out->vmx_suppressed_checks.clear();
+  for (CheckId check : vmx_validator_.quirks().suppressed_checks) {
+    out->vmx_suppressed_checks.push_back(static_cast<uint16_t>(check));
+  }
+  out->vmx_learned_fixups.clear();
+  for (VmxFixupId fixup : vmx_validator_.quirks().learned_fixups) {
+    out->vmx_learned_fixups.push_back(static_cast<uint8_t>(fixup));
+  }
+  out->svm_suppressed_checks.clear();
+  for (CheckId check : svm_validator_.quirks().suppressed_checks) {
+    out->svm_suppressed_checks.push_back(static_cast<uint16_t>(check));
+  }
+}
+
+void Agent::ImportState(const WorkerStateRecord& record) {
+  stats_.executions = record.executions;
+  stats_.watchdog_restarts = record.watchdog_restarts;
+  stats_.snapshot_hits = record.snapshot_hits;
+  stats_.snapshot_misses = record.snapshot_misses;
+  stats_.config_memo_hits = record.config_memo_hits;
+  stats_.restore_ns = record.restore_ns;
+  findings_.clear();
+  for (const AnomalyReport& report : record.findings) {
+    findings_.emplace(report.bug_id, report);
+  }
+  VmxQuirkTable& vmx = vmx_validator_.quirks();
+  vmx.suppressed_checks.clear();
+  vmx.learned_fixups.clear();
+  for (uint16_t check : record.vmx_suppressed_checks) {
+    vmx.suppressed_checks.insert(static_cast<CheckId>(check));
+  }
+  for (uint8_t fixup : record.vmx_learned_fixups) {
+    vmx.learned_fixups.insert(static_cast<VmxFixupId>(fixup));
+  }
+  SvmQuirkTable& svm = svm_validator_.quirks();
+  svm.suppressed_checks.clear();
+  for (uint16_t check : record.svm_suppressed_checks) {
+    svm.suppressed_checks.insert(static_cast<CheckId>(check));
+  }
 }
 
 }  // namespace neco

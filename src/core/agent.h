@@ -96,6 +96,18 @@ class Agent {
   const AgentStats& stats() const { return stats_; }
   const OracleStats& vmx_oracle_stats() const { return vmx_oracle_.stats(); }
 
+  // --- Materialized snapshots (src/core/state/snapshot.h) ---
+  //
+  // Fills / restores the agent section of a WorkerStateRecord: the
+  // execution counters (executions preserves the oracle-interval phase
+  // exactly), the deduplicated findings map, and the oracle-learned quirk
+  // tables that shape every subsequent GenerateBoundaryState. Advisory
+  // caches — snapshot cache contents, configurator memo, oracle stats —
+  // are deliberately not state: results are invariant to them, exactly
+  // as they are across a replay resume.
+  void ExportState(WorkerStateRecord* out) const;
+  void ImportState(const WorkerStateRecord& record);
+
  private:
   void RunIntel(const FuzzInput& input, const VcpuConfig& config,
                 InputPartition& parts);

@@ -128,6 +128,16 @@ struct CampaignOptions {
   // change between incarnations). A state_dir written by different
   // options, target, or binary is rejected at Run() with an error.
   std::string state_dir;
+  // Materialized-snapshot cadence (src/core/state/snapshot.h): with a
+  // state_dir, commit a full merged-state snapshot every N epochs, so a
+  // resume replays at most N-1 epochs of tail instead of the whole
+  // campaign, and journal files behind the previous snapshot horizon are
+  // compacted away. 0 (the default) disables snapshots: resume replays
+  // every committed epoch, exactly the pre-snapshot behavior. Results are
+  // invariant to this knob — like merge_batch and shard_mode it is
+  // excluded from the journal fingerprint, so the cadence may change
+  // between incarnations of the same campaign.
+  size_t snapshot_every_epochs = 0;
   // Test-only fault injection: when set, every fork-mode process shard
   // calls this at the start of each epoch (in the child process). Lets
   // tests kill a child mid-campaign and assert the parent surfaces a

@@ -104,6 +104,53 @@ void InitShard(ShardContext& state, Hypervisor* borrowed,
       ChunkSchedule(ShardBudget(options.iterations, workers, w), samples);
 }
 
+// --- Worker state capture/restore (materialized snapshots) ---------------
+
+// Serializes everything a shard needs to continue past `horizon` epochs
+// as if it never stopped: fuzzer (corpus, RNG streams, virgin map, crash
+// dedup), agent (throughput counters, findings, learned quirk tables),
+// coverage unit, host-crash flags, and the export bookkeeping. Captured
+// AFTER the epoch's delta was assembled, so every "already shipped"
+// cursor is included at its post-export position.
+WorkerStateRecord ExportWorkerState(ShardContext& state,
+                                    const CampaignOptions& options, int w,
+                                    size_t horizon) {
+  WorkerStateRecord record;
+  record.worker = w;
+  record.epochs_covered = horizon;
+  state.fuzzer->ExportState(&record);
+  state.agent->ExportState(&record);
+  const CoverageUnit& cov = state.hv->nested_coverage(options.arch);
+  for (size_t point : cov.CoveredSet()) {
+    record.covered.push_back(static_cast<uint32_t>(point));
+  }
+  record.hit_events = cov.hit_events();
+  record.host_crashed = state.hv->host_crashed() ? 1 : 0;
+  record.host_restarts = state.hv->host_restarts();
+  record.imports = state.imports;
+  return record;
+}
+
+// The inverse: seeds a freshly initialized shard from its snapshot record
+// so the next epoch runs bit-identically to the incarnation that wrote
+// it. `record` is consumed (corpus entries are moved, not copied).
+void ImportWorkerState(ShardContext& state, const CampaignOptions& options,
+                       WorkerStateRecord* record) {
+  state.fuzzer->ImportState(record);
+  state.agent->ImportState(*record);
+  CoverageUnit& cov = state.hv->nested_coverage(options.arch);
+  cov.RestoreCoverage(record->covered, record->hit_events);
+  // The snapshot's coverage was exported right after a delta, so the
+  // restored "already shipped" baseline is the full restored map.
+  state.covered_seen = cov.hits();
+  state.hv->RestoreHostCrashState(record->host_crashed != 0,
+                                  record->host_restarts);
+  state.imports = record->imports;
+  for (const AnomalyReport& report : record->findings) {
+    state.shipped_findings.insert(report.bug_id);
+  }
+}
+
 // The shard epoch loop, shared by thread workers and process children:
 // absorb the previous epoch's feedback (when syncing), fuzz one step,
 // publish one wire-encoded ShardDelta. `get_feedback` and `publish`
@@ -111,14 +158,16 @@ void InitShard(ShardContext& state, Hypervisor* borrowed,
 // campaign is going down and the shard stops quietly. Every worker
 // publishes one delta per global epoch — empty ones past its own schedule
 // — so the drainer can finalize epochs without tracking per-shard
-// schedules.
+// schedules. A snapshot-resumed shard starts at `start_epoch` instead of
+// 0; with a snapshot cadence it additionally publishes a
+// WorkerStateRecord frame right before each snapshot epoch's delta.
 bool RunShardEpochs(
     ShardContext& state, const CampaignOptions& options, int w,
-    size_t epochs, bool syncing,
+    size_t epochs, bool syncing, size_t start_epoch, size_t snapshot_every,
     const std::function<bool(size_t, MergePipeline::Feedback*)>& get_feedback,
     const std::function<bool(wire::Buffer)>& publish,
     const std::function<void(int, size_t)>& fault_hook) {
-  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < epochs; ++epoch) {
     if (fault_hook) {
       fault_hook(w, epoch);
     }
@@ -168,6 +217,17 @@ bool RunShardEpochs(
     for (const auto& [id, report] : state.agent->findings()) {
       if (state.shipped_findings.insert(id).second) {
         delta.findings.push_back(report);
+      }
+    }
+    // At a snapshot epoch, capture the shard's full state — after the
+    // delta assembly above, so every export cursor sits at its shipped
+    // position — and publish it BEFORE the delta: per-channel FIFO then
+    // guarantees the drainer has the state staged by the time the epoch
+    // can fold.
+    if (snapshot_every != 0 && (epoch + 1) % snapshot_every == 0) {
+      if (!publish(wire::Encode(
+              ExportWorkerState(state, options, w, epoch + 1)))) {
+        return false;
       }
     }
     // Queue entries are serialized straight out of the fuzzer's corpus
@@ -315,18 +375,24 @@ CampaignManifestRecord MakeManifest(const CampaignOptions& options,
 
 // `delta_fd` and `feedback_fd` are the same descriptor for a socket-mode
 // child: the frames are direction-tagged by type, so one full-duplex
-// stream carries both.
+// stream carries both. `restore` (consumed; null for a fresh start) seeds
+// the shard from its snapshot record before the tail runs.
 int RunShardChildLoop(const HypervisorFactory& factory,
                       const CampaignOptions& options, int workers, int w,
-                      int samples, size_t epochs, bool syncing, int delta_fd,
+                      int samples, size_t epochs, bool syncing,
+                      size_t start_epoch, size_t snapshot_every,
+                      WorkerStateRecord* restore, int delta_fd,
                       int feedback_fd) {
   // The parent may die or abort at any time; a write into the closed pipe
   // must come back as an error code, not a process-killing SIGPIPE.
   ::signal(SIGPIPE, SIG_IGN);
   ShardContext state;
   InitShard(state, nullptr, factory, options, workers, w, samples);
+  if (restore != nullptr) {
+    ImportWorkerState(state, options, restore);
+  }
   const bool completed = RunShardEpochs(
-      state, options, w, epochs, syncing,
+      state, options, w, epochs, syncing, start_epoch, snapshot_every,
       [&](size_t through_epoch, MergePipeline::Feedback* out) {
         wire::Buffer frame;
         FeedbackRecord record;
@@ -477,6 +543,8 @@ EngineResult CampaignEngine::Run() {
   // A fingerprint mismatch — the directory belongs to a different
   // campaign — throws here, before anything runs.
   std::unique_ptr<CampaignJournal> journal;
+  CampaignSnapshot snapshot;
+  size_t horizon = 0;
   if (!options_.state_dir.empty()) {
     const size_t epochs =
         ComputeEpochs(options_.iterations, workers, samples);
@@ -484,23 +552,45 @@ EngineResult CampaignEngine::Run() {
         options_.state_dir,
         MakeManifest(options_, target_name_, workers, samples, epochs,
                      ResolveSyncing(options_, workers)));
+    // O(tail) resume: seed everything from the newest loadable snapshot
+    // and replay only the epochs past its horizon. A 0 return (no
+    // snapshot, or every candidate torn/corrupt) degrades to full replay
+    // — never an error. The worker-count check is belt and braces: the
+    // fingerprint already pins `workers`.
+    horizon = journal->LoadLatestSnapshot(&snapshot);
+    if (horizon != 0 &&
+        snapshot.workers.size() != static_cast<size_t>(workers)) {
+      horizon = 0;
+    }
   }
+  CampaignSnapshot* resume = horizon != 0 ? &snapshot : nullptr;
   if (borrowed_ == nullptr && options_.shard_mode != ShardMode::kThreads) {
     // kProcesses and kSockets share the epoch/merge loop; only the
     // transport setup differs.
-    return RunWithProcessShards(workers, samples, journal.get());
+    return RunWithProcessShards(workers, samples, journal.get(), resume);
   }
-  return RunWithThreadShards(workers, samples, journal.get());
+  return RunWithThreadShards(workers, samples, journal.get(), resume);
 }
 
 EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
-                                                 CampaignJournal* journal) {
+                                                 CampaignJournal* journal,
+                                                 CampaignSnapshot* snapshot) {
   const CampaignOptions& options = options_;
 
   std::vector<ShardContext> states(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     InitShard(states[static_cast<size_t>(w)], borrowed_, factory_, options,
               workers, w, samples);
+  }
+  const size_t start_epoch =
+      snapshot != nullptr ? snapshot->epochs_covered : 0;
+  const size_t snapshot_every =
+      journal != nullptr ? options.snapshot_every_epochs : 0;
+  if (snapshot != nullptr) {
+    for (int w = 0; w < workers; ++w) {
+      ImportWorkerState(states[static_cast<size_t>(w)], options,
+                        &snapshot->workers[static_cast<size_t>(w)]);
+    }
   }
   const size_t epochs = ComputeEpochs(options.iterations, workers, samples);
   const size_t total_points =
@@ -521,6 +611,9 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
     pipeline_options.journal = journal;
     pipeline_options.resume_epochs =
         std::min(journal->committed_epochs(), epochs);
+    pipeline_options.snapshot_every = snapshot_every;
+    pipeline_options.restore =
+        snapshot != nullptr ? &snapshot->merged : nullptr;
     pipeline_options.hypervisor = std::string(states[0].hv->name());
     pipeline_options.arch = std::string(ArchName(options.arch));
   }
@@ -547,7 +640,7 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
     ShardContext& state = states[static_cast<size_t>(w)];
     try {
       RunShardEpochs(
-          state, options, w, epochs, syncing,
+          state, options, w, epochs, syncing, start_epoch, snapshot_every,
           [&](size_t through_epoch, MergePipeline::Feedback* out) {
             return pipeline.WaitForFeedback(through_epoch, w, out);
           },
@@ -596,8 +689,13 @@ EngineResult CampaignEngine::RunWithThreadShards(int workers, int samples,
 }
 
 EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
-                                                  CampaignJournal* journal) {
+                                                  CampaignJournal* journal,
+                                                  CampaignSnapshot* snapshot) {
   const CampaignOptions& options = options_;
+  const size_t start_epoch =
+      snapshot != nullptr ? snapshot->epochs_covered : 0;
+  const size_t snapshot_every =
+      journal != nullptr ? options.snapshot_every_epochs : 0;
   const bool sockets = options.shard_mode == ShardMode::kSockets;
   const bool exec_mode = !options.shard_exec_path.empty();
   const bool remote = sockets && options.remote_launcher != nullptr;
@@ -644,7 +742,18 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
     config.oracle_interval = options.agent.oracle_interval;
     config.snapshot_cache_size = options.agent.snapshot_cache_size;
     config.crash_dir = options.agent.crash_dir;
-    return wire::Encode(config);
+    config.start_epoch = start_epoch;
+    config.snapshot_every = snapshot_every;
+    wire::Buffer frame = wire::Encode(config);
+    // Snapshot resume: the shard's materialized state rides the same
+    // stream, framed right behind the config (children read one frame at
+    // a time, so the concatenation demuxes itself).
+    if (snapshot != nullptr) {
+      const wire::Buffer state =
+          wire::Encode(snapshot->workers[static_cast<size_t>(w)]);
+      frame.insert(frame.end(), state.begin(), state.end());
+    }
+    return frame;
   };
 
   // The supervisor also scopes SIGPIPE (see transport.h) for every
@@ -702,8 +811,20 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
             ::close(sock);
             return 2;
           }
+          // Same for the snapshot state frame trailing the config on a
+          // resume — decoded off the stream, like an exec'd child would.
+          WorkerStateRecord restore;
+          if (config.start_epoch > 0 &&
+              (!ReadPipeFrame(sock, &frame) ||
+               !wire::Decode(frame, &restore) || restore.worker != w)) {
+            ::close(sock);
+            return 2;
+          }
           return RunShardChildLoop(factory, options, workers, w, samples,
-                                   epochs, syncing, sock, sock);
+                                   epochs, syncing, start_epoch,
+                                   snapshot_every,
+                                   config.start_epoch > 0 ? &restore : nullptr,
+                                   sock, sock);
         });
         if (pid < 0) {
           throw std::runtime_error("CampaignEngine: fork() failed");
@@ -757,8 +878,16 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
             ::close(ch.delta_fd);
             ::close(ch.feedback_fd);
           }
-          return RunShardChildLoop(factory, options, workers, w, samples,
-                                   epochs, syncing, delta_wr, feedback_rd);
+          // A fork child's snapshot state arrives through inherited
+          // memory, like the rest of its configuration (no config frame
+          // is sent on the pipe-fork path).
+          return RunShardChildLoop(
+              factory, options, workers, w, samples, epochs, syncing,
+              start_epoch, snapshot_every,
+              snapshot != nullptr
+                  ? &snapshot->workers[static_cast<size_t>(w)]
+                  : nullptr,
+              delta_wr, feedback_rd);
         });
       }
       // Parent: the child-side ends live in the child now (or never will,
@@ -787,6 +916,9 @@ EngineResult CampaignEngine::RunWithProcessShards(int workers, int samples,
     pipeline_options.journal = journal;
     pipeline_options.resume_epochs =
         std::min(journal->committed_epochs(), epochs);
+    pipeline_options.snapshot_every = snapshot_every;
+    pipeline_options.restore =
+        snapshot != nullptr ? &snapshot->merged : nullptr;
     pipeline_options.hypervisor = hv_name;
     pipeline_options.arch = std::string(ArchName(options.arch));
   }
@@ -965,6 +1097,15 @@ int MaybeRunShardChild(int argc, char** argv) {
       (worker_arg >= 0 && config.worker != worker_arg)) {
     return 2;
   }
+  // Snapshot resume: a non-zero start epoch promises a WorkerStateRecord
+  // frame right behind the config on the same stream.
+  WorkerStateRecord restore;
+  if (config.start_epoch > 0 &&
+      (!ReadPipeFrame(feedback_fd, &frame) || !wire::Decode(frame, &restore) ||
+       restore.worker != config.worker ||
+       restore.epochs_covered != config.start_epoch)) {
+    return 2;
+  }
   try {
     const HypervisorFactory factory =
         ResolveHypervisorFactory(config.target);
@@ -984,9 +1125,12 @@ int MaybeRunShardChild(int argc, char** argv) {
     options.agent.snapshot_cache_size =
         static_cast<size_t>(config.snapshot_cache_size);
     options.agent.crash_dir = config.crash_dir;
-    return RunShardChildLoop(factory, options, config.workers, config.worker,
-                             config.samples, config.epochs,
-                             config.syncing != 0, delta_fd, feedback_fd);
+    return RunShardChildLoop(
+        factory, options, config.workers, config.worker, config.samples,
+        config.epochs, config.syncing != 0,
+        static_cast<size_t>(config.start_epoch),
+        static_cast<size_t>(config.snapshot_every),
+        config.start_epoch > 0 ? &restore : nullptr, delta_fd, feedback_fd);
   } catch (...) {
     return 1;
   }

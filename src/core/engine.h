@@ -151,10 +151,17 @@ class CampaignEngine {
   EngineResult Run();
 
  private:
+  // `snapshot` is the materialized resume point loaded from the journal
+  // (null for a fresh or snapshot-less campaign): shards seed their
+  // private state from snapshot->workers and start at the horizon, the
+  // pipeline seeds its merged state from snapshot->merged, and only the
+  // tail past the horizon is replayed.
   EngineResult RunWithThreadShards(int workers, int samples,
-                                   CampaignJournal* journal);
+                                   CampaignJournal* journal,
+                                   CampaignSnapshot* snapshot);
   EngineResult RunWithProcessShards(int workers, int samples,
-                                    CampaignJournal* journal);
+                                    CampaignJournal* journal,
+                                    CampaignSnapshot* snapshot);
 
   HypervisorFactory factory_;
   Hypervisor* borrowed_ = nullptr;

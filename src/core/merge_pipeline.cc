@@ -45,6 +45,50 @@ MergePipeline::MergePipeline(MergePipelineOptions options,
   }
   global_covered_.assign(options_.total_points, 0);
   cursors_.resize(static_cast<size_t>(options_.workers));
+  if (options_.restore == nullptr) {
+    return;
+  }
+  // Snapshot-seeded start: reinstate the merged state exactly as the fold
+  // of epoch horizon-1 left it, cursors included, so the first live epoch
+  // (the horizon) merges — and feeds back — bit-identically to the
+  // uninterrupted run. No thread has the pipeline yet; the lock is taken
+  // purely so the -Wthread-safety discipline holds without waivers.
+  MutexLock lock(&state_mu_);
+  const SnapshotMergedStateRecord& restore = *options_.restore;
+  const size_t horizon = restore.epochs_covered;
+  next_epoch_ = horizon;
+  finalized_ = horizon;
+  global_virgin_.ApplyDelta(restore.virgin);
+  covered_count_ = CoverageUnit::ApplyDelta(restore.covered, global_covered_);
+  for (const AnomalyReport& report : restore.findings) {
+    global_findings_.emplace(report.bug_id, report);
+  }
+  // Pool entries below prior_pool_end were consumed by every cursor
+  // before the snapshot, so placeholders keep the indices honest and the
+  // bytes stay out of the snapshot.
+  pool_.resize(restore.prior_pool_end);
+  for (size_t i = 0; i < restore.pool_inputs.size(); ++i) {
+    pool_.push_back({restore.pool_origins[i], restore.pool_inputs[i]});
+  }
+  const size_t samples = std::min(restore.series_iterations.size(),
+                                  restore.series_percents.size());
+  for (size_t i = 0; i < samples; ++i) {
+    series_.push_back(
+        {restore.series_iterations[i], restore.series_percents[i]});
+  }
+  total_iterations_ = restore.total_iterations;
+  // Feedback entries below the horizon are placeholders no cursor can
+  // reach; the horizon epoch's entry is live — it is what every worker's
+  // first feedback request (for epoch horizon-1) drains.
+  feedback_.resize(horizon);
+  if (horizon > 0) {
+    feedback_[horizon - 1].virgin = restore.feedback_virgin;
+    feedback_[horizon - 1].pool_end = restore.pool_end;
+  }
+  for (WorkerCursor& cursor : cursors_) {
+    cursor.pool = restore.prior_pool_end;
+    cursor.epoch = horizon == 0 ? 0 : horizon - 1;
+  }
 }
 
 // Note on memory: the transport bounds *encoded* deltas in flight, but the
@@ -73,6 +117,31 @@ void MergePipeline::Stage(std::unique_ptr<ShardDelta> delta,
   slot.raw = std::move(raw);
 }
 
+void MergePipeline::StageWorkerState(
+    std::unique_ptr<WorkerStateRecord> record) {
+  const size_t horizon = record->epochs_covered;
+  const size_t epoch = horizon == 0 ? 0 : horizon - 1;
+  if (record->worker < 0 || record->worker >= options_.workers ||
+      horizon == 0 || epoch < next_epoch_ || epoch >= options_.epochs ||
+      !SnapshotEpoch(epoch)) {
+    throw std::runtime_error(
+        "MergePipeline: worker state for impossible shard " +
+        std::to_string(record->worker) + " / horizon " +
+        std::to_string(horizon));
+  }
+  std::vector<std::unique_ptr<WorkerStateRecord>>& slots =
+      staged_states_[epoch];
+  slots.resize(static_cast<size_t>(options_.workers));
+  std::unique_ptr<WorkerStateRecord>& slot =
+      slots[static_cast<size_t>(record->worker)];
+  if (slot != nullptr) {
+    throw std::runtime_error(
+        "MergePipeline: duplicate worker state from shard " +
+        std::to_string(record->worker));
+  }
+  slot = std::move(record);
+}
+
 void MergePipeline::FoldReadyEpochs() {
   while (true) {
     const auto it = staged_.find(next_epoch_);
@@ -97,6 +166,9 @@ void MergePipeline::FoldReadyEpochs() {
     // the lock, persisted after it (fsync must not block WaitForFeedback).
     std::vector<CrashRecord> crashes;
     EpochCommitRecord summary;
+    const bool snapshot_now =
+        options_.journal != nullptr && !replay && SnapshotEpoch(epoch);
+    CampaignSnapshot snapshot;
     {
       MutexLock lock(&state_mu_);
       EpochFeedback fb;
@@ -173,6 +245,36 @@ void MergePipeline::FoldReadyEpochs() {
       summary.percent = percent;
       feedback_.push_back(std::move(fb));
       finalized_ = epoch + 1;
+      if (snapshot_now) {
+        // Materialize the merged half of the snapshot exactly as the fold
+        // just left it — including the feedback entry and pool boundary a
+        // restored incarnation's first feedback request will drain.
+        snapshot.epochs_covered = epoch + 1;
+        SnapshotMergedStateRecord& merged = snapshot.merged;
+        merged.epochs_covered = epoch + 1;
+        CoverageBitmap empty;
+        merged.virgin = global_virgin_.ExtractDeltaSince(empty);
+        for (size_t point = 0; point < global_covered_.size(); ++point) {
+          if (global_covered_[point] != 0) {
+            merged.covered.push_back(static_cast<uint32_t>(point));
+          }
+        }
+        for (const auto& [id, report] : global_findings_) {
+          merged.findings.push_back(report);
+        }
+        merged.prior_pool_end = epoch == 0 ? 0 : feedback_[epoch - 1].pool_end;
+        merged.pool_end = feedback_[epoch].pool_end;
+        for (size_t i = merged.prior_pool_end; i < merged.pool_end; ++i) {
+          merged.pool_origins.push_back(pool_[i].origin);
+          merged.pool_inputs.push_back(pool_[i].input);
+        }
+        for (const CoverageSample& sample : series_) {
+          merged.series_iterations.push_back(sample.iteration);
+          merged.series_percents.push_back(sample.percent);
+        }
+        merged.total_iterations = total_iterations_;
+        merged.feedback_virgin = feedback_[epoch].virgin;
+      }
       feedback_cv_.NotifyAll();
     }
 
@@ -194,11 +296,31 @@ void MergePipeline::FoldReadyEpochs() {
       } else {
         summary.crash_artifacts =
             options_.journal->crash_store().records().size();
+        if (snapshot_now) {
+          // Per-worker FIFO framing guarantees each worker's state frame
+          // preceded its delta, so a foldable snapshot epoch has every
+          // state staged; a gap means a shard skipped its contract.
+          const auto states = staged_states_.find(epoch);
+          if (states == staged_states_.end() ||
+              std::any_of(states->second.begin(), states->second.end(),
+                          [](const std::unique_ptr<WorkerStateRecord>& s) {
+                            return s == nullptr;
+                          })) {
+            throw std::runtime_error(
+                "MergePipeline: missing worker state for snapshot epoch " +
+                std::to_string(epoch));
+          }
+          snapshot.workers.reserve(states->second.size());
+          for (std::unique_ptr<WorkerStateRecord>& state : states->second) {
+            snapshot.workers.push_back(std::move(*state));
+          }
+        }
         // Durability before visibility: the epoch is committed before any
         // of its events fire, so everything an observer ever saw survives
         // kill -9 — the resumed stream continues exactly where this one
         // stopped.
-        options_.journal->CommitEpoch(epoch, frames, summary);
+        options_.journal->CommitEpoch(epoch, frames, summary,
+                                      snapshot_now ? &snapshot : nullptr);
       }
     }
 
@@ -226,6 +348,9 @@ void MergePipeline::FoldReadyEpochs() {
       PushEpochFeedback(epoch);
     }
 
+    // Replayed snapshot epochs discard their staged states here (the
+    // journal already holds that snapshot); committed ones were consumed.
+    staged_states_.erase(epoch);
     staged_.erase(it);
     ++next_epoch_;
   }
@@ -250,6 +375,16 @@ void MergePipeline::PushEpochFeedback(size_t epoch) {
 }
 
 void MergePipeline::RunMergeLoop() {
+  // Snapshot-seeded process campaign: the original incarnation pushed the
+  // horizon epoch's feedback right after folding it, and the restored
+  // children (which start AT the horizon) will block reading it — so
+  // re-push it from the restored cursors before draining anything. The
+  // cursors advance exactly as they did originally, keeping every later
+  // feedback bit-identical.
+  if (options_.push_feedback && options_.restore != nullptr &&
+      next_epoch_ > 0 && next_epoch_ < options_.epochs) {
+    PushEpochFeedback(next_epoch_ - 1);
+  }
   std::vector<wire::Buffer> batch;
   while (next_epoch_ < options_.epochs) {
     if (!transport_->Drain(static_cast<size_t>(options_.merge_batch),
@@ -268,6 +403,20 @@ void MergePipeline::RunMergeLoop() {
       ++stats_.flushes;
     }
     for (wire::Buffer& buffer : batch) {
+      wire::RecordType type = wire::RecordType::kShardDelta;
+      wire::PeekType(buffer.data(), buffer.size(), &type);
+      if (type == wire::RecordType::kWorkerState) {
+        // A worker's full-state frame for its snapshot epoch, published
+        // right before that epoch's delta. Never journaled as part of the
+        // epoch file — it lands in the snapshot file instead.
+        auto state = std::make_unique<WorkerStateRecord>();
+        if (!wire::Decode(buffer, state.get())) {
+          throw std::runtime_error(
+              "MergePipeline: corrupt WorkerStateRecord on the merge queue");
+        }
+        StageWorkerState(std::move(state));
+        continue;
+      }
       auto delta = std::make_unique<ShardDelta>();
       if (!wire::Decode(buffer, delta.get())) {
         throw std::runtime_error(

@@ -76,6 +76,20 @@ struct MergePipelineOptions {
   // against the journal, and observer events are suppressed — the stream
   // resumes precisely where the interrupted run's commits stopped.
   size_t resume_epochs = 0;
+  // Materialized-snapshot cadence (journal mode; 0 disables): at every
+  // snapshot_every-th epoch the workers publish a WorkerStateRecord frame
+  // right before that epoch's ShardDelta, the drainer stages them, and
+  // the fold assembles + commits a CampaignSnapshot in the same commit as
+  // the epoch — durably on disk before any of the epoch's observer
+  // events fire.
+  size_t snapshot_every = 0;
+  // Resume seed (borrowed, may be null): the merged half of the snapshot
+  // the campaign restarts from. The pipeline then starts with epochs
+  // [0, restore->epochs_covered) already finalized — merged state,
+  // feedback bookkeeping, and per-worker cursors positioned exactly as
+  // the original incarnation left them at the horizon — and the fold
+  // begins at the horizon instead of epoch 0.
+  const SnapshotMergedStateRecord* restore = nullptr;
   // Crash-artifact metadata stamped into persisted records (journal mode).
   std::string hypervisor;
   std::string arch;
@@ -177,6 +191,16 @@ class MergePipeline {
   };
 
   void Stage(std::unique_ptr<ShardDelta> delta, wire::Buffer raw);
+  // Stages a worker's full-state record for its snapshot epoch (drainer
+  // thread only, like Stage). FIFO framing per worker guarantees the
+  // state frame precedes the same epoch's delta, so by the time an epoch
+  // can fold every worker's state is staged.
+  void StageWorkerState(std::unique_ptr<WorkerStateRecord> record);
+  // Whether `epoch`'s fold commits a materialized snapshot.
+  bool SnapshotEpoch(size_t epoch) const {
+    return options_.snapshot_every != 0 &&
+           (epoch + 1) % options_.snapshot_every == 0;
+  }
   void FoldReadyEpochs() NECO_EXCLUDES(state_mu_);
   // Snapshots `worker`'s unseen merged state through `through_epoch` and
   // advances its cursors; caller holds state_mu_ and the epoch must be
@@ -198,6 +222,11 @@ class MergePipeline {
   // complete (all workers' records present). Single-threaded by
   // construction (only RunMergeLoop touches them), hence unguarded.
   std::map<uint64_t, std::vector<StagedDelta>> staged_;
+  // Worker-state records published for snapshot epochs, keyed by epoch;
+  // consumed (or, for replayed epochs, discarded) when the epoch folds.
+  // Drainer-only, like staged_.
+  std::map<uint64_t, std::vector<std::unique_ptr<WorkerStateRecord>>>
+      staged_states_;
   size_t next_epoch_ = 0;
 
   // Global merged state: written by the drainer under state_mu_, read by

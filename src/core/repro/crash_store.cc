@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -37,21 +38,35 @@ std::string RenderReport(const CrashRecord& record) {
 
 }  // namespace
 
-CrashStore::CrashStore(std::filesystem::path directory)
+CrashStore::CrashStore(std::filesystem::path directory,
+                       std::optional<uint64_t> expected_records)
     : directory_(std::move(directory)) {
   if (!directory_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
-    Reload();
+    // A manifest-backed caller knows the committed artifact count; zero
+    // means the scan would find nothing load-bearing, so skip it instead
+    // of walking the directory on every fresh-campaign open.
+    if (!expected_records.has_value() || *expected_records != 0) {
+      const auto start = std::chrono::steady_clock::now();
+      Reload(expected_records);
+      reload_ns_ = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
   }
 }
 
-void CrashStore::Reload() {
+void CrashStore::Reload(std::optional<uint64_t> expected_records) {
   struct Loaded {
     uint64_t seq;
     CrashRecord record;
   };
   std::vector<Loaded> loaded;
+  if (expected_records.has_value()) {
+    loaded.reserve(static_cast<size_t>(*expected_records));
+  }
   std::error_code ec;
   for (std::filesystem::directory_iterator it(directory_, ec), end;
        !ec && it != end; it.increment(ec)) {
@@ -77,6 +92,9 @@ void CrashStore::Reload() {
   }
   std::sort(loaded.begin(), loaded.end(),
             [](const Loaded& a, const Loaded& b) { return a.seq < b.seq; });
+  records_.reserve(loaded.size());
+  seqs_.reserve(loaded.size());
+  known_ids_.reserve(loaded.size());
   for (Loaded& entry : loaded) {
     if (!known_ids_.insert(entry.record.report.bug_id).second) {
       continue;  // A duplicate id can only be operator-planted; first wins.

@@ -48,7 +48,16 @@ class CrashStore {
   // (restart continues where the last run stopped: same dedup set, fresh
   // sequence numbers after the highest committed one). Unreadable or
   // torn files are skipped, never trusted.
-  explicit CrashStore(std::filesystem::path directory = {});
+  //
+  // `expected_records` is the manifest-recorded artifact count, when the
+  // caller has one: 0 skips the directory scan outright (a fresh campaign
+  // pays nothing for its empty store — any orphan record a kill left
+  // behind is re-saved byte-identically by the replay), and a positive
+  // count pre-sizes the reload instead of growth-doubling through it.
+  // The scan itself still reads whatever is on disk — the count is a
+  // hint, never a truncation.
+  explicit CrashStore(std::filesystem::path directory = {},
+                      std::optional<uint64_t> expected_records = std::nullopt);
 
   // Records a finding; returns false if the bug id is already known
   // (deduplication), true if this is a new finding. Throws
@@ -68,10 +77,14 @@ class CrashStore {
 
   const std::filesystem::path& directory() const { return directory_; }
 
+  // Wall-clock nanoseconds the constructor spent reloading committed
+  // records (0 when the scan was skipped); feeds JournalStats::reload_ns.
+  uint64_t reload_ns() const { return reload_ns_; }
+
  private:
   std::filesystem::path PathFor(uint64_t seq, const std::string& id,
                                 const char* extension) const;
-  void Reload();
+  void Reload(std::optional<uint64_t> expected_records);
 
   // Single-threaded by contract (hence no mutex / NECO_GUARDED_BY): every
   // Save() happens on the merge/drain thread — findings reach the store
@@ -82,6 +95,7 @@ class CrashStore {
   std::vector<uint64_t> seqs_;  // Parallel to records_: on-disk sequence.
   std::unordered_set<std::string> known_ids_;
   uint64_t next_seq_ = 0;
+  uint64_t reload_ns_ = 0;
 };
 
 }  // namespace neco

@@ -1,7 +1,15 @@
 #include "src/core/state/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "src/support/errno_util.h"
 
 namespace neco {
 namespace {
@@ -25,8 +33,38 @@ uint64_t ChecksumFrames(const std::vector<wire::Buffer>& frames) {
   return hash;
 }
 
-// The fingerprint fields must match exactly; committed_epochs is the only
-// mutable field of the manifest.
+// Parses "<prefix><decimal><suffix>" (an epoch or snapshot file name)
+// into its number; false for anything else, including a bare or
+// non-numeric middle, so stray files in the state dir are never touched.
+bool ParseIndexedName(const std::string& name, const std::string& prefix,
+                      const std::string& suffix, size_t* out) {
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  size_t value = 0;
+  for (size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// The fingerprint fields must match exactly; committed_epochs,
+// snapshot_epochs, and crash_artifacts are the manifest's only mutable
+// fields.
 std::string FingerprintMismatch(const CampaignManifestRecord& disk,
                                 const CampaignManifestRecord& run) {
   auto differs = [](const std::string& field) {
@@ -62,31 +100,55 @@ std::string FingerprintMismatch(const CampaignManifestRecord& disk,
 
 }  // namespace
 
+std::optional<CampaignManifestRecord> CampaignJournal::ReadManifestFile(
+    const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / "MANIFEST";
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes;
+  CampaignManifestRecord disk;
+  if (!ReadFileBytes(path, &bytes) ||
+      !wire::Decode(bytes.data(), bytes.size(), &disk)) {
+    throw std::runtime_error("CampaignJournal: corrupt manifest at " +
+                             path.string());
+  }
+  return disk;
+}
+
 CampaignJournal::CampaignJournal(std::filesystem::path dir,
                                  const CampaignManifestRecord& fingerprint)
     : dir_(std::move(dir)),
       manifest_(fingerprint),
+      // The manifest is read before the crash store constructs so the
+      // store can take the committed artifact count as its reload hint
+      // (0 skips the directory scan outright).
+      disk_manifest_(ReadManifestFile(dir_)),
       // Creating crashes/ creates the state dir itself on the way.
-      crash_store_(dir_ / "crashes") {
+      crash_store_(dir_ / "crashes",
+                   disk_manifest_.has_value()
+                       ? std::optional<uint64_t>(disk_manifest_->crash_artifacts)
+                       : std::nullopt) {
+  stats_.reload_ns += crash_store_.reload_ns();
   manifest_.committed_epochs = 0;
-  std::error_code ec;
-  if (std::filesystem::exists(ManifestPath(), ec)) {
-    std::vector<uint8_t> bytes;
-    CampaignManifestRecord disk;
-    if (!ReadFileBytes(ManifestPath(), &bytes) ||
-        !wire::Decode(bytes.data(), bytes.size(), &disk)) {
-      throw std::runtime_error("CampaignJournal: corrupt manifest at " +
-                               ManifestPath().string());
-    }
-    const std::string mismatch = FingerprintMismatch(disk, fingerprint);
+  manifest_.snapshot_epochs = 0;
+  manifest_.crash_artifacts = 0;
+  if (disk_manifest_.has_value()) {
+    const std::string mismatch =
+        FingerprintMismatch(*disk_manifest_, fingerprint);
     if (!mismatch.empty()) {
       throw std::runtime_error(
           "CampaignJournal: " + dir_.string() +
           " belongs to a different campaign: " + mismatch +
           "; use a fresh state_dir (or the original options) to resume");
     }
-    manifest_.committed_epochs = disk.committed_epochs;
-    committed_epochs_ = static_cast<size_t>(disk.committed_epochs);
+    committed_epochs_ = static_cast<size_t>(disk_manifest_->committed_epochs);
+    snapshot_epochs_ = static_cast<size_t>(disk_manifest_->snapshot_epochs);
+    manifest_.committed_epochs = disk_manifest_->committed_epochs;
+    manifest_.snapshot_epochs = disk_manifest_->snapshot_epochs;
+    manifest_.crash_artifacts = disk_manifest_->crash_artifacts;
+    disk_manifest_.reset();
   } else {
     // Stamp the fingerprint immediately: a directory is claimed by its
     // campaign at open, so even a run that dies before its first commit
@@ -97,6 +159,8 @@ CampaignJournal::CampaignJournal(std::filesystem::path dir,
 
 void CampaignJournal::WriteManifest() {
   manifest_.committed_epochs = committed_epochs_;
+  manifest_.snapshot_epochs = snapshot_epochs_;
+  manifest_.crash_artifacts = crash_store_.records().size();
   const wire::Buffer frame = wire::Encode(manifest_);
   std::string error;
   if (!AtomicWriteFile(ManifestPath(), frame.data(), frame.size(), &error,
@@ -107,11 +171,19 @@ void CampaignJournal::WriteManifest() {
 
 void CampaignJournal::CommitEpoch(size_t epoch,
                                   const std::vector<wire::Buffer>& frames,
-                                  EpochCommitRecord summary) {
+                                  EpochCommitRecord summary,
+                                  const CampaignSnapshot* snapshot) {
   if (epoch != committed_epochs_) {
     throw std::logic_error("CampaignJournal: commit for epoch " +
                            std::to_string(epoch) + " but commit point is " +
                            std::to_string(committed_epochs_));
+  }
+  if (snapshot != nullptr && snapshot->epochs_covered != epoch + 1) {
+    throw std::logic_error(
+        "CampaignJournal: snapshot covers " +
+        std::to_string(snapshot->epochs_covered) +
+        " epochs but the commit advances the point to " +
+        std::to_string(epoch + 1));
   }
   summary.epoch = epoch;
   summary.workers = static_cast<int>(frames.size());
@@ -127,10 +199,89 @@ void CampaignJournal::CommitEpoch(size_t epoch,
                        &error, &commit_stats_)) {
     throw std::runtime_error("CampaignJournal: " + error);
   }
-  // Only now — with the epoch file durable — does the commit point move.
+  if (snapshot != nullptr) {
+    // The snapshot file is durable before the manifest names it; a kill
+    // in between leaves an invisible file the next snapshot overwrites.
+    const wire::Buffer image = EncodeSnapshotFile(*snapshot);
+    if (!AtomicWriteFile(dir_ / SnapshotFileName(epoch + 1), image.data(),
+                         image.size(), &error, &commit_stats_)) {
+      throw std::runtime_error("CampaignJournal: " + error);
+    }
+  }
+  // Only now — with the epoch (and snapshot) file durable — does the
+  // commit point move; both cursors advance in one atomic manifest write.
+  const size_t previous_horizon = snapshot_epochs_;
   ++committed_epochs_;
+  if (snapshot != nullptr) {
+    snapshot_epochs_ = epoch + 1;
+  }
   WriteManifest();
   ++stats_.commits;
+  if (snapshot != nullptr) {
+    ++stats_.snapshots;
+    // Retention: everything the *previous* horizon still needed is now
+    // superseded twice over — delete it. Keeping one fallback generation
+    // (snapshot-<previous>.state plus the epochs from it forward) means a
+    // corrupt newest snapshot costs a shorter tail, not a full replay.
+    CompactBelow(previous_horizon);
+  }
+}
+
+void CampaignJournal::CompactBelow(size_t horizon) {
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    size_t index = 0;
+    const bool epoch_file =
+        ParseIndexedName(name, "epoch-", ".journal", &index) &&
+        index < horizon;
+    const bool snapshot_file =
+        ParseIndexedName(name, "snapshot-", ".state", &index) &&
+        index < horizon;
+    if (!epoch_file && !snapshot_file) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(it->path(), remove_ec) && !remove_ec) {
+      ++stats_.compacted_files;
+    }
+  }
+}
+
+size_t CampaignJournal::LoadLatestSnapshot(CampaignSnapshot* out) {
+  const auto start = std::chrono::steady_clock::now();
+  // Candidates: committed snapshot files at or below the manifest
+  // horizon. Files above it exist only after a kill between the snapshot
+  // write and the manifest advance — they were never the commit point, so
+  // they are not trusted (the interrupted epoch recommits them).
+  std::vector<size_t> horizons;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    size_t horizon = 0;
+    if (ParseIndexedName(it->path().filename().string(), "snapshot-",
+                         ".state", &horizon) &&
+        horizon != 0 && horizon <= snapshot_epochs_) {
+      horizons.push_back(horizon);
+    }
+  }
+  std::sort(horizons.begin(), horizons.end(),
+            [](size_t a, size_t b) { return a > b; });
+  for (size_t horizon : horizons) {
+    std::vector<uint8_t> bytes;
+    CampaignSnapshot snapshot;
+    if (!ReadFileBytes(dir_ / SnapshotFileName(horizon), &bytes) ||
+        !DecodeSnapshotFile(bytes.data(), bytes.size(), &snapshot) ||
+        snapshot.epochs_covered != horizon) {
+      continue;  // Torn or damaged: fall back to the older generation.
+    }
+    *out = std::move(snapshot);
+    stats_.reload_ns += ElapsedNs(start);
+    return horizon;
+  }
+  stats_.reload_ns += ElapsedNs(start);
+  return 0;
 }
 
 std::vector<wire::Buffer> CampaignJournal::LoadEpoch(size_t epoch) const {
@@ -173,20 +324,111 @@ std::vector<wire::Buffer> CampaignJournal::LoadEpoch(size_t epoch) const {
 
 void CampaignJournal::VerifyEpoch(size_t epoch,
                                   const std::vector<wire::Buffer>& frames) {
-  const std::vector<wire::Buffer> committed = LoadEpoch(epoch);
-  if (committed.size() != frames.size()) {
+  const std::filesystem::path path = dir_ / EpochFileName(epoch);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("CampaignJournal: cannot open " + path.string() +
+                             ": " + SafeStrerror(errno));
+  }
+  // Stream the committed file in fixed chunks: each chunk is compared in
+  // place against the re-published frames and folded into a running
+  // FNV-1a, so the file is never buffered whole — only the trailer (and,
+  // on a frame-count mismatch, the excess tail) accumulates.
+  auto divergence = [&](size_t shard) {
+    ::close(fd);
+    return std::runtime_error(
+        "CampaignJournal: resume divergence at epoch " +
+        std::to_string(epoch) + ", shard " + std::to_string(shard) +
+        " — the state dir was produced by a different campaign or binary");
+  };
+  uint64_t checksum = kFnvOffset;
+  size_t frame_index = 0;
+  size_t frame_offset = 0;
+  std::vector<uint8_t> chunk(64 * 1024);
+  std::vector<uint8_t> tail;  // Bytes past the last re-published frame.
+  while (true) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // A failing read mid-verify is an I/O problem, not a divergence:
+      // surface the errno so the operator can tell the two apart.
+      const std::string detail = SafeStrerror(errno);
+      ::close(fd);
+      throw std::runtime_error("CampaignJournal: short read on " +
+                               path.string() + ": " + detail);
+    }
+    if (n == 0) {
+      break;
+    }
+    size_t pos = 0;
+    const size_t got = static_cast<size_t>(n);
+    while (pos < got && frame_index < frames.size()) {
+      const wire::Buffer& frame = frames[frame_index];
+      const size_t take = std::min(got - pos, frame.size() - frame_offset);
+      if (!std::equal(chunk.begin() + static_cast<ptrdiff_t>(pos),
+                      chunk.begin() + static_cast<ptrdiff_t>(pos + take),
+                      frame.begin() + static_cast<ptrdiff_t>(frame_offset))) {
+        throw divergence(frame_index);
+      }
+      checksum = Fnv1a(checksum, chunk.data() + pos, take);
+      pos += take;
+      frame_offset += take;
+      if (frame_offset == frame.size()) {
+        ++frame_index;
+        frame_offset = 0;
+      }
+    }
+    tail.insert(tail.end(), chunk.begin() + static_cast<ptrdiff_t>(pos),
+                chunk.begin() + static_cast<ptrdiff_t>(got));
+  }
+  ::close(fd);
+  if (frame_index < frames.size()) {
+    // The file ended inside the re-published frames: fewer committed
+    // deltas than replayed ones (or a torn file — either way, not ours).
+    throw std::runtime_error(
+        "CampaignJournal: epoch " + std::to_string(epoch) + " replayed " +
+        std::to_string(frames.size()) +
+        " deltas but the journal committed fewer: torn or foreign file " +
+        path.string());
+  }
+  // The tail must be frames too: zero or more excess committed deltas
+  // (a worker-count mismatch) and then exactly the commit record.
+  size_t committed = frames.size();
+  size_t pos = 0;
+  size_t trailer_pos = 0;
+  while (pos < tail.size()) {
+    size_t frame_size = 0;
+    if (!wire::FrameSize(tail.data() + pos, tail.size() - pos, &frame_size) ||
+        frame_size > tail.size() - pos) {
+      throw std::runtime_error("CampaignJournal: torn epoch file " +
+                               path.string());
+    }
+    trailer_pos = pos;
+    pos += frame_size;
+    ++committed;
+  }
+  EpochCommitRecord summary;
+  if (committed == frames.size() ||
+      !wire::Decode(tail.data() + trailer_pos, tail.size() - trailer_pos,
+                    &summary)) {
+    throw std::runtime_error(
+        "CampaignJournal: epoch file missing its commit record: " +
+        path.string());
+  }
+  --committed;  // The trailer is not a delta.
+  if (committed != frames.size()) {
     throw std::runtime_error(
         "CampaignJournal: epoch " + std::to_string(epoch) + " replayed " +
         std::to_string(frames.size()) + " deltas but the journal committed " +
-        std::to_string(committed.size()));
+        std::to_string(committed));
   }
-  for (size_t i = 0; i < frames.size(); ++i) {
-    if (committed[i] != frames[i]) {
-      throw std::runtime_error(
-          "CampaignJournal: resume divergence at epoch " +
-          std::to_string(epoch) + ", shard " + std::to_string(i) +
-          " — the state dir was produced by a different campaign or binary");
-    }
+  if (summary.epoch != epoch ||
+      summary.workers != static_cast<int>(frames.size()) ||
+      summary.checksum != checksum) {
+    throw std::runtime_error("CampaignJournal: corrupt epoch file " +
+                             path.string());
   }
   ++stats_.replayed_epochs;
 }
@@ -204,6 +446,7 @@ JournalStats CampaignJournal::stats() const {
   out.bytes_written = commit_stats_.bytes;
   out.fsync_seconds = commit_stats_.fsync_seconds;
   out.committed_epochs = committed_epochs_;
+  out.snapshot_epochs = snapshot_epochs_;
   return out;
 }
 

@@ -213,7 +213,11 @@ void FrameStreamTransport::ExtractFrames(Channel& channel) {
 
     wire::RecordType type;
     wire::PeekType(frame.data(), frame.size(), &type);
-    if (type == wire::RecordType::kShardDelta) {
+    if (type == wire::RecordType::kShardDelta ||
+        type == wire::RecordType::kWorkerState) {
+      // Worker-state frames (snapshot epochs) ride the delta queue so the
+      // drainer sees them in publish order — FIFO per channel is what
+      // guarantees a state frame lands before its epoch's delta.
       MutexLock lock(&mu_);
       ++stats_.deltas;
       stats_.delta_bytes += frame.size();

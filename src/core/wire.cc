@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "src/cpu/entry_check.h"
+#include "src/cpu/vmx_checks.h"
+
 namespace neco {
 namespace wire {
 namespace {
@@ -22,6 +25,7 @@ constexpr size_t kHeaderSize = kFrameHeaderSize;
 class Sizer {
  public:
   void U8(uint8_t) { size_ += 1; }
+  void U16(uint16_t) { size_ += 2; }
   void U32(uint32_t) { size_ += 4; }
   void U64(uint64_t) { size_ += 8; }
   void I32(int) { size_ += 4; }
@@ -42,6 +46,11 @@ class Writer {
   Writer(Buffer& out, size_t pos) : out_(out), pos_(pos) {}
 
   void U8(uint8_t v) { out_[pos_++] = v; }
+  void U16(uint16_t v) {
+    for (int i = 0; i < 2; ++i) {
+      out_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
   void U32(uint32_t v) {
     for (int i = 0; i < 4; ++i) {
       out_[pos_++] = static_cast<uint8_t>(v >> (8 * i));
@@ -118,6 +127,15 @@ class Reader {
   uint8_t U8() {
     if (!Require(1)) return 0;
     return data_[pos_++];
+  }
+  uint16_t U16() {
+    if (!Require(2)) return 0;
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<uint16_t>(
+          v | static_cast<uint16_t>(data_[pos_++]) << (8 * i));
+    }
+    return v;
   }
   uint32_t U32() {
     if (!Require(4)) return 0;
@@ -217,6 +235,30 @@ bool ReadReport(Reader& r, AnomalyReport* out) {
   out->kind = static_cast<AnomalyKind>(kind);
   out->bug_id = r.Str();
   out->message = r.Str();
+  return r.ok();
+}
+
+// BitmapDelta wire form: count + (cell, bits) pairs — the shape every
+// virgin-map section already uses inline; the snapshot records carry
+// three of them, so the shared helpers keep those codecs readable.
+template <typename W>
+void WriteBitmapDelta(W& w, const BitmapDelta& delta) {
+  w.U32(static_cast<uint32_t>(delta.size()));
+  for (size_t i = 0; i < delta.size(); ++i) {
+    w.U32(delta.cells[i]);
+    w.U8(delta.bits[i]);
+  }
+}
+
+bool ReadBitmapDelta(Reader& r, BitmapDelta* out) {
+  *out = {};
+  const uint32_t count = r.U32();
+  if (!r.FitsCount(count, 5)) return false;
+  out->Reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t cell = r.U32();
+    out->Append(cell, r.U8());
+  }
   return r.ok();
 }
 
@@ -590,6 +632,8 @@ Buffer Encode(const ShardChildConfigRecord& record) {
     w.U32(record.oracle_interval);
     w.U64(record.snapshot_cache_size);
     w.Str(record.crash_dir);
+    w.U64(record.start_epoch);
+    w.U64(record.snapshot_every);
   });
 }
 
@@ -614,6 +658,11 @@ bool Decode(const uint8_t* data, size_t size, ShardChildConfigRecord* out) {
   out->oracle_interval = r.U32();
   out->snapshot_cache_size = r.U64();
   out->crash_dir = r.Str();
+  out->start_epoch = r.U64();
+  out->snapshot_every = r.U64();
+  // start_epoch > epochs would schedule a tail that ends before it
+  // begins; nothing legitimate encodes that.
+  if (r.ok() && out->start_epoch > out->epochs) return false;
   return r.Done();
 }
 
@@ -638,6 +687,8 @@ Buffer Encode(const CampaignManifestRecord& record) {
   return Frame(RecordType::kManifest, [&](auto& w) {
     w.U32(record.magic);
     w.U64(record.committed_epochs);
+    w.U64(record.snapshot_epochs);
+    w.U64(record.crash_artifacts);
     w.U64(record.epochs);
     w.I32(record.workers);
     w.I32(record.samples);
@@ -663,6 +714,11 @@ bool Decode(const uint8_t* data, size_t size, CampaignManifestRecord* out) {
     return false;  // Not a NecoFuzz state manifest.
   }
   out->committed_epochs = r.U64();
+  out->snapshot_epochs = r.U64();
+  out->crash_artifacts = r.U64();
+  // A manifest whose snapshot horizon ran ahead of its commit point is
+  // internally inconsistent — the snapshot must cover a committed prefix.
+  if (r.ok() && out->snapshot_epochs > out->committed_epochs) return false;
   out->epochs = r.U64();
   out->workers = r.I32();
   out->samples = r.I32();
@@ -732,13 +788,285 @@ bool Decode(const uint8_t* data, size_t size, CrashArtifactRecord* out) {
   return r.Done();
 }
 
+Buffer Encode(const WorkerStateRecord& record) {
+  return Frame(RecordType::kWorkerState, [&](auto& w) {
+    w.I32(record.worker);
+    w.U64(record.epochs_covered);
+    for (uint64_t word : record.mutator_rng.s) {
+      w.U64(word);
+    }
+    for (uint64_t word : record.corpus_rng.s) {
+      w.U64(word);
+    }
+    w.U64(record.iterations);
+    w.U32(static_cast<uint32_t>(record.corpus.size()));
+    for (const QueueEntry& entry : record.corpus) {
+      w.Bytes(entry.input);
+      w.U64(entry.discovered_at_iter);
+      w.U64(entry.times_fuzzed);
+      w.U64(entry.new_edges);
+      w.U8(entry.favored ? 1 : 0);
+    }
+    WriteBitmapDelta(w, record.virgin);
+    w.U32(static_cast<uint32_t>(record.crash_ids.size()));
+    for (const std::string& id : record.crash_ids) {
+      w.Str(id);
+    }
+    w.U32(static_cast<uint32_t>(record.crash_inputs.size()));
+    for (const FuzzInput& input : record.crash_inputs) {
+      w.Bytes(input);
+    }
+    w.U64(record.executions);
+    w.U64(record.watchdog_restarts);
+    w.U64(record.snapshot_hits);
+    w.U64(record.snapshot_misses);
+    w.U64(record.config_memo_hits);
+    w.U64(record.restore_ns);
+    w.U32(static_cast<uint32_t>(record.findings.size()));
+    for (const AnomalyReport& report : record.findings) {
+      WriteReport(w, report);
+    }
+    w.U32(static_cast<uint32_t>(record.vmx_suppressed_checks.size()));
+    for (uint16_t check : record.vmx_suppressed_checks) {
+      w.U16(check);
+    }
+    w.U32(static_cast<uint32_t>(record.vmx_learned_fixups.size()));
+    for (uint8_t fixup : record.vmx_learned_fixups) {
+      w.U8(fixup);
+    }
+    w.U32(static_cast<uint32_t>(record.svm_suppressed_checks.size()));
+    for (uint16_t check : record.svm_suppressed_checks) {
+      w.U16(check);
+    }
+    w.U8(record.host_crashed);
+    w.U64(record.host_restarts);
+    w.U32(static_cast<uint32_t>(record.covered.size()));
+    for (uint32_t point : record.covered) {
+      w.U32(point);
+    }
+    w.U64(record.hit_events);
+    w.U64(record.imports);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, WorkerStateRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kWorkerState);
+  out->worker = r.I32();
+  out->epochs_covered = r.U64();
+  for (uint64_t& word : out->mutator_rng.s) {
+    word = r.U64();
+  }
+  for (uint64_t& word : out->corpus_rng.s) {
+    word = r.U64();
+  }
+  out->iterations = r.U64();
+  out->corpus.clear();
+  const uint32_t corpus_count = r.U32();
+  // Each entry is at least a length prefix + three counters + a flag.
+  if (!r.FitsCount(corpus_count, 29)) return false;
+  out->corpus.reserve(corpus_count);
+  for (uint32_t i = 0; i < corpus_count; ++i) {
+    QueueEntry entry;
+    entry.input = r.Bytes();
+    entry.discovered_at_iter = r.U64();
+    entry.times_fuzzed = r.U64();
+    entry.new_edges = static_cast<size_t>(r.U64());
+    entry.favored = r.U8() != 0;
+    out->corpus.push_back(std::move(entry));
+  }
+  if (!ReadBitmapDelta(r, &out->virgin)) return false;
+  out->crash_ids.clear();
+  const uint32_t crash_count = r.U32();
+  if (!r.FitsCount(crash_count, 4)) return false;
+  out->crash_ids.reserve(crash_count);
+  for (uint32_t i = 0; i < crash_count; ++i) {
+    out->crash_ids.push_back(r.Str());
+  }
+  out->crash_inputs.clear();
+  const uint32_t input_count = r.U32();
+  // The arrays are parallel by contract; a record that disagrees with
+  // itself is corrupt.
+  if (input_count != crash_count || !r.FitsCount(input_count, 4)) {
+    return false;
+  }
+  out->crash_inputs.reserve(input_count);
+  for (uint32_t i = 0; i < input_count; ++i) {
+    out->crash_inputs.push_back(r.Bytes());
+  }
+  out->executions = r.U64();
+  out->watchdog_restarts = r.U64();
+  out->snapshot_hits = r.U64();
+  out->snapshot_misses = r.U64();
+  out->config_memo_hits = r.U64();
+  out->restore_ns = r.U64();
+  out->findings.clear();
+  const uint32_t finding_count = r.U32();
+  if (!r.FitsCount(finding_count, 9)) return false;
+  out->findings.reserve(finding_count);
+  for (uint32_t i = 0; i < finding_count; ++i) {
+    AnomalyReport report;
+    if (!ReadReport(r, &report)) return false;
+    out->findings.push_back(std::move(report));
+  }
+  out->vmx_suppressed_checks.clear();
+  const uint32_t vmx_check_count = r.U32();
+  if (!r.FitsCount(vmx_check_count, 2)) return false;
+  out->vmx_suppressed_checks.reserve(vmx_check_count);
+  for (uint32_t i = 0; i < vmx_check_count; ++i) {
+    const uint16_t check = r.U16();
+    // Quirk values index the CheckId / VmxFixupId enums; anything at or
+    // past the kCount sentinel cannot round-trip through the validators.
+    if (r.ok() && check >= static_cast<uint16_t>(CheckId::kCount)) {
+      return false;
+    }
+    out->vmx_suppressed_checks.push_back(check);
+  }
+  out->vmx_learned_fixups.clear();
+  const uint32_t fixup_count = r.U32();
+  if (!r.FitsCount(fixup_count, 1)) return false;
+  out->vmx_learned_fixups.reserve(fixup_count);
+  for (uint32_t i = 0; i < fixup_count; ++i) {
+    const uint8_t fixup = r.U8();
+    if (r.ok() && fixup >= static_cast<uint8_t>(VmxFixupId::kCount)) {
+      return false;
+    }
+    out->vmx_learned_fixups.push_back(fixup);
+  }
+  out->svm_suppressed_checks.clear();
+  const uint32_t svm_check_count = r.U32();
+  if (!r.FitsCount(svm_check_count, 2)) return false;
+  out->svm_suppressed_checks.reserve(svm_check_count);
+  for (uint32_t i = 0; i < svm_check_count; ++i) {
+    const uint16_t check = r.U16();
+    if (r.ok() && check >= static_cast<uint16_t>(CheckId::kCount)) {
+      return false;
+    }
+    out->svm_suppressed_checks.push_back(check);
+  }
+  out->host_crashed = r.U8();
+  out->host_restarts = r.U64();
+  out->covered.clear();
+  const uint32_t covered_count = r.U32();
+  if (!r.FitsCount(covered_count, 4)) return false;
+  out->covered.reserve(covered_count);
+  for (uint32_t i = 0; i < covered_count; ++i) {
+    out->covered.push_back(r.U32());
+  }
+  out->hit_events = r.U64();
+  out->imports = r.U64();
+  return r.Done();
+}
+
+Buffer Encode(const SnapshotMergedStateRecord& record) {
+  return Frame(RecordType::kSnapshotMerged, [&](auto& w) {
+    w.U64(record.epochs_covered);
+    WriteBitmapDelta(w, record.virgin);
+    w.U32(static_cast<uint32_t>(record.covered.size()));
+    for (uint32_t point : record.covered) {
+      w.U32(point);
+    }
+    w.U32(static_cast<uint32_t>(record.findings.size()));
+    for (const AnomalyReport& report : record.findings) {
+      WriteReport(w, report);
+    }
+    w.U64(record.prior_pool_end);
+    w.U64(record.pool_end);
+    w.U32(static_cast<uint32_t>(record.pool_origins.size()));
+    for (size_t i = 0; i < record.pool_origins.size(); ++i) {
+      w.I32(record.pool_origins[i]);
+      w.Bytes(record.pool_inputs[i]);
+    }
+    w.U32(static_cast<uint32_t>(record.series_iterations.size()));
+    for (size_t i = 0; i < record.series_iterations.size(); ++i) {
+      w.U64(record.series_iterations[i]);
+      w.F64(record.series_percents[i]);
+    }
+    w.U64(record.total_iterations);
+    WriteBitmapDelta(w, record.feedback_virgin);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, SnapshotMergedStateRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kSnapshotMerged);
+  out->epochs_covered = r.U64();
+  if (!ReadBitmapDelta(r, &out->virgin)) return false;
+  out->covered.clear();
+  const uint32_t covered_count = r.U32();
+  if (!r.FitsCount(covered_count, 4)) return false;
+  out->covered.reserve(covered_count);
+  for (uint32_t i = 0; i < covered_count; ++i) {
+    out->covered.push_back(r.U32());
+  }
+  out->findings.clear();
+  const uint32_t finding_count = r.U32();
+  if (!r.FitsCount(finding_count, 9)) return false;
+  out->findings.reserve(finding_count);
+  for (uint32_t i = 0; i < finding_count; ++i) {
+    AnomalyReport report;
+    if (!ReadReport(r, &report)) return false;
+    out->findings.push_back(std::move(report));
+  }
+  out->prior_pool_end = r.U64();
+  out->pool_end = r.U64();
+  out->pool_origins.clear();
+  out->pool_inputs.clear();
+  const uint32_t pool_count = r.U32();
+  if (!r.FitsCount(pool_count, 8)) return false;
+  // The shipped slice is exactly [prior_pool_end, pool_end); a record
+  // whose bounds and slice disagree is corrupt.
+  if (r.ok() && (out->prior_pool_end > out->pool_end ||
+                 out->pool_end - out->prior_pool_end != pool_count)) {
+    return false;
+  }
+  out->pool_origins.reserve(pool_count);
+  out->pool_inputs.reserve(pool_count);
+  for (uint32_t i = 0; i < pool_count; ++i) {
+    out->pool_origins.push_back(r.I32());
+    out->pool_inputs.push_back(r.Bytes());
+  }
+  out->series_iterations.clear();
+  out->series_percents.clear();
+  const uint32_t series_count = r.U32();
+  if (!r.FitsCount(series_count, 16)) return false;
+  out->series_iterations.reserve(series_count);
+  out->series_percents.reserve(series_count);
+  for (uint32_t i = 0; i < series_count; ++i) {
+    out->series_iterations.push_back(r.U64());
+    out->series_percents.push_back(r.F64());
+  }
+  out->total_iterations = r.U64();
+  if (!ReadBitmapDelta(r, &out->feedback_virgin)) return false;
+  return r.Done();
+}
+
+Buffer Encode(const CampaignSnapshotRecord& record) {
+  return Frame(RecordType::kCampaignSnapshot, [&](auto& w) {
+    w.U32(record.magic);
+    w.U64(record.epochs_covered);
+    w.I32(record.workers);
+    w.U64(record.checksum);
+  });
+}
+
+bool Decode(const uint8_t* data, size_t size, CampaignSnapshotRecord* out) {
+  Reader r = OpenFrame(data, size, RecordType::kCampaignSnapshot);
+  out->magic = r.U32();
+  if (r.ok() && out->magic != CampaignSnapshotRecord::kMagic) {
+    return false;  // Not a NecoFuzz snapshot trailer.
+  }
+  out->epochs_covered = r.U64();
+  out->workers = r.I32();
+  out->checksum = r.U64();
+  return r.Done();
+}
+
 bool PeekType(const uint8_t* data, size_t size, RecordType* out) {
   if (data == nullptr || size < kHeaderSize) {
     return false;
   }
   const uint8_t type = data[0];
   if (type < static_cast<uint8_t>(RecordType::kShardDelta) ||
-      type > static_cast<uint8_t>(RecordType::kCrashArtifact)) {
+      type > static_cast<uint8_t>(RecordType::kCampaignSnapshot)) {
     return false;
   }
   *out = static_cast<RecordType>(type);

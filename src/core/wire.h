@@ -22,6 +22,11 @@
 //    ShardHelloRecord (the socket-transport handshake: a dialing shard
 //    identifies itself before receiving its config).
 //
+// A fourth family — the durable-state records further down — reuses the
+// same framing as the storage format of src/core/state/: manifests, epoch
+// journal files, crash artifacts, and (since v6) materialized campaign
+// snapshots.
+//
 // The binary encoding is versioned, length-prefixed, and endian-stable
 // (everything is serialized little-endian byte by byte, so records decode
 // identically across hosts). Frame layout:
@@ -42,8 +47,10 @@
 #include <vector>
 
 #include "src/fuzz/bitmap.h"
+#include "src/fuzz/corpus.h"
 #include "src/fuzz/mutator.h"
 #include "src/hv/sanitizer.h"
+#include "src/support/rng.h"
 
 namespace neco {
 
@@ -218,6 +225,15 @@ struct ShardChildConfigRecord {
   // the advisory hit/miss counters change.
   uint64_t snapshot_cache_size = 64;
   std::string crash_dir;
+  // Snapshot resume: the shard starts at this epoch instead of 0. When
+  // non-zero, a WorkerStateRecord frame follows this config frame on the
+  // same stream, carrying the shard's materialized state. Not part of the
+  // campaign fingerprint (like snapshot_every below): results are
+  // invariant to where the tail starts.
+  uint64_t start_epoch = 0;
+  // CampaignOptions::snapshot_every_epochs, so the child publishes its
+  // WorkerStateRecord at exactly the parent's snapshot epochs.
+  uint64_t snapshot_every = 0;
 };
 
 // --- Durable campaign state records (src/core/state/journal.h) -----------
@@ -239,6 +255,17 @@ struct CampaignManifestRecord {
   static constexpr uint32_t kMagic = 0x4D4A434Eu;  // "NCJM" little-endian.
   uint32_t magic = kMagic;
   uint64_t committed_epochs = 0;
+  // Snapshot horizon: epochs materialized in the newest snapshot file
+  // (snapshot-<horizon>.state). 0 means no snapshot — resume is pure
+  // replay. Advances in the same atomic manifest write as
+  // committed_epochs, so the snapshot a manifest names is always durable
+  // and always covers a prefix of the committed epochs.
+  uint64_t snapshot_epochs = 0;
+  // Crash artifacts persisted under <dir>/crashes as of this commit.
+  // Reopen hands it to CrashStore as a sizing hint (reserve + skip the
+  // directory scan when zero); it is advisory — the .record files stay
+  // authoritative.
+  uint64_t crash_artifacts = 0;
   // --- Fingerprint ---
   uint64_t epochs = 0;  // Global epoch count.
   int workers = 1;
@@ -285,11 +312,103 @@ struct CrashArtifactRecord {
   FuzzInput input;
 };
 
+// --- Materialized snapshot records (wire v6) -----------------------------
+//
+// A snapshot file (snapshot-<horizon>.state under the state dir) is the
+// campaign's full merged state at an epoch boundary, framed as: one
+// SnapshotMergedStateRecord, one WorkerStateRecord per shard (worker-id
+// order), and a CampaignSnapshotRecord trailer whose checksum covers the
+// preceding frames — the same shape as an epoch journal file, so the same
+// strict decode path rejects a torn or damaged snapshot and resume falls
+// back to replay.
+
+// Everything one shard needs to continue exactly where the snapshot epoch
+// ended: the fuzzer's full state (the full-state sibling of ShardDelta),
+// the agent's history-dependent state, and the shard-level coverage and
+// watchdog bookkeeping. Advisory caches (snapshot cache contents,
+// configurator memo, oracle counters) are deliberately absent — results
+// are invariant to them, exactly as they are across a replay resume.
+struct WorkerStateRecord {
+  int worker = 0;
+  uint64_t epochs_covered = 0;  // State is as of the end of epoch
+                                // epochs_covered - 1.
+  // --- Fuzzer ---
+  Rng::State mutator_rng;
+  Rng::State corpus_rng;
+  uint64_t iterations = 0;
+  // Full queue with scheduling metadata (times_fuzzed, favored, ...); the
+  // queue-hash index is rebuilt from the inputs on import.
+  std::vector<QueueEntry> corpus;
+  BitmapDelta virgin;  // Full virgin map, as a delta against empty.
+  // Crash reproduction pairs in discovery order. Parallel arrays;
+  // Decode() rejects a record whose lengths disagree. seen_bug_ids is
+  // rebuilt from crash_ids on import.
+  std::vector<std::string> crash_ids;
+  std::vector<FuzzInput> crash_inputs;
+  // --- Agent ---
+  uint64_t executions = 0;  // Preserves the oracle-interval phase.
+  uint64_t watchdog_restarts = 0;
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
+  uint64_t config_memo_hits = 0;
+  uint64_t restore_ns = 0;
+  std::vector<AnomalyReport> findings;  // Bug-id order (agent map order).
+  // Learned quirk tables, in sorted order (std::set iteration). Values
+  // are CheckId / VmxFixupId; Decode() bounds them by the enums' kCount.
+  std::vector<uint16_t> vmx_suppressed_checks;
+  std::vector<uint8_t> vmx_learned_fixups;
+  std::vector<uint16_t> svm_suppressed_checks;
+  // --- Shard ---
+  uint8_t host_crashed = 0;
+  uint64_t host_restarts = 0;
+  std::vector<uint32_t> covered;  // Accumulated line-coverage point ids.
+  uint64_t hit_events = 0;
+  uint64_t imports = 0;  // Pool entries adopted so far (post-dedup).
+};
+
+// The merge pipeline's global state at the snapshot horizon: the merged
+// views plus exactly the feedback bookkeeping a resumed pipeline needs to
+// push the next epoch's feedback (cursors resume from the horizon, so
+// only the pool slice newer than the previous feedback round and the
+// horizon epoch's virgin delta travel).
+struct SnapshotMergedStateRecord {
+  uint64_t epochs_covered = 0;
+  BitmapDelta virgin;             // Global virgin map vs empty.
+  std::vector<uint32_t> covered;  // Global covered point ids, ascending.
+  std::vector<AnomalyReport> findings;  // Bug-id order (merge map order).
+  // Shared corpus pool: entries at index < prior_pool_end were already
+  // pulled by every cursor, so only [prior_pool_end, pool_end) ships.
+  // Parallel arrays (origin worker + input bytes); Decode() rejects
+  // disagreement, and rejects prior_pool_end > pool_end or a slice whose
+  // length disagrees with the two bounds.
+  uint64_t prior_pool_end = 0;
+  uint64_t pool_end = 0;
+  std::vector<int> pool_origins;
+  std::vector<FuzzInput> pool_inputs;
+  // Coverage time series through the horizon (parallel arrays, one count).
+  std::vector<uint64_t> series_iterations;
+  std::vector<double> series_percents;
+  uint64_t total_iterations = 0;
+  // The horizon epoch's feedback virgin delta (what a cursor that already
+  // consumed epochs < horizon still needs).
+  BitmapDelta feedback_virgin;
+};
+
+// The snapshot file's trailer: identity + checksum over the preceding
+// frames, mirroring EpochCommitRecord's role in an epoch file.
+struct CampaignSnapshotRecord {
+  static constexpr uint32_t kMagic = 0x5053434Eu;  // "NCSP" little-endian.
+  uint32_t magic = kMagic;
+  uint64_t epochs_covered = 0;
+  int workers = 1;        // WorkerStateRecord frames in this file.
+  uint64_t checksum = 0;  // FNV-1a 64 over the preceding frames' bytes.
+};
+
 // --- Encode / decode -----------------------------------------------------
 
 namespace wire {
 
-inline constexpr uint8_t kVersion = 5;  // v2 added the process-sharding
+inline constexpr uint8_t kVersion = 6;  // v2 added the process-sharding
                                         // records (kFeedback..kChildConfig);
                                         // v3 the socket handshake
                                         // (kShardHello) and crash-input
@@ -301,6 +420,12 @@ inline constexpr uint8_t kVersion = 5;  // v2 added the process-sharding
                                         // execution-core stats in
                                         // ShardResultRecord and the
                                         // snapshot-cache capacity in
+                                        // ShardChildConfigRecord; v6 the
+                                        // materialized-snapshot records
+                                        // (kWorkerState..kCampaignSnapshot),
+                                        // the snapshot horizon + crash
+                                        // count in the manifest, and the
+                                        // resume fields in
                                         // ShardChildConfigRecord.
 
 enum class RecordType : uint8_t {
@@ -317,6 +442,9 @@ enum class RecordType : uint8_t {
   kManifest = 11,
   kEpochCommit = 12,
   kCrashArtifact = 13,
+  kWorkerState = 14,
+  kSnapshotMerged = 15,
+  kCampaignSnapshot = 16,
 };
 
 using Buffer = std::vector<uint8_t>;
@@ -351,6 +479,9 @@ Buffer Encode(const ShardHelloRecord& record);
 Buffer Encode(const CampaignManifestRecord& record);
 Buffer Encode(const EpochCommitRecord& record);
 Buffer Encode(const CrashArtifactRecord& record);
+Buffer Encode(const WorkerStateRecord& record);
+Buffer Encode(const SnapshotMergedStateRecord& record);
+Buffer Encode(const CampaignSnapshotRecord& record);
 
 // Strict decoding; `*out` is unspecified when false is returned.
 bool Decode(const uint8_t* data, size_t size, ShardDelta* out);
@@ -366,6 +497,9 @@ bool Decode(const uint8_t* data, size_t size, ShardHelloRecord* out);
 bool Decode(const uint8_t* data, size_t size, CampaignManifestRecord* out);
 bool Decode(const uint8_t* data, size_t size, EpochCommitRecord* out);
 bool Decode(const uint8_t* data, size_t size, CrashArtifactRecord* out);
+bool Decode(const uint8_t* data, size_t size, WorkerStateRecord* out);
+bool Decode(const uint8_t* data, size_t size, SnapshotMergedStateRecord* out);
+bool Decode(const uint8_t* data, size_t size, CampaignSnapshotRecord* out);
 
 template <typename Record>
 bool Decode(const Buffer& buffer, Record* out) {

@@ -64,6 +64,19 @@ class Corpus {
     return entries_[rng_.Below(entries_.size())].input;
   }
 
+  // Snapshot hooks: the scheduler RNG and the full entry metadata
+  // (times_fuzzed, favored, ...) are campaign state — a resumed corpus
+  // must Pick() the same sequence the interrupted one would have.
+  Rng::State rng_state() const { return rng_.GetState(); }
+  void set_rng_state(const Rng::State& state) { rng_.SetState(state); }
+
+  // Bulk restore for snapshot resume: one reserve, then entries appended
+  // with their exact saved metadata (Add() would recompute favored).
+  void RestoreEntries(std::vector<QueueEntry> entries) {
+    entries_ = std::move(entries);
+  }
+  void Reserve(size_t n) { entries_.reserve(n); }
+
  private:
   static constexpr size_t kFavorThreshold = 4;
 

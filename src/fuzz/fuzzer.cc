@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/core/wire.h"
+
 namespace neco {
 namespace {
 
@@ -101,6 +103,61 @@ bool Fuzzer::ImportCorpusEntry(const FuzzInput& input) {
   }
   corpus_.Add(input, iterations_, 0);
   return true;
+}
+
+void Fuzzer::ExportState(WorkerStateRecord* out) {
+  out->mutator_rng = mutator_.rng().GetState();
+  out->corpus_rng = corpus_.rng_state();
+  out->iterations = iterations_;
+  out->corpus.clear();
+  out->corpus.reserve(corpus_.size());
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    out->corpus.push_back(corpus_.at(i));
+  }
+  // The full virgin map as a delta against empty — the same sparse wire
+  // form ExportDelta ships, just with a zero baseline.
+  CoverageBitmap empty;
+  out->virgin = virgin_.ExtractDeltaSince(empty);
+  out->crash_ids.clear();
+  out->crash_inputs.clear();
+  out->crash_ids.reserve(crashes_.size());
+  out->crash_inputs.reserve(crashes_.size());
+  for (const auto& [id, input] : crashes_) {
+    out->crash_ids.push_back(id);
+    out->crash_inputs.push_back(input);
+  }
+}
+
+void Fuzzer::ImportState(WorkerStateRecord* record) {
+  mutator_.rng().SetState(record->mutator_rng);
+  corpus_.set_rng_state(record->corpus_rng);
+  iterations_ = record->iterations;
+  corpus_.RestoreEntries(std::move(record->corpus));
+  // Rebuild the dedup index: queue_hashes_ holds exactly the hashes of
+  // the queued inputs, so rehashing the restored queue is an exact
+  // reconstruction, not an approximation.
+  queue_hashes_.clear();
+  queue_hashes_.reserve(corpus_.size());
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    queue_hashes_.insert(HashInput(corpus_.at(i).input));
+  }
+  virgin_.Clear();
+  virgin_.ApplyDelta(record->virgin);
+  crashes_.clear();
+  seen_bug_ids_.clear();
+  crashes_.reserve(record->crash_ids.size());
+  for (size_t i = 0; i < record->crash_ids.size(); ++i) {
+    seen_bug_ids_.insert(record->crash_ids[i]);
+    crashes_.emplace_back(record->crash_ids[i],
+                          std::move(record->crash_inputs[i]));
+  }
+  // A snapshot is taken after the epoch's export, so everything restored
+  // counts as already shipped: the next ExportDelta publishes only what
+  // the resumed tail discovers.
+  virgin_exported_ = virgin_;
+  export_cursor_ = corpus_.size();
+  iterations_exported_ = iterations_;
+  crashes_exported_ = crashes_.size();
 }
 
 FuzzerStats Fuzzer::stats() const {

@@ -24,6 +24,8 @@
 
 namespace neco {
 
+struct WorkerStateRecord;  // src/core/wire.h
+
 // What one execution of the harness reported back to the fuzzer.
 struct ExecFeedback {
   std::vector<uint32_t> edges;   // Edge ids hit during the run.
@@ -123,6 +125,25 @@ class Fuzzer {
   // directly (unexecuted, never favored) so imports consume no iteration
   // budget. Returns whether the entry actually joined the queue.
   bool ImportCorpusEntry(const FuzzInput& input);
+
+  // --- Materialized snapshots (src/core/state/snapshot.h) ---
+  //
+  // Full-state siblings of ExportDelta/ApplyVirginDelta: the fuzzer
+  // section of a WorkerStateRecord is everything needed to continue this
+  // fuzzer bit-exactly — both RNG streams, the full queue with its
+  // scheduling metadata, the virgin map, the crash pairs, and the
+  // iteration count.
+
+  // Fills the fuzzer section of `*out` (other sections untouched).
+  void ExportState(WorkerStateRecord* out);
+
+  // Restores from the fuzzer section of `*record`, consuming its corpus
+  // and crash-input vectors (bulk moves — reload stays O(entries) with
+  // one reserve even at millions of entries). Derived state — the
+  // queue-hash index, seen bug ids, and the export cursors — is rebuilt
+  // here, positioned as if every restored entry had already been
+  // exported (the merged side of the snapshot already has them).
+  void ImportState(WorkerStateRecord* record);
 
  private:
   void NextInput(FuzzInput* out);

@@ -99,6 +99,22 @@ class CoverageUnit {
     hit_events_ = 0;
   }
 
+  // Snapshot restore: reinstates accumulated coverage at an epoch
+  // boundary (trace_ is drained after every execution, so it is empty
+  // there by construction). Out-of-range points are ignored, mirroring
+  // ApplyDelta.
+  void RestoreCoverage(const std::vector<uint32_t>& covered,
+                       uint64_t hit_events) {
+    std::fill(hits_.begin(), hits_.end(), 0);
+    for (uint32_t point : covered) {
+      if (point < hits_.size()) {
+        hits_[point] = 1;
+      }
+    }
+    trace_.clear();
+    hit_events_ = hit_events;
+  }
+
  private:
   std::string name_;
   std::vector<uint8_t> hits_;

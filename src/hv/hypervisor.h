@@ -104,6 +104,14 @@ class Hypervisor {
 
   uint64_t host_restarts() const { return host_restarts_; }
 
+  // Snapshot restore: reinstates the watchdog's accumulated view (crash
+  // flag + restart counter) so a resumed campaign continues the exact
+  // restart bookkeeping of the interrupted one.
+  void RestoreHostCrashState(bool crashed, uint64_t restarts) {
+    host_crashed_ = crashed;
+    host_restarts_ = restarts;
+  }
+
  protected:
   void MarkHostCrashed() { host_crashed_ = true; }
 

@@ -73,6 +73,27 @@ class Rng {
     return static_cast<double>(Next() >> 11) * 0x1.0p-53;
   }
 
+  // Raw generator state, for durable campaign snapshots: a restored
+  // stream must continue exactly where the saved one stopped, so the
+  // four state words travel through the wire codec verbatim.
+  struct State {
+    uint64_t s[4] = {};
+  };
+
+  State GetState() const {
+    State state;
+    for (size_t i = 0; i < 4; ++i) {
+      state.s[i] = s_[i];
+    }
+    return state;
+  }
+
+  void SetState(const State& state) {
+    for (size_t i = 0; i < 4; ++i) {
+      s_[i] = state.s[i];
+    }
+  }
+
  private:
   static constexpr uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -98,6 +98,19 @@ TEST(NecolintTest, DetectsStrayFsync) {
   ExpectDetects("stray_fsync", "fsync-outside-commit", "src/durability.cc");
 }
 
+TEST(NecolintTest, DetectsStateWritesBypassingAtomicWriteFile) {
+  ExpectDetects("state_unsafe_write", "state-atomic-write",
+                "src/core/state/store.cc");
+  // Exactly two: the ofstream and the writable ::open. The O_RDONLY open
+  // in the same file and the creating open in the exempt commit.cc (the
+  // atomic primitive's own implementation) must not fire.
+  const LintResult result = RunLint(Fixture("state_unsafe_write"));
+  EXPECT_NE(result.output.find("2 violations"), std::string::npos)
+      << result.output;
+  EXPECT_EQ(result.output.find("commit.cc"), std::string::npos)
+      << result.output;
+}
+
 TEST(NecolintTest, DetectsBufferHygieneViolations) {
   ExpectDetects("buffer_hygiene", "wire-buffer-hygiene",
                 "src/core/frames.cc");

@@ -288,6 +288,124 @@ TEST(CampaignJournalTest, DeletedManifestStartsTheJournalFresh) {
   EXPECT_EQ(journal.LoadEpoch(0), replacement);
 }
 
+// --- Materialized snapshots (journal level) ------------------------------
+
+// A hand-built but decode-valid snapshot: the file format pins worker ids
+// to their frame position and every record's horizon to the trailer's.
+CampaignSnapshot MakeSnapshot(size_t horizon, int workers) {
+  CampaignSnapshot snapshot;
+  snapshot.epochs_covered = horizon;
+  snapshot.merged.epochs_covered = horizon;
+  snapshot.merged.covered = {1u, 5u, 9u};
+  snapshot.merged.total_iterations = 100 * horizon;
+  for (int w = 0; w < workers; ++w) {
+    WorkerStateRecord state;
+    state.worker = w;
+    state.epochs_covered = horizon;
+    state.iterations = 50 * horizon + static_cast<uint64_t>(w);
+    snapshot.workers.push_back(state);
+  }
+  return snapshot;
+}
+
+TEST(CampaignJournalTest, SnapshotCommitAdvancesHorizonAndCompacts) {
+  TempDir dir("journal-snapshot");
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  const CampaignSnapshot first = MakeSnapshot(1, 2);
+  journal.CommitEpoch(0, EpochFrames(0), EpochCommitRecord{}, &first);
+  EXPECT_EQ(journal.snapshot_epochs(), 1u);
+
+  // A snapshot whose horizon disagrees with the commit point is a logic
+  // error, not a silent mismatch on disk.
+  const CampaignSnapshot wrong = MakeSnapshot(5, 2);
+  EXPECT_THROW(
+      journal.CommitEpoch(1, EpochFrames(1), EpochCommitRecord{}, &wrong),
+      std::logic_error);
+
+  const CampaignSnapshot second = MakeSnapshot(2, 2);
+  journal.CommitEpoch(1, EpochFrames(1), EpochCommitRecord{}, &second);
+  EXPECT_EQ(journal.snapshot_epochs(), 2u);
+  EXPECT_EQ(journal.stats().snapshots, 2u);
+
+  // The horizon-2 commit compacted everything below the *previous*
+  // horizon (1): epoch-0 is gone, the fallback snapshot generation and
+  // the tail epoch survive.
+  EXPECT_FALSE(fs::exists(dir.path() / CampaignJournal::EpochFileName(0)));
+  EXPECT_TRUE(fs::exists(dir.path() / CampaignJournal::EpochFileName(1)));
+  EXPECT_TRUE(fs::exists(dir.path() / SnapshotFileName(1)));
+  EXPECT_TRUE(fs::exists(dir.path() / SnapshotFileName(2)));
+  EXPECT_EQ(journal.stats().compacted_files, 1u);
+
+  // Reopen: the horizon survives and the newest snapshot loads intact.
+  CampaignJournal reopened(dir.path(), TestFingerprint());
+  EXPECT_EQ(reopened.committed_epochs(), 2u);
+  EXPECT_EQ(reopened.snapshot_epochs(), 2u);
+  CampaignSnapshot loaded;
+  EXPECT_EQ(reopened.LoadLatestSnapshot(&loaded), 2u);
+  EXPECT_EQ(loaded.epochs_covered, 2u);
+  EXPECT_EQ(loaded.merged.total_iterations, 200u);
+  ASSERT_EQ(loaded.workers.size(), 2u);
+  EXPECT_EQ(loaded.workers[1].iterations, 101u);
+}
+
+TEST(CampaignJournalTest, TornSnapshotFallsBackOneGenerationThenToReplay) {
+  TempDir dir("journal-snaptorn");
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  const CampaignSnapshot first = MakeSnapshot(1, 2);
+  const CampaignSnapshot second = MakeSnapshot(2, 2);
+  journal.CommitEpoch(0, EpochFrames(0), EpochCommitRecord{}, &first);
+  journal.CommitEpoch(1, EpochFrames(1), EpochCommitRecord{}, &second);
+
+  // Truncate the newest snapshot: the loader skips it and degrades to
+  // the previous generation instead of failing.
+  const fs::path newest = dir.path() / SnapshotFileName(2);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(newest, &bytes));
+  WriteRaw(newest, std::vector<uint8_t>(bytes.begin(),
+                                        bytes.begin() + bytes.size() / 2));
+  CampaignSnapshot out;
+  EXPECT_EQ(journal.LoadLatestSnapshot(&out), 1u);
+  EXPECT_EQ(out.epochs_covered, 1u);
+
+  // Damage the fallback too: full replay (0), never an exception.
+  const fs::path older = dir.path() / SnapshotFileName(1);
+  ASSERT_TRUE(ReadFileBytes(older, &bytes));
+  bytes[bytes.size() / 2] ^= 0x20;  // Fails the trailer checksum.
+  WriteRaw(older, bytes);
+  EXPECT_EQ(journal.LoadLatestSnapshot(&out), 0u);
+
+  // A snapshot file past the manifest horizon — a kill between the
+  // snapshot write and the manifest advance — is never trusted, even
+  // when it decodes perfectly.
+  const CampaignSnapshot orphan = MakeSnapshot(3, 2);
+  WriteRaw(dir.path() / SnapshotFileName(3), EncodeSnapshotFile(orphan));
+  EXPECT_EQ(journal.LoadLatestSnapshot(&out), 0u);
+}
+
+TEST(CampaignJournalTest, TornCompactionIsSweptByTheNextSnapshotCommit) {
+  TempDir dir("journal-sweep");
+  CampaignJournal journal(dir.path(), TestFingerprint());
+  const CampaignSnapshot first = MakeSnapshot(1, 2);
+  const CampaignSnapshot second = MakeSnapshot(2, 2);
+  journal.CommitEpoch(0, EpochFrames(0), EpochCommitRecord{}, &first);
+  journal.CommitEpoch(1, EpochFrames(1), EpochCommitRecord{}, &second);
+
+  // A kill mid-compaction leaves already-superseded files behind. The
+  // sweep is a bounded directory scan, so the next snapshot commit
+  // removes them alongside its own newly superseded generation.
+  WriteRaw(dir.path() / CampaignJournal::EpochFileName(0),
+           Bytes("stale epoch a dead compaction missed"));
+  const CampaignSnapshot third = MakeSnapshot(3, 2);
+  journal.CommitEpoch(2, EpochFrames(2), EpochCommitRecord{}, &third);
+
+  EXPECT_FALSE(fs::exists(dir.path() / CampaignJournal::EpochFileName(0)));
+  EXPECT_FALSE(fs::exists(dir.path() / CampaignJournal::EpochFileName(1)));
+  EXPECT_FALSE(fs::exists(dir.path() / SnapshotFileName(1)));
+  EXPECT_TRUE(fs::exists(dir.path() / CampaignJournal::EpochFileName(2)));
+  EXPECT_TRUE(fs::exists(dir.path() / SnapshotFileName(2)));
+  EXPECT_TRUE(fs::exists(dir.path() / SnapshotFileName(3)));
+}
+
 // --- CrashStore ----------------------------------------------------------
 
 CrashRecord MakeCrash(const std::string& id, uint8_t fill) {
@@ -667,6 +785,156 @@ TEST(DurableCampaignTest, Kill9ThenResumeIsBitExactWithThreadShards) {
 
 TEST(DurableCampaignTest, Kill9ThenResumeIsBitExactWithProcessShards) {
   RunKillResumeTest(ShardMode::kProcesses, "processes");
+}
+
+// --- Engine-level snapshot resume ----------------------------------------
+
+// The snapshot variant of RunKillResumeTest: a campaign with a snapshot
+// cadence is SIGKILLed after `kKillEpoch` commits, and the resumed
+// incarnation must load the newest materialized snapshot and replay only
+// the tail between the horizon and the commit point — while still
+// producing the uninterrupted run's results and event stream bit for bit.
+void RunSnapshotKillResumeTest(ShardMode mode, size_t cadence,
+                               const std::string& tag) {
+  TempDir dir("engine-snap-" + tag);
+  CampaignOptions options = StateOptions();
+  options.shard_mode = mode;
+
+  EventObserver plain;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&plain).Run();
+  const size_t epochs = golden.merged.series.size();
+
+  options.state_dir = (dir.path() / "state").string();
+  options.snapshot_every_epochs = cadence;
+  constexpr size_t kKillEpoch = 1;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    class KillerObserver : public CampaignObserver {
+     public:
+      void OnSample(const SampleEvent& event) override {
+        if (event.epoch == kKillEpoch) {
+          ::raise(SIGKILL);
+        }
+      }
+    } killer;
+    try {
+      CampaignEngine("kvm", options).AddObserver(&killer).Run();
+    } catch (...) {
+    }
+    ::_exit(1);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with " << status;
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The dead incarnation committed kKillEpoch + 1 epochs; its newest
+  // snapshot horizon is the largest cadence multiple at or below that.
+  const size_t committed = kKillEpoch + 1;
+  const size_t horizon = cadence == 0 ? 0 : committed - committed % cadence;
+
+  EventObserver resumed;
+  const EngineResult result =
+      CampaignEngine("kvm", options).AddObserver(&resumed).Run();
+
+  ExpectSameResult(golden, result);
+  EXPECT_EQ(resumed.log, ExpectedTail(plain.log, committed));
+  EXPECT_EQ(result.journal.replayed_epochs, committed - horizon);
+  EXPECT_EQ(result.journal.commits, epochs - committed);
+  EXPECT_EQ(result.journal.committed_epochs, epochs);
+  EXPECT_EQ(result.journal.snapshot_epochs,
+            cadence == 0 ? 0 : epochs - epochs % cadence);
+}
+
+TEST(DurableCampaignTest, SnapshotResumeReplaysOnlyTheTailWithThreadShards) {
+  RunSnapshotKillResumeTest(ShardMode::kThreads, 1, "threads");
+}
+
+TEST(DurableCampaignTest, SnapshotResumeReplaysOnlyTheTailWithProcessShards) {
+  RunSnapshotKillResumeTest(ShardMode::kProcesses, 1, "processes");
+}
+
+TEST(DurableCampaignTest, SnapshotResumeReplaysOnlyTheTailWithSocketShards) {
+  RunSnapshotKillResumeTest(ShardMode::kSockets, 1, "sockets");
+}
+
+TEST(DurableCampaignTest, OversizedCadenceFallsBackToFullReplay) {
+  // A cadence longer than the committed prefix never materialized a
+  // snapshot, so resume degrades to exactly the pre-snapshot behavior.
+  RunSnapshotKillResumeTest(ShardMode::kThreads, 7, "cadence7");
+}
+
+TEST(DurableCampaignTest, CadenceMayChangeBetweenIncarnations) {
+  TempDir dir("engine-cadence");
+  CampaignOptions options = StateOptions();
+
+  EventObserver plain;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&plain).Run();
+  const size_t epochs = golden.merged.series.size();
+
+  options.state_dir = (dir.path() / "state").string();
+  options.snapshot_every_epochs = 1;
+  const EngineResult first = CampaignEngine("kvm", options).Run();
+  ExpectSameResult(golden, first);
+  EXPECT_EQ(first.journal.snapshot_epochs, epochs);
+  EXPECT_EQ(first.journal.snapshots, epochs);
+
+  // The cadence, like merge_batch and shard_mode, is not part of the
+  // fingerprint: the same state dir reopens under a different one. The
+  // whole campaign is materialized, so the rerun deserializes the final
+  // snapshot and replays nothing at all.
+  options.snapshot_every_epochs = 0;
+  EventObserver rerun;
+  const EngineResult resumed =
+      CampaignEngine("kvm", options).AddObserver(&rerun).Run();
+  ExpectSameResult(golden, resumed);
+  EXPECT_EQ(rerun.log, ExpectedTail(plain.log, epochs));
+  EXPECT_EQ(resumed.journal.replayed_epochs, 0u);
+  EXPECT_EQ(resumed.journal.commits, 0u);
+}
+
+TEST(DurableCampaignTest, CorruptNewestSnapshotFallsBackOneGeneration) {
+  TempDir dir("engine-snapfall");
+  CampaignOptions options = StateOptions();
+
+  EventObserver plain;
+  const EngineResult golden =
+      CampaignEngine("kvm", options).AddObserver(&plain).Run();
+  const size_t epochs = golden.merged.series.size();
+
+  options.state_dir = (dir.path() / "state").string();
+  options.snapshot_every_epochs = 1;
+  CampaignEngine("kvm", options).Run();
+
+  // Retention after the final commit: one fallback generation (the
+  // previous snapshot plus the epochs from it forward), nothing older.
+  const fs::path state = options.state_dir;
+  EXPECT_FALSE(fs::exists(state / CampaignJournal::EpochFileName(0)));
+  EXPECT_FALSE(fs::exists(state / SnapshotFileName(1)));
+  EXPECT_TRUE(fs::exists(state / SnapshotFileName(epochs - 1)));
+  EXPECT_TRUE(fs::exists(state / SnapshotFileName(epochs)));
+  EXPECT_TRUE(fs::exists(state / CampaignJournal::EpochFileName(epochs - 1)));
+
+  // Flip a byte in the newest snapshot: resume costs one generation —
+  // the previous snapshot plus a one-epoch replay — not a failure and
+  // not a divergence.
+  const fs::path newest = state / SnapshotFileName(epochs);
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(newest, &bytes));
+  bytes[bytes.size() / 2] ^= 0x20;
+  WriteRaw(newest, bytes);
+
+  EventObserver rerun;
+  const EngineResult resumed =
+      CampaignEngine("kvm", options).AddObserver(&rerun).Run();
+  ExpectSameResult(golden, resumed);
+  EXPECT_EQ(rerun.log, ExpectedTail(plain.log, epochs));
+  EXPECT_EQ(resumed.journal.replayed_epochs, 1u);
+  EXPECT_EQ(resumed.journal.commits, 0u);
 }
 
 }  // namespace

@@ -835,6 +835,289 @@ TEST(WireTest, FrameSizeCutsStreamsCorrectly) {
   EXPECT_FALSE(wire::FrameSize(bad.data(), bad.size(), &size));
 }
 
+// --- Materialized snapshot records (wire v6) -----------------------------
+
+WorkerStateRecord MakeWorkerState() {
+  WorkerStateRecord record;
+  record.worker = 2;
+  record.epochs_covered = 10;
+  record.mutator_rng.s[0] = 0x1111111111111111ULL;
+  record.mutator_rng.s[3] = 0x4444444444444444ULL;
+  record.corpus_rng.s[1] = 0x2222222222222222ULL;
+  record.iterations = 4200;
+  QueueEntry entry;
+  entry.input = MakeInput(0x11);
+  entry.discovered_at_iter = 97;
+  entry.times_fuzzed = 12;
+  entry.new_edges = 5;
+  entry.favored = true;
+  record.corpus.push_back(entry);
+  entry.input = MakeInput(0x22);
+  entry.favored = false;
+  record.corpus.push_back(entry);
+  record.virgin.Append(3, 0x01);
+  record.virgin.Append(700, 0x80);
+  record.crash_ids = {"kvm-a", "kvm-b"};
+  record.crash_inputs = {MakeInput(0x61), MakeInput(0x62)};
+  record.executions = 4217;
+  record.watchdog_restarts = 1;
+  record.snapshot_hits = 4000;
+  record.snapshot_misses = 217;
+  record.config_memo_hits = 4100;
+  record.restore_ns = 987654321;
+  record.findings = {MakeReport("kvm-a"), MakeReport("kvm-b")};
+  record.vmx_suppressed_checks = {0, 1};
+  record.vmx_learned_fixups = {0};
+  record.svm_suppressed_checks = {1};
+  record.host_crashed = 1;
+  record.host_restarts = 3;
+  record.covered = {0, 7, 94, 117};
+  record.hit_events = 5123;
+  record.imports = 42;
+  return record;
+}
+
+SnapshotMergedStateRecord MakeMergedState() {
+  SnapshotMergedStateRecord record;
+  record.epochs_covered = 10;
+  record.virgin.Append(1, 0x01);
+  record.virgin.Append(40000, 0xC0);
+  record.covered = {0, 3, 94, 117};
+  record.findings = {MakeReport("kvm-a"), MakeReport("kvm-b")};
+  record.prior_pool_end = 2;
+  record.pool_end = 5;
+  record.pool_origins = {0, 2, 1};
+  record.pool_inputs = {MakeInput(0x31), MakeInput(0x32), MakeInput(0x33)};
+  record.series_iterations = {500, 1000, 1500};
+  record.series_percents = {10.5, 40.25, 79.66101694915254};
+  record.total_iterations = 1500;
+  record.feedback_virgin.Append(12, 0x01);
+  return record;
+}
+
+TEST(WireTest, WorkerStateRecordRoundTripIsIdentity) {
+  const WorkerStateRecord record = MakeWorkerState();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kWorkerState);
+
+  WorkerStateRecord decoded;
+  decoded.corpus.push_back(QueueEntry{});  // Pre-dirtied: must be cleared.
+  decoded.covered = {9999};
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.worker, record.worker);
+  EXPECT_EQ(decoded.epochs_covered, record.epochs_covered);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(decoded.mutator_rng.s[i], record.mutator_rng.s[i]);
+    EXPECT_EQ(decoded.corpus_rng.s[i], record.corpus_rng.s[i]);
+  }
+  EXPECT_EQ(decoded.iterations, record.iterations);
+  ASSERT_EQ(decoded.corpus.size(), record.corpus.size());
+  for (size_t i = 0; i < record.corpus.size(); ++i) {
+    EXPECT_EQ(decoded.corpus[i].input, record.corpus[i].input);
+    EXPECT_EQ(decoded.corpus[i].discovered_at_iter,
+              record.corpus[i].discovered_at_iter);
+    EXPECT_EQ(decoded.corpus[i].times_fuzzed, record.corpus[i].times_fuzzed);
+    EXPECT_EQ(decoded.corpus[i].new_edges, record.corpus[i].new_edges);
+    EXPECT_EQ(decoded.corpus[i].favored, record.corpus[i].favored);
+  }
+  EXPECT_EQ(decoded.virgin.cells, record.virgin.cells);
+  EXPECT_EQ(decoded.virgin.bits, record.virgin.bits);
+  EXPECT_EQ(decoded.crash_ids, record.crash_ids);
+  EXPECT_EQ(decoded.crash_inputs, record.crash_inputs);
+  EXPECT_EQ(decoded.executions, record.executions);
+  EXPECT_EQ(decoded.watchdog_restarts, record.watchdog_restarts);
+  EXPECT_EQ(decoded.snapshot_hits, record.snapshot_hits);
+  EXPECT_EQ(decoded.snapshot_misses, record.snapshot_misses);
+  EXPECT_EQ(decoded.config_memo_hits, record.config_memo_hits);
+  EXPECT_EQ(decoded.restore_ns, record.restore_ns);
+  ASSERT_EQ(decoded.findings.size(), record.findings.size());
+  for (size_t i = 0; i < record.findings.size(); ++i) {
+    EXPECT_EQ(decoded.findings[i].bug_id, record.findings[i].bug_id);
+  }
+  EXPECT_EQ(decoded.vmx_suppressed_checks, record.vmx_suppressed_checks);
+  EXPECT_EQ(decoded.vmx_learned_fixups, record.vmx_learned_fixups);
+  EXPECT_EQ(decoded.svm_suppressed_checks, record.svm_suppressed_checks);
+  EXPECT_EQ(decoded.host_crashed, record.host_crashed);
+  EXPECT_EQ(decoded.host_restarts, record.host_restarts);
+  EXPECT_EQ(decoded.covered, record.covered);
+  EXPECT_EQ(decoded.hit_events, record.hit_events);
+  EXPECT_EQ(decoded.imports, record.imports);
+
+  // The empty record (fresh shard, nothing learned) round-trips too.
+  WorkerStateRecord empty;
+  ASSERT_TRUE(wire::Decode(wire::Encode(empty), &decoded));
+  EXPECT_TRUE(decoded.corpus.empty());
+  EXPECT_TRUE(decoded.covered.empty());
+}
+
+TEST(WireTest, SnapshotMergedStateRecordRoundTripIsIdentity) {
+  const SnapshotMergedStateRecord record = MakeMergedState();
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kSnapshotMerged);
+
+  SnapshotMergedStateRecord decoded;
+  decoded.pool_inputs = {MakeInput(0xFF)};  // Pre-dirtied: must be cleared.
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.epochs_covered, record.epochs_covered);
+  EXPECT_EQ(decoded.virgin.cells, record.virgin.cells);
+  EXPECT_EQ(decoded.virgin.bits, record.virgin.bits);
+  EXPECT_EQ(decoded.covered, record.covered);
+  ASSERT_EQ(decoded.findings.size(), record.findings.size());
+  for (size_t i = 0; i < record.findings.size(); ++i) {
+    EXPECT_EQ(decoded.findings[i].bug_id, record.findings[i].bug_id);
+  }
+  EXPECT_EQ(decoded.prior_pool_end, record.prior_pool_end);
+  EXPECT_EQ(decoded.pool_end, record.pool_end);
+  EXPECT_EQ(decoded.pool_origins, record.pool_origins);
+  EXPECT_EQ(decoded.pool_inputs, record.pool_inputs);
+  EXPECT_EQ(decoded.series_iterations, record.series_iterations);
+  EXPECT_EQ(decoded.series_percents, record.series_percents);  // Bit-exact.
+  EXPECT_EQ(decoded.total_iterations, record.total_iterations);
+  EXPECT_EQ(decoded.feedback_virgin.cells, record.feedback_virgin.cells);
+  EXPECT_EQ(decoded.feedback_virgin.bits, record.feedback_virgin.bits);
+}
+
+TEST(WireTest, CampaignSnapshotRecordRoundTripAndMagicRejection) {
+  CampaignSnapshotRecord record;
+  record.epochs_covered = 10;
+  record.workers = 4;
+  record.checksum = 0xDEADBEEFCAFEF00DULL;
+  const wire::Buffer buffer = wire::Encode(record);
+
+  wire::RecordType type;
+  ASSERT_TRUE(wire::PeekType(buffer.data(), buffer.size(), &type));
+  EXPECT_EQ(type, wire::RecordType::kCampaignSnapshot);
+
+  CampaignSnapshotRecord decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded));
+  EXPECT_EQ(decoded.magic, CampaignSnapshotRecord::kMagic);
+  EXPECT_EQ(decoded.epochs_covered, record.epochs_covered);
+  EXPECT_EQ(decoded.workers, record.workers);
+  EXPECT_EQ(decoded.checksum, record.checksum);
+
+  // A trailer with the wrong magic is some other file, not a snapshot.
+  CampaignSnapshotRecord impostor = record;
+  impostor.magic = 0xDEADBEEF;
+  EXPECT_FALSE(wire::Decode(wire::Encode(impostor), &decoded));
+
+  // Every truncation is rejected: a torn trailer means a torn snapshot.
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(buffer.data(), len, &decoded))
+        << "length " << len;
+  }
+}
+
+TEST(WireTest, SnapshotRecordTruncationsAreRejected) {
+  // A truncated snapshot frame is a torn snapshot file: every prefix must
+  // be rejected so resume falls back to the previous generation.
+  const wire::Buffer state = wire::Encode(MakeWorkerState());
+  WorkerStateRecord state_out;
+  for (size_t len = 0; len < state.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(state.data(), len, &state_out))
+        << "length " << len;
+  }
+  ASSERT_TRUE(wire::Decode(state, &state_out));
+
+  const wire::Buffer merged = wire::Encode(MakeMergedState());
+  SnapshotMergedStateRecord merged_out;
+  for (size_t len = 0; len < merged.size(); ++len) {
+    EXPECT_FALSE(wire::Decode(merged.data(), len, &merged_out))
+        << "length " << len;
+  }
+  ASSERT_TRUE(wire::Decode(merged, &merged_out));
+
+  // Trailing bytes violate the exact-length contract for both.
+  wire::Buffer trailing = state;
+  trailing.push_back(0);
+  EXPECT_FALSE(wire::Decode(trailing, &state_out));
+  trailing = merged;
+  trailing.push_back(0);
+  EXPECT_FALSE(wire::Decode(trailing, &merged_out));
+}
+
+TEST(WireTest, WorkerStateCrashArraysAndQuirksMustAgree) {
+  // Parallel crash arrays, like ShardDelta and ShardResultRecord.
+  WorkerStateRecord lopsided = MakeWorkerState();
+  lopsided.crash_inputs.pop_back();
+  WorkerStateRecord decoded;
+  EXPECT_FALSE(wire::Decode(wire::Encode(lopsided), &decoded));
+
+  // Learned quirk values index validator enums; out-of-range values
+  // cannot round-trip through the quirk tables and are rejected.
+  WorkerStateRecord bad_check = MakeWorkerState();
+  bad_check.vmx_suppressed_checks.push_back(0xFFFF);
+  EXPECT_FALSE(wire::Decode(wire::Encode(bad_check), &decoded));
+  WorkerStateRecord bad_fixup = MakeWorkerState();
+  bad_fixup.vmx_learned_fixups.push_back(0xFF);
+  EXPECT_FALSE(wire::Decode(wire::Encode(bad_fixup), &decoded));
+  WorkerStateRecord bad_svm = MakeWorkerState();
+  bad_svm.svm_suppressed_checks.push_back(0xFFFF);
+  EXPECT_FALSE(wire::Decode(wire::Encode(bad_svm), &decoded));
+}
+
+TEST(WireTest, SnapshotMergedPoolBoundsMustAgree) {
+  // The shipped pool slice is exactly [prior_pool_end, pool_end); a
+  // record whose bounds and slice disagree is corrupt, not resizable.
+  SnapshotMergedStateRecord inverted = MakeMergedState();
+  inverted.prior_pool_end = inverted.pool_end + 1;
+  SnapshotMergedStateRecord decoded;
+  EXPECT_FALSE(wire::Decode(wire::Encode(inverted), &decoded));
+
+  SnapshotMergedStateRecord short_slice = MakeMergedState();
+  short_slice.pool_origins.pop_back();
+  short_slice.pool_inputs.pop_back();  // Bounds still promise 3 entries.
+  EXPECT_FALSE(wire::Decode(wire::Encode(short_slice), &decoded));
+}
+
+TEST(WireTest, SnapshotRecordCorruptionsNeverCrashTheDecoder) {
+  // The deterministic fuzz passes from the other records, extended to the
+  // snapshot trio: random garbage and single-byte corruptions must be
+  // rejected (or accepted) without crashing or overreading.
+  Rng rng(0x534E4150);  // "SNAP"
+  WorkerStateRecord state;
+  SnapshotMergedStateRecord merged;
+  CampaignSnapshotRecord trailer;
+  for (int i = 0; i < 2000; ++i) {
+    wire::Buffer buffer(rng.Below(160));
+    for (auto& byte : buffer) {
+      byte = static_cast<uint8_t>(rng.Below(256));
+    }
+    wire::Decode(buffer, &state);
+    wire::Decode(buffer, &merged);
+    wire::Decode(buffer, &trailer);
+  }
+
+  const wire::Buffer clean_state = wire::Encode(MakeWorkerState());
+  const wire::Buffer clean_merged = wire::Encode(MakeMergedState());
+  CampaignSnapshotRecord valid_trailer;
+  valid_trailer.epochs_covered = 10;
+  valid_trailer.workers = 4;
+  valid_trailer.checksum = 0x1234;
+  const wire::Buffer clean_trailer = wire::Encode(valid_trailer);
+  for (int i = 0; i < 2000; ++i) {
+    wire::Buffer corrupt = clean_state;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &state);
+
+    corrupt = clean_merged;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &merged);
+
+    corrupt = clean_trailer;
+    corrupt[rng.Below(corrupt.size())] ^=
+        static_cast<uint8_t>(1 + rng.Below(255));
+    wire::Decode(corrupt, &trailer);
+  }
+}
+
 TEST(WireTest, RandomDeltasRoundTripExactly) {
   // Property fuzz: arbitrary well-formed deltas survive the wire.
   Rng rng(0xD317A);

@@ -34,6 +34,13 @@
 //                        stray fsync elsewhere means durable-state logic
 //                        leaked out of the commit primitive, where no
 //                        torn-write analysis covers it.
+//   state-atomic-write   Durable-state files are crash-consistent only
+//                        because every write is AtomicWriteFile's
+//                        temp+rename+fsync sequence. Under
+//                        src/core/state/ (commit.cc itself exempt),
+//                        ofstream/fopen are banned and ::open may only
+//                        name O_RDONLY — a direct write path there has
+//                        no torn-write analysis behind it.
 //   wire-buffer-hygiene  Raw new[] is banned in src/ (std::vector /
 //                        unique_ptr exist), and memcpy in src/core/ is
 //                        confined to wire.cc's codec helpers: hand-rolled
@@ -475,6 +482,47 @@ void CheckFsync(const std::vector<SourceFile>& files,
   }
 }
 
+// --- Rule: state-atomic-write --------------------------------------------
+
+void CheckStateAtomicWrite(const std::vector<SourceFile>& files,
+                           std::vector<Violation>* out) {
+  for (const SourceFile& file : files) {
+    if (file.rel_path.rfind("src/core/state/", 0) != 0 ||
+        HasSuffix(file.rel_path, "core/state/commit.cc")) {
+      continue;  // The atomic write primitive is the one legitimate home.
+    }
+    // Stream/stdio writers cannot express temp+rename+fsync at all, so
+    // their mere presence is a write path escaping the commit primitive.
+    for (const char* call : {"ofstream", "fopen"}) {
+      size_t pos = 0;
+      while ((pos = FindWordStart(file.code, call, pos)) !=
+             std::string::npos) {
+        out->push_back(
+            {file.rel_path, LineOf(file, pos), "state-atomic-write",
+             std::string(call) +
+                 " under src/core/state/ bypasses AtomicWriteFile "
+                 "(src/core/state/commit.h); durable-state writes must "
+                 "use the temp+rename+fsync commit primitive"});
+        pos += std::string(call).size();
+      }
+    }
+    // ::open may only read: a creating, truncating, or writable mode is
+    // a file-creating write outside the crash-consistency analysis.
+    size_t pos = 0;
+    while ((pos = file.code.find("::open(", pos)) != std::string::npos) {
+      if (StatementAround(file.code, pos).find("O_RDONLY") ==
+          std::string::npos) {
+        out->push_back(
+            {file.rel_path, LineOf(file, pos), "state-atomic-write",
+             "::open under src/core/state/ must be O_RDONLY; "
+             "file-creating writes go through AtomicWriteFile "
+             "(src/core/state/commit.h)"});
+      }
+      pos += 1;
+    }
+  }
+}
+
 // --- Rule: wire-buffer-hygiene ------------------------------------------
 
 void CheckBufferHygiene(const std::vector<SourceFile>& files,
@@ -688,6 +736,7 @@ int main(int argc, char** argv) {
   CheckRawStrerror(files, &violations);
   CheckCloexec(files, &violations);
   CheckFsync(files, &violations);
+  CheckStateAtomicWrite(files, &violations);
   CheckBufferHygiene(files, &violations);
   CheckBenchSmoke(root, &violations);
   CheckSnapshotEquivalence(root, files, &violations);

@@ -1,0 +1,11 @@
+// The commit primitive itself is exempt: this is where the temp file is
+// created, written, fsync'd, and renamed over the target.
+#include <fcntl.h>
+
+namespace neco {
+
+int OpenTempForAtomicWrite(const char* path) {
+  return ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+}
+
+}  // namespace neco
